@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the memory-model tooling: SC enumeration,
+//! Listing 7 race analysis, the whole-program checker, and the
+//! system-centric relaxed machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drfrlx_core::checker::try_check_program;
+use drfrlx_core::exec::{enumerate_sc, EnumLimits};
+use drfrlx_core::races::analyze;
+use drfrlx_core::syscentric::explore_relaxed;
+use drfrlx_core::MemoryModel;
+use drfrlx_litmus::usecases;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let p = usecases::seqlock();
+    let limits = EnumLimits::default();
+    c.bench_function("enumerate_sc/seqlock", |b| {
+        b.iter(|| enumerate_sc(&p, &limits).expect("enumerable").len())
+    });
+}
+
+fn bench_race_analysis(c: &mut Criterion) {
+    let p = usecases::flags();
+    let limits = EnumLimits::default();
+    let execs = enumerate_sc(&p, &limits).expect("enumerable");
+    c.bench_function("analyze/flags_all_executions", |b| {
+        b.iter(|| execs.iter().map(|e| analyze(e).races().len()).sum::<usize>())
+    });
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let limits = EnumLimits::default();
+    for (name, p) in [
+        ("work_queue", usecases::work_queue()),
+        ("event_counter", usecases::event_counter()),
+        ("split_counter", usecases::split_counter()),
+    ] {
+        c.bench_function(&format!("check_program/{name}"), |b| {
+            b.iter(|| {
+                try_check_program(&p, MemoryModel::Drfrlx, &limits)
+                    .expect("enumerable")
+                    .is_race_free()
+            })
+        });
+    }
+}
+
+fn bench_relaxed_machine(c: &mut Criterion) {
+    let p = usecases::event_counter();
+    let limits = EnumLimits::default();
+    c.bench_function("explore_relaxed/event_counter", |b| {
+        b.iter(|| explore_relaxed(&p, MemoryModel::Drfrlx, &limits).expect("explorable").schedules)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_enumeration,     bench_race_analysis,     bench_checker,     bench_relaxed_machine
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the full-system simulator: cycles-per-host-
+//! second on representative kernels under the slowest (GD0) and most
+//! permissive (DDR) configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drfrlx_core::SystemConfig;
+use drfrlx_workloads::micro::{HistGlobal, HistParams, Seqlocks};
+use hsim_sys::{run_workload, SysParams};
+
+fn small_hg() -> HistGlobal {
+    HistGlobal { params: HistParams { bins: 64, per_thread: 16, blocks: 8, tpb: 8, seed: 3 }, ..Default::default() }
+}
+
+fn bench_configs(c: &mut Criterion) {
+    let params = SysParams::integrated();
+    let k = small_hg();
+    for cfg in ["GD0", "DDR"] {
+        let config = SystemConfig::from_abbrev(cfg).unwrap();
+        c.bench_function(&format!("simulate/hg_small/{cfg}"), |b| {
+            b.iter(|| run_workload(&k, config, &params).cycles)
+        });
+    }
+}
+
+fn bench_seqlock(c: &mut Criterion) {
+    let params = SysParams::integrated();
+    let k = Seqlocks { acqrel: false, blocks: 4, tpb: 8, payload: 4, writes: 4, reads: 4, max_retries: 32 };
+    let config = SystemConfig::from_abbrev("DDR").unwrap();
+    c.bench_function("simulate/seqlock_small/DDR", |b| {
+        b.iter(|| run_workload(&k, config, &params).cycles)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench_configs, bench_seqlock
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Listing 7: the programmer-centric model's verdict on every litmus
+//! test, plus the system-centric model's SC comparison — the paper's
+//! §3.8 validation as one report.
+
+use drfrlx_core::checker::try_check_program;
+use drfrlx_core::exec::EnumLimits;
+use drfrlx_core::syscentric::compare_with_sc;
+use drfrlx_core::MemoryModel;
+use drfrlx_litmus::suite::all_tests;
+
+fn main() {
+    println!("Listing 7: programmer-centric + system-centric verdicts");
+    println!("========================================================");
+    println!(
+        "{:28} {:>5} {:>5} {:>7} {:24} {}",
+        "litmus", "DRF0", "DRF1", "DRFrlx", "DRFrlx races", "relaxed machine"
+    );
+    let limits = EnumLimits::default();
+    for t in all_tests() {
+        let p = (t.build)();
+        let verdicts: Vec<String> = MemoryModel::ALL
+            .iter()
+            .map(|m| {
+                let r = try_check_program(&p, *m, &limits).expect("enumerable");
+                if r.is_race_free() { "ok".into() } else { "racy".into() }
+            })
+            .collect();
+        let kinds = {
+            let r = try_check_program(&p, MemoryModel::Drfrlx, &limits).expect("enumerable");
+            let ks: Vec<String> = r.race_kinds().iter().map(|k| format!("{k}")).collect();
+            if ks.is_empty() { "-".to_string() } else { ks.join(",") }
+        };
+        let sc = match t.sc_only {
+            None => "(skipped)".to_string(),
+            Some(_) => {
+                let cmp = compare_with_sc(&p, MemoryModel::Drfrlx, &limits).expect("explorable");
+                if cmp.is_sc_only() {
+                    "SC results only".to_string()
+                } else {
+                    format!("{} non-SC results", cmp.non_sc_results.len())
+                }
+            }
+        };
+        println!(
+            "{:28} {:>5} {:>5} {:>7} {:24} {}",
+            t.name, verdicts[0], verdicts[1], verdicts[2], kinds, sc
+        );
+    }
+}

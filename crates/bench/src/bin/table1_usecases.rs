@@ -1,0 +1,19 @@
+//! Table 1: GPU relaxed atomic use cases, with checker verdicts.
+
+use drfrlx_core::{check_program, MemoryModel};
+use drfrlx_litmus::suite::{all_tests, Category};
+
+fn main() {
+    println!("Table 1: GPU relaxed atomic use cases");
+    println!("======================================");
+    println!("{:24} {:40} {}", "use case", "description", "DRFrlx verdict");
+    for t in all_tests().iter().filter(|t| t.category == Category::UseCase) {
+        let report = check_program(&(t.build)(), MemoryModel::Drfrlx);
+        println!(
+            "{:24} {:40} {}",
+            t.name,
+            t.description,
+            if report.is_race_free() { "race-free (SC-centric)" } else { "RACY" }
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Table 2: simulated heterogeneous system parameters.
+
+fn main() {
+    println!("Table 2: simulated heterogeneous system parameters");
+    println!("===================================================");
+    for (k, v) in hsim_sys::SysParams::integrated().table2_rows() {
+        println!("{k:24} {v}");
+    }
+    println!("\n(discrete-GPU variant for Figure 1)");
+    for (k, v) in hsim_sys::SysParams::discrete_gpu().table2_rows() {
+        println!("{k:24} {v}");
+    }
+}

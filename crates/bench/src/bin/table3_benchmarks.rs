@@ -1,0 +1,20 @@
+//! Table 3: benchmarks, input sizes, and relaxed atomics used.
+
+use drfrlx_workloads::all_workloads;
+
+fn main() {
+    println!("Table 3: benchmarks, inputs, and relaxed atomic classes");
+    println!("========================================================");
+    println!("{:8} {:6} {:22} {:34} {}", "name", "kind", "paper input", "scaled input", "atomic classes");
+    for s in all_workloads() {
+        let classes: Vec<String> = s.classes.iter().map(|c| format!("{c:?}")).collect();
+        println!(
+            "{:8} {:6} {:22} {:34} {}",
+            s.name,
+            if s.micro { "micro" } else { "bench" },
+            s.paper_input,
+            s.scaled_input,
+            classes.join(", ")
+        );
+    }
+}

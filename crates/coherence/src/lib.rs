@@ -1,0 +1,32 @@
+//! # hsim-coherence — GPU and DeNovo coherence protocols
+//!
+//! The two protocols the paper evaluates (§2.1, §2.2), implemented as
+//! transaction-level timing models over [`hsim_mem`] structures and an
+//! [`hsim_noc`] mesh:
+//!
+//! * **GPU coherence** — software-driven: L1s are write-through with no
+//!   ownership; paired atomic loads flash-invalidate the entire L1;
+//!   paired atomic stores flush the store buffer; *every* atomic is
+//!   performed at its home L2 bank, so atomics serialize at the bank
+//!   and can never be reused or coalesced at the L1.
+//! * **DeNovo** — hybrid: stores and atomics obtain *ownership*
+//!   (registration) at the L1 and are performed locally; reads
+//!   self-invalidate only non-owned (Valid) lines at acquires; L1 MSHRs
+//!   coalesce same-line requests, letting overlapped relaxed atomics to
+//!   one address ride a single ownership transfer (§6.3); contended
+//!   lines bounce between L1s at remote-L1 latency.
+//!
+//! The memory system is timing + state only: functional values live in
+//! the execution engine (`hsim-gpu`/`hsim-sys`), mirroring how
+//! GPGPU-Sim executes functionally at issue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod memsys;
+
+pub use memsys::{
+    AccessKind, CuId, MemSysParams, MemorySystem, ProtoStats,
+};
+
+pub use drfrlx_core::Protocol;

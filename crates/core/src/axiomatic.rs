@@ -1,0 +1,660 @@
+//! An *axiomatic* formulation of the system-centric model.
+//!
+//! The paper's system-centric Herd model is axiomatic: it enumerates
+//! candidate executions (reads-from and coherence-order choices) and
+//! keeps those satisfying the system's reordering invariants. This
+//! module is that formulation for our DRFrlx system, complementing the
+//! operational machine in [`crate::syscentric`]:
+//!
+//! 1. enumerate every `rf` assignment (each read picks a same-location
+//!    write or the initial value) and every per-location `co` order;
+//! 2. derive values by propagating through `rf` and intra-thread
+//!    dependencies (cyclic value dependencies are out-of-thin-air
+//!    candidates and are discarded — our system never speculates);
+//! 3. keep candidates where `ppo ∪ rf ∪ co ∪ fr` is acyclic, where
+//!    `ppo` is exactly the program order the machine preserves (paired
+//!    fences, one-sided fences, atomic-atomic order, same-address
+//!    order, data dependencies) — for a multi-copy-atomic system this
+//!    acyclicity is equivalent (Shasha & Snir) to the existence of a
+//!    perform order in which every read returns the latest write;
+//! 4. additionally require RMW atomicity (the read's source is the
+//!    immediate coherence predecessor).
+//!
+//! The two formulations are proven against each other empirically: a
+//! property test in the workspace checks that they produce identical
+//! result sets on random straight-line programs.
+
+use crate::classes::{MemoryModel, Strength};
+use crate::exec::ExecResult;
+use crate::program::{Expr, Instr, Loc, Program, Reg, RmwOp, Value};
+use crate::relation::Relation;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why axiomatic enumeration refused to run or gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxiomaticError {
+    /// The program has control flow; candidate-execution enumeration
+    /// needs a fixed event set per thread (use the operational machine).
+    ControlFlow,
+    /// More candidates than the configured limit.
+    TooManyCandidates {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AxiomaticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxiomaticError::ControlFlow => {
+                f.write_str("axiomatic enumeration requires straight-line programs")
+            }
+            AxiomaticError::TooManyCandidates { limit } => {
+                write!(f, "more than {limit} candidate executions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AxiomaticError {}
+
+/// A static memory event of a straight-line program.
+struct SEvent {
+    tid: usize,
+    /// Index of the instruction within its thread.
+    iid: usize,
+    loc: Loc,
+    strength: Strength,
+    reads: bool,
+    writes: bool,
+}
+
+/// One thread's local evaluation plan: for each instruction, which
+/// event (if any) it corresponds to.
+struct Plan {
+    events: Vec<SEvent>,
+    /// Per thread: instruction list (borrowed from the program).
+    threads: usize,
+}
+
+fn plan(p: &Program, model: MemoryModel) -> Result<Plan, AxiomaticError> {
+    let mut events = Vec::new();
+    for (tid, t) in p.threads().iter().enumerate() {
+        for (iid, i) in t.instrs.iter().enumerate() {
+            match i {
+                Instr::JumpIfZero { .. } => return Err(AxiomaticError::ControlFlow),
+                Instr::Load { class, loc, .. } => events.push(SEvent {
+                    tid,
+                    iid,
+                    loc: *loc,
+                    strength: model.strength_of(*class),
+                    reads: true,
+                    writes: false,
+                }),
+                Instr::Store { class, loc, .. } => events.push(SEvent {
+                    tid,
+                    iid,
+                    loc: *loc,
+                    strength: model.strength_of(*class),
+                    reads: false,
+                    writes: true,
+                }),
+                Instr::Rmw { class, loc, .. } => events.push(SEvent {
+                    tid,
+                    iid,
+                    loc: *loc,
+                    strength: model.strength_of(*class),
+                    reads: true,
+                    writes: true,
+                }),
+                _ => {}
+            }
+        }
+    }
+    Ok(Plan { events, threads: p.threads().len() })
+}
+
+/// The program order the DRFrlx system preserves — mirrors the
+/// operational machine's `ready` predicate, plus data dependencies.
+fn preserved_po(p: &Program, plan: &Plan) -> Relation {
+    let n = plan.events.len();
+    let mut ppo = Relation::empty(n);
+    // Static taint: which event defines each register's current value,
+    // propagated through Assigns per thread.
+    for tid in 0..plan.threads {
+        let idx: Vec<usize> = (0..n).filter(|&e| plan.events[e].tid == tid).collect();
+        // taint: register -> set of source event indices.
+        let mut taint: BTreeMap<Reg, BTreeSet<usize>> = BTreeMap::new();
+        let mut cursor = 0usize;
+        for (iid, instr) in p.threads()[tid].instrs.iter().enumerate() {
+            let expr_sources = |e: &Expr, taint: &BTreeMap<Reg, BTreeSet<usize>>| {
+                let mut regs = Vec::new();
+                e.regs_read(&mut regs);
+                let mut out = BTreeSet::new();
+                for r in regs {
+                    if let Some(s) = taint.get(&r) {
+                        out.extend(s.iter().copied());
+                    }
+                }
+                out
+            };
+            match instr {
+                Instr::Assign { dst, expr } => {
+                    let src = expr_sources(expr, &taint);
+                    taint.insert(*dst, src);
+                }
+                Instr::BranchOn { .. } | Instr::Observe { .. } => {}
+                Instr::JumpIfZero { .. } => unreachable!("rejected in plan()"),
+                Instr::Load { dst, .. } => {
+                    let e = idx[cursor];
+                    debug_assert_eq!(plan.events[e].iid, iid);
+                    taint.insert(*dst, BTreeSet::from([e]));
+                    cursor += 1;
+                }
+                Instr::Store { val, .. } => {
+                    let e = idx[cursor];
+                    for src in expr_sources(val, &taint) {
+                        ppo.insert(src, e);
+                    }
+                    cursor += 1;
+                }
+                Instr::Rmw { operand, operand2, dst, .. } => {
+                    let e = idx[cursor];
+                    let mut src = expr_sources(operand, &taint);
+                    src.extend(expr_sources(operand2, &taint));
+                    for s in src {
+                        ppo.insert(s, e);
+                    }
+                    taint.insert(*dst, BTreeSet::from([e]));
+                    cursor += 1;
+                }
+            }
+        }
+        // Ordering constraints between memory events.
+        for (a_pos, &a) in idx.iter().enumerate() {
+            for &b in &idx[a_pos + 1..] {
+                let (ea, eb) = (&plan.events[a], &plan.events[b]);
+                let (s1, s2) = (ea.strength, eb.strength);
+                let same_loc = ea.loc == eb.loc;
+                let two_sided =
+                    |s: Strength| matches!(s, Strength::Paired | Strength::Unpaired);
+                let ordered = same_loc
+                    || s2 == Strength::Paired
+                    || s2 == Strength::Release
+                    || s1 == Strength::Paired
+                    || s1 == Strength::Acquire
+                    || (two_sided(s1) && two_sided(s2));
+                if ordered {
+                    ppo.insert(a, b);
+                }
+            }
+        }
+    }
+    ppo
+}
+
+/// Enumerate the reachable results of `p` under `model` axiomatically.
+///
+/// # Errors
+///
+/// [`AxiomaticError::ControlFlow`] for programs with conditionals;
+/// [`AxiomaticError::TooManyCandidates`] past `max_candidates`.
+pub fn enumerate_axiomatic(
+    p: &Program,
+    model: MemoryModel,
+    max_candidates: usize,
+) -> Result<BTreeSet<ExecResult>, AxiomaticError> {
+    let plan = plan(p, model)?;
+    let n = plan.events.len();
+    let ppo = preserved_po(p, &plan);
+
+    // Per location: write event indices (in program order — co will
+    // permute them).
+    let mut writes_of: BTreeMap<Loc, Vec<usize>> = BTreeMap::new();
+    for (e, ev) in plan.events.iter().enumerate() {
+        if ev.writes {
+            writes_of.entry(ev.loc).or_default().push(e);
+        }
+    }
+    let reads: Vec<usize> = (0..n).filter(|&e| plan.events[e].reads).collect();
+
+    let mut results = BTreeSet::new();
+    let mut candidates = 0usize;
+
+    // rf choice per read: usize::MAX = initial value.
+    let mut rf: Vec<usize> = vec![usize::MAX; reads.len()];
+    enumerate_rf(
+        p,
+        &plan,
+        &ppo,
+        &writes_of,
+        &reads,
+        0,
+        &mut rf,
+        &mut results,
+        &mut candidates,
+        max_candidates,
+    )?;
+    Ok(results)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_rf(
+    p: &Program,
+    plan: &Plan,
+    ppo: &Relation,
+    writes_of: &BTreeMap<Loc, Vec<usize>>,
+    reads: &[usize],
+    depth: usize,
+    rf: &mut Vec<usize>,
+    results: &mut BTreeSet<ExecResult>,
+    candidates: &mut usize,
+    max_candidates: usize,
+) -> Result<(), AxiomaticError> {
+    if depth == reads.len() {
+        let empty = Vec::new();
+        let locs: Vec<&Vec<usize>> = writes_of.values().collect();
+        let mut co: Vec<Vec<usize>> = locs.iter().map(|_| Vec::new()).collect();
+        return enumerate_co(
+            p, plan, ppo, writes_of, reads, rf, &locs, &mut co, 0, results, candidates,
+            max_candidates, &empty,
+        );
+    }
+    let r = reads[depth];
+    let loc = plan.events[r].loc;
+    let sources = writes_of.get(&loc).cloned().unwrap_or_default();
+    // Initial value source.
+    rf[depth] = usize::MAX;
+    enumerate_rf(p, plan, ppo, writes_of, reads, depth + 1, rf, results, candidates, max_candidates)?;
+    for w in sources {
+        if w == r {
+            continue; // an RMW cannot read its own write
+        }
+        rf[depth] = w;
+        enumerate_rf(p, plan, ppo, writes_of, reads, depth + 1, rf, results, candidates, max_candidates)?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_co(
+    p: &Program,
+    plan: &Plan,
+    ppo: &Relation,
+    writes_of: &BTreeMap<Loc, Vec<usize>>,
+    reads: &[usize],
+    rf: &[usize],
+    locs: &[&Vec<usize>],
+    co: &mut Vec<Vec<usize>>,
+    loc_idx: usize,
+    results: &mut BTreeSet<ExecResult>,
+    candidates: &mut usize,
+    max_candidates: usize,
+    _e: &[usize],
+) -> Result<(), AxiomaticError> {
+    if loc_idx == locs.len() {
+        *candidates += 1;
+        if *candidates > max_candidates {
+            return Err(AxiomaticError::TooManyCandidates { limit: max_candidates });
+        }
+        if let Some(result) = check_candidate(p, plan, ppo, writes_of, reads, rf, co) {
+            results.insert(result);
+        }
+        return Ok(());
+    }
+    // All permutations of this location's writes.
+    let ws = locs[loc_idx].clone();
+    permute(&ws, &mut Vec::new(), &mut |perm| {
+        co[loc_idx] = perm.to_vec();
+        enumerate_co(
+            p, plan, ppo, writes_of, reads, rf, locs, co, loc_idx + 1, results, candidates,
+            max_candidates, _e,
+        )
+    })
+}
+
+fn permute(
+    rest: &[usize],
+    acc: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize]) -> Result<(), AxiomaticError>,
+) -> Result<(), AxiomaticError> {
+    if rest.is_empty() {
+        return f(acc);
+    }
+    for (i, &x) in rest.iter().enumerate() {
+        let mut next: Vec<usize> = rest.to_vec();
+        next.remove(i);
+        acc.push(x);
+        permute(&next, acc, f)?;
+        acc.pop();
+    }
+    Ok(())
+}
+
+/// Check one (rf, co) candidate; return its result if consistent.
+fn check_candidate(
+    p: &Program,
+    plan: &Plan,
+    ppo: &Relation,
+    writes_of: &BTreeMap<Loc, Vec<usize>>,
+    reads: &[usize],
+    rf: &[usize],
+    co: &[Vec<usize>],
+) -> Option<ExecResult> {
+    let n = plan.events.len();
+    let rf_of = |e: usize| -> Option<usize> {
+        reads.iter().position(|&r| r == e).and_then(|i| {
+            if rf[i] == usize::MAX {
+                None
+            } else {
+                Some(rf[i])
+            }
+        })
+    };
+
+    // Per-location co position.
+    let mut co_pos: BTreeMap<usize, usize> = BTreeMap::new();
+    for perm in co {
+        for (pos, &w) in perm.iter().enumerate() {
+            co_pos.insert(w, pos);
+        }
+    }
+
+    // RMW atomicity: the source is the immediate co-predecessor.
+    for (li, (_loc, _ws)) in writes_of.iter().enumerate() {
+        for &w in &co[li] {
+            let ev = &plan.events[w];
+            if ev.reads && ev.writes {
+                let pos = co_pos[&w];
+                match rf_of(w) {
+                    None if pos != 0 => return None,
+                    Some(src) if co_pos.get(&src) != Some(&(pos.wrapping_sub(1))) => {
+                        return None
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Value propagation: evaluate threads in program order, reading
+    // loaded values from rf sources; iterate until stable (rf chains
+    // can point "forward"; value cycles never stabilize and are
+    // rejected below via ghb acyclicity, but we bound the iteration).
+    let mut values: Vec<Option<Value>> = vec![None; n]; // written value per event
+    let mut read_vals: Vec<Option<Value>> = vec![None; n];
+    for _round in 0..n + 1 {
+        let mut changed = false;
+        for tid in 0..plan.threads {
+            let mut regs: BTreeMap<Reg, Value> = BTreeMap::new();
+            let mut cursor: Vec<usize> = (0..n).filter(|&e| plan.events[e].tid == tid).collect();
+            cursor.reverse(); // pop from the back = program order
+            for instr in &p.threads()[tid].instrs {
+                match instr {
+                    Instr::Assign { dst, expr } => {
+                        let v = expr.eval(&regs);
+                        regs.insert(*dst, v);
+                    }
+                    Instr::BranchOn { .. } | Instr::Observe { .. } => {}
+                    Instr::JumpIfZero { .. } => unreachable!(),
+                    Instr::Load { loc, dst, .. } => {
+                        let e = cursor.pop().expect("event planned");
+                        let v = match rf_of(e) {
+                            None => p.init_value(*loc),
+                            Some(src) => values[src].unwrap_or(0),
+                        };
+                        if read_vals[e] != Some(v) {
+                            read_vals[e] = Some(v);
+                            changed = true;
+                        }
+                        regs.insert(*dst, v);
+                    }
+                    Instr::Store { val, .. } => {
+                        let e = cursor.pop().expect("event planned");
+                        let v = val.eval(&regs);
+                        if values[e] != Some(v) {
+                            values[e] = Some(v);
+                            changed = true;
+                        }
+                    }
+                    Instr::Rmw { loc, op, operand, operand2, dst, .. } => {
+                        let e = cursor.pop().expect("event planned");
+                        let old = match rf_of(e) {
+                            None => p.init_value(*loc),
+                            Some(src) => values[src].unwrap_or(0),
+                        };
+                        let new = op.apply(old, operand.eval(&regs), operand2.eval(&regs));
+                        if read_vals[e] != Some(old) || values[e] != Some(new) {
+                            read_vals[e] = Some(old);
+                            values[e] = Some(new);
+                            changed = true;
+                        }
+                        regs.insert(*dst, old);
+                        let _ = op;
+                        debug_assert!(matches!(
+                            op,
+                            RmwOp::FetchAdd
+                                | RmwOp::FetchSub
+                                | RmwOp::FetchAnd
+                                | RmwOp::FetchOr
+                                | RmwOp::FetchXor
+                                | RmwOp::FetchMin
+                                | RmwOp::FetchMax
+                                | RmwOp::Exchange
+                                | RmwOp::Cas
+                        ));
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build the communication relations.
+    let mut com = Relation::empty(n);
+    for (i, &r) in reads.iter().enumerate() {
+        let loc = plan.events[r].loc;
+        let li = writes_of.keys().position(|&l| l == loc);
+        match (rf.get(i).copied(), li) {
+            (Some(usize::MAX) | None, Some(li)) => {
+                // reads init: fr to every write of the location.
+                for &w in &co[li] {
+                    if w != r {
+                        com.insert(r, w);
+                    }
+                }
+            }
+            (Some(usize::MAX) | None, None) => {} // never-written location
+            (Some(src), Some(li)) => {
+                com.insert(src, r); // rf
+                let pos = co_pos[&src];
+                for &w in &co[li][pos + 1..] {
+                    if w != r {
+                        com.insert(r, w); // fr
+                    }
+                }
+            }
+            (Some(_), None) => unreachable!("rf source implies the location has writes"),
+        }
+    }
+    for perm in co {
+        for i in 0..perm.len() {
+            for j in (i + 1)..perm.len() {
+                com.insert(perm[i], perm[j]);
+            }
+        }
+    }
+
+    // Multi-copy-atomic consistency: ghb = ppo ∪ com must be acyclic.
+    let ghb = ppo.union(&com);
+    if !ghb.is_acyclic() {
+        return None;
+    }
+
+    // Result: co-last write per location, plus final registers.
+    let mut memory: BTreeMap<Loc, Value> = (0..p.num_locs() as u32)
+        .map(|l| (Loc(l), p.init_value(Loc(l))))
+        .collect();
+    for (li, (loc, _)) in writes_of.iter().enumerate() {
+        if let Some(&last) = co[li].last() {
+            memory.insert(*loc, values[last].unwrap_or(0));
+        }
+    }
+    let mut regs_out: Vec<BTreeMap<Reg, Value>> = vec![BTreeMap::new(); plan.threads];
+    for tid in 0..plan.threads {
+        let mut regs: BTreeMap<Reg, Value> = BTreeMap::new();
+        let mut cursor: Vec<usize> = (0..n).filter(|&e| plan.events[e].tid == tid).collect();
+        cursor.reverse();
+        for instr in &p.threads()[tid].instrs {
+            match instr {
+                Instr::Assign { dst, expr } => {
+                    let v = expr.eval(&regs);
+                    regs.insert(*dst, v);
+                }
+                Instr::Load { dst, .. } | Instr::Rmw { dst, .. } => {
+                    let e = cursor.pop().expect("event planned");
+                    regs.insert(*dst, read_vals[e].unwrap_or(0));
+                }
+                Instr::Store { .. } => {
+                    cursor.pop();
+                }
+                _ => {}
+            }
+        }
+        regs_out[tid] = regs;
+    }
+    Some(ExecResult { memory, regs: regs_out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::OpClass;
+    use crate::exec::EnumLimits;
+    use crate::syscentric::explore_relaxed;
+
+    fn results_match(p: &Program, model: MemoryModel) {
+        let ax = enumerate_axiomatic(p, model, 2_000_000).expect("axiomatic enumerable");
+        let op = explore_relaxed(p, model, &EnumLimits::default()).expect("machine enumerable");
+        let ax_mem: BTreeSet<BTreeMap<Loc, Value>> =
+            ax.iter().map(|r| r.memory.clone()).collect();
+        assert_eq!(
+            ax_mem,
+            op.memory_results(),
+            "{model}: axiomatic and operational formulations disagree"
+        );
+    }
+
+    fn sb(class: OpClass) -> Program {
+        let mut p = Program::new("sb");
+        {
+            let mut t = p.thread();
+            t.store(class, "x", 1);
+            let r = t.load(class, "y");
+            t.store(OpClass::Data, "out0", r);
+        }
+        {
+            let mut t = p.thread();
+            t.store(class, "y", 1);
+            let r = t.load(class, "x");
+            t.store(OpClass::Data, "out1", r);
+        }
+        p.build()
+    }
+
+    #[test]
+    fn matches_operational_on_store_buffering() {
+        for class in [OpClass::Paired, OpClass::Unpaired, OpClass::NonOrdering] {
+            for model in MemoryModel::ALL {
+                results_match(&sb(class), model);
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_sb_admits_the_non_sc_outcome() {
+        let p = sb(OpClass::NonOrdering);
+        let ax = enumerate_axiomatic(&p, MemoryModel::Drfrlx, 2_000_000).unwrap();
+        let out0 = p.find_loc("out0").unwrap();
+        let out1 = p.find_loc("out1").unwrap();
+        assert!(
+            ax.iter().any(|r| r.memory[&out0] == 0 && r.memory[&out1] == 0),
+            "axiomatic model must admit the SB reordering"
+        );
+    }
+
+    #[test]
+    fn dependencies_block_thin_air() {
+        let mut p = Program::new("lb");
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::NonOrdering, "x");
+            t.store(OpClass::NonOrdering, "y", r);
+        }
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::NonOrdering, "y");
+            t.store(OpClass::NonOrdering, "x", r);
+        }
+        let p = p.build();
+        let ax = enumerate_axiomatic(&p, MemoryModel::Drfrlx, 2_000_000).unwrap();
+        let x = p.find_loc("x").unwrap();
+        for r in &ax {
+            assert_eq!(r.memory[&x], 0, "no out-of-thin-air values");
+        }
+        results_match(&p, MemoryModel::Drfrlx);
+    }
+
+    #[test]
+    fn rmws_are_atomic() {
+        let mut p = Program::new("inc");
+        p.thread().rmw(OpClass::Commutative, "c", crate::program::RmwOp::FetchAdd, 1);
+        p.thread().rmw(OpClass::Commutative, "c", crate::program::RmwOp::FetchAdd, 1);
+        let p = p.build();
+        let ax = enumerate_axiomatic(&p, MemoryModel::Drfrlx, 2_000_000).unwrap();
+        let c = p.find_loc("c").unwrap();
+        for r in &ax {
+            assert_eq!(r.memory[&c], 2, "increments never lost");
+        }
+        results_match(&p, MemoryModel::Drfrlx);
+    }
+
+    #[test]
+    fn control_flow_is_rejected() {
+        let mut p = Program::new("cond");
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Paired, "x");
+            t.if_nz(r, |t| {
+                t.store(OpClass::Data, "y", 1);
+            });
+        }
+        assert_eq!(
+            enumerate_axiomatic(&p.build(), MemoryModel::Drfrlx, 1000),
+            Err(AxiomaticError::ControlFlow)
+        );
+    }
+
+    #[test]
+    fn acquire_release_one_sidedness_matches() {
+        for model in MemoryModel::ALL {
+            let mut p = Program::new("ra_sb");
+            {
+                let mut t = p.thread();
+                t.store(OpClass::Release, "x", 1);
+                let r = t.load(OpClass::Acquire, "y");
+                t.store(OpClass::Data, "out0", r);
+            }
+            {
+                let mut t = p.thread();
+                t.store(OpClass::Release, "y", 1);
+                let r = t.load(OpClass::Acquire, "x");
+                t.store(OpClass::Data, "out1", r);
+            }
+            results_match(&p.build(), model);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Whole-program DRF checking.
+//!
+//! A DRF-family model is a contract: *if* the program is race-free in
+//! every SC execution (of its quantum-equivalent program, for DRFrlx),
+//! *then* the system guarantees SC (quantum-equivalent) results.
+//! [`check_program`] discharges the programmer's half of the contract
+//! by enumerating every SC execution and running the Listing 7 race
+//! detectors on each:
+//!
+//! * **DRF0** — every atomic is viewed as paired; illegal = data races
+//!   (§2.3.2 with only data/atomic distinguished).
+//! * **DRF1** — relaxed classes are viewed as unpaired (sound: stronger
+//!   than annotated); illegal = data races.
+//! * **DRFrlx** — classes as annotated; illegal = data, commutative,
+//!   non-ordering, quantum and speculative races, detected on the
+//!   quantum-equivalent program when quantum atomics are present.
+
+use crate::classes::{MemoryModel, OpClass};
+use crate::exec::{enumerate_sc, enumerate_sc_quantum, EnumError, EnumLimits, Execution};
+use crate::program::Program;
+use crate::quantum::has_quantum;
+use crate::races::{analyze, Race, RaceKind};
+
+/// The verdict of a whole-program check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every SC execution (of the quantum-equivalent program) is free of
+    /// illegal races: the program upholds its half of the contract and
+    /// the system must appear SC.
+    RaceFree,
+    /// At least one SC execution contains an illegal race: the model
+    /// makes no guarantee for this program.
+    Racy,
+}
+
+/// One illegal race found during checking, with its provenance.
+#[derive(Debug, Clone)]
+pub struct FoundRace {
+    /// Index of the execution (in enumeration order) exhibiting it.
+    pub exec_index: usize,
+    /// The racing pair and race kind.
+    pub race: Race,
+    /// Human-readable description of the two events.
+    pub description: String,
+}
+
+/// Result of [`check_program`].
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Program name.
+    pub program: String,
+    /// Model the program was checked against.
+    pub model: MemoryModel,
+    /// Number of SC executions enumerated.
+    pub executions: usize,
+    /// Whether the quantum transformation was applied.
+    pub quantum_transformed: bool,
+    /// Distinct illegal races (one representative per (kind, a, b) per
+    /// first execution exhibiting it).
+    pub races: Vec<FoundRace>,
+    /// The overall verdict.
+    pub verdict: Verdict,
+}
+
+impl CheckReport {
+    /// Did the program uphold the contract?
+    pub fn is_race_free(&self) -> bool {
+        self.verdict == Verdict::RaceFree
+    }
+
+    /// Distinct race kinds found.
+    pub fn race_kinds(&self) -> Vec<RaceKind> {
+        let mut out: Vec<RaceKind> = Vec::new();
+        for r in &self.races {
+            if !out.contains(&r.race.kind) {
+                out.push(r.race.kind);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Does the report contain a race of the given kind?
+    pub fn has_race_kind(&self, kind: RaceKind) -> bool {
+        self.races.iter().any(|r| r.race.kind == kind)
+    }
+}
+
+/// How each model views a program's annotations (see module docs).
+fn model_view(p: &Program, model: MemoryModel) -> Program {
+    match model {
+        MemoryModel::Drf0 => p.map_classes(|c| {
+            if c.is_atomic() {
+                OpClass::Paired
+            } else {
+                OpClass::Data
+            }
+        }),
+        MemoryModel::Drf1 => p.map_classes(|c| match c {
+            c if c.is_relaxed() => OpClass::Unpaired,
+            // DRF1 predates one-sided synchronization: upgraded to paired.
+            OpClass::Acquire | OpClass::Release => OpClass::Paired,
+            c => c,
+        }),
+        MemoryModel::Drfrlx => p.clone(),
+    }
+}
+
+/// Check `p` against `model` with explicit limits.
+///
+/// # Errors
+///
+/// Returns [`EnumError`] if enumeration exceeds the configured limits.
+pub fn try_check_program(
+    p: &Program,
+    model: MemoryModel,
+    limits: &EnumLimits,
+) -> Result<CheckReport, EnumError> {
+    let view = model_view(p, model);
+    let quantum = model == MemoryModel::Drfrlx && has_quantum(&view);
+    let execs: Vec<Execution> = if quantum {
+        enumerate_sc_quantum(&view, limits)?
+    } else {
+        enumerate_sc(&view, limits)?
+    };
+    let mut races: Vec<FoundRace> = Vec::new();
+    for (i, e) in execs.iter().enumerate() {
+        let analysis = analyze(e);
+        for race in analysis.races() {
+            let dup = races
+                .iter()
+                .any(|f| f.race.kind == race.kind && f.race.a == race.a && f.race.b == race.b);
+            if !dup {
+                races.push(FoundRace {
+                    exec_index: i,
+                    description: format!(
+                        "{}: {} between {} and {}",
+                        view.name(),
+                        race.kind,
+                        crate::pretty::event_label(&view, &e.events[race.a]),
+                        crate::pretty::event_label(&view, &e.events[race.b]),
+                    ),
+                    race,
+                });
+            }
+        }
+    }
+    let verdict = if races.is_empty() { Verdict::RaceFree } else { Verdict::Racy };
+    Ok(CheckReport {
+        program: p.name().to_string(),
+        model,
+        executions: execs.len(),
+        quantum_transformed: quantum,
+        races,
+        verdict,
+    })
+}
+
+/// Check `p` against `model` with default limits.
+///
+/// # Panics
+///
+/// Panics if enumeration exceeds the default execution limit; use
+/// [`try_check_program`] to control limits and handle the error.
+pub fn check_program(p: &Program, model: MemoryModel) -> CheckReport {
+    try_check_program(p, model, &EnumLimits::default())
+        .expect("SC enumeration exceeded default limits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::RmwOp;
+
+    /// Event counter (Listing 2, reduced): racy commutative increments.
+    fn event_counter() -> Program {
+        let mut p = Program::new("event_counter");
+        p.thread().rmw(OpClass::Commutative, "c", RmwOp::FetchAdd, 1);
+        p.thread().rmw(OpClass::Commutative, "c", RmwOp::FetchAdd, 1);
+        p.build()
+    }
+
+    #[test]
+    fn event_counter_fails_drf0_and_drf1_as_relaxed() {
+        // Viewed as DRF0/DRF1 the increments become paired/unpaired
+        // atomics — atomics may race, so the program is legal under
+        // those models too (just slower on hardware). The interesting
+        // contrast is with a *data*-annotated version.
+        assert!(check_program(&event_counter(), MemoryModel::Drf0).is_race_free());
+        assert!(check_program(&event_counter(), MemoryModel::Drf1).is_race_free());
+        assert!(check_program(&event_counter(), MemoryModel::Drfrlx).is_race_free());
+    }
+
+    #[test]
+    fn data_annotated_counter_is_racy_under_every_model() {
+        let mut p = Program::new("data_counter");
+        p.thread().rmw(OpClass::Data, "c", RmwOp::FetchAdd, 1);
+        p.thread().rmw(OpClass::Data, "c", RmwOp::FetchAdd, 1);
+        let p = p.build();
+        for model in MemoryModel::ALL {
+            let r = check_program(&p, model);
+            assert!(!r.is_race_free(), "{model} must flag the data race");
+            assert!(r.has_race_kind(RaceKind::Data));
+        }
+    }
+
+    #[test]
+    fn quantum_program_is_checked_on_equivalent_program() {
+        let mut p = Program::new("split_counter_read");
+        p.thread().rmw(OpClass::Quantum, "c0", RmwOp::FetchAdd, 1);
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Quantum, "c0");
+            t.observe(r);
+        }
+        let r = check_program(&p.build(), MemoryModel::Drfrlx);
+        assert!(r.quantum_transformed);
+        assert!(r.is_race_free());
+    }
+
+    #[test]
+    fn report_metadata_is_populated() {
+        let r = check_program(&event_counter(), MemoryModel::Drfrlx);
+        assert_eq!(r.program, "event_counter");
+        assert_eq!(r.model, MemoryModel::Drfrlx);
+        assert_eq!(r.executions, 2);
+        assert!(!r.quantum_transformed);
+        assert!(r.race_kinds().is_empty());
+    }
+
+    #[test]
+    fn mislabeled_commutative_exchange_flagged_only_by_drfrlx() {
+        // DRF0/DRF1 view the exchanges as paired/unpaired atomics —
+        // legal. DRFrlx checks the commutative contract and rejects.
+        let mut p = Program::new("bad_comm");
+        p.thread().rmw(OpClass::Commutative, "c", RmwOp::Exchange, 5);
+        p.thread().rmw(OpClass::Commutative, "c", RmwOp::FetchAdd, 1);
+        let p = p.build();
+        assert!(check_program(&p, MemoryModel::Drf0).is_race_free());
+        assert!(check_program(&p, MemoryModel::Drf1).is_race_free());
+        let r = check_program(&p, MemoryModel::Drfrlx);
+        assert!(r.has_race_kind(RaceKind::Commutative));
+    }
+}

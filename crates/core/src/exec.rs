@@ -1,0 +1,1021 @@
+//! SC-execution enumeration.
+//!
+//! [`enumerate_sc`] produces **every** sequentially consistent execution
+//! of a litmus program: every interleaving of the threads' memory
+//! operations, with each load returning the value of the last store to
+//! the same location in the interleaving (paper §2.3.1). The resulting
+//! [`Execution`]s carry the relations Herd models are phrased over
+//! (`po`, `rf`, `co`, `fr`, dependency relations), ready for the race
+//! detectors in [`crate::races`].
+//!
+//! When a *quantum domain* is supplied (the quantum transformation of
+//! §3.4.3), quantum loads do not read memory: they are replaced by a
+//! conceptual `random()` that is enumerated over the domain, and quantum
+//! RMWs degrade to quantum stores. This produces executions of the
+//! *quantum-equivalent program* P<sub>q</sub>.
+
+use crate::classes::OpClass;
+use crate::program::{Expr, Instr, Loc, Program, Reg, Value};
+use crate::relation::Relation;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Kind of dynamic memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Access {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// An atomic read-modify-write (reads and writes in one event,
+    /// per the paper's footnote 1).
+    Rmw,
+}
+
+impl Access {
+    /// Does the event read memory?
+    pub fn reads(self) -> bool {
+        matches!(self, Access::Read | Access::Rmw)
+    }
+
+    /// Does the event write memory?
+    pub fn writes(self) -> bool {
+        matches!(self, Access::Write | Access::Rmw)
+    }
+}
+
+/// The write function an event applies to its location, used to decide
+/// pairwise commutativity (paper §3.2.3: two writes commute iff
+/// performing them in either order yields the same final value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFn {
+    /// Overwrite with a constant (plain store / exchange).
+    Set(Value),
+    /// `old + k` (fetch_add / fetch_sub with negated operand).
+    Add(Value),
+    /// `old & k`.
+    And(Value),
+    /// `old | k`.
+    Or(Value),
+    /// `old ^ k`.
+    Xor(Value),
+    /// `min(old, k)`.
+    Min(Value),
+    /// `max(old, k)`.
+    Max(Value),
+    /// Compare-and-swap — order-sensitive in general.
+    Cas,
+}
+
+impl WriteFn {
+    /// Exact pairwise commutativity for the function families litmus
+    /// programs use. `f.commutes_with(g)` iff `f∘g == g∘f` on all
+    /// values.
+    pub fn commutes_with(self, other: WriteFn) -> bool {
+        use WriteFn::*;
+        match (self, other) {
+            (Add(_), Add(_)) => true,
+            (And(_), And(_)) => true,
+            (Or(_), Or(_)) => true,
+            (Xor(_), Xor(_)) => true,
+            (Min(_), Min(_)) => true,
+            (Max(_), Max(_)) => true,
+            // Two overwrites commute only when they write the same value.
+            (Set(a), Set(b)) => a == b,
+            // Idempotent-compatible mixed cases are deliberately not
+            // special-cased; CAS is order-sensitive.
+            _ => false,
+        }
+    }
+}
+
+/// A dynamic memory event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Dense event id, indexing the execution's relations.
+    pub id: usize,
+    /// Issuing thread.
+    pub tid: usize,
+    /// Index of the instruction within the thread.
+    pub iid: usize,
+    /// Annotated class.
+    pub class: OpClass,
+    /// Accessed location.
+    pub loc: Loc,
+    /// Read/write/RMW.
+    pub access: Access,
+    /// Value read (reads and RMWs).
+    pub rval: Option<Value>,
+    /// Value written (writes and RMWs).
+    pub wval: Option<Value>,
+    /// Write function for commutativity analysis (writes and RMWs).
+    pub write_fn: Option<WriteFn>,
+}
+
+/// The "result" of an execution (paper §3.2.2: the memory state at the
+/// end of the execution; register files are kept as well for
+/// litmus-style assertions and for comparing against the relaxed
+/// machine).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ExecResult {
+    /// Final value of every location.
+    pub memory: BTreeMap<Loc, Value>,
+    /// Final register file of every thread.
+    pub regs: Vec<BTreeMap<Reg, Value>>,
+}
+
+/// One SC execution with its relations.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Dynamic events, indexed by id.
+    pub events: Vec<Event>,
+    /// Event ids in SC total order `T`.
+    pub order: Vec<usize>,
+    /// Final memory + registers.
+    pub result: ExecResult,
+    /// Program order (transitive).
+    pub po: Relation,
+    /// Reads-from: source write → read.
+    pub rf: Relation,
+    /// Coherence order: earlier write → later write, same location
+    /// (transitive).
+    pub co: Relation,
+    /// From-read: read → write co-after the read's source.
+    pub fr: Relation,
+    /// Data dependency: load/RMW → event using its value.
+    pub data_dep: Relation,
+    /// Address dependency (always empty for static-address litmus
+    /// programs; present for Herd parity).
+    pub addr_dep: Relation,
+    /// Control dependency: load/RMW → memory event after a dependent
+    /// branch.
+    pub ctrl_dep: Relation,
+    /// Events whose loaded value is observed via [`Instr::Observe`].
+    pub observed: Vec<bool>,
+}
+
+impl Execution {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the execution has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Herd's `(addr | data | ctrl)` observability relation, extended
+    /// with [`Instr::Observe`] sinks encoded as self-loops removed; use
+    /// [`Execution::value_observed`] for the flag.
+    pub fn obs_dep(&self) -> Relation {
+        self.addr_dep.union(&self.data_dep).union(&self.ctrl_dep)
+    }
+
+    /// Is the value loaded by event `e` used by another instruction in
+    /// its thread (dependency into a later access, or an explicit
+    /// observe marker)?
+    pub fn value_observed(&self, e: usize) -> bool {
+        if self.observed[e] {
+            return true;
+        }
+        let n = self.events.len();
+        (0..n).any(|j| self.data_dep.contains(e, j) || self.addr_dep.contains(e, j))
+    }
+
+    /// The communication relation `rf | fr | co`.
+    pub fn com(&self) -> Relation {
+        self.rf.union(&self.fr).union(&self.co)
+    }
+
+    /// Events of a class, as a membership vector (for
+    /// [`Relation::product`]).
+    pub fn class_set(&self, pred: impl Fn(&Event) -> bool) -> Vec<bool> {
+        self.events.iter().map(|e| pred(e)).collect()
+    }
+}
+
+/// Limits and options for enumeration.
+#[derive(Debug, Clone)]
+pub struct EnumLimits {
+    /// Abort after this many complete executions.
+    pub max_executions: usize,
+    /// Values a quantum `random()` may take, when enumerating the
+    /// quantum-equivalent program. Ignored by [`enumerate_sc`]; used by
+    /// [`enumerate_sc_quantum`].
+    pub quantum_domain: Vec<Value>,
+}
+
+impl Default for EnumLimits {
+    fn default() -> Self {
+        EnumLimits {
+            max_executions: 4_000_000,
+            quantum_domain: vec![0, 1, JUNK],
+        }
+    }
+}
+
+/// A recognizable "could be anything" value for quantum randomness.
+pub const JUNK: Value = 0x0BAD_F00D;
+
+/// Enumeration failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumError {
+    /// The execution count exceeded [`EnumLimits::max_executions`].
+    TooManyExecutions {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for EnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumError::TooManyExecutions { limit } => {
+                write!(f, "more than {limit} SC executions; raise EnumLimits::max_executions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+/// Enumerate all SC executions of `p`.
+///
+/// # Errors
+///
+/// Returns [`EnumError::TooManyExecutions`] if the interleaving count
+/// exceeds the limit.
+pub fn enumerate_sc(p: &Program, limits: &EnumLimits) -> Result<Vec<Execution>, EnumError> {
+    enumerate_inner(p, limits, false)
+}
+
+/// Enumerate all SC executions of the *quantum-equivalent program*
+/// P<sub>q</sub> of `p` (paper §3.4.3): quantum loads return every value
+/// in [`EnumLimits::quantum_domain`], quantum stores/RMWs write their
+/// computed value but quantum RMW loads are likewise randomized.
+///
+/// # Errors
+///
+/// Returns [`EnumError::TooManyExecutions`] if the execution count
+/// exceeds the limit.
+pub fn enumerate_sc_quantum(p: &Program, limits: &EnumLimits) -> Result<Vec<Execution>, EnumError> {
+    enumerate_inner(p, limits, true)
+}
+
+#[derive(Clone)]
+struct ThreadState {
+    pc: usize,
+    regs: BTreeMap<Reg, Value>,
+    /// For each register, the set of load events whose values flow in.
+    taint: BTreeMap<Reg, BTreeSet<usize>>,
+    /// Loads feeding branch conditions seen so far (ctrl sources).
+    ctrl: BTreeSet<usize>,
+}
+
+#[derive(Clone)]
+struct SearchState {
+    threads: Vec<ThreadState>,
+    memory: BTreeMap<Loc, Value>,
+    events: Vec<Event>,
+    order: Vec<usize>,
+    /// Per location: write event ids in coherence (SC) order.
+    writes: BTreeMap<Loc, Vec<usize>>,
+    /// Per read event: index into its location's write list of its
+    /// source (`None` = initial value).
+    read_src: Vec<Option<usize>>,
+    data_src: Vec<BTreeSet<usize>>,
+    ctrl_src: Vec<BTreeSet<usize>>,
+    observed: BTreeSet<usize>,
+}
+
+fn expr_taint(e: &Expr, t: &ThreadState) -> BTreeSet<usize> {
+    let mut regs = Vec::new();
+    e.regs_read(&mut regs);
+    let mut out = BTreeSet::new();
+    for r in regs {
+        if let Some(s) = t.taint.get(&r) {
+            out.extend(s.iter().copied());
+        }
+    }
+    out
+}
+
+fn enumerate_inner(
+    p: &Program,
+    limits: &EnumLimits,
+    quantum: bool,
+) -> Result<Vec<Execution>, EnumError> {
+    let init = SearchState {
+        threads: p
+            .threads()
+            .iter()
+            .map(|_| ThreadState {
+                pc: 0,
+                regs: BTreeMap::new(),
+                taint: BTreeMap::new(),
+                ctrl: BTreeSet::new(),
+            })
+            .collect(),
+        memory: (0..p.num_locs() as u32)
+            .map(|l| (Loc(l), p.init_value(Loc(l))))
+            .collect(),
+        events: Vec::new(),
+        order: Vec::new(),
+        writes: BTreeMap::new(),
+        read_src: Vec::new(),
+        data_src: Vec::new(),
+        ctrl_src: Vec::new(),
+        observed: BTreeSet::new(),
+    };
+    let mut out = Vec::new();
+    explore(p, limits, quantum, init, &mut out)?;
+    Ok(out)
+}
+
+fn explore(
+    p: &Program,
+    limits: &EnumLimits,
+    quantum: bool,
+    mut st: SearchState,
+    out: &mut Vec<Execution>,
+) -> Result<(), EnumError> {
+    // Phase 1: drain local-deterministic instructions of every thread;
+    // they commute with everything, so running them eagerly prunes
+    // redundant interleavings. Quantum loads are local *choice* points:
+    // branch over the domain and recurse.
+    loop {
+        let mut progressed = false;
+        for tid in 0..st.threads.len() {
+            loop {
+                let pc = st.threads[tid].pc;
+                let Some(instr) = p.threads()[tid].instrs.get(pc) else { break };
+                match instr {
+                    Instr::Assign { dst, expr } => {
+                        let v = expr.eval(&st.threads[tid].regs);
+                        let taint = expr_taint(expr, &st.threads[tid]);
+                        let t = &mut st.threads[tid];
+                        t.regs.insert(*dst, v);
+                        t.taint.insert(*dst, taint);
+                        t.pc += 1;
+                        progressed = true;
+                    }
+                    Instr::BranchOn { cond } => {
+                        let taint = expr_taint(cond, &st.threads[tid]);
+                        let t = &mut st.threads[tid];
+                        t.ctrl.extend(taint);
+                        t.pc += 1;
+                        progressed = true;
+                    }
+                    Instr::Observe { expr } => {
+                        let taint = expr_taint(expr, &st.threads[tid]);
+                        st.observed.extend(taint);
+                        st.threads[tid].pc += 1;
+                        progressed = true;
+                    }
+                    Instr::JumpIfZero { cond, skip } => {
+                        let v = cond.eval(&st.threads[tid].regs);
+                        let taint = expr_taint(cond, &st.threads[tid]);
+                        let t = &mut st.threads[tid];
+                        t.ctrl.extend(taint);
+                        t.pc += if v == 0 { skip + 1 } else { 1 };
+                        progressed = true;
+                    }
+                    Instr::Load { class: OpClass::Quantum, dst, .. } if quantum => {
+                        // Quantum transformation: ri = random(). No
+                        // memory event; the load is gone in Pq.
+                        for &v in &limits.quantum_domain {
+                            let mut next = st.clone();
+                            let t = &mut next.threads[tid];
+                            t.regs.insert(*dst, v);
+                            t.taint.insert(*dst, BTreeSet::new());
+                            t.pc += 1;
+                            explore(p, limits, quantum, next, out)?;
+                        }
+                        return Ok(());
+                    }
+                    _ => break,
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Terminal: all threads done.
+    if st
+        .threads
+        .iter()
+        .enumerate()
+        .all(|(tid, t)| t.pc >= p.threads()[tid].instrs.len())
+    {
+        if out.len() >= limits.max_executions {
+            return Err(EnumError::TooManyExecutions { limit: limits.max_executions });
+        }
+        out.push(finish(st));
+        return Ok(());
+    }
+
+    // Phase 2: branch over which thread performs its next memory event.
+    for tid in 0..st.threads.len() {
+        let pc = st.threads[tid].pc;
+        let Some(instr) = p.threads()[tid].instrs.get(pc) else { continue };
+        if !instr.is_memory() {
+            continue;
+        }
+        if quantum && instr.class() == Some(OpClass::Quantum) {
+            // Quantum transformation (§3.4.3): quantum stores write
+            // random(); a quantum RMW's load returns random() and its
+            // store writes random().
+            match instr {
+                Instr::Rmw { .. } => {
+                    perform_quantum_rmw(p, limits, tid, &st, out)?;
+                    continue;
+                }
+                Instr::Store { .. } => {
+                    perform_quantum_store(p, limits, tid, &st, out)?;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        let mut next = st.clone();
+        perform(p, tid, &mut next);
+        explore(p, limits, quantum, next, out)?;
+    }
+    Ok(())
+}
+
+/// Perform thread `tid`'s next memory instruction on `st`.
+fn perform(p: &Program, tid: usize, st: &mut SearchState) {
+    let pc = st.threads[tid].pc;
+    let instr = &p.threads()[tid].instrs[pc];
+    let id = st.events.len();
+    let ctrl = st.threads[tid].ctrl.clone();
+    match instr {
+        Instr::Load { class, loc, dst } => {
+            let v = *st.memory.get(loc).unwrap_or(&0);
+            st.events.push(Event {
+                id,
+                tid,
+                iid: pc,
+                class: *class,
+                loc: *loc,
+                access: Access::Read,
+                rval: Some(v),
+                wval: None,
+                write_fn: None,
+            });
+            st.read_src.push(st.writes.get(loc).and_then(|w| {
+                if w.is_empty() { None } else { Some(w.len() - 1) }
+            }));
+            st.data_src.push(BTreeSet::new());
+            st.ctrl_src.push(ctrl);
+            let t = &mut st.threads[tid];
+            t.regs.insert(*dst, v);
+            t.taint.insert(*dst, BTreeSet::from([id]));
+        }
+        Instr::Store { class, loc, val } => {
+            let v = val.eval(&st.threads[tid].regs);
+            let data = expr_taint(val, &st.threads[tid]);
+            st.events.push(Event {
+                id,
+                tid,
+                iid: pc,
+                class: *class,
+                loc: *loc,
+                access: Access::Write,
+                rval: None,
+                wval: Some(v),
+                write_fn: Some(WriteFn::Set(v)),
+            });
+            st.read_src.push(None);
+            st.data_src.push(data);
+            st.ctrl_src.push(ctrl);
+            st.memory.insert(*loc, v);
+            st.writes.entry(*loc).or_default().push(id);
+        }
+        Instr::Rmw { class, loc, op, operand, operand2, dst } => {
+            let old = *st.memory.get(loc).unwrap_or(&0);
+            let k = operand.eval(&st.threads[tid].regs);
+            let k2 = operand2.eval(&st.threads[tid].regs);
+            let new = op.apply(old, k, k2);
+            let mut data = expr_taint(operand, &st.threads[tid]);
+            data.extend(expr_taint(operand2, &st.threads[tid]));
+            let wf = match op {
+                crate::program::RmwOp::FetchAdd => WriteFn::Add(k),
+                crate::program::RmwOp::FetchSub => WriteFn::Add(k.wrapping_neg()),
+                crate::program::RmwOp::FetchAnd => WriteFn::And(k),
+                crate::program::RmwOp::FetchOr => WriteFn::Or(k),
+                crate::program::RmwOp::FetchXor => WriteFn::Xor(k),
+                crate::program::RmwOp::FetchMin => WriteFn::Min(k),
+                crate::program::RmwOp::FetchMax => WriteFn::Max(k),
+                crate::program::RmwOp::Exchange => WriteFn::Set(k),
+                crate::program::RmwOp::Cas => WriteFn::Cas,
+            };
+            st.events.push(Event {
+                id,
+                tid,
+                iid: pc,
+                class: *class,
+                loc: *loc,
+                access: Access::Rmw,
+                rval: Some(old),
+                wval: Some(new),
+                write_fn: Some(wf),
+            });
+            st.read_src.push(st.writes.get(loc).and_then(|w| {
+                if w.is_empty() { None } else { Some(w.len() - 1) }
+            }));
+            st.data_src.push(data);
+            st.ctrl_src.push(ctrl);
+            st.memory.insert(*loc, new);
+            st.writes.entry(*loc).or_default().push(id);
+            let t = &mut st.threads[tid];
+            t.regs.insert(*dst, old);
+            t.taint.insert(*dst, BTreeSet::from([id]));
+        }
+        _ => unreachable!("perform called on non-memory instruction"),
+    }
+    st.order.push(id);
+    st.threads[tid].pc += 1;
+}
+
+/// Emit a quantum store event writing `wval` and continue exploration.
+fn quantum_store_event(
+    p: &Program,
+    limits: &EnumLimits,
+    tid: usize,
+    st: &SearchState,
+    class: OpClass,
+    loc: Loc,
+    wval: Value,
+    dst: Option<(Reg, Value)>,
+    out: &mut Vec<Execution>,
+) -> Result<(), EnumError> {
+    let mut next = st.clone();
+    let pc = next.threads[tid].pc;
+    let id = next.events.len();
+    let ctrl = next.threads[tid].ctrl.clone();
+    next.events.push(Event {
+        id,
+        tid,
+        iid: pc,
+        class,
+        loc,
+        access: Access::Write,
+        rval: None,
+        wval: Some(wval),
+        write_fn: Some(WriteFn::Set(wval)),
+    });
+    next.read_src.push(None);
+    next.data_src.push(BTreeSet::new());
+    next.ctrl_src.push(ctrl);
+    next.memory.insert(loc, wval);
+    next.writes.entry(loc).or_default().push(id);
+    next.order.push(id);
+    if let Some((r, v)) = dst {
+        let t = &mut next.threads[tid];
+        t.regs.insert(r, v);
+        t.taint.insert(r, BTreeSet::new());
+    }
+    next.threads[tid].pc += 1;
+    explore(p, limits, true, next, out)
+}
+
+/// Quantum store under the quantum transformation: `Y = random()` —
+/// branch over the domain of written values.
+fn perform_quantum_store(
+    p: &Program,
+    limits: &EnumLimits,
+    tid: usize,
+    st: &SearchState,
+    out: &mut Vec<Execution>,
+) -> Result<(), EnumError> {
+    let pc = st.threads[tid].pc;
+    let Instr::Store { class, loc, .. } = &p.threads()[tid].instrs[pc] else { unreachable!() };
+    for &v in &limits.quantum_domain {
+        quantum_store_event(p, limits, tid, st, *class, *loc, v, None, out)?;
+    }
+    Ok(())
+}
+
+/// Quantum RMW under the quantum transformation: the load half returns
+/// `random()` (branch over the domain into `dst`), the store half
+/// writes `random()` (an independent branch over the domain).
+fn perform_quantum_rmw(
+    p: &Program,
+    limits: &EnumLimits,
+    tid: usize,
+    st: &SearchState,
+    out: &mut Vec<Execution>,
+) -> Result<(), EnumError> {
+    let pc = st.threads[tid].pc;
+    let Instr::Rmw { class, loc, dst, .. } = &p.threads()[tid].instrs[pc] else {
+        unreachable!()
+    };
+    for &old in &limits.quantum_domain {
+        for &new in &limits.quantum_domain {
+            quantum_store_event(p, limits, tid, st, *class, *loc, new, Some((*dst, old)), out)?;
+        }
+    }
+    Ok(())
+}
+
+fn finish(st: SearchState) -> Execution {
+    let n = st.events.len();
+    let mut po = Relation::empty(n);
+    for a in 0..n {
+        for b in 0..n {
+            if st.events[a].tid == st.events[b].tid && a != b {
+                // Events are created in program order per thread, so id
+                // order within a thread is program order.
+                let (ea, eb) = (&st.events[a], &st.events[b]);
+                if ea.iid < eb.iid {
+                    po.insert(a, b);
+                }
+            }
+        }
+    }
+    let mut rf = Relation::empty(n);
+    let mut fr = Relation::empty(n);
+    let mut co = Relation::empty(n);
+    for (loc, ws) in &st.writes {
+        for i in 0..ws.len() {
+            for j in (i + 1)..ws.len() {
+                co.insert(ws[i], ws[j]);
+            }
+        }
+        for e in 0..n {
+            if !st.events[e].access.reads() || st.events[e].loc != *loc {
+                continue;
+            }
+            match st.read_src[e] {
+                Some(src) => {
+                    rf.insert(ws[src], e);
+                    for w in &ws[src + 1..] {
+                        if *w != e {
+                            fr.insert(e, *w);
+                        }
+                    }
+                }
+                None => {
+                    for w in ws {
+                        if *w != e {
+                            fr.insert(e, *w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut data_dep = Relation::empty(n);
+    let mut ctrl_dep = Relation::empty(n);
+    for e in 0..n {
+        for &src in &st.data_src[e] {
+            data_dep.insert(src, e);
+        }
+        for &src in &st.ctrl_src[e] {
+            ctrl_dep.insert(src, e);
+        }
+    }
+    let mut observed = vec![false; n];
+    for &e in &st.observed {
+        observed[e] = true;
+    }
+    Execution {
+        result: ExecResult {
+            memory: st.memory,
+            regs: st.threads.into_iter().map(|t| t.regs).collect(),
+        },
+        events: st.events,
+        order: st.order,
+        po,
+        rf,
+        co,
+        fr,
+        data_dep,
+        addr_dep: Relation::empty(n),
+        ctrl_dep,
+        observed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::RmwOp;
+
+    fn limits() -> EnumLimits {
+        EnumLimits::default()
+    }
+
+    /// Store buffering: two threads, each stores then loads the other
+    /// location. 4 memory ops → C(4,2) = 6 interleavings.
+    fn sb(class: OpClass) -> Program {
+        let mut p = Program::new("sb");
+        {
+            let mut t = p.thread();
+            t.store(class, "x", 1);
+            let r = t.load(class, "y");
+            t.observe(r);
+        }
+        {
+            let mut t = p.thread();
+            t.store(class, "y", 1);
+            let r = t.load(class, "x");
+            t.observe(r);
+        }
+        p.build()
+    }
+
+    #[test]
+    fn sb_has_six_interleavings() {
+        let execs = enumerate_sc(&sb(OpClass::Paired), &limits()).unwrap();
+        assert_eq!(execs.len(), 6);
+    }
+
+    #[test]
+    fn sb_never_observes_both_zero_under_sc() {
+        let execs = enumerate_sc(&sb(OpClass::Paired), &limits()).unwrap();
+        for e in &execs {
+            let r0 = *e.result.regs[0].get(&Reg(0)).unwrap();
+            let r1 = *e.result.regs[1].get(&Reg(0)).unwrap();
+            assert!(
+                !(r0 == 0 && r1 == 0),
+                "SC forbids the store-buffering outcome"
+            );
+        }
+        // But the three other outcomes all appear.
+        let outcomes: BTreeSet<(Value, Value)> = execs
+            .iter()
+            .map(|e| {
+                (
+                    *e.result.regs[0].get(&Reg(0)).unwrap(),
+                    *e.result.regs[1].get(&Reg(0)).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            outcomes,
+            BTreeSet::from([(0, 1), (1, 0), (1, 1)])
+        );
+    }
+
+    #[test]
+    fn rf_points_reads_at_their_writes() {
+        let mut p = Program::new("wr");
+        p.thread().store(OpClass::Data, "x", 7);
+        {
+            let mut t = p.thread();
+            t.load(OpClass::Data, "x");
+        }
+        let execs = enumerate_sc(&p.build(), &limits()).unwrap();
+        assert_eq!(execs.len(), 2);
+        for e in &execs {
+            let read = e.events.iter().find(|ev| ev.access == Access::Read).unwrap();
+            let write = e.events.iter().find(|ev| ev.access == Access::Write).unwrap();
+            if read.rval == Some(7) {
+                assert!(e.rf.contains(write.id, read.id));
+                assert!(!e.fr.contains(read.id, write.id));
+            } else {
+                assert_eq!(read.rval, Some(0), "reads init");
+                assert!(e.rf.is_empty());
+                assert!(e.fr.contains(read.id, write.id));
+            }
+        }
+    }
+
+    #[test]
+    fn co_orders_same_location_writes() {
+        let mut p = Program::new("ww");
+        p.thread().store(OpClass::Data, "x", 1);
+        p.thread().store(OpClass::Data, "x", 2);
+        let execs = enumerate_sc(&p.build(), &limits()).unwrap();
+        assert_eq!(execs.len(), 2);
+        for e in &execs {
+            assert_eq!(e.co.len(), 1);
+            let (first, last) = e.co.pairs()[0];
+            assert_eq!(e.result.memory.values().next().copied(), e.events[last].wval);
+            assert!(e.order.iter().position(|&x| x == first).unwrap()
+                < e.order.iter().position(|&x| x == last).unwrap());
+        }
+    }
+
+    #[test]
+    fn rmw_is_atomic_in_sc_enumeration() {
+        // Two fetch-adds never lose an update under SC.
+        let mut p = Program::new("inc");
+        p.thread().rmw(OpClass::Paired, "c", RmwOp::FetchAdd, 1);
+        p.thread().rmw(OpClass::Paired, "c", RmwOp::FetchAdd, 1);
+        let p = p.build();
+        let c = p.find_loc("c").unwrap();
+        let execs = enumerate_sc(&p, &limits()).unwrap();
+        assert_eq!(execs.len(), 2);
+        for e in &execs {
+            assert_eq!(e.result.memory[&c], 2);
+        }
+    }
+
+    #[test]
+    fn data_deps_flow_through_assigns() {
+        let mut p = Program::new("dep");
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Data, "x");
+            let r2 = t.assign(Expr::bin(crate::program::BinOp::Add, r.into(), 1.into()));
+            t.store(OpClass::Data, "y", r2);
+        }
+        let execs = enumerate_sc(&p.build(), &limits()).unwrap();
+        assert_eq!(execs.len(), 1);
+        let e = &execs[0];
+        assert!(e.data_dep.contains(0, 1), "load -> store data dep");
+        assert!(e.value_observed(0));
+    }
+
+    #[test]
+    fn ctrl_deps_mark_later_accesses() {
+        let mut p = Program::new("ctrl");
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Data, "x");
+            t.branch_on(r);
+            t.store(OpClass::Data, "y", 1);
+        }
+        let execs = enumerate_sc(&p.build(), &limits()).unwrap();
+        let e = &execs[0];
+        assert!(e.ctrl_dep.contains(0, 1));
+        assert!(!e.data_dep.contains(0, 1));
+        // ctrl alone does not make the value "observed" in Herd's
+        // value-observability sense, but obs_dep includes it.
+        assert!(e.obs_dep().contains(0, 1));
+    }
+
+    #[test]
+    fn observe_marks_loads() {
+        let mut p = Program::new("obs");
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Commutative, "x");
+            t.observe(r);
+        }
+        let execs = enumerate_sc(&p.build(), &limits()).unwrap();
+        assert!(execs[0].value_observed(0));
+    }
+
+    #[test]
+    fn unobserved_load_is_unobserved() {
+        let mut p = Program::new("noobs");
+        {
+            let mut t = p.thread();
+            let _ = t.load(OpClass::Commutative, "x");
+            t.store(OpClass::Data, "y", 1);
+        }
+        let execs = enumerate_sc(&p.build(), &limits()).unwrap();
+        assert!(!execs[0].value_observed(0));
+    }
+
+    #[test]
+    fn quantum_transformation_randomizes_loads() {
+        let mut p = Program::new("q");
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Quantum, "x");
+            t.observe(r);
+        }
+        let p = p.build();
+        // Plain SC: single execution reading 0.
+        let sc = enumerate_sc(&p, &limits()).unwrap();
+        assert_eq!(sc.len(), 1);
+        assert_eq!(sc[0].events.len(), 1);
+        // Quantum-equivalent: the load vanishes, one execution per
+        // domain value, register takes each.
+        let q = enumerate_sc_quantum(&p, &limits()).unwrap();
+        assert_eq!(q.len(), 3);
+        for e in &q {
+            assert!(e.events.is_empty(), "quantum load is not a memory event in Pq");
+        }
+        let vals: BTreeSet<Value> =
+            q.iter().map(|e| *e.result.regs[0].get(&Reg(0)).unwrap()).collect();
+        assert_eq!(vals, BTreeSet::from([0, 1, JUNK]));
+    }
+
+    #[test]
+    fn quantum_rmw_becomes_randomized_store() {
+        let mut p = Program::new("qrmw");
+        p.thread().rmw(OpClass::Quantum, "c", RmwOp::FetchAdd, 1);
+        let p = p.build();
+        let c = p.find_loc("c").unwrap();
+        let q = enumerate_sc_quantum(&p, &limits()).unwrap();
+        // 3 random loaded values × 3 random written values.
+        assert_eq!(q.len(), 9);
+        for e in &q {
+            assert_eq!(e.events.len(), 1);
+            assert_eq!(e.events[0].access, Access::Write);
+            assert_eq!(e.events[0].class, OpClass::Quantum);
+        }
+        let finals: BTreeSet<Value> = q.iter().map(|e| e.result.memory[&c]).collect();
+        assert_eq!(finals, BTreeSet::from([0, 1, JUNK]));
+    }
+
+    #[test]
+    fn execution_limit_enforced() {
+        let mut p = Program::new("big");
+        for _ in 0..3 {
+            let mut t = p.thread();
+            for _ in 0..4 {
+                t.store(OpClass::Data, "x", 1);
+            }
+        }
+        let err = enumerate_sc(
+            &p.build(),
+            &EnumLimits { max_executions: 10, ..EnumLimits::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, EnumError::TooManyExecutions { limit: 10 });
+    }
+
+    #[test]
+    fn conditional_body_skipped_when_zero() {
+        let mut p = Program::new("cond");
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Paired, "flag");
+            t.if_nz(r, |t| {
+                t.store(OpClass::Data, "x", 1);
+            });
+            t.store(OpClass::Data, "y", 2);
+        }
+        let p = p.build();
+        let execs = enumerate_sc(&p, &limits()).unwrap();
+        assert_eq!(execs.len(), 1);
+        let e = &execs[0];
+        // flag reads 0 → the x store is skipped, the y store executes.
+        assert_eq!(e.events.len(), 2);
+        assert!(e.events.iter().all(|ev| p.loc_name(ev.loc) != "x"));
+        // Control dependency from the flag load onto the y store.
+        assert!(e.ctrl_dep.contains(0, 1));
+    }
+
+    #[test]
+    fn conditional_body_runs_when_nonzero() {
+        let mut p = Program::new("cond2");
+        p.set_init("flag", 1);
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Paired, "flag");
+            t.if_nz(r, |t| {
+                t.store(OpClass::Data, "x", 1);
+            });
+        }
+        let p = p.build();
+        let e = &enumerate_sc(&p, &limits()).unwrap()[0];
+        assert_eq!(e.events.len(), 2);
+        let x = p.find_loc("x").unwrap();
+        assert_eq!(e.result.memory[&x], 1);
+    }
+
+    #[test]
+    fn conditional_mp_is_race_free() {
+        // With real control flow, the classic message-passing idiom has
+        // no data race in any SC execution: the data read only occurs
+        // after the paired flag read returns 1, which orders it.
+        let mut p = Program::new("mp_cond");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Data, "x", 42);
+            t.store(OpClass::Paired, "flag", 1);
+        }
+        {
+            let mut t = p.thread();
+            let f = t.load(OpClass::Paired, "flag");
+            t.if_nz(f, |t| {
+                let d = t.load(OpClass::Data, "x");
+                t.observe(d);
+            });
+        }
+        let execs = enumerate_sc(&p.build(), &limits()).unwrap();
+        for e in &execs {
+            assert!(
+                crate::races::analyze(e).is_race_free(),
+                "conditional MP must be race-free in every SC execution"
+            );
+        }
+    }
+
+    #[test]
+    fn po_is_transitive_and_intra_thread() {
+        let mut p = Program::new("po");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Data, "a", 1);
+            t.store(OpClass::Data, "b", 1);
+            t.store(OpClass::Data, "c", 1);
+        }
+        let e = &enumerate_sc(&p.build(), &limits()).unwrap()[0];
+        assert!(e.po.contains(0, 1) && e.po.contains(1, 2) && e.po.contains(0, 2));
+        assert!(!e.po.contains(2, 0));
+        assert!(e.po.is_acyclic());
+    }
+}

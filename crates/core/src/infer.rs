@@ -1,0 +1,230 @@
+//! Annotation inference: find a weakest legal labeling.
+//!
+//! The practical workflow DRFrlx enables is exactly this: a developer
+//! starts from conservative SC atomics and asks which ones may be
+//! relaxed without giving up SC-centric semantics. [`infer`] answers by
+//! greedily downgrading each atomic operation — paired → unpaired →
+//! non-ordering → commutative → speculative — keeping a downgrade only
+//! if the whole program stays DRFrlx race-free.
+//!
+//! Quantum and the one-sided acquire/release classes are never inferred:
+//! quantum changes the program the guarantee is about (the
+//! quantum-equivalent program), and one-sided atomics weaken the
+//! guarantee itself — both are judgement calls the programmer must make.
+//!
+//! Greedy search returns a *maximal* labeling (no single operation can
+//! be weakened further), not necessarily a maximum one: an earlier
+//! downgrade can preclude a later one. Operations are visited in thread
+//! then program order, which matches how a human would annotate.
+
+use crate::checker::try_check_program;
+use crate::classes::{MemoryModel, OpClass};
+use crate::exec::{EnumError, EnumLimits};
+use crate::program::{Instr, Program};
+
+/// The downgrade ladder, strongest first. `Paired` is the implicit top.
+const LADDER: [OpClass; 4] = [
+    OpClass::Unpaired,
+    OpClass::NonOrdering,
+    OpClass::Commutative,
+    OpClass::Speculative,
+];
+
+/// One inference decision, for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inferred {
+    /// Thread index.
+    pub tid: usize,
+    /// Instruction index within the thread.
+    pub iid: usize,
+    /// The original annotation.
+    pub from: OpClass,
+    /// The inferred (weakest legal) annotation.
+    pub to: OpClass,
+}
+
+/// Result of [`infer`].
+#[derive(Debug, Clone)]
+pub struct Inference {
+    /// The re-annotated program.
+    pub program: Program,
+    /// Every operation whose class was weakened.
+    pub changes: Vec<Inferred>,
+}
+
+fn class_of(p: &Program, tid: usize, iid: usize) -> Option<OpClass> {
+    p.threads()[tid].instrs[iid].class()
+}
+
+fn with_class(p: &Program, tid: usize, iid: usize, class: OpClass) -> Program {
+    let mut q = p.clone();
+    // map_classes rewrites everything; edit the single instruction
+    // in place instead.
+    let mut threads: Vec<_> = q.threads().to_vec();
+    match &mut threads[tid].instrs[iid] {
+        Instr::Load { class: c, .. } | Instr::Store { class: c, .. } | Instr::Rmw { class: c, .. } => {
+            *c = class;
+        }
+        _ => unreachable!("memory instruction"),
+    }
+    q.replace_threads(threads);
+    q
+}
+
+/// Infer a weakest legal annotation for every atomic in `p`.
+///
+/// Data operations and quantum/acquire/release annotations are left
+/// untouched; every other atomic is downgraded as far as DRFrlx
+/// race-freedom allows.
+///
+/// # Errors
+///
+/// Returns [`EnumError`] if any intermediate check exceeds `limits`.
+/// The original program must itself be DRFrlx race-free; otherwise the
+/// result is the original program with no changes.
+pub fn infer(p: &Program, limits: &EnumLimits) -> Result<Inference, EnumError> {
+    let baseline = try_check_program(p, MemoryModel::Drfrlx, limits)?;
+    if !baseline.is_race_free() {
+        return Ok(Inference { program: p.clone(), changes: Vec::new() });
+    }
+    let mut current = p.clone();
+    let mut changes = Vec::new();
+    for tid in 0..p.threads().len() {
+        for iid in 0..p.threads()[tid].instrs.len() {
+            let Some(orig) = class_of(&current, tid, iid) else { continue };
+            if matches!(
+                orig,
+                OpClass::Data | OpClass::Quantum | OpClass::Acquire | OpClass::Release
+            ) {
+                continue;
+            }
+            // Try ladder entries strictly weaker than the current class,
+            // weakest acceptable last-to-first (prefer the weakest).
+            let start = LADDER.iter().position(|&c| c == orig).map_or(0, |i| i + 1);
+            let mut best = None;
+            for &cand in LADDER[start..].iter().rev() {
+                let trial = with_class(&current, tid, iid, cand);
+                if try_check_program(&trial, MemoryModel::Drfrlx, limits)?.is_race_free() {
+                    best = Some(cand);
+                    break;
+                }
+            }
+            if let Some(to) = best {
+                current = with_class(&current, tid, iid, to);
+                changes.push(Inferred { tid, iid, from: orig, to });
+            }
+        }
+    }
+    Ok(Inference { program: current, changes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::RmwOp;
+
+    fn infer_ok(p: &Program) -> Inference {
+        infer(p, &EnumLimits::default()).expect("enumerable")
+    }
+
+    #[test]
+    fn paired_event_counter_relaxes_to_commutative() {
+        let mut p = Program::new("counter");
+        p.thread().rmw(OpClass::Paired, "c", RmwOp::FetchAdd, 1);
+        p.thread().rmw(OpClass::Paired, "c", RmwOp::FetchAdd, 2);
+        let inf = infer_ok(&p.build());
+        assert_eq!(inf.changes.len(), 2);
+        for ch in &inf.changes {
+            assert!(
+                matches!(ch.to, OpClass::Speculative | OpClass::Commutative),
+                "increment should relax fully, got {:?}",
+                ch.to
+            );
+        }
+        // The result really is race-free.
+        assert!(crate::check_program(&inf.program, MemoryModel::Drfrlx).is_race_free());
+    }
+
+    #[test]
+    fn mp_flag_stays_strong_enough_to_order_data() {
+        // Unconditional consumer: the flag is the ONLY ordering for the
+        // data pair, so it must stay paired.
+        let mut p = Program::new("mp");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Data, "x", 1);
+            t.store(OpClass::Paired, "flag", 1);
+        }
+        {
+            let mut t = p.thread();
+            let f = t.load(OpClass::Paired, "flag");
+            t.if_nz(f, |t| {
+                let d = t.load(OpClass::Data, "x");
+                t.observe(d);
+            });
+        }
+        let inf = infer_ok(&p.build());
+        // Neither flag access may be weakened: any downgrade creates a
+        // data race on x.
+        assert!(
+            inf.changes.is_empty(),
+            "flag must stay paired, but inferred {:?}",
+            inf.changes
+        );
+    }
+
+    #[test]
+    fn racy_input_is_returned_unchanged() {
+        let mut p = Program::new("racy");
+        p.thread().store(OpClass::Data, "x", 1);
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Data, "x");
+            t.observe(r);
+        }
+        let inf = infer_ok(&p.build());
+        assert!(inf.changes.is_empty());
+    }
+
+    #[test]
+    fn inference_is_maximal() {
+        // No single op of the result can be weakened further.
+        let mut p = Program::new("wq");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Data, "task", 42);
+            t.store(OpClass::Paired, "occ", 1);
+        }
+        {
+            let mut t = p.thread();
+            let o = t.load(OpClass::Paired, "occ");
+            t.if_nz(o, |t| {
+                let v = t.load(OpClass::Data, "task");
+                t.observe(v);
+            });
+        }
+        let inf = infer_ok(&p.build());
+        let limits = EnumLimits::default();
+        for tid in 0..inf.program.threads().len() {
+            for iid in 0..inf.program.threads()[tid].instrs.len() {
+                let Some(orig) = class_of(&inf.program, tid, iid) else { continue };
+                if matches!(
+                    orig,
+                    OpClass::Data | OpClass::Quantum | OpClass::Acquire | OpClass::Release
+                ) {
+                    continue;
+                }
+                let start = LADDER.iter().position(|&c| c == orig).map_or(0, |i| i + 1);
+                for &cand in &LADDER[start..] {
+                    let trial = with_class(&inf.program, tid, iid, cand);
+                    assert!(
+                        !try_check_program(&trial, MemoryModel::Drfrlx, &limits)
+                            .unwrap()
+                            .is_race_free(),
+                        "t{tid}.i{iid} could still weaken {orig:?} -> {cand:?}"
+                    );
+                }
+            }
+        }
+    }
+}

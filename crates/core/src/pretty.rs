@@ -1,0 +1,158 @@
+//! Human-readable rendering of events, executions and program/conflict
+//! graphs (used by the Figure 2 harness and in race descriptions).
+
+use crate::exec::{Access, Event, Execution};
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// A compact label for one event, e.g. `T0.i1: W(NO) y=2`.
+pub fn event_label(p: &Program, ev: &Event) -> String {
+    let loc = p.loc_name(ev.loc);
+    match ev.access {
+        Access::Read => format!("T{}.i{}: R({}) {}={}", ev.tid, ev.iid, ev.class, loc, ev.rval.unwrap_or(0)),
+        Access::Write => format!("T{}.i{}: W({}) {}={}", ev.tid, ev.iid, ev.class, loc, ev.wval.unwrap_or(0)),
+        Access::Rmw => format!(
+            "T{}.i{}: RMW({}) {}:{}->{}",
+            ev.tid,
+            ev.iid,
+            ev.class,
+            loc,
+            ev.rval.unwrap_or(0),
+            ev.wval.unwrap_or(0)
+        ),
+    }
+}
+
+/// Render an execution: the SC total order, one event per line.
+pub fn format_execution(p: &Program, e: &Execution) -> String {
+    let mut out = String::new();
+    for (i, &ev) in e.order.iter().enumerate() {
+        let _ = writeln!(out, "  {:>2}. {}", i + 1, event_label(p, &e.events[ev]));
+    }
+    out
+}
+
+/// Render the program/conflict graph of an execution as an edge list
+/// (po edges are reduced to cover adjacent instructions for
+/// readability; communication edges are printed in full).
+pub fn format_conflict_graph(p: &Program, e: &Execution) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "events:");
+    for ev in &e.events {
+        let _ = writeln!(out, "  e{}: {}", ev.id, event_label(p, ev));
+    }
+    let _ = writeln!(out, "edges:");
+    // Reduced po: skip pairs implied transitively.
+    for (a, b) in e.po.pairs() {
+        let implied = (0..e.len()).any(|m| e.po.contains(a, m) && e.po.contains(m, b));
+        if !implied {
+            let _ = writeln!(out, "  e{a} --po--> e{b}");
+        }
+    }
+    for (a, b) in e.rf.pairs() {
+        let _ = writeln!(out, "  e{a} --rf--> e{b}");
+    }
+    for (a, b) in e.co.pairs() {
+        let implied = (0..e.len()).any(|m| e.co.contains(a, m) && e.co.contains(m, b));
+        if !implied {
+            let _ = writeln!(out, "  e{a} --co--> e{b}");
+        }
+    }
+    for (a, b) in e.fr.pairs() {
+        let _ = writeln!(out, "  e{a} --fr--> e{b}");
+    }
+    out
+}
+
+/// Render the graph in Graphviz DOT syntax.
+pub fn format_dot(p: &Program, e: &Execution) -> String {
+    let mut out = String::from("digraph pcg {\n  rankdir=TB;\n");
+    for ev in &e.events {
+        let _ = writeln!(
+            out,
+            "  e{} [label=\"{}\", shape=box];",
+            ev.id,
+            event_label(p, ev).replace('"', "'")
+        );
+    }
+    for (a, b) in e.po.pairs() {
+        let implied = (0..e.len()).any(|m| e.po.contains(a, m) && e.po.contains(m, b));
+        if !implied {
+            let _ = writeln!(out, "  e{a} -> e{b} [label=\"po\"];");
+        }
+    }
+    for (label, rel) in [("rf", &e.rf), ("fr", &e.fr)] {
+        for (a, b) in rel.pairs() {
+            let _ = writeln!(out, "  e{a} -> e{b} [label=\"{label}\", style=dashed];");
+        }
+    }
+    for (a, b) in e.co.pairs() {
+        let implied = (0..e.len()).any(|m| e.co.contains(a, m) && e.co.contains(m, b));
+        if !implied {
+            let _ = writeln!(out, "  e{a} -> e{b} [label=\"co\", style=dashed];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::OpClass;
+    use crate::exec::{enumerate_sc, EnumLimits};
+    use crate::program::Program;
+
+    fn sample() -> (Program, Execution) {
+        let mut p = Program::new("pretty");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Unpaired, "x", 3);
+            t.store(OpClass::NonOrdering, "y", 2);
+        }
+        {
+            let mut t = p.thread();
+            t.load(OpClass::NonOrdering, "y");
+            t.load(OpClass::Unpaired, "x");
+        }
+        let p = p.build();
+        let e = enumerate_sc(&p, &EnumLimits::default()).unwrap().remove(0);
+        (p, e)
+    }
+
+    #[test]
+    fn labels_name_threads_classes_and_locations() {
+        let (p, e) = sample();
+        let label = event_label(&p, &e.events[0]);
+        assert!(label.contains("T0"));
+        assert!(label.contains("UNP"));
+        assert!(label.contains("x=3"));
+    }
+
+    #[test]
+    fn execution_listing_has_one_line_per_event() {
+        let (p, e) = sample();
+        let s = format_execution(&p, &e);
+        assert_eq!(s.lines().count(), e.len());
+    }
+
+    #[test]
+    fn graph_contains_po_and_com_edges() {
+        let (p, e) = sample();
+        let s = format_conflict_graph(&p, &e);
+        assert!(s.contains("--po-->"));
+        // Some communication edge must exist (rf or fr on x / y).
+        assert!(s.contains("--rf-->") || s.contains("--fr-->") || s.contains("--co-->"));
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let (p, e) = sample();
+        let s = format_dot(&p, &e);
+        assert!(s.starts_with("digraph"));
+        assert!(s.trim_end().ends_with('}'));
+        for ev in &e.events {
+            assert!(s.contains(&format!("e{} [label=", ev.id)));
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! The programmer-centric DRFrlx model: race detection over SC
+//! executions (the paper's Listing 7, reimplemented natively).
+//!
+//! Given an [`Execution`], [`analyze`] computes the synchronization
+//! order `so1`, happens-before `hb1`, and the five illegal race
+//! relations:
+//!
+//! * **data race** — a race involving a data operation (DRF0/DRF1 §2.3.2);
+//! * **commutative race** — a race involving a commutative atomic whose
+//!   operations do not pairwise commute, or whose loaded value is
+//!   observed (§3.2.3);
+//! * **non-ordering race** — a race whose ordering path through a
+//!   non-ordering atomic has no alternate *valid* path (§3.3.3);
+//! * **quantum race** — a quantum atomic racing with a non-quantum
+//!   access (§3.4.3);
+//! * **speculative race** — a race involving a speculative atomic where
+//!   both sides write or the speculative load's value is observed
+//!   (§3.5.3).
+//!
+//! The non-ordering path predicates are computed *exactly* with a
+//! product-automaton reachability search (state = ⟨event, seen-po-edge,
+//! seen-required-event⟩), where the paper's Herd encoding had to
+//! approximate paths with a bounded composition; the two agree on all
+//! litmus tests in `drfrlx-litmus`.
+
+use crate::classes::OpClass;
+use crate::exec::Execution;
+use crate::relation::Relation;
+use std::fmt;
+
+/// The kind of an illegal race (paper Listing 7's `illegal-race` union).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RaceKind {
+    /// At least one side is a data operation.
+    Data,
+    /// Illegal race on a commutative atomic.
+    Commutative,
+    /// Unabsolved ordering path through a non-ordering atomic.
+    NonOrdering,
+    /// Quantum atomic racing with a non-quantum access.
+    Quantum,
+    /// Observable race on a speculative atomic.
+    Speculative,
+    /// Unabsolved ordering path through a one-sided (acquire/release)
+    /// atomic — the §7 extension's analogue of the non-ordering race:
+    /// one-sided fences synchronize through release→acquire reads-from,
+    /// but racing them inside a cycle (e.g. rel/acq store buffering)
+    /// does not restore SC, so such programs must be rejected.
+    OneSided,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RaceKind::Data => "data race",
+            RaceKind::Commutative => "commutative race",
+            RaceKind::NonOrdering => "non-ordering race",
+            RaceKind::Quantum => "quantum race",
+            RaceKind::Speculative => "speculative race",
+            RaceKind::OneSided => "one-sided race",
+        })
+    }
+}
+
+/// A reported race between two events of one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Race {
+    /// Race kind.
+    pub kind: RaceKind,
+    /// Lower event id of the pair.
+    pub a: usize,
+    /// Higher event id of the pair.
+    pub b: usize,
+}
+
+/// All relations Listing 7 derives for one execution.
+#[derive(Debug, Clone)]
+pub struct RaceAnalysis {
+    /// Synchronization order 1: paired write → conflicting paired read,
+    /// ordered by the SC total order.
+    pub so1: Relation,
+    /// Happens-before-1: `(po ∪ so1)+`.
+    pub hb1: Relation,
+    /// Plain races: conflicting, cross-thread, hb1-unordered pairs.
+    pub race: Relation,
+    /// Data races.
+    pub data: Relation,
+    /// Commutative races.
+    pub commutative: Relation,
+    /// Non-ordering races (reported between ordering-path endpoints, as
+    /// in the paper's Herd construction).
+    pub non_ordering: Relation,
+    /// Quantum races.
+    pub quantum: Relation,
+    /// Speculative races.
+    pub speculative: Relation,
+    /// One-sided (acquire/release) races.
+    pub one_sided: Relation,
+}
+
+impl RaceAnalysis {
+    /// Union of all illegal race relations.
+    pub fn illegal(&self) -> Relation {
+        self.data
+            .union(&self.commutative)
+            .union(&self.non_ordering)
+            .union(&self.quantum)
+            .union(&self.speculative)
+            .union(&self.one_sided)
+    }
+
+    /// Is the execution free of illegal races?
+    pub fn is_race_free(&self) -> bool {
+        self.illegal().is_empty()
+    }
+
+    /// Deduplicated race list (each unordered pair once per kind,
+    /// ordered `a < b`).
+    pub fn races(&self) -> Vec<Race> {
+        let mut out = Vec::new();
+        let mut push = |rel: &Relation, kind: RaceKind| {
+            for (x, y) in rel.iter() {
+                let (a, b) = if x < y { (x, y) } else { (y, x) };
+                let r = Race { kind, a, b };
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        };
+        push(&self.data, RaceKind::Data);
+        push(&self.commutative, RaceKind::Commutative);
+        push(&self.non_ordering, RaceKind::NonOrdering);
+        push(&self.quantum, RaceKind::Quantum);
+        push(&self.speculative, RaceKind::Speculative);
+        push(&self.one_sided, RaceKind::OneSided);
+        out.sort();
+        out
+    }
+}
+
+/// Herd's `at-least-one` filter: keep pairs with at least one side in
+/// `set`.
+fn at_least_one(rel: &Relation, set: &[bool]) -> Relation {
+    rel.filter(|a, b| set[a] || set[b])
+}
+
+/// Run the programmer-centric model of Listing 7 on one SC execution.
+pub fn analyze(e: &Execution) -> RaceAnalysis {
+    let n = e.len();
+    let pos: Vec<usize> = {
+        let mut p = vec![0; n];
+        for (i, &ev) in e.order.iter().enumerate() {
+            p[ev] = i;
+        }
+        p
+    };
+
+    // Event class sets.
+    let is = |c: OpClass| e.class_set(|ev| ev.class == c);
+    let data_set = is(OpClass::Data);
+    let comm_set = is(OpClass::Commutative);
+    let no_set = is(OpClass::NonOrdering);
+    let quantum_set = is(OpClass::Quantum);
+    let spec_set = is(OpClass::Speculative);
+    let pu_set =
+        e.class_set(|ev| matches!(ev.class, OpClass::Paired | OpClass::Unpaired));
+    let writes = e.class_set(|ev| ev.access.writes());
+
+    // so1: conflicting release-side write before acquire-side read in
+    // T (paired atomics are both sides; acquire/release are the paper's
+    // §7 one-sided extension).
+    let mut so1 = Relation::empty(n);
+    for x in 0..n {
+        for y in 0..n {
+            if x != y
+                && e.events[x].class.is_release_side()
+                && e.events[y].class.is_acquire_side()
+                && e.events[x].access.writes()
+                && e.events[y].access.reads()
+                && e.events[x].loc == e.events[y].loc
+                && pos[x] < pos[y]
+            {
+                so1.insert(x, y);
+            }
+        }
+    }
+    let hb1 = e.po.union(&so1).transitive_closure();
+
+    // conflict & ext & unordered ⇒ race.
+    let conflict = Relation::full(n).filter(|a, b| {
+        a != b && e.events[a].loc == e.events[b].loc && (writes[a] || writes[b])
+    });
+    let hb_sym = hb1.union(&hb1.inverse());
+    let race = conflict
+        .filter(|a, b| e.events[a].tid != e.events[b].tid)
+        .minus(&hb_sym);
+
+    // Data race.
+    let data = at_least_one(&race, &data_set);
+
+    // Commutative race: not pairwise commutative, or a loaded value is
+    // observed by another instruction in its thread.
+    let comm_candidates = at_least_one(&race, &comm_set);
+    let commutative = comm_candidates.filter(|a, b| {
+        let (ea, eb) = (&e.events[a], &e.events[b]);
+        let pairwise = match (ea.write_fn, eb.write_fn) {
+            (Some(fa), Some(fb)) => fa.commutes_with(fb),
+            // A conflicting pair with a pure load is never commutative.
+            _ => false,
+        };
+        let observed = (ea.access.reads() && e.value_observed(a))
+            || (eb.access.reads() && e.value_observed(b));
+        !pairwise || observed
+    });
+
+    // Non-ordering race (Listing 7): among races not already data or
+    // commutative, endpoints of an ordering path that visits a
+    // non-ordering atomic, with no valid alternate path.
+    let opath_alo_no = path_relation(e, EdgeSet::All, Some(&no_set)).intersect(&conflict);
+    let valid1 = path_relation(e, EdgeSet::SameLoc, None).intersect(&conflict);
+    let valid2 = path_relation(e, EdgeSet::PairedUnpaired(&pu_set), None).intersect(&conflict);
+    let non_ordering = race
+        .minus(&data)
+        .minus(&commutative)
+        .intersect(&opath_alo_no)
+        .minus(&valid1)
+        .minus(&valid2);
+
+    // Quantum race: quantum racing with non-quantum.
+    let quantum = at_least_one(&race, &quantum_set)
+        .filter(|a, b| !(quantum_set[a] && quantum_set[b]));
+
+    // Speculative race: both write, or the load's value is observed.
+    let spec_candidates = at_least_one(&race, &spec_set);
+    let speculative = spec_candidates.filter(|a, b| {
+        let both_write = writes[a] && writes[b];
+        let observed = (e.events[a].access.reads() && e.value_observed(a))
+            || (e.events[b].access.reads() && e.value_observed(b));
+        both_write || observed
+    });
+
+    // One-sided race (§7 extension): like the non-ordering race, but
+    // the unabsolved path runs through acquire/release atomics. The
+    // synchronizing direction (release-write → acquire-read) is already
+    // folded into hb1 via so1, so any pair still racing here relies on
+    // a one-sided fence for an ordering it does not provide.
+    let os_set = e.class_set(|ev| matches!(ev.class, OpClass::Acquire | OpClass::Release));
+    let one_sided = if os_set.iter().any(|&b| b) {
+        let opath_alo_os = path_relation(e, EdgeSet::All, Some(&os_set)).intersect(&conflict);
+        race.minus(&data)
+            .minus(&commutative)
+            .minus(&non_ordering)
+            .intersect(&opath_alo_os)
+            .minus(&valid1)
+            .minus(&valid2)
+    } else {
+        Relation::empty(n)
+    };
+
+    RaceAnalysis {
+        so1,
+        hb1,
+        race,
+        data,
+        commutative,
+        non_ordering,
+        quantum,
+        speculative,
+        one_sided,
+    }
+}
+
+/// Which program/conflict-graph edges a path search may use.
+enum EdgeSet<'a> {
+    /// All of po, co, rf, fr (the `pco` relation).
+    All,
+    /// Only edges whose endpoints access the same location
+    /// (Listing 7's `valid-pco1`).
+    SameLoc,
+    /// Only edges between paired/unpaired accesses (`valid-pco2`).
+    PairedUnpaired(&'a [bool]),
+}
+
+/// Pairs `(a, b)` connected by a path whose edges are drawn from
+/// `po | co | rf | fr` (restricted per `edges`), containing at least one
+/// program-order edge (an *ordering path*), and — if `required` is given
+/// — visiting at least one event in `required` (endpoints included).
+///
+/// Exact product-automaton reachability: state =
+/// ⟨event, seen po edge, seen required event⟩.
+fn path_relation(e: &Execution, edges: EdgeSet<'_>, required: Option<&[bool]>) -> Relation {
+    let n = e.len();
+    let com = [&e.co, &e.rf, &e.fr];
+    let edge_ok = |a: usize, b: usize| -> bool {
+        match &edges {
+            EdgeSet::All => true,
+            EdgeSet::SameLoc => e.events[a].loc == e.events[b].loc,
+            EdgeSet::PairedUnpaired(pu) => pu[a] && pu[b],
+        }
+    };
+    let req = |x: usize| required.map_or(true, |r| r[x]);
+    let mut out = Relation::empty(n);
+    for start in 0..n {
+        // visited[node][seen_po][seen_req]
+        let mut visited = vec![[[false; 2]; 2]; n];
+        let mut stack = vec![(start, false, req(start))];
+        visited[start][0][req(start) as usize] = true;
+        while let Some((cur, seen_po, seen_req)) = stack.pop() {
+            let mut step = |next: usize, is_po: bool| {
+                let sp = seen_po || is_po;
+                let sr = seen_req || req(next);
+                if !visited[next][sp as usize][sr as usize] {
+                    visited[next][sp as usize][sr as usize] = true;
+                    if sp && sr && next != start {
+                        out.insert(start, next);
+                    }
+                    stack.push((next, sp, sr));
+                }
+            };
+            for next in 0..n {
+                if e.po.contains(cur, next) && edge_ok(cur, next) {
+                    step(next, true);
+                }
+                for rel in com {
+                    if rel.contains(cur, next) && edge_ok(cur, next) {
+                        step(next, false);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{enumerate_sc, EnumLimits};
+    use crate::program::{Program, RmwOp};
+
+    fn all_races(p: Program) -> Vec<Race> {
+        let execs = enumerate_sc(&p, &EnumLimits::default()).unwrap();
+        let mut out = Vec::new();
+        for e in &execs {
+            for r in analyze(e).races() {
+                if !out.contains(&r) {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    fn has_kind(races: &[Race], kind: RaceKind) -> bool {
+        races.iter().any(|r| r.kind == kind)
+    }
+
+    #[test]
+    fn unsynchronized_data_accesses_race() {
+        let mut p = Program::new("racy");
+        p.thread().store(OpClass::Data, "x", 1);
+        {
+            let mut t = p.thread();
+            t.load(OpClass::Data, "x");
+        }
+        let races = all_races(p.build());
+        assert!(has_kind(&races, RaceKind::Data));
+    }
+
+    #[test]
+    fn same_thread_accesses_never_race() {
+        let mut p = Program::new("seq");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Data, "x", 1);
+            t.load(OpClass::Data, "x");
+        }
+        p.thread().store(OpClass::Data, "y", 1);
+        assert!(all_races(p.build()).is_empty());
+    }
+
+    #[test]
+    fn message_passing_with_paired_flag_is_race_free() {
+        // MP: the classic DRF0 idiom.
+        let mut p = Program::new("mp");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Data, "x", 42);
+            t.store(OpClass::Paired, "flag", 1);
+        }
+        {
+            let mut t = p.thread();
+            let f = t.load(OpClass::Paired, "flag");
+            t.branch_on(f);
+            let d = t.load(OpClass::Data, "x");
+            t.observe(d);
+        }
+        // NOTE: without real control flow the data load always executes,
+        // so the execution where flag==0 still loads x — under DRF0 that
+        // IS a data race (the unsynchronized path). The race-free idiom
+        // needs conditional execution; litmus practice checks the
+        // synchronized path. Here both accesses to x race in executions
+        // where the flag read is not so1-ordered after the flag write.
+        let races = all_races(p.build());
+        assert!(has_kind(&races, RaceKind::Data));
+    }
+
+    #[test]
+    fn paired_atomics_synchronize_mp_when_flag_observed() {
+        // Restrict to the post-synchronization path by initializing the
+        // flag write before the data read via a single interleaving
+        // check: with paired flag, executions where the read sees 1 have
+        // hb1 between the data accesses.
+        let mut p = Program::new("mp_hb");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Data, "x", 42);
+            t.store(OpClass::Paired, "flag", 1);
+        }
+        {
+            let mut t = p.thread();
+            let _f = t.load(OpClass::Paired, "flag");
+            let d = t.load(OpClass::Data, "x");
+            t.observe(d);
+        }
+        let execs = enumerate_sc(&p.build(), &EnumLimits::default()).unwrap();
+        for e in &execs {
+            let flag_read = e.events.iter().find(|ev| ev.tid == 1 && ev.iid == 0).unwrap();
+            if flag_read.rval == Some(1) {
+                let a = analyze(e);
+                assert!(a.is_race_free(), "synchronized path must be race-free");
+                // And the data accesses are hb1-ordered.
+                let wx = e.events.iter().find(|ev| ev.tid == 0 && ev.iid == 0).unwrap();
+                let rx = e.events.iter().find(|ev| ev.tid == 1 && ev.iid == 1).unwrap();
+                assert!(a.hb1.contains(wx.id, rx.id));
+            }
+        }
+    }
+
+    #[test]
+    fn racing_paired_atomics_are_legal() {
+        let mut p = Program::new("pp");
+        p.thread().store(OpClass::Paired, "x", 1);
+        p.thread().store(OpClass::Paired, "x", 2);
+        assert!(all_races(p.build()).is_empty());
+    }
+
+    #[test]
+    fn commutative_increments_are_race_free() {
+        let mut p = Program::new("inc");
+        p.thread().rmw(OpClass::Commutative, "c", RmwOp::FetchAdd, 1);
+        p.thread().rmw(OpClass::Commutative, "c", RmwOp::FetchAdd, 2);
+        assert!(all_races(p.build()).is_empty());
+    }
+
+    #[test]
+    fn observed_commutative_increment_races() {
+        let mut p = Program::new("inc_obs");
+        {
+            let mut t = p.thread();
+            let old = t.rmw(OpClass::Commutative, "c", RmwOp::FetchAdd, 1);
+            t.observe(old);
+        }
+        p.thread().rmw(OpClass::Commutative, "c", RmwOp::FetchAdd, 2);
+        let races = all_races(p.build());
+        assert!(has_kind(&races, RaceKind::Commutative));
+    }
+
+    #[test]
+    fn non_commuting_commutative_ops_race() {
+        // exchange does not commute with fetch_add.
+        let mut p = Program::new("mix");
+        p.thread().rmw(OpClass::Commutative, "c", RmwOp::Exchange, 5);
+        p.thread().rmw(OpClass::Commutative, "c", RmwOp::FetchAdd, 1);
+        let races = all_races(p.build());
+        assert!(has_kind(&races, RaceKind::Commutative));
+    }
+
+    #[test]
+    fn same_value_commutative_stores_do_not_race() {
+        let mut p = Program::new("same");
+        p.thread().store(OpClass::Commutative, "dirty", 1);
+        p.thread().store(OpClass::Commutative, "dirty", 1);
+        assert!(all_races(p.build()).is_empty());
+    }
+
+    #[test]
+    fn different_value_commutative_stores_race() {
+        let mut p = Program::new("diff");
+        p.thread().store(OpClass::Commutative, "dirty", 1);
+        p.thread().store(OpClass::Commutative, "dirty", 2);
+        let races = all_races(p.build());
+        assert!(has_kind(&races, RaceKind::Commutative));
+    }
+
+    #[test]
+    fn quantum_racing_with_quantum_is_legal() {
+        let mut p = Program::new("qq");
+        p.thread().rmw(OpClass::Quantum, "c", RmwOp::FetchAdd, 1);
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Quantum, "c");
+            t.observe(r);
+        }
+        assert!(all_races(p.build()).is_empty());
+    }
+
+    #[test]
+    fn quantum_racing_with_paired_is_illegal() {
+        let mut p = Program::new("qp");
+        p.thread().rmw(OpClass::Quantum, "c", RmwOp::FetchAdd, 1);
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Paired, "c");
+            t.observe(r);
+        }
+        let races = all_races(p.build());
+        assert!(has_kind(&races, RaceKind::Quantum));
+    }
+
+    #[test]
+    fn speculative_discarded_load_is_legal() {
+        let mut p = Program::new("spec_ok");
+        p.thread().store(OpClass::Speculative, "d", 7);
+        {
+            let mut t = p.thread();
+            let _r = t.load(OpClass::Speculative, "d"); // value discarded
+        }
+        assert!(all_races(p.build()).is_empty());
+    }
+
+    #[test]
+    fn speculative_observed_load_races() {
+        let mut p = Program::new("spec_bad");
+        p.thread().store(OpClass::Speculative, "d", 7);
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Speculative, "d");
+            t.observe(r);
+        }
+        let races = all_races(p.build());
+        assert!(has_kind(&races, RaceKind::Speculative));
+    }
+
+    #[test]
+    fn speculative_write_write_races() {
+        let mut p = Program::new("spec_ww");
+        p.thread().store(OpClass::Speculative, "d", 1);
+        p.thread().store(OpClass::Speculative, "d", 2);
+        let races = all_races(p.build());
+        assert!(has_kind(&races, RaceKind::Speculative));
+    }
+
+    /// Figure 2(a): ordering path through non-ordering atomics with no
+    /// valid alternative ⇒ non-ordering race between the unpaired X
+    /// accesses.
+    #[test]
+    fn figure2a_non_ordering_race() {
+        let mut p = Program::new("fig2a");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Unpaired, "x", 3);
+            t.store(OpClass::NonOrdering, "y", 2);
+        }
+        {
+            let mut t = p.thread();
+            let r1 = t.load(OpClass::NonOrdering, "y");
+            t.branch_on(r1);
+            let r2 = t.load(OpClass::Unpaired, "x");
+            t.observe(r2);
+        }
+        let races = all_races(p.build());
+        assert!(has_kind(&races, RaceKind::NonOrdering), "races: {races:?}");
+        assert!(!has_kind(&races, RaceKind::Data));
+    }
+
+    /// Figure 2(b): adding a paired path between the X accesses absolves
+    /// the non-ordering atomics.
+    #[test]
+    fn figure2b_valid_path_absolves() {
+        let mut p = Program::new("fig2b");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Unpaired, "x", 3);
+            t.store(OpClass::NonOrdering, "y", 2);
+            t.store(OpClass::Paired, "z", 1);
+        }
+        {
+            let mut t = p.thread();
+            let r0 = t.load(OpClass::Paired, "z");
+            t.branch_on(r0);
+            let r1 = t.load(OpClass::NonOrdering, "y");
+            t.branch_on(r1);
+            let r2 = t.load(OpClass::Unpaired, "x");
+            t.observe(r2);
+        }
+        let execs = enumerate_sc(&p.build(), &EnumLimits::default()).unwrap();
+        // In executions where the paired z chain orders the threads
+        // (r0 reads 1), there must be no non-ordering race.
+        let mut saw_synced = false;
+        for e in &execs {
+            let z_read = e.events.iter().find(|ev| ev.tid == 1 && ev.iid == 0).unwrap();
+            if z_read.rval == Some(1) {
+                saw_synced = true;
+                let a = analyze(e);
+                assert!(
+                    a.non_ordering.is_empty(),
+                    "valid paired path must absolve the NO atomics"
+                );
+            }
+        }
+        assert!(saw_synced);
+    }
+
+    #[test]
+    fn so1_matches_herd_formulation() {
+        // so1 computed from T must equal (rf|fr|co)+ ∩ (PairedW×PairedR).
+        let mut p = Program::new("so1eq");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Paired, "x", 1);
+            t.load(OpClass::Paired, "y");
+        }
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Paired, "y", 1);
+            t.load(OpClass::Paired, "x");
+        }
+        let execs = enumerate_sc(&p.build(), &EnumLimits::default()).unwrap();
+        for e in &execs {
+            let a = analyze(e);
+            let n = e.len();
+            let pw = e.class_set(|ev| ev.class == OpClass::Paired && ev.access.writes());
+            let pr = e.class_set(|ev| ev.class == OpClass::Paired && ev.access.reads());
+            let herd_so1 = e
+                .com()
+                .transitive_closure()
+                .intersect(&Relation::product(n, &pw, &pr));
+            assert_eq!(a.so1.pairs(), herd_so1.pairs());
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! A small relation-algebra toolkit.
+//!
+//! Herd models (like the paper's Listing 7) are written as expressions
+//! over binary relations on events: unions, intersections, differences,
+//! sequential composition (`;`), transitive closure (`+`), inverses, and
+//! restrictions to classes of events (`Paired * PairedR`, `at-least-one
+//! W`...). [`Relation`] provides exactly those combinators over a dense
+//! boolean matrix, which is the right representation for litmus-sized
+//! executions (tens of events).
+
+use std::fmt;
+
+/// A binary relation over event ids `0..n`.
+///
+/// ```
+/// use drfrlx_core::relation::Relation;
+///
+/// let po = Relation::from_pairs(3, [(0, 1), (1, 2)]);
+/// let hb = po.transitive_closure();
+/// assert!(hb.contains(0, 2));
+/// assert!(hb.is_acyclic());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl Relation {
+    /// The empty relation over `n` events.
+    pub fn empty(n: usize) -> Relation {
+        Relation { n, bits: vec![false; n * n] }
+    }
+
+    /// The full relation (every ordered pair, including reflexive ones).
+    pub fn full(n: usize) -> Relation {
+        Relation { n, bits: vec![true; n * n] }
+    }
+
+    /// The identity relation.
+    pub fn identity(n: usize) -> Relation {
+        let mut r = Relation::empty(n);
+        for i in 0..n {
+            r.insert(i, i);
+        }
+        r
+    }
+
+    /// Build from an explicit pair list.
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Relation {
+        let mut r = Relation::empty(n);
+        for (a, b) in pairs {
+            r.insert(a, b);
+        }
+        r
+    }
+
+    /// The product `A × B` of two event sets, as a relation.
+    pub fn product(n: usize, a: &[bool], b: &[bool]) -> Relation {
+        debug_assert_eq!(a.len(), n);
+        debug_assert_eq!(b.len(), n);
+        let mut r = Relation::empty(n);
+        for (i, &ai) in a.iter().enumerate() {
+            if !ai {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                if bj {
+                    r.insert(i, j);
+                }
+            }
+        }
+        r
+    }
+
+    /// Number of events in the carrier.
+    pub fn carrier(&self) -> usize {
+        self.n
+    }
+
+    /// Add a pair.
+    pub fn insert(&mut self, a: usize, b: usize) {
+        self.bits[a * self.n + b] = true;
+    }
+
+    /// Test membership.
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        self.bits[a * self.n + b]
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        !self.bits.iter().any(|&b| b)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterate over pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let n = self.n;
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(move |(i, _)| (i / n, i % n))
+    }
+
+    /// Collect into a pair vector (useful in tests).
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.iter().collect()
+    }
+
+    /// Union.
+    pub fn union(&self, other: &Relation) -> Relation {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Intersection (`&` in Herd).
+    pub fn intersect(&self, other: &Relation) -> Relation {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Set difference (`\` in Herd).
+    pub fn minus(&self, other: &Relation) -> Relation {
+        self.zip(other, |a, b| a & !b)
+    }
+
+    fn zip(&self, other: &Relation, f: impl Fn(bool, bool) -> bool) -> Relation {
+        assert_eq!(self.n, other.n, "relations over different carriers");
+        Relation {
+            n: self.n,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Sequential composition (`;` in Herd): `(a, c)` iff there is `b`
+    /// with `self(a, b)` and `other(b, c)`.
+    pub fn seq(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n, "relations over different carriers");
+        let n = self.n;
+        let mut out = Relation::empty(n);
+        for a in 0..n {
+            for b in 0..n {
+                if self.contains(a, b) {
+                    for c in 0..n {
+                        if other.contains(b, c) {
+                            out.insert(a, c);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse (`^-1` in Herd).
+    pub fn inverse(&self) -> Relation {
+        let mut out = Relation::empty(self.n);
+        for (a, b) in self.iter() {
+            out.insert(b, a);
+        }
+        out
+    }
+
+    /// Complement (`~` in Herd).
+    pub fn complement(&self) -> Relation {
+        Relation { n: self.n, bits: self.bits.iter().map(|&b| !b).collect() }
+    }
+
+    /// Irreflexive transitive closure (`+` in Herd), via Floyd–Warshall.
+    pub fn transitive_closure(&self) -> Relation {
+        let n = self.n;
+        let mut r = self.clone();
+        for k in 0..n {
+            for i in 0..n {
+                if r.contains(i, k) {
+                    for j in 0..n {
+                        if r.contains(k, j) {
+                            r.insert(i, j);
+                        }
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// Keep only pairs `(a, b)` where `pred(a, b)`.
+    pub fn filter(&self, pred: impl Fn(usize, usize) -> bool) -> Relation {
+        let mut out = Relation::empty(self.n);
+        for (a, b) in self.iter() {
+            if pred(a, b) {
+                out.insert(a, b);
+            }
+        }
+        out
+    }
+
+    /// Is the relation acyclic (no event reaches itself through 1+ edges)?
+    pub fn is_acyclic(&self) -> bool {
+        let c = self.transitive_closure();
+        (0..self.n).all(|i| !c.contains(i, i))
+    }
+
+    /// Remove reflexive pairs.
+    pub fn irreflexive(&self) -> Relation {
+        self.filter(|a, b| a != b)
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation{{n={}, pairs={:?}}}", self.n, self.pairs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: usize, pairs: &[(usize, usize)]) -> Relation {
+        Relation::from_pairs(n, pairs.iter().copied())
+    }
+
+    #[test]
+    fn union_intersect_minus() {
+        let a = r(3, &[(0, 1), (1, 2)]);
+        let b = r(3, &[(1, 2), (2, 0)]);
+        assert_eq!(a.union(&b).pairs(), vec![(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(a.intersect(&b).pairs(), vec![(1, 2)]);
+        assert_eq!(a.minus(&b).pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn composition() {
+        let a = r(4, &[(0, 1), (2, 3)]);
+        let b = r(4, &[(1, 2), (3, 0)]);
+        assert_eq!(a.seq(&b).pairs(), vec![(0, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn closure_is_transitive_and_minimal_superset() {
+        let a = r(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = a.transitive_closure();
+        for (x, y) in c.pairs() {
+            for (y2, z) in c.pairs() {
+                if y == y2 {
+                    assert!(c.contains(x, z), "closure not transitive at ({x},{y},{z})");
+                }
+            }
+        }
+        assert!(c.contains(0, 3));
+        assert!(!c.contains(3, 0));
+        assert!(!c.contains(0, 0));
+    }
+
+    #[test]
+    fn acyclicity() {
+        assert!(r(3, &[(0, 1), (1, 2)]).is_acyclic());
+        assert!(!r(3, &[(0, 1), (1, 2), (2, 0)]).is_acyclic());
+        // Self-loop is a cycle.
+        assert!(!r(2, &[(0, 0)]).is_acyclic());
+    }
+
+    #[test]
+    fn inverse_and_complement() {
+        let a = r(2, &[(0, 1)]);
+        assert_eq!(a.inverse().pairs(), vec![(1, 0)]);
+        let comp = a.complement();
+        assert!(comp.contains(1, 0) && comp.contains(0, 0) && !comp.contains(0, 1));
+    }
+
+    #[test]
+    fn product_of_sets() {
+        let writes = vec![true, false, true];
+        let reads = vec![false, true, false];
+        let p = Relation::product(3, &writes, &reads);
+        assert_eq!(p.pairs(), vec![(0, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn identity_and_irreflexive() {
+        let id = Relation::identity(3);
+        assert_eq!(id.len(), 3);
+        assert!(id.irreflexive().is_empty());
+    }
+
+    #[test]
+    fn demorgan_like_laws() {
+        // (A ∪ B) \ B ⊆ A ; (A ∩ B) ⊆ A ; closure idempotent.
+        let a = r(4, &[(0, 1), (1, 3), (3, 2)]);
+        let b = r(4, &[(1, 3), (2, 2)]);
+        for (x, y) in a.union(&b).minus(&b).pairs() {
+            assert!(a.contains(x, y));
+        }
+        for (x, y) in a.intersect(&b).pairs() {
+            assert!(a.contains(x, y) && b.contains(x, y));
+        }
+        let c = a.transitive_closure();
+        assert_eq!(c.transitive_closure(), c);
+    }
+}

@@ -1,0 +1,198 @@
+//! # hsim-energy — event-based energy accounting
+//!
+//! Substitute for GPUWattch (GPU CUs) + McPAT (NoC) used by the paper
+//! (§4.2). The paper's energy *trends* come from event counts — extra
+//! cache invalidations cause refetches (more L2 + network energy),
+//! ownership requests move lines between L1s, overlapped atomics add
+//! memory-system traffic — so we charge a fixed energy per event and
+//! report the same five-way breakdown as Figures 3(b)/4(b):
+//! GPU core+, scratchpad, L1, L2, and network (DRAM folded into L2 as
+//! the paper's "L2" stack includes LLC-side traffic).
+//!
+//! Per-event energies are ballpark 28 nm numbers (pJ); absolute joules
+//! are not meaningful, ratios are.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Per-event energy costs in picojoules.
+#[derive(Debug, Clone)]
+pub struct EnergyParams {
+    /// One executed instruction in the CU pipeline (incl. fetch/RF).
+    pub core_op_pj: f64,
+    /// One scratchpad access.
+    pub scratch_pj: f64,
+    /// One L1 access (hit or fill).
+    pub l1_pj: f64,
+    /// One L1 tag-only operation (invalidation sweep per line).
+    pub l1_tag_pj: f64,
+    /// One L2 bank access.
+    pub l2_pj: f64,
+    /// One DRAM access (charged to the L2/memory stack).
+    pub dram_pj: f64,
+    /// One flit traversing one link.
+    pub flit_hop_pj: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            core_op_pj: 12.0,
+            scratch_pj: 4.0,
+            l1_pj: 10.0,
+            l1_tag_pj: 1.5,
+            l2_pj: 28.0,
+            dram_pj: 180.0,
+            flit_hop_pj: 6.0,
+        }
+    }
+}
+
+/// Raw event counts, accumulated by the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyCounters {
+    /// Instructions executed on CUs.
+    pub core_ops: u64,
+    /// Scratchpad accesses.
+    pub scratch_accesses: u64,
+    /// L1 data accesses.
+    pub l1_accesses: u64,
+    /// L1 lines swept by invalidations.
+    pub l1_tag_ops: u64,
+    /// L2 bank accesses (including atomics performed at L2).
+    pub l2_accesses: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+    /// NoC flit-hops.
+    pub noc_flit_hops: u64,
+}
+
+impl Add for EnergyCounters {
+    type Output = EnergyCounters;
+    fn add(self, o: EnergyCounters) -> EnergyCounters {
+        EnergyCounters {
+            core_ops: self.core_ops + o.core_ops,
+            scratch_accesses: self.scratch_accesses + o.scratch_accesses,
+            l1_accesses: self.l1_accesses + o.l1_accesses,
+            l1_tag_ops: self.l1_tag_ops + o.l1_tag_ops,
+            l2_accesses: self.l2_accesses + o.l2_accesses,
+            dram_accesses: self.dram_accesses + o.dram_accesses,
+            noc_flit_hops: self.noc_flit_hops + o.noc_flit_hops,
+        }
+    }
+}
+
+impl AddAssign for EnergyCounters {
+    fn add_assign(&mut self, o: EnergyCounters) {
+        *self = *self + o;
+    }
+}
+
+/// The Figure 3(b)/4(b) component breakdown, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// "GPU core+": pipeline, register file, fetch.
+    pub core: f64,
+    /// Scratchpad.
+    pub scratch: f64,
+    /// L1 caches.
+    pub l1: f64,
+    /// L2 banks + memory-side traffic.
+    pub l2: f64,
+    /// Network.
+    pub network: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.core + self.scratch + self.l1 + self.l2 + self.network
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "core={:.1}nJ scratch={:.1}nJ l1={:.1}nJ l2={:.1}nJ net={:.1}nJ (total {:.1}nJ)",
+            self.core, self.scratch, self.l1, self.l2, self.network,
+            self.total()
+        )
+    }
+}
+
+/// Convert counters to a breakdown under the given per-event costs.
+///
+/// ```
+/// use hsim_energy::{breakdown, EnergyCounters, EnergyParams};
+///
+/// let counters = EnergyCounters { l2_accesses: 1000, ..Default::default() };
+/// let b = breakdown(&EnergyParams::default(), &counters);
+/// assert!(b.l2 > 0.0 && b.network == 0.0);
+/// assert_eq!(b.total(), b.l2);
+/// ```
+pub fn breakdown(params: &EnergyParams, c: &EnergyCounters) -> EnergyBreakdown {
+    let pj = |n: u64, cost: f64| (n as f64) * cost / 1000.0;
+    EnergyBreakdown {
+        core: pj(c.core_ops, params.core_op_pj),
+        scratch: pj(c.scratch_accesses, params.scratch_pj),
+        l1: pj(c.l1_accesses, params.l1_pj) + pj(c.l1_tag_ops, params.l1_tag_pj),
+        l2: pj(c.l2_accesses, params.l2_pj) + pj(c.dram_accesses, params.dram_pj),
+        network: pj(c.noc_flit_hops, params.flit_hop_pj),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_is_linear_in_counts() {
+        let p = EnergyParams::default();
+        let c1 = EnergyCounters { l2_accesses: 10, ..Default::default() };
+        let c2 = EnergyCounters { l2_accesses: 20, ..Default::default() };
+        let b1 = breakdown(&p, &c1);
+        let b2 = breakdown(&p, &c2);
+        assert!((b2.l2 - 2.0 * b1.l2).abs() < 1e-9);
+        assert_eq!(b1.core, 0.0);
+    }
+
+    #[test]
+    fn counters_add() {
+        let a = EnergyCounters { core_ops: 5, noc_flit_hops: 3, ..Default::default() };
+        let b = EnergyCounters { core_ops: 2, l1_accesses: 1, ..Default::default() };
+        let s = a + b;
+        assert_eq!(s.core_ops, 7);
+        assert_eq!(s.noc_flit_hops, 3);
+        assert_eq!(s.l1_accesses, 1);
+    }
+
+    #[test]
+    fn dram_charged_to_l2_stack() {
+        let p = EnergyParams::default();
+        let c = EnergyCounters { dram_accesses: 1, ..Default::default() };
+        let b = breakdown(&p, &c);
+        assert!(b.l2 > 0.0);
+        assert_eq!(b.network, 0.0);
+    }
+
+    #[test]
+    fn total_sums_components() {
+        let p = EnergyParams::default();
+        let c = EnergyCounters {
+            core_ops: 1,
+            scratch_accesses: 1,
+            l1_accesses: 1,
+            l1_tag_ops: 1,
+            l2_accesses: 1,
+            dram_accesses: 1,
+            noc_flit_hops: 1,
+        };
+        let b = breakdown(&p, &c);
+        let expected = b.core + b.scratch + b.l1 + b.l2 + b.network;
+        assert!((b.total() - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! The work-item instruction representation.
+
+use crate::{Addr, Value};
+use drfrlx_core::OpClass;
+
+/// Read-modify-write operations available to work items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwKind {
+    /// `new = old + k`.
+    Add,
+    /// `new = old - k`.
+    Sub,
+    /// `new = min(old, k)`.
+    Min,
+    /// `new = max(old, k)`.
+    Max,
+    /// `new = old & k`.
+    And,
+    /// `new = old | k`.
+    Or,
+    /// `new = old ^ k`.
+    Xor,
+    /// `new = k`.
+    Exchange,
+    /// `new = if old == expected { k } else { old }`.
+    Cas {
+        /// Expected value.
+        expected: Value,
+    },
+}
+
+impl RmwKind {
+    /// Apply the operation.
+    pub fn apply(self, old: Value, k: Value) -> Value {
+        match self {
+            RmwKind::Add => old.wrapping_add(k),
+            RmwKind::Sub => old.wrapping_sub(k),
+            RmwKind::Min => old.min(k),
+            RmwKind::Max => old.max(k),
+            RmwKind::And => old & k,
+            RmwKind::Or => old | k,
+            RmwKind::Xor => old ^ k,
+            RmwKind::Exchange => k,
+            RmwKind::Cas { expected } => {
+                if old == expected {
+                    k
+                } else {
+                    old
+                }
+            }
+        }
+    }
+}
+
+/// One operation issued by a work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Busy ALU work for `0` or more cycles.
+    Think(u32),
+    /// Global load; the value arrives as `last` on the next call.
+    Load {
+        /// Word address.
+        addr: Addr,
+        /// Consistency annotation.
+        class: OpClass,
+    },
+    /// Global store.
+    Store {
+        /// Word address.
+        addr: Addr,
+        /// Value to write.
+        value: Value,
+        /// Consistency annotation.
+        class: OpClass,
+    },
+    /// Atomic read-modify-write. With `use_result: false` the old value
+    /// is discarded and — under a model that relaxes this class — the
+    /// operation may overlap with other atomics in the memory system.
+    Rmw {
+        /// Word address.
+        addr: Addr,
+        /// Modify function.
+        rmw: RmwKind,
+        /// Operand.
+        operand: Value,
+        /// Consistency annotation.
+        class: OpClass,
+        /// Does the work item consume the old value?
+        use_result: bool,
+    },
+    /// Per-block scratchpad load (value arrives as `last`).
+    ScratchLoad {
+        /// Scratchpad word index.
+        addr: Addr,
+    },
+    /// Per-block scratchpad store.
+    ScratchStore {
+        /// Scratchpad word index.
+        addr: Addr,
+        /// Value to write.
+        value: Value,
+    },
+    /// Block-level barrier (like `__syncthreads`): waits for every
+    /// work item of the block; orders scratchpad accesses; waits for
+    /// the context's own outstanding atomics.
+    Barrier,
+    /// Grid-wide barrier modelling a kernel-relaunch boundary (how
+    /// Pannotia-style benchmarks synchronize between phases): every
+    /// context flushes its store buffer (release), waits, and resumes
+    /// after an L1 self-invalidation (acquire) plus a fixed relaunch
+    /// latency. Requires every block to be resident.
+    GlobalBarrier,
+    /// The work item is finished.
+    Done,
+}
+
+/// A running work item: a deterministic state machine emitting one
+/// [`Op`] at a time. `last` carries the result of the previous
+/// operation when it produces one (loads, scratch loads, RMWs with
+/// `use_result`), else `None`.
+pub trait WorkItem {
+    /// Produce the next operation.
+    fn next(&mut self, last: Option<Value>) -> Op;
+}
+
+/// A kernel: a grid of blocks of work items plus its memory image.
+pub trait Kernel {
+    /// Kernel name (for reports).
+    fn name(&self) -> String;
+    /// Number of thread blocks.
+    fn blocks(&self) -> usize;
+    /// Work items per block.
+    fn threads_per_block(&self) -> usize;
+    /// Scratchpad words per block.
+    fn scratch_words(&self) -> usize {
+        0
+    }
+    /// Size of the global memory image in words.
+    fn memory_words(&self) -> usize;
+    /// Initialize the memory image (defaults to zeros).
+    fn init_memory(&self, _mem: &mut [Value]) {}
+    /// Create the work item for `(block, thread)`.
+    fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem>;
+    /// Check the final memory image for functional correctness.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first mismatch found.
+    fn validate(&self, _mem: &[Value]) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmw_kinds_apply() {
+        assert_eq!(RmwKind::Add.apply(3, 4), 7);
+        assert_eq!(RmwKind::Sub.apply(3, 4), u64::MAX);
+        assert_eq!(RmwKind::Min.apply(3, 4), 3);
+        assert_eq!(RmwKind::Max.apply(3, 4), 4);
+        assert_eq!(RmwKind::And.apply(6, 3), 2);
+        assert_eq!(RmwKind::Or.apply(6, 3), 7);
+        assert_eq!(RmwKind::Xor.apply(6, 3), 5);
+        assert_eq!(RmwKind::Exchange.apply(6, 3), 3);
+        assert_eq!(RmwKind::Cas { expected: 6 }.apply(6, 3), 3);
+        assert_eq!(RmwKind::Cas { expected: 5 }.apply(6, 3), 6);
+    }
+}

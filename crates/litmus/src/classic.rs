@@ -1,0 +1,381 @@
+//! Classic weak-memory litmus shapes under various labelings, plus the
+//! paper's Figure 2 executions.
+
+use drfrlx_core::program::{Program, RmwOp};
+use drfrlx_core::OpClass;
+
+/// Message passing with a paired flag and conditional data read — the
+/// canonical DRF0 idiom, race-free.
+pub fn mp_paired() -> Program {
+    mp_with_flag_class("mp_paired", OpClass::Paired)
+}
+
+/// Message passing through an *unpaired* flag: unpaired atomics do not
+/// order data (DRF1's whole point) — a data race.
+pub fn mp_unpaired() -> Program {
+    mp_with_flag_class("mp_unpaired", OpClass::Unpaired)
+}
+
+/// Message passing through a *non-ordering* flag: likewise a data race.
+pub fn mp_non_ordering() -> Program {
+    mp_with_flag_class("mp_non_ordering", OpClass::NonOrdering)
+}
+
+/// Message passing with one-sided synchronization (the §7 extension):
+/// a release store publishes, an acquire load subscribes — race-free
+/// without full SC atomics.
+pub fn mp_release_acquire() -> Program {
+    let mut p = Program::new("mp_release_acquire");
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Data, "x", 42);
+        t.store(OpClass::Release, "flag", 1);
+    }
+    {
+        let mut t = p.thread();
+        let f = t.load(OpClass::Acquire, "flag");
+        t.if_nz(f, |t| {
+            let d = t.load(OpClass::Data, "x");
+            t.observe(d);
+        });
+    }
+    p.build()
+}
+
+/// Store buffering with acquire loads and release stores: one-sided
+/// fences famously do NOT forbid the store-buffering outcome, but the
+/// data stores to the out variables race with nothing, and the x/y
+/// accesses are ordering atomics — legal raciness, non-SC results.
+pub fn sb_release_acquire() -> Program {
+    let mut p = Program::new("sb_release_acquire");
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Release, "x", 1);
+        let r = t.load(OpClass::Acquire, "y");
+        t.store(OpClass::Data, "out0", r);
+    }
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Release, "y", 1);
+        let r = t.load(OpClass::Acquire, "x");
+        t.store(OpClass::Data, "out1", r);
+    }
+    p.build()
+}
+
+fn mp_with_flag_class(name: &str, flag: OpClass) -> Program {
+    let mut p = Program::new(name);
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Data, "x", 42);
+        t.store(flag, "flag", 1);
+    }
+    {
+        let mut t = p.thread();
+        let f = t.load(flag, "flag");
+        t.if_nz(f, |t| {
+            let d = t.load(OpClass::Data, "x");
+            t.observe(d);
+        });
+    }
+    p.build()
+}
+
+/// Store buffering with the given class on all four accesses, results
+/// written to per-thread out variables so the system-centric machine's
+/// outcomes are visible in memory.
+pub fn sb(name: &str, class: OpClass) -> Program {
+    let mut p = Program::new(name);
+    {
+        let mut t = p.thread();
+        t.store(class, "x", 1);
+        let r = t.load(class, "y");
+        t.store(OpClass::Data, "out0", r);
+    }
+    {
+        let mut t = p.thread();
+        t.store(class, "y", 1);
+        let r = t.load(class, "x");
+        t.store(OpClass::Data, "out1", r);
+    }
+    p.build()
+}
+
+/// Load buffering with data dependencies, relaxed labels: the machine
+/// must not fabricate out-of-thin-air values.
+pub fn lb_non_ordering() -> Program {
+    let mut p = Program::new("lb_non_ordering");
+    {
+        let mut t = p.thread();
+        let r = t.load(OpClass::NonOrdering, "x");
+        t.store(OpClass::NonOrdering, "y", r);
+    }
+    {
+        let mut t = p.thread();
+        let r = t.load(OpClass::NonOrdering, "y");
+        t.store(OpClass::NonOrdering, "x", r);
+    }
+    p.build()
+}
+
+/// Coherence of read-read (CoRR) with non-ordering labels: the ordering
+/// path lies entirely within one location, so the same-address valid
+/// path (per-location SC) absolves the relaxed atomics.
+pub fn corr_non_ordering() -> Program {
+    let mut p = Program::new("corr_non_ordering");
+    p.thread().store(OpClass::NonOrdering, "x", 1);
+    {
+        let mut t = p.thread();
+        let r1 = t.load(OpClass::NonOrdering, "x");
+        let r2 = t.load(OpClass::NonOrdering, "x");
+        t.observe(r1);
+        t.observe(r2);
+    }
+    p.build()
+}
+
+/// Independent reads of independent writes, paired everywhere: legal
+/// (atomics may race) and SC.
+pub fn iriw_paired() -> Program {
+    iriw("iriw_paired", OpClass::Paired)
+}
+
+/// IRIW with non-ordering labels: the readers' program order edges are
+/// the unique ordering paths between the writes — a non-ordering race.
+pub fn iriw_non_ordering() -> Program {
+    iriw("iriw_non_ordering", OpClass::NonOrdering)
+}
+
+fn iriw(name: &str, class: OpClass) -> Program {
+    let mut p = Program::new(name);
+    p.thread().store(class, "x", 1);
+    p.thread().store(class, "y", 1);
+    {
+        let mut t = p.thread();
+        let r1 = t.load(class, "x");
+        let r2 = t.load(class, "y");
+        t.observe(r1);
+        t.observe(r2);
+    }
+    {
+        let mut t = p.thread();
+        let r3 = t.load(class, "y");
+        let r4 = t.load(class, "x");
+        t.observe(r3);
+        t.observe(r4);
+    }
+    p.build()
+}
+
+/// Figure 2(a): conflicting unpaired accesses whose only ordering path
+/// runs through non-ordering atomics — a non-ordering race.
+pub fn figure2a() -> Program {
+    let mut p = Program::new("figure2a");
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Unpaired, "x", 3);
+        t.store(OpClass::NonOrdering, "y", 2);
+    }
+    {
+        let mut t = p.thread();
+        let r1 = t.load(OpClass::NonOrdering, "y");
+        t.branch_on(r1);
+        let r2 = t.load(OpClass::Unpaired, "x");
+        // Make the outcome part of the memory state so the
+        // system-centric comparison can see the non-SC result
+        // (r1 == 2 with a stale r2 == 0).
+        t.store(OpClass::Data, "out_y", r1);
+        t.store(OpClass::Data, "out_x", r2);
+    }
+    p.build()
+}
+
+/// Figure 2(b): the same shape with an added paired location Z whose
+/// accesses provide a valid ordering path — no race.
+pub fn figure2b() -> Program {
+    let mut p = Program::new("figure2b");
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Unpaired, "x", 3);
+        t.store(OpClass::NonOrdering, "y", 2);
+        t.store(OpClass::Paired, "z", 1);
+    }
+    {
+        let mut t = p.thread();
+        let r0 = t.load(OpClass::Paired, "z");
+        t.if_nz(r0, |t| {
+            let r1 = t.load(OpClass::NonOrdering, "y");
+            t.branch_on(r1);
+            let r2 = t.load(OpClass::Unpaired, "x");
+            t.observe(r2);
+        });
+    }
+    p.build()
+}
+
+/// Write-to-read causality (WRC) with paired flags: T0 publishes, T1
+/// observes and republishes, T2 observes transitively — race-free.
+pub fn wrc_paired() -> Program {
+    let mut p = Program::new("wrc_paired");
+    p.thread().store(OpClass::Paired, "x", 1);
+    {
+        let mut t = p.thread();
+        let r = t.load(OpClass::Paired, "x");
+        t.if_nz(r, |t| {
+            t.store(OpClass::Paired, "y", 1);
+        });
+    }
+    {
+        let mut t = p.thread();
+        let ry = t.load(OpClass::Paired, "y");
+        let rx = t.load(OpClass::Paired, "x");
+        t.observe(ry);
+        t.observe(rx);
+    }
+    p.build()
+}
+
+/// WRC with non-ordering atomics and a real data dependency: the
+/// causality chain is exactly what non-ordering atomics must not be
+/// asked to carry — a non-ordering race, and the relaxed machine can
+/// show y observed without x.
+pub fn wrc_non_ordering() -> Program {
+    let mut p = Program::new("wrc_non_ordering");
+    p.thread().store(OpClass::NonOrdering, "x", 1);
+    {
+        let mut t = p.thread();
+        let r = t.load(OpClass::NonOrdering, "x");
+        t.store(OpClass::NonOrdering, "y", r);
+    }
+    {
+        let mut t = p.thread();
+        let ry = t.load(OpClass::NonOrdering, "y");
+        let rx = t.load(OpClass::NonOrdering, "x");
+        t.store(OpClass::Data, "out_y", ry);
+        t.store(OpClass::Data, "out_x", rx);
+    }
+    p.build()
+}
+
+/// ISA2: three-thread transitivity through two paired flags guarding a
+/// data payload — race-free, exercising hb1's transitive closure.
+pub fn isa2_paired() -> Program {
+    let mut p = Program::new("isa2_paired");
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Data, "x", 7);
+        t.store(OpClass::Paired, "f1", 1);
+    }
+    {
+        let mut t = p.thread();
+        let r = t.load(OpClass::Paired, "f1");
+        t.if_nz(r, |t| {
+            t.store(OpClass::Paired, "f2", 1);
+        });
+    }
+    {
+        let mut t = p.thread();
+        let r = t.load(OpClass::Paired, "f2");
+        t.if_nz(r, |t| {
+            let d = t.load(OpClass::Data, "x");
+            t.observe(d);
+        });
+    }
+    p.build()
+}
+
+/// 2+2W with non-ordering stores: opposite-order write pairs. The final
+/// state (x, y) = (1, 1) is unreachable under SC but reachable once the
+/// stores reorder — a non-ordering race.
+pub fn two_plus_two_w_non_ordering() -> Program {
+    let mut p = Program::new("two_plus_two_w_non_ordering");
+    {
+        let mut t = p.thread();
+        t.store(OpClass::NonOrdering, "x", 1);
+        t.store(OpClass::NonOrdering, "y", 2);
+    }
+    {
+        let mut t = p.thread();
+        t.store(OpClass::NonOrdering, "y", 1);
+        t.store(OpClass::NonOrdering, "x", 2);
+    }
+    p.build()
+}
+
+/// IRIW with release stores and acquire loads. On real hardware this
+/// admits the reader-disagreement outcome; our relaxed machine is
+/// multi-copy atomic (one shared memory), so it cannot exhibit it —
+/// a documented modelling boundary, like Herd's SC-execution base.
+pub fn iriw_release_acquire() -> Program {
+    let mut p = Program::new("iriw_release_acquire");
+    p.thread().store(OpClass::Release, "x", 1);
+    p.thread().store(OpClass::Release, "y", 1);
+    {
+        let mut t = p.thread();
+        let r1 = t.load(OpClass::Acquire, "x");
+        let r2 = t.load(OpClass::Acquire, "y");
+        t.store(OpClass::Data, "out20", r1);
+        t.store(OpClass::Data, "out21", r2);
+    }
+    {
+        let mut t = p.thread();
+        let r3 = t.load(OpClass::Acquire, "y");
+        let r4 = t.load(OpClass::Acquire, "x");
+        t.store(OpClass::Data, "out30", r3);
+        t.store(OpClass::Data, "out31", r4);
+    }
+    p.build()
+}
+
+/// Unpaired RMWs contending on a lock-free stack top counter — legal
+/// raciness between atomics (no data involvement).
+pub fn unpaired_contention() -> Program {
+    let mut p = Program::new("unpaired_contention");
+    p.thread().rmw(OpClass::Unpaired, "top", RmwOp::FetchAdd, 1);
+    p.thread().rmw(OpClass::Unpaired, "top", RmwOp::FetchSub, 1);
+    p.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::{check_program, MemoryModel, RaceKind};
+
+    #[test]
+    fn mp_verdicts_depend_on_flag_class() {
+        assert!(check_program(&mp_paired(), MemoryModel::Drfrlx).is_race_free());
+        let r = check_program(&mp_unpaired(), MemoryModel::Drfrlx);
+        assert!(r.has_race_kind(RaceKind::Data));
+        let r = check_program(&mp_non_ordering(), MemoryModel::Drfrlx);
+        assert!(r.has_race_kind(RaceKind::Data));
+        // Viewed through DRF0 eyes (flag treated as an SC atomic), the
+        // unpaired variant would be fine — which is why DRF1 needed the
+        // paired/unpaired distinction in the first place.
+        assert!(check_program(&mp_unpaired(), MemoryModel::Drf0).is_race_free());
+    }
+
+    #[test]
+    fn corr_is_absolved_by_per_location_sc() {
+        let r = check_program(&corr_non_ordering(), MemoryModel::Drfrlx);
+        assert!(r.is_race_free(), "found {:?}", r.race_kinds());
+    }
+
+    #[test]
+    fn iriw_needs_ordering_atomics() {
+        assert!(check_program(&iriw_paired(), MemoryModel::Drfrlx).is_race_free());
+        let r = check_program(&iriw_non_ordering(), MemoryModel::Drfrlx);
+        assert!(
+            r.has_race_kind(RaceKind::NonOrdering),
+            "found {:?}",
+            r.race_kinds()
+        );
+    }
+
+    #[test]
+    fn figure2_matches_the_paper() {
+        let r = check_program(&figure2a(), MemoryModel::Drfrlx);
+        assert!(r.has_race_kind(RaceKind::NonOrdering));
+        let r = check_program(&figure2b(), MemoryModel::Drfrlx);
+        assert!(r.is_race_free(), "found {:?}", r.race_kinds());
+    }
+}

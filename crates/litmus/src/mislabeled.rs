@@ -1,0 +1,263 @@
+//! Deliberately mislabeled variants of the Table 1 use cases. Each must
+//! be flagged by the DRFrlx programmer-centric model with a specific
+//! race kind — this is the paper's negative validation (§3.8).
+
+use drfrlx_core::program::{BinOp, Expr, Program, RmwOp};
+use drfrlx_core::OpClass;
+
+/// Work Queue where the service thread touches the task data after only
+/// the *unpaired* poll (skipping the paired re-check, the scenario of
+/// the paper's footnote 4 without quantum protection): the task
+/// accesses form a data race.
+pub fn work_queue_no_recheck() -> Program {
+    let mut p = Program::new("work_queue_no_recheck");
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Data, "task", 42);
+        t.store(OpClass::Paired, "occupancy", 1);
+    }
+    {
+        let mut t = p.thread();
+        let occ = t.load(OpClass::Unpaired, "occupancy");
+        t.if_nz(occ, |t| {
+            let task = t.load(OpClass::Data, "task");
+            t.observe(task);
+        });
+    }
+    p.build()
+}
+
+/// Event Counter where the counters are left as plain data: a textbook
+/// data race.
+pub fn event_counter_data() -> Program {
+    let mut p = Program::new("event_counter_data");
+    p.thread().rmw(OpClass::Data, "bin", RmwOp::FetchAdd, 1);
+    p.thread().rmw(OpClass::Data, "bin", RmwOp::FetchAdd, 2);
+    p.build()
+}
+
+/// Event Counter where a worker *observes* the fetch-add's return value
+/// — the commutative contract forbids using the loaded value.
+pub fn event_counter_observed() -> Program {
+    let mut p = Program::new("event_counter_observed");
+    {
+        let mut t = p.thread();
+        let old = t.rmw(OpClass::Commutative, "bin", RmwOp::FetchAdd, 1);
+        t.observe(old);
+    }
+    p.thread().rmw(OpClass::Commutative, "bin", RmwOp::FetchAdd, 2);
+    p.build()
+}
+
+/// Event Counter mixing exchange with fetch-add under commutative
+/// labels: the operations do not commute.
+pub fn event_counter_noncommuting() -> Program {
+    let mut p = Program::new("event_counter_noncommuting");
+    p.thread().rmw(OpClass::Commutative, "bin", RmwOp::Exchange, 7);
+    p.thread().rmw(OpClass::Commutative, "bin", RmwOp::FetchAdd, 2);
+    p.build()
+}
+
+/// Flags where two workers raise `dirty` with *different* values:
+/// same-location commutative stores of different values do not commute.
+pub fn flags_conflicting_dirty() -> Program {
+    let mut p = Program::new("flags_conflicting_dirty");
+    p.thread().store(OpClass::Commutative, "dirty", 1);
+    p.thread().store(OpClass::Commutative, "dirty", 2);
+    p.build()
+}
+
+/// Flags where `stop` is misused as the *only* ordering between data
+/// accesses: the non-ordering atomic now sits on the unique ordering
+/// path, which is exactly what non-ordering atomics must not do.
+pub fn flags_ordering_through_stop() -> Program {
+    let mut p = Program::new("flags_ordering_through_stop");
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Unpaired, "x", 3);
+        t.store(OpClass::NonOrdering, "stop", 1);
+    }
+    {
+        let mut t = p.thread();
+        let s = t.load(OpClass::NonOrdering, "stop");
+        t.branch_on(s);
+        let x = t.load(OpClass::Unpaired, "x");
+        // Expose the outcome in memory: stop == 1 with stale x == 0 is
+        // the non-SC result the relaxed machine can produce.
+        t.store(OpClass::Data, "out_stop", s);
+        t.store(OpClass::Data, "out_x", x);
+    }
+    p.build()
+}
+
+/// Split Counter where the reader uses paired loads against quantum
+/// updates: quantum atomics may only race with quantum atomics.
+pub fn split_counter_mixed() -> Program {
+    let mut p = Program::new("split_counter_mixed");
+    p.thread().rmw(OpClass::Quantum, "c0", RmwOp::FetchAdd, 1);
+    {
+        let mut t = p.thread();
+        let r0 = t.load(OpClass::Paired, "c0");
+        t.observe(r0);
+    }
+    p.build()
+}
+
+/// Reference Counter where the "last one marks" store is plain data:
+/// in the quantum-equivalent program both decrements can return 1, so
+/// the marking stores race.
+pub fn ref_counter_data_mark() -> Program {
+    let mut p = Program::new("ref_counter_data_mark");
+    for tid in 0..2 {
+        let mut t = p.thread();
+        t.rmw(OpClass::Quantum, "refcount", RmwOp::FetchAdd, 1);
+        let old = t.rmw(OpClass::Quantum, "refcount", RmwOp::FetchSub, 1);
+        let last = Expr::bin(BinOp::Eq, old.into(), 1.into());
+        t.if_nz(last, move |t| {
+            // Different values ⇒ plain stores that really conflict.
+            t.store(OpClass::Data, "marked", tid + 1);
+        });
+    }
+    p.build()
+}
+
+/// Seqlock where the reader observes the speculative values
+/// unconditionally (ignoring the sequence check): a speculative race.
+pub fn seqlock_unconditional_use() -> Program {
+    let mut p = Program::new("seqlock_unconditional_use");
+    {
+        let mut t = p.thread();
+        let old = t.cas(OpClass::Paired, "seq", 0, 1);
+        let locked = Expr::bin(BinOp::Eq, old.into(), 0.into());
+        t.if_nz(locked, |t| {
+            t.store(OpClass::Speculative, "data1", 10);
+            t.store(OpClass::Paired, "seq", 2);
+        });
+    }
+    {
+        let mut t = p.thread();
+        let _seq0 = t.load(OpClass::Paired, "seq");
+        let r1 = t.load(OpClass::Speculative, "data1");
+        t.observe(r1); // used without checking the sequence number
+    }
+    p.build()
+}
+
+/// Two seqlock writers racing on the speculative data (both forgot the
+/// lock): write-write speculative race.
+pub fn seqlock_double_writer() -> Program {
+    let mut p = Program::new("seqlock_double_writer");
+    p.thread().store(OpClass::Speculative, "data1", 10);
+    p.thread().store(OpClass::Speculative, "data1", 30);
+    p.build()
+}
+
+/// Flags where `stop` is left as plain data: the polling loads race
+/// with the main thread's store — a data race under every model.
+pub fn flags_stop_data() -> Program {
+    let mut p = Program::new("flags_stop_data");
+    {
+        let mut t = p.thread();
+        let s = t.load(OpClass::Data, "stop");
+        t.observe(s);
+        t.store(OpClass::Paired, "exited", 1);
+    }
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Data, "stop", 1);
+        let j = t.load(OpClass::Paired, "exited");
+        t.observe(j);
+    }
+    p.build()
+}
+
+/// A work queue where the producer forgets the paired publish: the
+/// consumer's data read of the slot is guarded only by the unpaired
+/// occupancy counter — a data race (the UTS bug this corpus guards
+/// against).
+pub fn work_queue_unpublished_slot() -> Program {
+    let mut p = Program::new("work_queue_unpublished_slot");
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Data, "slot", 42);
+        // Should be Paired (release); mislabeled as unpaired.
+        t.rmw(OpClass::Unpaired, "tail", RmwOp::FetchAdd, 1);
+    }
+    {
+        let mut t = p.thread();
+        let tail = t.load(OpClass::Unpaired, "tail");
+        t.if_nz(tail, |t| {
+            let v = t.load(OpClass::Data, "slot");
+            t.observe(v);
+        });
+    }
+    p.build()
+}
+
+/// Seqlock whose writer publishes with a *non-ordering* unlock: the
+/// reader's sequence check can pass without any happens-before to the
+/// payload stores, so the observed speculative loads race.
+pub fn seqlock_relaxed_unlock() -> Program {
+    let mut p = Program::new("seqlock_relaxed_unlock");
+    {
+        let mut t = p.thread();
+        let old = t.cas(OpClass::Paired, "seq", 0, 1);
+        let locked = Expr::bin(BinOp::Eq, old.into(), 0.into());
+        t.if_nz(locked, |t| {
+            t.store(OpClass::Speculative, "data1", 10);
+            // Should be Paired (release); mislabeled as non-ordering.
+            t.store(OpClass::NonOrdering, "seq", 2);
+        });
+    }
+    {
+        let mut t = p.thread();
+        let seq0 = t.load(OpClass::Paired, "seq");
+        let r1 = t.load(OpClass::Speculative, "data1");
+        let seq1 = t.rmw(OpClass::Paired, "seq", RmwOp::FetchAdd, 0);
+        let same = Expr::bin(BinOp::Eq, seq0.into(), seq1.into());
+        let even = Expr::bin(
+            BinOp::Eq,
+            Expr::bin(BinOp::And, seq0.into(), 1.into()),
+            0.into(),
+        );
+        let ok = Expr::bin(BinOp::And, same, even);
+        t.if_nz(ok, |t| {
+            t.observe(r1);
+        });
+    }
+    p.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::{check_program, MemoryModel, RaceKind};
+
+    fn expect_kind(p: Program, kind: RaceKind) {
+        let r = check_program(&p, MemoryModel::Drfrlx);
+        assert!(!r.is_race_free(), "{} must be flagged", r.program);
+        assert!(
+            r.has_race_kind(kind),
+            "{} must contain a {kind}; found {:?}",
+            r.program,
+            r.race_kinds()
+        );
+    }
+
+    #[test]
+    fn each_mislabeling_is_flagged_with_its_kind() {
+        expect_kind(work_queue_no_recheck(), RaceKind::Data);
+        expect_kind(event_counter_data(), RaceKind::Data);
+        expect_kind(event_counter_observed(), RaceKind::Commutative);
+        expect_kind(event_counter_noncommuting(), RaceKind::Commutative);
+        expect_kind(flags_conflicting_dirty(), RaceKind::Commutative);
+        expect_kind(flags_ordering_through_stop(), RaceKind::NonOrdering);
+        expect_kind(split_counter_mixed(), RaceKind::Quantum);
+        expect_kind(ref_counter_data_mark(), RaceKind::Data);
+        expect_kind(seqlock_unconditional_use(), RaceKind::Speculative);
+        expect_kind(seqlock_double_writer(), RaceKind::Speculative);
+        expect_kind(flags_stop_data(), RaceKind::Data);
+        expect_kind(work_queue_unpublished_slot(), RaceKind::Data);
+        expect_kind(seqlock_relaxed_unlock(), RaceKind::Speculative);
+    }
+}

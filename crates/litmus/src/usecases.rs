@@ -1,0 +1,239 @@
+//! The Table 1 use cases as litmus programs, each annotated the way the
+//! paper argues is correct. Every one must be race-free under DRFrlx.
+
+use drfrlx_core::program::{BinOp, Expr, Program, RmwOp};
+use drfrlx_core::OpClass;
+
+/// Work Queue (Listing 1): a client enqueues a task and raises the
+/// occupancy with a paired store; the service thread polls occupancy
+/// with an **unpaired** load and, only if non-zero, re-checks with a
+/// paired load before touching the task data. The unpaired poll never
+/// orders data — the paired dequeue does.
+pub fn work_queue() -> Program {
+    let mut p = Program::new("work_queue");
+    {
+        // Client: publish the task, then raise occupancy.
+        let mut t = p.thread();
+        t.store(OpClass::Data, "task", 42);
+        t.store(OpClass::Paired, "occupancy", 1);
+    }
+    {
+        // Service: cheap unpaired poll; paired re-check orders the data.
+        let mut t = p.thread();
+        let occ = t.load(OpClass::Unpaired, "occupancy");
+        t.if_nz(occ, |t| {
+            let occ2 = t.load(OpClass::Paired, "occupancy");
+            t.if_nz(occ2, |t| {
+                let task = t.load(OpClass::Data, "task");
+                t.observe(task);
+            });
+        });
+    }
+    p.build()
+}
+
+/// Event Counter (Listing 2): workers bump shared counters with
+/// **commutative** fetch-adds whose return values are ignored; the main
+/// thread reads the totals only after paired join flags.
+pub fn event_counter() -> Program {
+    let mut p = Program::new("event_counter");
+    {
+        let mut t = p.thread();
+        t.rmw(OpClass::Commutative, "bin", RmwOp::FetchAdd, 1);
+        t.store(OpClass::Paired, "done0", 1);
+    }
+    {
+        let mut t = p.thread();
+        t.rmw(OpClass::Commutative, "bin", RmwOp::FetchAdd, 2);
+        t.store(OpClass::Paired, "done1", 1);
+    }
+    {
+        // Main: join on both workers, then read the counter.
+        let mut t = p.thread();
+        let d0 = t.load(OpClass::Paired, "done0");
+        let d1 = t.load(OpClass::Paired, "done1");
+        let both = Expr::bin(BinOp::And, d0.into(), d1.into());
+        t.if_nz(both, |t| {
+            let total = t.load(OpClass::Data, "bin");
+            t.observe(total);
+        });
+    }
+    p.build()
+}
+
+/// Flags (Listing 3): a worker polls `stop` with a **non-ordering**
+/// load and raises `dirty` with a **commutative** store (always the
+/// same value, hence commuting); the main thread raises `stop`
+/// (non-ordering store), joins through a paired flag, and only then
+/// reads `dirty` with a non-ordering load. The global barrier — not the
+/// flags — orders everything that must be ordered.
+pub fn flags() -> Program {
+    let mut p = Program::new("flags");
+    {
+        // Worker: one unrolled poll iteration, then signal exit.
+        let mut t = p.thread();
+        let stop = t.load(OpClass::NonOrdering, "stop");
+        t.if_z(stop, |t| {
+            t.store(OpClass::Commutative, "dirty", 1);
+        });
+        t.store(OpClass::Paired, "exited", 1);
+    }
+    {
+        // Main: request stop, join, then inspect dirty.
+        let mut t = p.thread();
+        t.store(OpClass::NonOrdering, "stop", 1);
+        let joined = t.load(OpClass::Paired, "exited");
+        t.if_nz(joined, |t| {
+            let d = t.load(OpClass::NonOrdering, "dirty");
+            t.observe(d);
+        });
+    }
+    p.build()
+}
+
+/// Split Counter (Listing 4): updaters bump per-thread counters and a
+/// reader sums them, all with **quantum** atomics — the reader accepts
+/// any approximate partial sum.
+pub fn split_counter() -> Program {
+    let mut p = Program::new("split_counter");
+    p.thread().rmw(OpClass::Quantum, "c0", RmwOp::FetchAdd, 1);
+    p.thread().rmw(OpClass::Quantum, "c1", RmwOp::FetchAdd, 1);
+    {
+        let mut t = p.thread();
+        let r0 = t.load(OpClass::Quantum, "c0");
+        let r1 = t.load(OpClass::Quantum, "c1");
+        let sum = Expr::bin(BinOp::Add, r0.into(), r1.into());
+        t.observe(sum);
+    }
+    p.build()
+}
+
+/// Reference Counter (Listing 5, reduced to one counter): threads
+/// increment and decrement with **quantum** RMWs; whoever sees the
+/// count drop to zero marks the object for deletion with a commutative
+/// store (same value — the actual deletion happens after a barrier, not
+/// shown, as the paper requires).
+pub fn ref_counter() -> Program {
+    let mut p = Program::new("ref_counter");
+    for _ in 0..2 {
+        let mut t = p.thread();
+        t.rmw(OpClass::Quantum, "refcount", RmwOp::FetchAdd, 1);
+        let old = t.rmw(OpClass::Quantum, "refcount", RmwOp::FetchSub, 1);
+        // old == 1 means this decrement dropped the count to zero.
+        let last = Expr::bin(BinOp::Eq, old.into(), 1.into());
+        t.if_nz(last, |t| {
+            t.store(OpClass::Commutative, "marked", 1);
+        });
+    }
+    p.build()
+}
+
+/// Work Queue over *multiple* queues (the paper's footnote 4): with
+/// several occupancy counters, relaxed polls could violate SC — but the
+/// counters are amenable to approximation and the dequeue double-checks
+/// with paired atomics, so distinguishing the polls as **quantum**
+/// retains SC-centric semantics.
+pub fn work_queue_multi_quantum() -> Program {
+    let mut p = Program::new("work_queue_multi_quantum");
+    {
+        // Client: publish one task on queue 1.
+        let mut t = p.thread();
+        t.store(OpClass::Data, "task1", 42);
+        t.store(OpClass::Paired, "occ1", 1);
+    }
+    {
+        // Service thread: approximate polls of both queues, paired
+        // re-check before touching data.
+        let mut t = p.thread();
+        let o0 = t.load(OpClass::Quantum, "occ0");
+        let o1 = t.load(OpClass::Quantum, "occ1");
+        let any = Expr::bin(BinOp::Or, o0.into(), o1.into());
+        t.if_nz(any, |t| {
+            let real = t.load(OpClass::Paired, "occ1");
+            t.if_nz(real, |t| {
+                let v = t.load(OpClass::Data, "task1");
+                t.observe(v);
+            });
+        });
+    }
+    p.build()
+}
+
+/// Seqlocks (Listing 6): the writer bumps `seq` to odd with a paired
+/// CAS, updates the data with **speculative** stores, and publishes by
+/// setting `seq` even again; the reader brackets speculative data loads
+/// between a paired load of `seq` and the odd "read-don't-modify-write"
+/// (`fetch_add 0`), and uses the values only when the sequence numbers
+/// match and are even.
+pub fn seqlock() -> Program {
+    let mut p = Program::new("seqlock");
+    {
+        // Writer.
+        let mut t = p.thread();
+        let old = t.cas(OpClass::Paired, "seq", 0, 1);
+        let locked = Expr::bin(BinOp::Eq, old.into(), 0.into());
+        t.if_nz(locked, |t| {
+            t.store(OpClass::Speculative, "data1", 10);
+            t.store(OpClass::Speculative, "data2", 20);
+            t.store(OpClass::Paired, "seq", 2);
+        });
+    }
+    {
+        // Reader.
+        let mut t = p.thread();
+        let seq0 = t.load(OpClass::Paired, "seq");
+        let r1 = t.load(OpClass::Speculative, "data1");
+        let r2 = t.load(OpClass::Speculative, "data2");
+        // "read-don't-modify-write": fetch_add(0) gives the read release
+        // ordering (paper footnote 7 / Boehm 2012).
+        let seq1 = t.rmw(OpClass::Paired, "seq", RmwOp::FetchAdd, 0);
+        let same = Expr::bin(BinOp::Eq, seq0.into(), seq1.into());
+        let even = Expr::bin(
+            BinOp::Eq,
+            Expr::bin(BinOp::And, seq0.into(), 1.into()),
+            0.into(),
+        );
+        let ok = Expr::bin(BinOp::And, same, even);
+        t.if_nz(ok, |t| {
+            t.observe(r1);
+            t.observe(r2);
+        });
+    }
+    p.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::{check_program, MemoryModel};
+
+    #[test]
+    fn all_use_cases_are_drfrlx_race_free() {
+        for (name, p) in [
+            ("work_queue", work_queue()),
+            ("work_queue_multi_quantum", work_queue_multi_quantum()),
+            ("event_counter", event_counter()),
+            ("flags", flags()),
+            ("split_counter", split_counter()),
+            ("ref_counter", ref_counter()),
+            ("seqlock", seqlock()),
+        ] {
+            let r = check_program(&p, MemoryModel::Drfrlx);
+            assert!(
+                r.is_race_free(),
+                "{name} must be race-free under DRFrlx; found: {:?}",
+                r.races.iter().map(|f| &f.description).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn quantum_use_cases_are_transformed() {
+        let r = check_program(&split_counter(), MemoryModel::Drfrlx);
+        assert!(r.quantum_transformed);
+        let r = check_program(&ref_counter(), MemoryModel::Drfrlx);
+        assert!(r.quantum_transformed);
+        let r = check_program(&seqlock(), MemoryModel::Drfrlx);
+        assert!(!r.quantum_transformed);
+    }
+}

@@ -1,0 +1,315 @@
+//! Set-associative cache array with LRU replacement and pluggable
+//! per-line state.
+
+use crate::LineAddr;
+use std::fmt::Debug;
+
+/// Identifies a line within the array (set, way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineId {
+    /// Set index.
+    pub set: usize,
+    /// Way within the set.
+    pub way: usize,
+}
+
+/// Cache geometry.
+#[derive(Debug, Clone)]
+pub struct CacheParams {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheParams {
+    /// Geometry for a cache of `bytes` capacity with `line_bytes` lines
+    /// and the given associativity (paper Table 2: 32 KB 8-way L1s,
+    /// 4 MB 16-bank L2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn with_capacity(bytes: usize, line_bytes: usize, ways: usize) -> CacheParams {
+        let lines = bytes / line_bytes;
+        assert!(lines % ways == 0, "capacity must divide into sets");
+        CacheParams { sets: lines / ways, ways }
+    }
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Lines invalidated by flash/self-invalidation.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 { 0.0 } else { self.hits as f64 / total as f64 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way<S> {
+    tag: LineAddr,
+    state: S,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// An evicted line returned to the caller (for writebacks).
+#[derive(Debug, Clone)]
+pub struct EvictedLine<S> {
+    /// The line's address.
+    pub line: LineAddr,
+    /// Its state at eviction.
+    pub state: S,
+}
+
+/// A set-associative array storing per-line state `S`.
+///
+/// The array is purely structural: protocols decide what states mean,
+/// which lines are victims (`insert` evicts LRU) and what to do with
+/// evicted state.
+///
+/// ```
+/// use hsim_mem::{Cache, CacheParams, LineAddr};
+///
+/// let mut l1: Cache<bool> = Cache::new(CacheParams::with_capacity(32 * 1024, 64, 8));
+/// assert!(l1.lookup(LineAddr(7)).is_none());
+/// l1.insert(LineAddr(7), true);
+/// assert_eq!(l1.lookup(LineAddr(7)), Some(&mut true));
+/// assert_eq!(l1.stats().misses, 1);
+/// assert_eq!(l1.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache<S> {
+    params: CacheParams,
+    sets: Vec<Va<S>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+type Va<S> = Vec<Way<S>>;
+
+impl<S: Clone + Debug> Cache<S> {
+    /// Create an empty cache.
+    pub fn new(params: CacheParams) -> Cache<S> {
+        let sets = (0..params.sets).map(|_| Vec::new()).collect();
+        Cache { params, sets, clock: 0, stats: CacheStats::default() }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 as usize) % self.params.sets
+    }
+
+    /// Look up a line; hits bump LRU. Counted in the statistics.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut S> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(line);
+        let found = self.sets[set].iter_mut().find(|w| w.tag == line);
+        match found {
+            Some(w) => {
+                w.lru = clock;
+                self.stats.hits += 1;
+                Some(&mut w.state)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching LRU or statistics.
+    pub fn peek(&self, line: LineAddr) -> Option<&S> {
+        let set = self.set_of(line);
+        self.sets[set].iter().find(|w| w.tag == line).map(|w| &w.state)
+    }
+
+    /// Insert (or overwrite) a line, evicting LRU if the set is full.
+    /// Lines for which `pinned` returns true are never chosen as
+    /// victims (DeNovo keeps registered lines until they are downgraded;
+    /// see the coherence crate).
+    pub fn insert_with_pin(
+        &mut self,
+        line: LineAddr,
+        state: S,
+        pinned: impl Fn(&S) -> bool,
+    ) -> Option<EvictedLine<S>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == line) {
+            w.state = state;
+            w.lru = clock;
+            return None;
+        }
+        if self.sets[set].len() < self.params.ways {
+            self.sets[set].push(Way { tag: line, state, lru: clock });
+            return None;
+        }
+        // Choose LRU among unpinned ways; if all pinned, evict absolute
+        // LRU anyway (structural necessity).
+        let victim = self.sets[set]
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !pinned(&w.state))
+            .min_by_key(|(_, w)| w.lru)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                self.sets[set]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .expect("set is full")
+            });
+        self.stats.evictions += 1;
+        let old = std::mem::replace(&mut self.sets[set][victim], Way { tag: line, state, lru: clock });
+        Some(EvictedLine { line: old.tag, state: old.state })
+    }
+
+    /// Insert with no pinning.
+    pub fn insert(&mut self, line: LineAddr, state: S) -> Option<EvictedLine<S>> {
+        self.insert_with_pin(line, state, |_| false)
+    }
+
+    /// Remove a specific line, returning its state.
+    pub fn remove(&mut self, line: LineAddr) -> Option<S> {
+        let set = self.set_of(line);
+        let i = self.sets[set].iter().position(|w| w.tag == line)?;
+        Some(self.sets[set].remove(i).state)
+    }
+
+    /// Invalidate every line for which `victim` returns true (flash /
+    /// self-invalidation); returns how many were dropped.
+    pub fn invalidate_where(&mut self, victim: impl Fn(&LineAddr, &S) -> bool) -> u64 {
+        let mut n = 0;
+        for set in &mut self.sets {
+            set.retain(|w| {
+                if victim(&w.tag, &w.state) {
+                    n += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.stats.invalidations += n;
+        n
+    }
+
+    /// Iterate over all resident lines.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &S)> + '_ {
+        self.sets.iter().flatten().map(|w| (w.tag, &w.state))
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache<u8> {
+        // 2 sets x 2 ways.
+        Cache::new(CacheParams { sets: 2, ways: 2 })
+    }
+
+    #[test]
+    fn capacity_geometry() {
+        let p = CacheParams::with_capacity(32 * 1024, 64, 8);
+        assert_eq!(p.sets * p.ways * 64, 32 * 1024);
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        c.insert(LineAddr(4), 7);
+        assert_eq!(c.lookup(LineAddr(4)), Some(&mut 7));
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn miss_on_absent() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(LineAddr(4)), None);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0.
+        c.insert(LineAddr(0), 0);
+        c.insert(LineAddr(2), 2);
+        c.lookup(LineAddr(0)); // 2 is now LRU
+        let ev = c.insert(LineAddr(4), 4).expect("eviction");
+        assert_eq!(ev.line, LineAddr(2));
+        assert!(c.peek(LineAddr(0)).is_some());
+    }
+
+    #[test]
+    fn pinned_lines_survive() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 9); // pinned (state 9)
+        c.insert(LineAddr(2), 1);
+        let ev = c.insert_with_pin(LineAddr(4), 5, |s| *s == 9).expect("eviction");
+        assert_eq!(ev.line, LineAddr(2), "unpinned line must be the victim");
+        assert!(c.peek(LineAddr(0)).is_some());
+    }
+
+    #[test]
+    fn invalidate_where_is_selective() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 1);
+        c.insert(LineAddr(1), 2);
+        c.insert(LineAddr(2), 1);
+        let n = c.invalidate_where(|_, s| *s == 1);
+        assert_eq!(n, 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.peek(LineAddr(1)).is_some());
+        assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn remove_returns_state() {
+        let mut c = tiny();
+        c.insert(LineAddr(3), 8);
+        assert_eq!(c.remove(LineAddr(3)), Some(8));
+        assert_eq!(c.remove(LineAddr(3)), None);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 1);
+        assert!(c.insert(LineAddr(0), 2).is_none());
+        assert_eq!(c.peek(LineAddr(0)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Miss-status holding registers with same-address coalescing.
+//!
+//! The paper's §6.3: "obtaining ownership allows DeNovo's L1 MSHRs to
+//! locally coalesce multiple requests for the same address, which
+//! reduces network traffic ... and allows DeNovo with DRFrlx to quickly
+//! service many overlapped atomic requests." GPU coherence performs
+//! atomics at the LLC and "cannot coalesce multiple atomic requests for
+//! the same address."
+
+use crate::{Cycle, LineAddr};
+use std::collections::BTreeMap;
+
+/// Result of trying to allocate an MSHR entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must issue the request.
+    /// Carries the number of entries now live.
+    Allocated,
+    /// Merged into an in-flight entry for the same line; no new request
+    /// goes out. Carries the cycle the in-flight request completes.
+    Coalesced(Cycle),
+    /// No free entry: the requester must stall until one frees up.
+    /// Carries the earliest cycle at which an entry completes.
+    Full(Cycle),
+}
+
+/// A fixed-capacity MSHR file keyed by line address.
+///
+/// ```
+/// use hsim_mem::{LineAddr, Mshr, MshrOutcome};
+///
+/// let mut mshr = Mshr::new(128);
+/// assert_eq!(mshr.request(0, LineAddr(3)), MshrOutcome::Allocated);
+/// mshr.set_completion(LineAddr(3), 80);
+/// // A second request for the same in-flight line merges:
+/// assert_eq!(mshr.request(5, LineAddr(3)), MshrOutcome::Coalesced(80));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    capacity: usize,
+    /// line -> completion cycle of the outstanding request.
+    inflight: BTreeMap<LineAddr, Cycle>,
+    allocated: u64,
+    coalesced: u64,
+    full_stalls: u64,
+}
+
+impl Mshr {
+    /// An MSHR file with `capacity` entries (Table 2: 128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Mshr {
+        assert!(capacity > 0, "MSHR needs at least one entry");
+        Mshr { capacity, inflight: BTreeMap::new(), allocated: 0, coalesced: 0, full_stalls: 0 }
+    }
+
+    /// Retire every entry whose request completed at or before `now`.
+    pub fn expire(&mut self, now: Cycle) {
+        self.inflight.retain(|_, done| *done > now);
+    }
+
+    /// Try to allocate (or merge into) an entry for `line` at `now`.
+    /// On `Allocated`, the caller must follow up with
+    /// [`Mshr::set_completion`] once it knows when the request finishes.
+    pub fn request(&mut self, now: Cycle, line: LineAddr) -> MshrOutcome {
+        self.expire(now);
+        if let Some(done) = self.inflight.get(&line) {
+            self.coalesced += 1;
+            return MshrOutcome::Coalesced(*done);
+        }
+        if self.inflight.len() >= self.capacity {
+            self.full_stalls += 1;
+            let earliest = self.inflight.values().copied().min().unwrap_or(now);
+            return MshrOutcome::Full(earliest);
+        }
+        self.allocated += 1;
+        self.inflight.insert(line, Cycle::MAX);
+        MshrOutcome::Allocated
+    }
+
+    /// Is a request for `line` still in flight at `now`? Returns its
+    /// completion cycle. Callers use this *before* a cache lookup so a
+    /// line whose fill is still travelling cannot be hit early (the
+    /// simulator installs state at issue time).
+    pub fn pending(&mut self, now: Cycle, line: LineAddr) -> Option<Cycle> {
+        self.expire(now);
+        self.inflight.get(&line).copied()
+    }
+
+    /// Record when the outstanding request for `line` completes.
+    pub fn set_completion(&mut self, line: LineAddr, done: Cycle) {
+        if let Some(d) = self.inflight.get_mut(&line) {
+            *d = done;
+        }
+    }
+
+    /// Entries currently live.
+    pub fn live(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// (allocated, coalesced, full-stalls) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.allocated, self.coalesced, self.full_stalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_request_to_same_line_coalesces() {
+        let mut m = Mshr::new(4);
+        assert_eq!(m.request(0, LineAddr(7)), MshrOutcome::Allocated);
+        m.set_completion(LineAddr(7), 100);
+        assert_eq!(m.request(1, LineAddr(7)), MshrOutcome::Coalesced(100));
+        assert_eq!(m.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut m = Mshr::new(1);
+        assert_eq!(m.request(0, LineAddr(7)), MshrOutcome::Allocated);
+        m.set_completion(LineAddr(7), 50);
+        // Before completion: full for other lines.
+        assert!(matches!(m.request(10, LineAddr(9)), MshrOutcome::Full(50)));
+        // After completion: free again.
+        assert_eq!(m.request(51, LineAddr(9)), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn distinct_lines_use_distinct_entries() {
+        let mut m = Mshr::new(2);
+        assert_eq!(m.request(0, LineAddr(1)), MshrOutcome::Allocated);
+        assert_eq!(m.request(0, LineAddr(2)), MshrOutcome::Allocated);
+        assert_eq!(m.live(), 2);
+        assert!(matches!(m.request(0, LineAddr(3)), MshrOutcome::Full(_)));
+    }
+}

@@ -1,0 +1,38 @@
+//! # hsim-noc — mesh network-on-chip timing model
+//!
+//! A substitute for the Garnet interconnect model used by the paper's
+//! simulator (§4.2): a `width × height` mesh with X-Y dimension-ordered
+//! routing, per-hop router + link latency, and per-link bandwidth
+//! contention.
+//!
+//! The model is *timeline-based*: every unidirectional link keeps the
+//! cycle at which it next becomes free; a message reserves each link of
+//! its route in order, so two messages crossing the same link serialize
+//! and congestion propagates exactly as far as routes overlap. This
+//! captures the first-order contention effects that matter to the
+//! paper's evaluation (L2-bank hotspots under atomic storms) at a
+//! fraction of the cost of flit-level simulation.
+//!
+//! ```
+//! use hsim_noc::{Mesh, NocParams, NodeId};
+//!
+//! let mut mesh = Mesh::new(NocParams::default());
+//! let arrival = mesh.send(0, NodeId(0), NodeId(15), 1);
+//! assert!(arrival > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mesh;
+mod route;
+
+pub use mesh::{LinkStats, Mesh, NocParams, NocStats};
+pub use route::{manhattan, route_xy, Coord};
+
+/// A node on the mesh (one per CPU core / GPU CU, each with an L2 bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+/// Simulation time in cycles.
+pub type Cycle = u64;

@@ -1,0 +1,255 @@
+//! The mesh itself: link reservation timelines and statistics.
+
+use crate::route::route_xy;
+use crate::{Cycle, NodeId};
+use std::collections::BTreeMap;
+
+/// Mesh configuration.
+#[derive(Debug, Clone)]
+pub struct NocParams {
+    /// Mesh width (nodes per row).
+    pub width: u16,
+    /// Mesh height (rows).
+    pub height: u16,
+    /// Router pipeline + link traversal latency per hop, in cycles.
+    pub hop_latency: u64,
+    /// Cycles a link is occupied per flit (1 / bandwidth).
+    pub cycles_per_flit: u64,
+    /// Extra latency injected/ejected at the local port.
+    pub local_latency: u64,
+}
+
+impl Default for NocParams {
+    fn default() -> Self {
+        // A 4x4 mesh as in the paper's Table 2 platform.
+        NocParams { width: 4, height: 4, hop_latency: 3, cycles_per_flit: 1, local_latency: 1 }
+    }
+}
+
+/// Per-link usage statistics.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    /// Flits carried.
+    pub flits: u64,
+    /// Messages carried.
+    pub messages: u64,
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NocStats {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total flit-hops (the energy-relevant quantity).
+    pub flit_hops: u64,
+    /// Sum of end-to-end latencies (for averages).
+    pub total_latency: u64,
+    /// Cycles of queueing delay suffered due to contention.
+    pub contention_cycles: u64,
+}
+
+impl NocStats {
+    /// Average end-to-end message latency.
+    pub fn avg_latency(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.messages as f64
+        }
+    }
+}
+
+/// A mesh network with timeline-based link contention.
+///
+/// ```
+/// use hsim_noc::{Mesh, NocParams, NodeId};
+///
+/// let mut mesh = Mesh::new(NocParams::default());
+/// // Two messages crossing the same first link serialize:
+/// let first = mesh.send(0, NodeId(0), NodeId(3), 4);
+/// let second = mesh.send(0, NodeId(0), NodeId(3), 4);
+/// assert!(second > first);
+/// assert!(mesh.stats().contention_cycles > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    params: NocParams,
+    /// next-free cycle per directed link (from, to).
+    links: BTreeMap<(NodeId, NodeId), Cycle>,
+    link_stats: BTreeMap<(NodeId, NodeId), LinkStats>,
+    stats: NocStats,
+}
+
+impl Mesh {
+    /// Create a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh has no nodes.
+    pub fn new(params: NocParams) -> Mesh {
+        assert!(params.width > 0 && params.height > 0, "mesh must have nodes");
+        Mesh { params, links: BTreeMap::new(), link_stats: BTreeMap::new(), stats: NocStats::default() }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u16 {
+        self.params.width * self.params.height
+    }
+
+    /// Configuration.
+    pub fn params(&self) -> &NocParams {
+        &self.params
+    }
+
+    /// Send a `flits`-flit message from `src` to `dst` departing at
+    /// `depart`; returns the arrival cycle. Reserves every link on the
+    /// X-Y route, modelling head-of-line contention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not on the mesh.
+    pub fn send(&mut self, depart: Cycle, src: NodeId, dst: NodeId, flits: u64) -> Cycle {
+        assert!(src.0 < self.nodes() && dst.0 < self.nodes(), "node off mesh");
+        let flits = flits.max(1);
+        self.stats.messages += 1;
+        if src == dst {
+            // Local port loopback: no links, just ejection latency.
+            let arrival = depart + self.params.local_latency;
+            self.stats.total_latency += arrival - depart;
+            return arrival;
+        }
+        let mut at = depart + self.params.local_latency;
+        let mut prev = src;
+        let occupancy = flits * self.params.cycles_per_flit;
+        for hop in route_xy(self.params.width, src, dst) {
+            let link = (prev, hop);
+            let free = self.links.entry(link).or_insert(0);
+            let start = at.max(*free);
+            self.stats.contention_cycles += start - at;
+            *free = start + occupancy;
+            at = start + self.params.hop_latency;
+            let ls = self.link_stats.entry(link).or_default();
+            ls.flits += flits;
+            ls.messages += 1;
+            self.stats.flit_hops += flits;
+            prev = hop;
+        }
+        let arrival = at + self.params.local_latency;
+        self.stats.total_latency += arrival - depart;
+        arrival
+    }
+
+    /// The zero-load latency between two nodes (no contention), useful
+    /// for configuring cache access latencies.
+    pub fn zero_load_latency(&self, src: NodeId, dst: NodeId, flits: u64) -> u64 {
+        let hops = crate::route::manhattan(self.params.width, src, dst) as u64;
+        if hops == 0 {
+            return self.params.local_latency;
+        }
+        2 * self.params.local_latency + hops * self.params.hop_latency
+            + (flits.max(1) - 1) * self.params.cycles_per_flit
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Per-link statistics.
+    pub fn link_stats(&self) -> &BTreeMap<(NodeId, NodeId), LinkStats> {
+        &self.link_stats
+    }
+
+    /// Reset statistics and link reservations (start of a new run).
+    pub fn reset(&mut self) {
+        self.links.clear();
+        self.link_stats.clear();
+        self.stats = NocStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(NocParams::default())
+    }
+
+    #[test]
+    fn zero_load_latency_scales_with_distance() {
+        let m = mesh();
+        let near = m.zero_load_latency(NodeId(0), NodeId(1), 1);
+        let far = m.zero_load_latency(NodeId(0), NodeId(15), 1);
+        assert!(far > near);
+        assert_eq!(far - near, 5 * m.params().hop_latency);
+    }
+
+    #[test]
+    fn uncontended_send_matches_zero_load() {
+        let mut m = mesh();
+        let a = m.send(100, NodeId(0), NodeId(15), 1);
+        assert_eq!(a - 100, m.zero_load_latency(NodeId(0), NodeId(15), 1));
+    }
+
+    #[test]
+    fn same_link_messages_serialize() {
+        let mut m = mesh();
+        let a1 = m.send(0, NodeId(0), NodeId(1), 8);
+        let a2 = m.send(0, NodeId(0), NodeId(1), 8);
+        assert!(a2 > a1, "second message must queue behind the first");
+        assert!(m.stats().contention_cycles > 0);
+    }
+
+    #[test]
+    fn disjoint_routes_do_not_interfere() {
+        let mut m = mesh();
+        let a1 = m.send(0, NodeId(0), NodeId(1), 8);
+        let a2 = m.send(0, NodeId(14), NodeId(15), 8);
+        assert_eq!(a1 - 0, a2 - 0);
+        assert_eq!(m.stats().contention_cycles, 0);
+    }
+
+    #[test]
+    fn local_delivery_is_cheap() {
+        let mut m = mesh();
+        let a = m.send(10, NodeId(3), NodeId(3), 4);
+        assert_eq!(a, 10 + m.params().local_latency);
+        assert_eq!(m.stats().flit_hops, 0);
+    }
+
+    #[test]
+    fn flit_hops_counted_per_hop() {
+        let mut m = mesh();
+        m.send(0, NodeId(0), NodeId(3), 2); // 3 hops x 2 flits
+        assert_eq!(m.stats().flit_hops, 6);
+    }
+
+    #[test]
+    fn hotspot_contention_accumulates() {
+        let mut m = mesh();
+        // Many nodes hammer node 5 simultaneously.
+        for n in [NodeId(4), NodeId(6), NodeId(1), NodeId(9), NodeId(7)] {
+            m.send(0, n, NodeId(5), 4);
+            m.send(0, n, NodeId(5), 4);
+        }
+        let s = m.stats().clone();
+        assert!(s.avg_latency() > m.zero_load_latency(NodeId(4), NodeId(5), 4) as f64);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = mesh();
+        m.send(0, NodeId(0), NodeId(1), 1);
+        m.reset();
+        assert_eq!(m.stats().messages, 0);
+        let a = m.send(0, NodeId(0), NodeId(1), 1);
+        assert_eq!(a, m.zero_load_latency(NodeId(0), NodeId(1), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "node off mesh")]
+    fn off_mesh_node_rejected() {
+        mesh().send(0, NodeId(0), NodeId(99), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Adapter: the execution engine's [`MemoryBackend`] over the
+//! protocol-level [`MemorySystem`].
+
+use hsim_coherence::{AccessKind, MemorySystem};
+use hsim_gpu::MemoryBackend;
+
+/// Routes engine memory operations into the coherence protocol.
+pub struct CoherenceBackend {
+    mem: MemorySystem,
+}
+
+impl CoherenceBackend {
+    /// Wrap a memory system.
+    pub fn new(mem: MemorySystem) -> CoherenceBackend {
+        CoherenceBackend { mem }
+    }
+
+    /// Access the wrapped memory system (stats).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> MemorySystem {
+        self.mem
+    }
+}
+
+impl MemoryBackend for CoherenceBackend {
+    fn load(&mut self, now: u64, cu: usize, addr: u64, atomic: bool) -> u64 {
+        let kind = if atomic { AccessKind::AtomicLoad } else { AccessKind::DataLoad };
+        self.mem.load(now, cu, addr, kind)
+    }
+
+    fn store(&mut self, now: u64, cu: usize, addr: u64, atomic: bool) -> u64 {
+        let kind = if atomic { AccessKind::AtomicStore } else { AccessKind::DataStore };
+        self.mem.store(now, cu, addr, kind)
+    }
+
+    fn rmw(&mut self, now: u64, cu: usize, addr: u64) -> u64 {
+        self.mem.rmw(now, cu, addr)
+    }
+
+    fn acquire(&mut self, now: u64, cu: usize) -> u64 {
+        self.mem.acquire(now, cu)
+    }
+
+    fn release(&mut self, now: u64, cu: usize) -> u64 {
+        self.mem.release(now, cu)
+    }
+}

@@ -1,0 +1,107 @@
+//! System parameters (paper Table 2) and the discrete-GPU variant used
+//! for the Figure 1 motivation experiment.
+
+use hsim_coherence::MemSysParams;
+use hsim_gpu::EngineParams;
+use hsim_energy::EnergyParams;
+use hsim_mem::DramParams;
+use hsim_noc::NocParams;
+
+/// Full-system parameters.
+#[derive(Debug, Clone)]
+pub struct SysParams {
+    /// Configuration name ("integrated", "discrete").
+    pub name: String,
+    /// Execution-engine parameters (CUs, contexts, barriers).
+    pub engine: EngineParams,
+    /// Memory-system parameters (caches, NoC, DRAM).
+    pub memsys: MemSysParams,
+    /// Energy per event.
+    pub energy: EnergyParams,
+}
+
+impl SysParams {
+    /// The paper's integrated CPU-GPU platform (Table 2): 1 CPU core +
+    /// 15 GPU CUs, 32 KB 8-way L1s, 4 MB 16-bank NUCA L2, 128-entry
+    /// store buffers and L1 MSHRs, 4×4 mesh.
+    pub fn integrated() -> SysParams {
+        SysParams {
+            name: "integrated".into(),
+            engine: EngineParams::default(),
+            memsys: MemSysParams::default(),
+            energy: EnergyParams::default(),
+        }
+    }
+
+    /// A discrete-GPU-like platform for the Figure 1 experiment:
+    /// longer, lower-bandwidth path to the LLC, slower memory, heavier
+    /// atomic serialization at the L2 — the regime where SC atomics are
+    /// catastrophic and relaxed atomics shine on real discrete cards.
+    pub fn discrete_gpu() -> SysParams {
+        let mut p = SysParams::integrated();
+        p.name = "discrete".into();
+        p.memsys.noc = NocParams { hop_latency: 10, cycles_per_flit: 2, ..NocParams::default() };
+        p.memsys.l2_latency = 60;
+        p.memsys.l2_occupancy = 16;
+        p.memsys.dram = DramParams { latency: 320, channels: 2, occupancy: 16 };
+        p
+    }
+
+    /// Table 2 as printable rows.
+    pub fn table2_rows(&self) -> Vec<(String, String)> {
+        vec![
+            ("CPU cores".into(), "1 (functional only)".into()),
+            ("GPU CUs".into(), self.engine.num_cus.to_string()),
+            ("Contexts per CU".into(), self.engine.max_contexts_per_cu.to_string()),
+            (
+                "L1 size".into(),
+                format!("{} sets x {} ways x 64 B", self.memsys.l1.sets, self.memsys.l1.ways),
+            ),
+            ("L1 hit latency".into(), format!("{} cycle", self.memsys.l1_hit_latency)),
+            ("L1 MSHRs".into(), format!("{} entries", self.memsys.l1_mshrs)),
+            ("Store buffer".into(), format!("{} entries", self.memsys.store_buffer)),
+            ("L2 banks (NUCA)".into(), self.memsys.l2_banks.to_string()),
+            ("L2 latency".into(), format!("{} + NoC cycles", self.memsys.l2_latency)),
+            (
+                "NoC".into(),
+                format!(
+                    "{}x{} mesh, {} cycles/hop",
+                    self.memsys.noc.width, self.memsys.noc.height, self.memsys.noc.hop_latency
+                ),
+            ),
+            ("Memory latency".into(), format!("{} + queueing cycles", self.memsys.dram.latency)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrated_matches_table2_shape() {
+        let p = SysParams::integrated();
+        assert_eq!(p.engine.num_cus, 15);
+        assert_eq!(p.memsys.l2_banks, 16);
+        assert_eq!(p.memsys.l1_mshrs, 128);
+        assert_eq!(p.memsys.store_buffer, 128);
+        assert_eq!(p.memsys.noc.width * p.memsys.noc.height, 16);
+    }
+
+    #[test]
+    fn discrete_is_slower_to_the_llc() {
+        let i = SysParams::integrated();
+        let d = SysParams::discrete_gpu();
+        assert!(d.memsys.noc.hop_latency > i.memsys.noc.hop_latency);
+        assert!(d.memsys.l2_occupancy > i.memsys.l2_occupancy);
+        assert!(d.memsys.dram.latency > i.memsys.dram.latency);
+    }
+
+    #[test]
+    fn table2_mentions_key_parameters() {
+        let rows = SysParams::integrated().table2_rows();
+        let text: String = rows.iter().map(|(k, v)| format!("{k}={v};")).collect();
+        assert!(text.contains("GPU CUs=15"));
+        assert!(text.contains("mesh"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Running one kernel on one configuration.
+
+use crate::config::SysParams;
+use crate::CoherenceBackend;
+use drfrlx_core::SystemConfig;
+use hsim_coherence::{MemorySystem, ProtoStats};
+use hsim_energy::{breakdown, EnergyBreakdown, EnergyCounters};
+use hsim_gpu::{run_kernel, EngineReport, Kernel};
+
+/// Everything one simulation run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Protocol × model configuration.
+    pub config: SystemConfig,
+    /// Platform name ("integrated"/"discrete").
+    pub platform: String,
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// Raw energy event counts.
+    pub counters: EnergyCounters,
+    /// The Figure 3(b)/4(b) energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Protocol event statistics.
+    pub proto: ProtoStats,
+    /// Engine statistics (atomics, overlap, barriers...).
+    pub atomics: u64,
+    /// Overlapped (fire-and-forget) atomics.
+    pub atomics_overlapped: u64,
+    /// Final memory image.
+    pub memory: Vec<u64>,
+}
+
+impl RunReport {
+    /// Execution time of `self` normalized to `base` (1.0 = equal;
+    /// lower is better).
+    pub fn normalized_time(&self, base: &RunReport) -> f64 {
+        self.cycles as f64 / base.cycles.max(1) as f64
+    }
+
+    /// Total energy normalized to `base`.
+    pub fn normalized_energy(&self, base: &RunReport) -> f64 {
+        self.energy.total() / base.energy.total().max(1e-12)
+    }
+}
+
+/// Run `kernel` under `config` on the platform described by `params`.
+pub fn run_workload(
+    kernel: &dyn Kernel,
+    config: SystemConfig,
+    params: &SysParams,
+) -> RunReport {
+    let mem = MemorySystem::new(config.protocol, params.memsys.clone());
+    let mut backend = CoherenceBackend::new(mem);
+    let mut engine = params.engine.clone();
+    engine.model = config.model;
+    let EngineReport {
+        cycles,
+        core_ops,
+        scratch_accesses,
+        barriers: _,
+        memory,
+        atomics,
+        atomics_overlapped,
+    } = run_kernel(kernel, &engine, &mut backend);
+
+    let mem = backend.into_inner();
+    let (l1, l1_tags, l2, dram, flits) = mem.energy_events();
+    let counters = EnergyCounters {
+        core_ops,
+        scratch_accesses,
+        l1_accesses: l1,
+        l1_tag_ops: l1_tags,
+        l2_accesses: l2,
+        dram_accesses: dram,
+        noc_flit_hops: flits,
+    };
+    RunReport {
+        kernel: kernel.name(),
+        config,
+        platform: params.name.clone(),
+        cycles,
+        energy: breakdown(&params.energy, &counters),
+        counters,
+        proto: mem.stats().clone(),
+        atomics,
+        atomics_overlapped,
+        memory,
+    }
+}
+
+/// Run a kernel under all six paper configurations, in the paper's
+/// order (GD0, GD1, GDR, DD0, DD1, DDR).
+pub fn run_all_configs(kernel: &dyn Kernel, params: &SysParams) -> Vec<RunReport> {
+    SystemConfig::all()
+        .into_iter()
+        .map(|cfg| run_workload(kernel, cfg, params))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::OpClass;
+    use hsim_gpu::{Op, RmwKind, WorkItem};
+
+    /// Contended counter kernel: every context issues `n` increments.
+    struct Hammer {
+        n: usize,
+        class: OpClass,
+    }
+    struct HammerItem {
+        left: usize,
+        class: OpClass,
+    }
+    impl WorkItem for HammerItem {
+        fn next(&mut self, _last: Option<u64>) -> Op {
+            if self.left == 0 {
+                return Op::Done;
+            }
+            self.left -= 1;
+            Op::Rmw { addr: 0, rmw: RmwKind::Add, operand: 1, class: self.class, use_result: false }
+        }
+    }
+    impl Kernel for Hammer {
+        fn name(&self) -> String {
+            "hammer".into()
+        }
+        fn blocks(&self) -> usize {
+            15
+        }
+        fn threads_per_block(&self) -> usize {
+            4
+        }
+        fn memory_words(&self) -> usize {
+            64
+        }
+        fn item(&self, _b: usize, _t: usize) -> Box<dyn WorkItem> {
+            Box::new(HammerItem { left: self.n, class: self.class })
+        }
+    }
+
+    #[test]
+    fn all_six_configs_run_and_agree_functionally() {
+        let k = Hammer { n: 4, class: OpClass::Commutative };
+        let params = SysParams::integrated();
+        let reports = run_all_configs(&k, &params);
+        assert_eq!(reports.len(), 6);
+        for r in &reports {
+            assert_eq!(r.memory[0], 15 * 4 * 4, "{}: wrong count", r.config);
+            assert!(r.cycles > 0);
+            assert!(r.energy.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn weaker_models_are_not_slower() {
+        let k = Hammer { n: 8, class: OpClass::Commutative };
+        let params = SysParams::integrated();
+        let r = run_all_configs(&k, &params);
+        let (gd0, gd1, gdr) = (&r[0], &r[1], &r[2]);
+        let (dd0, dd1, ddr) = (&r[3], &r[4], &r[5]);
+        assert!(gd1.cycles <= gd0.cycles, "GD1 {} > GD0 {}", gd1.cycles, gd0.cycles);
+        assert!(gdr.cycles <= gd1.cycles, "GDR {} > GD1 {}", gdr.cycles, gd1.cycles);
+        assert!(dd1.cycles <= dd0.cycles);
+        assert!(ddr.cycles <= dd1.cycles);
+        // Only the relaxed model overlaps atomics.
+        assert_eq!(gd0.atomics_overlapped, 0);
+        assert!(gdr.atomics_overlapped > 0);
+    }
+
+    #[test]
+    fn gpu_and_denovo_place_atomics_differently() {
+        let k = Hammer { n: 4, class: OpClass::Commutative };
+        let params = SysParams::integrated();
+        let g = run_workload(&k, SystemConfig::from_abbrev("GDR").unwrap(), &params);
+        let d = run_workload(&k, SystemConfig::from_abbrev("DDR").unwrap(), &params);
+        assert!(g.proto.atomics_at_l2 > 0);
+        assert_eq!(g.proto.atomics_at_l1, 0);
+        assert!(d.proto.atomics_at_l1 > 0);
+        assert_eq!(d.proto.atomics_at_l2, 0);
+    }
+
+    #[test]
+    fn drf0_invalidates_and_flushes() {
+        let k = Hammer { n: 2, class: OpClass::Commutative };
+        let params = SysParams::integrated();
+        let gd0 = run_workload(&k, SystemConfig::from_abbrev("GD0").unwrap(), &params);
+        let gdr = run_workload(&k, SystemConfig::from_abbrev("GDR").unwrap(), &params);
+        assert!(gd0.proto.invalidation_events > 0);
+        assert!(gd0.proto.sb_flushes > 0);
+        assert_eq!(gdr.proto.invalidation_events, 0);
+        assert_eq!(gdr.proto.sb_flushes, 0);
+    }
+
+    #[test]
+    fn discrete_platform_is_slower() {
+        let k = Hammer { n: 4, class: OpClass::Commutative };
+        let i = run_workload(
+            &k,
+            SystemConfig::from_abbrev("GD0").unwrap(),
+            &SysParams::integrated(),
+        );
+        let d = run_workload(
+            &k,
+            SystemConfig::from_abbrev("GD0").unwrap(),
+            &SysParams::discrete_gpu(),
+        );
+        assert!(d.cycles > i.cycles);
+        assert_eq!(d.platform, "discrete");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let k = Hammer { n: 4, class: OpClass::Commutative };
+        let params = SysParams::integrated();
+        let cfg = SystemConfig::from_abbrev("DDR").unwrap();
+        let a = run_workload(&k, cfg, &params);
+        let b = run_workload(&k, cfg, &params);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.counters, b.counters);
+    }
+}

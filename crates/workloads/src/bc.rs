@@ -1,0 +1,611 @@
+//! Betweenness centrality (Pannotia-style, §4.4, Table 3).
+//!
+//! Brandes' algorithm from a single source: level-synchronous forward
+//! BFS computing shortest-path counts (`sigma`) — the atomic-heavy
+//! phase where Pannotia uses relaxed atomics — followed by the backward
+//! dependency accumulation. Per the paper's Table 3, the forward phase
+//! uses **commutative** atomics (fetch-min level discovery, fetch-add
+//! sigma accumulation) and **non-ordering** atomic loads (level
+//! checks); the paired atomics are confined to the per-level barrier.
+//!
+//! Dependency accumulation uses 2^12 fixed-point arithmetic and is
+//! validated exactly against a sequential oracle.
+
+use crate::graphs::Csr;
+use drfrlx_core::OpClass;
+use hsim_gpu::{Kernel, Op, RmwKind, Value, WorkItem};
+use std::sync::Arc;
+
+/// Fixed-point scale for dependency values.
+pub const SCALE: u64 = 1 << 12;
+/// "Unreached" level marker.
+pub const UNSET: u64 = u64::MAX / 2;
+
+/// The BC kernel over one graph.
+#[derive(Debug, Clone)]
+pub struct Bc {
+    graph: Arc<Csr>,
+    /// Number of BFS sources processed (vertices `0..sources`), as in
+    /// Pannotia's source loop. Centrality accumulates across sources.
+    pub sources: usize,
+    /// Maximum BFS depth over all sources (barriers run per level).
+    pub max_depth: usize,
+    /// Thread blocks.
+    pub blocks: usize,
+    /// Threads per block.
+    pub tpb: usize,
+}
+
+struct Map {
+    n: usize,
+}
+
+impl Map {
+    fn level(&self, v: usize) -> u64 {
+        v as u64
+    }
+    fn sigma(&self, v: usize) -> u64 {
+        (self.n + v) as u64
+    }
+    fn delta(&self, v: usize) -> u64 {
+        (2 * self.n + v) as u64
+    }
+    fn bc(&self, v: usize) -> u64 {
+        (3 * self.n + v) as u64
+    }
+    fn offsets(&self, v: usize) -> u64 {
+        (4 * self.n + v) as u64
+    }
+    fn edge(&self, e: u64) -> u64 {
+        (5 * self.n + 1) as u64 + e
+    }
+    fn words(&self, edges: usize) -> usize {
+        5 * self.n + 1 + edges
+    }
+}
+
+impl Bc {
+    /// Build over a graph.
+    pub fn new(graph: Csr, blocks: usize, tpb: usize) -> Bc {
+        Bc::with_sources(graph, 1, blocks, tpb)
+    }
+
+    /// Build with a Pannotia-style loop over the first `sources`
+    /// vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is zero or exceeds the vertex count.
+    pub fn with_sources(graph: Csr, sources: usize, blocks: usize, tpb: usize) -> Bc {
+        assert!(sources >= 1 && sources <= graph.verts(), "bad source count");
+        let max_depth = (0..sources)
+            .map(|s| {
+                Bc::oracle_levels(&graph, s)
+                    .iter()
+                    .filter(|&&l| l != UNSET)
+                    .max()
+                    .copied()
+                    .unwrap_or(0) as usize
+            })
+            .max()
+            .unwrap_or(0);
+        Bc { graph: Arc::new(graph), sources, max_depth, blocks, tpb }
+    }
+
+    /// The graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    fn map(&self) -> Map {
+        Map { n: self.graph.verts() }
+    }
+
+    fn threads(&self) -> usize {
+        self.blocks * self.tpb
+    }
+
+    fn oracle_levels(graph: &Csr, source: usize) -> Vec<u64> {
+        let mut level = vec![UNSET; graph.verts()];
+        level[source] = 0;
+        let mut frontier = vec![source];
+        let mut d = 0;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &u in graph.neighbors(v) {
+                    if level[u as usize] == UNSET {
+                        level[u as usize] = d + 1;
+                        next.push(u as usize);
+                    }
+                }
+            }
+            frontier = next;
+            d += 1;
+        }
+        level
+    }
+
+    /// Sequential oracle for one source: (level, sigma, delta,
+    /// per-source bc contribution) with identical arithmetic.
+    fn oracle_one(&self, source: usize) -> (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>) {
+        let n = self.graph.verts();
+        let level = Bc::oracle_levels(&self.graph, source);
+        let mut sigma = vec![0u64; n];
+        sigma[source] = 1;
+        for d in 0..self.max_depth as u64 {
+            for v in 0..n {
+                if level[v] != d {
+                    continue;
+                }
+                let sv = sigma[v];
+                for &u in self.graph.neighbors(v) {
+                    if level[u as usize] == d + 1 {
+                        sigma[u as usize] += sv;
+                    }
+                }
+            }
+        }
+        let mut delta = vec![0u64; n];
+        let mut bc = vec![0u64; n];
+        for d in (0..self.max_depth as u64).rev() {
+            for v in 0..n {
+                if level[v] != d {
+                    continue;
+                }
+                let mut acc = 0u64;
+                for &u in self.graph.neighbors(v) {
+                    let u = u as usize;
+                    if level[u] == d + 1 && sigma[u] > 0 {
+                        acc += sigma[v] * (SCALE + delta[u]) / sigma[u];
+                    }
+                }
+                delta[v] = acc;
+                if v != source {
+                    bc[v] = delta[v];
+                }
+            }
+        }
+        (level, sigma, delta, bc)
+    }
+
+    /// Sequential oracle: (last source's level, last source's sigma,
+    /// last source's delta, accumulated bc over all sources).
+    pub fn oracle(&self) -> (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>) {
+        let n = self.graph.verts();
+        let mut total_bc = vec![0u64; n];
+        let mut last = (Vec::new(), Vec::new(), Vec::new());
+        for s in 0..self.sources {
+            let (level, sigma, delta, bc) = self.oracle_one(s);
+            for v in 0..n {
+                total_bc[v] += bc[v];
+            }
+            last = (level, sigma, delta);
+        }
+        (last.0, last.1, last.2, total_bc)
+    }
+}
+
+enum BcPhase {
+    /// Forward level d: owned-vertex cursor.
+    FwdVertex(u64, usize),
+    /// last = level[v].
+    FwdCheckLevel(u64, usize),
+    /// last = sigma[v].
+    FwdSigma(u64, usize),
+    /// last = offsets[v]. Carries sv.
+    FwdOff1(u64, usize, Value),
+    /// last = offsets[v+1]. Carries (sv, off0).
+    FwdEdges(u64, usize, Value, u64),
+    /// Per-edge: fetch edges[e]. Carries (e, end, sv).
+    FwdEdgeLd(u64, usize, u64, u64, Value),
+    /// last = neighbour id: read its level (non-ordering).
+    FwdEdgeLevel(u64, usize, u64, u64, Value),
+    /// last = neighbour level. Carries the neighbour id.
+    FwdEdgeDecide(u64, usize, u64, u64, Value, u64),
+    /// Fetch-min issued: accumulate sigma into the neighbour.
+    FwdEdgeSigma(u64, usize, u64, u64, Value, u64),
+    /// Kernel-relaunch boundary, then continue with the boxed phase.
+    Sync(Box<BcPhase>),
+    SyncDone(Box<BcPhase>),
+    /// Backward level d: owned cursor; all reads barrier-ordered data.
+    BwdVertex(u64, usize),
+    BwdCheckLevel(u64, usize),
+    BwdSigmaV(u64, usize),
+    BwdOff1(u64, usize, Value),
+    BwdEdges(u64, usize, Value, u64),
+    /// Per-edge: (e, end, sv, acc).
+    BwdEdgeLd(u64, usize, u64, u64, Value, Value),
+    /// last = neighbour id: read its level.
+    BwdEdgeLevel(u64, usize, u64, u64, Value, Value),
+    /// last = neighbour level; maybe read sigma[u]. Carries u.
+    BwdEdgeSigmaU(u64, usize, u64, u64, Value, Value, u64),
+    /// last = sigma[u]; read delta[u]. Carries (u, su).
+    BwdEdgeDeltaU(u64, usize, u64, u64, Value, Value, u64, Value),
+    BwdStoreDelta(u64, usize, u64),
+    /// Load the running centrality for accumulation; carries delta.
+    BwdBcLoad(u64, usize, u64),
+    /// last = old bc[v]: store the accumulated value.
+    BwdBcStore(u64, usize, u64),
+    /// Between sources: reset level/sigma/delta of owned vertices.
+    ReinitLevel(usize),
+    ReinitSigma(usize),
+    ReinitDelta(usize),
+    Done,
+}
+
+struct BcItem {
+    map: Map,
+    verts: usize,
+    tid: usize,
+    threads: usize,
+    max_depth: u64,
+    sources: usize,
+    /// Current BFS source.
+    src: usize,
+    phase: BcPhase,
+}
+
+impl BcItem {
+    fn owned(&self, cursor: usize) -> Option<usize> {
+        // Contiguous block partitioning: thread t owns vertices
+        // [t*chunk, (t+1)*chunk). Mesh-like graphs then keep most
+        // neighbour updates within the owning CU — the locality DeNovo's
+        // ownership exploits (Pannotia partitions the same way).
+        let chunk = self.verts.div_ceil(self.threads);
+        let v = self.tid * chunk + cursor;
+        (cursor < chunk && v < self.verts).then_some(v)
+    }
+
+    fn sync_to(&self, then: BcPhase) -> BcPhase {
+        BcPhase::Sync(Box::new(then))
+    }
+}
+
+impl WorkItem for BcItem {
+    fn next(&mut self, last: Option<Value>) -> Op {
+        loop {
+            let phase = std::mem::replace(&mut self.phase, BcPhase::Done);
+            match phase {
+                // ---------------- forward BFS ----------------
+                BcPhase::FwdVertex(d, cur) => {
+                    let Some(v) = self.owned(cur) else {
+                        let after = if d + 1 <= self.max_depth {
+                            BcPhase::FwdVertex(d + 1, 0)
+                        } else {
+                            BcPhase::BwdVertex(self.max_depth.saturating_sub(1), 0)
+                        };
+                        self.phase = self.sync_to(after);
+                        continue;
+                    };
+                    // Own level is stable (set in an earlier, barrier-
+                    // separated phase): plain data read.
+                    self.phase = BcPhase::FwdCheckLevel(d, cur);
+                    return Op::Load { addr: self.map.level(v), class: OpClass::Data };
+                }
+                BcPhase::FwdCheckLevel(d, cur) => {
+                    if last.unwrap_or(UNSET) != d {
+                        self.phase = BcPhase::FwdVertex(d, cur + 1);
+                        continue;
+                    }
+                    self.phase = BcPhase::FwdSigma(d, cur);
+                    let v = self.owned(cur).expect("cursor valid");
+                    return Op::Load { addr: self.map.sigma(v), class: OpClass::Data };
+                }
+                BcPhase::FwdSigma(d, cur) => {
+                    let sv = last.unwrap_or(0);
+                    let v = self.owned(cur).expect("cursor valid");
+                    self.phase = BcPhase::FwdOff1(d, cur, sv);
+                    return Op::Load { addr: self.map.offsets(v), class: OpClass::Data };
+                }
+                BcPhase::FwdOff1(d, cur, sv) => {
+                    let off0 = last.unwrap_or(0);
+                    let v = self.owned(cur).expect("cursor valid");
+                    self.phase = BcPhase::FwdEdges(d, cur, sv, off0);
+                    return Op::Load { addr: self.map.offsets(v + 1), class: OpClass::Data };
+                }
+                BcPhase::FwdEdges(d, cur, sv, off0) => {
+                    let off1 = last.unwrap_or(0);
+                    self.phase = BcPhase::FwdEdgeLd(d, cur, off0, off1, sv);
+                }
+                BcPhase::FwdEdgeLd(d, cur, e, end, sv) => {
+                    if e >= end {
+                        self.phase = BcPhase::FwdVertex(d, cur + 1);
+                        continue;
+                    }
+                    self.phase = BcPhase::FwdEdgeLevel(d, cur, e, end, sv);
+                    return Op::Load { addr: self.map.edge(e), class: OpClass::Data };
+                }
+                BcPhase::FwdEdgeLevel(d, cur, e, end, sv) => {
+                    let u = last.unwrap_or(0);
+                    self.phase = BcPhase::FwdEdgeDecide(d, cur, e, end, sv, u);
+                    return Op::Load {
+                        addr: self.map.level(u as usize),
+                        class: OpClass::NonOrdering,
+                    };
+                }
+                BcPhase::FwdEdgeDecide(d, cur, e, end, sv, u) => {
+                    let lvl = last.unwrap_or(UNSET);
+                    if lvl > d {
+                        // Claim with a commutative fetch-min; the sigma
+                        // add follows.
+                        self.phase = BcPhase::FwdEdgeSigma(d, cur, e, end, sv, u);
+                        return Op::Rmw {
+                            addr: self.map.level(u as usize),
+                            rmw: RmwKind::Min,
+                            operand: d + 1,
+                            class: OpClass::Commutative,
+                            use_result: false,
+                        };
+                    }
+                    self.phase = BcPhase::FwdEdgeLd(d, cur, e + 1, end, sv);
+                }
+                BcPhase::FwdEdgeSigma(d, cur, e, end, sv, u) => {
+                    self.phase = BcPhase::FwdEdgeLd(d, cur, e + 1, end, sv);
+                    return Op::Rmw {
+                        addr: self.map.sigma(u as usize),
+                        rmw: RmwKind::Add,
+                        operand: sv,
+                        class: OpClass::Commutative,
+                        use_result: false,
+                    };
+                }
+                // ---------------- barriers ----------------
+                BcPhase::Sync(then) => {
+                    self.phase = BcPhase::SyncDone(then);
+                    return Op::GlobalBarrier;
+                }
+                BcPhase::SyncDone(then) => {
+                    self.phase = *then;
+                }
+                // ---------------- backward accumulation ----------------
+                BcPhase::BwdVertex(d, cur) => {
+                    let Some(v) = self.owned(cur) else {
+                        let after = if d > 0 {
+                            BcPhase::BwdVertex(d - 1, 0)
+                        } else if self.src + 1 < self.sources {
+                            // Next source: barrier, then re-initialize.
+                            self.src += 1;
+                            BcPhase::ReinitLevel(0)
+                        } else {
+                            BcPhase::Done
+                        };
+                        self.phase = self.sync_to(after);
+                        continue;
+                    };
+                    self.phase = BcPhase::BwdCheckLevel(d, cur);
+                    return Op::Load { addr: self.map.level(v), class: OpClass::Data };
+                }
+                BcPhase::BwdCheckLevel(d, cur) => {
+                    if last.unwrap_or(UNSET) != d {
+                        self.phase = BcPhase::BwdVertex(d, cur + 1);
+                        continue;
+                    }
+                    self.phase = BcPhase::BwdSigmaV(d, cur);
+                    let v = self.owned(cur).expect("cursor valid");
+                    return Op::Load { addr: self.map.sigma(v), class: OpClass::Data };
+                }
+                BcPhase::BwdSigmaV(d, cur) => {
+                    let sv = last.unwrap_or(0);
+                    let v = self.owned(cur).expect("cursor valid");
+                    self.phase = BcPhase::BwdOff1(d, cur, sv);
+                    return Op::Load { addr: self.map.offsets(v), class: OpClass::Data };
+                }
+                BcPhase::BwdOff1(d, cur, sv) => {
+                    let off0 = last.unwrap_or(0);
+                    let v = self.owned(cur).expect("cursor valid");
+                    self.phase = BcPhase::BwdEdges(d, cur, sv, off0);
+                    return Op::Load { addr: self.map.offsets(v + 1), class: OpClass::Data };
+                }
+                BcPhase::BwdEdges(d, cur, sv, off0) => {
+                    let off1 = last.unwrap_or(0);
+                    self.phase = BcPhase::BwdEdgeLd(d, cur, off0, off1, sv, 0);
+                }
+                BcPhase::BwdEdgeLd(d, cur, e, end, sv, acc) => {
+                    if e >= end {
+                        self.phase = BcPhase::BwdStoreDelta(d, cur, acc);
+                        continue;
+                    }
+                    self.phase = BcPhase::BwdEdgeLevel(d, cur, e, end, sv, acc);
+                    return Op::Load { addr: self.map.edge(e), class: OpClass::Data };
+                }
+                BcPhase::BwdEdgeLevel(d, cur, e, end, sv, acc) => {
+                    let u = last.unwrap_or(0);
+                    self.phase = BcPhase::BwdEdgeSigmaU(d, cur, e, end, sv, acc, u);
+                    return Op::Load { addr: self.map.level(u as usize), class: OpClass::Data };
+                }
+                BcPhase::BwdEdgeSigmaU(d, cur, e, end, sv, acc, u) => {
+                    let lvl = last.unwrap_or(UNSET);
+                    if lvl != d + 1 {
+                        self.phase = BcPhase::BwdEdgeLd(d, cur, e + 1, end, sv, acc);
+                        continue;
+                    }
+                    self.phase = BcPhase::BwdEdgeDeltaU(d, cur, e, end, sv, acc, u, 0);
+                    return Op::Load { addr: self.map.sigma(u as usize), class: OpClass::Data };
+                }
+                BcPhase::BwdEdgeDeltaU(d, cur, e, end, sv, acc, u, su) => {
+                    if su == 0 {
+                        // First entry: last = sigma[u]; fetch delta[u].
+                        let su = last.unwrap_or(0);
+                        if su == 0 {
+                            self.phase = BcPhase::BwdEdgeLd(d, cur, e + 1, end, sv, acc);
+                            continue;
+                        }
+                        self.phase = BcPhase::BwdEdgeDeltaU(d, cur, e, end, sv, acc, u, su);
+                        return Op::Load { addr: self.map.delta(u as usize), class: OpClass::Data };
+                    }
+                    let du = last.unwrap_or(0);
+                    let add = sv * (SCALE + du) / su;
+                    self.phase = BcPhase::BwdEdgeLd(d, cur, e + 1, end, sv, acc + add);
+                }
+                BcPhase::BwdStoreDelta(d, cur, acc) => {
+                    let v = self.owned(cur).expect("cursor valid");
+                    self.phase = BcPhase::BwdBcLoad(d, cur, acc);
+                    return Op::Store { addr: self.map.delta(v), value: acc, class: OpClass::Data };
+                }
+                BcPhase::BwdBcLoad(d, cur, acc) => {
+                    let v = self.owned(cur).expect("cursor valid");
+                    if v == self.src || acc == 0 {
+                        self.phase = BcPhase::BwdVertex(d, cur + 1);
+                        continue;
+                    }
+                    self.phase = BcPhase::BwdBcStore(d, cur, acc);
+                    return Op::Load { addr: self.map.bc(v), class: OpClass::Data };
+                }
+                BcPhase::BwdBcStore(d, cur, acc) => {
+                    let v = self.owned(cur).expect("cursor valid");
+                    let old = last.unwrap_or(0);
+                    self.phase = BcPhase::BwdVertex(d, cur + 1);
+                    return Op::Store {
+                        addr: self.map.bc(v),
+                        value: old + acc,
+                        class: OpClass::Data,
+                    };
+                }
+                BcPhase::ReinitLevel(cur) => {
+                    let Some(v) = self.owned(cur) else {
+                        self.phase = self.sync_to(BcPhase::FwdVertex(0, 0));
+                        continue;
+                    };
+                    self.phase = BcPhase::ReinitSigma(cur);
+                    let lvl = if v == self.src { 0 } else { UNSET };
+                    return Op::Store { addr: self.map.level(v), value: lvl, class: OpClass::Data };
+                }
+                BcPhase::ReinitSigma(cur) => {
+                    let v = self.owned(cur).expect("cursor valid");
+                    self.phase = BcPhase::ReinitDelta(cur);
+                    let sg = u64::from(v == self.src);
+                    return Op::Store { addr: self.map.sigma(v), value: sg, class: OpClass::Data };
+                }
+                BcPhase::ReinitDelta(cur) => {
+                    let v = self.owned(cur).expect("cursor valid");
+                    self.phase = BcPhase::ReinitLevel(cur + 1);
+                    return Op::Store { addr: self.map.delta(v), value: 0, class: OpClass::Data };
+                }
+                BcPhase::Done => {
+                    self.phase = BcPhase::Done;
+                    return Op::Done;
+                }
+            }
+        }
+    }
+}
+
+impl Kernel for Bc {
+    fn name(&self) -> String {
+        format!("BC[{}]", self.graph.name)
+    }
+    fn blocks(&self) -> usize {
+        self.blocks
+    }
+    fn threads_per_block(&self) -> usize {
+        self.tpb
+    }
+    fn memory_words(&self) -> usize {
+        self.map().words(self.graph.num_edges())
+    }
+    fn init_memory(&self, mem: &mut [Value]) {
+        let m = self.map();
+        let n = self.graph.verts();
+        for v in 0..n {
+            mem[m.level(v) as usize] = if v == 0 { 0 } else { UNSET };
+            mem[m.sigma(v) as usize] = u64::from(v == 0);
+            mem[m.offsets(v) as usize] = self.graph.offsets[v] as Value;
+        }
+        mem[m.offsets(n) as usize] = self.graph.offsets[n] as Value;
+        for (e, &u) in self.graph.edges.iter().enumerate() {
+            mem[m.edge(e as u64) as usize] = u as Value;
+        }
+    }
+    fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
+        Box::new(BcItem {
+            map: self.map(),
+            verts: self.graph.verts(),
+            tid: block * self.tpb + thread,
+            threads: self.threads(),
+            max_depth: self.max_depth as u64,
+            sources: self.sources,
+            src: 0,
+            phase: BcPhase::FwdVertex(0, 0),
+        })
+    }
+    fn validate(&self, mem: &[Value]) -> Result<(), String> {
+        let m = self.map();
+        let (level, sigma, _delta, bc) = self.oracle();
+        for v in 0..self.graph.verts() {
+            if mem[m.level(v) as usize] != level[v] {
+                return Err(format!(
+                    "level[{v}]: expected {}, got {}",
+                    level[v],
+                    mem[m.level(v) as usize]
+                ));
+            }
+            if mem[m.sigma(v) as usize] != sigma[v] {
+                return Err(format!(
+                    "sigma[{v}]: expected {}, got {}",
+                    sigma[v],
+                    mem[m.sigma(v) as usize]
+                ));
+            }
+            if mem[m.bc(v) as usize] != bc[v] {
+                return Err(format!(
+                    "bc[{v}]: expected {}, got {}",
+                    bc[v],
+                    mem[m.bc(v) as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs;
+    use drfrlx_core::SystemConfig;
+    use hsim_sys::{run_workload, SysParams};
+
+    fn tiny() -> Bc {
+        Bc::new(graphs::mesh_like("tiny", 6, 4), 4, 4)
+    }
+
+    #[test]
+    fn oracle_bfs_is_sane() {
+        let bc = tiny();
+        let (level, sigma, _, _) = bc.oracle();
+        assert_eq!(level[0], 0);
+        assert_eq!(sigma[0], 1);
+        // Connected mesh: everything reached.
+        assert!(level.iter().all(|&l| l != UNSET));
+        // Neighbours of the source are at level 1 with sigma 1.
+        for &u in bc.graph().neighbors(0) {
+            assert_eq!(level[u as usize], 1);
+        }
+    }
+
+    #[test]
+    fn multi_source_bc_accumulates_centrality() {
+        let bc = Bc::with_sources(graphs::mesh_like("t", 6, 4), 3, 4, 4);
+        let params = SysParams::integrated();
+        for cfg in SystemConfig::all() {
+            let r = run_workload(&bc, cfg, &params);
+            bc.validate(&r.memory).unwrap_or_else(|e| panic!("{cfg}: {e}"));
+        }
+        // Centrality from three sources strictly exceeds one source's.
+        let one = Bc::new(graphs::mesh_like("t", 6, 4), 4, 4);
+        let total3: u64 = bc.oracle().3.iter().sum();
+        let total1: u64 = one.oracle().3.iter().sum();
+        assert!(total3 > total1);
+    }
+
+    #[test]
+    fn bc_matches_oracle_on_every_config() {
+        let bc = tiny();
+        let params = SysParams::integrated();
+        for cfg in SystemConfig::all() {
+            let r = run_workload(&bc, cfg, &params);
+            bc.validate(&r.memory).unwrap_or_else(|e| panic!("{cfg}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Synthetic graph generators — the substitute for the paper's Matrix
+//! Market inputs (§4.4: rome99, nasa1824, ex33, c-22 for BC; c-37,
+//! c-36, ex3, c-40 for PageRank).
+//!
+//! BC/PageRank behaviour in the paper is driven by graph *shape* —
+//! degree distribution (atomic contention per vertex) and size
+//! (cache-resident or not) — so each generator reproduces one shape
+//! class from the Davis & Hu collection:
+//!
+//! * [`road_like`] — rome99: road network; low, near-uniform degree,
+//!   large diameter.
+//! * [`mesh_like`] — nasa1824/ex33/ex3: FEM meshes; moderate regular
+//!   degree, strong locality.
+//! * [`contact_like`] — c-22/c-36/c-37/c-40: optimization/contact
+//!   matrices; skewed degree with a few hub rows (contention
+//!   hotspots).
+//!
+//! All generators are deterministic in their parameters.
+
+use crate::util::SplitMix64;
+
+/// A graph in compressed sparse row form.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Name (for reports).
+    pub name: String,
+    /// Row offsets (`verts + 1` entries).
+    pub offsets: Vec<u32>,
+    /// Column indices.
+    pub edges: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of vertices.
+    pub fn verts(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.edges[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Maximum degree (contention indicator).
+    pub fn max_degree(&self) -> usize {
+        (0..self.verts()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    fn from_adj(name: &str, adj: Vec<Vec<u32>>) -> Csr {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut edges = Vec::new();
+        offsets.push(0);
+        for mut row in adj {
+            row.sort_unstable();
+            row.dedup();
+            edges.extend_from_slice(&row);
+            offsets.push(edges.len() as u32);
+        }
+        Csr { name: name.into(), offsets, edges }
+    }
+}
+
+/// Road-network-like graph: a `w × h` grid with a sprinkle of diagonal
+/// shortcuts. Degree ≈ 2–4, large diameter (rome99 stand-in).
+pub fn road_like(name: &str, w: usize, h: usize, seed: u64) -> Csr {
+    let n = w * h;
+    let mut adj = vec![Vec::new(); n];
+    let mut rng = SplitMix64::new(seed);
+    let link = |adj: &mut Vec<Vec<u32>>, a: usize, b: usize| {
+        adj[a].push(b as u32);
+        adj[b].push(a as u32);
+    };
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                link(&mut adj, v, v + 1);
+            }
+            if y + 1 < h {
+                link(&mut adj, v, v + w);
+            }
+            // Occasional shortcut, like a bridge or tunnel.
+            if x + 1 < w && y + 1 < h && rng.below(10) == 0 {
+                link(&mut adj, v, v + w + 1);
+            }
+        }
+    }
+    Csr::from_adj(name, adj)
+}
+
+/// FEM-mesh-like graph: grid where each vertex also connects to its
+/// diagonal neighbours (degree ≈ 8, strong locality — nasa1824/ex33
+/// stand-in).
+pub fn mesh_like(name: &str, w: usize, h: usize) -> Csr {
+    let n = w * h;
+    let mut adj = vec![Vec::new(); n];
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let (nx, ny) = (x as i64 + dx, y as i64 + dy);
+                    if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
+                        adj[v].push((ny as usize * w + nx as usize) as u32);
+                    }
+                }
+            }
+        }
+    }
+    Csr::from_adj(name, adj)
+}
+
+/// Contact/optimization-matrix-like graph: preferential attachment
+/// producing a skewed degree distribution with hub vertices (c-22/c-37
+/// stand-in). Hubs are the atomic-contention hotspots the paper's
+/// PR-3 anomaly comes from.
+pub fn contact_like(name: &str, n: usize, edges_per_vertex: usize, seed: u64) -> Csr {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut rng = SplitMix64::new(seed);
+    // Endpoint pool for preferential attachment.
+    let mut pool: Vec<u32> = vec![0];
+    for v in 1..n {
+        for _ in 0..edges_per_vertex {
+            let target = pool[rng.below(pool.len() as u64) as usize] as usize;
+            if target != v {
+                adj[v].push(target as u32);
+                adj[target].push(v as u32);
+                pool.push(target as u32);
+            }
+            pool.push(v as u32);
+        }
+    }
+    Csr::from_adj(name, adj)
+}
+
+/// The four BC inputs (paper: rome99, nasa1824, ex33, c-22), scaled.
+pub fn bc_inputs() -> Vec<Csr> {
+    vec![
+        road_like("bc-1(road)", 48, 28, 11),
+        mesh_like("bc-2(fem)", 38, 30),
+        mesh_like("bc-3(fem)", 30, 24),
+        contact_like("bc-4(contact)", 1024, 3, 13),
+    ]
+}
+
+/// The four PageRank inputs (paper: c-37, c-36, ex3, c-40), scaled.
+pub fn pr_inputs() -> Vec<Csr> {
+    vec![
+        contact_like("pr-1(contact)", 960, 3, 21),
+        contact_like("pr-2(contact)", 1152, 4, 22),
+        mesh_like("pr-3(fem)", 32, 26),
+        contact_like("pr-4(contact)", 1344, 3, 23),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_is_consistent() {
+        for g in bc_inputs().into_iter().chain(pr_inputs()) {
+            assert_eq!(g.offsets[0], 0);
+            assert_eq!(*g.offsets.last().unwrap() as usize, g.num_edges());
+            for v in 0..g.verts() {
+                assert!(g.offsets[v] <= g.offsets[v + 1], "{}: bad offsets", g.name);
+                for &u in g.neighbors(v) {
+                    assert!((u as usize) < g.verts(), "{}: edge out of range", g.name);
+                    assert_ne!(u as usize, v, "{}: self loop", g.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graphs_are_symmetric() {
+        for g in bc_inputs() {
+            for v in 0..g.verts() {
+                for &u in g.neighbors(v) {
+                    assert!(
+                        g.neighbors(u as usize).contains(&(v as u32)),
+                        "{}: asymmetric edge {v}->{u}",
+                        g.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_shapes_match_their_classes() {
+        let road = road_like("r", 24, 16, 11);
+        let mesh = mesh_like("m", 20, 16);
+        let contact = contact_like("c", 384, 3, 13);
+        assert!(road.max_degree() <= 8, "roads are low degree");
+        assert!(mesh.max_degree() == 8, "mesh interior degree is 8");
+        assert!(
+            contact.max_degree() > 3 * mesh.max_degree(),
+            "contact graphs have hubs: max degree {}",
+            contact.max_degree()
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = contact_like("c", 100, 3, 5);
+        let b = contact_like("c", 100, 3, 5);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.offsets, b.offsets);
+    }
+}

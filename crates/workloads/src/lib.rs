@@ -1,0 +1,38 @@
+//! # drfrlx-workloads — the paper's evaluation workloads
+//!
+//! Rust implementations of every workload in the paper's Table 3,
+//! written against the `hsim-gpu` work-item IR with the relaxed-atomic
+//! annotations the paper assigns:
+//!
+//! | workload | paper input | atomic classes |
+//! |----------|-------------|----------------|
+//! | Hist (H) | 256 KB, 256 bins | commutative |
+//! | Hist_global (HG) | 256 KB, 256 bins | commutative |
+//! | HG-Non-Order (HG-NO) | 256 KB, 256 bins | non-ordering |
+//! | Flags | 90 thread blocks | commutative + non-ordering |
+//! | SplitCounter (SC) | 112 thread blocks | quantum |
+//! | RefCounter (RC) | 64 thread blocks | quantum |
+//! | Seqlocks (SEQ) | 512 thread blocks | speculative |
+//! | UTS | 16K nodes | unpaired |
+//! | BC | 4 graphs | commutative + non-ordering |
+//! | PageRank (PR) | 4 graphs | commutative |
+//!
+//! Inputs are scaled for fast simulation (documented per workload);
+//! the paper's Matrix Market graphs are replaced by deterministic
+//! synthetic generators with matching degree shapes ([`graphs`]).
+//! Every kernel validates its own functional result against a
+//! sequential oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bc;
+pub mod graphs;
+pub mod micro;
+pub mod pagerank;
+pub mod registry;
+pub mod sssp;
+pub mod util;
+pub mod uts;
+
+pub use registry::{all_workloads, benchmarks, microbenchmarks, WorkloadSpec};

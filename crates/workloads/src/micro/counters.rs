@@ -1,0 +1,365 @@
+//! Split Counter and Reference Counter microbenchmarks (the quantum
+//! use cases, §3.4, Listings 4 and 5).
+
+use drfrlx_core::OpClass;
+use hsim_gpu::{Kernel, Op, RmwKind, Value, WorkItem};
+
+// ---------------------------------------------------------------------
+// SplitCounter (SC): per-block counters, concurrent approximate readers.
+// ---------------------------------------------------------------------
+
+/// Split counter: updater threads bump their block's counter with
+/// quantum fetch-adds; reader threads sweep all counters with quantum
+/// loads to form an approximate partial sum. Counters are padded to
+/// one cache line each (as real split-counter implementations do, to
+/// avoid false sharing).
+#[derive(Debug, Clone)]
+pub struct SplitCounter {
+    /// Thread blocks (one split counter each; paper: 112).
+    pub blocks: usize,
+    /// Threads per block (thread 0 reads, the rest update).
+    pub tpb: usize,
+    /// Increments per updater.
+    pub increments: usize,
+    /// Read sweeps per reader.
+    pub sweeps: usize,
+}
+
+impl Default for SplitCounter {
+    fn default() -> Self {
+        SplitCounter { blocks: 14, tpb: 12, increments: 256, sweeps: 2 }
+    }
+}
+
+struct ScUpdater {
+    counter: u64,
+    left: usize,
+}
+
+impl WorkItem for ScUpdater {
+    fn next(&mut self, _last: Option<Value>) -> Op {
+        if self.left == 0 {
+            return Op::Done;
+        }
+        self.left -= 1;
+        Op::Rmw {
+            addr: self.counter,
+            rmw: RmwKind::Add,
+            operand: 1,
+            class: OpClass::Quantum,
+            use_result: false,
+        }
+    }
+}
+
+struct ScReader {
+    counters: u64,
+    i: u64,
+    sweeps_left: usize,
+    sum: Value,
+    out: u64,
+    stored: bool,
+}
+
+impl WorkItem for ScReader {
+    fn next(&mut self, last: Option<Value>) -> Op {
+        if let Some(v) = last {
+            self.sum = self.sum.wrapping_add(v);
+        }
+        if self.i < self.counters {
+            let addr = 16 * self.i;
+            self.i += 1;
+            return Op::Load { addr, class: OpClass::Quantum };
+        }
+        if self.sweeps_left > 1 {
+            // Start a fresh partial sum for the next sweep.
+            self.sweeps_left -= 1;
+            self.i = 0;
+            self.sum = 0;
+            return Op::Think(8);
+        }
+        if !self.stored {
+            self.stored = true;
+            // Publish the (approximate) sum — plain data, per-thread slot.
+            return Op::Store { addr: self.out, value: self.sum, class: OpClass::Data };
+        }
+        Op::Done
+    }
+}
+
+impl Kernel for SplitCounter {
+    fn name(&self) -> String {
+        "SC".into()
+    }
+    fn blocks(&self) -> usize {
+        self.blocks
+    }
+    fn threads_per_block(&self) -> usize {
+        self.tpb
+    }
+    fn memory_words(&self) -> usize {
+        // line-padded counters | line-padded reader outputs
+        16 * (self.blocks + self.blocks)
+    }
+    fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
+        if thread == 0 {
+            Box::new(ScReader {
+                counters: self.blocks as u64,
+                i: 0,
+                sweeps_left: self.sweeps,
+                sum: 0,
+                out: (16 * (self.blocks + block)) as u64,
+                stored: false,
+            })
+        } else {
+            Box::new(ScUpdater { counter: (16 * block) as u64, left: self.increments })
+        }
+    }
+    fn validate(&self, mem: &[Value]) -> Result<(), String> {
+        // Exact final counters (quantum relaxes ordering, not atomicity).
+        let expect = ((self.tpb - 1) * self.increments) as Value;
+        for b in 0..self.blocks {
+            if mem[16 * b] != expect {
+                return Err(format!("counter {b}: expected {expect}, got {}", mem[16 * b]));
+            }
+        }
+        // Reader sums are approximate but bounded by the true total.
+        let total = expect * self.blocks as Value;
+        for b in 0..self.blocks {
+            let s = mem[16 * (self.blocks + b)];
+            if s > total {
+                return Err(format!("reader {b} sum {s} exceeds true total {total}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// RefCounter (RC): quantum inc/dec over a pool of objects.
+// ---------------------------------------------------------------------
+
+/// Reference counter: every thread walks a pool of shared objects,
+/// incrementing each object's refcount (quantum), doing some work, then
+/// decrementing (quantum, result observed); whoever sees the count drop
+/// to zero marks the object with a commutative store.
+#[derive(Debug, Clone)]
+pub struct RefCounter {
+    /// Thread blocks (paper: 64).
+    pub blocks: usize,
+    /// Threads per block.
+    pub tpb: usize,
+    /// Shared objects.
+    pub objects: usize,
+    /// Objects visited per thread.
+    pub visits: usize,
+}
+
+impl Default for RefCounter {
+    fn default() -> Self {
+        RefCounter { blocks: 15, tpb: 16, objects: 60, visits: 16 }
+    }
+}
+
+enum RcPhase {
+    /// Increment both refcounts (Listing 5: refcount1 then refcount2,
+    /// back-to-back — the overlap opportunity for relaxed atomics).
+    IncA,
+    IncB,
+    Work,
+    DecA,
+    MaybeMarkA,
+    DecB,
+    MaybeMarkB,
+    Advance,
+}
+
+struct RcItem {
+    objects: u64,
+    visits_left: usize,
+    obj: u64,
+    obj_b: u64,
+    stride: u64,
+    phase: RcPhase,
+}
+
+impl RcItem {
+    // Each object is line-padded: refcount in the first word, the
+    // deletion mark in the second.
+    fn count_addr(&self, obj: u64) -> u64 {
+        16 * obj
+    }
+    fn mark_addr(&self, obj: u64) -> u64 {
+        16 * obj + 1
+    }
+}
+
+impl WorkItem for RcItem {
+    fn next(&mut self, last: Option<Value>) -> Op {
+        loop {
+            match self.phase {
+                RcPhase::IncA => {
+                    if self.visits_left == 0 {
+                        return Op::Done;
+                    }
+                    self.phase = RcPhase::IncB;
+                    return Op::Rmw {
+                        addr: self.count_addr(self.obj),
+                        rmw: RmwKind::Add,
+                        operand: 1,
+                        class: OpClass::Quantum,
+                        use_result: false,
+                    };
+                }
+                RcPhase::IncB => {
+                    self.phase = RcPhase::Work;
+                    return Op::Rmw {
+                        addr: self.count_addr(self.obj_b),
+                        rmw: RmwKind::Add,
+                        operand: 1,
+                        class: OpClass::Quantum,
+                        use_result: false,
+                    };
+                }
+                RcPhase::Work => {
+                    self.phase = RcPhase::DecA;
+                    return Op::Think(4);
+                }
+                RcPhase::DecA => {
+                    self.phase = RcPhase::MaybeMarkA;
+                    return Op::Rmw {
+                        addr: self.count_addr(self.obj),
+                        rmw: RmwKind::Sub,
+                        operand: 1,
+                        class: OpClass::Quantum,
+                        use_result: true,
+                    };
+                }
+                RcPhase::MaybeMarkA => {
+                    let old = last.unwrap_or(0);
+                    self.phase = RcPhase::DecB;
+                    if old == 1 {
+                        // Dropped to zero: mark for deletion (same
+                        // value from every thread — commutative).
+                        return Op::Store {
+                            addr: self.mark_addr(self.obj),
+                            value: 1,
+                            class: OpClass::Commutative,
+                        };
+                    }
+                }
+                RcPhase::DecB => {
+                    self.phase = RcPhase::MaybeMarkB;
+                    return Op::Rmw {
+                        addr: self.count_addr(self.obj_b),
+                        rmw: RmwKind::Sub,
+                        operand: 1,
+                        class: OpClass::Quantum,
+                        use_result: true,
+                    };
+                }
+                RcPhase::MaybeMarkB => {
+                    let old = last.unwrap_or(0);
+                    self.phase = RcPhase::Advance;
+                    if old == 1 {
+                        return Op::Store {
+                            addr: self.mark_addr(self.obj_b),
+                            value: 1,
+                            class: OpClass::Commutative,
+                        };
+                    }
+                }
+                RcPhase::Advance => {
+                    self.visits_left -= 1;
+                    self.obj = (self.obj + self.stride) % self.objects;
+                    self.obj_b = (self.obj + 1) % self.objects;
+                    self.phase = RcPhase::IncA;
+                }
+            }
+        }
+    }
+}
+
+impl Kernel for RefCounter {
+    fn name(&self) -> String {
+        "RC".into()
+    }
+    fn blocks(&self) -> usize {
+        self.blocks
+    }
+    fn threads_per_block(&self) -> usize {
+        self.tpb
+    }
+    fn memory_words(&self) -> usize {
+        16 * self.objects
+    }
+    fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
+        // Each block mostly works a contiguous slice of the object pool
+        // (objects belong to a worker's arena); slices of neighbouring
+        // blocks overlap so cross-CU sharing still occurs.
+        let per_block = (self.objects / self.blocks).max(1) as u64;
+        let id = (block * self.tpb + thread) as u64;
+        let obj = (block as u64 * per_block + id % (per_block + 1)) % self.objects as u64;
+        Box::new(RcItem {
+            objects: self.objects as u64,
+            visits_left: self.visits,
+            obj,
+            obj_b: (obj + 1) % self.objects as u64,
+            stride: 1,
+            phase: RcPhase::IncA,
+        })
+    }
+    fn validate(&self, mem: &[Value]) -> Result<(), String> {
+        // All references dropped: every count is zero again.
+        for o in 0..self.objects {
+            if mem[16 * o] != 0 {
+                return Err(format!("object {o}: refcount {} != 0", mem[16 * o]));
+            }
+        }
+        // Marks are 0 or 1.
+        for o in 0..self.objects {
+            let m = mem[16 * o + 1];
+            if m > 1 {
+                return Err(format!("object {o}: mark {m} invalid"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::SystemConfig;
+    use hsim_sys::{run_workload, SysParams};
+
+    #[test]
+    fn split_counter_valid_on_every_config() {
+        let k = SplitCounter { blocks: 4, tpb: 4, increments: 8, sweeps: 2 };
+        let params = SysParams::integrated();
+        for cfg in SystemConfig::all() {
+            let r = run_workload(&k, cfg, &params);
+            k.validate(&r.memory).unwrap_or_else(|e| panic!("{cfg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn ref_counter_valid_on_every_config() {
+        let k = RefCounter { blocks: 4, tpb: 4, objects: 8, visits: 6 };
+        let params = SysParams::integrated();
+        for cfg in SystemConfig::all() {
+            let r = run_workload(&k, cfg, &params);
+            k.validate(&r.memory).unwrap_or_else(|e| panic!("{cfg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn relaxed_model_overlaps_quantum_increments() {
+        let k = SplitCounter::default();
+        let params = SysParams::integrated();
+        let d0 = run_workload(&k, SystemConfig::from_abbrev("DD0").unwrap(), &params);
+        let dr = run_workload(&k, SystemConfig::from_abbrev("DDR").unwrap(), &params);
+        assert!(dr.atomics_overlapped > 0);
+        assert!(dr.cycles < d0.cycles, "DDR {} !< DD0 {}", dr.cycles, d0.cycles);
+    }
+}

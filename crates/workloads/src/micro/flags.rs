@@ -1,0 +1,217 @@
+//! Flags microbenchmark (non-ordering use case, §3.3, Listing 3).
+//!
+//! Worker threads poll `stop` with non-ordering loads and raise `dirty`
+//! with commutative stores; the main thread (block 0, thread 0) raises
+//! `stop`, joins the workers through a paired exit counter, then reads
+//! `dirty` with a non-ordering load.
+
+use drfrlx_core::OpClass;
+use hsim_gpu::{Kernel, Op, RmwKind, Value, WorkItem};
+
+const STOP: u64 = 0;
+const DIRTY: u64 = 1;
+const EXITED: u64 = 2;
+
+/// The Flags microbenchmark (paper: 90 thread blocks).
+#[derive(Debug, Clone)]
+pub struct Flags {
+    /// Thread blocks.
+    pub blocks: usize,
+    /// Threads per block.
+    pub tpb: usize,
+    /// Poll iterations before the main thread raises `stop`.
+    pub main_delay: usize,
+    /// Upper bound on worker poll iterations (deterministic exit even
+    /// if `stop` propagates late).
+    pub max_polls: usize,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags { blocks: 15, tpb: 16, main_delay: 64, max_polls: 600 }
+    }
+}
+
+enum WorkerPhase {
+    Poll,
+    AfterPoll,
+    Work,
+    MaybeDirty,
+    Exit,
+    Done,
+}
+
+struct Worker {
+    polls: usize,
+    max_polls: usize,
+    phase: WorkerPhase,
+}
+
+impl WorkItem for Worker {
+    fn next(&mut self, last: Option<Value>) -> Op {
+        loop {
+            match self.phase {
+                WorkerPhase::Poll => {
+                    self.phase = WorkerPhase::AfterPoll;
+                    return Op::Load { addr: STOP, class: OpClass::NonOrdering };
+                }
+                WorkerPhase::AfterPoll => {
+                    let stop = last.unwrap_or(0);
+                    self.polls += 1;
+                    if stop != 0 || self.polls >= self.max_polls {
+                        self.phase = WorkerPhase::Exit;
+                        continue;
+                    }
+                    self.phase = WorkerPhase::Work;
+                }
+                WorkerPhase::Work => {
+                    self.phase = WorkerPhase::MaybeDirty;
+                    return Op::Think(2);
+                }
+                WorkerPhase::MaybeDirty => {
+                    self.phase = WorkerPhase::Poll;
+                    // Every fourth iteration touches something that
+                    // needs cleanup.
+                    if self.polls % 4 == 0 {
+                        return Op::Store { addr: DIRTY, value: 1, class: OpClass::Commutative };
+                    }
+                }
+                WorkerPhase::Exit => {
+                    self.phase = WorkerPhase::Done;
+                    return Op::Rmw {
+                        addr: EXITED,
+                        rmw: RmwKind::Add,
+                        operand: 1,
+                        class: OpClass::Paired,
+                        use_result: false,
+                    };
+                }
+                WorkerPhase::Done => return Op::Done,
+            }
+        }
+    }
+}
+
+enum MainPhase {
+    Delay,
+    RaiseStop,
+    Join,
+    AfterJoin,
+    ReadDirty,
+    Publish,
+    Done,
+}
+
+struct MainThread {
+    workers: Value,
+    delay: usize,
+    phase: MainPhase,
+}
+
+impl WorkItem for MainThread {
+    fn next(&mut self, last: Option<Value>) -> Op {
+        loop {
+            match self.phase {
+                MainPhase::Delay => {
+                    self.phase = MainPhase::RaiseStop;
+                    return Op::Think(self.delay as u32);
+                }
+                MainPhase::RaiseStop => {
+                    self.phase = MainPhase::Join;
+                    return Op::Store { addr: STOP, value: 1, class: OpClass::NonOrdering };
+                }
+                MainPhase::Join => {
+                    self.phase = MainPhase::AfterJoin;
+                    return Op::Load { addr: EXITED, class: OpClass::Paired };
+                }
+                MainPhase::AfterJoin => {
+                    if last.unwrap_or(0) < self.workers {
+                        self.phase = MainPhase::Join;
+                        continue;
+                    }
+                    self.phase = MainPhase::ReadDirty;
+                }
+                MainPhase::ReadDirty => {
+                    self.phase = MainPhase::Publish;
+                    return Op::Load { addr: DIRTY, class: OpClass::NonOrdering };
+                }
+                MainPhase::Publish => {
+                    let dirty = last.unwrap_or(0);
+                    self.phase = MainPhase::Done;
+                    // "cleanup_dirty_stuff": record that we saw it.
+                    return Op::Store { addr: DIRTY, value: dirty + 10, class: OpClass::Data };
+                }
+                MainPhase::Done => return Op::Done,
+            }
+        }
+    }
+}
+
+impl Kernel for Flags {
+    fn name(&self) -> String {
+        "Flags".into()
+    }
+    fn blocks(&self) -> usize {
+        self.blocks
+    }
+    fn threads_per_block(&self) -> usize {
+        self.tpb
+    }
+    fn memory_words(&self) -> usize {
+        3
+    }
+    fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
+        if block == 0 && thread == 0 {
+            Box::new(MainThread {
+                workers: (self.blocks * self.tpb - 1) as Value,
+                delay: self.main_delay,
+                phase: MainPhase::Delay,
+            })
+        } else {
+            Box::new(Worker {
+                polls: 0,
+                max_polls: self.max_polls,
+                phase: WorkerPhase::Poll,
+            })
+        }
+    }
+    fn validate(&self, mem: &[Value]) -> Result<(), String> {
+        if mem[STOP as usize] != 1 {
+            return Err("stop flag not raised".into());
+        }
+        // Main saw dirty (0 or 1) and published dirty + 10.
+        let d = mem[DIRTY as usize];
+        if d != 10 && d != 11 {
+            return Err(format!("dirty endstate {d} not in {{10, 11}}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::SystemConfig;
+    use hsim_sys::{run_workload, SysParams};
+
+    #[test]
+    fn flags_valid_on_every_config() {
+        let k = Flags { blocks: 4, tpb: 4, main_delay: 8, max_polls: 200 };
+        let params = SysParams::integrated();
+        for cfg in SystemConfig::all() {
+            let r = run_workload(&k, cfg, &params);
+            k.validate(&r.memory).unwrap_or_else(|e| panic!("{cfg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn workers_terminate_via_stop_not_poll_cap() {
+        // With a long cap and a short delay, workers should exit from
+        // seeing the stop flag well before the cap.
+        let k = Flags { blocks: 2, tpb: 4, main_delay: 4, max_polls: 100_000 };
+        let params = SysParams::integrated();
+        let r = run_workload(&k, SystemConfig::from_abbrev("GD0").unwrap(), &params);
+        k.validate(&r.memory).unwrap();
+        assert!(r.cycles < 2_000_000, "stop flag must end the polling");
+    }
+}

@@ -1,0 +1,443 @@
+//! Histogram microbenchmarks (Event Counter use case, §3.2 / §4.4).
+//!
+//! * [`Hist`] — each thread bins its values in the scratchpad first,
+//!   then pushes the per-block sub-histogram into the global one with
+//!   commutative fetch-adds (Podlozhnyuk's CUDA histogram). Few global
+//!   atomics → little for DRFrlx to overlap.
+//! * [`HistGlobal`] — every value increments the global bin directly:
+//!   an atomic storm with high contention.
+//! * [`HistGlobalNonOrder`] — the *read* side of Listing 2's bottom:
+//!   threads read the final bin values with non-ordering atomic loads
+//!   (the update portion is excluded, §4.4). Under DeNovo, atomic
+//!   loads take ownership, so bins ping-pong between L1s — the case
+//!   where DD0 loses to GD0 in Figure 3.
+
+use crate::util::SplitMix64;
+use drfrlx_core::OpClass;
+use hsim_gpu::{Kernel, Op, RmwKind, Value, WorkItem};
+
+/// Memory map: `[0, bins)` = global histogram; `[bins, ...)` = input
+/// values.
+fn input_base(bins: usize) -> u64 {
+    bins as u64
+}
+
+/// Generate the deterministic input stream for `(block, thread)`.
+fn input_of(seed: u64, block: usize, thread: usize, i: usize, bins: usize) -> Value {
+    let mut rng = SplitMix64::new(
+        seed ^ ((block as u64) << 32) ^ ((thread as u64) << 16) ^ i as u64,
+    );
+    rng.below(bins as u64)
+}
+
+/// Common histogram shape.
+#[derive(Debug, Clone)]
+pub struct HistParams {
+    /// Number of bins (paper: 256).
+    pub bins: usize,
+    /// Values binned per thread.
+    pub per_thread: usize,
+    /// Thread blocks.
+    pub blocks: usize,
+    /// Threads per block.
+    pub tpb: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Default for HistParams {
+    fn default() -> Self {
+        HistParams { bins: 256, per_thread: 64, blocks: 15, tpb: 32, seed: 0xD1CE }
+    }
+}
+
+impl HistParams {
+    fn expected(&self) -> Vec<Value> {
+        let mut bins = vec![0; self.bins];
+        for b in 0..self.blocks {
+            for t in 0..self.tpb {
+                for i in 0..self.per_thread {
+                    bins[input_of(self.seed, b, t, i, self.bins) as usize] += 1;
+                }
+            }
+        }
+        bins
+    }
+
+    fn validate_bins(&self, mem: &[Value]) -> Result<(), String> {
+        let expected = self.expected();
+        for (i, &e) in expected.iter().enumerate() {
+            if mem[i] != e {
+                return Err(format!("bin {i}: expected {e}, got {}", mem[i]));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hist (H): local scratchpad binning, then global merge.
+// ---------------------------------------------------------------------
+
+/// The locally-binned histogram.
+#[derive(Debug, Clone, Default)]
+pub struct Hist {
+    /// Shape parameters.
+    pub params: HistParams,
+}
+
+enum HistPhase {
+    /// Reading input value `i` (load issued, waiting result).
+    Read(usize),
+    /// Scratch-increment for the value just loaded: (index, bin).
+    BinLoad(usize, Value),
+    BinStore(usize, Value),
+    /// Block barrier before the cooperative merge.
+    PreMerge,
+    /// Cooperative merge (Podlozhnyuk): this thread owns bins
+    /// `thread, thread + tpb, ...`; sum the per-thread sub-histograms
+    /// for bin `b`: (bin, contributing thread, accumulator).
+    MergeSum(usize, usize, Value),
+    Done,
+}
+
+struct HistItem {
+    p: HistParams,
+    block: usize,
+    thread: usize,
+    phase: HistPhase,
+}
+
+impl HistItem {
+    /// Each thread bins into a private scratch region (as the paper's
+    /// per-thread local binning does) so scratch updates never race.
+    fn scratch_bin(&self, bin: Value) -> u64 {
+        (self.thread * self.p.bins) as u64 + bin
+    }
+}
+
+impl WorkItem for HistItem {
+    fn next(&mut self, last: Option<Value>) -> Op {
+        loop {
+            match self.phase {
+                HistPhase::Read(i) => {
+                    if i >= self.p.per_thread {
+                        self.phase = HistPhase::PreMerge;
+                        continue;
+                    }
+                    // The input load: address derived from the value
+                    // stream (input array is bins..bins+stream).
+                    self.phase = HistPhase::BinLoad(
+                        i,
+                        input_of(self.p.seed, self.block, self.thread, i, self.p.bins),
+                    );
+                    let addr = input_base(self.p.bins)
+                        + ((self.block * self.p.tpb + self.thread) * self.p.per_thread + i) as u64;
+                    return Op::Load { addr, class: OpClass::Data };
+                }
+                HistPhase::BinLoad(i, bin) => {
+                    // last = raw input (ignored; bin precomputed
+                    // deterministically). Read the scratch counter.
+                    let _ = last;
+                    self.phase = HistPhase::BinStore(i, bin);
+                    return Op::ScratchLoad { addr: self.scratch_bin(bin) };
+                }
+                HistPhase::BinStore(i, bin) => {
+                    let count = last.unwrap_or(0);
+                    self.phase = HistPhase::Read(i + 1);
+                    return Op::ScratchStore { addr: self.scratch_bin(bin), value: count + 1 };
+                }
+                HistPhase::PreMerge => {
+                    self.phase = HistPhase::MergeSum(self.thread, 0, 0);
+                    return Op::Barrier;
+                }
+                HistPhase::MergeSum(b, t, acc) => {
+                    if b >= self.p.bins {
+                        self.phase = HistPhase::Done;
+                        continue;
+                    }
+                    let acc = acc + last.filter(|_| t > 0).unwrap_or(0);
+                    if t < self.p.tpb {
+                        // Read thread t's sub-count for bin b.
+                        self.phase = HistPhase::MergeSum(b, t + 1, acc);
+                        return Op::ScratchLoad { addr: (t * self.p.bins + b) as u64 };
+                    }
+                    // One commutative add per (block, bin).
+                    self.phase = HistPhase::MergeSum(b + self.p.tpb, 0, 0);
+                    if acc == 0 {
+                        continue;
+                    }
+                    return Op::Rmw {
+                        addr: b as u64,
+                        rmw: RmwKind::Add,
+                        operand: acc,
+                        class: OpClass::Commutative,
+                        use_result: false,
+                    };
+                }
+                HistPhase::Done => return Op::Done,
+            }
+        }
+    }
+}
+
+impl Kernel for Hist {
+    fn name(&self) -> String {
+        "H".into()
+    }
+    fn blocks(&self) -> usize {
+        self.params.blocks
+    }
+    fn threads_per_block(&self) -> usize {
+        self.params.tpb
+    }
+    fn scratch_words(&self) -> usize {
+        self.params.tpb * self.params.bins
+    }
+    fn memory_words(&self) -> usize {
+        self.params.bins + self.params.blocks * self.params.tpb * self.params.per_thread
+    }
+    fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
+        Box::new(HistItem { p: self.params.clone(), block, thread, phase: HistPhase::Read(0) })
+    }
+    fn validate(&self, mem: &[Value]) -> Result<(), String> {
+        self.params.validate_bins(mem)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hist_global (HG): every value goes straight to the global bins.
+// ---------------------------------------------------------------------
+
+/// The all-global histogram.
+#[derive(Debug, Clone)]
+pub struct HistGlobal {
+    /// Shape parameters.
+    pub params: HistParams,
+    /// Class annotation on the updates (Table 3: commutative; the
+    /// acquire/release ablation compares `Paired` against `Release` —
+    /// an increment has nothing to acquire, so the release-only RMW
+    /// keeps the input lines in the L1).
+    pub update_class: OpClass,
+}
+
+impl Default for HistGlobal {
+    fn default() -> Self {
+        HistGlobal { params: HistParams::default(), update_class: OpClass::Commutative }
+    }
+}
+
+struct HgItem {
+    p: HistParams,
+    class: OpClass,
+    block: usize,
+    thread: usize,
+    i: usize,
+    loaded: bool,
+}
+
+impl WorkItem for HgItem {
+    fn next(&mut self, _last: Option<Value>) -> Op {
+        if self.i >= self.p.per_thread {
+            return Op::Done;
+        }
+        if !self.loaded {
+            self.loaded = true;
+            let addr = input_base(self.p.bins)
+                + ((self.block * self.p.tpb + self.thread) * self.p.per_thread + self.i) as u64;
+            return Op::Load { addr, class: OpClass::Data };
+        }
+        let bin = input_of(self.p.seed, self.block, self.thread, self.i, self.p.bins);
+        self.i += 1;
+        self.loaded = false;
+        Op::Rmw {
+            addr: bin,
+            rmw: RmwKind::Add,
+            operand: 1,
+            class: self.class,
+            use_result: false,
+        }
+    }
+}
+
+impl Kernel for HistGlobal {
+    fn name(&self) -> String {
+        "HG".into()
+    }
+    fn blocks(&self) -> usize {
+        self.params.blocks
+    }
+    fn threads_per_block(&self) -> usize {
+        self.params.tpb
+    }
+    fn memory_words(&self) -> usize {
+        self.params.bins + self.params.blocks * self.params.tpb * self.params.per_thread
+    }
+    fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
+        Box::new(HgItem {
+            p: self.params.clone(),
+            class: self.update_class,
+            block,
+            thread,
+            i: 0,
+            loaded: false,
+        })
+    }
+    fn validate(&self, mem: &[Value]) -> Result<(), String> {
+        self.params.validate_bins(mem)
+    }
+}
+
+// ---------------------------------------------------------------------
+// HG-NO: read the final bins with non-ordering atomic loads.
+// ---------------------------------------------------------------------
+
+/// The bin-reading phase with non-ordering atomics.
+///
+/// Threads read scattered, mostly-disjoint bins (a hashed stride), so
+/// an atomic load rarely finds its line already owned by its own CU.
+/// Under DeNovo every read drags ownership across the mesh (the §6
+/// "overhead of obtaining ownership from a remote core"), while GPU
+/// coherence just round-trips to the home L2 bank — this is the
+/// microbenchmark where DD0 loses to GD0 in Figure 3.
+#[derive(Debug, Clone)]
+pub struct HistGlobalNonOrder {
+    /// Shape parameters: `bins` is the table size, `per_thread` the
+    /// reads issued per thread.
+    pub params: HistParams,
+}
+
+impl Default for HistGlobalNonOrder {
+    fn default() -> Self {
+        HistGlobalNonOrder {
+            params: HistParams { bins: 4096, per_thread: 64, ..HistParams::default() },
+        }
+    }
+}
+
+struct HgNoItem {
+    p: HistParams,
+    gid: u64,
+    threads: u64,
+    i: usize,
+}
+
+impl WorkItem for HgNoItem {
+    fn next(&mut self, _last: Option<Value>) -> Op {
+        if self.i >= self.p.per_thread {
+            return Op::Done;
+        }
+        // Odd multiplier ⇒ bijection on a power-of-two table: spreads
+        // logically-adjacent reads across lines and CUs.
+        let k = self.gid + self.i as u64 * self.threads;
+        let bin = (k.wrapping_mul(0x9E37_79B1)) % self.p.bins as u64;
+        self.i += 1;
+        Op::Load { addr: bin, class: OpClass::NonOrdering }
+    }
+}
+
+impl Kernel for HistGlobalNonOrder {
+    fn name(&self) -> String {
+        "HG-NO".into()
+    }
+    fn blocks(&self) -> usize {
+        self.params.blocks
+    }
+    fn threads_per_block(&self) -> usize {
+        self.params.tpb
+    }
+    fn memory_words(&self) -> usize {
+        self.params.bins
+    }
+    fn init_memory(&self, mem: &mut [Value]) {
+        // Pre-populated histogram (the update phase is excluded).
+        for (i, m) in mem.iter_mut().enumerate().take(self.params.bins) {
+            *m = (i % 7 + 1) as Value;
+        }
+    }
+    fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
+        Box::new(HgNoItem {
+            p: self.params.clone(),
+            gid: (block * self.params.tpb + thread) as u64,
+            threads: (self.params.blocks * self.params.tpb) as u64,
+            i: 0,
+        })
+    }
+    fn validate(&self, mem: &[Value]) -> Result<(), String> {
+        // Read-only: bins must be untouched.
+        for i in 0..self.params.bins {
+            if mem[i] != (i % 7 + 1) as Value {
+                return Err(format!("bin {i} was modified"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::SystemConfig;
+    use hsim_sys::{run_workload, SysParams};
+
+    fn small() -> HistParams {
+        HistParams { bins: 32, per_thread: 8, blocks: 4, tpb: 4, seed: 1 }
+    }
+
+    #[test]
+    fn hist_is_functionally_correct_on_every_config() {
+        let k = Hist { params: small() };
+        let params = SysParams::integrated();
+        for cfg in SystemConfig::all() {
+            let r = run_workload(&k, cfg, &params);
+            k.validate(&r.memory).unwrap_or_else(|e| panic!("{cfg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn hg_is_functionally_correct_on_every_config() {
+        let k = HistGlobal { params: small(), ..Default::default() };
+        let params = SysParams::integrated();
+        for cfg in SystemConfig::all() {
+            let r = run_workload(&k, cfg, &params);
+            k.validate(&r.memory).unwrap_or_else(|e| panic!("{cfg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn hg_no_reads_do_not_modify() {
+        let k = HistGlobalNonOrder { params: small() };
+        let params = SysParams::integrated();
+        for cfg in SystemConfig::all() {
+            let r = run_workload(&k, cfg, &params);
+            k.validate(&r.memory).unwrap_or_else(|e| panic!("{cfg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn hg_has_many_more_atomics_than_h() {
+        // Many values over few bins: H merges each thread's nonzero
+        // bins once, HG pays one atomic per value.
+        let p = HistParams { bins: 16, per_thread: 64, blocks: 4, tpb: 4, seed: 1 };
+        let params = SysParams::integrated();
+        let cfg = SystemConfig::from_abbrev("GD0").unwrap();
+        let h = run_workload(&Hist { params: p.clone() }, cfg, &params);
+        let hg = run_workload(&HistGlobal { params: p, ..Default::default() }, cfg, &params);
+        assert!(
+            hg.atomics > 2 * h.atomics,
+            "HG {} vs H {} atomics",
+            hg.atomics,
+            h.atomics
+        );
+    }
+
+    #[test]
+    fn hist_uses_the_scratchpad() {
+        let params = SysParams::integrated();
+        let cfg = SystemConfig::from_abbrev("GD0").unwrap();
+        let h = run_workload(&Hist { params: small() }, cfg, &params);
+        assert!(h.counters.scratch_accesses > 0);
+        let hg = run_workload(&HistGlobal { params: small(), ..Default::default() }, cfg, &params);
+        assert_eq!(hg.counters.scratch_accesses, 0);
+    }
+}

@@ -1,0 +1,15 @@
+//! The seven microbenchmarks of Table 3, each stressing one
+//! relaxed-atomic use case from §3. Inputs are scaled from the paper's
+//! (256 KB → a few KB of values) to keep simulations fast; contention
+//! ratios — the quantity that drives the trends — are preserved by
+//! scaling bins and threads together.
+
+mod counters;
+mod flags;
+mod hist;
+mod seqlock;
+
+pub use counters::{RefCounter, SplitCounter};
+pub use flags::Flags;
+pub use hist::{Hist, HistGlobal, HistGlobalNonOrder, HistParams};
+pub use seqlock::Seqlocks;

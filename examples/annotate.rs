@@ -1,0 +1,50 @@
+//! Annotation inference: start from conservative SC atomics and let the
+//! DRFrlx model discover which may relax — the developer workflow the
+//! paper's SC-centric contract enables.
+//!
+//! Run with `cargo run --release --example annotate`.
+
+use drfrlx::model::emit::emit;
+use drfrlx::model::exec::EnumLimits;
+use drfrlx::model::infer::infer;
+use drfrlx::model::prelude::*;
+
+fn main() {
+    // A seqlock written defensively: every atomic is an SC atomic.
+    let mut p = Program::new("defensive_seqlock");
+    {
+        let mut t = p.thread();
+        let old = t.cas(OpClass::Paired, "seq", 0, 1);
+        let ok = Expr::bin(drfrlx::model::program::BinOp::Eq, old.into(), 0.into());
+        t.if_nz(ok, |t| {
+            t.store(OpClass::Paired, "data", 10);
+            t.store(OpClass::Paired, "seq", 2);
+        });
+    }
+    {
+        let mut t = p.thread();
+        let seq0 = t.load(OpClass::Paired, "seq");
+        let r = t.load(OpClass::Paired, "data");
+        let seq1 = t.rmw(OpClass::Paired, "seq", RmwOp::FetchAdd, 0);
+        let same = Expr::bin(drfrlx::model::program::BinOp::Eq, seq0.into(), seq1.into());
+        let even = Expr::bin(
+            drfrlx::model::program::BinOp::Eq,
+            Expr::bin(drfrlx::model::program::BinOp::And, seq0.into(), 1.into()),
+            0.into(),
+        );
+        let ok = Expr::bin(drfrlx::model::program::BinOp::And, same, even);
+        t.if_nz(ok, |t| {
+            t.observe(r);
+        });
+    }
+    let p = p.build();
+
+    let inf = infer(&p, &EnumLimits::default()).expect("enumerable");
+    println!("inference found {} relaxation(s):", inf.changes.len());
+    for c in &inf.changes {
+        println!("  thread {}, instruction {}: {} -> {}", c.tid, c.iid, c.from, c.to);
+    }
+    println!("\nre-annotated program:\n{}", emit(&inf.program));
+    assert!(check_program(&inf.program, MemoryModel::Drfrlx).is_race_free());
+    println!("(still DRFrlx race-free — same SC-centric guarantee, cheaper atomics)");
+}

@@ -1,0 +1,233 @@
+//! The `drfrlx` command-line tool: check, explore and simulate.
+//!
+//! ```console
+//! $ drfrlx check litmus-tests/mp_paired.litmus
+//! $ drfrlx check litmus-tests/mp_unpaired.litmus --model drf1
+//! $ drfrlx explore litmus-tests/figure2a.litmus
+//! $ drfrlx machine litmus-tests/sb_relaxed.litmus
+//! $ drfrlx list
+//! $ drfrlx simulate PR-2 --config DDR
+//! ```
+
+use drfrlx::model::emit::emit;
+use drfrlx::model::exec::{enumerate_sc, EnumLimits};
+use drfrlx::model::infer::infer;
+use drfrlx::model::checker::try_check_program;
+use drfrlx::model::parse::parse;
+use drfrlx::model::pretty::{format_conflict_graph, format_execution};
+use drfrlx::model::program::Program;
+use drfrlx::model::races::analyze;
+use drfrlx::model::syscentric::compare_with_sc;
+use drfrlx::sim::{run_workload, SysParams};
+use drfrlx::workloads::all_workloads;
+use drfrlx::workloads::registry::extensions;
+use drfrlx::{MemoryModel, SystemConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
+        Some("machine") => cmd_machine(&args[1..]),
+        Some("infer") => cmd_infer(&args[1..]),
+        Some("fmt") => cmd_fmt(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(clean) if clean => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+drfrlx — DRFrlx memory-model checker and CPU-GPU simulator
+
+USAGE:
+  drfrlx check <file.litmus> [--model drf0|drf1|drfrlx]
+      Enumerate all SC executions and report illegal races
+      (exit status 1 if the program is racy).
+  drfrlx explore <file.litmus>
+      Print a representative execution, its program/conflict graph
+      and every race found across executions.
+  drfrlx machine <file.litmus>
+      Run the system-centric relaxed machine and compare its
+      reachable memory results against SC.
+  drfrlx infer <file.litmus>
+      Weaken every atomic annotation as far as DRFrlx race-freedom
+      allows, and print the re-annotated program.
+  drfrlx fmt <file.litmus>
+      Parse and re-emit the program in canonical form.
+  drfrlx list
+      List the Table 3 workloads available to `simulate`.
+  drfrlx simulate <workload> [--config GD0..DDR] [--platform integrated|discrete]
+      Run one workload on the simulated system and print the report.";
+
+type CmdResult = Result<bool, Box<dyn std::error::Error>>;
+
+fn load_program(path: &str) -> Result<Program, Box<dyn std::error::Error>> {
+    let src = std::fs::read_to_string(path)?;
+    Ok(parse(&src)?)
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_check(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("check needs a .litmus file")?;
+    let models: Vec<MemoryModel> = match flag_value(args, "--model") {
+        None => MemoryModel::ALL.to_vec(),
+        Some(m) => vec![match m.to_ascii_lowercase().as_str() {
+            "drf0" => MemoryModel::Drf0,
+            "drf1" => MemoryModel::Drf1,
+            "drfrlx" => MemoryModel::Drfrlx,
+            other => return Err(format!("unknown model `{other}`").into()),
+        }],
+    };
+    let p = load_program(path)?;
+    let limits = EnumLimits::default();
+    let mut clean = true;
+    for model in models {
+        let report = try_check_program(&p, model, &limits)?;
+        if report.is_race_free() {
+            println!("{model}: race-free ({} SC executions)", report.executions);
+        } else {
+            clean = false;
+            println!("{model}: RACY ({} SC executions)", report.executions);
+            for f in &report.races {
+                println!("  - {}", f.description);
+            }
+        }
+    }
+    Ok(clean)
+}
+
+fn cmd_explore(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("explore needs a .litmus file")?;
+    let p = load_program(path)?;
+    let execs = enumerate_sc(&p, &EnumLimits::default())?;
+    println!("{}: {} SC executions", p.name(), execs.len());
+    let racy = execs.iter().find(|e| !analyze(e).is_race_free());
+    let shown = racy.unwrap_or_else(|| execs.iter().max_by_key(|e| e.len()).expect("nonempty"));
+    println!("\n{} execution:", if racy.is_some() { "racy" } else { "representative" });
+    print!("{}", format_execution(&p, shown));
+    print!("{}", format_conflict_graph(&p, shown));
+    let mut any = false;
+    for r in analyze(shown).races() {
+        println!("  !! {} between e{} and e{}", r.kind, r.a, r.b);
+        any = true;
+    }
+    if !any {
+        println!("no illegal races in the shown execution");
+    }
+    Ok(racy.is_none())
+}
+
+fn cmd_machine(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("machine needs a .litmus file")?;
+    let p = load_program(path)?;
+    let cmp = compare_with_sc(&p, MemoryModel::Drfrlx, &EnumLimits::default())?;
+    println!(
+        "{}: {} relaxed memory results vs {} SC results",
+        p.name(),
+        cmp.relaxed_count,
+        cmp.sc_count
+    );
+    if cmp.is_sc_only() {
+        println!("every relaxed-machine result is an SC result");
+    } else {
+        println!("{} non-SC results reachable:", cmp.non_sc_results.len());
+        for m in &cmp.non_sc_results {
+            let pretty: Vec<String> = m
+                .iter()
+                .map(|(l, v)| format!("{}={v}", p.loc_name(*l)))
+                .collect();
+            println!("  {{ {} }}", pretty.join(", "));
+        }
+    }
+    Ok(cmp.is_sc_only())
+}
+
+fn cmd_infer(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("infer needs a .litmus file")?;
+    let p = load_program(path)?;
+    let inf = infer(&p, &EnumLimits::default())?;
+    if inf.changes.is_empty() {
+        let racy = !drfrlx::check_program(&p, MemoryModel::Drfrlx).is_race_free();
+        if racy {
+            println!("// program is racy; nothing can be inferred");
+            return Ok(false);
+        }
+        println!("// every annotation is already as weak as it can be");
+    } else {
+        for c in &inf.changes {
+            println!("// t{}.i{}: {} -> {}", c.tid, c.iid, c.from, c.to);
+        }
+    }
+    print!("{}", emit(&inf.program));
+    Ok(true)
+}
+
+fn cmd_fmt(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("fmt needs a .litmus file")?;
+    let p = load_program(path)?;
+    print!("{}", emit(&p));
+    Ok(true)
+}
+
+fn cmd_list() -> CmdResult {
+    println!("{:8} {:6} {}", "name", "kind", "scaled input");
+    for s in all_workloads().into_iter().chain(extensions()) {
+        println!(
+            "{:8} {:6} {}",
+            s.name,
+            if s.micro { "micro" } else { "bench" },
+            s.scaled_input
+        );
+    }
+    Ok(true)
+}
+
+fn cmd_simulate(args: &[String]) -> CmdResult {
+    let name = args.first().ok_or("simulate needs a workload name (see `drfrlx list`)")?;
+    let config = SystemConfig::from_abbrev(flag_value(args, "--config").unwrap_or("DDR"))
+        .ok_or("unknown config (use GD0, GD1, GDR, DD0, DD1 or DDR)")?;
+    let params = match flag_value(args, "--platform").unwrap_or("integrated") {
+        "integrated" => SysParams::integrated(),
+        "discrete" => SysParams::discrete_gpu(),
+        other => return Err(format!("unknown platform `{other}`").into()),
+    };
+    let spec = all_workloads()
+        .into_iter()
+        .chain(extensions())
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown workload `{name}` (see `drfrlx list`)"))?;
+    let kernel = spec.kernel();
+    let r = run_workload(kernel.as_ref(), config, &params);
+    kernel.validate(&r.memory).map_err(|e| format!("functional check failed: {e}"))?;
+    println!("{} on {} ({}):", spec.name, config, r.platform);
+    println!("  cycles              {}", r.cycles);
+    println!("  energy              {}", r.energy);
+    println!("  atomics             {} ({} overlapped)", r.atomics, r.atomics_overlapped);
+    println!("  L1 hits/misses      {}/{}", r.proto.l1_hits, r.proto.l1_misses);
+    println!("  invalidation events {}", r.proto.invalidation_events);
+    println!("  SB flushes          {}", r.proto.sb_flushes);
+    println!("  atomics @L1/@L2     {}/{}", r.proto.atomics_at_l1, r.proto.atomics_at_l2);
+    println!("  MSHR coalesced      {}", r.proto.mshr_coalesced);
+    println!("  remote L1 transfers {}", r.proto.remote_l1_transfers);
+    println!("  functional check    ok");
+    Ok(true)
+}

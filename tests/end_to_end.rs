@@ -1,0 +1,119 @@
+//! End-to-end integration: every workload family runs on all six
+//! configurations, produces functionally correct results, and shows
+//! the paper's first-order trends.
+
+use drfrlx::sim::gpu::Kernel;
+use drfrlx::sim::{run_all_configs, run_workload, SysParams};
+use drfrlx::workloads::micro::{
+    Flags, Hist, HistGlobal, HistGlobalNonOrder, HistParams, RefCounter, Seqlocks, SplitCounter,
+};
+use drfrlx::workloads::{bc::Bc, graphs, pagerank::PageRank, uts::Uts};
+use drfrlx::SystemConfig;
+
+fn check_all(k: &dyn Kernel) -> Vec<drfrlx::sim::RunReport> {
+    let params = SysParams::integrated();
+    let reports = run_all_configs(k, &params);
+    for r in &reports {
+        k.validate(&r.memory)
+            .unwrap_or_else(|e| panic!("{} invalid under {}: {e}", k.name(), r.config));
+    }
+    reports
+}
+
+#[test]
+fn histograms_run_everywhere() {
+    let p = HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 4, seed: 5 };
+    check_all(&Hist { params: p.clone() });
+    check_all(&HistGlobal { params: p.clone(), ..Default::default() });
+    check_all(&HistGlobalNonOrder { params: HistParams { bins: 256, ..p } });
+}
+
+#[test]
+fn counters_and_seqlocks_run_everywhere() {
+    check_all(&SplitCounter { blocks: 4, tpb: 6, increments: 16, sweeps: 2 });
+    check_all(&RefCounter { blocks: 4, tpb: 4, objects: 8, visits: 6 });
+    check_all(&Seqlocks { acqrel: false, blocks: 4, tpb: 4, payload: 3, writes: 4, reads: 4, max_retries: 32 });
+    check_all(&Flags { blocks: 4, tpb: 4, main_delay: 16, max_polls: 300 });
+}
+
+#[test]
+fn benchmarks_run_everywhere() {
+    check_all(&Uts::scaled(96, 5, 4));
+    check_all(&Bc::new(graphs::mesh_like("t", 8, 6), 5, 4));
+    check_all(&PageRank::new(graphs::contact_like("t", 96, 3, 5), 2, 5, 4));
+}
+
+#[test]
+fn weaker_models_never_lose_badly_and_functionality_is_model_independent() {
+    // The paper's contract: relaxing the model changes *timing*, never
+    // results; and on atomic-heavy code the weaker model wins.
+    let k = HistGlobal { params: HistParams { bins: 64, per_thread: 32, blocks: 8, tpb: 8, seed: 9 }, ..Default::default() };
+    let r = check_all(&k);
+    let (gd0, gd1, gdr, dd0, dd1, ddr) =
+        (&r[0], &r[1], &r[2], &r[3], &r[4], &r[5]);
+    assert!(gd1.cycles <= gd0.cycles);
+    assert!(gdr.cycles <= gd1.cycles);
+    assert!(dd1.cycles <= dd0.cycles);
+    assert!(ddr.cycles <= dd1.cycles);
+    for pair in r.windows(2) {
+        assert_eq!(pair[0].memory, pair[1].memory, "results are model-independent");
+    }
+}
+
+#[test]
+fn drf1_restores_data_reuse_on_pagerank() {
+    let pr = PageRank::new(graphs::mesh_like("t", 16, 12), 2, 8, 8);
+    let params = SysParams::integrated();
+    let gd0 = run_workload(&pr, SystemConfig::from_abbrev("GD0").unwrap(), &params);
+    let gd1 = run_workload(&pr, SystemConfig::from_abbrev("GD1").unwrap(), &params);
+    assert!(gd1.cycles < gd0.cycles, "GD1 {} !< GD0 {}", gd1.cycles, gd0.cycles);
+    assert!(gd1.proto.invalidation_events < gd0.proto.invalidation_events);
+    let hit = |r: &drfrlx::sim::RunReport| {
+        r.proto.l1_hits as f64 / (r.proto.l1_hits + r.proto.l1_misses) as f64
+    };
+    assert!(hit(&gd1) > hit(&gd0), "unpaired atomics stop destroying the L1");
+}
+
+#[test]
+fn drfrlx_overlaps_atomics_only_under_drfrlx() {
+    let k = HistGlobal { params: HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 6, seed: 2 }, ..Default::default() };
+    let params = SysParams::integrated();
+    for cfg in SystemConfig::all() {
+        let r = run_workload(&k, cfg, &params);
+        if cfg.model == drfrlx::MemoryModel::Drfrlx {
+            assert!(r.atomics_overlapped > 0, "{cfg} must overlap");
+        } else {
+            assert_eq!(r.atomics_overlapped, 0, "{cfg} must not overlap");
+        }
+    }
+}
+
+#[test]
+fn denovo_places_atomics_at_l1_gpu_at_l2() {
+    let k = SplitCounter { blocks: 4, tpb: 6, increments: 8, sweeps: 1 };
+    let params = SysParams::integrated();
+    let g = run_workload(&k, SystemConfig::from_abbrev("GD0").unwrap(), &params);
+    let d = run_workload(&k, SystemConfig::from_abbrev("DD0").unwrap(), &params);
+    assert!(g.proto.atomics_at_l2 > 0 && g.proto.atomics_at_l1 == 0);
+    assert!(d.proto.atomics_at_l1 > 0 && d.proto.atomics_at_l2 == 0);
+    assert!(d.proto.atomic_l1_reuse > 0, "DeNovo reuses registered atomics");
+}
+
+#[test]
+fn discrete_platform_amplifies_sc_atomic_cost() {
+    let k = HistGlobal { params: HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 6, seed: 4 }, ..Default::default() };
+    let gd0 = SystemConfig::from_abbrev("GD0").unwrap();
+    let gdr = SystemConfig::from_abbrev("GDR").unwrap();
+    let speedup = |p: &SysParams| {
+        let sc = run_workload(&k, gd0, p);
+        let rlx = run_workload(&k, gdr, p);
+        sc.cycles as f64 / rlx.cycles as f64
+    };
+    let integrated = speedup(&SysParams::integrated());
+    let discrete = speedup(&SysParams::discrete_gpu());
+    assert!(
+        discrete > integrated,
+        "Figure 1 premise: relaxed atomics matter more on discrete GPUs \
+         ({discrete:.2}x vs {integrated:.2}x)"
+    );
+}

@@ -1,0 +1,58 @@
+//! The `.litmus` text corpus round-trips through the parser and gets
+//! the expected verdict from the checker — the `drfrlx check` CLI path.
+
+use drfrlx::model::parse::parse;
+use drfrlx::model::races::RaceKind;
+use drfrlx::{check_program, MemoryModel};
+
+fn load(name: &str) -> drfrlx::model::program::Program {
+    let path = format!("{}/litmus-tests/{name}.litmus", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse(&src).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn corpus_files_parse_and_check() {
+    // (file, race-free under [DRF0, DRF1, DRFrlx], expected DRFrlx kind)
+    let expectations: &[(&str, [bool; 3], Option<RaceKind>)] = &[
+        ("mp_paired", [true, true, true], None),
+        ("mp_unpaired", [true, false, false], Some(RaceKind::Data)),
+        ("event_counter", [true, true, true], None),
+        ("event_counter_observed", [true, true, false], Some(RaceKind::Commutative)),
+        ("figure2a", [true, true, false], Some(RaceKind::NonOrdering)),
+        ("figure2b", [true, true, true], None),
+        ("split_counter", [true, true, true], None),
+        ("seqlock", [true, true, true], None),
+        ("sb_relaxed", [true, true, false], Some(RaceKind::NonOrdering)),
+        ("mp_release_acquire", [true, true, true], None),
+        ("sb_release_acquire", [true, true, true], None),
+    ];
+    for (file, race_free, kind) in expectations {
+        let p = load(file);
+        for (i, model) in MemoryModel::ALL.iter().enumerate() {
+            let r = check_program(&p, *model);
+            assert_eq!(
+                r.is_race_free(),
+                race_free[i],
+                "{file} under {model}: {:?}",
+                r.race_kinds()
+            );
+        }
+        if let Some(k) = kind {
+            let r = check_program(&p, MemoryModel::Drfrlx);
+            assert!(r.has_race_kind(*k), "{file}: expected {k}, got {:?}", r.race_kinds());
+        }
+    }
+}
+
+#[test]
+fn every_corpus_file_is_covered() {
+    let dir = format!("{}/litmus-tests", env!("CARGO_MANIFEST_DIR"));
+    let mut files: Vec<String> = std::fs::read_dir(dir)
+        .expect("litmus-tests directory exists")
+        .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+        .filter(|f| f.ends_with(".litmus"))
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 11, "update corpus_files_parse_and_check: {files:?}");
+}

@@ -1,0 +1,130 @@
+//! Cross-layer integration: the litmus corpus (the model's view of each
+//! use case) and the simulator workloads (the system's view) must tell
+//! one consistent story.
+
+use drfrlx::litmus::suite::{all_tests, Category};
+use drfrlx::model::syscentric::compare_with_sc;
+use drfrlx::model::exec::EnumLimits;
+use drfrlx::sim::gpu::Kernel;
+use drfrlx::sim::{run_all_configs, SysParams};
+use drfrlx::workloads::micro::{HistParams, HistGlobal, RefCounter, Seqlocks, SplitCounter};
+use drfrlx::{check_program, MemoryModel};
+
+/// Every Table 1 use case is DRFrlx race-free, and its benchmark-scale
+/// counterpart is functionally correct under the most relaxed config.
+#[test]
+fn use_cases_are_race_free_and_their_workloads_correct() {
+    for t in all_tests().iter().filter(|t| t.category == Category::UseCase) {
+        let report = check_program(&(t.build)(), MemoryModel::Drfrlx);
+        assert!(report.is_race_free(), "{} must be race-free", t.name);
+    }
+    let params = SysParams::integrated();
+    let kernels: Vec<Box<dyn Kernel>> = vec![
+        Box::new(HistGlobal { params: HistParams { bins: 32, per_thread: 8, blocks: 4, tpb: 4, seed: 8 }, ..Default::default() }),
+        Box::new(SplitCounter { blocks: 4, tpb: 4, increments: 8, sweeps: 1 }),
+        Box::new(RefCounter { blocks: 4, tpb: 4, objects: 8, visits: 4 }),
+        Box::new(Seqlocks { acqrel: false, blocks: 4, tpb: 4, payload: 2, writes: 3, reads: 3, max_retries: 32 }),
+    ];
+    for k in &kernels {
+        for r in run_all_configs(k.as_ref(), &params) {
+            k.validate(&r.memory)
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", k.name(), r.config));
+        }
+    }
+}
+
+/// Theorem 3.1, across the whole corpus: every test the checker calls
+/// race-free produces only SC memory results on the relaxed machine.
+/// (Scoped to programs without one-sided atomics: release/acquire
+/// promise happens-before, not SC — paper §7.)
+#[test]
+fn theorem_3_1_holds_on_the_corpus() {
+    use drfrlx::OpClass;
+    let limits = EnumLimits::default();
+    for t in all_tests() {
+        if !t.race_free[2] || t.sc_only.is_none() {
+            continue; // racy tests make no promise; skipped ones are costed out
+        }
+        let p = (t.build)();
+        if p.classes_used()
+            .iter()
+            .any(|c| matches!(c, OpClass::Acquire | OpClass::Release))
+        {
+            continue;
+        }
+        let cmp = compare_with_sc(&p, MemoryModel::Drfrlx, &limits)
+            .unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        assert!(
+            cmp.is_sc_only(),
+            "{}: race-free program produced non-SC results {:?}",
+            t.name,
+            cmp.non_sc_results
+        );
+    }
+}
+
+/// Annotation inference recovers the paper's labelings: starting from
+/// the all-SC-atomics version of a use case, `infer` finds relaxed
+/// annotations, and the result stays race-free and maximal.
+#[test]
+fn inference_recovers_relaxed_annotations() {
+    use drfrlx::model::exec::EnumLimits;
+    use drfrlx::model::infer::infer;
+    use drfrlx::OpClass;
+    let limits = EnumLimits::default();
+    for t in all_tests().iter().filter(|t| t.category == Category::UseCase) {
+        let p = (t.build)();
+        // Conservative version: every atomic becomes paired (quantum
+        // stays quantum — inference never proposes it, so upgrading it
+        // would lose information the test can't recover).
+        let conservative = p.map_classes(|c| {
+            if c.is_atomic() && c != OpClass::Quantum {
+                OpClass::Paired
+            } else {
+                c
+            }
+        });
+        let inf = infer(&conservative, &limits).unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        assert!(
+            check_program(&inf.program, MemoryModel::Drfrlx).is_race_free(),
+            "{}: inferred program must stay race-free",
+            t.name
+        );
+        // The paper's own labelings prove relaxations exist for these
+        // use cases; inference must find at least one whenever the
+        // original used a non-paired, non-quantum class.
+        let had_relaxed = p
+            .classes_used()
+            .iter()
+            .any(|c| c.is_relaxed() && *c != OpClass::Quantum || *c == OpClass::Unpaired);
+        if had_relaxed {
+            assert!(
+                !inf.changes.is_empty(),
+                "{}: expected inference to weaken something",
+                t.name
+            );
+        }
+    }
+}
+
+/// Mislabeled corpus entries are rejected by DRFrlx; the DRF0 view
+/// (every atomic upgraded to SC) can only be rejected for a *data*
+/// race — and upgrading may legitimately fix data races, because SC
+/// atomics order data where relaxed ones do not (DRF1's whole point,
+/// e.g. work_queue_no_recheck).
+#[test]
+fn drf0_view_rejections_are_always_data_races() {
+    use drfrlx::model::races::RaceKind;
+    for t in all_tests().iter().filter(|t| t.category == Category::Mislabeled) {
+        let p = (t.build)();
+        let r = check_program(&p, MemoryModel::Drfrlx);
+        assert!(!r.is_race_free(), "{}", t.name);
+        let drf0 = check_program(&p, MemoryModel::Drf0);
+        if !drf0.is_race_free() {
+            // Only data races exist in the DRF0 world...
+            assert_eq!(drf0.race_kinds(), vec![RaceKind::Data], "{}", t.name);
+            // ...and they survive weakening: DRFrlx flags them too.
+            assert!(r.has_race_kind(RaceKind::Data), "{}", t.name);
+        }
+    }
+}
