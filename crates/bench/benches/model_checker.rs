@@ -1,8 +1,8 @@
-//! Criterion benchmarks for the memory-model tooling: SC enumeration,
-//! Listing 7 race analysis, the whole-program checker, and the
-//! system-centric relaxed machine.
+//! Benchmarks for the memory-model tooling: SC enumeration, Listing 7
+//! race analysis, the whole-program checker, and the system-centric
+//! relaxed machine. Plain `harness = false` timing (offline-friendly).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use drfrlx_bench::timing::{bench, TimingConfig};
 use drfrlx_core::checker::try_check_program;
 use drfrlx_core::exec::{enumerate_sc, EnumLimits};
 use drfrlx_core::races::analyze;
@@ -10,54 +10,33 @@ use drfrlx_core::syscentric::explore_relaxed;
 use drfrlx_core::MemoryModel;
 use drfrlx_litmus::usecases;
 
-fn bench_enumeration(c: &mut Criterion) {
-    let p = usecases::seqlock();
+fn main() {
+    let cfg = TimingConfig::default();
     let limits = EnumLimits::default();
-    c.bench_function("enumerate_sc/seqlock", |b| {
-        b.iter(|| enumerate_sc(&p, &limits).expect("enumerable").len())
-    });
-}
 
-fn bench_race_analysis(c: &mut Criterion) {
-    let p = usecases::flags();
-    let limits = EnumLimits::default();
-    let execs = enumerate_sc(&p, &limits).expect("enumerable");
-    c.bench_function("analyze/flags_all_executions", |b| {
-        b.iter(|| execs.iter().map(|e| analyze(e).races().len()).sum::<usize>())
+    let seqlock = usecases::seqlock();
+    bench("enumerate_sc/seqlock", &cfg, || {
+        enumerate_sc(&seqlock, &limits).expect("enumerable").len()
     });
-}
 
-fn bench_checker(c: &mut Criterion) {
-    let limits = EnumLimits::default();
+    let flags = usecases::flags();
+    let execs = enumerate_sc(&flags, &limits).expect("enumerable");
+    bench("analyze/flags_all_executions", &cfg, || {
+        execs.iter().map(|e| analyze(e).races().len()).sum::<usize>()
+    });
+
     for (name, p) in [
         ("work_queue", usecases::work_queue()),
         ("event_counter", usecases::event_counter()),
         ("split_counter", usecases::split_counter()),
     ] {
-        c.bench_function(&format!("check_program/{name}"), |b| {
-            b.iter(|| {
-                try_check_program(&p, MemoryModel::Drfrlx, &limits)
-                    .expect("enumerable")
-                    .is_race_free()
-            })
+        bench(&format!("check_program/{name}"), &cfg, || {
+            try_check_program(&p, MemoryModel::Drfrlx, &limits).expect("enumerable").is_race_free()
         });
     }
-}
 
-fn bench_relaxed_machine(c: &mut Criterion) {
-    let p = usecases::event_counter();
-    let limits = EnumLimits::default();
-    c.bench_function("explore_relaxed/event_counter", |b| {
-        b.iter(|| explore_relaxed(&p, MemoryModel::Drfrlx, &limits).expect("explorable").schedules)
+    let counter = usecases::event_counter();
+    bench("explore_relaxed/event_counter", &cfg, || {
+        explore_relaxed(&counter, MemoryModel::Drfrlx, &limits).expect("explorable").schedules
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1))
-        .sample_size(10);
-    targets = bench_enumeration,     bench_race_analysis,     bench_checker,     bench_relaxed_machine
-}
-criterion_main!(benches);

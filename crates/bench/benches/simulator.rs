@@ -1,42 +1,51 @@
-//! Criterion benchmarks for the full-system simulator: cycles-per-host-
-//! second on representative kernels under the slowest (GD0) and most
-//! permissive (DDR) configurations.
+//! Benchmarks for the full-system simulator: cycles-per-host-second on
+//! representative kernels under the slowest (GD0) and most permissive
+//! (DDR) configurations. Plain `harness = false` timing
+//! (offline-friendly), plus a sweep-engine scaling measurement.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use drfrlx_bench::timing::{bench, TimingConfig};
 use drfrlx_core::SystemConfig;
 use drfrlx_workloads::micro::{HistGlobal, HistParams, Seqlocks};
-use hsim_sys::{run_workload, SysParams};
+use hsim_sys::{run_matrix, run_workload, six_config_jobs, SysParams};
+use std::sync::Arc;
 
 fn small_hg() -> HistGlobal {
-    HistGlobal { params: HistParams { bins: 64, per_thread: 16, blocks: 8, tpb: 8, seed: 3 }, ..Default::default() }
-}
-
-fn bench_configs(c: &mut Criterion) {
-    let params = SysParams::integrated();
-    let k = small_hg();
-    for cfg in ["GD0", "DDR"] {
-        let config = SystemConfig::from_abbrev(cfg).unwrap();
-        c.bench_function(&format!("simulate/hg_small/{cfg}"), |b| {
-            b.iter(|| run_workload(&k, config, &params).cycles)
-        });
+    HistGlobal {
+        params: HistParams { bins: 64, per_thread: 16, blocks: 8, tpb: 8, seed: 3 },
+        ..Default::default()
     }
 }
 
-fn bench_seqlock(c: &mut Criterion) {
+fn main() {
+    let cfg = TimingConfig::default();
     let params = SysParams::integrated();
-    let k = Seqlocks { acqrel: false, blocks: 4, tpb: 8, payload: 4, writes: 4, reads: 4, max_retries: 32 };
-    let config = SystemConfig::from_abbrev("DDR").unwrap();
-    c.bench_function("simulate/seqlock_small/DDR", |b| {
-        b.iter(|| run_workload(&k, config, &params).cycles)
-    });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1))
-        .sample_size(10);
-    targets = bench_configs, bench_seqlock
+    let k = small_hg();
+    for abbrev in ["GD0", "DDR"] {
+        let config = SystemConfig::from_abbrev(abbrev).unwrap();
+        bench(&format!("simulate/hg_small/{abbrev}"), &cfg, || {
+            run_workload(&k, config, &params).cycles
+        });
+    }
+
+    let seq = Seqlocks {
+        acqrel: false,
+        blocks: 4,
+        tpb: 8,
+        payload: 4,
+        writes: 4,
+        reads: 4,
+        max_retries: 32,
+    };
+    let config = SystemConfig::from_abbrev("DDR").unwrap();
+    bench("simulate/seqlock_small/DDR", &cfg, || run_workload(&seq, config, &params).cycles);
+
+    // The sweep engine itself: the six-config matrix serial vs parallel.
+    let kernel: Arc<dyn hsim_gpu::Kernel> = Arc::new(small_hg());
+    for threads in [1usize, 4] {
+        let jobs = six_config_jobs("HG", Arc::clone(&kernel), &params, false);
+        bench(&format!("run_matrix/hg_small_x6/threads={threads}"), &cfg, || {
+            run_matrix(&jobs, threads).len()
+        });
+    }
 }
-criterion_main!(benches);

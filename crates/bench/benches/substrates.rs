@@ -1,55 +1,38 @@
-//! Criterion benchmarks for the substrate crates: NoC message
-//! timelines, cache arrays, and relation algebra.
+//! Benchmarks for the substrate crates: NoC message timelines, cache
+//! arrays, and relation algebra. Plain `harness = false` timing
+//! (offline-friendly).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use drfrlx_bench::timing::{bench, TimingConfig};
 use drfrlx_core::relation::Relation;
 use hsim_mem::{Cache, CacheParams, LineAddr};
 use hsim_noc::{Mesh, NocParams, NodeId};
 
-fn bench_noc(c: &mut Criterion) {
-    c.bench_function("noc/hotspot_1k_messages", |b| {
-        b.iter(|| {
-            let mut m = Mesh::new(NocParams::default());
-            for i in 0..1000u64 {
-                m.send(i, NodeId((i % 16) as u16), NodeId(5), 4);
-            }
-            m.stats().total_latency
-        })
-    });
-}
+fn main() {
+    let cfg = TimingConfig::default();
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/32k_lookups", |b| {
-        b.iter(|| {
-            let mut cache: Cache<u8> = Cache::new(CacheParams::with_capacity(32 * 1024, 64, 8));
-            let mut hits = 0u64;
-            for i in 0..32_768u64 {
-                let line = LineAddr(i % 700);
-                if cache.lookup(line).is_some() {
-                    hits += 1;
-                } else {
-                    cache.insert(line, 0);
-                }
-            }
-            hits
-        })
+    bench("noc/hotspot_1k_messages", &cfg, || {
+        let mut m = Mesh::new(NocParams::default());
+        for i in 0..1000u64 {
+            m.send(i, NodeId((i % 16) as u16), NodeId(5), 4);
+        }
+        m.stats().total_latency
     });
-}
 
-fn bench_relation(c: &mut Criterion) {
+    bench("cache/32k_lookups", &cfg, || {
+        let mut cache: Cache<u8> = Cache::new(CacheParams::with_capacity(32 * 1024, 64, 8));
+        let mut hits = 0u64;
+        for i in 0..32_768u64 {
+            let line = LineAddr(i % 700);
+            if cache.lookup(line).is_some() {
+                hits += 1;
+            } else {
+                cache.insert(line, 0);
+            }
+        }
+        hits
+    });
+
     let n = 24;
     let r = Relation::from_pairs(n, (0..n - 1).map(|i| (i, i + 1)));
-    c.bench_function("relation/closure_n24", |b| {
-        b.iter(|| r.transitive_closure().len())
-    });
+    bench("relation/closure_n24", &cfg, || r.transitive_closure().len());
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1))
-        .sample_size(10);
-    targets = bench_noc, bench_cache, bench_relation
-}
-criterion_main!(benches);

@@ -1,59 +1,5 @@
-//! Ablation: one-sided acquire/release `seq` accesses in Seqlocks
-//! (paper footnote 7 / §7 future work) vs full paired atomics.
-//!
-//! The release-only "read-don't-modify-write" skips the L1
-//! self-invalidation, and the acquire-only lock CAS skips the store
-//! buffer flush — so the reader keeps its payload lines across
-//! iterations.
-
-use drfrlx_core::{OpClass, SystemConfig};
-use drfrlx_workloads::micro::{HistGlobal, Seqlocks};
-use hsim_gpu::Kernel;
-use hsim_sys::{run_workload, SysParams};
+//! §7 acquire/release ablation wrapper: `drfrlx bench ablation_acqrel`.
 
 fn main() {
-    let params = SysParams::integrated();
-    println!("Ablation: Seqlocks with paired vs acquire/release seq accesses");
-    println!("===============================================================");
-    println!("{:6} {:>12} {:>12} {:>9} {:>14}", "config", "paired cyc", "acqrel cyc", "speedup", "inval (p/ar)");
-    for cfg in ["GD0", "GDR", "DD0", "DDR"] {
-        let config = SystemConfig::from_abbrev(cfg).unwrap();
-        let paired = Seqlocks { acqrel: false, ..Seqlocks::default() };
-        let acqrel = Seqlocks { acqrel: true, ..Seqlocks::default() };
-        let rp = run_workload(&paired, config, &params);
-        let ra = run_workload(&acqrel, config, &params);
-        paired.validate(&rp.memory).expect("paired run valid");
-        acqrel.validate(&ra.memory).expect("acqrel run valid");
-        println!(
-            "{:6} {:>12} {:>12} {:>8.2}x {:>7}/{:<7}",
-            cfg,
-            rp.cycles,
-            ra.cycles,
-            rp.cycles as f64 / ra.cycles as f64,
-            rp.proto.invalidation_events,
-            ra.proto.invalidation_events,
-        );
-    }
-    println!("\n(acqrel matters under DRFrlx, where one-sided strengths are enforced;");
-    println!(" under DRF0 both variants degrade to paired and must tie)");
-
-    // Second study: a paired RMW pays the acquire side even when only
-    // release ordering is needed. Annotating histogram increments as
-    // Release instead of Paired keeps the input lines in the L1.
-    println!("\nAblation: HG updates annotated Paired vs Release (GDR configuration)");
-    println!("=====================================================================");
-    let config = SystemConfig::from_abbrev("GDR").unwrap();
-    println!("{:8} {:>12} {:>14} {:>12}", "class", "cycles", "invalidations", "L1 hit rate");
-    for (label, class) in [("paired", OpClass::Paired), ("release", OpClass::Release)] {
-        let k = HistGlobal { update_class: class, ..Default::default() };
-        let r = run_workload(&k, config, &params);
-        k.validate(&r.memory).expect("histogram exact");
-        println!(
-            "{:8} {:>12} {:>14} {:>11.1}%",
-            label,
-            r.cycles,
-            r.proto.invalidation_events,
-            100.0 * r.proto.l1_hits as f64 / (r.proto.l1_hits + r.proto.l1_misses) as f64,
-        );
-    }
+    drfrlx_bench::cli_main("ablation_acqrel");
 }

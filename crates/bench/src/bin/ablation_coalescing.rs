@@ -1,36 +1,5 @@
-//! Ablation: DeNovo's L1 MSHR coalescing of same-line atomic requests
-//! (§6.3: "allows DeNovo with DRFrlx to quickly service many overlapped
-//! atomic requests ... GPU coherence cannot coalesce").
-
-use drfrlx_core::SystemConfig;
-use drfrlx_workloads::micro::{HistGlobal, SplitCounter};
-use hsim_gpu::Kernel;
-use hsim_sys::{run_workload, SysParams};
+//! §6.3 coalescing ablation wrapper: `drfrlx bench ablation_coalescing`.
 
 fn main() {
-    let on = SysParams::integrated();
-    let mut off = SysParams::integrated();
-    off.memsys.atomic_coalescing = false;
-    let ddr = SystemConfig::from_abbrev("DDR").unwrap();
-
-    println!("Ablation: DeNovo MSHR atomic coalescing (DDR configuration)");
-    println!("=============================================================");
-    println!("{:10} {:>12} {:>12} {:>9} {:>11}", "bench", "with", "without", "benefit", "coalesced");
-    let hg = HistGlobal::default();
-    let sc = SplitCounter::default();
-    let benches: [(&str, &dyn Kernel); 2] = [("HG", &hg), ("SC", &sc)];
-    for (name, k) in benches {
-        let with = run_workload(k, ddr, &on);
-        let without = run_workload(k, ddr, &off);
-        k.validate(&with.memory).expect("run valid");
-        k.validate(&without.memory).expect("run valid");
-        println!(
-            "{:10} {:>12} {:>12} {:>8.2}x {:>11}",
-            name,
-            with.cycles,
-            without.cycles,
-            without.cycles as f64 / with.cycles as f64,
-            with.proto.mshr_coalesced,
-        );
-    }
+    drfrlx_bench::cli_main("ablation_coalescing");
 }

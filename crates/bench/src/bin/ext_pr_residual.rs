@@ -1,43 +1,5 @@
-//! Extension study: adaptive PageRank with a shared convergence
-//! residual — the Split Counter use case (§3.4) embedded in a
-//! benchmark. Every rank update pushes |Δrank| into one global
-//! accumulator; thread 0 peeks at the (approximate) total each
-//! iteration. With paired atomics the accumulator is a serialization
-//! point; with quantum atomics the adds overlap and the peek tolerates
-//! partial sums.
-
-use drfrlx_core::{OpClass, SystemConfig};
-use drfrlx_workloads::{graphs, pagerank::PageRank};
-use hsim_gpu::Kernel;
-use hsim_sys::{run_workload, SysParams};
+//! PageRank-residual extension wrapper: `drfrlx bench ext_pr_residual`.
 
 fn main() {
-    let params = SysParams::integrated();
-    let graph = graphs::contact_like("ext", 768, 3, 31);
-    println!("Extension: PageRank + convergence residual (graph: {} verts)", graph.verts());
-    println!("==============================================================");
-    println!("{:24} {:>10} {:>10} {:>10}", "variant", "GD0", "GDR", "DDR");
-    let mut rows: Vec<(String, PageRank)> = Vec::new();
-    let base = PageRank::new(graph.clone(), 2, 15, 16);
-    rows.push(("no residual".into(), base.clone()));
-    let mut paired = base.clone();
-    paired.track_residual = true;
-    paired.residual_class = OpClass::Paired;
-    rows.push(("residual, paired".into(), paired));
-    let mut quantum = base.clone();
-    quantum.track_residual = true;
-    quantum.residual_class = OpClass::Quantum;
-    rows.push(("residual, quantum".into(), quantum));
-
-    for (label, pr) in &rows {
-        print!("{label:24}");
-        for cfg in ["GD0", "GDR", "DDR"] {
-            let r = run_workload(pr, SystemConfig::from_abbrev(cfg).unwrap(), &params);
-            pr.validate(&r.memory).expect("ranks + residual exact");
-            print!(" {:>10}", r.cycles);
-        }
-        println!();
-    }
-    println!("\n(expected: the paired residual accumulator costs every config;");
-    println!(" the quantum one is nearly free under DRFrlx)");
+    drfrlx_bench::cli_main("ext_pr_residual");
 }

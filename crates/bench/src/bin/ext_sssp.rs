@@ -1,22 +1,5 @@
-//! Extension benchmark: SSSP (Pannotia's other relaxed-atomic graph
-//! workload) across all six configurations — commutative fetch-min
-//! relaxations plus non-ordering distance reads.
-
-use drfrlx_bench::{print_normalized, run_six};
-use drfrlx_workloads::registry::extensions;
-use hsim_sys::SysParams;
+//! SSSP extension wrapper: `drfrlx bench ext_sssp`.
 
 fn main() {
-    let params = SysParams::integrated();
-    let rows: Vec<_> = extensions()
-        .iter()
-        .filter(|s| s.name.starts_with("SSSP"))
-        .map(|s| (s.name.to_string(), run_six(s, &params)))
-        .collect();
-    print_normalized("Extension: SSSP execution time (normalized to GD0)", &rows, |r| {
-        r.cycles as f64
-    });
-    print_normalized("Extension: SSSP energy (normalized to GD0)", &rows, |r| {
-        r.energy.total()
-    });
+    drfrlx_bench::cli_main("ext_sssp");
 }

@@ -1,47 +1,5 @@
-//! Figure 1: speedup of relaxed atomics over SC atomics on a
-//! discrete-GPU-like platform.
-//!
-//! The paper measured nine atomic-heavy applications on a GTX 680;
-//! we run our nine distinct workloads on the discrete configuration,
-//! comparing the annotated (relaxed) version under DRFrlx against the
-//! all-SC-atomics version under DRF0 — both on GPU coherence, as on
-//! real hardware.
-
-use drfrlx_core::{MemoryModel, Protocol, SystemConfig};
-use drfrlx_workloads::all_workloads;
-use hsim_sys::{run_workload, SysParams};
+//! Figure 1 wrapper: `drfrlx bench fig1`.
 
 fn main() {
-    let params = SysParams::discrete_gpu();
-    let wanted = ["H", "HG", "Flags", "SC", "RC", "SEQ", "UTS", "BC-4", "PR-2"];
-    println!("Figure 1: relaxed vs SC atomics on a discrete GPU");
-    println!("==================================================");
-    println!("{:8} {:>12} {:>12} {:>9}", "app", "SC cycles", "rlx cycles", "speedup");
-    for spec in all_workloads() {
-        if !wanted.contains(&spec.name) {
-            continue;
-        }
-        let k = spec.kernel();
-        let sc = run_workload(
-            k.as_ref(),
-            SystemConfig::new(Protocol::Gpu, MemoryModel::Drf0),
-            &params,
-        );
-        let rlx = run_workload(
-            k.as_ref(),
-            SystemConfig::new(Protocol::Gpu, MemoryModel::Drfrlx),
-            &params,
-        );
-        k.validate(&sc.memory).expect("SC run valid");
-        k.validate(&rlx.memory).expect("relaxed run valid");
-        println!(
-            "{:8} {:>12} {:>12} {:>8.2}x",
-            spec.name,
-            sc.cycles,
-            rlx.cycles,
-            sc.cycles as f64 / rlx.cycles as f64
-        );
-    }
-    println!("\n(shape target: ~1x for atomic-light apps, large for PR/BC-style");
-    println!(" atomic storms — the paper saw up to 99x for PageRank)");
+    drfrlx_bench::cli_main("fig1");
 }

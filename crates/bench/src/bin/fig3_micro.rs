@@ -1,21 +1,5 @@
-//! Figure 3: microbenchmark execution time (a) and energy (b) for all
-//! six configurations, normalized to GD0.
-
-use drfrlx_bench::{print_energy_components, print_normalized, run_six};
-use drfrlx_workloads::microbenchmarks;
-use hsim_sys::SysParams;
+//! Figure 3 wrapper: `drfrlx bench fig3`.
 
 fn main() {
-    let params = SysParams::integrated();
-    let rows: Vec<_> = microbenchmarks()
-        .iter()
-        .map(|s| (s.name.to_string(), run_six(s, &params)))
-        .collect();
-    print_normalized("Figure 3(a): microbenchmark execution time (normalized to GD0)", &rows, |r| {
-        r.cycles as f64
-    });
-    print_normalized("Figure 3(b): microbenchmark energy (normalized to GD0)", &rows, |r| {
-        r.energy.total()
-    });
-    print_energy_components(&rows);
+    drfrlx_bench::cli_main("fig3");
 }

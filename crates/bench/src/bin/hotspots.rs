@@ -1,35 +1,5 @@
-//! Diagnostic: where do the cycles go? Per-workload protocol event
-//! profile under GD0 vs DDR — the mechanism view behind Figures 3/4.
-
-use drfrlx_core::SystemConfig;
-use drfrlx_workloads::all_workloads;
-use hsim_sys::{run_workload, SysParams};
+//! Protocol-event diagnostic wrapper: `drfrlx bench hotspots`.
 
 fn main() {
-    let params = SysParams::integrated();
-    println!("Protocol event profile (GD0 → DDR)");
-    println!("===================================================================================");
-    println!(
-        "{:8} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9}",
-        "bench", "GD0 cyc", "DDR cyc", "inv GD0", "inv DDR", "l2at GD0", "l1at DDR", "coal DDR", "rmt DDR"
-    );
-    for spec in all_workloads() {
-        let k = spec.kernel();
-        let gd0 = run_workload(k.as_ref(), SystemConfig::from_abbrev("GD0").unwrap(), &params);
-        let ddr = run_workload(k.as_ref(), SystemConfig::from_abbrev("DDR").unwrap(), &params);
-        k.validate(&gd0.memory).expect("valid");
-        k.validate(&ddr.memory).expect("valid");
-        println!(
-            "{:8} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9}",
-            spec.name,
-            gd0.cycles,
-            ddr.cycles,
-            gd0.proto.invalidation_events,
-            ddr.proto.invalidation_events,
-            gd0.proto.atomics_at_l2,
-            ddr.proto.atomics_at_l1,
-            ddr.proto.mshr_coalesced,
-            ddr.proto.remote_l1_transfers,
-        );
-    }
+    drfrlx_bench::cli_main("hotspots");
 }

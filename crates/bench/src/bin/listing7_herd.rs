@@ -12,8 +12,8 @@ fn main() {
     println!("Listing 7: programmer-centric + system-centric verdicts");
     println!("========================================================");
     println!(
-        "{:28} {:>5} {:>5} {:>7} {:24} {}",
-        "litmus", "DRF0", "DRF1", "DRFrlx", "DRFrlx races", "relaxed machine"
+        "{:28} {:>5} {:>5} {:>7} {:24} relaxed machine",
+        "litmus", "DRF0", "DRF1", "DRFrlx", "DRFrlx races"
     );
     let limits = EnumLimits::default();
     for t in all_tests() {
@@ -22,13 +22,21 @@ fn main() {
             .iter()
             .map(|m| {
                 let r = try_check_program(&p, *m, &limits).expect("enumerable");
-                if r.is_race_free() { "ok".into() } else { "racy".into() }
+                if r.is_race_free() {
+                    "ok".into()
+                } else {
+                    "racy".into()
+                }
             })
             .collect();
         let kinds = {
             let r = try_check_program(&p, MemoryModel::Drfrlx, &limits).expect("enumerable");
             let ks: Vec<String> = r.race_kinds().iter().map(|k| format!("{k}")).collect();
-            if ks.is_empty() { "-".to_string() } else { ks.join(",") }
+            if ks.is_empty() {
+                "-".to_string()
+            } else {
+                ks.join(",")
+            }
         };
         let sc = match t.sc_only {
             None => "(skipped)".to_string(),

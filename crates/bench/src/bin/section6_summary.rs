@@ -1,47 +1,5 @@
-//! §6 headline averages: DRF1/DRFrlx vs DRF0, and DeNovo vs GPU
-//! coherence, across all workloads (the paper's "on average" numbers).
-
-use drfrlx_bench::{geomean, run_six};
-use drfrlx_workloads::all_workloads;
-use hsim_sys::SysParams;
+//! §6 summary wrapper: `drfrlx bench section6`.
 
 fn main() {
-    let params = SysParams::integrated();
-    let rows: Vec<_> = all_workloads()
-        .iter()
-        .map(|s| (s.name.to_string(), run_six(s, &params)))
-        .collect();
-
-    // Index: 0 GD0, 1 GD1, 2 GDR, 3 DD0, 4 DD1, 5 DDR.
-    let ratio_time = |num: usize, den: usize| {
-        geomean(rows.iter().map(|(_, r)| r[num].cycles as f64 / r[den].cycles as f64))
-    };
-    let ratio_energy = |num: usize, den: usize| {
-        geomean(rows.iter().map(|(_, r)| r[num].energy.total() / r[den].energy.total()))
-    };
-    let pct = |x: f64| (1.0 - x) * 100.0;
-
-    println!("Section 6 summary (geometric means over all workloads)");
-    println!("=======================================================");
-    println!("model effect (GPU coherence):");
-    println!("  DRF1   vs DRF0: exec -{:.0}%  energy -{:.0}%", pct(ratio_time(1, 0)), pct(ratio_energy(1, 0)));
-    println!("  DRFrlx vs DRF1: exec -{:.0}%  energy -{:.0}%", pct(ratio_time(2, 1)), pct(ratio_energy(2, 1)));
-    println!("model effect (DeNovo):");
-    println!("  DRF1   vs DRF0: exec -{:.0}%  energy -{:.0}%", pct(ratio_time(4, 3)), pct(ratio_energy(4, 3)));
-    println!("  DRFrlx vs DRF1: exec -{:.0}%  energy -{:.0}%", pct(ratio_time(5, 4)), pct(ratio_energy(5, 4)));
-    println!("protocol effect (DeNovo vs GPU), paper: exec -14/-14/-12%, energy -16/-18/-18%:");
-    println!("  under DRF0  : exec -{:.0}%  energy -{:.0}%", pct(ratio_time(3, 0)), pct(ratio_energy(3, 0)));
-    println!("  under DRF1  : exec -{:.0}%  energy -{:.0}%", pct(ratio_time(4, 1)), pct(ratio_energy(4, 1)));
-    println!("  under DRFrlx: exec -{:.0}%  energy -{:.0}%", pct(ratio_time(5, 2)), pct(ratio_energy(5, 2)));
-
-    println!("\nper-workload execution time, normalized to GD0:");
-    println!("{:8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}", "bench", "GD0", "GD1", "GDR", "DD0", "DD1", "DDR");
-    for (name, r) in &rows {
-        let base = r[0].cycles as f64;
-        print!("{name:8}");
-        for rep in r {
-            print!(" {:>7.3}", rep.cycles as f64 / base);
-        }
-        println!();
-    }
+    drfrlx_bench::cli_main("section6");
 }

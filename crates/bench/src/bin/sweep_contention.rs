@@ -1,34 +1,5 @@
-//! The paper's §4.4 aside: "we examined different levels of contention
-//! and number of bins for the histogram applications. More bins and
-//! reduced contention improve performance for all configurations, but
-//! did not change the observed trends."
-
-use drfrlx_core::SystemConfig;
-use drfrlx_workloads::micro::{HistGlobal, HistParams};
-use hsim_gpu::Kernel;
-use hsim_sys::{run_workload, SysParams};
+//! §4.4 contention sweep wrapper: `drfrlx bench sweep_contention`.
 
 fn main() {
-    let params = SysParams::integrated();
-    println!("Contention sweep: HG with varying bin counts");
-    println!("=============================================");
-    println!("{:>6} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7}", "bins", "GD0 cyc", "GD1", "GDR", "DD0", "DD1", "DDR");
-    for bins in [32usize, 128, 256, 1024] {
-        let k = HistGlobal { params: HistParams { bins, ..HistParams::default() }, ..Default::default() };
-        let reports: Vec<_> = SystemConfig::all()
-            .into_iter()
-            .map(|cfg| run_workload(&k, cfg, &params))
-            .collect();
-        for r in &reports {
-            k.validate(&r.memory).expect("histogram exact");
-        }
-        let base = reports[0].cycles as f64;
-        print!("{:>6} {:>10}", bins, reports[0].cycles);
-        for r in &reports[1..] {
-            print!(" {:>7.3}", r.cycles as f64 / base);
-        }
-        println!();
-    }
-    println!("\n(expected: absolute cycles fall as bins grow; the GD0 ≥ GD1 ≥ GDR");
-    println!(" and DD0 ≥ DD1 ≥ DDR orderings hold at every contention level)");
+    drfrlx_bench::cli_main("sweep_contention");
 }

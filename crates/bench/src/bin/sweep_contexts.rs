@@ -1,34 +1,5 @@
-//! Ablation: hardware contexts per CU. Cross-context memory-level
-//! parallelism is what lets the *stronger* models hide atomic latency;
-//! with few contexts, DRFrlx's overlap is the only source of MLP and
-//! its advantage is largest.
-
-use drfrlx_core::SystemConfig;
-use drfrlx_workloads::micro::HistGlobal;
-use hsim_gpu::Kernel;
-use hsim_sys::{run_workload, SysParams};
+//! Context-MLP sweep wrapper: `drfrlx bench sweep_contexts`.
 
 fn main() {
-    println!("Context sweep: HG, GPU coherence, varying contexts per CU");
-    println!("==========================================================");
-    println!("{:>9} {:>12} {:>12} {:>14}", "contexts", "GD1 cycles", "GDR cycles", "GDR advantage");
-    for contexts in [4usize, 8, 16, 32] {
-        let mut params = SysParams::integrated();
-        params.engine.max_contexts_per_cu = contexts;
-        let mut k = HistGlobal::default();
-        k.params.tpb = contexts; // one block per CU, fully resident
-        let gd1 = run_workload(&k, SystemConfig::from_abbrev("GD1").unwrap(), &params);
-        let gdr = run_workload(&k, SystemConfig::from_abbrev("GDR").unwrap(), &params);
-        k.validate(&gd1.memory).expect("valid");
-        k.validate(&gdr.memory).expect("valid");
-        println!(
-            "{:>9} {:>12} {:>12} {:>13.2}x",
-            contexts,
-            gd1.cycles,
-            gdr.cycles,
-            gd1.cycles as f64 / gdr.cycles as f64
-        );
-    }
-    println!("\n(expected: the DRFrlx advantage shrinks as cross-context MLP grows —");
-    println!(" with enough warps even serialized atomics keep the L2 banks busy)");
+    drfrlx_bench::cli_main("sweep_contexts");
 }

@@ -6,7 +6,7 @@ use drfrlx_litmus::suite::{all_tests, Category};
 fn main() {
     println!("Table 1: GPU relaxed atomic use cases");
     println!("======================================");
-    println!("{:24} {:40} {}", "use case", "description", "DRFrlx verdict");
+    println!("{:24} {:40} DRFrlx verdict", "use case", "description");
     for t in all_tests().iter().filter(|t| t.category == Category::UseCase) {
         let report = check_program(&(t.build)(), MemoryModel::Drfrlx);
         println!(

@@ -1,29 +1,5 @@
-//! Table 4: the qualitative benefits of DRF0/DRF1/DRFrlx, demonstrated
-//! with measured event counts from one atomic-heavy run (HG).
-
-use drfrlx_core::SystemConfig;
-use drfrlx_workloads::microbenchmarks;
-use hsim_sys::{run_workload, SysParams};
+//! Table 4 wrapper: `drfrlx bench table4`.
 
 fn main() {
-    let params = SysParams::integrated();
-    let spec = microbenchmarks().into_iter().find(|s| s.name == "HG").expect("HG registered");
-    let k = spec.kernel();
-    println!("Table 4: benefits of DRF0 / DRF1 / DRFrlx (measured on HG, GPU coherence)");
-    println!("==========================================================================");
-    println!(
-        "{:6} {:>14} {:>14} {:>18} {:>10}",
-        "model", "invalidations", "SB flushes", "overlapped atomics", "cycles"
-    );
-    for abbrev in ["GD0", "GD1", "GDR"] {
-        let r = run_workload(k.as_ref(), SystemConfig::from_abbrev(abbrev).unwrap(), &params);
-        println!(
-            "{:6} {:>14} {:>14} {:>18} {:>10}",
-            abbrev, r.proto.invalidation_events, r.proto.sb_flushes, r.atomics_overlapped, r.cycles
-        );
-    }
-    println!("\npaper's Table 4:");
-    println!("  avoid cache invalidations at atomic loads :  DRF0 x | DRF1 ok | DRFrlx ok");
-    println!("  avoid store buffer flushes at atomic stores: DRF0 x | DRF1 ok | DRFrlx ok");
-    println!("  overlap atomics in the memory system       : DRF0 x | DRF1 x  | DRFrlx ok");
+    drfrlx_bench::cli_main("table4");
 }

@@ -1,0 +1,215 @@
+//! The experiment harness: a declarative [`Experiment`] is a job list
+//! plus renderers; [`run_experiment`] fans the jobs out on the sweep
+//! engine and produces both the human-readable text artifact and
+//! structured JSON-lines rows.
+//!
+//! Every registered experiment (see [`crate::experiments::registry`])
+//! is runnable three ways, all equivalent:
+//!
+//! * `drfrlx bench <id>` (the root CLI),
+//! * `cargo run --release -p drfrlx-bench --bin <id>_...` (the thin
+//!   per-figure wrappers), and
+//! * [`cli_main`] from tests or tools.
+//!
+//! Artifacts land in `results/<id>.txt` and `results/<id>.json`
+//! (override the directory with `--out` or `DRFRLX_RESULTS`); worker
+//! count comes from `--threads` or `DRFRLX_THREADS`.
+
+use crate::json::JsonObj;
+use hsim_sys::{default_threads, run_matrix, RunReport, SimJob};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One paper artifact: a declarative job matrix plus renderers for the
+/// text table and the JSON rows.
+pub trait Experiment: Sync {
+    /// Stable identifier (`fig3`, `table4`, `sweep_contention`, ...);
+    /// also the `results/` file stem.
+    fn id(&self) -> &'static str;
+
+    /// One-line human description.
+    fn title(&self) -> &'static str;
+
+    /// The simulation jobs, in deterministic order. `render` and
+    /// `json_rows` receive reports in exactly this order.
+    fn jobs(&self) -> Vec<SimJob>;
+
+    /// Render the human-readable artifact (the `results/<id>.txt`
+    /// body, also printed to stdout).
+    fn render(&self, jobs: &[SimJob], reports: &[RunReport]) -> String;
+
+    /// Structured rows, one JSON object per line. The default emits
+    /// one row per job with raw metrics plus time/energy normalized to
+    /// the first job of the same workload (its row baseline).
+    fn json_rows(&self, jobs: &[SimJob], reports: &[RunReport]) -> Vec<String> {
+        jobs.iter()
+            .zip(reports)
+            .map(|(job, report)| {
+                let base = jobs
+                    .iter()
+                    .position(|j| j.workload == job.workload)
+                    .map(|i| &reports[i])
+                    .unwrap_or(report);
+                report_row(self.id(), job, report, base).finish()
+            })
+            .collect()
+    }
+}
+
+/// The generic JSON row for one (job, report) cell: identity, raw
+/// cycles/energy/protocol counters, and normalized time/energy vs
+/// `base` (the row's first configuration). Experiments with extra
+/// per-row fields can extend the returned builder.
+pub fn report_row(experiment: &str, job: &SimJob, r: &RunReport, base: &RunReport) -> JsonObj {
+    let e = &r.energy;
+    let c = &r.counters;
+    let p = &r.proto;
+    JsonObj::new()
+        .str("experiment", experiment)
+        .str("workload", &job.workload)
+        .str("config", r.config.abbrev())
+        .str("platform", &r.platform)
+        .u64("cycles", r.cycles)
+        .f64("normalized_time", r.normalized_time(base))
+        .f64("energy_total", e.total())
+        .f64("normalized_energy", r.normalized_energy(base))
+        .obj(
+            "energy",
+            JsonObj::new()
+                .f64("core", e.core)
+                .f64("scratch", e.scratch)
+                .f64("l1", e.l1)
+                .f64("l2", e.l2)
+                .f64("network", e.network),
+        )
+        .obj(
+            "counters",
+            JsonObj::new()
+                .u64("core_ops", c.core_ops)
+                .u64("scratch_accesses", c.scratch_accesses)
+                .u64("l1_accesses", c.l1_accesses)
+                .u64("l1_tag_ops", c.l1_tag_ops)
+                .u64("l2_accesses", c.l2_accesses)
+                .u64("dram_accesses", c.dram_accesses)
+                .u64("noc_flit_hops", c.noc_flit_hops),
+        )
+        .obj(
+            "proto",
+            JsonObj::new()
+                .u64("l1_hits", p.l1_hits)
+                .u64("l1_misses", p.l1_misses)
+                .u64("invalidation_events", p.invalidation_events)
+                .u64("sb_flushes", p.sb_flushes)
+                .u64("atomics_at_l1", p.atomics_at_l1)
+                .u64("atomics_at_l2", p.atomics_at_l2)
+                .u64("mshr_coalesced", p.mshr_coalesced)
+                .u64("remote_l1_transfers", p.remote_l1_transfers),
+        )
+        .u64("atomics", r.atomics)
+        .u64("atomics_overlapped", r.atomics_overlapped)
+}
+
+/// Group consecutive jobs with the same workload id into
+/// `(workload, reports)` rows — the shape the table renderers take.
+pub fn rows_by_workload(jobs: &[SimJob], reports: &[RunReport]) -> Vec<(String, Vec<RunReport>)> {
+    let mut rows: Vec<(String, Vec<RunReport>)> = Vec::new();
+    for (job, report) in jobs.iter().zip(reports) {
+        match rows.last_mut() {
+            Some((name, row)) if *name == job.workload => row.push(report.clone()),
+            _ => rows.push((job.workload.clone(), vec![report.clone()])),
+        }
+    }
+    rows
+}
+
+/// The finished outputs of one experiment run.
+pub struct ExperimentRun {
+    /// Reports in job order.
+    pub reports: Vec<RunReport>,
+    /// The rendered text artifact.
+    pub text: String,
+    /// JSON-lines rows.
+    pub json: Vec<String>,
+}
+
+/// Run an experiment's matrix on `threads` workers and render both
+/// artifacts.
+pub fn run_experiment(e: &dyn Experiment, threads: usize) -> ExperimentRun {
+    let jobs = e.jobs();
+    let reports = run_matrix(&jobs, threads);
+    let text = e.render(&jobs, &reports);
+    let json = e.json_rows(&jobs, &reports);
+    ExperimentRun { reports, text, json }
+}
+
+/// Write `results/<id>.txt` and `results/<id>.json` under `outdir`
+/// (created if missing); returns both paths.
+///
+/// # Errors
+///
+/// Any I/O failure creating the directory or writing the files.
+pub fn write_artifacts(
+    outdir: &Path,
+    id: &str,
+    run: &ExperimentRun,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(outdir)?;
+    let txt = outdir.join(format!("{id}.txt"));
+    let mut text = run.text.clone();
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    std::fs::write(&txt, text)?;
+    let json = outdir.join(format!("{id}.json"));
+    let mut f = std::fs::File::create(&json)?;
+    for row in &run.json {
+        writeln!(f, "{row}")?;
+    }
+    Ok((txt, json))
+}
+
+/// Directory for result artifacts: `--out` flag value, else
+/// `DRFRLX_RESULTS`, else `results/`.
+fn outdir_from(args: &[String]) -> PathBuf {
+    flag_value(args, "--out")
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("DRFRLX_RESULTS").map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Worker count: `--threads` flag, else [`default_threads`].
+fn threads_from(args: &[String]) -> usize {
+    flag_value(args, "--threads")
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(default_threads)
+}
+
+/// Entry point shared by the per-figure binaries and `drfrlx bench`:
+/// run experiment `id` honoring `--threads N` / `--out DIR` (and the
+/// `DRFRLX_THREADS` / `DRFRLX_RESULTS` environment variables), print
+/// the text artifact, and write both result files.
+///
+/// # Panics
+///
+/// Panics if `id` is not registered or a validated job fails its
+/// functional check; artifact write failures are reported to stderr
+/// without failing the run (the measurement already printed).
+pub fn cli_main(id: &str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let e = crate::experiments::find(id)
+        .unwrap_or_else(|| panic!("experiment `{id}` is not registered"));
+    let threads = threads_from(&args);
+    let run = run_experiment(e.as_ref(), threads);
+    print!("{}", run.text);
+    match write_artifacts(&outdir_from(&args), id, &run) {
+        Ok((txt, json)) => {
+            eprintln!("\n[wrote {} and {}; threads={threads}]", txt.display(), json.display())
+        }
+        Err(err) => eprintln!("\n[could not write result artifacts: {err}]"),
+    }
+}

@@ -1,0 +1,166 @@
+//! The experiment registry: every simulation-backed paper artifact as
+//! one [`Experiment`], keyed by a stable id.
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | `fig1` | Figure 1: relaxed vs SC atomics on a discrete GPU |
+//! | `fig3` | Figure 3: microbenchmark time + energy, 6 configs |
+//! | `fig4` | Figure 4: benchmark time + energy, 6 configs |
+//! | `table4` | Table 4: measured benefits per model |
+//! | `section6` | §6: the paper's headline averages |
+//! | `sweep_contention` | §4.4 bins/contention sweep |
+//! | `sweep_contexts` | hardware-context MLP sweep |
+//! | `ablation_coalescing` | §6.3 DeNovo MSHR atomic coalescing |
+//! | `ablation_acqrel` | §7 acquire/release one-sided atomics |
+//! | `ext_sssp` | extension: SSSP across all six configs |
+//! | `ext_pr_residual` | extension: quantum residual in PageRank |
+//! | `hotspots` | diagnostic: protocol event profile GD0 vs DDR |
+//!
+//! The static artifacts (Figure 2, Tables 1–3, Listing 7) have no
+//! simulation matrix and keep their dedicated binaries.
+
+mod ablations;
+mod fig1;
+mod hotspots;
+mod residual;
+mod section6;
+mod sweeps;
+mod table4;
+
+use crate::experiment::{rows_by_workload, Experiment};
+use crate::tables::{energy_components_table, normalized_table, Metric};
+use drfrlx_workloads::registry::extensions;
+use drfrlx_workloads::{benchmarks, microbenchmarks, WorkloadSpec};
+use hsim_sys::{RunReport, SimJob, SysParams};
+
+/// A rows × six-configs grid experiment rendered as the standard
+/// normalized time table, energy table, and (optionally) the energy
+/// component breakdown — the shape of Figures 3/4 and the extension
+/// figures.
+pub struct GridExperiment {
+    id: &'static str,
+    title: &'static str,
+    time_title: &'static str,
+    energy_title: &'static str,
+    specs: Vec<WorkloadSpec>,
+    params: SysParams,
+    energy_components: bool,
+}
+
+impl Experiment for GridExperiment {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn jobs(&self) -> Vec<SimJob> {
+        self.specs.iter().flat_map(|s| s.six_jobs(&self.params)).collect()
+    }
+
+    fn render(&self, jobs: &[SimJob], reports: &[RunReport]) -> String {
+        let rows = rows_by_workload(jobs, reports);
+        let mut out = normalized_table(self.time_title, &rows, Metric::Time);
+        out.push_str(&normalized_table(self.energy_title, &rows, Metric::Energy));
+        if self.energy_components {
+            out.push_str(&energy_components_table(&rows));
+        }
+        out
+    }
+}
+
+fn fig3() -> GridExperiment {
+    GridExperiment {
+        id: "fig3",
+        title: "Figure 3: microbenchmark execution time and energy, 6 configs",
+        time_title: "Figure 3(a): microbenchmark execution time (normalized to GD0)",
+        energy_title: "Figure 3(b): microbenchmark energy (normalized to GD0)",
+        specs: microbenchmarks(),
+        params: SysParams::integrated(),
+        energy_components: true,
+    }
+}
+
+fn fig4() -> GridExperiment {
+    GridExperiment {
+        id: "fig4",
+        title: "Figure 4: benchmark execution time and energy, 6 configs",
+        time_title: "Figure 4(a): benchmark execution time (normalized to GD0)",
+        energy_title: "Figure 4(b): benchmark energy (normalized to GD0)",
+        specs: benchmarks(),
+        params: SysParams::integrated(),
+        energy_components: true,
+    }
+}
+
+fn ext_sssp() -> GridExperiment {
+    GridExperiment {
+        id: "ext_sssp",
+        title: "Extension: SSSP across all six configurations",
+        time_title: "Extension: SSSP execution time (normalized to GD0)",
+        energy_title: "Extension: SSSP energy (normalized to GD0)",
+        specs: extensions().into_iter().filter(|s| s.name.starts_with("SSSP")).collect(),
+        params: SysParams::integrated(),
+        energy_components: false,
+    }
+}
+
+/// Every registered experiment, in the paper's presentation order.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(fig1::Fig1),
+        Box::new(fig3()),
+        Box::new(fig4()),
+        Box::new(table4::Table4),
+        Box::new(section6::Section6),
+        Box::new(sweeps::Contention),
+        Box::new(sweeps::Contexts),
+        Box::new(ablations::Coalescing),
+        Box::new(ablations::AcqRel),
+        Box::new(ext_sssp()),
+        Box::new(residual::PrResidual),
+        Box::new(hotspots::Hotspots),
+    ]
+}
+
+/// Registered experiment ids, in registry order.
+pub fn ids() -> Vec<&'static str> {
+    registry().iter().map(|e| e.id()).collect()
+}
+
+/// Look an experiment up by id.
+pub fn find(id: &str) -> Option<Box<dyn Experiment>> {
+    registry().into_iter().find(|e| e.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_findable() {
+        let ids = ids();
+        for id in &ids {
+            assert!(find(id).is_some(), "{id} not findable");
+        }
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "duplicate experiment ids");
+    }
+
+    #[test]
+    fn grid_experiments_cover_the_six_configs() {
+        for e in [fig3(), fig4(), ext_sssp()] {
+            let jobs = e.jobs();
+            assert_eq!(jobs.len() % 6, 0);
+            for row in jobs.chunks(6) {
+                let abbrevs: Vec<&str> = row.iter().map(|j| j.config.abbrev()).collect();
+                assert_eq!(abbrevs, ["GD0", "GD1", "GDR", "DD0", "DD1", "DDR"]);
+                assert!(row.iter().all(|j| j.workload == row[0].workload));
+            }
+        }
+    }
+}

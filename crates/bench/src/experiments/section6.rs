@@ -1,0 +1,108 @@
+//! §6 headline averages: DRF1/DRFrlx vs DRF0, and DeNovo vs GPU
+//! coherence, across all workloads (the paper's "on average" numbers).
+
+use crate::experiment::{rows_by_workload, Experiment};
+use crate::tables::geomean;
+use drfrlx_workloads::all_workloads;
+use hsim_sys::{total_ratio, RunReport, SimJob, SysParams};
+use std::fmt::Write as _;
+
+/// The §6 summary experiment (`section6`).
+pub struct Section6;
+
+impl Experiment for Section6 {
+    fn id(&self) -> &'static str {
+        "section6"
+    }
+
+    fn title(&self) -> &'static str {
+        "Section 6 summary (geometric means over all workloads)"
+    }
+
+    fn jobs(&self) -> Vec<SimJob> {
+        let params = SysParams::integrated();
+        all_workloads().iter().flat_map(|s| s.six_jobs(&params)).collect()
+    }
+
+    fn render(&self, jobs: &[SimJob], reports: &[RunReport]) -> String {
+        let rows = rows_by_workload(jobs, reports);
+
+        // Index: 0 GD0, 1 GD1, 2 GDR, 3 DD0, 4 DD1, 5 DDR.
+        let ratio_time = |num: usize, den: usize| {
+            geomean(
+                rows.iter().map(|(_, r)| total_ratio(r[num].cycles as f64, r[den].cycles as f64)),
+            )
+        };
+        let ratio_energy = |num: usize, den: usize| {
+            geomean(rows.iter().map(|(_, r)| r[num].normalized_energy(&r[den])))
+        };
+        let pct = |x: f64| (1.0 - x) * 100.0;
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title());
+        let _ = writeln!(out, "=======================================================");
+        let _ = writeln!(out, "model effect (GPU coherence):");
+        let _ = writeln!(
+            out,
+            "  DRF1   vs DRF0: exec -{:.0}%  energy -{:.0}%",
+            pct(ratio_time(1, 0)),
+            pct(ratio_energy(1, 0))
+        );
+        let _ = writeln!(
+            out,
+            "  DRFrlx vs DRF1: exec -{:.0}%  energy -{:.0}%",
+            pct(ratio_time(2, 1)),
+            pct(ratio_energy(2, 1))
+        );
+        let _ = writeln!(out, "model effect (DeNovo):");
+        let _ = writeln!(
+            out,
+            "  DRF1   vs DRF0: exec -{:.0}%  energy -{:.0}%",
+            pct(ratio_time(4, 3)),
+            pct(ratio_energy(4, 3))
+        );
+        let _ = writeln!(
+            out,
+            "  DRFrlx vs DRF1: exec -{:.0}%  energy -{:.0}%",
+            pct(ratio_time(5, 4)),
+            pct(ratio_energy(5, 4))
+        );
+        let _ = writeln!(
+            out,
+            "protocol effect (DeNovo vs GPU), paper: exec -14/-14/-12%, energy -16/-18/-18%:"
+        );
+        let _ = writeln!(
+            out,
+            "  under DRF0  : exec -{:.0}%  energy -{:.0}%",
+            pct(ratio_time(3, 0)),
+            pct(ratio_energy(3, 0))
+        );
+        let _ = writeln!(
+            out,
+            "  under DRF1  : exec -{:.0}%  energy -{:.0}%",
+            pct(ratio_time(4, 1)),
+            pct(ratio_energy(4, 1))
+        );
+        let _ = writeln!(
+            out,
+            "  under DRFrlx: exec -{:.0}%  energy -{:.0}%",
+            pct(ratio_time(5, 2)),
+            pct(ratio_energy(5, 2))
+        );
+
+        let _ = writeln!(out, "\nper-workload execution time, normalized to GD0:");
+        let _ = writeln!(
+            out,
+            "{:8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "bench", "GD0", "GD1", "GDR", "DD0", "DD1", "DDR"
+        );
+        for (name, r) in &rows {
+            let _ = write!(out, "{name:8}");
+            for rep in r {
+                let _ = write!(out, " {:>7.3}", rep.normalized_time(&r[0]));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}

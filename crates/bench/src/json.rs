@@ -1,0 +1,120 @@
+//! A minimal JSON object writer for the structured experiment results.
+//!
+//! Hand-rolled (no serde) so the workspace stays dependency-free and
+//! offline-buildable. Only what the result rows need: flat or nested
+//! objects with string, integer and finite-float values, emitted as
+//! one compact line per row (JSON-lines).
+
+use std::fmt::Write as _;
+
+/// Builder for one JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> JsonObj {
+        JsonObj::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> JsonObj {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> JsonObj {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Add a float field; non-finite values (which the normalization
+    /// layer never produces — see `hsim_sys::total_ratio`) are emitted
+    /// as `null` rather than invalid JSON.
+    pub fn f64(mut self, key: &str, value: f64) -> JsonObj {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> JsonObj {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Add a nested object field.
+    pub fn obj(mut self, key: &str, value: JsonObj) -> JsonObj {
+        self.key(key);
+        self.buf.push_str(&value.finish());
+        self
+    }
+
+    /// Close the object and return its compact text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_objects() {
+        let j = JsonObj::new()
+            .str("name", "BC-1")
+            .u64("cycles", 42)
+            .f64("norm", 0.5)
+            .obj("energy", JsonObj::new().f64("core", 1.25))
+            .finish();
+        assert_eq!(j, r#"{"name":"BC-1","cycles":42,"norm":0.5,"energy":{"core":1.25}}"#);
+    }
+
+    #[test]
+    fn escapes_strings_and_guards_floats() {
+        let j = JsonObj::new().str("s", "a\"b\\c\nd").f64("bad", f64::NAN).finish();
+        assert_eq!(j, r#"{"s":"a\"b\\c\nd","bad":null}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+}

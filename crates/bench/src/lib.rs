@@ -1,121 +1,52 @@
-//! # drfrlx-bench — regenerating every table and figure
+//! # drfrlx-bench — the unified experiment harness
 //!
-//! One binary per artifact of the paper's evaluation (see DESIGN.md's
-//! experiment index):
+//! Every simulation-backed artifact of the paper's evaluation is one
+//! [`experiment::Experiment`] in the [`experiments::registry`]: a
+//! declarative job matrix (workload × `SystemConfig` × platform) plus
+//! renderers for the human-readable table and structured JSON rows.
+//! The jobs run on the parallel sweep engine (`hsim_sys::run_matrix`),
+//! so regenerating a figure uses every core while staying
+//! byte-identical to a serial run.
 //!
-//! | target | artifact |
-//! |--------|----------|
-//! | `fig1_discrete` | Figure 1: relaxed vs SC atomics on a discrete GPU |
-//! | `fig2_paths` | Figure 2: program/conflict graphs + ordering paths |
-//! | `table1_usecases` | Table 1: use case ↔ category mapping |
-//! | `listing7_herd` | Listing 7: litmus verdicts under both models |
-//! | `table2_params` | Table 2: simulated system parameters |
-//! | `table3_benchmarks` | Table 3: workloads, inputs, atomic classes |
-//! | `table4_benefits` | Table 4: measured benefits per model |
-//! | `fig3_micro` | Figure 3: microbenchmark time + energy, 6 configs |
-//! | `fig4_bench` | Figure 4: benchmark time + energy, 6 configs |
-//! | `section6_summary` | §6: the paper's headline averages |
+//! | id | artifact | wrapper binary |
+//! |----|----------|----------------|
+//! | `fig1` | Figure 1: relaxed vs SC atomics, discrete GPU | `fig1_discrete` |
+//! | `fig3` | Figure 3: microbenchmark time + energy | `fig3_micro` |
+//! | `fig4` | Figure 4: benchmark time + energy | `fig4_bench` |
+//! | `table4` | Table 4: measured benefits per model | `table4_benefits` |
+//! | `section6` | §6: the paper's headline averages | `section6_summary` |
+//! | `sweep_contention` | §4.4 bins/contention sweep | `sweep_contention` |
+//! | `sweep_contexts` | hardware-context MLP sweep | `sweep_contexts` |
+//! | `ablation_coalescing` | §6.3 MSHR atomic coalescing | `ablation_coalescing` |
+//! | `ablation_acqrel` | §7 acquire/release one-sided atomics | `ablation_acqrel` |
+//! | `ext_sssp` | extension: SSSP, all six configs | `ext_sssp` |
+//! | `ext_pr_residual` | extension: quantum residual in PR | `ext_pr_residual` |
+//! | `hotspots` | diagnostic: protocol event profile | `hotspots` |
 //!
-//! Run any of them with `cargo run --release -p drfrlx-bench --bin <target>`.
-//! The `criterion` benches (`cargo bench`) measure the tooling itself:
-//! SC-execution enumeration, race analysis, the relaxed machine, the
-//! NoC and the full simulator.
+//! Run any of them as `drfrlx bench <id>` (or `bench all`), or via the
+//! wrapper binary: `cargo run --release -p drfrlx-bench --bin <bin>`.
+//! Both honor `--threads N` / `DRFRLX_THREADS` (default: all cores)
+//! and `--out DIR` / `DRFRLX_RESULTS` (default: `results/`), print the
+//! text table to stdout, and write `results/<id>.txt` plus
+//! JSON-lines `results/<id>.json` for trajectory tracking.
+//!
+//! Artifacts with no simulation matrix keep dedicated binaries:
+//! `fig2_paths`, `table1_usecases`, `table2_params`,
+//! `table3_benchmarks`, `listing7_herd`.
+//!
+//! The `benches/` targets (`cargo bench`) measure the tooling itself —
+//! SC-execution enumeration, race analysis, the simulator and the
+//! sweep engine — with the offline [`timing`] harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use drfrlx_core::SystemConfig;
-use hsim_sys::{run_workload, RunReport, SysParams};
-use drfrlx_workloads::WorkloadSpec;
+pub mod experiment;
+pub mod experiments;
+pub mod json;
+pub mod tables;
+pub mod timing;
 
-/// Run a workload spec under all six configurations, validating each.
-///
-/// # Panics
-///
-/// Panics if any configuration produces a functionally wrong result —
-/// a simulator bug, not a measurement.
-pub fn run_six(spec: &WorkloadSpec, params: &SysParams) -> Vec<RunReport> {
-    let kernel = spec.kernel();
-    SystemConfig::all()
-        .into_iter()
-        .map(|cfg| {
-            let r = run_workload(kernel.as_ref(), cfg, params);
-            if let Err(e) = kernel.validate(&r.memory) {
-                panic!("{} produced a wrong result under {cfg}: {e}", spec.name);
-            }
-            r
-        })
-        .collect()
-}
-
-/// Geometric mean of a sequence of ratios.
-pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
-    let mut log_sum = 0.0;
-    let mut n = 0usize;
-    for x in xs {
-        log_sum += x.ln();
-        n += 1;
-    }
-    if n == 0 {
-        1.0
-    } else {
-        (log_sum / n as f64).exp()
-    }
-}
-
-/// Print a normalized table: rows = workloads, columns = configs,
-/// values = metric normalized to the first config (GD0).
-pub fn print_normalized(
-    title: &str,
-    rows: &[(String, Vec<RunReport>)],
-    metric: impl Fn(&RunReport) -> f64,
-) {
-    println!("\n{title}");
-    print!("{:10}", "");
-    for cfg in SystemConfig::all() {
-        print!(" {:>7}", cfg.abbrev());
-    }
-    println!();
-    for (name, reports) in rows {
-        let base = metric(&reports[0]).max(1e-12);
-        print!("{name:10}");
-        for r in reports {
-            print!(" {:>7.3}", metric(r) / base);
-        }
-        println!();
-    }
-}
-
-/// The energy-component breakdown rows of Figures 3(b)/4(b).
-pub fn print_energy_components(rows: &[(String, Vec<RunReport>)]) {
-    println!("\nenergy components (normalized to GD0 total; core/scratch/L1/L2/net)");
-    for (name, reports) in rows {
-        let base = reports[0].energy.total().max(1e-12);
-        println!("{name}:");
-        for r in reports {
-            let e = &r.energy;
-            println!(
-                "  {:>4}: {:5.2} = core {:4.2} + scratch {:4.2} + l1 {:4.2} + l2 {:4.2} + net {:4.2}",
-                r.config.abbrev(),
-                e.total() / base,
-                e.core / base,
-                e.scratch / base,
-                e.l1 / base,
-                e.l2 / base,
-                e.network / base,
-            );
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn geomean_basics() {
-        assert!((geomean([1.0, 1.0]) - 1.0).abs() < 1e-12);
-        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
-        assert_eq!(geomean(std::iter::empty()), 1.0);
-    }
-}
+pub use experiment::{cli_main, run_experiment, write_artifacts, Experiment, ExperimentRun};
+pub use experiments::{find, ids, registry};
+pub use tables::{energy_components_table, geomean, normalized_table, Metric};

@@ -1,0 +1,118 @@
+//! Shared table rendering for every experiment: normalized
+//! time/energy tables, the Figure 3(b)/4(b) energy-component rows, and
+//! the geometric mean — the formatting the per-figure binaries used to
+//! each re-implement.
+//!
+//! All normalization goes through [`RunReport::normalized_time`] /
+//! [`RunReport::normalized_energy`], which are total (a degenerate
+//! baseline never produces `NaN`/`inf` — see `hsim_sys::total_ratio`).
+
+use hsim_sys::{total_ratio, RunReport};
+use std::fmt::Write as _;
+
+/// Which normalized metric a table shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Execution time in cycles.
+    Time,
+    /// Total energy.
+    Energy,
+}
+
+impl Metric {
+    /// `report` normalized to `base` under this metric (total).
+    pub fn normalized(self, report: &RunReport, base: &RunReport) -> f64 {
+        match self {
+            Metric::Time => report.normalized_time(base),
+            Metric::Energy => report.normalized_energy(base),
+        }
+    }
+}
+
+/// Geometric mean of a sequence of ratios. Total: non-finite or
+/// non-positive entries (which the normalization layer never produces)
+/// are skipped rather than poisoning the mean; an empty sequence is 1.
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        if x.is_finite() && x > 0.0 {
+            log_sum += x.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// A normalized table: rows = workloads, columns = the row's configs,
+/// values = `metric` normalized to the row's first report.
+pub fn normalized_table(title: &str, rows: &[(String, Vec<RunReport>)], metric: Metric) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n{title}");
+    let _ = write!(out, "{:10}", "");
+    if let Some((_, reports)) = rows.first() {
+        for r in reports {
+            let _ = write!(out, " {:>7}", r.config.abbrev());
+        }
+    }
+    let _ = writeln!(out);
+    for (name, reports) in rows {
+        let _ = write!(out, "{name:10}");
+        if let Some(base) = reports.first() {
+            for r in reports {
+                let _ = write!(out, " {:>7.3}", metric.normalized(r, base));
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// The energy-component breakdown rows of Figures 3(b)/4(b),
+/// normalized to each row's first (GD0) total.
+pub fn energy_components_table(rows: &[(String, Vec<RunReport>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\nenergy components (normalized to GD0 total; core/scratch/L1/L2/net)");
+    for (name, reports) in rows {
+        let Some(base) = reports.first() else { continue };
+        let base_total = base.energy.total();
+        let _ = writeln!(out, "{name}:");
+        for r in reports {
+            let e = &r.energy;
+            let _ = writeln!(
+                out,
+                "  {:>4}: {:5.2} = core {:4.2} + scratch {:4.2} + l1 {:4.2} + l2 {:4.2} + net {:4.2}",
+                r.config.abbrev(),
+                r.normalized_energy(base),
+                total_ratio(e.core, base_total),
+                total_ratio(e.scratch, base_total),
+                total_ratio(e.l1, base_total),
+                total_ratio(e.l2, base_total),
+                total_ratio(e.network, base_total),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    fn geomean_is_total() {
+        assert!((geomean([2.0, 8.0, f64::NAN, 0.0, -3.0, f64::INFINITY]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean([f64::NAN]), 1.0);
+    }
+}

@@ -25,8 +25,6 @@
 
 mod memsys;
 
-pub use memsys::{
-    AccessKind, CuId, MemSysParams, MemorySystem, ProtoStats,
-};
+pub use memsys::{AccessKind, CuId, MemSysParams, MemorySystem, ProtoStats};
 
 pub use drfrlx_core::Protocol;

@@ -122,7 +122,7 @@ enum L2State {
 }
 
 /// Protocol/consistency event statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProtoStats {
     /// L1 load hits / misses (data + atomics performed at L1).
     pub l1_hits: u64,
@@ -262,7 +262,7 @@ impl MemorySystem {
 
     /// Round-trip a control request + data response between a CU and a
     /// line's home bank, invoking `at_bank` for the bank-side latency.
-    fn to_bank_and_back(
+    fn bank_round_trip(
         &mut self,
         now: Cycle,
         cu: CuId,
@@ -316,9 +316,7 @@ impl MemorySystem {
     pub fn acquire(&mut self, now: Cycle, cu: CuId) -> Cycle {
         let dropped = match self.protocol {
             Protocol::Gpu => self.l1s[cu].cache.invalidate_where(|_, _| true),
-            Protocol::DeNovo => self.l1s[cu]
-                .cache
-                .invalidate_where(|_, s| *s == L1State::Valid),
+            Protocol::DeNovo => self.l1s[cu].cache.invalidate_where(|_, s| *s == L1State::Valid),
         };
         self.stats.invalidation_events += 1;
         self.stats.lines_invalidated += dropped;
@@ -371,9 +369,8 @@ impl MemorySystem {
             MshrOutcome::Allocated => {}
         }
         let flits = self.params.data_flits;
-        let done = self.to_bank_and_back(start, cu, line, flits, |s, arrive| {
-            s.l2_access(arrive, line, true)
-        });
+        let done = self
+            .bank_round_trip(start, cu, line, flits, |s, arrive| s.l2_access(arrive, line, true));
         self.l1s[cu].cache.insert(line, L1State::Valid);
         self.l1s[cu].mshr.set_completion(line, done);
         done
@@ -404,7 +401,7 @@ impl MemorySystem {
     fn gpu_atomic(&mut self, now: Cycle, cu: CuId, addr: Addr) -> Cycle {
         let line = self.line(addr);
         self.stats.atomics_at_l2 += 1;
-        self.to_bank_and_back(now, cu, line, self.params.ctl_flits, |s, arrive| {
+        self.bank_round_trip(now, cu, line, self.params.ctl_flits, |s, arrive| {
             s.l2_access(arrive, line, true)
         })
     }
@@ -433,7 +430,8 @@ impl MemorySystem {
                 let owner_node = self.params.cu_nodes[owner];
                 self.l1s[owner].cache.remove(line);
                 self.l1_tag_ops += 1;
-                let at_owner = self.noc.send(dir_done, bank_node, owner_node, self.params.ctl_flits);
+                let at_owner =
+                    self.noc.send(dir_done, bank_node, owner_node, self.params.ctl_flits);
                 let served = self.l1s[owner].port.acquire(at_owner, 1) + self.params.l1_hit_latency;
                 self.l1_accesses += 1;
                 self.noc.send(served, owner_node, cu_node, self.params.data_flits)
@@ -450,9 +448,9 @@ impl MemorySystem {
                 self.noc.send(filled, bank_node, cu_node, self.params.data_flits)
             }
         };
-        let evicted = self.l1s[cu].cache.insert_with_pin(line, L1State::Registered, |s| {
-            *s == L1State::Registered
-        });
+        let evicted = self.l1s[cu]
+            .cache
+            .insert_with_pin(line, L1State::Registered, |s| *s == L1State::Registered);
         // A full set of registered lines can force a registered victim
         // out; its ownership must return to the L2 (writeback).
         self.handle_l1_eviction(data_at_cu, cu, evicted);
@@ -500,7 +498,8 @@ impl MemorySystem {
                 // Forward: remote L1 services the read, keeps ownership.
                 self.stats.remote_l1_transfers += 1;
                 let owner_node = self.params.cu_nodes[owner];
-                let at_owner = self.noc.send(dir_done, bank_node, owner_node, self.params.ctl_flits);
+                let at_owner =
+                    self.noc.send(dir_done, bank_node, owner_node, self.params.ctl_flits);
                 let served = self.l1s[owner].port.acquire(at_owner, 1) + self.params.l1_hit_latency;
                 self.l1_accesses += 1;
                 self.noc.send(served, owner_node, cu_node, self.params.data_flits)
@@ -514,9 +513,8 @@ impl MemorySystem {
             }
         };
         // Fill as Valid (read data never takes ownership in DeNovo).
-        let evicted = self.l1s[cu].cache.insert_with_pin(line, L1State::Valid, |s| {
-            *s == L1State::Registered
-        });
+        let evicted =
+            self.l1s[cu].cache.insert_with_pin(line, L1State::Valid, |s| *s == L1State::Registered);
         self.handle_l1_eviction(done, cu, evicted);
         self.l1s[cu].mshr.set_completion(line, done);
         done
@@ -530,9 +528,7 @@ impl MemorySystem {
         self.l1_accesses += 1;
         let start = now;
         let pending = self.l1s[cu].mshr.pending(start, line);
-        if pending.is_none()
-            && self.l1s[cu].cache.lookup(line) == Some(&mut L1State::Registered)
-        {
+        if pending.is_none() && self.l1s[cu].cache.lookup(line) == Some(&mut L1State::Registered) {
             // Owned: write locally, writeback caching.
             self.stats.l1_hits += 1;
             return start + self.params.l1_hit_latency;

@@ -177,8 +177,7 @@ fn preserved_po(p: &Program, plan: &Plan) -> Relation {
                 let (ea, eb) = (&plan.events[a], &plan.events[b]);
                 let (s1, s2) = (ea.strength, eb.strength);
                 let same_loc = ea.loc == eb.loc;
-                let two_sided =
-                    |s: Strength| matches!(s, Strength::Paired | Strength::Unpaired);
+                let two_sided = |s: Strength| matches!(s, Strength::Paired | Strength::Unpaired);
                 let ordered = same_loc
                     || s2 == Strength::Paired
                     || s2 == Strength::Release
@@ -257,8 +256,19 @@ fn enumerate_rf(
         let locs: Vec<&Vec<usize>> = writes_of.values().collect();
         let mut co: Vec<Vec<usize>> = locs.iter().map(|_| Vec::new()).collect();
         return enumerate_co(
-            p, plan, ppo, writes_of, reads, rf, &locs, &mut co, 0, results, candidates,
-            max_candidates, &empty,
+            p,
+            plan,
+            ppo,
+            writes_of,
+            reads,
+            rf,
+            &locs,
+            &mut co,
+            0,
+            results,
+            candidates,
+            max_candidates,
+            &empty,
         );
     }
     let r = reads[depth];
@@ -266,13 +276,35 @@ fn enumerate_rf(
     let sources = writes_of.get(&loc).cloned().unwrap_or_default();
     // Initial value source.
     rf[depth] = usize::MAX;
-    enumerate_rf(p, plan, ppo, writes_of, reads, depth + 1, rf, results, candidates, max_candidates)?;
+    enumerate_rf(
+        p,
+        plan,
+        ppo,
+        writes_of,
+        reads,
+        depth + 1,
+        rf,
+        results,
+        candidates,
+        max_candidates,
+    )?;
     for w in sources {
         if w == r {
             continue; // an RMW cannot read its own write
         }
         rf[depth] = w;
-        enumerate_rf(p, plan, ppo, writes_of, reads, depth + 1, rf, results, candidates, max_candidates)?;
+        enumerate_rf(
+            p,
+            plan,
+            ppo,
+            writes_of,
+            reads,
+            depth + 1,
+            rf,
+            results,
+            candidates,
+            max_candidates,
+        )?;
     }
     Ok(())
 }
@@ -308,8 +340,19 @@ fn enumerate_co(
     permute(&ws, &mut Vec::new(), &mut |perm| {
         co[loc_idx] = perm.to_vec();
         enumerate_co(
-            p, plan, ppo, writes_of, reads, rf, locs, co, loc_idx + 1, results, candidates,
-            max_candidates, _e,
+            p,
+            plan,
+            ppo,
+            writes_of,
+            reads,
+            rf,
+            locs,
+            co,
+            loc_idx + 1,
+            results,
+            candidates,
+            max_candidates,
+            _e,
         )
     })
 }
@@ -369,9 +412,7 @@ fn check_candidate(
                 let pos = co_pos[&w];
                 match rf_of(w) {
                     None if pos != 0 => return None,
-                    Some(src) if co_pos.get(&src) != Some(&(pos.wrapping_sub(1))) => {
-                        return None
-                    }
+                    Some(src) if co_pos.get(&src) != Some(&(pos.wrapping_sub(1))) => return None,
                     _ => {}
                 }
             }
@@ -495,16 +536,15 @@ fn check_candidate(
     }
 
     // Result: co-last write per location, plus final registers.
-    let mut memory: BTreeMap<Loc, Value> = (0..p.num_locs() as u32)
-        .map(|l| (Loc(l), p.init_value(Loc(l))))
-        .collect();
+    let mut memory: BTreeMap<Loc, Value> =
+        (0..p.num_locs() as u32).map(|l| (Loc(l), p.init_value(Loc(l)))).collect();
     for (li, (loc, _)) in writes_of.iter().enumerate() {
         if let Some(&last) = co[li].last() {
             memory.insert(*loc, values[last].unwrap_or(0));
         }
     }
     let mut regs_out: Vec<BTreeMap<Reg, Value>> = vec![BTreeMap::new(); plan.threads];
-    for tid in 0..plan.threads {
+    for (tid, out_slot) in regs_out.iter_mut().enumerate() {
         let mut regs: BTreeMap<Reg, Value> = BTreeMap::new();
         let mut cursor: Vec<usize> = (0..n).filter(|&e| plan.events[e].tid == tid).collect();
         cursor.reverse();
@@ -524,7 +564,7 @@ fn check_candidate(
                 _ => {}
             }
         }
-        regs_out[tid] = regs;
+        *out_slot = regs;
     }
     Some(ExecResult { memory, regs: regs_out })
 }
@@ -539,8 +579,7 @@ mod tests {
     fn results_match(p: &Program, model: MemoryModel) {
         let ax = enumerate_axiomatic(p, model, 2_000_000).expect("axiomatic enumerable");
         let op = explore_relaxed(p, model, &EnumLimits::default()).expect("machine enumerable");
-        let ax_mem: BTreeSet<BTreeMap<Loc, Value>> =
-            ax.iter().map(|r| r.memory.clone()).collect();
+        let ax_mem: BTreeSet<BTreeMap<Loc, Value>> = ax.iter().map(|r| r.memory.clone()).collect();
         assert_eq!(
             ax_mem,
             op.memory_results(),

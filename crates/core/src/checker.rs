@@ -89,13 +89,9 @@ impl CheckReport {
 /// How each model views a program's annotations (see module docs).
 fn model_view(p: &Program, model: MemoryModel) -> Program {
     match model {
-        MemoryModel::Drf0 => p.map_classes(|c| {
-            if c.is_atomic() {
-                OpClass::Paired
-            } else {
-                OpClass::Data
-            }
-        }),
+        MemoryModel::Drf0 => {
+            p.map_classes(|c| if c.is_atomic() { OpClass::Paired } else { OpClass::Data })
+        }
         MemoryModel::Drf1 => p.map_classes(|c| match c {
             c if c.is_relaxed() => OpClass::Unpaired,
             // DRF1 predates one-sided synchronization: upgraded to paired.
@@ -118,11 +114,8 @@ pub fn try_check_program(
 ) -> Result<CheckReport, EnumError> {
     let view = model_view(p, model);
     let quantum = model == MemoryModel::Drfrlx && has_quantum(&view);
-    let execs: Vec<Execution> = if quantum {
-        enumerate_sc_quantum(&view, limits)?
-    } else {
-        enumerate_sc(&view, limits)?
-    };
+    let execs: Vec<Execution> =
+        if quantum { enumerate_sc_quantum(&view, limits)? } else { enumerate_sc(&view, limits)? };
     let mut races: Vec<FoundRace> = Vec::new();
     for (i, e) in execs.iter().enumerate() {
         let analysis = analyze(e);

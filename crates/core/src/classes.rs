@@ -91,10 +91,7 @@ impl OpClass {
     /// Is this an ordering atomic (participates in the atomic-atomic
     /// program-order guarantee: paired, unpaired, acquire, release)?
     pub fn is_ordering_atomic(self) -> bool {
-        matches!(
-            self,
-            OpClass::Paired | OpClass::Unpaired | OpClass::Acquire | OpClass::Release
-        )
+        matches!(self, OpClass::Paired | OpClass::Unpaired | OpClass::Acquire | OpClass::Release)
     }
 
     /// Short label used in printed executions ("P", "UNP", "NO", ...).
@@ -276,9 +273,7 @@ impl SystemConfig {
 
     /// Parse a paper abbreviation ("GD0".."DDR", case-insensitive).
     pub fn from_abbrev(s: &str) -> Option<SystemConfig> {
-        SystemConfig::all()
-            .into_iter()
-            .find(|c| c.abbrev().eq_ignore_ascii_case(s))
+        SystemConfig::all().into_iter().find(|c| c.abbrev().eq_ignore_ascii_case(s))
     }
 }
 
@@ -306,38 +301,20 @@ mod tests {
 
     #[test]
     fn drf1_degrades_relaxed_to_unpaired() {
-        assert_eq!(
-            MemoryModel::Drf1.strength_of(OpClass::Commutative),
-            Strength::Unpaired
-        );
-        assert_eq!(
-            MemoryModel::Drf1.strength_of(OpClass::Quantum),
-            Strength::Unpaired
-        );
-        assert_eq!(
-            MemoryModel::Drf1.strength_of(OpClass::Paired),
-            Strength::Paired
-        );
-        assert_eq!(
-            MemoryModel::Drf1.strength_of(OpClass::Unpaired),
-            Strength::Unpaired
-        );
+        assert_eq!(MemoryModel::Drf1.strength_of(OpClass::Commutative), Strength::Unpaired);
+        assert_eq!(MemoryModel::Drf1.strength_of(OpClass::Quantum), Strength::Unpaired);
+        assert_eq!(MemoryModel::Drf1.strength_of(OpClass::Paired), Strength::Paired);
+        assert_eq!(MemoryModel::Drf1.strength_of(OpClass::Unpaired), Strength::Unpaired);
     }
 
     #[test]
     fn drfrlx_merges_relaxed_categories() {
-        for class in [
-            OpClass::Commutative,
-            OpClass::NonOrdering,
-            OpClass::Quantum,
-            OpClass::Speculative,
-        ] {
+        for class in
+            [OpClass::Commutative, OpClass::NonOrdering, OpClass::Quantum, OpClass::Speculative]
+        {
             assert_eq!(MemoryModel::Drfrlx.strength_of(class), Strength::Relaxed);
         }
-        assert_eq!(
-            MemoryModel::Drfrlx.strength_of(OpClass::Unpaired),
-            Strength::Unpaired
-        );
+        assert_eq!(MemoryModel::Drfrlx.strength_of(OpClass::Unpaired), Strength::Unpaired);
     }
 
     #[test]
@@ -377,7 +354,7 @@ mod tests {
         assert!(!OpClass::Paired.is_relaxed());
         assert!(!OpClass::Unpaired.is_relaxed());
         assert!(OpClass::Speculative.is_relaxed());
-        assert!(OpClass::Data.is_atomic() == false);
+        assert!(!OpClass::Data.is_atomic());
         assert!(OpClass::Unpaired.is_atomic());
     }
 }

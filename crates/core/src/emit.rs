@@ -183,10 +183,8 @@ fn emit_instrs(p: &Program, instrs: &[Instr], depth: usize, out: &mut String) {
 }
 
 fn sanitize(name: &str) -> String {
-    let mut s: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect();
+    let mut s: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
     if s.is_empty() || s.starts_with(|c: char| c.is_ascii_digit()) {
         s.insert(0, 'p');
     }
@@ -229,11 +227,7 @@ mod tests {
         {
             let mut t = p.thread();
             let old = t.cas(crate::OpClass::Paired, "seq", 0, 1);
-            let ok = crate::program::Expr::bin(
-                crate::program::BinOp::Eq,
-                old.into(),
-                0.into(),
-            );
+            let ok = crate::program::Expr::bin(crate::program::BinOp::Eq, old.into(), 0.into());
             t.if_nz(ok, |t| {
                 t.store(crate::OpClass::Speculative, "d", 10);
                 t.store(crate::OpClass::Paired, "seq", 2);
@@ -274,8 +268,10 @@ mod tests {
         let limits = EnumLimits::default();
         let ea = &enumerate_sc(&p, &limits).unwrap()[0];
         let eb = &enumerate_sc(&q, &limits).unwrap()[0];
-        assert_eq!(ea.result.memory.values().collect::<Vec<_>>(),
-                   eb.result.memory.values().collect::<Vec<_>>());
+        assert_eq!(
+            ea.result.memory.values().collect::<Vec<_>>(),
+            eb.result.memory.values().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -191,7 +191,7 @@ impl Execution {
     /// Events of a class, as a membership vector (for
     /// [`Relation::product`]).
     pub fn class_set(&self, pred: impl Fn(&Event) -> bool) -> Vec<bool> {
-        self.events.iter().map(|e| pred(e)).collect()
+        self.events.iter().map(pred).collect()
     }
 }
 
@@ -208,10 +208,7 @@ pub struct EnumLimits {
 
 impl Default for EnumLimits {
     fn default() -> Self {
-        EnumLimits {
-            max_executions: 4_000_000,
-            quantum_domain: vec![0, 1, JUNK],
-        }
+        EnumLimits { max_executions: 4_000_000, quantum_domain: vec![0, 1, JUNK] }
     }
 }
 
@@ -317,9 +314,7 @@ fn enumerate_inner(
                 ctrl: BTreeSet::new(),
             })
             .collect(),
-        memory: (0..p.num_locs() as u32)
-            .map(|l| (Loc(l), p.init_value(Loc(l))))
-            .collect(),
+        memory: (0..p.num_locs() as u32).map(|l| (Loc(l), p.init_value(Loc(l)))).collect(),
         events: Vec::new(),
         order: Vec::new(),
         writes: BTreeMap::new(),
@@ -404,12 +399,7 @@ fn explore(
     }
 
     // Terminal: all threads done.
-    if st
-        .threads
-        .iter()
-        .enumerate()
-        .all(|(tid, t)| t.pc >= p.threads()[tid].instrs.len())
-    {
+    if st.threads.iter().enumerate().all(|(tid, t)| t.pc >= p.threads()[tid].instrs.len()) {
         if out.len() >= limits.max_executions {
             return Err(EnumError::TooManyExecutions { limit: limits.max_executions });
         }
@@ -468,7 +458,11 @@ fn perform(p: &Program, tid: usize, st: &mut SearchState) {
                 write_fn: None,
             });
             st.read_src.push(st.writes.get(loc).and_then(|w| {
-                if w.is_empty() { None } else { Some(w.len() - 1) }
+                if w.is_empty() {
+                    None
+                } else {
+                    Some(w.len() - 1)
+                }
             }));
             st.data_src.push(BTreeSet::new());
             st.ctrl_src.push(ctrl);
@@ -526,7 +520,11 @@ fn perform(p: &Program, tid: usize, st: &mut SearchState) {
                 write_fn: Some(wf),
             });
             st.read_src.push(st.writes.get(loc).and_then(|w| {
-                if w.is_empty() { None } else { Some(w.len() - 1) }
+                if w.is_empty() {
+                    None
+                } else {
+                    Some(w.len() - 1)
+                }
             }));
             st.data_src.push(data);
             st.ctrl_src.push(ctrl);
@@ -543,6 +541,7 @@ fn perform(p: &Program, tid: usize, st: &mut SearchState) {
 }
 
 /// Emit a quantum store event writing `wval` and continue exploration.
+#[allow(clippy::too_many_arguments)]
 fn quantum_store_event(
     p: &Program,
     limits: &EnumLimits,
@@ -612,9 +611,7 @@ fn perform_quantum_rmw(
     out: &mut Vec<Execution>,
 ) -> Result<(), EnumError> {
     let pc = st.threads[tid].pc;
-    let Instr::Rmw { class, loc, dst, .. } = &p.threads()[tid].instrs[pc] else {
-        unreachable!()
-    };
+    let Instr::Rmw { class, loc, dst, .. } = &p.threads()[tid].instrs[pc] else { unreachable!() };
     for &old in &limits.quantum_domain {
         for &new in &limits.quantum_domain {
             quantum_store_event(p, limits, tid, st, *class, *loc, new, Some((*dst, old)), out)?;
@@ -742,25 +739,16 @@ mod tests {
         for e in &execs {
             let r0 = *e.result.regs[0].get(&Reg(0)).unwrap();
             let r1 = *e.result.regs[1].get(&Reg(0)).unwrap();
-            assert!(
-                !(r0 == 0 && r1 == 0),
-                "SC forbids the store-buffering outcome"
-            );
+            assert!(!(r0 == 0 && r1 == 0), "SC forbids the store-buffering outcome");
         }
         // But the three other outcomes all appear.
         let outcomes: BTreeSet<(Value, Value)> = execs
             .iter()
             .map(|e| {
-                (
-                    *e.result.regs[0].get(&Reg(0)).unwrap(),
-                    *e.result.regs[1].get(&Reg(0)).unwrap(),
-                )
+                (*e.result.regs[0].get(&Reg(0)).unwrap(), *e.result.regs[1].get(&Reg(0)).unwrap())
             })
             .collect();
-        assert_eq!(
-            outcomes,
-            BTreeSet::from([(0, 1), (1, 0), (1, 1)])
-        );
+        assert_eq!(outcomes, BTreeSet::from([(0, 1), (1, 0), (1, 1)]));
     }
 
     #[test]
@@ -798,8 +786,10 @@ mod tests {
             assert_eq!(e.co.len(), 1);
             let (first, last) = e.co.pairs()[0];
             assert_eq!(e.result.memory.values().next().copied(), e.events[last].wval);
-            assert!(e.order.iter().position(|&x| x == first).unwrap()
-                < e.order.iter().position(|&x| x == last).unwrap());
+            assert!(
+                e.order.iter().position(|&x| x == first).unwrap()
+                    < e.order.iter().position(|&x| x == last).unwrap()
+            );
         }
     }
 
@@ -928,11 +918,9 @@ mod tests {
                 t.store(OpClass::Data, "x", 1);
             }
         }
-        let err = enumerate_sc(
-            &p.build(),
-            &EnumLimits { max_executions: 10, ..EnumLimits::default() },
-        )
-        .unwrap_err();
+        let err =
+            enumerate_sc(&p.build(), &EnumLimits { max_executions: 10, ..EnumLimits::default() })
+                .unwrap_err();
         assert_eq!(err, EnumError::TooManyExecutions { limit: 10 });
     }
 

@@ -23,12 +23,8 @@ use crate::exec::{EnumError, EnumLimits};
 use crate::program::{Instr, Program};
 
 /// The downgrade ladder, strongest first. `Paired` is the implicit top.
-const LADDER: [OpClass; 4] = [
-    OpClass::Unpaired,
-    OpClass::NonOrdering,
-    OpClass::Commutative,
-    OpClass::Speculative,
-];
+const LADDER: [OpClass; 4] =
+    [OpClass::Unpaired, OpClass::NonOrdering, OpClass::Commutative, OpClass::Speculative];
 
 /// One inference decision, for reporting.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,7 +58,9 @@ fn with_class(p: &Program, tid: usize, iid: usize, class: OpClass) -> Program {
     // in place instead.
     let mut threads: Vec<_> = q.threads().to_vec();
     match &mut threads[tid].instrs[iid] {
-        Instr::Load { class: c, .. } | Instr::Store { class: c, .. } | Instr::Rmw { class: c, .. } => {
+        Instr::Load { class: c, .. }
+        | Instr::Store { class: c, .. }
+        | Instr::Rmw { class: c, .. } => {
             *c = class;
         }
         _ => unreachable!("memory instruction"),
@@ -166,11 +164,7 @@ mod tests {
         let inf = infer_ok(&p.build());
         // Neither flag access may be weakened: any downgrade creates a
         // data race on x.
-        assert!(
-            inf.changes.is_empty(),
-            "flag must stay paired, but inferred {:?}",
-            inf.changes
-        );
+        assert!(inf.changes.is_empty(), "flag must stay paired, but inferred {:?}", inf.changes);
     }
 
     #[test]

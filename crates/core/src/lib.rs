@@ -59,8 +59,8 @@ pub mod classes;
 pub mod emit;
 pub mod exec;
 pub mod infer;
-pub mod pretty;
 pub mod parse;
+pub mod pretty;
 pub mod program;
 pub mod quantum;
 pub mod races;

@@ -98,8 +98,7 @@ fn lex(src: &str) -> Result<Lexer, ParseError> {
                 }
             }
             if rest.starts_with(|c: char| c.is_ascii_digit())
-                || (rest.starts_with('-')
-                    && rest[1..].starts_with(|c: char| c.is_ascii_digit()))
+                || (rest.starts_with('-') && rest[1..].starts_with(|c: char| c.is_ascii_digit()))
             {
                 let neg = rest.starts_with('-');
                 let body = if neg { &rest[1..] } else { rest };
@@ -107,15 +106,16 @@ fn lex(src: &str) -> Result<Lexer, ParseError> {
                     .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
                     .unwrap_or(body.len());
                 let text: String = body[..end].chars().filter(|&c| c != '_').collect();
-                let magnitude = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
-                    i64::from_str_radix(hex, 16)
-                } else {
-                    text.parse()
-                }
-                .map_err(|_| ParseError {
-                    line,
-                    message: format!("bad integer literal `{}`", &body[..end]),
-                })?;
+                let magnitude =
+                    if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
+                        i64::from_str_radix(hex, 16)
+                    } else {
+                        text.parse()
+                    }
+                    .map_err(|_| ParseError {
+                        line,
+                        message: format!("bad integer literal `{}`", &body[..end]),
+                    })?;
                 toks.push((line, Tok::Int(if neg { -magnitude } else { magnitude })));
                 rest = body[end..].trim_start();
                 continue;
@@ -143,10 +143,7 @@ impl Lexer {
     }
 
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|(l, _)| *l)
-            .unwrap_or(0)
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|(l, _)| *l).unwrap_or(0)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -453,9 +450,7 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
     let mut lx = lex(src)?;
     match lx.next() {
         Some(Tok::Ident(kw)) if kw == "litmus" => {}
-        other => {
-            return Err(lx.err(format!("expected `litmus <name>` header, found {other:?}")))
-        }
+        other => return Err(lx.err(format!("expected `litmus <name>` header, found {other:?}"))),
     }
     let name = lx.expect_ident()?;
     let mut p = Program::new(name);
@@ -560,8 +555,8 @@ thread t0 {
 
     #[test]
     fn class_prefixes_resolve() {
-        let p = parse("litmus t\nthread a { store.comm x 1; store.spec y 1; store.non z 1; }")
-            .unwrap();
+        let p =
+            parse("litmus t\nthread a { store.comm x 1; store.spec y 1; store.non z 1; }").unwrap();
         use OpClass::*;
         assert_eq!(p.classes_used(), vec![Commutative, Speculative, NonOrdering]);
     }
@@ -586,8 +581,8 @@ thread t0 {
 
     #[test]
     fn min_max_calls() {
-        let p = parse("litmus t\nthread a { r = min(4 7); s = max(r 9); store.data x s; }")
-            .unwrap();
+        let p =
+            parse("litmus t\nthread a { r = min(4 7); s = max(r 9); store.data x s; }").unwrap();
         let e = &enumerate_sc(&p, &EnumLimits::default()).unwrap()[0];
         let x = p.find_loc("x").unwrap();
         assert_eq!(e.result.memory[&x], 9);

@@ -9,8 +9,12 @@ use std::fmt::Write as _;
 pub fn event_label(p: &Program, ev: &Event) -> String {
     let loc = p.loc_name(ev.loc);
     match ev.access {
-        Access::Read => format!("T{}.i{}: R({}) {}={}", ev.tid, ev.iid, ev.class, loc, ev.rval.unwrap_or(0)),
-        Access::Write => format!("T{}.i{}: W({}) {}={}", ev.tid, ev.iid, ev.class, loc, ev.wval.unwrap_or(0)),
+        Access::Read => {
+            format!("T{}.i{}: R({}) {}={}", ev.tid, ev.iid, ev.class, loc, ev.rval.unwrap_or(0))
+        }
+        Access::Write => {
+            format!("T{}.i{}: W({}) {}={}", ev.tid, ev.iid, ev.class, loc, ev.wval.unwrap_or(0))
+        }
         Access::Rmw => format!(
             "T{}.i{}: RMW({}) {}:{}->{}",
             ev.tid,

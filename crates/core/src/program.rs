@@ -286,12 +286,7 @@ impl Program {
     /// and [`Program::build`] (a no-op finisher kept for readability) to
     /// obtain the final program.
     pub fn new(name: impl Into<String>) -> Program {
-        Program {
-            name: name.into(),
-            threads: Vec::new(),
-            locs: Vec::new(),
-            init: BTreeMap::new(),
-        }
+        Program { name: name.into(), threads: Vec::new(), locs: Vec::new(), init: BTreeMap::new() }
     }
 
     /// The program's name.
@@ -362,10 +357,7 @@ impl Program {
 
     /// Total number of memory instructions across all threads.
     pub fn memory_op_count(&self) -> usize {
-        self.threads
-            .iter()
-            .map(|t| t.instrs.iter().filter(|i| i.is_memory()).count())
-            .sum()
+        self.threads.iter().map(|t| t.instrs.iter().filter(|i| i.is_memory()).count()).sum()
     }
 
     /// Classes used anywhere in the program.

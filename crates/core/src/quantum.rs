@@ -19,10 +19,7 @@ use crate::program::{Expr, Instr, Program, Value};
 /// Does the program use any quantum atomics (so checking must run on
 /// the quantum-equivalent program)?
 pub fn has_quantum(p: &Program) -> bool {
-    p.threads()
-        .iter()
-        .flat_map(|t| &t.instrs)
-        .any(|i| i.class() == Some(OpClass::Quantum))
+    p.threads().iter().flat_map(|t| &t.instrs).any(|i| i.class() == Some(OpClass::Quantum))
 }
 
 /// A finite domain standing in for `random()`.

@@ -162,8 +162,7 @@ pub fn analyze(e: &Execution) -> RaceAnalysis {
     let no_set = is(OpClass::NonOrdering);
     let quantum_set = is(OpClass::Quantum);
     let spec_set = is(OpClass::Speculative);
-    let pu_set =
-        e.class_set(|ev| matches!(ev.class, OpClass::Paired | OpClass::Unpaired));
+    let pu_set = e.class_set(|ev| matches!(ev.class, OpClass::Paired | OpClass::Unpaired));
     let writes = e.class_set(|ev| ev.access.writes());
 
     // so1: conflicting release-side write before acquire-side read in
@@ -187,13 +186,10 @@ pub fn analyze(e: &Execution) -> RaceAnalysis {
     let hb1 = e.po.union(&so1).transitive_closure();
 
     // conflict & ext & unordered ⇒ race.
-    let conflict = Relation::full(n).filter(|a, b| {
-        a != b && e.events[a].loc == e.events[b].loc && (writes[a] || writes[b])
-    });
+    let conflict = Relation::full(n)
+        .filter(|a, b| a != b && e.events[a].loc == e.events[b].loc && (writes[a] || writes[b]));
     let hb_sym = hb1.union(&hb1.inverse());
-    let race = conflict
-        .filter(|a, b| e.events[a].tid != e.events[b].tid)
-        .minus(&hb_sym);
+    let race = conflict.filter(|a, b| e.events[a].tid != e.events[b].tid).minus(&hb_sym);
 
     // Data race.
     let data = at_least_one(&race, &data_set);
@@ -227,8 +223,8 @@ pub fn analyze(e: &Execution) -> RaceAnalysis {
         .minus(&valid2);
 
     // Quantum race: quantum racing with non-quantum.
-    let quantum = at_least_one(&race, &quantum_set)
-        .filter(|a, b| !(quantum_set[a] && quantum_set[b]));
+    let quantum =
+        at_least_one(&race, &quantum_set).filter(|a, b| !(quantum_set[a] && quantum_set[b]));
 
     // Speculative race: both write, or the load's value is observed.
     let spec_candidates = at_least_one(&race, &spec_set);
@@ -298,7 +294,7 @@ fn path_relation(e: &Execution, edges: EdgeSet<'_>, required: Option<&[bool]>) -
             EdgeSet::PairedUnpaired(pu) => pu[a] && pu[b],
         }
     };
-    let req = |x: usize| required.map_or(true, |r| r[x]);
+    let req = |x: usize| required.is_none_or(|r| r[x]);
     let mut out = Relation::empty(n);
     for start in 0..n {
         // visited[node][seen_po][seen_req]
@@ -603,10 +599,7 @@ mod tests {
             if z_read.rval == Some(1) {
                 saw_synced = true;
                 let a = analyze(e);
-                assert!(
-                    a.non_ordering.is_empty(),
-                    "valid paired path must absolve the NO atomics"
-                );
+                assert!(a.non_ordering.is_empty(), "valid paired path must absolve the NO atomics");
             }
         }
         assert!(saw_synced);
@@ -632,10 +625,7 @@ mod tests {
             let n = e.len();
             let pw = e.class_set(|ev| ev.class == OpClass::Paired && ev.access.writes());
             let pr = e.class_set(|ev| ev.class == OpClass::Paired && ev.access.reads());
-            let herd_so1 = e
-                .com()
-                .transitive_closure()
-                .intersect(&Relation::product(n, &pw, &pr));
+            let herd_so1 = e.com().transitive_closure().intersect(&Relation::product(n, &pw, &pr));
             assert_eq!(a.so1.pairs(), herd_so1.pairs());
         }
     }

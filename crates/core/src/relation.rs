@@ -101,11 +101,7 @@ impl Relation {
     /// Iterate over pairs in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let n = self.n;
-        self.bits
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(move |(i, _)| (i / n, i % n))
+        self.bits.iter().enumerate().filter(|(_, &b)| b).map(move |(i, _)| (i / n, i % n))
     }
 
     /// Collect into a pair vector (useful in tests).
@@ -132,12 +128,7 @@ impl Relation {
         assert_eq!(self.n, other.n, "relations over different carriers");
         Relation {
             n: self.n,
-            bits: self
-                .bits
-                .iter()
-                .zip(&other.bits)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            bits: self.bits.iter().zip(&other.bits).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 

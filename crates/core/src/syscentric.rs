@@ -226,9 +226,7 @@ pub fn explore_relaxed(
             .iter()
             .map(|t| MachineThread { done: vec![false; t.instrs.len()], regs: BTreeMap::new() })
             .collect(),
-        memory: (0..p.num_locs() as u32)
-            .map(|l| (Loc(l), p.init_value(Loc(l))))
-            .collect(),
+        memory: (0..p.num_locs() as u32).map(|l| (Loc(l), p.init_value(Loc(l)))).collect(),
     };
     let mut results = BTreeSet::new();
     let mut schedules = 0usize;
@@ -284,10 +282,7 @@ fn dfs(
         // All instructions done (straight-line programs cannot deadlock:
         // the earliest undone instruction of any thread is always ready
         // once its inputs resolve, and inputs resolve in program order).
-        debug_assert!(m
-            .threads
-            .iter()
-            .all(|t| t.done.iter().all(|&d| d)));
+        debug_assert!(m.threads.iter().all(|t| t.done.iter().all(|&d| d)));
         *schedules += 1;
         if *schedules > limits.max_executions {
             return Err(EnumError::TooManyExecutions { limit: limits.max_executions });
@@ -321,11 +316,7 @@ pub fn compare_with_sc(
     let sc_mem: BTreeSet<BTreeMap<Loc, Value>> =
         sc_execs.iter().map(|e| e.result.memory.clone()).collect();
     let relaxed_mem = relaxed.memory_results();
-    let non_sc = relaxed_mem
-        .iter()
-        .filter(|m| !sc_mem.contains(*m))
-        .cloned()
-        .collect();
+    let non_sc = relaxed_mem.iter().filter(|m| !sc_mem.contains(*m)).cloned().collect();
     Ok(ScComparison {
         non_sc_results: non_sc,
         relaxed_count: relaxed_mem.len(),
@@ -364,10 +355,7 @@ mod tests {
     fn outs(p: &Program, res: &ExecResult) -> (Value, Value) {
         let o0 = p.find_loc("out0").unwrap();
         let o1 = p.find_loc("out1").unwrap();
-        (
-            *res.memory.get(&o0).unwrap_or(&0),
-            *res.memory.get(&o1).unwrap_or(&0),
-        )
+        (*res.memory.get(&o0).unwrap_or(&0), *res.memory.get(&o1).unwrap_or(&0))
     }
 
     #[test]

@@ -118,7 +118,11 @@ impl fmt::Display for EnergyBreakdown {
         write!(
             f,
             "core={:.1}nJ scratch={:.1}nJ l1={:.1}nJ l2={:.1}nJ net={:.1}nJ (total {:.1}nJ)",
-            self.core, self.scratch, self.l1, self.l2, self.network,
+            self.core,
+            self.scratch,
+            self.l1,
+            self.l2,
+            self.network,
             self.total()
         )
     }

@@ -127,9 +127,8 @@ pub fn run_kernel(
     let mut memory = vec![0; kernel.memory_words()];
     kernel.init_memory(&mut memory);
     let scratch_words = kernel.scratch_words();
-    let mut scratch: Vec<Vec<Value>> = (0..kernel.blocks())
-        .map(|_| vec![0; scratch_words])
-        .collect();
+    let mut scratch: Vec<Vec<Value>> =
+        (0..kernel.blocks()).map(|_| vec![0; scratch_words]).collect();
 
     let tpb = kernel.threads_per_block();
     let blocks_per_cu_resident = (params.max_contexts_per_cu / tpb).max(1);
@@ -142,8 +141,11 @@ pub fn run_kernel(
 
     let mut ctxs: Vec<Ctx> = Vec::new();
     let mut block_ctxs: Vec<Vec<usize>> = vec![Vec::new(); kernel.blocks()];
-    let launch = |block: usize, cu: usize, at: Cycle, ctxs: &mut Vec<Ctx>,
-                      block_ctxs: &mut Vec<Vec<usize>>| {
+    let launch = |block: usize,
+                  cu: usize,
+                  at: Cycle,
+                  ctxs: &mut Vec<Ctx>,
+                  block_ctxs: &mut Vec<Vec<usize>>| {
         for t in 0..tpb {
             block_ctxs[block].push(ctxs.len());
             ctxs.push(Ctx {
@@ -182,7 +184,7 @@ pub fn run_kernel(
         let mut best: Option<(Cycle, usize)> = None;
         for (i, c) in ctxs.iter().enumerate() {
             if let CtxState::Ready(at) = c.state {
-                if best.map_or(true, |(t, _)| at < t) {
+                if best.is_none_or(|(t, _)| at < t) {
                     best = Some((at, i));
                 }
             }
@@ -338,9 +340,9 @@ pub fn run_kernel(
                 let fenced = drain(&mut ctx.outstanding, issue);
                 ctx.state = CtxState::AtBarrier(fenced);
                 // Release the block if everyone arrived.
-                let all = block_ctxs[block]
-                    .iter()
-                    .all(|&j| matches!(ctxs[j].state, CtxState::AtBarrier(_) | CtxState::Finished(_)));
+                let all = block_ctxs[block].iter().all(|&j| {
+                    matches!(ctxs[j].state, CtxState::AtBarrier(_) | CtxState::Finished(_))
+                });
                 if all {
                     let release = block_ctxs[block]
                         .iter()
@@ -513,13 +515,7 @@ mod tests {
                 return Op::Done;
             }
             self.left -= 1;
-            Op::Rmw {
-                addr: 0,
-                rmw: RmwKind::Add,
-                operand: 1,
-                class: self.class,
-                use_result: false,
-            }
+            Op::Rmw { addr: 0, rmw: RmwKind::Add, operand: 1, class: self.class, use_result: false }
         }
     }
 
@@ -669,10 +665,7 @@ mod tests {
                 2 => Op::GlobalBarrier,
                 // Read the slot of the "next" work item, which lives in
                 // a different block.
-                3 => Op::Load {
-                    addr: ((self.id + 1) % self.total) as u64,
-                    class: OpClass::Data,
-                },
+                3 => Op::Load { addr: ((self.id + 1) % self.total) as u64, class: OpClass::Data },
                 4 => Op::Store {
                     addr: (self.total + self.id) as u64,
                     value: last.unwrap(),

@@ -124,7 +124,12 @@ pub trait WorkItem {
 }
 
 /// A kernel: a grid of blocks of work items plus its memory image.
-pub trait Kernel {
+///
+/// Kernels are immutable descriptions (work items hold all per-run
+/// state), so the trait requires `Send + Sync`: the sweep engine in
+/// `hsim-sys` shares one kernel across worker threads and runs every
+/// configuration against it concurrently.
+pub trait Kernel: Send + Sync {
     /// Kernel name (for reports).
     fn name(&self) -> String;
     /// Number of thread blocks.

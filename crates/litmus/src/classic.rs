@@ -364,11 +364,7 @@ mod tests {
     fn iriw_needs_ordering_atomics() {
         assert!(check_program(&iriw_paired(), MemoryModel::Drfrlx).is_race_free());
         let r = check_program(&iriw_non_ordering(), MemoryModel::Drfrlx);
-        assert!(
-            r.has_race_kind(RaceKind::NonOrdering),
-            "found {:?}",
-            r.race_kinds()
-        );
+        assert!(r.has_race_kind(RaceKind::NonOrdering), "found {:?}", r.race_kinds());
     }
 
     #[test]

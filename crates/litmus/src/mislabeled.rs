@@ -215,11 +215,7 @@ pub fn seqlock_relaxed_unlock() -> Program {
         let r1 = t.load(OpClass::Speculative, "data1");
         let seq1 = t.rmw(OpClass::Paired, "seq", RmwOp::FetchAdd, 0);
         let same = Expr::bin(BinOp::Eq, seq0.into(), seq1.into());
-        let even = Expr::bin(
-            BinOp::Eq,
-            Expr::bin(BinOp::And, seq0.into(), 1.into()),
-            0.into(),
-        );
+        let even = Expr::bin(BinOp::Eq, Expr::bin(BinOp::And, seq0.into(), 1.into()), 0.into());
         let ok = Expr::bin(BinOp::And, same, even);
         t.if_nz(ok, |t| {
             t.observe(r1);

@@ -32,7 +32,7 @@ impl CacheParams {
     /// Panics if the geometry does not divide evenly.
     pub fn with_capacity(bytes: usize, line_bytes: usize, ways: usize) -> CacheParams {
         let lines = bytes / line_bytes;
-        assert!(lines % ways == 0, "capacity must divide into sets");
+        assert!(lines.is_multiple_of(ways), "capacity must divide into sets");
         CacheParams { sets: lines / ways, ways }
     }
 }
@@ -54,7 +54,11 @@ impl CacheStats {
     /// Hit rate in [0, 1].
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
-        if total == 0 { 0.0 } else { self.hits as f64 / total as f64 }
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 }
 
@@ -176,7 +180,8 @@ impl<S: Clone + Debug> Cache<S> {
                     .expect("set is full")
             });
         self.stats.evictions += 1;
-        let old = std::mem::replace(&mut self.sets[set][victim], Way { tag: line, state, lru: clock });
+        let old =
+            std::mem::replace(&mut self.sets[set][victim], Way { tag: line, state, lru: clock });
         Some(EvictedLine { line: old.tag, state: old.state })
     }
 

@@ -88,7 +88,12 @@ impl Mesh {
     /// Panics if the mesh has no nodes.
     pub fn new(params: NocParams) -> Mesh {
         assert!(params.width > 0 && params.height > 0, "mesh must have nodes");
-        Mesh { params, links: BTreeMap::new(), link_stats: BTreeMap::new(), stats: NocStats::default() }
+        Mesh {
+            params,
+            links: BTreeMap::new(),
+            link_stats: BTreeMap::new(),
+            stats: NocStats::default(),
+        }
     }
 
     /// Number of nodes.
@@ -146,7 +151,8 @@ impl Mesh {
         if hops == 0 {
             return self.params.local_latency;
         }
-        2 * self.params.local_latency + hops * self.params.hop_latency
+        2 * self.params.local_latency
+            + hops * self.params.hop_latency
             + (flits.max(1) - 1) * self.params.cycles_per_flit
     }
 
@@ -206,7 +212,7 @@ mod tests {
         let mut m = mesh();
         let a1 = m.send(0, NodeId(0), NodeId(1), 8);
         let a2 = m.send(0, NodeId(14), NodeId(15), 8);
-        assert_eq!(a1 - 0, a2 - 0);
+        assert_eq!(a1, a2);
         assert_eq!(m.stats().contention_cycles, 0);
     }
 

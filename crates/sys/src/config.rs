@@ -2,8 +2,8 @@
 //! for the Figure 1 motivation experiment.
 
 use hsim_coherence::MemSysParams;
-use hsim_gpu::EngineParams;
 use hsim_energy::EnergyParams;
+use hsim_gpu::EngineParams;
 use hsim_mem::DramParams;
 use hsim_noc::NocParams;
 

@@ -22,9 +22,11 @@
 mod backend;
 mod config;
 mod run;
+mod sweep;
 
 pub use backend::CoherenceBackend;
 pub use config::SysParams;
-pub use run::{run_all_configs, run_workload, RunReport};
+pub use run::{run_workload, total_ratio, RunReport};
+pub use sweep::{default_threads, run_matrix, six_config_jobs, SimJob};
 
 pub use drfrlx_core::{MemoryModel, Protocol, SystemConfig};

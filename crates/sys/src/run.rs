@@ -32,25 +32,37 @@ pub struct RunReport {
     pub memory: Vec<u64>,
 }
 
+/// A total normalization: `num / den`, except that a degenerate
+/// baseline (zero, negative or non-finite) is treated as 1.0 — and a
+/// degenerate numerator over a degenerate baseline is exactly 1.0 —
+/// so no `NaN` or `inf` can reach tables or JSON.
+pub fn total_ratio(num: f64, den: f64) -> f64 {
+    let num_ok = num.is_finite() && num > 0.0;
+    let den_ok = den.is_finite() && den > 0.0;
+    match (num_ok, den_ok) {
+        (true, true) => num / den,
+        (true, false) => num,
+        (false, true) => 0.0,
+        (false, false) => 1.0,
+    }
+}
+
 impl RunReport {
     /// Execution time of `self` normalized to `base` (1.0 = equal;
-    /// lower is better).
+    /// lower is better). Total: a zero-cycle baseline normalizes as 1.
     pub fn normalized_time(&self, base: &RunReport) -> f64 {
-        self.cycles as f64 / base.cycles.max(1) as f64
+        total_ratio(self.cycles as f64, base.cycles as f64)
     }
 
-    /// Total energy normalized to `base`.
+    /// Total energy normalized to `base`. Total in the same sense as
+    /// [`RunReport::normalized_time`].
     pub fn normalized_energy(&self, base: &RunReport) -> f64 {
-        self.energy.total() / base.energy.total().max(1e-12)
+        total_ratio(self.energy.total(), base.energy.total())
     }
 }
 
 /// Run `kernel` under `config` on the platform described by `params`.
-pub fn run_workload(
-    kernel: &dyn Kernel,
-    config: SystemConfig,
-    params: &SysParams,
-) -> RunReport {
+pub fn run_workload(kernel: &dyn Kernel, config: SystemConfig, params: &SysParams) -> RunReport {
     let mem = MemorySystem::new(config.protocol, params.memsys.clone());
     let mut backend = CoherenceBackend::new(mem);
     let mut engine = params.engine.clone();
@@ -90,20 +102,17 @@ pub fn run_workload(
     }
 }
 
-/// Run a kernel under all six paper configurations, in the paper's
-/// order (GD0, GD1, GDR, DD0, DD1, DDR).
-pub fn run_all_configs(kernel: &dyn Kernel, params: &SysParams) -> Vec<RunReport> {
-    SystemConfig::all()
-        .into_iter()
-        .map(|cfg| run_workload(kernel, cfg, params))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{run_matrix, six_config_jobs};
     use drfrlx_core::OpClass;
     use hsim_gpu::{Op, RmwKind, WorkItem};
+    use std::sync::Arc;
+
+    fn run_all_configs(kernel: impl Kernel + 'static, params: &SysParams) -> Vec<RunReport> {
+        run_matrix(&six_config_jobs("test", Arc::new(kernel), params, false), 1)
+    }
 
     /// Contended counter kernel: every context issues `n` increments.
     struct Hammer {
@@ -145,7 +154,7 @@ mod tests {
     fn all_six_configs_run_and_agree_functionally() {
         let k = Hammer { n: 4, class: OpClass::Commutative };
         let params = SysParams::integrated();
-        let reports = run_all_configs(&k, &params);
+        let reports = run_all_configs(k, &params);
         assert_eq!(reports.len(), 6);
         for r in &reports {
             assert_eq!(r.memory[0], 15 * 4 * 4, "{}: wrong count", r.config);
@@ -158,7 +167,7 @@ mod tests {
     fn weaker_models_are_not_slower() {
         let k = Hammer { n: 8, class: OpClass::Commutative };
         let params = SysParams::integrated();
-        let r = run_all_configs(&k, &params);
+        let r = run_all_configs(k, &params);
         let (gd0, gd1, gdr) = (&r[0], &r[1], &r[2]);
         let (dd0, dd1, ddr) = (&r[3], &r[4], &r[5]);
         assert!(gd1.cycles <= gd0.cycles, "GD1 {} > GD0 {}", gd1.cycles, gd0.cycles);
@@ -197,18 +206,25 @@ mod tests {
     #[test]
     fn discrete_platform_is_slower() {
         let k = Hammer { n: 4, class: OpClass::Commutative };
-        let i = run_workload(
-            &k,
-            SystemConfig::from_abbrev("GD0").unwrap(),
-            &SysParams::integrated(),
-        );
-        let d = run_workload(
-            &k,
-            SystemConfig::from_abbrev("GD0").unwrap(),
-            &SysParams::discrete_gpu(),
-        );
+        let i =
+            run_workload(&k, SystemConfig::from_abbrev("GD0").unwrap(), &SysParams::integrated());
+        let d =
+            run_workload(&k, SystemConfig::from_abbrev("GD0").unwrap(), &SysParams::discrete_gpu());
         assert!(d.cycles > i.cycles);
         assert_eq!(d.platform, "discrete");
+    }
+
+    #[test]
+    fn total_ratio_never_leaks_nan_or_inf() {
+        assert_eq!(total_ratio(2.0, 4.0), 0.5);
+        assert_eq!(total_ratio(3.0, 0.0), 3.0);
+        assert_eq!(total_ratio(0.0, 4.0), 0.0);
+        assert_eq!(total_ratio(0.0, 0.0), 1.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            assert!(total_ratio(2.0, bad).is_finite());
+            assert!(total_ratio(bad, 2.0).is_finite());
+            assert!(total_ratio(bad, bad).is_finite());
+        }
     }
 
     #[test]

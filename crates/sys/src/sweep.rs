@@ -1,0 +1,255 @@
+//! The sweep engine: declarative simulation jobs fanned out across
+//! worker threads.
+//!
+//! A [`SimJob`] names one cell of an experiment matrix — a kernel, a
+//! [`SystemConfig`] and the platform [`SysParams`] — and [`run_matrix`]
+//! executes a whole job list on `threads` workers. Every simulation is
+//! deterministic and owns its memory system, so jobs are embarrassingly
+//! parallel; reports come back **in job order**, which makes parallel
+//! and serial sweeps byte-identical (`threads = 1` and `threads = 8`
+//! produce the same `Vec<RunReport>`).
+//!
+//! The worker count for CLI entry points comes from
+//! [`default_threads`]: the `DRFRLX_THREADS` environment variable if
+//! set, else [`std::thread::available_parallelism`].
+
+use crate::config::SysParams;
+use crate::run::{run_workload, RunReport};
+use drfrlx_core::SystemConfig;
+use hsim_gpu::Kernel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One simulation to run: a kernel under one configuration on one
+/// platform.
+#[derive(Clone)]
+pub struct SimJob {
+    /// Display/workload id for reports and result files (the Table 3
+    /// name, e.g. `"BC-1"` — not necessarily the kernel's own name).
+    pub workload: String,
+    /// The kernel to simulate; shared, immutable, run per-thread.
+    pub kernel: Arc<dyn Kernel>,
+    /// Protocol × model configuration.
+    pub config: SystemConfig,
+    /// Platform parameters.
+    pub params: SysParams,
+    /// Check the final memory image against the kernel's oracle and
+    /// panic on mismatch (a simulator bug, not a measurement).
+    pub validate: bool,
+}
+
+impl SimJob {
+    /// A validated job (the default for experiment harnesses).
+    pub fn new(
+        workload: impl Into<String>,
+        kernel: Arc<dyn Kernel>,
+        config: SystemConfig,
+        params: &SysParams,
+    ) -> SimJob {
+        SimJob { workload: workload.into(), kernel, config, params: params.clone(), validate: true }
+    }
+}
+
+/// The jobs for one workload under all six paper configurations, in
+/// the paper's order (GD0, GD1, GDR, DD0, DD1, DDR).
+pub fn six_config_jobs(
+    workload: &str,
+    kernel: Arc<dyn Kernel>,
+    params: &SysParams,
+    validate: bool,
+) -> Vec<SimJob> {
+    SystemConfig::all()
+        .into_iter()
+        .map(|config| SimJob {
+            workload: workload.to_string(),
+            kernel: Arc::clone(&kernel),
+            config,
+            params: params.clone(),
+            validate,
+        })
+        .collect()
+}
+
+/// Worker count for sweeps: `DRFRLX_THREADS` if set to a positive
+/// integer, else the host's available parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("DRFRLX_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Run every job on `threads` workers and return the reports **in job
+/// order**, independent of scheduling.
+///
+/// # Panics
+///
+/// Panics if a validated job produces a functionally wrong result.
+pub fn run_matrix(jobs: &[SimJob], threads: usize) -> Vec<RunReport> {
+    let threads = threads.clamp(1, jobs.len().max(1));
+    if threads == 1 {
+        return jobs.iter().map(run_job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let report = run_job(job);
+                *slots[i].lock().expect("slot lock") = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock").expect("every job ran"))
+        .collect()
+}
+
+fn run_job(job: &SimJob) -> RunReport {
+    let report = run_workload(job.kernel.as_ref(), job.config, &job.params);
+    if job.validate {
+        if let Err(e) = job.kernel.validate(&report.memory) {
+            panic!("{} produced a wrong result under {}: {e}", job.workload, job.config);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::OpClass;
+    use hsim_gpu::{Op, RmwKind, WorkItem};
+
+    struct Hammer {
+        n: usize,
+    }
+    struct HammerItem {
+        left: usize,
+    }
+    impl WorkItem for HammerItem {
+        fn next(&mut self, _last: Option<u64>) -> Op {
+            if self.left == 0 {
+                return Op::Done;
+            }
+            self.left -= 1;
+            Op::Rmw {
+                addr: 0,
+                rmw: RmwKind::Add,
+                operand: 1,
+                class: OpClass::Commutative,
+                use_result: false,
+            }
+        }
+    }
+    impl Kernel for Hammer {
+        fn name(&self) -> String {
+            "hammer".into()
+        }
+        fn blocks(&self) -> usize {
+            15
+        }
+        fn threads_per_block(&self) -> usize {
+            4
+        }
+        fn memory_words(&self) -> usize {
+            64
+        }
+        fn item(&self, _b: usize, _t: usize) -> Box<dyn WorkItem> {
+            Box::new(HammerItem { left: self.n })
+        }
+        fn validate(&self, mem: &[u64]) -> Result<(), String> {
+            let want = (15 * 4 * self.n) as u64;
+            if mem[0] == want {
+                Ok(())
+            } else {
+                Err(format!("count {} != {want}", mem[0]))
+            }
+        }
+    }
+
+    fn hammer_matrix() -> Vec<SimJob> {
+        let params = SysParams::integrated();
+        let mut jobs = Vec::new();
+        for n in [2usize, 4, 8] {
+            let kernel: Arc<dyn Kernel> = Arc::new(Hammer { n });
+            jobs.extend(six_config_jobs(&format!("hammer-{n}"), kernel, &params, true));
+        }
+        jobs
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic_and_ordered() {
+        let jobs = hammer_matrix();
+        let serial = run_matrix(&jobs, 1);
+        for threads in [2usize, 4, 8] {
+            let parallel = run_matrix(&jobs, threads);
+            assert_eq!(serial.len(), parallel.len());
+            for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(a.config, jobs[i].config, "report order matches job order");
+                assert_eq!(a.config, b.config);
+                assert_eq!(a.cycles, b.cycles, "job {i} ({}) cycles differ", jobs[i].workload);
+                assert_eq!(a.counters, b.counters, "job {i} counters differ");
+                assert_eq!(a.memory, b.memory);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_thread_counts_are_clamped() {
+        let params = SysParams::integrated();
+        let kernel: Arc<dyn Kernel> = Arc::new(Hammer { n: 2 });
+        let jobs = six_config_jobs("hammer", kernel, &params, true);
+        let reports = run_matrix(&jobs, 64);
+        assert_eq!(reports.len(), 6);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        assert!(run_matrix(&[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong result")]
+    fn validation_failures_panic_with_context() {
+        struct Broken;
+        impl Kernel for Broken {
+            fn name(&self) -> String {
+                "broken".into()
+            }
+            fn blocks(&self) -> usize {
+                1
+            }
+            fn threads_per_block(&self) -> usize {
+                1
+            }
+            fn memory_words(&self) -> usize {
+                4
+            }
+            fn item(&self, _b: usize, _t: usize) -> Box<dyn WorkItem> {
+                struct Item;
+                impl WorkItem for Item {
+                    fn next(&mut self, _last: Option<u64>) -> Op {
+                        Op::Done
+                    }
+                }
+                Box::new(Item)
+            }
+            fn validate(&self, _mem: &[u64]) -> Result<(), String> {
+                Err("always wrong".into())
+            }
+        }
+        let params = SysParams::integrated();
+        let jobs = six_config_jobs("broken", Arc::new(Broken), &params, true);
+        run_matrix(&jobs, 1);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

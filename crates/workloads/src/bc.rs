@@ -270,7 +270,7 @@ impl WorkItem for BcItem {
                 // ---------------- forward BFS ----------------
                 BcPhase::FwdVertex(d, cur) => {
                     let Some(v) = self.owned(cur) else {
-                        let after = if d + 1 <= self.max_depth {
+                        let after = if d < self.max_depth {
                             BcPhase::FwdVertex(d + 1, 0)
                         } else {
                             BcPhase::BwdVertex(self.max_depth.saturating_sub(1), 0)
@@ -548,11 +548,7 @@ impl Kernel for Bc {
                 ));
             }
             if mem[m.bc(v) as usize] != bc[v] {
-                return Err(format!(
-                    "bc[{v}]: expected {}, got {}",
-                    bc[v],
-                    mem[m.bc(v) as usize]
-                ));
+                return Err(format!("bc[{v}]: expected {}, got {}", bc[v], mem[m.bc(v) as usize]));
             }
         }
         Ok(())

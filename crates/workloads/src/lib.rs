@@ -35,4 +35,4 @@ pub mod sssp;
 pub mod util;
 pub mod uts;
 
-pub use registry::{all_workloads, benchmarks, microbenchmarks, WorkloadSpec};
+pub use registry::{all_workloads, benchmarks, figure1_workloads, microbenchmarks, WorkloadSpec};

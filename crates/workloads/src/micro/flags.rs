@@ -72,7 +72,7 @@ impl WorkItem for Worker {
                     self.phase = WorkerPhase::Poll;
                     // Every fourth iteration touches something that
                     // needs cleanup.
-                    if self.polls % 4 == 0 {
+                    if self.polls.is_multiple_of(4) {
                         return Op::Store { addr: DIRTY, value: 1, class: OpClass::Commutative };
                     }
                 }
@@ -168,11 +168,7 @@ impl Kernel for Flags {
                 phase: MainPhase::Delay,
             })
         } else {
-            Box::new(Worker {
-                polls: 0,
-                max_polls: self.max_polls,
-                phase: WorkerPhase::Poll,
-            })
+            Box::new(Worker { polls: 0, max_polls: self.max_polls, phase: WorkerPhase::Poll })
         }
     }
     fn validate(&self, mem: &[Value]) -> Result<(), String> {

@@ -24,9 +24,8 @@ fn input_base(bins: usize) -> u64 {
 
 /// Generate the deterministic input stream for `(block, thread)`.
 fn input_of(seed: u64, block: usize, thread: usize, i: usize, bins: usize) -> Value {
-    let mut rng = SplitMix64::new(
-        seed ^ ((block as u64) << 32) ^ ((thread as u64) << 16) ^ i as u64,
-    );
+    let mut rng =
+        SplitMix64::new(seed ^ ((block as u64) << 32) ^ ((thread as u64) << 16) ^ i as u64);
     rng.below(bins as u64)
 }
 
@@ -250,13 +249,7 @@ impl WorkItem for HgItem {
         let bin = input_of(self.p.seed, self.block, self.thread, self.i, self.p.bins);
         self.i += 1;
         self.loaded = false;
-        Op::Rmw {
-            addr: bin,
-            rmw: RmwKind::Add,
-            operand: 1,
-            class: self.class,
-            use_result: false,
-        }
+        Op::Rmw { addr: bin, rmw: RmwKind::Add, operand: 1, class: self.class, use_result: false }
     }
 }
 
@@ -365,8 +358,8 @@ impl Kernel for HistGlobalNonOrder {
     }
     fn validate(&self, mem: &[Value]) -> Result<(), String> {
         // Read-only: bins must be untouched.
-        for i in 0..self.params.bins {
-            if mem[i] != (i % 7 + 1) as Value {
+        for (i, &bin) in mem.iter().enumerate().take(self.params.bins) {
+            if bin != (i % 7 + 1) as Value {
                 return Err(format!("bin {i} was modified"));
             }
         }
@@ -423,12 +416,7 @@ mod tests {
         let cfg = SystemConfig::from_abbrev("GD0").unwrap();
         let h = run_workload(&Hist { params: p.clone() }, cfg, &params);
         let hg = run_workload(&HistGlobal { params: p, ..Default::default() }, cfg, &params);
-        assert!(
-            hg.atomics > 2 * h.atomics,
-            "HG {} vs H {} atomics",
-            hg.atomics,
-            h.atomics
-        );
+        assert!(hg.atomics > 2 * h.atomics, "HG {} vs H {} atomics", hg.atomics, h.atomics);
     }
 
     #[test]

@@ -34,7 +34,15 @@ pub struct Seqlocks {
 
 impl Default for Seqlocks {
     fn default() -> Self {
-        Seqlocks { acqrel: false, blocks: 15, tpb: 16, payload: 4, writes: 8, reads: 8, max_retries: 64 }
+        Seqlocks {
+            acqrel: false,
+            blocks: 15,
+            tpb: 16,
+            payload: 4,
+            writes: 8,
+            reads: 8,
+            max_retries: 64,
+        }
     }
 }
 
@@ -171,18 +179,13 @@ impl WorkItem for Reader {
                 }
                 ReaderPhase::Check => {
                     let seq1 = last.unwrap_or(0);
-                    let ok = seq1 == self.seq0 && self.seq0 % 2 == 0;
+                    let ok = seq1 == self.seq0 && self.seq0.is_multiple_of(2);
                     if ok {
                         // Speculation succeeded: the payload must be the
                         // coherent snapshot for seq0.
-                        self.consistent &= self
-                            .vals
-                            .iter()
-                            .enumerate()
-                            .all(|(i, &v)| {
-                                (self.seq0 == 0 && v == 0)
-                                    || v == self.seq0 + i as Value
-                            });
+                        self.consistent &= self.vals.iter().enumerate().all(|(i, &v)| {
+                            (self.seq0 == 0 && v == 0) || v == self.seq0 + i as Value
+                        });
                         self.reads_left -= 1;
                         self.retries = 0;
                     } else {
@@ -276,7 +279,15 @@ mod tests {
 
     #[test]
     fn seqlock_valid_and_untorn_on_every_config() {
-        let k = Seqlocks { acqrel: false, blocks: 4, tpb: 4, payload: 3, writes: 4, reads: 4, max_retries: 64 };
+        let k = Seqlocks {
+            acqrel: false,
+            blocks: 4,
+            tpb: 4,
+            payload: 3,
+            writes: 4,
+            reads: 4,
+            max_retries: 64,
+        };
         let params = SysParams::integrated();
         for cfg in SystemConfig::all() {
             let r = run_workload(&k, cfg, &params);

@@ -60,7 +60,7 @@ impl Map {
     }
     fn residual(&self, edges: usize) -> u64 {
         // Own cache line past the edge array.
-        ((3 * self.n + 1 + edges + 15) / 16 * 16) as u64
+        ((3 * self.n + 1 + edges).div_ceil(16) * 16) as u64
     }
     fn words(&self, edges: usize) -> usize {
         self.residual(edges) as usize + 1
@@ -101,9 +101,9 @@ impl PageRank {
         let mut next = vec![0u64; n];
         let mut residual = 0u64;
         for _ in 0..self.iters {
-            for v in 0..n {
+            for (v, &rank_v) in rank.iter().enumerate() {
                 let deg = self.graph.degree(v).max(1) as u64;
-                let contrib = rank[v] / deg;
+                let contrib = rank_v / deg;
                 for &u in self.graph.neighbors(v) {
                     next[u as usize] += contrib;
                 }

@@ -1,13 +1,17 @@
 //! The Table 3 registry: every workload with its paper input, the
 //! scaled input we simulate, and the relaxed-atomic classes it uses.
 
+use crate::bc::Bc;
 use crate::graphs;
-use crate::micro::{Flags, Hist, HistGlobal, HistGlobalNonOrder, RefCounter, SplitCounter, Seqlocks};
+use crate::micro::{
+    Flags, Hist, HistGlobal, HistGlobalNonOrder, RefCounter, Seqlocks, SplitCounter,
+};
 use crate::pagerank::PageRank;
 use crate::uts::Uts;
-use crate::bc::Bc;
-use drfrlx_core::OpClass;
+use drfrlx_core::{OpClass, SystemConfig};
 use hsim_gpu::Kernel;
+use hsim_sys::{six_config_jobs, SimJob, SysParams};
+use std::sync::Arc;
 
 /// One row of Table 3.
 pub struct WorkloadSpec {
@@ -30,6 +34,23 @@ impl WorkloadSpec {
     /// Instantiate the kernel.
     pub fn kernel(&self) -> Box<dyn Kernel> {
         (self.build)()
+    }
+
+    /// Instantiate the kernel behind an [`Arc`] so one instance can be
+    /// shared by every [`SimJob`] of a sweep.
+    pub fn shared_kernel(&self) -> Arc<dyn Kernel> {
+        Arc::from(self.kernel())
+    }
+
+    /// One validated simulation job for this workload.
+    pub fn job(&self, config: SystemConfig, params: &SysParams) -> SimJob {
+        SimJob::new(self.name, self.shared_kernel(), config, params)
+    }
+
+    /// Validated jobs for this workload under all six paper
+    /// configurations (GD0..DDR), sharing one kernel instance.
+    pub fn six_jobs(&self, params: &SysParams) -> Vec<SimJob> {
+        six_config_jobs(self.name, self.shared_kernel(), params, true)
     }
 }
 
@@ -57,23 +78,15 @@ pub fn microbenchmarks() -> Vec<WorkloadSpec> {
     vec![
         spec("H", true, "256 KB, 256 bins", "61K values, 256 bins", &[Commutative], || {
             Box::new(Hist {
-                params: crate::micro::HistParams {
-                    per_thread: 256,
-                    ..Default::default()
-                },
+                params: crate::micro::HistParams { per_thread: 256, ..Default::default() },
             })
         }),
         spec("HG", true, "256 KB, 256 bins", "15K values, 256 bins", &[Commutative], || {
             Box::new(HistGlobal::default())
         }),
-        spec(
-            "HG-NO",
-            true,
-            "256 KB, 256 bins",
-            "240 readers x 256 bins",
-            &[NonOrdering],
-            || Box::new(HistGlobalNonOrder::default()),
-        ),
+        spec("HG-NO", true, "256 KB, 256 bins", "240 readers x 256 bins", &[NonOrdering], || {
+            Box::new(HistGlobalNonOrder::default())
+        }),
         spec(
             "Flags",
             true,
@@ -98,18 +111,13 @@ pub fn microbenchmarks() -> Vec<WorkloadSpec> {
 /// PageRank over four graphs.
 pub fn benchmarks() -> Vec<WorkloadSpec> {
     use OpClass::*;
-    let mut out = vec![spec(
-        "UTS",
-        false,
-        "16K nodes",
-        "2K nodes, geometric tree",
-        &[Unpaired],
-        || Box::new(Uts::scaled(2048, 15, 16)),
-    )];
+    let mut out =
+        vec![spec("UTS", false, "16K nodes", "2K nodes, geometric tree", &[Unpaired], || {
+            Box::new(Uts::scaled(2048, 15, 16))
+        })];
     for (i, g) in graphs::bc_inputs().into_iter().enumerate() {
         let name: &'static str = ["BC-1", "BC-2", "BC-3", "BC-4"][i];
-        let paper: &'static str =
-            ["rome99", "nasa1824", "ex33", "c-22"][i];
+        let paper: &'static str = ["rome99", "nasa1824", "ex33", "c-22"][i];
         let desc = format!("{} ({} verts, {} edges)", g.name, g.verts(), g.num_edges());
         out.push(spec(name, false, paper, desc, &[Commutative, NonOrdering], move || {
             Box::new(Bc::new(g.clone(), 15, 16))
@@ -133,29 +141,30 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
     v
 }
 
+/// The nine atomic-heavy applications of the Figure 1 motivation
+/// experiment (one representative input per benchmark family), in
+/// Table 3 order.
+pub fn figure1_workloads() -> Vec<WorkloadSpec> {
+    const FIG1: [&str; 9] = ["H", "HG", "Flags", "SC", "RC", "SEQ", "UTS", "BC-4", "PR-2"];
+    all_workloads().into_iter().filter(|s| FIG1.contains(&s.name)).collect()
+}
+
 /// Extension workloads beyond the paper's Table 3 (kept out of the
 /// figure harnesses for fidelity): SSSP, Pannotia's other
 /// relaxed-atomic graph benchmark.
 pub fn extensions() -> Vec<WorkloadSpec> {
     use OpClass::*;
     let mut out = Vec::new();
-    for (i, g) in [
-        graphs::mesh_like("sssp-mesh", 24, 20),
-        graphs::contact_like("sssp-contact", 640, 3, 41),
-    ]
-    .into_iter()
-    .enumerate()
+    for (i, g) in
+        [graphs::mesh_like("sssp-mesh", 24, 20), graphs::contact_like("sssp-contact", 640, 3, 41)]
+            .into_iter()
+            .enumerate()
     {
         let name: &'static str = ["SSSP-1", "SSSP-2"][i];
         let desc = format!("{} ({} verts, {} edges)", g.name, g.verts(), g.num_edges());
-        out.push(spec(
-            name,
-            false,
-            "(extension)",
-            desc,
-            &[Commutative, NonOrdering],
-            move || Box::new(crate::sssp::Sssp::new(g.clone(), 15, 16)),
-        ));
+        out.push(spec(name, false, "(extension)", desc, &[Commutative, NonOrdering], move || {
+            Box::new(crate::sssp::Sssp::new(g.clone(), 15, 16))
+        }));
     }
     out
 }

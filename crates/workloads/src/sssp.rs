@@ -80,13 +80,13 @@ impl Sssp {
         let (mut dist, mut rounds) = (self.oracle_init(), 0);
         loop {
             let prev = dist.clone();
-            for v in 0..self.graph.verts() {
-                if prev[v] >= INF {
+            for (v, &prev_v) in prev.iter().enumerate() {
+                if prev_v >= INF {
                     continue;
                 }
                 for (k, &u) in self.graph.neighbors(v).iter().enumerate() {
                     let e = self.graph.offsets[v] as usize + k;
-                    let cand = prev[v] + self.weight_of(e);
+                    let cand = prev_v + self.weight_of(e);
                     if cand < dist[u as usize] {
                         dist[u as usize] = cand;
                     }

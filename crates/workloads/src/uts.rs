@@ -306,11 +306,19 @@ impl WorkItem for UtsItem {
                 UtsPhase::PushStore(e, end, child) => {
                     let slot = last.unwrap_or(0);
                     self.phase = UtsPhase::PushPublish(e, end, slot);
-                    return Op::Store { addr: self.map.task(slot), value: child, class: OpClass::Data };
+                    return Op::Store {
+                        addr: self.map.task(slot),
+                        value: child,
+                        class: OpClass::Data,
+                    };
                 }
                 UtsPhase::PushPublish(e, end, slot) => {
                     self.phase = UtsPhase::ChildLd(e + 1, end);
-                    return Op::Store { addr: self.map.ready(slot), value: 1, class: OpClass::Paired };
+                    return Op::Store {
+                        addr: self.map.ready(slot),
+                        value: 1,
+                        class: OpClass::Paired,
+                    };
                 }
                 UtsPhase::Retire => {
                     self.phase = UtsPhase::PollHead;
@@ -419,12 +427,7 @@ mod tests {
         let params = SysParams::integrated();
         let gd0 = run_workload(&k, SystemConfig::from_abbrev("GD0").unwrap(), &params);
         let gd1 = run_workload(&k, SystemConfig::from_abbrev("GD1").unwrap(), &params);
-        assert!(
-            gd1.cycles <= gd0.cycles,
-            "GD1 {} > GD0 {}",
-            gd1.cycles,
-            gd0.cycles
-        );
+        assert!(gd1.cycles <= gd0.cycles, "GD1 {} > GD0 {}", gd1.cycles, gd0.cycles);
         // The polls stop invalidating the cache under DRF1.
         assert!(gd1.proto.invalidation_events < gd0.proto.invalidation_events);
     }

@@ -6,8 +6,9 @@
 //! Run with `cargo run --release --example pagerank_showdown`.
 
 use drfrlx::sim::gpu::Kernel;
-use drfrlx::sim::{run_all_configs, SysParams};
+use drfrlx::sim::{default_threads, run_matrix, six_config_jobs, SysParams};
 use drfrlx::workloads::{graphs, pagerank::PageRank};
+use std::sync::Arc;
 
 fn main() {
     let graph = graphs::contact_like("demo-contact", 768, 3, 7);
@@ -20,9 +21,13 @@ fn main() {
     );
     let pr = PageRank::new(graph, 2, 15, 16);
     let params = SysParams::integrated();
-    let reports = run_all_configs(&pr, &params);
+    let jobs = six_config_jobs("PR", Arc::new(pr.clone()), &params, false);
+    let reports = run_matrix(&jobs, default_threads());
     let base = reports[0].cycles as f64;
-    println!("{:6} {:>10} {:>8} {:>10} {:>12}", "config", "cycles", "norm", "atomics", "overlapped");
+    println!(
+        "{:6} {:>10} {:>8} {:>10} {:>12}",
+        "config", "cycles", "norm", "atomics", "overlapped"
+    );
     for r in &reports {
         pr.validate(&r.memory).expect("fixed-point ranks match the sequential oracle");
         println!(

@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use drfrlx::sim::gpu::Kernel;
 use drfrlx::model::prelude::*;
+use drfrlx::sim::gpu::Kernel;
 use drfrlx::sim::{run_workload, SysParams};
 use drfrlx::workloads::micro::HistGlobal;
 use drfrlx::SystemConfig;
@@ -19,10 +19,7 @@ fn main() {
     p.thread().rmw(OpClass::Commutative, "count", RmwOp::FetchAdd, 2);
 
     let report = check_program(&p.build(), MemoryModel::Drfrlx);
-    println!(
-        "checker: {} SC executions, verdict = {:?}",
-        report.executions, report.verdict
-    );
+    println!("checker: {} SC executions, verdict = {:?}", report.executions, report.verdict);
     assert!(report.is_race_free());
 
     // --- 2. The system's half: what does the labeling buy? ----------

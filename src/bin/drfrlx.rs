@@ -7,12 +7,14 @@
 //! $ drfrlx machine litmus-tests/sb_relaxed.litmus
 //! $ drfrlx list
 //! $ drfrlx simulate PR-2 --config DDR
+//! $ drfrlx bench fig3 --threads 8
+//! $ drfrlx bench all
 //! ```
 
+use drfrlx::model::checker::try_check_program;
 use drfrlx::model::emit::emit;
 use drfrlx::model::exec::{enumerate_sc, EnumLimits};
 use drfrlx::model::infer::infer;
-use drfrlx::model::checker::try_check_program;
 use drfrlx::model::parse::parse;
 use drfrlx::model::pretty::{format_conflict_graph, format_execution};
 use drfrlx::model::program::Program;
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         Some("fmt") => cmd_fmt(&args[1..]),
         Some("list") => cmd_list(),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -70,7 +73,14 @@ USAGE:
   drfrlx list
       List the Table 3 workloads available to `simulate`.
   drfrlx simulate <workload> [--config GD0..DDR] [--platform integrated|discrete]
-      Run one workload on the simulated system and print the report.";
+      Run one workload on the simulated system and print the report.
+  drfrlx bench <experiment-id>|all [--threads N] [--out DIR]
+      Regenerate a registered paper artifact (fig1, fig3, fig4,
+      table4, section6, sweeps, ablations, ...) on the parallel sweep
+      engine; writes results/<id>.txt and results/<id>.json.
+      `bench list` prints the registry. Threads default to all cores
+      (or DRFRLX_THREADS); output dir defaults to results/ (or
+      DRFRLX_RESULTS).";
 
 type CmdResult = Result<bool, Box<dyn std::error::Error>>;
 
@@ -80,10 +90,7 @@ fn load_program(path: &str) -> Result<Program, Box<dyn std::error::Error>> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn cmd_check(args: &[String]) -> CmdResult {
@@ -151,10 +158,8 @@ fn cmd_machine(args: &[String]) -> CmdResult {
     } else {
         println!("{} non-SC results reachable:", cmp.non_sc_results.len());
         for m in &cmp.non_sc_results {
-            let pretty: Vec<String> = m
-                .iter()
-                .map(|(l, v)| format!("{}={v}", p.loc_name(*l)))
-                .collect();
+            let pretty: Vec<String> =
+                m.iter().map(|(l, v)| format!("{}={v}", p.loc_name(*l))).collect();
             println!("  {{ {} }}", pretty.join(", "));
         }
     }
@@ -189,13 +194,53 @@ fn cmd_fmt(args: &[String]) -> CmdResult {
 }
 
 fn cmd_list() -> CmdResult {
-    println!("{:8} {:6} {}", "name", "kind", "scaled input");
+    println!("{:8} {:6} scaled input", "name", "kind");
     for s in all_workloads().into_iter().chain(extensions()) {
-        println!(
-            "{:8} {:6} {}",
-            s.name,
-            if s.micro { "micro" } else { "bench" },
-            s.scaled_input
+        println!("{:8} {:6} {}", s.name, if s.micro { "micro" } else { "bench" }, s.scaled_input);
+    }
+    Ok(true)
+}
+
+fn cmd_bench(args: &[String]) -> CmdResult {
+    use drfrlx::bench::{find, registry, run_experiment, write_artifacts};
+
+    let id = args.first().ok_or("bench needs an experiment id (see `drfrlx bench list`)")?;
+    if id == "list" {
+        println!("{:22} title", "id");
+        for e in registry() {
+            println!("{:22} {}", e.id(), e.title());
+        }
+        return Ok(true);
+    }
+    let threads = match flag_value(args, "--threads") {
+        None => drfrlx::sim::default_threads(),
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--threads needs a positive integer")?,
+    };
+    let outdir = std::path::PathBuf::from(
+        flag_value(args, "--out")
+            .map(String::from)
+            .or_else(|| std::env::var("DRFRLX_RESULTS").ok())
+            .unwrap_or_else(|| "results".into()),
+    );
+    let experiments = if id == "all" {
+        registry()
+    } else {
+        vec![find(id)
+            .ok_or_else(|| format!("unknown experiment `{id}` (see `drfrlx bench list`)"))?]
+    };
+    for e in experiments {
+        let run = run_experiment(e.as_ref(), threads);
+        print!("{}", run.text);
+        let (txt, json) = write_artifacts(&outdir, e.id(), &run)?;
+        eprintln!(
+            "\n[{}: wrote {} and {}; threads={threads}]",
+            e.id(),
+            txt.display(),
+            json.display()
         );
     }
     Ok(true)

@@ -46,6 +46,10 @@ pub mod workloads {
     pub use drfrlx_workloads::*;
 }
 
-pub use drfrlx_core::{
-    check_program, CheckReport, MemoryModel, OpClass, Protocol, SystemConfig,
-};
+/// The experiment harness (`drfrlx-bench`): the registry of paper
+/// artifacts behind `drfrlx bench <id>`.
+pub mod bench {
+    pub use drfrlx_bench::*;
+}
+
+pub use drfrlx_core::{check_program, CheckReport, MemoryModel, OpClass, Protocol, SystemConfig};

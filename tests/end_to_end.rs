@@ -3,19 +3,23 @@
 //! the paper's first-order trends.
 
 use drfrlx::sim::gpu::Kernel;
-use drfrlx::sim::{run_all_configs, run_workload, SysParams};
+use drfrlx::sim::{run_matrix, run_workload, six_config_jobs, SysParams};
 use drfrlx::workloads::micro::{
     Flags, Hist, HistGlobal, HistGlobalNonOrder, HistParams, RefCounter, Seqlocks, SplitCounter,
 };
 use drfrlx::workloads::{bc::Bc, graphs, pagerank::PageRank, uts::Uts};
 use drfrlx::SystemConfig;
+use std::sync::Arc;
 
-fn check_all(k: &dyn Kernel) -> Vec<drfrlx::sim::RunReport> {
+fn check_all(k: impl Kernel + 'static) -> Vec<drfrlx::sim::RunReport> {
     let params = SysParams::integrated();
-    let reports = run_all_configs(k, &params);
+    let kernel: Arc<dyn Kernel> = Arc::new(k);
+    let jobs = six_config_jobs(&kernel.name(), Arc::clone(&kernel), &params, false);
+    let reports = run_matrix(&jobs, 1);
     for r in &reports {
-        k.validate(&r.memory)
-            .unwrap_or_else(|e| panic!("{} invalid under {}: {e}", k.name(), r.config));
+        kernel
+            .validate(&r.memory)
+            .unwrap_or_else(|e| panic!("{} invalid under {}: {e}", kernel.name(), r.config));
     }
     reports
 }
@@ -23,34 +27,44 @@ fn check_all(k: &dyn Kernel) -> Vec<drfrlx::sim::RunReport> {
 #[test]
 fn histograms_run_everywhere() {
     let p = HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 4, seed: 5 };
-    check_all(&Hist { params: p.clone() });
-    check_all(&HistGlobal { params: p.clone(), ..Default::default() });
-    check_all(&HistGlobalNonOrder { params: HistParams { bins: 256, ..p } });
+    check_all(Hist { params: p.clone() });
+    check_all(HistGlobal { params: p.clone(), ..Default::default() });
+    check_all(HistGlobalNonOrder { params: HistParams { bins: 256, ..p } });
 }
 
 #[test]
 fn counters_and_seqlocks_run_everywhere() {
-    check_all(&SplitCounter { blocks: 4, tpb: 6, increments: 16, sweeps: 2 });
-    check_all(&RefCounter { blocks: 4, tpb: 4, objects: 8, visits: 6 });
-    check_all(&Seqlocks { acqrel: false, blocks: 4, tpb: 4, payload: 3, writes: 4, reads: 4, max_retries: 32 });
-    check_all(&Flags { blocks: 4, tpb: 4, main_delay: 16, max_polls: 300 });
+    check_all(SplitCounter { blocks: 4, tpb: 6, increments: 16, sweeps: 2 });
+    check_all(RefCounter { blocks: 4, tpb: 4, objects: 8, visits: 6 });
+    check_all(Seqlocks {
+        acqrel: false,
+        blocks: 4,
+        tpb: 4,
+        payload: 3,
+        writes: 4,
+        reads: 4,
+        max_retries: 32,
+    });
+    check_all(Flags { blocks: 4, tpb: 4, main_delay: 16, max_polls: 300 });
 }
 
 #[test]
 fn benchmarks_run_everywhere() {
-    check_all(&Uts::scaled(96, 5, 4));
-    check_all(&Bc::new(graphs::mesh_like("t", 8, 6), 5, 4));
-    check_all(&PageRank::new(graphs::contact_like("t", 96, 3, 5), 2, 5, 4));
+    check_all(Uts::scaled(96, 5, 4));
+    check_all(Bc::new(graphs::mesh_like("t", 8, 6), 5, 4));
+    check_all(PageRank::new(graphs::contact_like("t", 96, 3, 5), 2, 5, 4));
 }
 
 #[test]
 fn weaker_models_never_lose_badly_and_functionality_is_model_independent() {
     // The paper's contract: relaxing the model changes *timing*, never
     // results; and on atomic-heavy code the weaker model wins.
-    let k = HistGlobal { params: HistParams { bins: 64, per_thread: 32, blocks: 8, tpb: 8, seed: 9 }, ..Default::default() };
-    let r = check_all(&k);
-    let (gd0, gd1, gdr, dd0, dd1, ddr) =
-        (&r[0], &r[1], &r[2], &r[3], &r[4], &r[5]);
+    let k = HistGlobal {
+        params: HistParams { bins: 64, per_thread: 32, blocks: 8, tpb: 8, seed: 9 },
+        ..Default::default()
+    };
+    let r = check_all(k);
+    let (gd0, gd1, gdr, dd0, dd1, ddr) = (&r[0], &r[1], &r[2], &r[3], &r[4], &r[5]);
     assert!(gd1.cycles <= gd0.cycles);
     assert!(gdr.cycles <= gd1.cycles);
     assert!(dd1.cycles <= dd0.cycles);
@@ -76,7 +90,10 @@ fn drf1_restores_data_reuse_on_pagerank() {
 
 #[test]
 fn drfrlx_overlaps_atomics_only_under_drfrlx() {
-    let k = HistGlobal { params: HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 6, seed: 2 }, ..Default::default() };
+    let k = HistGlobal {
+        params: HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 6, seed: 2 },
+        ..Default::default()
+    };
     let params = SysParams::integrated();
     for cfg in SystemConfig::all() {
         let r = run_workload(&k, cfg, &params);
@@ -101,7 +118,10 @@ fn denovo_places_atomics_at_l1_gpu_at_l2() {
 
 #[test]
 fn discrete_platform_amplifies_sc_atomic_cost() {
-    let k = HistGlobal { params: HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 6, seed: 4 }, ..Default::default() };
+    let k = HistGlobal {
+        params: HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 6, seed: 4 },
+        ..Default::default()
+    };
     let gd0 = SystemConfig::from_abbrev("GD0").unwrap();
     let gdr = SystemConfig::from_abbrev("GDR").unwrap();
     let speedup = |p: &SysParams| {

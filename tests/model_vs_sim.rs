@@ -3,12 +3,13 @@
 //! one consistent story.
 
 use drfrlx::litmus::suite::{all_tests, Category};
-use drfrlx::model::syscentric::compare_with_sc;
 use drfrlx::model::exec::EnumLimits;
+use drfrlx::model::syscentric::compare_with_sc;
 use drfrlx::sim::gpu::Kernel;
-use drfrlx::sim::{run_all_configs, SysParams};
-use drfrlx::workloads::micro::{HistParams, HistGlobal, RefCounter, Seqlocks, SplitCounter};
+use drfrlx::sim::{run_matrix, six_config_jobs, SysParams};
+use drfrlx::workloads::micro::{HistGlobal, HistParams, RefCounter, Seqlocks, SplitCounter};
 use drfrlx::{check_program, MemoryModel};
+use std::sync::Arc;
 
 /// Every Table 1 use case is DRFrlx race-free, and its benchmark-scale
 /// counterpart is functionally correct under the most relaxed config.
@@ -19,14 +20,26 @@ fn use_cases_are_race_free_and_their_workloads_correct() {
         assert!(report.is_race_free(), "{} must be race-free", t.name);
     }
     let params = SysParams::integrated();
-    let kernels: Vec<Box<dyn Kernel>> = vec![
-        Box::new(HistGlobal { params: HistParams { bins: 32, per_thread: 8, blocks: 4, tpb: 4, seed: 8 }, ..Default::default() }),
-        Box::new(SplitCounter { blocks: 4, tpb: 4, increments: 8, sweeps: 1 }),
-        Box::new(RefCounter { blocks: 4, tpb: 4, objects: 8, visits: 4 }),
-        Box::new(Seqlocks { acqrel: false, blocks: 4, tpb: 4, payload: 2, writes: 3, reads: 3, max_retries: 32 }),
+    let kernels: Vec<Arc<dyn Kernel>> = vec![
+        Arc::new(HistGlobal {
+            params: HistParams { bins: 32, per_thread: 8, blocks: 4, tpb: 4, seed: 8 },
+            ..Default::default()
+        }),
+        Arc::new(SplitCounter { blocks: 4, tpb: 4, increments: 8, sweeps: 1 }),
+        Arc::new(RefCounter { blocks: 4, tpb: 4, objects: 8, visits: 4 }),
+        Arc::new(Seqlocks {
+            acqrel: false,
+            blocks: 4,
+            tpb: 4,
+            payload: 2,
+            writes: 3,
+            reads: 3,
+            max_retries: 32,
+        }),
     ];
     for k in &kernels {
-        for r in run_all_configs(k.as_ref(), &params) {
+        let jobs = six_config_jobs(&k.name(), Arc::clone(k), &params, false);
+        for r in run_matrix(&jobs, 1) {
             k.validate(&r.memory)
                 .unwrap_or_else(|e| panic!("{} under {}: {e}", k.name(), r.config));
         }
@@ -46,10 +59,7 @@ fn theorem_3_1_holds_on_the_corpus() {
             continue; // racy tests make no promise; skipped ones are costed out
         }
         let p = (t.build)();
-        if p.classes_used()
-            .iter()
-            .any(|c| matches!(c, OpClass::Acquire | OpClass::Release))
-        {
+        if p.classes_used().iter().any(|c| matches!(c, OpClass::Acquire | OpClass::Release)) {
             continue;
         }
         let cmp = compare_with_sc(&p, MemoryModel::Drfrlx, &limits)
@@ -77,13 +87,16 @@ fn inference_recovers_relaxed_annotations() {
         // Conservative version: every atomic becomes paired (quantum
         // stays quantum — inference never proposes it, so upgrading it
         // would lose information the test can't recover).
-        let conservative = p.map_classes(|c| {
-            if c.is_atomic() && c != OpClass::Quantum {
-                OpClass::Paired
-            } else {
-                c
-            }
-        });
+        let conservative =
+            p.map_classes(
+                |c| {
+                    if c.is_atomic() && c != OpClass::Quantum {
+                        OpClass::Paired
+                    } else {
+                        c
+                    }
+                },
+            );
         let inf = infer(&conservative, &limits).unwrap_or_else(|e| panic!("{}: {e}", t.name));
         assert!(
             check_program(&inf.program, MemoryModel::Drfrlx).is_race_free(),
@@ -98,11 +111,7 @@ fn inference_recovers_relaxed_annotations() {
             .iter()
             .any(|c| c.is_relaxed() && *c != OpClass::Quantum || *c == OpClass::Unpaired);
         if had_relaxed {
-            assert!(
-                !inf.changes.is_empty(),
-                "{}: expected inference to weaken something",
-                t.name
-            );
+            assert!(!inf.changes.is_empty(), "{}: expected inference to weaken something", t.name);
         }
     }
 }

@@ -1,17 +1,24 @@
-//! Property-based tests over randomly generated programs and request
+//! Randomized property tests over generated programs and request
 //! streams: the DRF guarantee (Theorem 3.1), enumerator soundness,
 //! model monotonicity, and substrate invariants.
+//!
+//! Uses the repo-local deterministic generator ([`rng`]) instead of an
+//! external property-testing crate so the whole workspace builds with
+//! zero network dependencies (see README "Offline builds"). Every case
+//! is derived from a fixed seed, so failures reproduce bit-for-bit.
+
+mod rng;
 
 use drfrlx::model::axiomatic::enumerate_axiomatic;
 use drfrlx::model::emit::emit;
 use drfrlx::model::exec::{enumerate_sc, EnumLimits};
 use drfrlx::model::parse::parse as parse_litmus;
 use drfrlx::model::program::{Program, RmwOp};
-use drfrlx::model::syscentric::compare_with_sc;
 use drfrlx::model::quantum::has_quantum;
+use drfrlx::model::syscentric::compare_with_sc;
 use drfrlx::sim::mem::{Cache, CacheParams, LineAddr, StoreBuffer};
 use drfrlx::{check_program, MemoryModel, OpClass};
-use proptest::prelude::*;
+use rng::SplitMix64;
 
 /// One generated memory operation.
 #[derive(Debug, Clone)]
@@ -21,23 +28,30 @@ enum GenOp {
     Add(OpClass, u8, i64),
 }
 
-fn class_strategy() -> impl Strategy<Value = OpClass> {
-    prop_oneof![
-        Just(OpClass::Data),
-        Just(OpClass::Paired),
-        Just(OpClass::Unpaired),
-        Just(OpClass::Commutative),
-        Just(OpClass::NonOrdering),
-        Just(OpClass::Speculative),
-    ]
+const CLASSES: [OpClass; 6] = [
+    OpClass::Data,
+    OpClass::Paired,
+    OpClass::Unpaired,
+    OpClass::Commutative,
+    OpClass::NonOrdering,
+    OpClass::Speculative,
+];
+
+fn gen_op(r: &mut SplitMix64) -> GenOp {
+    let class = CLASSES[r.below(CLASSES.len() as u64) as usize];
+    let loc = r.below(2) as u8;
+    let v = r.below(2) as i64;
+    match r.below(3) {
+        0 => GenOp::Load(class, loc),
+        1 => GenOp::Store(class, loc, v),
+        _ => GenOp::Add(class, loc, v),
+    }
 }
 
-fn op_strategy() -> impl Strategy<Value = GenOp> {
-    (class_strategy(), 0u8..2, 0i64..2, 0u8..3).prop_map(|(c, loc, v, kind)| match kind {
-        0 => GenOp::Load(c, loc),
-        1 => GenOp::Store(c, loc, v),
-        _ => GenOp::Add(c, loc, v),
-    })
+/// A random thread body of 1..4 operations.
+fn gen_thread(r: &mut SplitMix64) -> Vec<GenOp> {
+    let n = 1 + r.below(3) as usize;
+    (0..n).map(|_| gen_op(r)).collect()
 }
 
 fn build(threads: &[Vec<GenOp>]) -> Program {
@@ -62,128 +76,133 @@ fn build(threads: &[Vec<GenOp>]) -> Program {
     p.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// Run `cases` generated two-thread programs through `f`.
+fn for_each_program(seed: u64, cases: usize, mut f: impl FnMut(&Program)) {
+    let mut r = SplitMix64::new(seed);
+    for case in 0..cases {
+        let a = gen_thread(&mut r);
+        let b = gen_thread(&mut r);
+        let p = build(&[a.clone(), b.clone()]);
+        let guard = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&p)));
+        if let Err(e) = guard {
+            eprintln!("failing case {case}: {a:?} / {b:?}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
 
-    /// Every enumerated execution is genuinely SC: replaying its total
-    /// order yields exactly the recorded values and final memory.
-    #[test]
-    fn enumerator_only_produces_sc_executions(
-        a in prop::collection::vec(op_strategy(), 1..4),
-        b in prop::collection::vec(op_strategy(), 1..4),
-    ) {
-        let p = build(&[a, b]);
-        let execs = enumerate_sc(&p, &EnumLimits::default()).expect("enumerable");
-        prop_assert!(!execs.is_empty());
+/// Every enumerated execution is genuinely SC: replaying its total
+/// order yields exactly the recorded values and final memory.
+#[test]
+fn enumerator_only_produces_sc_executions() {
+    for_each_program(0xD5F0_0001, 64, |p| {
+        let execs = enumerate_sc(p, &EnumLimits::default()).expect("enumerable");
+        assert!(!execs.is_empty());
         for e in &execs {
             let mut mem = std::collections::BTreeMap::new();
             for &id in &e.order {
                 let ev = &e.events[id];
                 if ev.access.reads() {
                     let expect = mem.get(&ev.loc).copied().unwrap_or(0);
-                    prop_assert_eq!(ev.rval.unwrap(), expect, "load must see last store");
+                    assert_eq!(ev.rval.unwrap(), expect, "load must see last store");
                 }
                 if ev.access.writes() {
                     mem.insert(ev.loc, ev.wval.unwrap());
                 }
             }
             for (loc, v) in &mem {
-                prop_assert_eq!(e.result.memory[loc], *v);
+                assert_eq!(e.result.memory[loc], *v);
             }
         }
-    }
+    });
+}
 
-    /// Theorem 3.1, fuzzed: a program the checker declares DRFrlx
-    /// race-free only produces SC memory results on the relaxed
-    /// machine. (Quantum-free programs; quantum's guarantee is stated
-    /// against an unbounded random domain.)
-    #[test]
-    fn race_free_programs_stay_sc_on_the_relaxed_machine(
-        a in prop::collection::vec(op_strategy(), 1..4),
-        b in prop::collection::vec(op_strategy(), 1..4),
-    ) {
-        let p = build(&[a, b]);
-        prop_assume!(!has_quantum(&p));
+/// Theorem 3.1, fuzzed: a program the checker declares DRFrlx
+/// race-free only produces SC memory results on the relaxed machine.
+/// (Quantum-free programs; quantum's guarantee is stated against an
+/// unbounded random domain.)
+#[test]
+fn race_free_programs_stay_sc_on_the_relaxed_machine() {
+    for_each_program(0xD5F0_0002, 64, |p| {
+        if has_quantum(p) {
+            return;
+        }
         let limits = EnumLimits::default();
-        let report = check_program(&p, MemoryModel::Drfrlx);
+        let report = check_program(p, MemoryModel::Drfrlx);
         if report.is_race_free() {
-            let cmp = compare_with_sc(&p, MemoryModel::Drfrlx, &limits).expect("explorable");
-            prop_assert!(
+            let cmp = compare_with_sc(p, MemoryModel::Drfrlx, &limits).expect("explorable");
+            assert!(
                 cmp.is_sc_only(),
                 "Theorem 3.1 violated: non-SC results {:?} for {:?}",
-                cmp.non_sc_results, p
+                cmp.non_sc_results,
+                p
             );
         }
-    }
+    });
+}
 
-    /// The axiomatic and operational formulations of the system-centric
-    /// model agree on every reachable memory result — two independent
-    /// implementations of the same relaxed system.
-    #[test]
-    fn axiomatic_equals_operational(
-        a in prop::collection::vec(op_strategy(), 1..4),
-        b in prop::collection::vec(op_strategy(), 1..4),
-    ) {
-        let p = build(&[a, b]);
+/// The axiomatic and operational formulations of the system-centric
+/// model agree on every reachable memory result — two independent
+/// implementations of the same relaxed system.
+#[test]
+fn axiomatic_equals_operational() {
+    for_each_program(0xD5F0_0003, 64, |p| {
         for model in MemoryModel::ALL {
-            let ax = enumerate_axiomatic(&p, model, 2_000_000).expect("axiomatic enumerable");
-            let op = drfrlx::model::syscentric::explore_relaxed(&p, model, &EnumLimits::default())
+            let ax = enumerate_axiomatic(p, model, 2_000_000).expect("axiomatic enumerable");
+            let op = drfrlx::model::syscentric::explore_relaxed(p, model, &EnumLimits::default())
                 .expect("machine enumerable");
             let ax_mem: std::collections::BTreeSet<_> =
                 ax.iter().map(|r| r.memory.clone()).collect();
-            prop_assert_eq!(&ax_mem, &op.memory_results(), "model {} on {:?}", model, p);
+            assert_eq!(ax_mem, op.memory_results(), "model {model} on {p:?}");
         }
-    }
+    });
+}
 
-    /// The textual litmus format round-trips: emitting a random program
-    /// and re-parsing it preserves executions and checker verdicts.
-    #[test]
-    fn litmus_text_roundtrips(
-        a in prop::collection::vec(op_strategy(), 1..4),
-        b in prop::collection::vec(op_strategy(), 1..4),
-    ) {
-        let p = build(&[a, b]);
-        let q = parse_litmus(&emit(&p)).expect("emitted text parses");
+/// The textual litmus format round-trips: emitting a random program
+/// and re-parsing it preserves executions and checker verdicts.
+#[test]
+fn litmus_text_roundtrips() {
+    for_each_program(0xD5F0_0004, 64, |p| {
+        let q = parse_litmus(&emit(p)).expect("emitted text parses");
         let limits = EnumLimits::default();
-        let ea = enumerate_sc(&p, &limits).expect("enumerable");
+        let ea = enumerate_sc(p, &limits).expect("enumerable");
         let eb = enumerate_sc(&q, &limits).expect("enumerable");
-        prop_assert_eq!(ea.len(), eb.len());
+        assert_eq!(ea.len(), eb.len());
         for model in MemoryModel::ALL {
-            prop_assert_eq!(
-                check_program(&p, model).is_race_free(),
+            assert_eq!(
+                check_program(p, model).is_race_free(),
                 check_program(&q, model).is_race_free()
             );
         }
-    }
-
-    /// Model monotonicity: DRFrlx race-freedom survives upgrading every
-    /// atomic to a stronger class (the DRF1 and DRF0 views).
-    #[test]
-    fn race_freedom_is_monotone_under_upgrading(
-        a in prop::collection::vec(op_strategy(), 1..4),
-        b in prop::collection::vec(op_strategy(), 1..4),
-    ) {
-        let p = build(&[a, b]);
-        if check_program(&p, MemoryModel::Drfrlx).is_race_free() {
-            prop_assert!(check_program(&p, MemoryModel::Drf1).is_race_free());
-            prop_assert!(check_program(&p, MemoryModel::Drf0).is_race_free());
-        }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+/// Model monotonicity: DRFrlx race-freedom survives upgrading every
+/// atomic to a stronger class (the DRF1 and DRF0 views).
+#[test]
+fn race_freedom_is_monotone_under_upgrading() {
+    for_each_program(0xD5F0_0005, 64, |p| {
+        if check_program(p, MemoryModel::Drfrlx).is_race_free() {
+            assert!(check_program(p, MemoryModel::Drf1).is_race_free());
+            assert!(check_program(p, MemoryModel::Drf0).is_race_free());
+        }
+    });
+}
 
-    /// The cache array behaves exactly like a reference LRU model.
-    #[test]
-    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..24, 1..120)) {
+/// The cache array behaves exactly like a reference LRU model.
+#[test]
+fn cache_matches_reference_lru() {
+    let mut r = SplitMix64::new(0xD5F0_0006);
+    for _case in 0..128 {
+        let len = 1 + r.below(119) as usize;
+        let addrs: Vec<u64> = (0..len).map(|_| r.below(24)).collect();
         let mut cache: Cache<u8> = Cache::new(CacheParams { sets: 2, ways: 4 });
         let mut reference: Vec<(u64, usize)> = Vec::new(); // (line, last use)
         for (time, &a) in addrs.iter().enumerate() {
-            let set = (a % 2) as u64;
+            let set = a % 2;
             let hit = cache.lookup(LineAddr(a)).is_some();
             let ref_hit = reference.iter().any(|&(l, _)| l == a);
-            prop_assert_eq!(hit, ref_hit, "at access {} to {}", time, a);
+            assert_eq!(hit, ref_hit, "at access {time} to {a} in {addrs:?}");
             if ref_hit {
                 reference.retain(|&(l, _)| l != a);
             } else {
@@ -196,23 +215,23 @@ proptest! {
                     .collect();
                 if in_set.len() >= 4 {
                     // Evict the LRU entry of that set.
-                    let victim = *in_set
-                        .iter()
-                        .min_by_key(|&&i| reference[i].1)
-                        .expect("set full");
+                    let victim = *in_set.iter().min_by_key(|&&i| reference[i].1).expect("set full");
                     reference.remove(victim);
                 }
             }
             reference.push((a, time));
         }
     }
+}
 
-    /// Store buffers never lose a drain deadline: flush completes no
-    /// earlier than the latest pending entry.
-    #[test]
-    fn store_buffer_flush_covers_all_entries(
-        drains in prop::collection::vec(1u64..1000, 1..20),
-    ) {
+/// Store buffers never lose a drain deadline: flush completes no
+/// earlier than the latest pending entry.
+#[test]
+fn store_buffer_flush_covers_all_entries() {
+    let mut r = SplitMix64::new(0xD5F0_0007);
+    for _case in 0..128 {
+        let len = 1 + r.below(19) as usize;
+        let drains: Vec<u64> = (0..len).map(|_| 1 + r.below(999)).collect();
         let mut sb = StoreBuffer::new(32);
         let mut max_drain = 0;
         for (i, &d) in drains.iter().enumerate() {
@@ -220,7 +239,7 @@ proptest! {
             max_drain = max_drain.max(d);
         }
         let flushed = sb.flush(0);
-        prop_assert!(flushed >= max_drain);
-        prop_assert!(sb.is_empty());
+        assert!(flushed >= max_drain, "flush {flushed} < {max_drain} for {drains:?}");
+        assert!(sb.is_empty());
     }
 }

@@ -1,0 +1,29 @@
+//! A tiny deterministic generator shared by the randomized integration
+//! tests. SplitMix64 (Steele et al., "Fast splittable pseudorandom
+//! number generators") — 64-bit state, full-period, and small enough
+//! that the workspace needs no external RNG crate to stay offline.
+
+/// SplitMix64 PRNG.
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeded generator; the same seed replays the same stream.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` > 0); bias is negligible
+    /// for the tiny bounds used in tests.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
