@@ -5,10 +5,7 @@ use drfrlx_workloads::all_workloads;
 fn main() {
     println!("Table 3: benchmarks, inputs, and relaxed atomic classes");
     println!("========================================================");
-    println!(
-        "{:8} {:6} {:22} {:34} atomic classes",
-        "name", "kind", "paper input", "scaled input"
-    );
+    println!("{:8} {:6} {:22} {:34} atomic classes", "name", "kind", "paper input", "scaled input");
     for s in all_workloads() {
         let classes: Vec<String> = s.classes.iter().map(|c| format!("{c:?}")).collect();
         println!(

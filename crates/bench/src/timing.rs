@@ -3,6 +3,12 @@
 //! A deliberately small substitute for an external benchmark harness
 //! so the workspace builds offline: warm up, then run timed batches
 //! and report the per-iteration median, minimum and mean.
+//!
+//! The machine-readable half ([`PerfReport`]) backs the committed perf
+//! trajectory (`BENCH_*.json`): `drfrlx bench all --threads 1 --perf
+//! FILE` records per-experiment wall-clock, and `--perf-baseline FILE`
+//! joins a previous run of the same shape so the written file carries
+//! before/after seconds and speedups.
 
 use std::time::{Duration, Instant};
 
@@ -87,4 +93,148 @@ pub fn bench<T>(name: &str, config: &TimingConfig, mut f: impl FnMut() -> T) -> 
 /// produced it (a `black_box` substitute on stable without unsafe).
 fn sink<T>(value: T) {
     std::hint::black_box(&value);
+}
+
+/// One experiment's measured wall-clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEntry {
+    /// Experiment id (`fig3`, `table4`, ...).
+    pub id: String,
+    /// Wall-clock seconds for one full run of the experiment.
+    pub seconds: f64,
+}
+
+/// Per-experiment wall-clock for one invocation of a command, written
+/// as (and re-parsed from) a stable JSON shape so consecutive runs can
+/// be joined into a before/after trajectory file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfReport {
+    /// The command the measurements describe, e.g.
+    /// `drfrlx bench all --threads 1`.
+    pub command: String,
+    /// Entries in run order.
+    pub entries: Vec<PerfEntry>,
+}
+
+impl PerfReport {
+    /// An empty report for `command`.
+    pub fn new(command: &str) -> PerfReport {
+        PerfReport { command: command.to_string(), entries: Vec::new() }
+    }
+
+    /// Append one measurement.
+    pub fn record(&mut self, id: &str, seconds: f64) {
+        self.entries.push(PerfEntry { id: id.to_string(), seconds });
+    }
+
+    /// Total wall-clock over all entries.
+    pub fn total_seconds(&self) -> f64 {
+        self.entries.iter().map(|e| e.seconds).sum()
+    }
+
+    /// Render the standalone JSON shape (no baseline): one entry per
+    /// line so [`PerfReport::parse`] can re-read it.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"command\": \"{}\",\n  \"experiments\": [\n", self.command));
+        for (i, e) in self.entries.iter().enumerate() {
+            let sep = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"seconds\": {:.6}}}{sep}\n",
+                e.id, e.seconds
+            ));
+        }
+        out.push_str(&format!("  ],\n  \"total_seconds\": {:.6}\n}}\n", self.total_seconds()));
+        out
+    }
+
+    /// Render the before/after trajectory shape, joining `self` (the
+    /// *after* run) against `before` by experiment id. Experiments
+    /// missing from `before` get `null` before/speedup fields.
+    pub fn to_json_vs(&self, before: &PerfReport) -> String {
+        let look = |id: &str| before.entries.iter().find(|e| e.id == id).map(|e| e.seconds);
+        let mut out = String::new();
+        out.push_str(&format!("{{\n  \"command\": \"{}\",\n  \"experiments\": [\n", self.command));
+        for (i, e) in self.entries.iter().enumerate() {
+            let sep = if i + 1 == self.entries.len() { "" } else { "," };
+            let (b, s) = match look(&e.id) {
+                Some(b) if e.seconds > 0.0 => (format!("{b:.6}"), format!("{:.3}", b / e.seconds)),
+                Some(b) => (format!("{b:.6}"), "null".to_string()),
+                None => ("null".to_string(), "null".to_string()),
+            };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"seconds_before\": {b}, \"seconds_after\": {:.6}, \
+                 \"speedup\": {s}}}{sep}\n",
+                e.id, e.seconds
+            ));
+        }
+        let (tb, ta) = (before.total_seconds(), self.total_seconds());
+        out.push_str(&format!(
+            "  ],\n  \"total_seconds_before\": {tb:.6},\n  \"total_seconds_after\": {ta:.6},\n  \
+             \"aggregate_speedup\": {:.3}\n}}\n",
+            if ta > 0.0 { tb / ta } else { 0.0 }
+        ));
+        out
+    }
+
+    /// Parse the standalone shape written by [`PerfReport::to_json`].
+    /// Deliberately minimal (line-oriented, no general JSON parser):
+    /// only consumes files this module wrote.
+    pub fn parse(text: &str) -> Option<PerfReport> {
+        fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+            let pat = format!("\"{key}\": ");
+            let start = line.find(&pat)? + pat.len();
+            let rest = &line[start..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            Some(rest[..end].trim().trim_matches('"'))
+        }
+        let mut report = PerfReport::default();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(cmd) = field(line, "command") {
+                report.command = cmd.to_string();
+            }
+            if let (Some(id), Some(secs)) = (field(line, "id"), field(line, "seconds")) {
+                report.record(id, secs.parse().ok()?);
+            }
+        }
+        if report.entries.is_empty() {
+            None
+        } else {
+            Some(report)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_report_roundtrips_through_json() {
+        let mut r = PerfReport::new("drfrlx bench all --threads 1");
+        r.record("fig1", 1.25);
+        r.record("fig3", 0.5);
+        let parsed = PerfReport::parse(&r.to_json()).expect("parses own output");
+        assert_eq!(parsed, r);
+        assert!((r.total_seconds() - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vs_json_reports_speedups() {
+        let mut before = PerfReport::new("cmd");
+        before.record("fig1", 3.0);
+        let mut after = PerfReport::new("cmd");
+        after.record("fig1", 1.5);
+        after.record("new_exp", 1.0);
+        let j = after.to_json_vs(&before);
+        assert!(j.contains("\"speedup\": 2.000"), "{j}");
+        assert!(j.contains("\"seconds_before\": null"), "{j}");
+        assert!(j.contains("\"aggregate_speedup\": 1.200"), "{j}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(PerfReport::parse("not json at all"), None);
+    }
 }

@@ -1,0 +1,86 @@
+//! Golden-artifact tests: the committed `results/` files are the
+//! reference output of every experiment, and regenerating them must be
+//! byte-identical — the contract the scheduler/relation/NoC hot-path
+//! rewrites are held to.
+//!
+//! The cheap experiments and all static (non-simulation) binaries run
+//! in the normal test pass; the full 12-experiment sweep is `#[ignore]`
+//! because it re-simulates every figure (run it explicitly, in release:
+//! `cargo test -q -p drfrlx-bench --release -- --ignored`).
+
+use drfrlx_bench::{find, ids, run_experiment};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+fn committed(name: &str) -> String {
+    let path = results_dir().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed artifact {}: {e}", path.display()))
+}
+
+/// `write_artifacts` normalizes the text artifact to end with one
+/// newline; apply the same rule before comparing.
+fn as_txt_artifact(text: &str) -> String {
+    let mut t = text.to_string();
+    if !t.ends_with('\n') {
+        t.push('\n');
+    }
+    t
+}
+
+fn assert_experiment_matches(id: &str) {
+    let e = find(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
+    let run = run_experiment(e.as_ref(), 1);
+    assert_eq!(
+        as_txt_artifact(&run.text),
+        committed(&format!("{id}.txt")),
+        "{id}.txt drifted from the committed artifact"
+    );
+    let mut json = run.json.join("\n");
+    json.push('\n');
+    assert_eq!(json, committed(&format!("{id}.json")), "{id}.json drifted");
+}
+
+/// The cheapest simulation-backed experiments stay byte-identical to
+/// their committed artifacts on every test run.
+#[test]
+fn cheap_experiments_match_committed_artifacts() {
+    for id in ["table4", "sweep_contexts", "ablation_coalescing"] {
+        assert_experiment_matches(id);
+    }
+}
+
+/// Every static artifact (model-only binaries that print the committed
+/// file to stdout) is byte-identical to its committed counterpart.
+#[test]
+fn static_binaries_match_committed_artifacts() {
+    for (exe, artifact) in [
+        (env!("CARGO_BIN_EXE_fig2_paths"), "fig2.txt"),
+        (env!("CARGO_BIN_EXE_table1_usecases"), "table1.txt"),
+        (env!("CARGO_BIN_EXE_table2_params"), "table2.txt"),
+        (env!("CARGO_BIN_EXE_table3_benchmarks"), "table3.txt"),
+        (env!("CARGO_BIN_EXE_listing7_herd"), "listing7.txt"),
+    ] {
+        let out = Command::new(exe).output().unwrap_or_else(|e| panic!("run {exe}: {e}"));
+        assert!(out.status.success(), "{exe} failed: {}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            committed(artifact),
+            "{artifact} drifted from the committed artifact"
+        );
+    }
+}
+
+/// Full sweep: every registered experiment regenerates its committed
+/// text and JSON artifacts byte-for-byte.
+#[test]
+#[ignore = "re-simulates all 12 experiments; run in release"]
+fn all_experiments_match_committed_artifacts() {
+    for id in ids() {
+        assert_experiment_matches(id);
+    }
+}

@@ -19,7 +19,7 @@ use crate::classes::{MemoryModel, OpClass};
 use crate::exec::{enumerate_sc, enumerate_sc_quantum, EnumError, EnumLimits, Execution};
 use crate::program::Program;
 use crate::quantum::has_quantum;
-use crate::races::{analyze, Race, RaceKind};
+use crate::races::{Race, RaceDetector, RaceKind};
 
 /// The verdict of a whole-program check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,9 +116,10 @@ pub fn try_check_program(
     let quantum = model == MemoryModel::Drfrlx && has_quantum(&view);
     let execs: Vec<Execution> =
         if quantum { enumerate_sc_quantum(&view, limits)? } else { enumerate_sc(&view, limits)? };
+    let detector = RaceDetector::for_program(&view);
     let mut races: Vec<FoundRace> = Vec::new();
     for (i, e) in execs.iter().enumerate() {
-        let analysis = analyze(e);
+        let analysis = detector.analyze(e);
         for race in analysis.races() {
             let dup = races
                 .iter()

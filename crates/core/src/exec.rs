@@ -784,7 +784,7 @@ mod tests {
         assert_eq!(execs.len(), 2);
         for e in &execs {
             assert_eq!(e.co.len(), 1);
-            let (first, last) = e.co.pairs()[0];
+            let (first, last) = e.co.iter_pairs().next().unwrap();
             assert_eq!(e.result.memory.values().next().copied(), e.events[last].wval);
             assert!(
                 e.order.iter().position(|&x| x == first).unwrap()

@@ -73,7 +73,7 @@ pub mod prelude {
     pub use crate::classes::{MemoryModel, OpClass, Protocol, SystemConfig};
     pub use crate::exec::{enumerate_sc, EnumLimits, Execution};
     pub use crate::program::{Expr, Program, RmwOp, ThreadBuilder};
-    pub use crate::races::{analyze, Race, RaceAnalysis, RaceKind};
+    pub use crate::races::{analyze, Race, RaceAnalysis, RaceDetector, RaceKind};
     pub use crate::syscentric::{explore_relaxed, RelaxedOutcomes};
 }
 
@@ -81,4 +81,4 @@ pub use checker::{check_program, CheckReport, Verdict};
 pub use classes::{MemoryModel, OpClass, Protocol, SystemConfig};
 pub use exec::{enumerate_sc, EnumLimits, Execution};
 pub use program::{Program, RmwOp};
-pub use races::{Race, RaceAnalysis, RaceKind};
+pub use races::{Race, RaceAnalysis, RaceDetector, RaceKind};

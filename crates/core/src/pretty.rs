@@ -47,22 +47,22 @@ pub fn format_conflict_graph(p: &Program, e: &Execution) -> String {
     }
     let _ = writeln!(out, "edges:");
     // Reduced po: skip pairs implied transitively.
-    for (a, b) in e.po.pairs() {
+    for (a, b) in e.po.iter_pairs() {
         let implied = (0..e.len()).any(|m| e.po.contains(a, m) && e.po.contains(m, b));
         if !implied {
             let _ = writeln!(out, "  e{a} --po--> e{b}");
         }
     }
-    for (a, b) in e.rf.pairs() {
+    for (a, b) in e.rf.iter_pairs() {
         let _ = writeln!(out, "  e{a} --rf--> e{b}");
     }
-    for (a, b) in e.co.pairs() {
+    for (a, b) in e.co.iter_pairs() {
         let implied = (0..e.len()).any(|m| e.co.contains(a, m) && e.co.contains(m, b));
         if !implied {
             let _ = writeln!(out, "  e{a} --co--> e{b}");
         }
     }
-    for (a, b) in e.fr.pairs() {
+    for (a, b) in e.fr.iter_pairs() {
         let _ = writeln!(out, "  e{a} --fr--> e{b}");
     }
     out
@@ -79,18 +79,18 @@ pub fn format_dot(p: &Program, e: &Execution) -> String {
             event_label(p, ev).replace('"', "'")
         );
     }
-    for (a, b) in e.po.pairs() {
+    for (a, b) in e.po.iter_pairs() {
         let implied = (0..e.len()).any(|m| e.po.contains(a, m) && e.po.contains(m, b));
         if !implied {
             let _ = writeln!(out, "  e{a} -> e{b} [label=\"po\"];");
         }
     }
     for (label, rel) in [("rf", &e.rf), ("fr", &e.fr)] {
-        for (a, b) in rel.pairs() {
+        for (a, b) in rel.iter_pairs() {
             let _ = writeln!(out, "  e{a} -> e{b} [label=\"{label}\", style=dashed];");
         }
     }
-    for (a, b) in e.co.pairs() {
+    for (a, b) in e.co.iter_pairs() {
         let implied = (0..e.len()).any(|m| e.co.contains(a, m) && e.co.contains(m, b));
         if !implied {
             let _ = writeln!(out, "  e{a} -> e{b} [label=\"co\", style=dashed];");

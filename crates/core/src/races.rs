@@ -25,6 +25,7 @@
 
 use crate::classes::OpClass;
 use crate::exec::Execution;
+use crate::program::Program;
 use crate::relation::Relation;
 use std::fmt;
 
@@ -144,126 +145,210 @@ fn at_least_one(rel: &Relation, set: &[bool]) -> Relation {
     rel.filter(|a, b| set[a] || set[b])
 }
 
-/// Run the programmer-centric model of Listing 7 on one SC execution.
-pub fn analyze(e: &Execution) -> RaceAnalysis {
-    let n = e.len();
-    let pos: Vec<usize> = {
-        let mut p = vec![0; n];
-        for (i, &ev) in e.order.iter().enumerate() {
-            p[ev] = i;
+/// Per-program race detector.
+///
+/// The Listing 7 detectors split into cheap relational algebra (so1,
+/// hb1, the data/commutative/quantum/speculative filters) and three
+/// expensive product-automaton path searches that only matter when the
+/// program uses non-ordering or one-sided atomics. A `RaceDetector`
+/// hoists that class-presence decision out of the per-execution loop:
+/// build it once per program with [`RaceDetector::for_program`], then
+/// call [`RaceDetector::analyze`] on each enumerated execution.
+///
+/// Program-level presence is a safe superset of per-execution presence
+/// (every event comes from an instruction, and the quantum
+/// transformation never introduces new non-ordering or one-sided
+/// operations), so gating on it can only skip searches whose result
+/// would have been empty.
+#[derive(Debug, Clone, Copy)]
+pub struct RaceDetector {
+    has_non_ordering: bool,
+    has_one_sided: bool,
+}
+
+impl RaceDetector {
+    /// Detector for every execution of `p` (or of its quantum-equivalent
+    /// program).
+    pub fn for_program(p: &Program) -> RaceDetector {
+        let classes = p.classes_used();
+        RaceDetector {
+            has_non_ordering: classes.contains(&OpClass::NonOrdering),
+            has_one_sided: classes.iter().any(|c| matches!(c, OpClass::Acquire | OpClass::Release)),
         }
-        p
-    };
+    }
 
-    // Event class sets.
-    let is = |c: OpClass| e.class_set(|ev| ev.class == c);
-    let data_set = is(OpClass::Data);
-    let comm_set = is(OpClass::Commutative);
-    let no_set = is(OpClass::NonOrdering);
-    let quantum_set = is(OpClass::Quantum);
-    let spec_set = is(OpClass::Speculative);
-    let pu_set = e.class_set(|ev| matches!(ev.class, OpClass::Paired | OpClass::Unpaired));
-    let writes = e.class_set(|ev| ev.access.writes());
+    /// Detector scoped to one execution (used by the [`analyze`] free
+    /// function when no program is at hand).
+    pub fn for_execution(e: &Execution) -> RaceDetector {
+        RaceDetector {
+            has_non_ordering: e.events.iter().any(|ev| ev.class == OpClass::NonOrdering),
+            has_one_sided: e
+                .events
+                .iter()
+                .any(|ev| matches!(ev.class, OpClass::Acquire | OpClass::Release)),
+        }
+    }
 
-    // so1: conflicting release-side write before acquire-side read in
-    // T (paired atomics are both sides; acquire/release are the paper's
-    // §7 one-sided extension).
-    let mut so1 = Relation::empty(n);
-    for x in 0..n {
-        for y in 0..n {
-            if x != y
-                && e.events[x].class.is_release_side()
-                && e.events[y].class.is_acquire_side()
-                && e.events[x].access.writes()
-                && e.events[y].access.reads()
-                && e.events[x].loc == e.events[y].loc
-                && pos[x] < pos[y]
-            {
-                so1.insert(x, y);
+    /// Run the programmer-centric model of Listing 7 on one SC
+    /// execution.
+    pub fn analyze(&self, e: &Execution) -> RaceAnalysis {
+        let n = e.len();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; n];
+            for (i, &ev) in e.order.iter().enumerate() {
+                p[ev] = i;
+            }
+            p
+        };
+
+        // One pass over the events builds every membership vector the
+        // detectors need (the seed scanned the event list once per
+        // class), plus the release-write / acquire-read candidate lists
+        // that so1 is built from.
+        let mut data_set = vec![false; n];
+        let mut comm_set = vec![false; n];
+        let mut no_set = vec![false; n];
+        let mut quantum_set = vec![false; n];
+        let mut spec_set = vec![false; n];
+        let mut pu_set = vec![false; n];
+        let mut os_set = vec![false; n];
+        let mut writes = vec![false; n];
+        let mut rel_writes: Vec<usize> = Vec::new();
+        let mut acq_reads: Vec<usize> = Vec::new();
+        for (i, ev) in e.events.iter().enumerate() {
+            match ev.class {
+                OpClass::Data => data_set[i] = true,
+                OpClass::Commutative => comm_set[i] = true,
+                OpClass::NonOrdering => no_set[i] = true,
+                OpClass::Quantum => quantum_set[i] = true,
+                OpClass::Speculative => spec_set[i] = true,
+                OpClass::Paired | OpClass::Unpaired => pu_set[i] = true,
+                OpClass::Acquire | OpClass::Release => os_set[i] = true,
+            }
+            writes[i] = ev.access.writes();
+            if ev.class.is_release_side() && ev.access.writes() {
+                rel_writes.push(i);
+            }
+            if ev.class.is_acquire_side() && ev.access.reads() {
+                acq_reads.push(i);
             }
         }
-    }
-    let hb1 = e.po.union(&so1).transitive_closure();
 
-    // conflict & ext & unordered ⇒ race.
-    let conflict = Relation::full(n)
-        .filter(|a, b| a != b && e.events[a].loc == e.events[b].loc && (writes[a] || writes[b]));
-    let hb_sym = hb1.union(&hb1.inverse());
-    let race = conflict.filter(|a, b| e.events[a].tid != e.events[b].tid).minus(&hb_sym);
+        // so1: conflicting release-side write before acquire-side read
+        // in T (paired atomics are both sides; acquire/release are the
+        // paper's §7 one-sided extension).
+        let mut so1 = Relation::empty(n);
+        for &x in &rel_writes {
+            for &y in &acq_reads {
+                if x != y && e.events[x].loc == e.events[y].loc && pos[x] < pos[y] {
+                    so1.insert(x, y);
+                }
+            }
+        }
+        let hb1 = e.po.union(&so1).transitive_closure();
 
-    // Data race.
-    let data = at_least_one(&race, &data_set);
+        // conflict & ext & unordered ⇒ race.
+        let conflict = Relation::full(n).filter(|a, b| {
+            a != b && e.events[a].loc == e.events[b].loc && (writes[a] || writes[b])
+        });
+        let hb_sym = hb1.union(&hb1.inverse());
+        let race = conflict.filter(|a, b| e.events[a].tid != e.events[b].tid).minus(&hb_sym);
 
-    // Commutative race: not pairwise commutative, or a loaded value is
-    // observed by another instruction in its thread.
-    let comm_candidates = at_least_one(&race, &comm_set);
-    let commutative = comm_candidates.filter(|a, b| {
-        let (ea, eb) = (&e.events[a], &e.events[b]);
-        let pairwise = match (ea.write_fn, eb.write_fn) {
-            (Some(fa), Some(fb)) => fa.commutes_with(fb),
-            // A conflicting pair with a pure load is never commutative.
-            _ => false,
+        // Data race.
+        let data = at_least_one(&race, &data_set);
+
+        // Commutative race: not pairwise commutative, or a loaded value
+        // is observed by another instruction in its thread.
+        let comm_candidates = at_least_one(&race, &comm_set);
+        let commutative = comm_candidates.filter(|a, b| {
+            let (ea, eb) = (&e.events[a], &e.events[b]);
+            let pairwise = match (ea.write_fn, eb.write_fn) {
+                (Some(fa), Some(fb)) => fa.commutes_with(fb),
+                // A conflicting pair with a pure load is never commutative.
+                _ => false,
+            };
+            let observed = (ea.access.reads() && e.value_observed(a))
+                || (eb.access.reads() && e.value_observed(b));
+            !pairwise || observed
+        });
+
+        // Quantum race: quantum racing with non-quantum.
+        let quantum =
+            at_least_one(&race, &quantum_set).filter(|a, b| !(quantum_set[a] && quantum_set[b]));
+
+        // Speculative race: both write, or the load's value is observed.
+        let spec_candidates = at_least_one(&race, &spec_set);
+        let speculative = spec_candidates.filter(|a, b| {
+            let both_write = writes[a] && writes[b];
+            let observed = (e.events[a].access.reads() && e.value_observed(a))
+                || (e.events[b].access.reads() && e.value_observed(b));
+            both_write || observed
+        });
+
+        // Path-based detectors. `residual` is the candidate set both
+        // draw from; the three reachability searches (and the shared
+        // valid1/valid2 absolution relations) run only when the program
+        // uses the relevant classes and a candidate race survived the
+        // cheap filters — the common all-data/paired case skips them
+        // entirely.
+        //
+        // Non-ordering race (Listing 7): among races not already data
+        // or commutative, endpoints of an ordering path that visits a
+        // non-ordering atomic, with no valid alternate path.
+        //
+        // One-sided race (§7 extension): like the non-ordering race,
+        // but the unabsolved path runs through acquire/release atomics.
+        // The synchronizing direction (release-write → acquire-read) is
+        // already folded into hb1 via so1, so any pair still racing
+        // here relies on a one-sided fence for an ordering it does not
+        // provide.
+        let residual = race.minus(&data).minus(&commutative);
+        let need_no = self.has_non_ordering && !residual.is_empty();
+        let need_os = self.has_one_sided && !residual.is_empty();
+        let (non_ordering, one_sided) = if need_no || need_os {
+            let valid1 = path_relation(e, EdgeSet::SameLoc, None).intersect(&conflict);
+            let valid2 =
+                path_relation(e, EdgeSet::PairedUnpaired(&pu_set), None).intersect(&conflict);
+            let non_ordering = if need_no {
+                let opath_alo_no =
+                    path_relation(e, EdgeSet::All, Some(&no_set)).intersect(&conflict);
+                residual.intersect(&opath_alo_no).minus(&valid1).minus(&valid2)
+            } else {
+                Relation::empty(n)
+            };
+            let one_sided = if need_os {
+                let opath_alo_os =
+                    path_relation(e, EdgeSet::All, Some(&os_set)).intersect(&conflict);
+                residual.minus(&non_ordering).intersect(&opath_alo_os).minus(&valid1).minus(&valid2)
+            } else {
+                Relation::empty(n)
+            };
+            (non_ordering, one_sided)
+        } else {
+            (Relation::empty(n), Relation::empty(n))
         };
-        let observed = (ea.access.reads() && e.value_observed(a))
-            || (eb.access.reads() && e.value_observed(b));
-        !pairwise || observed
-    });
 
-    // Non-ordering race (Listing 7): among races not already data or
-    // commutative, endpoints of an ordering path that visits a
-    // non-ordering atomic, with no valid alternate path.
-    let opath_alo_no = path_relation(e, EdgeSet::All, Some(&no_set)).intersect(&conflict);
-    let valid1 = path_relation(e, EdgeSet::SameLoc, None).intersect(&conflict);
-    let valid2 = path_relation(e, EdgeSet::PairedUnpaired(&pu_set), None).intersect(&conflict);
-    let non_ordering = race
-        .minus(&data)
-        .minus(&commutative)
-        .intersect(&opath_alo_no)
-        .minus(&valid1)
-        .minus(&valid2);
-
-    // Quantum race: quantum racing with non-quantum.
-    let quantum =
-        at_least_one(&race, &quantum_set).filter(|a, b| !(quantum_set[a] && quantum_set[b]));
-
-    // Speculative race: both write, or the load's value is observed.
-    let spec_candidates = at_least_one(&race, &spec_set);
-    let speculative = spec_candidates.filter(|a, b| {
-        let both_write = writes[a] && writes[b];
-        let observed = (e.events[a].access.reads() && e.value_observed(a))
-            || (e.events[b].access.reads() && e.value_observed(b));
-        both_write || observed
-    });
-
-    // One-sided race (§7 extension): like the non-ordering race, but
-    // the unabsolved path runs through acquire/release atomics. The
-    // synchronizing direction (release-write → acquire-read) is already
-    // folded into hb1 via so1, so any pair still racing here relies on
-    // a one-sided fence for an ordering it does not provide.
-    let os_set = e.class_set(|ev| matches!(ev.class, OpClass::Acquire | OpClass::Release));
-    let one_sided = if os_set.iter().any(|&b| b) {
-        let opath_alo_os = path_relation(e, EdgeSet::All, Some(&os_set)).intersect(&conflict);
-        race.minus(&data)
-            .minus(&commutative)
-            .minus(&non_ordering)
-            .intersect(&opath_alo_os)
-            .minus(&valid1)
-            .minus(&valid2)
-    } else {
-        Relation::empty(n)
-    };
-
-    RaceAnalysis {
-        so1,
-        hb1,
-        race,
-        data,
-        commutative,
-        non_ordering,
-        quantum,
-        speculative,
-        one_sided,
+        RaceAnalysis {
+            so1,
+            hb1,
+            race,
+            data,
+            commutative,
+            non_ordering,
+            quantum,
+            speculative,
+            one_sided,
+        }
     }
+}
+
+/// Run the programmer-centric model of Listing 7 on one SC execution.
+///
+/// Convenience wrapper over [`RaceDetector::for_execution`]; callers
+/// analyzing many executions of one program should build a
+/// [`RaceDetector::for_program`] once and reuse it.
+pub fn analyze(e: &Execution) -> RaceAnalysis {
+    RaceDetector::for_execution(e).analyze(e)
 }
 
 /// Which program/conflict-graph edges a path search may use.

@@ -5,10 +5,19 @@
 //! sequential composition (`;`), transitive closure (`+`), inverses, and
 //! restrictions to classes of events (`Paired * PairedR`, `at-least-one
 //! W`...). [`Relation`] provides exactly those combinators over a dense
-//! boolean matrix, which is the right representation for litmus-sized
+//! bit matrix, which is the right representation for litmus-sized
 //! executions (tens of events).
+//!
+//! Rows are packed into `u64` words, so the set operations, sequential
+//! composition and the O(n³) transitive closure all work on 64 event
+//! pairs per instruction — the closure in particular is row-OR
+//! Floyd–Warshall, which is what makes running the race detectors over
+//! millions of enumerated executions affordable.
 
 use std::fmt;
+
+/// Bits per packed word.
+const WORD: usize = 64;
 
 /// A binary relation over event ids `0..n`.
 ///
@@ -23,18 +32,48 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq)]
 pub struct Relation {
     n: usize,
-    bits: Vec<bool>,
+    /// Words per row (`ceil(n / 64)`).
+    stride: usize,
+    /// Row-major packed bits; tail bits of each row beyond `n` are
+    /// always zero (an invariant every operation preserves, so derived
+    /// equality is exact).
+    words: Vec<u64>,
 }
 
 impl Relation {
     /// The empty relation over `n` events.
     pub fn empty(n: usize) -> Relation {
-        Relation { n, bits: vec![false; n * n] }
+        let stride = n.div_ceil(WORD);
+        Relation { n, stride, words: vec![0; n * stride] }
+    }
+
+    /// Mask selecting the valid bits of a row's last word.
+    fn tail_mask(&self) -> u64 {
+        if self.n.is_multiple_of(WORD) {
+            !0
+        } else {
+            (1u64 << (self.n % WORD)) - 1
+        }
+    }
+
+    /// Zero the tail bits of every row (after a whole-word operation
+    /// that may have set them).
+    fn clear_tail(&mut self) {
+        if self.stride == 0 {
+            return;
+        }
+        let mask = self.tail_mask();
+        for row in 0..self.n {
+            self.words[row * self.stride + self.stride - 1] &= mask;
+        }
     }
 
     /// The full relation (every ordered pair, including reflexive ones).
     pub fn full(n: usize) -> Relation {
-        Relation { n, bits: vec![true; n * n] }
+        let mut r = Relation::empty(n);
+        r.words.fill(!0);
+        r.clear_tail();
+        r
     }
 
     /// The identity relation.
@@ -60,14 +99,16 @@ impl Relation {
         debug_assert_eq!(a.len(), n);
         debug_assert_eq!(b.len(), n);
         let mut r = Relation::empty(n);
-        for (i, &ai) in a.iter().enumerate() {
-            if !ai {
-                continue;
+        // Pack B once, then copy it into every row of a member of A.
+        let mut brow = vec![0u64; r.stride];
+        for (j, &bj) in b.iter().enumerate() {
+            if bj {
+                brow[j / WORD] |= 1u64 << (j % WORD);
             }
-            for (j, &bj) in b.iter().enumerate() {
-                if bj {
-                    r.insert(i, j);
-                }
+        }
+        for (i, &ai) in a.iter().enumerate() {
+            if ai {
+                r.words[i * r.stride..(i + 1) * r.stride].copy_from_slice(&brow);
             }
         }
         r
@@ -80,33 +121,43 @@ impl Relation {
 
     /// Add a pair.
     pub fn insert(&mut self, a: usize, b: usize) {
-        self.bits[a * self.n + b] = true;
+        assert!(a < self.n && b < self.n, "pair out of carrier");
+        self.words[a * self.stride + b / WORD] |= 1u64 << (b % WORD);
     }
 
     /// Test membership.
     pub fn contains(&self, a: usize, b: usize) -> bool {
-        self.bits[a * self.n + b]
+        self.words[a * self.stride + b / WORD] & (1u64 << (b % WORD)) != 0
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        !self.bits.iter().any(|&b| b)
+        self.words.iter().all(|&w| w == 0)
     }
 
     /// Number of pairs.
     pub fn len(&self) -> usize {
-        self.bits.iter().filter(|&&b| b).count()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Iterate over pairs in row-major order.
+    /// Iterate over pairs in row-major order without allocating.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |row| {
+            self.words[row * self.stride..(row + 1) * self.stride].iter().enumerate().flat_map(
+                move |(wi, &w)| BitIter { word: w, base: wi * WORD }.map(move |col| (row, col)),
+            )
+        })
+    }
+
+    /// Iterate over pairs in row-major order (alias of
+    /// [`Relation::iter_pairs`], kept for existing callers).
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        let n = self.n;
-        self.bits.iter().enumerate().filter(|(_, &b)| b).map(move |(i, _)| (i / n, i % n))
+        self.iter_pairs()
     }
 
     /// Collect into a pair vector (useful in tests).
     pub fn pairs(&self) -> Vec<(usize, usize)> {
-        self.iter().collect()
+        self.iter_pairs().collect()
     }
 
     /// Union.
@@ -124,27 +175,31 @@ impl Relation {
         self.zip(other, |a, b| a & !b)
     }
 
-    fn zip(&self, other: &Relation, f: impl Fn(bool, bool) -> bool) -> Relation {
+    /// Word-parallel binary combinator. `f` must map (0, 0) to 0 so the
+    /// tail-bit invariant is preserved (union/intersect/minus all do).
+    fn zip(&self, other: &Relation, f: impl Fn(u64, u64) -> u64) -> Relation {
         assert_eq!(self.n, other.n, "relations over different carriers");
         Relation {
             n: self.n,
-            bits: self.bits.iter().zip(&other.bits).map(|(&a, &b)| f(a, b)).collect(),
+            stride: self.stride,
+            words: self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 
     /// Sequential composition (`;` in Herd): `(a, c)` iff there is `b`
-    /// with `self(a, b)` and `other(b, c)`.
+    /// with `self(a, b)` and `other(b, c)`. Row-OR: for every `b` in
+    /// row `a` of `self`, OR `other`'s row `b` into the output row.
     pub fn seq(&self, other: &Relation) -> Relation {
         assert_eq!(self.n, other.n, "relations over different carriers");
-        let n = self.n;
-        let mut out = Relation::empty(n);
-        for a in 0..n {
-            for b in 0..n {
-                if self.contains(a, b) {
-                    for c in 0..n {
-                        if other.contains(b, c) {
-                            out.insert(a, c);
-                        }
+        let mut out = Relation::empty(self.n);
+        let stride = self.stride;
+        for a in 0..self.n {
+            let row = &self.words[a * stride..(a + 1) * stride];
+            for (wi, &w) in row.iter().enumerate() {
+                for b in (BitIter { word: w, base: wi * WORD }) {
+                    let (dst, src) = (a * stride, b * stride);
+                    for k in 0..stride {
+                        out.words[dst + k] |= other.words[src + k];
                     }
                 }
             }
@@ -155,7 +210,7 @@ impl Relation {
     /// Inverse (`^-1` in Herd).
     pub fn inverse(&self) -> Relation {
         let mut out = Relation::empty(self.n);
-        for (a, b) in self.iter() {
+        for (a, b) in self.iter_pairs() {
             out.insert(b, a);
         }
         out
@@ -163,21 +218,35 @@ impl Relation {
 
     /// Complement (`~` in Herd).
     pub fn complement(&self) -> Relation {
-        Relation { n: self.n, bits: self.bits.iter().map(|&b| !b).collect() }
+        let mut out = Relation {
+            n: self.n,
+            stride: self.stride,
+            words: self.words.iter().map(|&w| !w).collect(),
+        };
+        out.clear_tail();
+        out
     }
 
-    /// Irreflexive transitive closure (`+` in Herd), via Floyd–Warshall.
+    /// Irreflexive transitive closure (`+` in Herd): row-OR
+    /// Floyd–Warshall, 64 pairs per word operation.
     pub fn transitive_closure(&self) -> Relation {
-        let n = self.n;
         let mut r = self.clone();
-        for k in 0..n {
-            for i in 0..n {
-                if r.contains(i, k) {
-                    for j in 0..n {
-                        if r.contains(k, j) {
-                            r.insert(i, j);
-                        }
-                    }
+        let stride = r.stride;
+        for k in 0..r.n {
+            for i in 0..r.n {
+                if i == k || !r.contains(i, k) {
+                    continue;
+                }
+                let (krow, irow) = (k * stride, i * stride);
+                // Rows are disjoint slices of one Vec; split to OR one
+                // into the other without cloning.
+                let (lo, hi, dst_is_lo) =
+                    if irow < krow { (irow, krow, true) } else { (krow, irow, false) };
+                let (head, tail) = r.words.split_at_mut(hi);
+                let (a, b) = (&mut head[lo..lo + stride], &mut tail[..stride]);
+                let (dst, src) = if dst_is_lo { (a, b) } else { (b, a) };
+                for w in 0..stride {
+                    dst[w] |= src[w];
                 }
             }
         }
@@ -187,7 +256,7 @@ impl Relation {
     /// Keep only pairs `(a, b)` where `pred(a, b)`.
     pub fn filter(&self, pred: impl Fn(usize, usize) -> bool) -> Relation {
         let mut out = Relation::empty(self.n);
-        for (a, b) in self.iter() {
+        for (a, b) in self.iter_pairs() {
             if pred(a, b) {
                 out.insert(a, b);
             }
@@ -203,7 +272,30 @@ impl Relation {
 
     /// Remove reflexive pairs.
     pub fn irreflexive(&self) -> Relation {
-        self.filter(|a, b| a != b)
+        let mut out = self.clone();
+        for i in 0..out.n {
+            out.words[i * out.stride + i / WORD] &= !(1u64 << (i % WORD));
+        }
+        out
+    }
+}
+
+/// Iterator over the set bit positions of one word, offset by `base`.
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
     }
 }
 
@@ -297,5 +389,84 @@ mod tests {
         }
         let c = a.transitive_closure();
         assert_eq!(c.transitive_closure(), c);
+    }
+
+    /// Cross-check the packed operations against a naive `Vec<bool>`
+    /// model on carriers that straddle word boundaries.
+    #[test]
+    fn packed_ops_match_naive_model_across_word_boundaries() {
+        // Deterministic pseudo-random pairs (SplitMix64 mixing).
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for n in [1usize, 7, 63, 64, 65] {
+            let gen = |next: &mut dyn FnMut() -> u64, density: u64| -> Vec<Vec<bool>> {
+                (0..n).map(|_| (0..n).map(|_| next() % 100 < density).collect()).collect()
+            };
+            let ma = gen(&mut next, 15);
+            let mb = gen(&mut next, 15);
+            let pack = |m: &Vec<Vec<bool>>| {
+                Relation::from_pairs(
+                    n,
+                    m.iter().enumerate().flat_map(|(i, r)| {
+                        r.iter().enumerate().filter(|(_, &b)| b).map(move |(j, _)| (i, j))
+                    }),
+                )
+            };
+            let (a, b) = (pack(&ma), pack(&mb));
+            let (u, x_, m_, c_, s_) =
+                (a.union(&b), a.intersect(&b), a.minus(&b), a.complement(), a.seq(&b));
+            for x in 0..n {
+                for y in 0..n {
+                    assert_eq!(a.contains(x, y), ma[x][y]);
+                    assert_eq!(u.contains(x, y), ma[x][y] || mb[x][y]);
+                    assert_eq!(x_.contains(x, y), ma[x][y] && mb[x][y]);
+                    assert_eq!(m_.contains(x, y), ma[x][y] && !mb[x][y]);
+                    assert_eq!(c_.contains(x, y), !ma[x][y]);
+                    let naive_seq = (0..n).any(|mid| ma[x][mid] && mb[mid][y]);
+                    assert_eq!(s_.contains(x, y), naive_seq, "seq mismatch n={n}");
+                }
+            }
+            // Naive boolean Floyd–Warshall closure.
+            let mut cl = ma.clone();
+            for k in 0..n {
+                for i in 0..n {
+                    if cl[i][k] {
+                        let row_k = cl[k].clone();
+                        cl[i].iter_mut().zip(&row_k).for_each(|(c, &r)| *c |= r);
+                    }
+                }
+            }
+            let packed = a.transitive_closure();
+            for (x, row) in cl.iter().enumerate() {
+                for (y, &bit) in row.iter().enumerate() {
+                    assert_eq!(packed.contains(x, y), bit, "closure mismatch ({x},{y}) n={n}");
+                }
+            }
+            assert_eq!(a.pairs().len(), a.len());
+        }
+    }
+
+    #[test]
+    fn full_and_tail_bits_stay_clean() {
+        for n in [1usize, 63, 64, 65, 100] {
+            let f = Relation::full(n);
+            assert_eq!(f.len(), n * n);
+            assert_eq!(f.complement(), Relation::empty(n));
+            assert_eq!(Relation::empty(n).complement(), f);
+            assert_eq!(f.irreflexive().len(), n * n - n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pair out of carrier")]
+    fn out_of_carrier_insert_rejected() {
+        let mut a = Relation::empty(3);
+        a.insert(0, 3);
     }
 }

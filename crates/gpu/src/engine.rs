@@ -1,9 +1,20 @@
 //! The event-driven execution engine.
+//!
+//! Context selection — "which context runs next?" — is the innermost
+//! loop of every simulation: one pick per executed operation. The
+//! engine keeps an indexed ready queue (a min-[`BinaryHeap`] keyed by
+//! `(ready cycle, context id)`), so each pick costs O(log contexts)
+//! instead of a linear scan over every resident context. Ties still
+//! break by context id, so schedules — and therefore all reports —
+//! are deterministic and identical to the retained reference scanner
+//! ([`run_kernel_reference`]), which differential tests hold it to.
 
 use crate::ir::{Kernel, Op, WorkItem};
 use crate::{Addr, Cycle, Value};
 use drfrlx_core::classes::Strength;
 use drfrlx_core::MemoryModel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Timing interface to the memory system (implemented over
 /// `hsim-coherence` by `hsim-sys`; a fixed-latency stub is used in unit
@@ -53,7 +64,7 @@ impl Default for EngineParams {
 }
 
 /// What a kernel run produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineReport {
     /// Total cycles (last context retirement).
     pub cycles: Cycle,
@@ -103,6 +114,67 @@ impl IssuePort {
     }
 }
 
+/// The ready-queue strategy: how the engine finds the runnable context
+/// with the smallest `(ready cycle, context id)`.
+///
+/// Both implementations must agree exactly — [`HeapQueue`] is the
+/// production O(log n) path, [`LinearScan`] the O(n) reference that
+/// differential tests compare it against.
+trait ReadyQueue {
+    /// Note that context `ctx` became `Ready(at)`.
+    fn push(&mut self, at: Cycle, ctx: usize);
+    /// Remove and return the minimum `(ready cycle, context id)`, or
+    /// `None` when no context is runnable.
+    fn pop(&mut self, ctxs: &[Ctx]) -> Option<(Cycle, usize)>;
+}
+
+/// Indexed ready queue: a min-heap over `(cycle, ctx_id)`.
+///
+/// Every `Ready` transition pushes exactly one entry and every entry is
+/// consumed at most once, so the heap never holds stale entries for a
+/// context that was rescheduled; the state check on pop is a cheap
+/// invariant guard, not a lazy-deletion scheme.
+#[derive(Default)]
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(Cycle, usize)>>,
+}
+
+impl ReadyQueue for HeapQueue {
+    fn push(&mut self, at: Cycle, ctx: usize) {
+        self.heap.push(Reverse((at, ctx)));
+    }
+
+    fn pop(&mut self, ctxs: &[Ctx]) -> Option<(Cycle, usize)> {
+        while let Some(Reverse((at, i))) = self.heap.pop() {
+            if ctxs[i].state == CtxState::Ready(at) {
+                return Some((at, i));
+            }
+        }
+        None
+    }
+}
+
+/// Reference scheduler: scan every context per step. O(contexts) per
+/// pick — retained only so differential tests can certify the heap.
+#[derive(Default)]
+struct LinearScan;
+
+impl ReadyQueue for LinearScan {
+    fn push(&mut self, _at: Cycle, _ctx: usize) {}
+
+    fn pop(&mut self, ctxs: &[Ctx]) -> Option<(Cycle, usize)> {
+        let mut best: Option<(Cycle, usize)> = None;
+        for (i, c) in ctxs.iter().enumerate() {
+            if let CtxState::Ready(at) = c.state {
+                if best.is_none_or(|(t, _)| at < t) {
+                    best = Some((at, i));
+                }
+            }
+        }
+        best
+    }
+}
+
 /// Run `kernel` to completion under `params` on `backend`.
 ///
 /// Blocks are assigned to CUs round-robin; when a CU's resident blocks
@@ -118,6 +190,28 @@ pub fn run_kernel(
     kernel: &dyn Kernel,
     params: &EngineParams,
     backend: &mut dyn MemoryBackend,
+) -> EngineReport {
+    run_kernel_with(kernel, params, backend, HeapQueue::default())
+}
+
+/// [`run_kernel`] on the reference linear-scan scheduler.
+///
+/// Exists solely as the differential-testing oracle for the indexed
+/// scheduler: any kernel must produce a byte-identical [`EngineReport`]
+/// on both. Not for production use — every step costs O(contexts).
+pub fn run_kernel_reference(
+    kernel: &dyn Kernel,
+    params: &EngineParams,
+    backend: &mut dyn MemoryBackend,
+) -> EngineReport {
+    run_kernel_with(kernel, params, backend, LinearScan)
+}
+
+fn run_kernel_with(
+    kernel: &dyn Kernel,
+    params: &EngineParams,
+    backend: &mut dyn MemoryBackend,
+    mut ready: impl ReadyQueue,
 ) -> EngineReport {
     assert!(kernel.blocks() > 0, "kernel needs blocks");
     assert!(
@@ -145,9 +239,11 @@ pub fn run_kernel(
                   cu: usize,
                   at: Cycle,
                   ctxs: &mut Vec<Ctx>,
-                  block_ctxs: &mut Vec<Vec<usize>>| {
+                  block_ctxs: &mut Vec<Vec<usize>>,
+                  ready: &mut dyn ReadyQueue| {
         for t in 0..tpb {
             block_ctxs[block].push(ctxs.len());
+            ready.push(at, ctxs.len());
             ctxs.push(Ctx {
                 item: kernel.item(block, t),
                 cu,
@@ -164,7 +260,7 @@ pub fn run_kernel(
         for _ in 0..n {
             let b = cu_queues[cu][next_queued[cu]];
             next_queued[cu] += 1;
-            launch(b, cu, 0, &mut ctxs, &mut block_ctxs);
+            launch(b, cu, 0, &mut ctxs, &mut block_ctxs, &mut ready);
         }
     }
 
@@ -179,22 +275,10 @@ pub fn run_kernel(
         atomics_overlapped: 0,
     };
 
-    loop {
-        // Pick the ready context with the smallest time.
-        let mut best: Option<(Cycle, usize)> = None;
-        for (i, c) in ctxs.iter().enumerate() {
-            if let CtxState::Ready(at) = c.state {
-                if best.is_none_or(|(t, _)| at < t) {
-                    best = Some((at, i));
-                }
-            }
-        }
-        let Some((at, i)) = best else {
-            // No runnable context: everyone finished (barrier stalls
-            // resolve eagerly below, so this means completion).
-            break;
-        };
-
+    // Pick the ready context with the smallest (time, id) until none is
+    // runnable: everyone finished (barrier stalls resolve eagerly below,
+    // so queue exhaustion means completion).
+    while let Some((at, i)) = ready.pop(&ctxs) {
         let cu = ctxs[i].cu;
         let block = ctxs[i].block;
         let last = ctxs[i].last.take();
@@ -208,16 +292,19 @@ pub fn run_kernel(
             Op::Think(n) => {
                 report.core_ops += n as u64;
                 ctx.state = CtxState::Ready(issue + 1 + n as u64);
+                ready.push(issue + 1 + n as u64, i);
             }
             Op::ScratchLoad { addr } => {
                 report.scratch_accesses += 1;
                 ctx.last = Some(scratch[block][addr as usize]);
                 ctx.state = CtxState::Ready(issue + 1);
+                ready.push(issue + 1, i);
             }
             Op::ScratchStore { addr, value } => {
                 report.scratch_accesses += 1;
                 scratch[block][addr as usize] = value;
                 ctx.state = CtxState::Ready(issue + 1);
+                ready.push(issue + 1, i);
             }
             Op::Load { addr, class } => {
                 let strength = model.strength_of(class);
@@ -248,6 +335,7 @@ pub fn run_kernel(
                 };
                 ctx.last = Some(value);
                 ctx.state = CtxState::Ready(done);
+                ready.push(done, i);
             }
             Op::Store { addr, value, class } => {
                 let strength = model.strength_of(class);
@@ -282,6 +370,7 @@ pub fn run_kernel(
                 };
                 memory[addr as usize] = value;
                 ctx.state = CtxState::Ready(done);
+                ready.push(done, i);
             }
             Op::Rmw { addr, rmw, operand, class, use_result } => {
                 let strength = model.strength_of(class);
@@ -334,6 +423,7 @@ pub fn run_kernel(
                     ctx.last = Some(old);
                 }
                 ctx.state = CtxState::Ready(done);
+                ready.push(done, i);
             }
             Op::Barrier => {
                 // Wait for own outstanding atomics, then park.
@@ -357,6 +447,7 @@ pub fn run_kernel(
                     for &j in &block_ctxs[block] {
                         if matches!(ctxs[j].state, CtxState::AtBarrier(_)) {
                             ctxs[j].state = CtxState::Ready(release);
+                            ready.push(release, j);
                         }
                     }
                 }
@@ -389,9 +480,10 @@ pub fn run_kernel(
                         resume = resume.max(backend.acquire(release, c));
                     }
                     report.barriers += 1;
-                    for c in ctxs.iter_mut() {
+                    for (j, c) in ctxs.iter_mut().enumerate() {
                         if matches!(c.state, CtxState::AtGlobalBarrier(_)) {
                             c.state = CtxState::Ready(resume);
+                            ready.push(resume, j);
                         }
                     }
                 }
@@ -416,7 +508,7 @@ pub fn run_kernel(
                         .unwrap_or(fenced);
                     let b = cu_queues[cu][next_queued[cu]];
                     next_queued[cu] += 1;
-                    launch(b, cu, retire, &mut ctxs, &mut block_ctxs);
+                    launch(b, cu, retire, &mut ctxs, &mut block_ctxs, &mut ready);
                 }
             }
         }

@@ -1,6 +1,11 @@
 //! The mesh itself: link reservation timelines and statistics.
+//!
+//! Link state lives in flat per-direction tables indexed by
+//! `node * 4 + direction`, so the per-hop inner loop of [`Mesh::send`]
+//! is two array reads — no ordered-map lookups and no route-vector
+//! allocation (the X-Y walk is computed inline).
 
-use crate::route::route_xy;
+use crate::route::Coord;
 use crate::{Cycle, NodeId};
 use std::collections::BTreeMap;
 
@@ -74,10 +79,35 @@ impl NocStats {
 #[derive(Debug, Clone)]
 pub struct Mesh {
     params: NocParams,
-    /// next-free cycle per directed link (from, to).
-    links: BTreeMap<(NodeId, NodeId), Cycle>,
-    link_stats: BTreeMap<(NodeId, NodeId), LinkStats>,
+    /// next-free cycle per directed link, indexed by
+    /// `node * 4 + direction` ([`Dir`]).
+    links_free: Vec<Cycle>,
+    /// usage statistics, same indexing as `links_free`.
+    link_stats: Vec<LinkStats>,
     stats: NocStats,
+}
+
+/// Outgoing link direction from a node. The discriminants index the
+/// flat link tables.
+#[derive(Debug, Clone, Copy)]
+enum Dir {
+    East = 0,
+    West = 1,
+    South = 2,
+    North = 3,
+}
+
+impl Dir {
+    /// The neighbor one hop along `self` from `node` (caller guarantees
+    /// it stays on the mesh).
+    fn step(self, node: u16, width: u16) -> u16 {
+        match self {
+            Dir::East => node + 1,
+            Dir::West => node - 1,
+            Dir::South => node + width,
+            Dir::North => node - width,
+        }
+    }
 }
 
 impl Mesh {
@@ -88,10 +118,11 @@ impl Mesh {
     /// Panics if the mesh has no nodes.
     pub fn new(params: NocParams) -> Mesh {
         assert!(params.width > 0 && params.height > 0, "mesh must have nodes");
+        let slots = params.width as usize * params.height as usize * 4;
         Mesh {
             params,
-            links: BTreeMap::new(),
-            link_stats: BTreeMap::new(),
+            links_free: vec![0; slots],
+            link_stats: vec![LinkStats::default(); slots],
             stats: NocStats::default(),
         }
     }
@@ -124,21 +155,36 @@ impl Mesh {
             return arrival;
         }
         let mut at = depart + self.params.local_latency;
-        let mut prev = src;
         let occupancy = flits * self.params.cycles_per_flit;
-        for hop in route_xy(self.params.width, src, dst) {
-            let link = (prev, hop);
-            let free = self.links.entry(link).or_insert(0);
-            let start = at.max(*free);
-            self.stats.contention_cycles += start - at;
+        // Inline X-Y walk (matches `route_xy`): hop east/west until the
+        // column matches, then north/south.
+        let width = self.params.width;
+        let (mut cur, to) = (Coord::of(src, width), Coord::of(dst, width));
+        let mut node = src.0;
+        let mut hop = |node: &mut u16, dir: Dir, at: &mut Cycle| {
+            let li = *node as usize * 4 + dir as usize;
+            let free = &mut self.links_free[li];
+            let start = (*at).max(*free);
+            self.stats.contention_cycles += start - *at;
             *free = start + occupancy;
-            at = start + self.params.hop_latency;
-            let ls = self.link_stats.entry(link).or_default();
+            *at = start + self.params.hop_latency;
+            let ls = &mut self.link_stats[li];
             ls.flits += flits;
             ls.messages += 1;
             self.stats.flit_hops += flits;
-            prev = hop;
+            *node = dir.step(*node, width);
+        };
+        while cur.x != to.x {
+            let dir = if to.x > cur.x { Dir::East } else { Dir::West };
+            cur.x = if to.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            hop(&mut node, dir, &mut at);
         }
+        while cur.y != to.y {
+            let dir = if to.y > cur.y { Dir::South } else { Dir::North };
+            cur.y = if to.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            hop(&mut node, dir, &mut at);
+        }
+        debug_assert_eq!(node, dst.0);
         let arrival = at + self.params.local_latency;
         self.stats.total_latency += arrival - depart;
         arrival
@@ -161,15 +207,28 @@ impl Mesh {
         &self.stats
     }
 
-    /// Per-link statistics.
-    pub fn link_stats(&self) -> &BTreeMap<(NodeId, NodeId), LinkStats> {
-        &self.link_stats
+    /// Per-link statistics for links that carried traffic, keyed by
+    /// `(from, to)`. Built on demand — a diagnostic accessor, not a hot
+    /// path.
+    pub fn link_stats(&self) -> BTreeMap<(NodeId, NodeId), LinkStats> {
+        let width = self.params.width;
+        let dirs = [Dir::East, Dir::West, Dir::South, Dir::North];
+        self.link_stats
+            .iter()
+            .enumerate()
+            .filter(|(_, ls)| ls.messages > 0)
+            .map(|(li, ls)| {
+                let node = (li / 4) as u16;
+                let dir = dirs[li % 4];
+                ((NodeId(node), NodeId(dir.step(node, width))), ls.clone())
+            })
+            .collect()
     }
 
     /// Reset statistics and link reservations (start of a new run).
     pub fn reset(&mut self) {
-        self.links.clear();
-        self.link_stats.clear();
+        self.links_free.fill(0);
+        self.link_stats.fill(LinkStats::default());
         self.stats = NocStats::default();
     }
 }
@@ -257,5 +316,58 @@ mod tests {
     #[should_panic(expected = "node off mesh")]
     fn off_mesh_node_rejected() {
         mesh().send(0, NodeId(0), NodeId(99), 1);
+    }
+
+    /// The flat link tables must agree, hop for hop, with a map-keyed
+    /// reference that walks `route_xy` explicitly.
+    #[test]
+    fn flat_tables_match_map_reference() {
+        use crate::route::route_xy;
+
+        struct Reference {
+            p: NocParams,
+            links: BTreeMap<(NodeId, NodeId), Cycle>,
+            stats: BTreeMap<(NodeId, NodeId), LinkStats>,
+        }
+        impl Reference {
+            fn send(&mut self, depart: Cycle, src: NodeId, dst: NodeId, flits: u64) -> Cycle {
+                if src == dst {
+                    return depart + self.p.local_latency;
+                }
+                let mut at = depart + self.p.local_latency;
+                let mut prev = src;
+                for hop in route_xy(self.p.width, src, dst) {
+                    let free = self.links.entry((prev, hop)).or_insert(0);
+                    let start = at.max(*free);
+                    *free = start + flits * self.p.cycles_per_flit;
+                    at = start + self.p.hop_latency;
+                    let ls = self.stats.entry((prev, hop)).or_default();
+                    ls.flits += flits;
+                    ls.messages += 1;
+                    prev = hop;
+                }
+                at + self.p.local_latency
+            }
+        }
+
+        let p = NocParams { width: 5, height: 3, ..NocParams::default() };
+        let mut m = Mesh::new(p.clone());
+        let mut r = Reference { p, links: BTreeMap::new(), stats: BTreeMap::new() };
+        // Deterministic traffic pattern mixing hotspots and crossings.
+        let n = m.nodes() as u64;
+        let mut seed = 0x5EEDu64;
+        for i in 0..200u64 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = NodeId(((seed >> 33) % n) as u16 % m.nodes());
+            let dst = NodeId((seed >> 17) as u16 % m.nodes());
+            let flits = 1 + (seed % 7);
+            let depart = i * 3;
+            assert_eq!(m.send(depart, src, dst, flits), r.send(depart, src, dst, flits));
+        }
+        for (link, ls) in m.link_stats() {
+            let rs = r.stats.get(&link).expect("link exists in reference");
+            assert_eq!((ls.flits, ls.messages), (rs.flits, rs.messages), "{link:?}");
+        }
+        assert_eq!(m.link_stats().len(), r.stats.len());
     }
 }

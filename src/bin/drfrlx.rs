@@ -75,12 +75,15 @@ USAGE:
   drfrlx simulate <workload> [--config GD0..DDR] [--platform integrated|discrete]
       Run one workload on the simulated system and print the report.
   drfrlx bench <experiment-id>|all [--threads N] [--out DIR]
+                                   [--perf FILE [--perf-baseline FILE]]
       Regenerate a registered paper artifact (fig1, fig3, fig4,
       table4, section6, sweeps, ablations, ...) on the parallel sweep
       engine; writes results/<id>.txt and results/<id>.json.
       `bench list` prints the registry. Threads default to all cores
       (or DRFRLX_THREADS); output dir defaults to results/ (or
-      DRFRLX_RESULTS).";
+      DRFRLX_RESULTS). --perf records per-experiment wall-clock as
+      JSON; with --perf-baseline it joins a previous --perf run into
+      a before/after trajectory (the committed BENCH_*.json).";
 
 type CmdResult = Result<bool, Box<dyn std::error::Error>>;
 
@@ -202,6 +205,7 @@ fn cmd_list() -> CmdResult {
 }
 
 fn cmd_bench(args: &[String]) -> CmdResult {
+    use drfrlx::bench::timing::PerfReport;
     use drfrlx::bench::{find, registry, run_experiment, write_artifacts};
 
     let id = args.first().ok_or("bench needs an experiment id (see `drfrlx bench list`)")?;
@@ -232,8 +236,11 @@ fn cmd_bench(args: &[String]) -> CmdResult {
         vec![find(id)
             .ok_or_else(|| format!("unknown experiment `{id}` (see `drfrlx bench list`)"))?]
     };
+    let mut perf = PerfReport::new(&format!("drfrlx bench {id} --threads {threads}"));
     for e in experiments {
+        let t0 = std::time::Instant::now();
         let run = run_experiment(e.as_ref(), threads);
+        perf.record(e.id(), t0.elapsed().as_secs_f64());
         print!("{}", run.text);
         let (txt, json) = write_artifacts(&outdir, e.id(), &run)?;
         eprintln!(
@@ -241,6 +248,23 @@ fn cmd_bench(args: &[String]) -> CmdResult {
             e.id(),
             txt.display(),
             json.display()
+        );
+    }
+    if let Some(perf_path) = flag_value(args, "--perf") {
+        let rendered = match flag_value(args, "--perf-baseline") {
+            Some(base_path) => {
+                let text = std::fs::read_to_string(base_path)?;
+                let before = PerfReport::parse(&text)
+                    .ok_or_else(|| format!("`{base_path}` is not a perf report"))?;
+                perf.to_json_vs(&before)
+            }
+            None => perf.to_json(),
+        };
+        std::fs::write(perf_path, rendered)?;
+        eprintln!(
+            "[perf: {} experiments, {:.2}s total -> {perf_path}]",
+            perf.entries.len(),
+            perf.total_seconds()
         );
     }
     Ok(true)
