@@ -39,6 +39,7 @@ impl Experiment for Coalescing {
                         config: ddr,
                         params: params.clone(),
                         validate: true,
+                        trace: None,
                     },
                 )
             })

@@ -96,6 +96,7 @@ impl Experiment for Contexts {
                     config,
                     params: params.clone(),
                     validate: true,
+                    trace: None,
                 })
             })
             .collect()

@@ -177,9 +177,11 @@ impl PerfReport {
         out
     }
 
-    /// Parse the standalone shape written by [`PerfReport::to_json`].
-    /// Deliberately minimal (line-oriented, no general JSON parser):
-    /// only consumes files this module wrote.
+    /// Parse the standalone shape written by [`PerfReport::to_json`],
+    /// or the trajectory shape written by [`PerfReport::to_json_vs`]
+    /// (its *after* column — so each PR's committed trajectory is the
+    /// next PR's baseline). Deliberately minimal (line-oriented, no
+    /// general JSON parser): only consumes files this module wrote.
     pub fn parse(text: &str) -> Option<PerfReport> {
         fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
             let pat = format!("\"{key}\": ");
@@ -194,7 +196,8 @@ impl PerfReport {
             if let Some(cmd) = field(line, "command") {
                 report.command = cmd.to_string();
             }
-            if let (Some(id), Some(secs)) = (field(line, "id"), field(line, "seconds")) {
+            let secs = field(line, "seconds").or_else(|| field(line, "seconds_after"));
+            if let (Some(id), Some(secs)) = (field(line, "id"), secs) {
                 report.record(id, secs.parse().ok()?);
             }
         }
@@ -231,6 +234,16 @@ mod tests {
         assert!(j.contains("\"speedup\": 2.000"), "{j}");
         assert!(j.contains("\"seconds_before\": null"), "{j}");
         assert!(j.contains("\"aggregate_speedup\": 1.200"), "{j}");
+    }
+
+    #[test]
+    fn parse_reads_trajectory_after_column() {
+        let mut before = PerfReport::new("cmd");
+        before.record("fig1", 3.0);
+        let mut after = PerfReport::new("cmd");
+        after.record("fig1", 1.5);
+        let parsed = PerfReport::parse(&after.to_json_vs(&before)).expect("parses vs shape");
+        assert_eq!(parsed, after);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! because it re-simulates every figure (run it explicitly, in release:
 //! `cargo test -q -p drfrlx-bench --release -- --ignored`).
 
+use drfrlx_bench::json::parse_json;
 use drfrlx_bench::{find, ids, run_experiment};
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -73,6 +74,37 @@ fn static_binaries_match_committed_artifacts() {
             "{artifact} drifted from the committed artifact"
         );
     }
+}
+
+/// Every committed `results/*.json` artifact is valid JSON-lines: each
+/// line parses with the in-tree walker and is an object with the
+/// experiment id.
+#[test]
+fn committed_json_artifacts_parse() {
+    let dir = results_dir();
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable artifact");
+        for (i, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+            let row = parse_json(line).unwrap_or_else(|e| {
+                panic!("{} line {}: {e}", path.display(), i + 1);
+            });
+            assert!(
+                row.get("experiment").is_some(),
+                "{} line {}: row lacks an experiment id",
+                path.display(),
+                i + 1
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 12, "expected the committed artifact set, found {checked} json files");
 }
 
 /// Full sweep: every registered experiment regenerates its committed

@@ -6,6 +6,7 @@ use hsim_mem::{
     StoreBuffer,
 };
 use hsim_noc::{Mesh, NocParams, NodeId};
+use hsim_trace::{EventKind, NoTrace, Trace, TraceEvent};
 
 /// Index of a compute unit (or CPU core) in the memory system.
 pub type CuId = usize;
@@ -150,10 +151,10 @@ pub struct ProtoStats {
     pub dram_refills: u64,
 }
 
-struct L1 {
+struct L1<T: Trace> {
     cache: Cache<L1State>,
-    mshr: Mshr,
-    sb: StoreBuffer,
+    mshr: Mshr<T>,
+    sb: StoreBuffer<T>,
     port: Resource,
 }
 
@@ -163,13 +164,15 @@ struct L2Bank {
     node: NodeId,
 }
 
-/// The full memory system for one protocol.
-pub struct MemorySystem {
+/// The full memory system for one protocol, generic over the tracing
+/// capability (`NoTrace` by default — the instrumented sites compile
+/// away entirely).
+pub struct MemorySystem<T: Trace = NoTrace> {
     protocol: Protocol,
     params: MemSysParams,
-    l1s: Vec<L1>,
+    l1s: Vec<L1<T>>,
     banks: Vec<L2Bank>,
-    noc: Mesh,
+    noc: Mesh<T>,
     dram: Dram,
     stats: ProtoStats,
     /// L1 data-array accesses (energy).
@@ -178,25 +181,39 @@ pub struct MemorySystem {
     l1_tag_ops: u64,
     /// L2 accesses (energy).
     l2_accesses: u64,
+    tracer: T,
 }
 
 impl MemorySystem {
-    /// Build a memory system.
+    /// Build an untraced memory system.
     ///
     /// # Panics
     ///
     /// Panics if `cu_nodes` does not provide a node per CU.
     pub fn new(protocol: Protocol, params: MemSysParams) -> MemorySystem {
+        MemorySystem::with_tracer(protocol, params, NoTrace)
+    }
+}
+
+impl<T: Trace> MemorySystem<T> {
+    /// Build a memory system emitting protocol events (hits, misses,
+    /// invalidations, ownership transfers, atomic placement, NoC and
+    /// DRAM activity) into `tracer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cu_nodes` does not provide a node per CU.
+    pub fn with_tracer(protocol: Protocol, params: MemSysParams, tracer: T) -> MemorySystem<T> {
         assert_eq!(params.cu_nodes.len(), params.num_cus, "need one node per CU");
         let l1s = (0..params.num_cus)
-            .map(|_| L1 {
+            .map(|cu| L1 {
                 cache: Cache::new(params.l1.clone()),
-                mshr: Mshr::new(params.l1_mshrs),
-                sb: StoreBuffer::new(params.store_buffer),
+                mshr: Mshr::with_tracer(params.l1_mshrs, cu as u16, tracer.clone()),
+                sb: StoreBuffer::with_tracer(params.store_buffer, cu as u16, tracer.clone()),
                 port: Resource::new(),
             })
             .collect();
-        let noc = Mesh::new(params.noc.clone());
+        let noc = Mesh::with_tracer(params.noc.clone(), tracer.clone());
         let nodes = noc.nodes();
         let banks = (0..params.l2_banks)
             .map(|b| L2Bank {
@@ -217,6 +234,15 @@ impl MemorySystem {
             l1_accesses: 0,
             l1_tag_ops: 0,
             l2_accesses: 0,
+            tracer,
+        }
+    }
+
+    /// Emit one trace event (no-op unless `T::ENABLED`).
+    #[inline]
+    fn emit(&self, kind: EventKind, cycle: Cycle, lane: u16, addr: u64, arg: u64, dur: u64) {
+        if T::ENABLED {
+            self.tracer.record(TraceEvent::new(kind, cycle, lane, addr, arg, dur));
         }
     }
 
@@ -244,6 +270,7 @@ impl MemorySystem {
         let b = self.bank_of(line);
         self.l2_accesses += 1;
         let start = self.banks[b].port.acquire(arrive, self.params.l2_occupancy);
+        self.emit(EventKind::L2Access, start, b as u16, line.0, 0, self.params.l2_latency);
         let after = start + self.params.l2_latency;
         if !fill_from_dram {
             return after;
@@ -255,6 +282,7 @@ impl MemorySystem {
         } else {
             self.stats.dram_refills += 1;
             let done = self.dram.access(after, line.0);
+            self.emit(EventKind::DramRefill, after, b as u16, line.0, 0, done - after);
             self.banks[b].cache.insert(line, L2State::Data);
             done
         }
@@ -321,6 +349,7 @@ impl MemorySystem {
         self.stats.invalidation_events += 1;
         self.stats.lines_invalidated += dropped;
         self.l1_tag_ops += dropped;
+        self.emit(EventKind::Invalidate, now, cu as u16, 0, dropped, 2);
         now + 2
     }
 
@@ -349,13 +378,23 @@ impl MemorySystem {
         // arrived yet.
         if let Some(done) = self.l1s[cu].mshr.pending(start, line) {
             self.stats.mshr_coalesced += 1;
+            self.emit(
+                EventKind::MshrCoalesce,
+                start,
+                cu as u16,
+                line.0,
+                0,
+                done.max(start) - start,
+            );
             return done.max(start);
         }
         if self.l1s[cu].cache.lookup(line).is_some() {
             self.stats.l1_hits += 1;
+            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
             return start + self.params.l1_hit_latency;
         }
         self.stats.l1_misses += 1;
+        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
         // MSHR: merge with an in-flight fill for the same line.
         match self.l1s[cu].mshr.request(start, line) {
             MshrOutcome::Coalesced(done) => {
@@ -401,9 +440,11 @@ impl MemorySystem {
     fn gpu_atomic(&mut self, now: Cycle, cu: CuId, addr: Addr) -> Cycle {
         let line = self.line(addr);
         self.stats.atomics_at_l2 += 1;
-        self.bank_round_trip(now, cu, line, self.params.ctl_flits, |s, arrive| {
+        let done = self.bank_round_trip(now, cu, line, self.params.ctl_flits, |s, arrive| {
             s.l2_access(arrive, line, true)
-        })
+        });
+        self.emit(EventKind::AtomicAtL2, now, cu as u16, addr, 0, done - now);
+        done
     }
 
     // ------------------------------------------------------------------
@@ -420,6 +461,7 @@ impl MemorySystem {
         let arrive = self.noc.send(now, cu_node, bank_node, self.params.ctl_flits);
         let start = self.banks[b].port.acquire(arrive, self.params.l2_occupancy);
         self.l2_accesses += 1;
+        self.emit(EventKind::L2Access, start, b as u16, line.0, 0, self.params.l2_latency);
         let dir_done = start + self.params.l2_latency;
         let prev = self.banks[b].cache.lookup(line).copied();
         self.banks[b].cache.insert(line, L2State::Owned(cu));
@@ -427,6 +469,14 @@ impl MemorySystem {
             Some(L2State::Owned(owner)) if owner != cu => {
                 // Forward to previous owner; it hands the line over.
                 self.stats.remote_l1_transfers += 1;
+                self.emit(
+                    EventKind::OwnershipTransfer,
+                    dir_done,
+                    cu as u16,
+                    line.0,
+                    owner as u64,
+                    0,
+                );
                 let owner_node = self.params.cu_nodes[owner];
                 self.l1s[owner].cache.remove(line);
                 self.l1_tag_ops += 1;
@@ -444,6 +494,7 @@ impl MemorySystem {
                 // L2 miss: fill from DRAM first.
                 self.stats.dram_refills += 1;
                 let filled = self.dram.access(dir_done, line.0);
+                self.emit(EventKind::DramRefill, dir_done, b as u16, line.0, 0, filled - dir_done);
                 self.banks[b].cache.insert(line, L2State::Owned(cu));
                 self.noc.send(filled, bank_node, cu_node, self.params.data_flits)
             }
@@ -466,13 +517,23 @@ impl MemorySystem {
         let start = now;
         if let Some(done) = self.l1s[cu].mshr.pending(start, line) {
             self.stats.mshr_coalesced += 1;
+            self.emit(
+                EventKind::MshrCoalesce,
+                start,
+                cu as u16,
+                line.0,
+                0,
+                done.max(start) - start,
+            );
             return done.max(start);
         }
         if self.l1s[cu].cache.lookup(line).is_some() {
             self.stats.l1_hits += 1;
+            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
             return start + self.params.l1_hit_latency;
         }
         self.stats.l1_misses += 1;
+        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
         match self.l1s[cu].mshr.request(start, line) {
             MshrOutcome::Coalesced(done) => {
                 self.stats.mshr_coalesced += 1;
@@ -491,12 +552,21 @@ impl MemorySystem {
         let arrive = self.noc.send(start, cu_node, bank_node, self.params.ctl_flits);
         let dir_start = self.banks[b].port.acquire(arrive, self.params.l2_occupancy);
         self.l2_accesses += 1;
+        self.emit(EventKind::L2Access, dir_start, b as u16, line.0, 0, self.params.l2_latency);
         let dir_done = dir_start + self.params.l2_latency;
         let state = self.banks[b].cache.lookup(line).copied();
         let done = match state {
             Some(L2State::Owned(owner)) if owner != cu => {
                 // Forward: remote L1 services the read, keeps ownership.
                 self.stats.remote_l1_transfers += 1;
+                self.emit(
+                    EventKind::OwnershipTransfer,
+                    dir_done,
+                    cu as u16,
+                    line.0,
+                    owner as u64,
+                    0,
+                );
                 let owner_node = self.params.cu_nodes[owner];
                 let at_owner =
                     self.noc.send(dir_done, bank_node, owner_node, self.params.ctl_flits);
@@ -508,6 +578,7 @@ impl MemorySystem {
             None => {
                 self.stats.dram_refills += 1;
                 let filled = self.dram.access(dir_done, line.0);
+                self.emit(EventKind::DramRefill, dir_done, b as u16, line.0, 0, filled - dir_done);
                 self.banks[b].cache.insert(line, L2State::Data);
                 self.noc.send(filled, bank_node, cu_node, self.params.data_flits)
             }
@@ -531,9 +602,11 @@ impl MemorySystem {
         if pending.is_none() && self.l1s[cu].cache.lookup(line) == Some(&mut L1State::Registered) {
             // Owned: write locally, writeback caching.
             self.stats.l1_hits += 1;
+            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
             return start + self.params.l1_hit_latency;
         }
         self.stats.l1_misses += 1;
+        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
         // Pend in the store buffer while registration is in flight.
         let drain_done = match self.l1s[cu].mshr.request(start, line) {
             MshrOutcome::Coalesced(done) => {
@@ -561,6 +634,7 @@ impl MemorySystem {
     fn denovo_atomic(&mut self, now: Cycle, cu: CuId, addr: Addr) -> Cycle {
         let line = self.line(addr);
         self.stats.atomics_at_l1 += 1;
+        self.emit(EventKind::AtomicAtL1, now, cu as u16, addr, 0, 0);
         self.l1_accesses += 1;
         let start = now;
         if let Some(done) = self.l1s[cu].mshr.pending(start, line) {
@@ -568,6 +642,14 @@ impl MemorySystem {
                 // Ownership transfer in flight: coalesce, then perform
                 // locally once it lands (serialized by the L1 port).
                 self.stats.mshr_coalesced += 1;
+                self.emit(
+                    EventKind::MshrCoalesce,
+                    start,
+                    cu as u16,
+                    line.0,
+                    0,
+                    done.max(start) - start,
+                );
                 let served = self.l1s[cu].port.acquire(done.max(start), 1);
                 return served + self.params.l1_hit_latency;
             }
@@ -580,11 +662,14 @@ impl MemorySystem {
         if self.l1s[cu].cache.lookup(line) == Some(&mut L1State::Registered) {
             self.stats.atomic_l1_reuse += 1;
             self.stats.l1_hits += 1;
+            self.emit(EventKind::AtomicReuse, start, cu as u16, line.0, 0, 0);
+            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
             // The L1 port serializes atomic performs at one per cycle.
             let served = self.l1s[cu].port.acquire(start, 1);
             return served + self.params.l1_hit_latency;
         }
         self.stats.l1_misses += 1;
+        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
         let owned_at = match self.l1s[cu].mshr.request(start, line) {
             MshrOutcome::Coalesced(done) => {
                 self.stats.mshr_coalesced += 1;
@@ -618,6 +703,7 @@ impl MemorySystem {
             return;
         }
         self.stats.writebacks += 1;
+        self.emit(EventKind::Writeback, now, cu as u16, ev.line.0, 0, 0);
         let cu_node = self.params.cu_nodes[cu];
         let b = self.bank_of(ev.line);
         let bank_node = self.banks[b].node;
@@ -625,6 +711,7 @@ impl MemorySystem {
         let start = self.banks[b].port.acquire(arrive, self.params.l2_occupancy);
         let _done = start + self.params.l2_latency;
         self.l2_accesses += 1;
+        self.emit(EventKind::L2Access, start, b as u16, ev.line.0, 0, self.params.l2_latency);
         // Only reclaim if the directory still points at us.
         if self.banks[b].cache.peek(ev.line) == Some(&L2State::Owned(cu)) {
             self.banks[b].cache.insert(ev.line, L2State::Data);

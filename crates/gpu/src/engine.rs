@@ -13,6 +13,7 @@ use crate::ir::{Kernel, Op, WorkItem};
 use crate::{Addr, Cycle, Value};
 use drfrlx_core::classes::Strength;
 use drfrlx_core::MemoryModel;
+use hsim_trace::{EventKind, NoTrace, Trace, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -191,7 +192,20 @@ pub fn run_kernel(
     params: &EngineParams,
     backend: &mut dyn MemoryBackend,
 ) -> EngineReport {
-    run_kernel_with(kernel, params, backend, HeapQueue::default())
+    run_kernel_with(kernel, params, backend, HeapQueue::default(), NoTrace)
+}
+
+/// [`run_kernel`] emitting per-operation pipeline events (issue, issue
+/// stalls, fence drains, barrier releases, block launches, context
+/// retirement, atomic overlap) into `tracer`. Timing and the returned
+/// [`EngineReport`] are identical to the untraced run.
+pub fn run_kernel_traced(
+    kernel: &dyn Kernel,
+    params: &EngineParams,
+    backend: &mut dyn MemoryBackend,
+    tracer: impl Trace,
+) -> EngineReport {
+    run_kernel_with(kernel, params, backend, HeapQueue::default(), tracer)
 }
 
 /// [`run_kernel`] on the reference linear-scan scheduler.
@@ -204,14 +218,31 @@ pub fn run_kernel_reference(
     params: &EngineParams,
     backend: &mut dyn MemoryBackend,
 ) -> EngineReport {
-    run_kernel_with(kernel, params, backend, LinearScan)
+    run_kernel_with(kernel, params, backend, LinearScan, NoTrace)
 }
 
-fn run_kernel_with(
+/// Stable per-operation code carried in the `arg` of an
+/// [`EventKind::Issue`] event.
+fn op_code(op: &Op) -> u64 {
+    match op {
+        Op::Think(_) => 0,
+        Op::ScratchLoad { .. } => 1,
+        Op::ScratchStore { .. } => 2,
+        Op::Load { .. } => 3,
+        Op::Store { .. } => 4,
+        Op::Rmw { .. } => 5,
+        Op::Barrier => 6,
+        Op::GlobalBarrier => 7,
+        Op::Done => 8,
+    }
+}
+
+fn run_kernel_with<T: Trace>(
     kernel: &dyn Kernel,
     params: &EngineParams,
     backend: &mut dyn MemoryBackend,
     mut ready: impl ReadyQueue,
+    tracer: T,
 ) -> EngineReport {
     assert!(kernel.blocks() > 0, "kernel needs blocks");
     assert!(
@@ -241,6 +272,16 @@ fn run_kernel_with(
                   ctxs: &mut Vec<Ctx>,
                   block_ctxs: &mut Vec<Vec<usize>>,
                   ready: &mut dyn ReadyQueue| {
+        if T::ENABLED {
+            tracer.record(TraceEvent::new(
+                EventKind::BlockLaunch,
+                at,
+                cu as u16,
+                0,
+                block as u64,
+                0,
+            ));
+        }
         for t in 0..tpb {
             block_ctxs[block].push(ctxs.len());
             ready.push(at, ctxs.len());
@@ -285,6 +326,19 @@ fn run_kernel_with(
         let op = ctxs[i].item.next(last);
         let issue = ports[cu].acquire(at);
         report.core_ops += 1;
+        if T::ENABLED {
+            if issue > at {
+                tracer.record(TraceEvent::new(
+                    EventKind::IssueStall,
+                    at,
+                    cu as u16,
+                    0,
+                    0,
+                    issue - at,
+                ));
+            }
+            tracer.record(TraceEvent::new(EventKind::Issue, issue, cu as u16, 0, op_code(&op), 0));
+        }
 
         let model = params.model;
         let ctx = &mut ctxs[i];
@@ -315,7 +369,7 @@ fn run_kernel_with(
                         // Fence outstanding atomics, perform at full
                         // strength, then self-invalidate (acquire side).
                         report.atomics += 1;
-                        let fenced = drain(&mut ctx.outstanding, issue);
+                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
                         let loaded = backend.load(fenced, cu, addr, true);
                         backend.acquire(loaded, cu)
                     }
@@ -323,7 +377,7 @@ fn run_kernel_with(
                         // (A release-annotated load has no write side to
                         // order; it behaves like an unpaired atomic.)
                         report.atomics += 1;
-                        let fenced = drain(&mut ctx.outstanding, issue);
+                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
                         backend.load(fenced, cu, addr, true)
                     }
                     Strength::Relaxed => {
@@ -345,7 +399,7 @@ fn run_kernel_with(
                         // Release side: flush the store buffer first;
                         // no self-invalidation afterwards.
                         report.atomics += 1;
-                        let fenced = drain(&mut ctx.outstanding, issue);
+                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
                         let flushed = backend.release(fenced, cu);
                         backend.store(flushed, cu, addr, true)
                     }
@@ -353,13 +407,23 @@ fn run_kernel_with(
                         // (An acquire-annotated store has no read side
                         // to order; it behaves like an unpaired atomic.)
                         report.atomics += 1;
-                        let fenced = drain(&mut ctx.outstanding, issue);
+                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
                         backend.store(fenced, cu, addr, true)
                     }
                     Strength::Relaxed => {
                         report.atomics += 1;
                         report.atomics_overlapped += 1;
                         let done = backend.store(issue, cu, addr, true);
+                        if T::ENABLED {
+                            tracer.record(TraceEvent::new(
+                                EventKind::AtomicOverlap,
+                                issue,
+                                cu as u16,
+                                addr,
+                                0,
+                                done.saturating_sub(issue),
+                            ));
+                        }
                         push_outstanding(
                             &mut ctx.outstanding,
                             done,
@@ -380,7 +444,7 @@ fn run_kernel_with(
                 let done = match strength {
                     Strength::Data | Strength::Paired => {
                         // Paired RMW is both release and acquire.
-                        let fenced = drain(&mut ctx.outstanding, issue);
+                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
                         let flushed = backend.release(fenced, cu);
                         let performed = backend.rmw(flushed, cu, addr);
                         backend.acquire(performed, cu)
@@ -388,7 +452,7 @@ fn run_kernel_with(
                     Strength::Acquire => {
                         // Acquire-only RMW: invalidate after, no flush
                         // before (e.g. a lock acquire).
-                        let fenced = drain(&mut ctx.outstanding, issue);
+                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
                         let performed = backend.rmw(fenced, cu, addr);
                         backend.acquire(performed, cu)
                     }
@@ -396,12 +460,12 @@ fn run_kernel_with(
                         // Release-only RMW: flush before, no
                         // invalidation after (the seqlock reader's
                         // "read-don't-modify-write", paper footnote 7).
-                        let fenced = drain(&mut ctx.outstanding, issue);
+                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
                         let flushed = backend.release(fenced, cu);
                         backend.rmw(flushed, cu, addr)
                     }
                     Strength::Unpaired => {
-                        let fenced = drain(&mut ctx.outstanding, issue);
+                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
                         backend.rmw(fenced, cu, addr)
                     }
                     Strength::Relaxed => {
@@ -410,6 +474,16 @@ fn run_kernel_with(
                             performed
                         } else {
                             report.atomics_overlapped += 1;
+                            if T::ENABLED {
+                                tracer.record(TraceEvent::new(
+                                    EventKind::AtomicOverlap,
+                                    issue,
+                                    cu as u16,
+                                    addr,
+                                    0,
+                                    performed.saturating_sub(issue),
+                                ));
+                            }
                             push_outstanding(
                                 &mut ctx.outstanding,
                                 performed,
@@ -427,7 +501,7 @@ fn run_kernel_with(
             }
             Op::Barrier => {
                 // Wait for own outstanding atomics, then park.
-                let fenced = drain(&mut ctx.outstanding, issue);
+                let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
                 ctx.state = CtxState::AtBarrier(fenced);
                 // Release the block if everyone arrived.
                 let all = block_ctxs[block].iter().all(|&j| {
@@ -444,6 +518,16 @@ fn run_kernel_with(
                         .unwrap_or(issue)
                         + params.barrier_latency;
                     report.barriers += 1;
+                    if T::ENABLED {
+                        tracer.record(TraceEvent::new(
+                            EventKind::BarrierRelease,
+                            release,
+                            cu as u16,
+                            0,
+                            block as u64,
+                            params.barrier_latency,
+                        ));
+                    }
                     for &j in &block_ctxs[block] {
                         if matches!(ctxs[j].state, CtxState::AtBarrier(_)) {
                             ctxs[j].state = CtxState::Ready(release);
@@ -454,7 +538,7 @@ fn run_kernel_with(
             }
             Op::GlobalBarrier => {
                 // Kernel-boundary release: fence own atomics, flush.
-                let fenced = drain(&mut ctx.outstanding, issue);
+                let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
                 let flushed = backend.release(fenced, cu);
                 ctx.state = CtxState::AtGlobalBarrier(flushed);
                 let all = ctxs.iter().all(|c| {
@@ -480,6 +564,16 @@ fn run_kernel_with(
                         resume = resume.max(backend.acquire(release, c));
                     }
                     report.barriers += 1;
+                    if T::ENABLED {
+                        tracer.record(TraceEvent::new(
+                            EventKind::GlobalBarrierRelease,
+                            resume,
+                            0,
+                            0,
+                            0,
+                            params.global_barrier_latency,
+                        ));
+                    }
                     for (j, c) in ctxs.iter_mut().enumerate() {
                         if matches!(c.state, CtxState::AtGlobalBarrier(_)) {
                             c.state = CtxState::Ready(resume);
@@ -489,8 +583,18 @@ fn run_kernel_with(
                 }
             }
             Op::Done => {
-                let fenced = drain(&mut ctx.outstanding, issue);
+                let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
                 ctx.state = CtxState::Finished(fenced);
+                if T::ENABLED {
+                    tracer.record(TraceEvent::new(
+                        EventKind::CtxFinish,
+                        fenced,
+                        cu as u16,
+                        0,
+                        i as u64,
+                        0,
+                    ));
+                }
                 report.cycles = report.cycles.max(fenced);
                 // Launch the next queued block on this CU if this one
                 // fully retired.
@@ -528,6 +632,22 @@ fn run_kernel_with(
 fn drain(outstanding: &mut Vec<Cycle>, now: Cycle) -> Cycle {
     let t = outstanding.iter().copied().max().map_or(now, |m| m.max(now));
     outstanding.clear();
+    t
+}
+
+/// [`drain`] that also emits an [`EventKind::FenceDrain`] event when
+/// there were outstanding atomics to wait for.
+fn drain_traced<T: Trace>(
+    tracer: &T,
+    outstanding: &mut Vec<Cycle>,
+    now: Cycle,
+    cu: usize,
+) -> Cycle {
+    let n = outstanding.len() as u64;
+    let t = drain(outstanding, now);
+    if T::ENABLED && n > 0 {
+        tracer.record(TraceEvent::new(EventKind::FenceDrain, now, cu as u16, 0, n, t - now));
+    }
     t
 }
 

@@ -29,7 +29,9 @@
 mod engine;
 mod ir;
 
-pub use engine::{run_kernel, run_kernel_reference, EngineParams, EngineReport, MemoryBackend};
+pub use engine::{
+    run_kernel, run_kernel_reference, run_kernel_traced, EngineParams, EngineReport, MemoryBackend,
+};
 pub use ir::{Kernel, Op, RmwKind, WorkItem};
 
 /// Simulation time in cycles.

@@ -8,6 +8,7 @@
 //! the same address."
 
 use crate::{Cycle, LineAddr};
+use hsim_trace::{EventKind, NoTrace, Trace, TraceEvent};
 use std::collections::BTreeMap;
 
 /// Result of trying to allocate an MSHR entry.
@@ -36,24 +37,48 @@ pub enum MshrOutcome {
 /// assert_eq!(mshr.request(5, LineAddr(3)), MshrOutcome::Coalesced(80));
 /// ```
 #[derive(Debug, Clone)]
-pub struct Mshr {
+pub struct Mshr<T: Trace = NoTrace> {
     capacity: usize,
     /// line -> completion cycle of the outstanding request.
     inflight: BTreeMap<LineAddr, Cycle>,
     allocated: u64,
     coalesced: u64,
     full_stalls: u64,
+    /// Trace lane (the owning CU).
+    owner: u16,
+    tracer: T,
 }
 
 impl Mshr {
-    /// An MSHR file with `capacity` entries (Table 2: 128).
+    /// An untraced MSHR file with `capacity` entries (Table 2: 128).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Mshr {
+        Mshr::with_tracer(capacity, 0, NoTrace)
+    }
+}
+
+impl<T: Trace> Mshr<T> {
+    /// An MSHR file emitting [`EventKind::MshrCoalesce`] /
+    /// [`EventKind::MshrStall`] events into `tracer` on lane `owner`
+    /// (the CU id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_tracer(capacity: usize, owner: u16, tracer: T) -> Mshr<T> {
         assert!(capacity > 0, "MSHR needs at least one entry");
-        Mshr { capacity, inflight: BTreeMap::new(), allocated: 0, coalesced: 0, full_stalls: 0 }
+        Mshr {
+            capacity,
+            inflight: BTreeMap::new(),
+            allocated: 0,
+            coalesced: 0,
+            full_stalls: 0,
+            owner,
+            tracer,
+        }
     }
 
     /// Retire every entry whose request completed at or before `now`.
@@ -68,11 +93,31 @@ impl Mshr {
         self.expire(now);
         if let Some(done) = self.inflight.get(&line) {
             self.coalesced += 1;
+            if T::ENABLED {
+                self.tracer.record(TraceEvent::new(
+                    EventKind::MshrCoalesce,
+                    now,
+                    self.owner,
+                    line.0,
+                    0,
+                    done.saturating_sub(now),
+                ));
+            }
             return MshrOutcome::Coalesced(*done);
         }
         if self.inflight.len() >= self.capacity {
             self.full_stalls += 1;
             let earliest = self.inflight.values().copied().min().unwrap_or(now);
+            if T::ENABLED {
+                self.tracer.record(TraceEvent::new(
+                    EventKind::MshrStall,
+                    now,
+                    self.owner,
+                    line.0,
+                    0,
+                    earliest.saturating_sub(now),
+                ));
+            }
             return MshrOutcome::Full(earliest);
         }
         self.allocated += 1;

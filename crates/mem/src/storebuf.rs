@@ -6,6 +6,7 @@
 //! for unpaired atomics (Table 4).
 
 use crate::{Cycle, LineAddr};
+use hsim_trace::{EventKind, NoTrace, Trace, TraceEvent};
 
 /// Store-buffer statistics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,22 +34,43 @@ pub struct StoreBufferStats {
 /// assert!(sb.is_empty());
 /// ```
 #[derive(Debug, Clone)]
-pub struct StoreBuffer {
+pub struct StoreBuffer<T: Trace = NoTrace> {
     capacity: usize,
     /// (line, cycle the drain of this entry completes).
     entries: Vec<(LineAddr, Cycle)>,
     stats: StoreBufferStats,
+    /// Trace lane (the owning CU).
+    owner: u16,
+    tracer: T,
 }
 
 impl StoreBuffer {
-    /// A buffer with `capacity` entries (Table 2: 128).
+    /// An untraced buffer with `capacity` entries (Table 2: 128).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> StoreBuffer {
+        StoreBuffer::with_tracer(capacity, 0, NoTrace)
+    }
+}
+
+impl<T: Trace> StoreBuffer<T> {
+    /// A buffer emitting [`EventKind::SbStall`] / [`EventKind::SbFlush`]
+    /// events into `tracer` on lane `owner` (the CU id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_tracer(capacity: usize, owner: u16, tracer: T) -> StoreBuffer<T> {
         assert!(capacity > 0, "store buffer needs capacity");
-        StoreBuffer { capacity, entries: Vec::new(), stats: StoreBufferStats::default() }
+        StoreBuffer {
+            capacity,
+            entries: Vec::new(),
+            stats: StoreBufferStats::default(),
+            owner,
+            tracer,
+        }
     }
 
     /// Drop entries whose drain completed by `now`.
@@ -74,6 +96,16 @@ impl StoreBuffer {
             // Wait for the oldest entry to drain.
             let oldest = self.entries.iter().map(|&(_, d)| d).min().unwrap_or(now);
             self.stats.stall_cycles += oldest.saturating_sub(now);
+            if T::ENABLED {
+                self.tracer.record(TraceEvent::new(
+                    EventKind::SbStall,
+                    now,
+                    self.owner,
+                    line.0,
+                    0,
+                    oldest.saturating_sub(now),
+                ));
+            }
             at = at.max(oldest);
             self.expire(at);
         }
@@ -86,6 +118,16 @@ impl StoreBuffer {
         self.stats.flushes += 1;
         let done = self.entries.iter().map(|&(_, d)| d).max().unwrap_or(now).max(now);
         self.stats.stall_cycles += done - now;
+        if T::ENABLED {
+            self.tracer.record(TraceEvent::new(
+                EventKind::SbFlush,
+                now,
+                self.owner,
+                0,
+                self.entries.len() as u64,
+                done - now,
+            ));
+        }
         self.entries.clear();
         done
     }

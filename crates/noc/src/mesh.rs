@@ -7,6 +7,7 @@
 
 use crate::route::Coord;
 use crate::{Cycle, NodeId};
+use hsim_trace::{EventKind, NoTrace, Trace, TraceEvent};
 use std::collections::BTreeMap;
 
 /// Mesh configuration.
@@ -77,7 +78,7 @@ impl NocStats {
 /// assert!(mesh.stats().contention_cycles > 0);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Mesh {
+pub struct Mesh<T: Trace = NoTrace> {
     params: NocParams,
     /// next-free cycle per directed link, indexed by
     /// `node * 4 + direction` ([`Dir`]).
@@ -85,6 +86,7 @@ pub struct Mesh {
     /// usage statistics, same indexing as `links_free`.
     link_stats: Vec<LinkStats>,
     stats: NocStats,
+    tracer: T,
 }
 
 /// Outgoing link direction from a node. The discriminants index the
@@ -111,12 +113,25 @@ impl Dir {
 }
 
 impl Mesh {
-    /// Create a mesh.
+    /// Create an untraced mesh.
     ///
     /// # Panics
     ///
     /// Panics if the mesh has no nodes.
     pub fn new(params: NocParams) -> Mesh {
+        Mesh::with_tracer(params, NoTrace)
+    }
+}
+
+impl<T: Trace> Mesh<T> {
+    /// Create a mesh emitting [`EventKind::NocHop`] /
+    /// [`EventKind::NocStall`] events into `tracer` (lane = the flat
+    /// link index `node * 4 + direction`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh has no nodes.
+    pub fn with_tracer(params: NocParams, tracer: T) -> Mesh<T> {
         assert!(params.width > 0 && params.height > 0, "mesh must have nodes");
         let slots = params.width as usize * params.height as usize * 4;
         Mesh {
@@ -124,6 +139,7 @@ impl Mesh {
             links_free: vec![0; slots],
             link_stats: vec![LinkStats::default(); slots],
             stats: NocStats::default(),
+            tracer,
         }
     }
 
@@ -166,6 +182,26 @@ impl Mesh {
             let free = &mut self.links_free[li];
             let start = (*at).max(*free);
             self.stats.contention_cycles += start - *at;
+            if T::ENABLED {
+                if start > *at {
+                    self.tracer.record(TraceEvent::new(
+                        EventKind::NocStall,
+                        *at,
+                        li as u16,
+                        dst.0 as u64,
+                        flits,
+                        start - *at,
+                    ));
+                }
+                self.tracer.record(TraceEvent::new(
+                    EventKind::NocHop,
+                    start,
+                    li as u16,
+                    dst.0 as u64,
+                    flits,
+                    self.params.hop_latency,
+                ));
+            }
             *free = start + occupancy;
             *at = start + self.params.hop_latency;
             let ls = &mut self.link_stats[li];

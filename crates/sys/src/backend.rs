@@ -3,30 +3,34 @@
 
 use hsim_coherence::{AccessKind, MemorySystem};
 use hsim_gpu::MemoryBackend;
+use hsim_trace::{NoTrace, Trace};
 
 /// Routes engine memory operations into the coherence protocol.
-pub struct CoherenceBackend {
-    mem: MemorySystem,
+///
+/// Generic over the [`Trace`] sink of the wrapped memory system; the
+/// default ([`NoTrace`]) compiles all tracing away.
+pub struct CoherenceBackend<T: Trace = NoTrace> {
+    mem: MemorySystem<T>,
 }
 
-impl CoherenceBackend {
+impl<T: Trace> CoherenceBackend<T> {
     /// Wrap a memory system.
-    pub fn new(mem: MemorySystem) -> CoherenceBackend {
+    pub fn new(mem: MemorySystem<T>) -> CoherenceBackend<T> {
         CoherenceBackend { mem }
     }
 
     /// Access the wrapped memory system (stats).
-    pub fn mem(&self) -> &MemorySystem {
+    pub fn mem(&self) -> &MemorySystem<T> {
         &self.mem
     }
 
     /// Unwrap.
-    pub fn into_inner(self) -> MemorySystem {
+    pub fn into_inner(self) -> MemorySystem<T> {
         self.mem
     }
 }
 
-impl MemoryBackend for CoherenceBackend {
+impl<T: Trace> MemoryBackend for CoherenceBackend<T> {
     fn load(&mut self, now: u64, cu: usize, addr: u64, atomic: bool) -> u64 {
         let kind = if atomic { AccessKind::AtomicLoad } else { AccessKind::DataLoad };
         self.mem.load(now, cu, addr, kind)

@@ -26,7 +26,11 @@ mod sweep;
 
 pub use backend::CoherenceBackend;
 pub use config::SysParams;
-pub use run::{run_workload, total_ratio, RunReport};
+pub use run::{run_workload, run_workload_traced, total_ratio, RunReport};
 pub use sweep::{default_threads, run_matrix, six_config_jobs, SimJob};
 
 pub use drfrlx_core::{MemoryModel, Protocol, SystemConfig};
+pub use hsim_trace::{
+    chrome_trace, render_diff, render_profile, Component, EventKind, KindTotals, NoTrace,
+    SharedTracer, Trace, TraceBuffer, TraceEvent,
+};

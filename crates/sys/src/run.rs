@@ -5,7 +5,8 @@ use crate::CoherenceBackend;
 use drfrlx_core::SystemConfig;
 use hsim_coherence::{MemorySystem, ProtoStats};
 use hsim_energy::{breakdown, EnergyBreakdown, EnergyCounters};
-use hsim_gpu::{run_kernel, EngineReport, Kernel};
+use hsim_gpu::{run_kernel_traced, EngineReport, Kernel};
+use hsim_trace::{NoTrace, SharedTracer, Trace, TraceBuffer};
 
 /// Everything one simulation run produced.
 #[derive(Debug, Clone)]
@@ -30,6 +31,9 @@ pub struct RunReport {
     pub atomics_overlapped: u64,
     /// Final memory image.
     pub memory: Vec<u64>,
+    /// The structured event trace, when the run was traced
+    /// ([`run_workload_traced`]); `None` for untraced runs.
+    pub trace: Option<TraceBuffer>,
 }
 
 /// A total normalization: `num / den`, except that a degenerate
@@ -63,7 +67,33 @@ impl RunReport {
 
 /// Run `kernel` under `config` on the platform described by `params`.
 pub fn run_workload(kernel: &dyn Kernel, config: SystemConfig, params: &SysParams) -> RunReport {
-    let mem = MemorySystem::new(config.protocol, params.memsys.clone());
+    run_with(kernel, config, params, NoTrace)
+}
+
+/// [`run_workload`] with structured event tracing into a ring of
+/// `capacity` events. Timing, statistics and the memory image are
+/// identical to the untraced run; the report's `trace` field carries
+/// the recorded [`TraceBuffer`] (complete per-kind totals plus the
+/// newest `capacity` events).
+pub fn run_workload_traced(
+    kernel: &dyn Kernel,
+    config: SystemConfig,
+    params: &SysParams,
+    capacity: usize,
+) -> RunReport {
+    let tracer = SharedTracer::with_capacity(capacity);
+    let mut report = run_with(kernel, config, params, tracer.clone());
+    report.trace = Some(tracer.into_buffer());
+    report
+}
+
+fn run_with<T: Trace>(
+    kernel: &dyn Kernel,
+    config: SystemConfig,
+    params: &SysParams,
+    tracer: T,
+) -> RunReport {
+    let mem = MemorySystem::with_tracer(config.protocol, params.memsys.clone(), tracer.clone());
     let mut backend = CoherenceBackend::new(mem);
     let mut engine = params.engine.clone();
     engine.model = config.model;
@@ -75,7 +105,7 @@ pub fn run_workload(kernel: &dyn Kernel, config: SystemConfig, params: &SysParam
         memory,
         atomics,
         atomics_overlapped,
-    } = run_kernel(kernel, &engine, &mut backend);
+    } = run_kernel_traced(kernel, &engine, &mut backend, tracer);
 
     let mem = backend.into_inner();
     let (l1, l1_tags, l2, dram, flits) = mem.energy_events();
@@ -99,6 +129,7 @@ pub fn run_workload(kernel: &dyn Kernel, config: SystemConfig, params: &SysParam
         atomics,
         atomics_overlapped,
         memory,
+        trace: None,
     }
 }
 

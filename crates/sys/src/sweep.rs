@@ -14,7 +14,7 @@
 //! set, else [`std::thread::available_parallelism`].
 
 use crate::config::SysParams;
-use crate::run::{run_workload, RunReport};
+use crate::run::{run_workload, run_workload_traced, RunReport};
 use drfrlx_core::SystemConfig;
 use hsim_gpu::Kernel;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,6 +36,9 @@ pub struct SimJob {
     /// Check the final memory image against the kernel's oracle and
     /// panic on mismatch (a simulator bug, not a measurement).
     pub validate: bool,
+    /// Record a structured event trace with this ring capacity
+    /// (`None` = untraced; tracing compiles to nothing in that run).
+    pub trace: Option<usize>,
 }
 
 impl SimJob {
@@ -46,7 +49,21 @@ impl SimJob {
         config: SystemConfig,
         params: &SysParams,
     ) -> SimJob {
-        SimJob { workload: workload.into(), kernel, config, params: params.clone(), validate: true }
+        SimJob {
+            workload: workload.into(),
+            kernel,
+            config,
+            params: params.clone(),
+            validate: true,
+            trace: None,
+        }
+    }
+
+    /// Record a structured event trace with a ring of `capacity` events;
+    /// the report's `trace` field carries the buffer.
+    pub fn traced(mut self, capacity: usize) -> SimJob {
+        self.trace = Some(capacity);
+        self
     }
 }
 
@@ -66,6 +83,7 @@ pub fn six_config_jobs(
             config,
             params: params.clone(),
             validate,
+            trace: None,
         })
         .collect()
 }
@@ -110,7 +128,12 @@ pub fn run_matrix(jobs: &[SimJob], threads: usize) -> Vec<RunReport> {
 }
 
 fn run_job(job: &SimJob) -> RunReport {
-    let report = run_workload(job.kernel.as_ref(), job.config, &job.params);
+    let report = match job.trace {
+        Some(capacity) => {
+            run_workload_traced(job.kernel.as_ref(), job.config, &job.params, capacity)
+        }
+        None => run_workload(job.kernel.as_ref(), job.config, &job.params),
+    };
     if job.validate {
         if let Err(e) = job.kernel.validate(&report.memory) {
             panic!("{} produced a wrong result under {}: {e}", job.workload, job.config);

@@ -1,0 +1,118 @@
+//! Chrome trace-event JSON export (loadable in Perfetto and
+//! `chrome://tracing`).
+//!
+//! Hand-rolled like `drfrlx-bench::json` so the workspace stays
+//! dependency-free. The mapping: one "process" per [`Component`]
+//! (named via `"M"` metadata events), one thread lane per CU / L2 bank
+//! / NoC link, and one `"X"` (complete) event per retained
+//! [`TraceEvent`] with `ts` = start cycle and `dur` in cycles
+//! (displayed as microseconds — the timeline is nominal).
+
+use crate::event::Component;
+use crate::tracer::TraceBuffer;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `buf` as a complete Chrome trace-event JSON document.
+///
+/// `label` describes the run (workload + config) and lands in
+/// `otherData` alongside recorded/dropped counts, so a wrapped ring is
+/// visible in the viewer rather than silently truncated.
+pub fn chrome_trace(buf: &TraceBuffer, label: &str) -> String {
+    // ~120 bytes per event row.
+    let mut out = String::with_capacity(256 + buf.len() * 120);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{");
+    let _ = write!(
+        out,
+        "\"label\":\"{}\",\"recorded\":{},\"dropped\":{},\"unit\":\"cycles\"",
+        escape(label),
+        buf.recorded(),
+        buf.dropped()
+    );
+    out.push_str("},\"traceEvents\":[");
+    let mut first = true;
+    // Name each process that actually carries events.
+    for comp in Component::ALL {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            comp as u8,
+            comp.name()
+        );
+    }
+    for ev in buf.events() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let kind = ev.kind;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{},\"tid\":{},\"args\":{{\"addr\":{},\"arg\":{}}}}}",
+            kind.name(),
+            kind.component().name(),
+            ev.cycle,
+            ev.dur,
+            kind.component() as u8,
+            ev.lane,
+            ev.addr,
+            ev.arg
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceEvent};
+
+    #[test]
+    fn export_contains_metadata_and_events() {
+        let mut b = TraceBuffer::with_capacity(8);
+        b.push(TraceEvent::new(EventKind::L1Miss, 10, 3, 64, 0, 40));
+        b.push(TraceEvent::new(EventKind::NocHop, 12, 5, 0, 4, 3));
+        let json = chrome_trace(&b, "HG on GD0");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"l1_miss\""));
+        assert!(json.contains("\"name\":\"noc_hop\""));
+        assert!(json.contains("\"label\":\"HG on GD0\""));
+        assert!(json.contains("\"process_name\""));
+        // One metadata event per component, plus the two records.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), Component::ALL.len());
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let b = TraceBuffer::with_capacity(1);
+        let json = chrome_trace(&b, "odd \"label\"\n");
+        assert!(json.contains("odd \\\"label\\\"\\n"));
+    }
+}

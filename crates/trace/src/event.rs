@@ -1,0 +1,260 @@
+//! The fixed-size structured trace record and its vocabulary.
+//!
+//! Every instrumented site in the simulator emits one [`TraceEvent`]: a
+//! 32-byte `Copy` record carrying the cycle it happened at, an optional
+//! duration, the emitting lane (CU, bank or link), the [`EventKind`],
+//! and two payload words (address + kind-specific argument). The kind
+//! statically determines the owning [`Component`], so events need no
+//! separate component tag.
+
+/// The simulator layer an event belongs to. One Chrome-trace "process"
+/// per component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Component {
+    /// The execution engine (warp issue, barriers, context lifecycle).
+    Engine = 0,
+    /// Consistency-model enforcement decisions (fences, overlap).
+    Model = 1,
+    /// Private L1 caches.
+    L1 = 2,
+    /// L1 miss-status holding registers.
+    Mshr = 3,
+    /// Store buffers.
+    StoreBuffer = 4,
+    /// Coherence-protocol actions (invalidations, ownership, atomics).
+    Coherence = 5,
+    /// The banked NUCA L2.
+    L2 = 6,
+    /// The mesh network-on-chip.
+    Noc = 7,
+    /// DRAM.
+    Dram = 8,
+}
+
+impl Component {
+    /// Every component, in `repr` order.
+    pub const ALL: [Component; 9] = [
+        Component::Engine,
+        Component::Model,
+        Component::L1,
+        Component::Mshr,
+        Component::StoreBuffer,
+        Component::Coherence,
+        Component::L2,
+        Component::Noc,
+        Component::Dram,
+    ];
+
+    /// Stable lower-case name (Chrome-trace process name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Engine => "engine",
+            Component::Model => "model",
+            Component::L1 => "l1",
+            Component::Mshr => "mshr",
+            Component::StoreBuffer => "store_buffer",
+            Component::Coherence => "coherence",
+            Component::L2 => "l2",
+            Component::Noc => "noc",
+            Component::Dram => "dram",
+        }
+    }
+}
+
+/// What happened. The discriminants index the per-kind totals in
+/// [`crate::TraceBuffer`]; keep them dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum EventKind {
+    /// An operation issued on a CU port (`arg` = opcode).
+    Issue = 0,
+    /// An operation waited for its CU issue port (`dur` = wait).
+    IssueStall = 1,
+    /// A block launched on a CU (`arg` = block id).
+    BlockLaunch = 2,
+    /// A block barrier released (`arg` = block id).
+    BarrierRelease = 3,
+    /// A grid-wide barrier released.
+    GlobalBarrierRelease = 4,
+    /// A context retired (`arg` = context id).
+    CtxFinish = 5,
+    /// A fence drained outstanding relaxed atomics (`arg` = how many,
+    /// `dur` = wait).
+    FenceDrain = 6,
+    /// A relaxed atomic was overlapped (fire-and-forget; `addr` = word).
+    AtomicOverlap = 7,
+    /// L1 hit (`addr` = line).
+    L1Hit = 8,
+    /// L1 miss (`addr` = line).
+    L1Miss = 9,
+    /// A request merged into an in-flight MSHR entry (`addr` = line).
+    MshrCoalesce = 10,
+    /// A request stalled on a full MSHR file (`dur` = wait).
+    MshrStall = 11,
+    /// A store stalled on a full store buffer (`dur` = wait).
+    SbStall = 12,
+    /// A store-buffer flush (`arg` = entries drained, `dur` = wait).
+    SbFlush = 13,
+    /// An acquire self-invalidation (`arg` = lines dropped).
+    Invalidate = 14,
+    /// A line was served by / handed over from a remote L1
+    /// (`addr` = line).
+    OwnershipTransfer = 15,
+    /// An atomic performed at the L1 (DeNovo; `addr` = word).
+    AtomicAtL1 = 16,
+    /// An atomic performed at the home L2 bank (GPU; `addr` = word).
+    AtomicAtL2 = 17,
+    /// An atomic hit an already-registered line (reuse; `addr` = word).
+    AtomicReuse = 18,
+    /// An evicted registered line wrote back to the L2 (`addr` = line).
+    Writeback = 19,
+    /// An L2 bank access (`dur` = latency; lane = bank).
+    L2Access = 20,
+    /// One message crossed one mesh link (lane = link index,
+    /// `arg` = flits).
+    NocHop = 21,
+    /// A message queued behind a busy link (`dur` = wait).
+    NocStall = 22,
+    /// A line filled from DRAM (`addr` = line, `dur` = access time).
+    DramRefill = 23,
+}
+
+/// Number of distinct event kinds (totals-array length).
+pub const KIND_COUNT: usize = 24;
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; KIND_COUNT] = [
+        EventKind::Issue,
+        EventKind::IssueStall,
+        EventKind::BlockLaunch,
+        EventKind::BarrierRelease,
+        EventKind::GlobalBarrierRelease,
+        EventKind::CtxFinish,
+        EventKind::FenceDrain,
+        EventKind::AtomicOverlap,
+        EventKind::L1Hit,
+        EventKind::L1Miss,
+        EventKind::MshrCoalesce,
+        EventKind::MshrStall,
+        EventKind::SbStall,
+        EventKind::SbFlush,
+        EventKind::Invalidate,
+        EventKind::OwnershipTransfer,
+        EventKind::AtomicAtL1,
+        EventKind::AtomicAtL2,
+        EventKind::AtomicReuse,
+        EventKind::Writeback,
+        EventKind::L2Access,
+        EventKind::NocHop,
+        EventKind::NocStall,
+        EventKind::DramRefill,
+    ];
+
+    /// The component this kind of event belongs to.
+    pub fn component(self) -> Component {
+        use EventKind::*;
+        match self {
+            Issue | IssueStall | BlockLaunch | BarrierRelease | GlobalBarrierRelease
+            | CtxFinish => Component::Engine,
+            FenceDrain | AtomicOverlap => Component::Model,
+            L1Hit | L1Miss => Component::L1,
+            MshrCoalesce | MshrStall => Component::Mshr,
+            SbStall | SbFlush => Component::StoreBuffer,
+            Invalidate | OwnershipTransfer | AtomicAtL1 | AtomicAtL2 | AtomicReuse | Writeback => {
+                Component::Coherence
+            }
+            L2Access => Component::L2,
+            NocHop | NocStall => Component::Noc,
+            DramRefill => Component::Dram,
+        }
+    }
+
+    /// Stable lower-case name (Chrome-trace event name).
+    pub fn name(self) -> &'static str {
+        use EventKind::*;
+        match self {
+            Issue => "issue",
+            IssueStall => "issue_stall",
+            BlockLaunch => "block_launch",
+            BarrierRelease => "barrier_release",
+            GlobalBarrierRelease => "global_barrier_release",
+            CtxFinish => "ctx_finish",
+            FenceDrain => "fence_drain",
+            AtomicOverlap => "atomic_overlap",
+            L1Hit => "l1_hit",
+            L1Miss => "l1_miss",
+            MshrCoalesce => "mshr_coalesce",
+            MshrStall => "mshr_stall",
+            SbStall => "sb_stall",
+            SbFlush => "sb_flush",
+            Invalidate => "invalidate",
+            OwnershipTransfer => "ownership_transfer",
+            AtomicAtL1 => "atomic_at_l1",
+            AtomicAtL2 => "atomic_at_l2",
+            AtomicReuse => "atomic_reuse",
+            Writeback => "writeback",
+            L2Access => "l2_access",
+            NocHop => "noc_hop",
+            NocStall => "noc_stall",
+            DramRefill => "dram_refill",
+        }
+    }
+}
+
+/// One structured trace record (32 bytes, `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle the event started.
+    pub cycle: u64,
+    /// Word or line address, when meaningful (else 0).
+    pub addr: u64,
+    /// Kind-specific payload (flits, lines dropped, opcode, ...).
+    pub arg: u64,
+    /// Duration in cycles (0 for instantaneous events).
+    pub dur: u32,
+    /// Emitting lane: CU id, L2 bank, or NoC link index.
+    pub lane: u16,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Build an event; `dur` saturates into the 32-bit field.
+    pub fn new(
+        kind: EventKind,
+        cycle: u64,
+        lane: u16,
+        addr: u64,
+        arg: u64,
+        dur: u64,
+    ) -> TraceEvent {
+        TraceEvent { cycle, addr, arg, dur: dur.min(u32::MAX as u64) as u32, lane, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_table_is_dense_and_consistent() {
+        assert_eq!(EventKind::ALL.len(), KIND_COUNT);
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "{k:?} discriminant out of order");
+            assert!(!k.name().is_empty());
+        }
+        // Every component owns at least one kind.
+        for c in Component::ALL {
+            assert!(EventKind::ALL.iter().any(|k| k.component() == c), "{c:?} has no event kinds");
+        }
+    }
+
+    #[test]
+    fn events_stay_compact() {
+        assert!(std::mem::size_of::<TraceEvent>() <= 32);
+        let e = TraceEvent::new(EventKind::NocHop, 5, 3, 0, 4, u64::MAX);
+        assert_eq!(e.dur, u32::MAX, "duration saturates");
+    }
+}

@@ -1,0 +1,44 @@
+//! # hsim-trace — structured event tracing for the simulator
+//!
+//! The observability layer of the heterogeneous simulator: every
+//! `hsim-*` crate is generic over a [`Trace`] capability and emits
+//! fixed-size [`TraceEvent`] records at the protocol-event sites the
+//! paper reasons about (§6, Table 4) — NoC hops and stalls, cache hits
+//! and misses, MSHR coalesces, store-buffer flushes, invalidations,
+//! ownership transfers, atomic placement, warp issue and fences.
+//!
+//! Two implementations exist:
+//!
+//! * [`NoTrace`] (the default everywhere): `ENABLED = false`, so every
+//!   instrumented site compiles to nothing — the untraced simulator is
+//!   bit- and speed-identical to one without instrumentation.
+//! * [`SharedTracer`]: records into a preallocated [`TraceBuffer`]
+//!   ring with complete per-kind totals.
+//!
+//! Exporters: [`chrome_trace`] (Perfetto / `chrome://tracing`
+//! loadable JSON), [`render_profile`] (per-component cycle
+//! attribution) and [`render_diff`] (two-run event-kind join, e.g.
+//! GD0 vs DD0).
+//!
+//! ```
+//! use hsim_trace::{EventKind, SharedTracer, Trace, TraceEvent};
+//!
+//! let tracer = SharedTracer::with_capacity(1024);
+//! tracer.record(TraceEvent::new(EventKind::L1Miss, 10, 0, 64, 0, 40));
+//! let buf = tracer.into_buffer();
+//! assert_eq!(buf.totals(EventKind::L1Miss).count, 1);
+//! assert!(hsim_trace::chrome_trace(&buf, "demo").contains("l1_miss"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+mod profile;
+mod tracer;
+
+pub use chrome::chrome_trace;
+pub use event::{Component, EventKind, TraceEvent, KIND_COUNT};
+pub use profile::{render_diff, render_profile};
+pub use tracer::{KindTotals, NoTrace, SharedTracer, Trace, TraceBuffer};

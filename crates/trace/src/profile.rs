@@ -1,0 +1,139 @@
+//! Text reports over trace buffers: the per-component cycle-attribution
+//! profile and the two-run event-kind diff.
+//!
+//! Both read only the complete per-kind totals, so they are exact even
+//! when the event ring wrapped.
+
+use crate::event::EventKind;
+use crate::tracer::TraceBuffer;
+use std::fmt::Write as _;
+
+/// Per-component, per-kind cycle-attribution profile of one run.
+///
+/// `count` is how often the event fired, `cycles` the summed durations
+/// (stalls, waits, latencies — the profile's attribution column), and
+/// `payload` the summed kind-specific argument (flits, lines dropped,
+/// drained entries...).
+pub fn render_profile(buf: &TraceBuffer, label: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace profile: {label}");
+    let _ = writeln!(
+        out,
+        "  {:13} {:22} {:>12} {:>14} {:>14}",
+        "component", "event", "count", "cycles", "payload"
+    );
+    for kind in EventKind::ALL {
+        let t = buf.totals(kind);
+        if t.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:13} {:22} {:>12} {:>14} {:>14}",
+            kind.component().name(),
+            kind.name(),
+            t.count,
+            t.dur_sum,
+            t.arg_sum
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {} events recorded, {} kept in the ring (capacity {}), {} dropped",
+        buf.recorded(),
+        buf.len(),
+        buf.capacity(),
+        buf.dropped()
+    );
+    out
+}
+
+/// Join two runs event-kind by event-kind (the Table 4 "why does this
+/// config win" report): counts and attributed cycles side by side, with
+/// the count delta of `b` relative to `a`.
+pub fn render_diff(label_a: &str, a: &TraceBuffer, label_b: &str, b: &TraceBuffer) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace diff: {label_a} vs {label_b}");
+    let _ = writeln!(
+        out,
+        "  {:22} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "event",
+        format!("{label_a}#"),
+        format!("{label_b}#"),
+        "delta#",
+        format!("{label_a}cyc"),
+        format!("{label_b}cyc")
+    );
+    for kind in EventKind::ALL {
+        let (ta, tb) = (a.totals(kind), b.totals(kind));
+        if ta.count == 0 && tb.count == 0 {
+            continue;
+        }
+        let delta = tb.count as i128 - ta.count as i128;
+        let _ = writeln!(
+            out,
+            "  {:22} {:>12} {:>12} {:>+12} {:>14} {:>14}",
+            kind.name(),
+            ta.count,
+            tb.count,
+            delta,
+            ta.dur_sum,
+            tb.dur_sum
+        );
+    }
+    // Payload lines where the counts agree but the work differs — e.g.
+    // GD0 and DD0 both invalidate at every acquire, but DeNovo keeps
+    // its registered lines, so far fewer lines are actually dropped.
+    for kind in [EventKind::Invalidate, EventKind::SbFlush, EventKind::FenceDrain] {
+        let (ta, tb) = (a.totals(kind), b.totals(kind));
+        if ta.arg_sum == 0 && tb.arg_sum == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:22} {:>12} {:>12} {:>+12}",
+            format!("{} payload", kind.name()),
+            ta.arg_sum,
+            tb.arg_sum,
+            tb.arg_sum as i128 - ta.arg_sum as i128
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn buf(kinds: &[(EventKind, u64)]) -> TraceBuffer {
+        let mut b = TraceBuffer::with_capacity(64);
+        for (i, &(k, arg)) in kinds.iter().enumerate() {
+            b.push(TraceEvent::new(k, i as u64, 0, 0, arg, 5));
+        }
+        b
+    }
+
+    #[test]
+    fn profile_lists_only_active_kinds() {
+        let b = buf(&[(EventKind::L1Hit, 0), (EventKind::L1Hit, 0), (EventKind::SbFlush, 3)]);
+        let p = render_profile(&b, "unit");
+        assert!(p.contains("trace profile: unit"));
+        assert!(p.contains("l1_hit"));
+        assert!(p.contains("sb_flush"));
+        assert!(!p.contains("noc_hop"), "inactive kinds are omitted");
+        assert!(p.contains("3 events recorded"));
+    }
+
+    #[test]
+    fn diff_shows_count_deltas_and_payloads() {
+        let a = buf(&[(EventKind::Invalidate, 10), (EventKind::Invalidate, 10)]);
+        let b = buf(&[(EventKind::Invalidate, 1), (EventKind::Invalidate, 1)]);
+        let d = render_diff("GD0", &a, "DD0", &b);
+        assert!(d.contains("trace diff: GD0 vs DD0"));
+        assert!(d.contains("invalidate"));
+        assert!(d.contains("+0"), "same event count");
+        assert!(d.contains("invalidate payload"));
+        assert!(d.contains("-18"), "payload delta 2 - 20");
+    }
+}

@@ -36,6 +36,7 @@ fn main() -> ExitCode {
         Some("fmt") => cmd_fmt(&args[1..]),
         Some("list") => cmd_list(),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
@@ -74,6 +75,14 @@ USAGE:
       List the Table 3 workloads available to `simulate`.
   drfrlx simulate <workload> [--config GD0..DDR] [--platform integrated|discrete]
       Run one workload on the simulated system and print the report.
+  drfrlx trace <workload> [--config GD0..DDR] [--platform integrated|discrete]
+                          [--events N] [--out FILE] [--diff CFG2]
+      Run one workload with cycle-level structured tracing and print a
+      per-component profile. --out writes a Chrome trace-event JSON
+      (load it at https://ui.perfetto.dev). --events caps the event
+      ring (default 65536; totals stay exact past the cap). --diff
+      runs a second configuration and prints a per-event comparison
+      (e.g. GD0 vs DD0 invalidation traffic, Table 4).
   drfrlx bench <experiment-id>|all [--threads N] [--out DIR]
                                    [--perf FILE [--perf-baseline FILE]]
       Regenerate a registered paper artifact (fig1, fig3, fig4,
@@ -94,6 +103,14 @@ fn load_program(path: &str) -> Result<Program, Box<dyn std::error::Error>> {
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Create the directory an output file will land in, if it is missing.
+fn create_parent_dirs(path: &std::path::Path) -> std::io::Result<()> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => std::fs::create_dir_all(dir),
+        _ => Ok(()),
+    }
 }
 
 fn cmd_check(args: &[String]) -> CmdResult {
@@ -233,8 +250,10 @@ fn cmd_bench(args: &[String]) -> CmdResult {
     let experiments = if id == "all" {
         registry()
     } else {
-        vec![find(id)
-            .ok_or_else(|| format!("unknown experiment `{id}` (see `drfrlx bench list`)"))?]
+        vec![find(id).ok_or_else(|| {
+            let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+            format!("unknown experiment `{id}`; valid ids: all, {}", ids.join(", "))
+        })?]
     };
     let mut perf = PerfReport::new(&format!("drfrlx bench {id} --threads {threads}"));
     for e in experiments {
@@ -260,12 +279,75 @@ fn cmd_bench(args: &[String]) -> CmdResult {
             }
             None => perf.to_json(),
         };
+        create_parent_dirs(std::path::Path::new(perf_path))?;
         std::fs::write(perf_path, rendered)?;
         eprintln!(
             "[perf: {} experiments, {:.2}s total -> {perf_path}]",
             perf.entries.len(),
             perf.total_seconds()
         );
+    }
+    Ok(true)
+}
+
+fn cmd_trace(args: &[String]) -> CmdResult {
+    use drfrlx::sim::{chrome_trace, render_diff, render_profile, run_workload_traced};
+
+    let name = args.first().ok_or("trace needs a workload name (see `drfrlx list`)")?;
+    let config = SystemConfig::from_abbrev(flag_value(args, "--config").unwrap_or("GD0"))
+        .ok_or("unknown config (use GD0, GD1, GDR, DD0, DD1 or DDR)")?;
+    let params = match flag_value(args, "--platform").unwrap_or("integrated") {
+        "integrated" => SysParams::integrated(),
+        "discrete" => SysParams::discrete_gpu(),
+        other => return Err(format!("unknown platform `{other}`").into()),
+    };
+    let events = match flag_value(args, "--events") {
+        None => 65536,
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--events needs a positive integer")?,
+    };
+    let spec = all_workloads()
+        .into_iter()
+        .chain(extensions())
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown workload `{name}` (see `drfrlx list`)"))?;
+    let kernel = spec.kernel();
+
+    let run = |config: SystemConfig| -> Result<_, Box<dyn std::error::Error>> {
+        let r = run_workload_traced(kernel.as_ref(), config, &params, events);
+        kernel
+            .validate(&r.memory)
+            .map_err(|e| format!("functional check failed under {config}: {e}"))?;
+        Ok(r)
+    };
+
+    let r = run(config)?;
+    let buf = r.trace.as_ref().expect("traced run carries a buffer");
+    let label = format!("{} {} ({}, {} cycles)", spec.name, config, r.platform, r.cycles);
+    print!("{}", render_profile(buf, &label));
+
+    if let Some(out) = flag_value(args, "--out") {
+        let path = std::path::Path::new(out);
+        create_parent_dirs(path)?;
+        std::fs::write(path, chrome_trace(buf, &label))?;
+        eprintln!(
+            "[trace: wrote {} ({} of {} events kept)]",
+            path.display(),
+            buf.len(),
+            buf.recorded()
+        );
+    }
+
+    if let Some(cfg2) = flag_value(args, "--diff") {
+        let config2 = SystemConfig::from_abbrev(cfg2)
+            .ok_or("unknown --diff config (use GD0, GD1, GDR, DD0, DD1 or DDR)")?;
+        let r2 = run(config2)?;
+        let buf2 = r2.trace.as_ref().expect("traced run carries a buffer");
+        println!();
+        print!("{}", render_diff(&config.to_string(), buf, &config2.to_string(), buf2));
     }
     Ok(true)
 }

@@ -39,6 +39,7 @@ pub mod sim {
     pub use hsim_mem as mem;
     pub use hsim_noc as noc;
     pub use hsim_sys::*;
+    pub use hsim_trace as trace;
 }
 
 /// The evaluation workloads (`drfrlx-workloads`).

@@ -45,6 +45,40 @@ fn corpus_files_parse_and_check() {
     }
 }
 
+/// `drfrlx fmt` is a fixpoint: parse → emit → parse → emit yields the
+/// same text, and the re-parsed program gets identical verdicts under
+/// every model — for every file in the corpus.
+#[test]
+fn corpus_files_round_trip_through_emit() {
+    use drfrlx::model::emit::emit;
+
+    let dir = format!("{}/litmus-tests", env!("CARGO_MANIFEST_DIR"));
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("litmus-tests directory exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "litmus"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty());
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("readable corpus file");
+        let p1 = parse(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let text1 = emit(&p1);
+        let p2 = parse(&text1)
+            .unwrap_or_else(|e| panic!("{}: emitted text does not re-parse: {e}", path.display()));
+        let text2 = emit(&p2);
+        assert_eq!(text1, text2, "{}: emit is not a fixpoint", path.display());
+        for model in MemoryModel::ALL {
+            assert_eq!(
+                check_program(&p1, model).is_race_free(),
+                check_program(&p2, model).is_race_free(),
+                "{} under {model}: verdict changed across round-trip",
+                path.display()
+            );
+        }
+    }
+}
+
 #[test]
 fn every_corpus_file_is_covered() {
     let dir = format!("{}/litmus-tests", env!("CARGO_MANIFEST_DIR"));
