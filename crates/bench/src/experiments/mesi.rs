@@ -1,0 +1,101 @@
+//! Extension study (`ext_mesi`): the CPU-class MESI-style writeback
+//! baseline §2 contrasts against, measured instead of assumed. Every
+//! microbenchmark runs under GD0 (the paper's baseline), DDR (the
+//! paper's best), and MESI-WB under all three models (MD0, MD1, MDR).
+//!
+//! The interesting questions the grid answers: how much of DeNovo's
+//! win comes from ownership alone (MESI has it too), what
+//! writer-initiated invalidation costs under contention (sharer
+//! recalls replace self-invalidation), and whether relaxed atomics
+//! still pay off when acquires are already free.
+
+use crate::experiment::{report_row, rows_by_workload, Experiment};
+use crate::tables::{geomean, normalized_table, Metric};
+use drfrlx_core::SystemConfig;
+use drfrlx_workloads::{benchmarks, microbenchmarks};
+use hsim_sys::{RunReport, SimJob, SysParams};
+use std::fmt::Write as _;
+
+/// The MESI-WB writeback-baseline extension experiment.
+pub struct MesiBaseline;
+
+const CONFIGS: [&str; 5] = ["GD0", "DDR", "MD0", "MD1", "MDR"];
+
+impl Experiment for MesiBaseline {
+    fn id(&self) -> &'static str {
+        "ext_mesi"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: MESI-WB writeback baseline vs GPU/DeNovo on the microbenchmarks"
+    }
+
+    fn jobs(&self) -> Vec<SimJob> {
+        let params = SysParams::integrated();
+        // The microbenchmarks are atomic-dominated; PR-1 rides along
+        // because its read-shared-then-rewritten rank array is what
+        // actually triggers writer-initiated sharer invalidation.
+        let mut specs = microbenchmarks();
+        specs.extend(benchmarks().into_iter().filter(|s| s.name == "PR-1"));
+        specs
+            .iter()
+            .flat_map(|spec| {
+                let kernel = spec.shared_kernel();
+                CONFIGS.map(|abbrev| {
+                    SimJob::new(
+                        spec.name,
+                        kernel.clone(),
+                        SystemConfig::from_abbrev(abbrev).unwrap(),
+                        &params,
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn render(&self, jobs: &[SimJob], reports: &[RunReport]) -> String {
+        let rows = rows_by_workload(jobs, reports);
+        let mut out = normalized_table(
+            "Extension: MESI-WB execution time (normalized to GD0)",
+            &rows,
+            Metric::Time,
+        );
+        out.push_str(&normalized_table(
+            "Extension: MESI-WB energy (normalized to GD0)",
+            &rows,
+            Metric::Energy,
+        ));
+        let _ = write!(out, "\n{:10}", "geomean");
+        for col in 0..CONFIGS.len() {
+            let g = geomean(
+                rows.iter()
+                    .filter_map(|(_, r)| Some(Metric::Time.normalized(r.get(col)?, r.first()?))),
+            );
+            let _ = write!(out, " {g:>7.3}");
+        }
+        let _ = writeln!(out, "  (time)");
+        let _ = writeln!(
+            out,
+            "\n(MESI pays writer-initiated sharer invalidations instead of\n \
+             acquire-side self-invalidation; `sharer_invalidations` in the\n \
+             JSON rows counts the copies the directory recalled)"
+        );
+        out
+    }
+
+    fn json_rows(&self, jobs: &[SimJob], reports: &[RunReport]) -> Vec<String> {
+        jobs.iter()
+            .zip(reports)
+            .map(|(job, report)| {
+                let base = jobs
+                    .iter()
+                    .position(|j| j.workload == job.workload)
+                    .map(|i| &reports[i])
+                    .unwrap_or(report);
+                report_row(self.id(), job, report, base)
+                    .u64("sharer_invalidations", report.proto.sharer_invalidations)
+                    .finish()
+            })
+            .collect()
+    }
+}

@@ -14,6 +14,7 @@
 //! | `ablation_acqrel` | §7 acquire/release one-sided atomics |
 //! | `ext_sssp` | extension: SSSP across all six configs |
 //! | `ext_pr_residual` | extension: quantum residual in PageRank |
+//! | `ext_mesi` | extension: MESI-WB writeback baseline, 3 models |
 //! | `hotspots` | diagnostic: protocol event profile GD0 vs DDR |
 //!
 //! The static artifacts (Figure 2, Tables 1–3, Listing 7) have no
@@ -22,6 +23,7 @@
 mod ablations;
 mod fig1;
 mod hotspots;
+mod mesi;
 mod residual;
 mod section6;
 mod sweeps;
@@ -121,6 +123,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(ablations::AcqRel),
         Box::new(ext_sssp()),
         Box::new(residual::PrResidual),
+        Box::new(mesi::MesiBaseline),
         Box::new(hotspots::Hotspots),
     ]
 }

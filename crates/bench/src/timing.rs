@@ -150,7 +150,10 @@ impl PerfReport {
 
     /// Render the before/after trajectory shape, joining `self` (the
     /// *after* run) against `before` by experiment id. Experiments
-    /// missing from `before` get `null` before/speedup fields.
+    /// missing from `before` get `null` before/speedup fields, and the
+    /// `aggregate_speedup` is computed over the joined ids only — a
+    /// newly added experiment widens `total_seconds_after` without
+    /// registering as a slowdown of the pre-existing work.
     pub fn to_json_vs(&self, before: &PerfReport) -> String {
         let look = |id: &str| before.entries.iter().find(|e| e.id == id).map(|e| e.seconds);
         let mut out = String::new();
@@ -169,10 +172,17 @@ impl PerfReport {
             ));
         }
         let (tb, ta) = (before.total_seconds(), self.total_seconds());
+        let (mut jb, mut ja) = (0.0, 0.0);
+        for e in &self.entries {
+            if let Some(b) = look(&e.id) {
+                jb += b;
+                ja += e.seconds;
+            }
+        }
         out.push_str(&format!(
             "  ],\n  \"total_seconds_before\": {tb:.6},\n  \"total_seconds_after\": {ta:.6},\n  \
              \"aggregate_speedup\": {:.3}\n}}\n",
-            if ta > 0.0 { tb / ta } else { 0.0 }
+            if ja > 0.0 { jb / ja } else { 0.0 }
         ));
         out
     }
@@ -233,7 +243,11 @@ mod tests {
         let j = after.to_json_vs(&before);
         assert!(j.contains("\"speedup\": 2.000"), "{j}");
         assert!(j.contains("\"seconds_before\": null"), "{j}");
-        assert!(j.contains("\"aggregate_speedup\": 1.200"), "{j}");
+        // Aggregate joins by id: `new_exp` has no baseline, so it
+        // widens the totals but not the speedup (3.0 / 1.5, not
+        // 3.0 / 2.5).
+        assert!(j.contains("\"aggregate_speedup\": 2.000"), "{j}");
+        assert!(j.contains("\"total_seconds_after\": 2.500"), "{j}");
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! The shared memory system: per-CU L1s, banked NUCA L2, DRAM, mesh.
+//!
+//! Protocol behaviour lives behind the [`CoherencePolicy`] trait
+//! (`policy` / `mesi` modules); this module owns the hardware state
+//! ([`MemCore`]) and the structural helpers every protocol shares
+//! (bank queuing, DRAM fills, NoC round trips, writeback of evicted
+//! owned lines), plus the public [`MemorySystem`] facade the execution
+//! engine talks to.
 
+use crate::mesi::MesiWbCoherence;
+use crate::policy::{CoherencePolicy, DeNovoCoherence, GpuCoherence};
 use drfrlx_core::Protocol;
 use hsim_mem::{
-    Addr, Cache, CacheParams, Cycle, Dram, DramParams, LineAddr, Mshr, MshrOutcome, Resource,
-    StoreBuffer,
+    Addr, Cache, CacheParams, Cycle, Dram, DramParams, LineAddr, Mshr, Resource, StoreBuffer,
 };
 use hsim_noc::{Mesh, NocParams, NodeId};
 use hsim_trace::{EventKind, NoTrace, Trace, TraceEvent};
@@ -78,15 +86,17 @@ pub struct MemSysParams {
     pub atomic_coalescing: bool,
 }
 
-impl Default for MemSysParams {
-    fn default() -> Self {
-        // 15 GPU CUs + 1 CPU core on a 4x4 mesh; 32 KB 8-way L1s,
-        // 16-bank 4 MB L2 (Table 2).
-        let noc = NocParams::default();
+impl MemSysParams {
+    /// Table 2 defaults sized for `noc`: one CU/L1 per mesh node, laid
+    /// out in row-major node order. Deriving the CU topology from the
+    /// mesh keeps the two in sync — a resized NoC resizes the L1 side
+    /// with it instead of silently desyncing from a hardcoded count.
+    pub fn for_mesh(noc: NocParams) -> MemSysParams {
+        let num_cus = noc.width as usize * noc.height as usize;
         MemSysParams {
             line_words: 16,
-            num_cus: 16,
-            cu_nodes: (0..16).map(NodeId).collect(),
+            num_cus,
+            cu_nodes: (0..num_cus).map(|n| NodeId(n as u16)).collect(),
             l1: CacheParams::with_capacity(32 * 1024, 64, 8),
             l1_hit_latency: 1,
             l1_mshrs: 128,
@@ -104,22 +114,35 @@ impl Default for MemSysParams {
     }
 }
 
+impl Default for MemSysParams {
+    fn default() -> Self {
+        // 15 GPU CUs + 1 CPU core on a 4x4 mesh; 32 KB 8-way L1s,
+        // 16-bank 4 MB L2 (Table 2).
+        MemSysParams::for_mesh(NocParams::default())
+    }
+}
+
 /// L1 line state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum L1State {
-    /// Readable copy (self-invalidated at acquires).
+pub(crate) enum L1State {
+    /// Readable copy (self-invalidated at acquires; a MESI shared
+    /// copy — dropped by writer-initiated invalidation instead).
     Valid,
-    /// DeNovo registration: owned, writable, survives acquires.
+    /// Owned and writable: DeNovo registration / MESI exclusive-or-
+    /// modified. Survives acquires; written back on eviction.
     Registered,
 }
 
 /// L2 directory/bank state for a line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum L2State {
-    /// The bank holds the data.
+pub(crate) enum L2State {
+    /// The bank holds the data (no tracked sharers).
     Data,
-    /// A CU's L1 owns the line (DeNovo registration).
+    /// A CU's L1 owns the line (DeNovo registration / MESI M-or-E).
     Owned(CuId),
+    /// MESI only: the bank holds the data and the set CUs hold shared
+    /// copies (bitmask over CuId; the protocol asserts `num_cus <= 64`).
+    SharedBy(u64),
 }
 
 /// Protocol/consistency event statistics.
@@ -137,11 +160,11 @@ pub struct ProtoStats {
     pub sb_flushes: u64,
     /// Atomics performed at the L2 (GPU protocol).
     pub atomics_at_l2: u64,
-    /// Atomics performed at the L1 (DeNovo).
+    /// Atomics performed at the L1 (DeNovo, MESI).
     pub atomics_at_l1: u64,
     /// Of those, ones that hit an already-registered line (reuse).
     pub atomic_l1_reuse: u64,
-    /// Requests satisfied by a remote L1 (DeNovo forwarding).
+    /// Requests satisfied by a remote L1 (ownership forwarding).
     pub remote_l1_transfers: u64,
     /// Same-line requests coalesced in L1 MSHRs.
     pub mshr_coalesced: u64,
@@ -149,61 +172,45 @@ pub struct ProtoStats {
     pub writebacks: u64,
     /// DRAM refills.
     pub dram_refills: u64,
+    /// Remote sharer copies dropped by writer-initiated invalidation
+    /// (MESI only; GPU/DeNovo never set this).
+    pub sharer_invalidations: u64,
 }
 
-struct L1<T: Trace> {
-    cache: Cache<L1State>,
-    mshr: Mshr<T>,
-    sb: StoreBuffer<T>,
-    port: Resource,
+pub(crate) struct L1<T: Trace> {
+    pub(crate) cache: Cache<L1State>,
+    pub(crate) mshr: Mshr<T>,
+    pub(crate) sb: StoreBuffer<T>,
+    pub(crate) port: Resource,
 }
 
-struct L2Bank {
-    cache: Cache<L2State>,
-    port: Resource,
-    node: NodeId,
+pub(crate) struct L2Bank {
+    pub(crate) cache: Cache<L2State>,
+    pub(crate) port: Resource,
+    pub(crate) node: NodeId,
 }
 
-/// The full memory system for one protocol, generic over the tracing
-/// capability (`NoTrace` by default — the instrumented sites compile
-/// away entirely).
-pub struct MemorySystem<T: Trace = NoTrace> {
-    protocol: Protocol,
-    params: MemSysParams,
-    l1s: Vec<L1<T>>,
-    banks: Vec<L2Bank>,
-    noc: Mesh<T>,
-    dram: Dram,
-    stats: ProtoStats,
+/// All hardware state of the memory system plus the structural helpers
+/// shared by every protocol. [`CoherencePolicy`] implementations drive
+/// transitions against this; the public surface is [`MemorySystem`].
+pub struct MemCore<T: Trace> {
+    pub(crate) params: MemSysParams,
+    pub(crate) l1s: Vec<L1<T>>,
+    pub(crate) banks: Vec<L2Bank>,
+    pub(crate) noc: Mesh<T>,
+    pub(crate) dram: Dram,
+    pub(crate) stats: ProtoStats,
     /// L1 data-array accesses (energy).
-    l1_accesses: u64,
+    pub(crate) l1_accesses: u64,
     /// L1 tag sweeps from invalidations (energy).
-    l1_tag_ops: u64,
+    pub(crate) l1_tag_ops: u64,
     /// L2 accesses (energy).
-    l2_accesses: u64,
-    tracer: T,
+    pub(crate) l2_accesses: u64,
+    pub(crate) tracer: T,
 }
 
-impl MemorySystem {
-    /// Build an untraced memory system.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cu_nodes` does not provide a node per CU.
-    pub fn new(protocol: Protocol, params: MemSysParams) -> MemorySystem {
-        MemorySystem::with_tracer(protocol, params, NoTrace)
-    }
-}
-
-impl<T: Trace> MemorySystem<T> {
-    /// Build a memory system emitting protocol events (hits, misses,
-    /// invalidations, ownership transfers, atomic placement, NoC and
-    /// DRAM activity) into `tracer`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cu_nodes` does not provide a node per CU.
-    pub fn with_tracer(protocol: Protocol, params: MemSysParams, tracer: T) -> MemorySystem<T> {
+impl<T: Trace> MemCore<T> {
+    pub(crate) fn build(params: MemSysParams, tracer: T) -> MemCore<T> {
         assert_eq!(params.cu_nodes.len(), params.num_cus, "need one node per CU");
         let l1s = (0..params.num_cus)
             .map(|cu| L1 {
@@ -223,8 +230,7 @@ impl<T: Trace> MemorySystem<T> {
             })
             .collect();
         let dram = Dram::new(params.dram.clone());
-        MemorySystem {
-            protocol,
+        MemCore {
             params,
             l1s,
             banks,
@@ -240,33 +246,36 @@ impl<T: Trace> MemorySystem<T> {
 
     /// Emit one trace event (no-op unless `T::ENABLED`).
     #[inline]
-    fn emit(&self, kind: EventKind, cycle: Cycle, lane: u16, addr: u64, arg: u64, dur: u64) {
+    pub(crate) fn emit(
+        &self,
+        kind: EventKind,
+        cycle: Cycle,
+        lane: u16,
+        addr: u64,
+        arg: u64,
+        dur: u64,
+    ) {
         if T::ENABLED {
             self.tracer.record(TraceEvent::new(kind, cycle, lane, addr, arg, dur));
         }
     }
 
-    /// The protocol in use.
-    pub fn protocol(&self) -> Protocol {
-        self.protocol
-    }
-
-    /// Configuration.
-    pub fn params(&self) -> &MemSysParams {
-        &self.params
-    }
-
-    fn line(&self, addr: Addr) -> LineAddr {
+    pub(crate) fn line(&self, addr: Addr) -> LineAddr {
         LineAddr::of(addr, self.params.line_words)
     }
 
-    fn bank_of(&self, line: LineAddr) -> usize {
+    pub(crate) fn bank_of(&self, line: LineAddr) -> usize {
         (line.0 as usize) % self.banks.len()
     }
 
     /// L2-bank access at `now` arriving from `from`; returns (data
     /// ready at bank, bank index). Handles bank queuing and DRAM fill.
-    fn l2_access(&mut self, arrive: Cycle, line: LineAddr, fill_from_dram: bool) -> Cycle {
+    pub(crate) fn l2_access(
+        &mut self,
+        arrive: Cycle,
+        line: LineAddr,
+        fill_from_dram: bool,
+    ) -> Cycle {
         let b = self.bank_of(line);
         self.l2_accesses += 1;
         let start = self.banks[b].port.acquire(arrive, self.params.l2_occupancy);
@@ -290,7 +299,7 @@ impl<T: Trace> MemorySystem<T> {
 
     /// Round-trip a control request + data response between a CU and a
     /// line's home bank, invoking `at_bank` for the bank-side latency.
-    fn bank_round_trip(
+    pub(crate) fn bank_round_trip(
         &mut self,
         now: Cycle,
         cu: CuId,
@@ -305,394 +314,8 @@ impl<T: Trace> MemorySystem<T> {
         self.noc.send(bank_done, bank_node, cu_node, resp_flits)
     }
 
-    // ------------------------------------------------------------------
-    // Public access API (called by the execution engine at issue time).
-    // ------------------------------------------------------------------
-
-    /// A load (data or atomic). Returns the cycle the value is
-    /// available to the requesting CU.
-    pub fn load(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
-        match self.protocol {
-            Protocol::Gpu => self.gpu_load(now, cu, addr, kind),
-            Protocol::DeNovo => self.denovo_load(now, cu, addr, kind),
-        }
-    }
-
-    /// A store (data or atomic). Returns the cycle the CU may proceed
-    /// (store accepted); the drain completes in the background, bounded
-    /// by [`MemorySystem::release`].
-    pub fn store(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
-        match self.protocol {
-            Protocol::Gpu => self.gpu_store(now, cu, addr, kind),
-            Protocol::DeNovo => self.denovo_store(now, cu, addr, kind),
-        }
-    }
-
-    /// An atomic RMW; returns the cycle the old value is available.
-    pub fn rmw(&mut self, now: Cycle, cu: CuId, addr: Addr) -> Cycle {
-        match self.protocol {
-            Protocol::Gpu => self.gpu_atomic(now, cu, addr),
-            Protocol::DeNovo => self.denovo_atomic(now, cu, addr),
-        }
-    }
-
-    /// Acquire-side consistency action for a *paired* atomic load:
-    /// self-invalidate stale data in the CU's L1. GPU coherence drops
-    /// every line; DeNovo keeps registered (owned) lines. Returns the
-    /// cycle the invalidation is done (flash-clear: cheap in time,
-    /// costly in lost reuse).
-    pub fn acquire(&mut self, now: Cycle, cu: CuId) -> Cycle {
-        let dropped = match self.protocol {
-            Protocol::Gpu => self.l1s[cu].cache.invalidate_where(|_, _| true),
-            Protocol::DeNovo => self.l1s[cu].cache.invalidate_where(|_, s| *s == L1State::Valid),
-        };
-        self.stats.invalidation_events += 1;
-        self.stats.lines_invalidated += dropped;
-        self.l1_tag_ops += dropped;
-        self.emit(EventKind::Invalidate, now, cu as u16, 0, dropped, 2);
-        now + 2
-    }
-
-    /// Release-side consistency action for a *paired* atomic store:
-    /// flush the store buffer (GPU: finish write-throughs; DeNovo:
-    /// finish pending ownership registrations). Returns the cycle the
-    /// flush completes.
-    pub fn release(&mut self, now: Cycle, cu: CuId) -> Cycle {
-        self.stats.sb_flushes += 1;
-        self.l1s[cu].sb.flush(now)
-    }
-
-    // ------------------------------------------------------------------
-    // GPU coherence.
-    // ------------------------------------------------------------------
-
-    fn gpu_load(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
-        if kind.is_atomic() {
-            return self.gpu_atomic(now, cu, addr);
-        }
-        let line = self.line(addr);
-        self.l1_accesses += 1;
-        let start = now;
-        // A fill still in flight wins over the (already-installed)
-        // cache state: merge rather than hitting data that has not
-        // arrived yet.
-        if let Some(done) = self.l1s[cu].mshr.pending(start, line) {
-            self.stats.mshr_coalesced += 1;
-            self.emit(
-                EventKind::MshrCoalesce,
-                start,
-                cu as u16,
-                line.0,
-                0,
-                done.max(start) - start,
-            );
-            return done.max(start);
-        }
-        if self.l1s[cu].cache.lookup(line).is_some() {
-            self.stats.l1_hits += 1;
-            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
-            return start + self.params.l1_hit_latency;
-        }
-        self.stats.l1_misses += 1;
-        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
-        // MSHR: merge with an in-flight fill for the same line.
-        match self.l1s[cu].mshr.request(start, line) {
-            MshrOutcome::Coalesced(done) => {
-                self.stats.mshr_coalesced += 1;
-                return done;
-            }
-            MshrOutcome::Full(free_at) => {
-                let retry = free_at.max(start);
-                return self.gpu_load(retry, cu, addr, kind);
-            }
-            MshrOutcome::Allocated => {}
-        }
-        let flits = self.params.data_flits;
-        let done = self
-            .bank_round_trip(start, cu, line, flits, |s, arrive| s.l2_access(arrive, line, true));
-        self.l1s[cu].cache.insert(line, L1State::Valid);
-        self.l1s[cu].mshr.set_completion(line, done);
-        done
-    }
-
-    fn gpu_store(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
-        if kind.is_atomic() {
-            return self.gpu_atomic(now, cu, addr);
-        }
-        let line = self.line(addr);
-        self.l1_accesses += 1;
-        // Write-through: compute the background drain (one-way trip +
-        // bank write), then enqueue in the store buffer.
-        let cu_node = self.params.cu_nodes[cu];
-        let bank_node = self.banks[self.bank_of(line)].node;
-        let arrive = self.noc.send(now, cu_node, bank_node, self.params.data_flits);
-        let drain_done = self.l2_access(arrive, line, false);
-        // Keep any L1 copy coherent with our own writes.
-        if self.l1s[cu].cache.peek(line).is_some() {
-            self.l1s[cu].cache.insert(line, L1State::Valid);
-        }
-        let accepted = self.l1s[cu].sb.push(now, line, drain_done);
-        accepted + 1
-    }
-
-    /// GPU atomics always execute at the home L2 bank: round trip plus
-    /// serialized bank occupancy; no reuse, no coalescing (§2.1, §6.3).
-    fn gpu_atomic(&mut self, now: Cycle, cu: CuId, addr: Addr) -> Cycle {
-        let line = self.line(addr);
-        self.stats.atomics_at_l2 += 1;
-        let done = self.bank_round_trip(now, cu, line, self.params.ctl_flits, |s, arrive| {
-            s.l2_access(arrive, line, true)
-        });
-        self.emit(EventKind::AtomicAtL2, now, cu as u16, addr, 0, done - now);
-        done
-    }
-
-    // ------------------------------------------------------------------
-    // DeNovo.
-    // ------------------------------------------------------------------
-
-    /// Obtain registration (ownership) of `line` for `cu`, starting at
-    /// `now`; returns the completion cycle. Transfers from a previous
-    /// owner cost an extra forward hop (remote-L1 latency).
-    fn denovo_register(&mut self, now: Cycle, cu: CuId, line: LineAddr) -> Cycle {
-        let cu_node = self.params.cu_nodes[cu];
-        let b = self.bank_of(line);
-        let bank_node = self.banks[b].node;
-        let arrive = self.noc.send(now, cu_node, bank_node, self.params.ctl_flits);
-        let start = self.banks[b].port.acquire(arrive, self.params.l2_occupancy);
-        self.l2_accesses += 1;
-        self.emit(EventKind::L2Access, start, b as u16, line.0, 0, self.params.l2_latency);
-        let dir_done = start + self.params.l2_latency;
-        let prev = self.banks[b].cache.lookup(line).copied();
-        self.banks[b].cache.insert(line, L2State::Owned(cu));
-        let data_at_cu = match prev {
-            Some(L2State::Owned(owner)) if owner != cu => {
-                // Forward to previous owner; it hands the line over.
-                self.stats.remote_l1_transfers += 1;
-                self.emit(
-                    EventKind::OwnershipTransfer,
-                    dir_done,
-                    cu as u16,
-                    line.0,
-                    owner as u64,
-                    0,
-                );
-                let owner_node = self.params.cu_nodes[owner];
-                self.l1s[owner].cache.remove(line);
-                self.l1_tag_ops += 1;
-                let at_owner =
-                    self.noc.send(dir_done, bank_node, owner_node, self.params.ctl_flits);
-                let served = self.l1s[owner].port.acquire(at_owner, 1) + self.params.l1_hit_latency;
-                self.l1_accesses += 1;
-                self.noc.send(served, owner_node, cu_node, self.params.data_flits)
-            }
-            Some(_) => {
-                // L2 had the data (or we already owned it): reply directly.
-                self.noc.send(dir_done, bank_node, cu_node, self.params.data_flits)
-            }
-            None => {
-                // L2 miss: fill from DRAM first.
-                self.stats.dram_refills += 1;
-                let filled = self.dram.access(dir_done, line.0);
-                self.emit(EventKind::DramRefill, dir_done, b as u16, line.0, 0, filled - dir_done);
-                self.banks[b].cache.insert(line, L2State::Owned(cu));
-                self.noc.send(filled, bank_node, cu_node, self.params.data_flits)
-            }
-        };
-        let evicted = self.l1s[cu]
-            .cache
-            .insert_with_pin(line, L1State::Registered, |s| *s == L1State::Registered);
-        // A full set of registered lines can force a registered victim
-        // out; its ownership must return to the L2 (writeback).
-        self.handle_l1_eviction(data_at_cu, cu, evicted);
-        data_at_cu
-    }
-
-    fn denovo_load(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
-        if kind.is_atomic() {
-            return self.denovo_atomic(now, cu, addr);
-        }
-        let line = self.line(addr);
-        self.l1_accesses += 1;
-        let start = now;
-        if let Some(done) = self.l1s[cu].mshr.pending(start, line) {
-            self.stats.mshr_coalesced += 1;
-            self.emit(
-                EventKind::MshrCoalesce,
-                start,
-                cu as u16,
-                line.0,
-                0,
-                done.max(start) - start,
-            );
-            return done.max(start);
-        }
-        if self.l1s[cu].cache.lookup(line).is_some() {
-            self.stats.l1_hits += 1;
-            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
-            return start + self.params.l1_hit_latency;
-        }
-        self.stats.l1_misses += 1;
-        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
-        match self.l1s[cu].mshr.request(start, line) {
-            MshrOutcome::Coalesced(done) => {
-                self.stats.mshr_coalesced += 1;
-                return done;
-            }
-            MshrOutcome::Full(free_at) => {
-                let retry = free_at.max(start);
-                return self.denovo_load(retry, cu, addr, kind);
-            }
-            MshrOutcome::Allocated => {}
-        }
-        // Read request to the home bank; may be forwarded to an owner.
-        let cu_node = self.params.cu_nodes[cu];
-        let b = self.bank_of(line);
-        let bank_node = self.banks[b].node;
-        let arrive = self.noc.send(start, cu_node, bank_node, self.params.ctl_flits);
-        let dir_start = self.banks[b].port.acquire(arrive, self.params.l2_occupancy);
-        self.l2_accesses += 1;
-        self.emit(EventKind::L2Access, dir_start, b as u16, line.0, 0, self.params.l2_latency);
-        let dir_done = dir_start + self.params.l2_latency;
-        let state = self.banks[b].cache.lookup(line).copied();
-        let done = match state {
-            Some(L2State::Owned(owner)) if owner != cu => {
-                // Forward: remote L1 services the read, keeps ownership.
-                self.stats.remote_l1_transfers += 1;
-                self.emit(
-                    EventKind::OwnershipTransfer,
-                    dir_done,
-                    cu as u16,
-                    line.0,
-                    owner as u64,
-                    0,
-                );
-                let owner_node = self.params.cu_nodes[owner];
-                let at_owner =
-                    self.noc.send(dir_done, bank_node, owner_node, self.params.ctl_flits);
-                let served = self.l1s[owner].port.acquire(at_owner, 1) + self.params.l1_hit_latency;
-                self.l1_accesses += 1;
-                self.noc.send(served, owner_node, cu_node, self.params.data_flits)
-            }
-            Some(_) => self.noc.send(dir_done, bank_node, cu_node, self.params.data_flits),
-            None => {
-                self.stats.dram_refills += 1;
-                let filled = self.dram.access(dir_done, line.0);
-                self.emit(EventKind::DramRefill, dir_done, b as u16, line.0, 0, filled - dir_done);
-                self.banks[b].cache.insert(line, L2State::Data);
-                self.noc.send(filled, bank_node, cu_node, self.params.data_flits)
-            }
-        };
-        // Fill as Valid (read data never takes ownership in DeNovo).
-        let evicted =
-            self.l1s[cu].cache.insert_with_pin(line, L1State::Valid, |s| *s == L1State::Registered);
-        self.handle_l1_eviction(done, cu, evicted);
-        self.l1s[cu].mshr.set_completion(line, done);
-        done
-    }
-
-    fn denovo_store(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
-        if kind.is_atomic() {
-            return self.denovo_atomic(now, cu, addr);
-        }
-        let line = self.line(addr);
-        self.l1_accesses += 1;
-        let start = now;
-        let pending = self.l1s[cu].mshr.pending(start, line);
-        if pending.is_none() && self.l1s[cu].cache.lookup(line) == Some(&mut L1State::Registered) {
-            // Owned: write locally, writeback caching.
-            self.stats.l1_hits += 1;
-            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
-            return start + self.params.l1_hit_latency;
-        }
-        self.stats.l1_misses += 1;
-        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
-        // Pend in the store buffer while registration is in flight.
-        let drain_done = match self.l1s[cu].mshr.request(start, line) {
-            MshrOutcome::Coalesced(done) => {
-                self.stats.mshr_coalesced += 1;
-                done
-            }
-            MshrOutcome::Full(free_at) => {
-                let retry = free_at.max(start);
-                return self.denovo_store(retry, cu, addr, kind);
-            }
-            MshrOutcome::Allocated => {
-                let done = self.denovo_register(start, cu, line);
-                self.l1s[cu].mshr.set_completion(line, done);
-                done
-            }
-        };
-        let accepted = self.l1s[cu].sb.push(start, line, drain_done);
-        accepted + 1
-    }
-
-    /// DeNovo atomics execute at the L1 once the line is registered —
-    /// repeated atomics to the same line hit locally (reuse), and
-    /// concurrent requests to one line share a single registration via
-    /// the MSHR (coalescing).
-    fn denovo_atomic(&mut self, now: Cycle, cu: CuId, addr: Addr) -> Cycle {
-        let line = self.line(addr);
-        self.stats.atomics_at_l1 += 1;
-        self.emit(EventKind::AtomicAtL1, now, cu as u16, addr, 0, 0);
-        self.l1_accesses += 1;
-        let start = now;
-        if let Some(done) = self.l1s[cu].mshr.pending(start, line) {
-            if self.params.atomic_coalescing {
-                // Ownership transfer in flight: coalesce, then perform
-                // locally once it lands (serialized by the L1 port).
-                self.stats.mshr_coalesced += 1;
-                self.emit(
-                    EventKind::MshrCoalesce,
-                    start,
-                    cu as u16,
-                    line.0,
-                    0,
-                    done.max(start) - start,
-                );
-                let served = self.l1s[cu].port.acquire(done.max(start), 1);
-                return served + self.params.l1_hit_latency;
-            }
-            // Ablation: no coalescing — wait out the in-flight fill,
-            // then issue a fresh (redundant) registration round trip.
-            let refetch = self.denovo_register(done.max(start), cu, line);
-            let served = self.l1s[cu].port.acquire(refetch, 1);
-            return served + self.params.l1_hit_latency;
-        }
-        if self.l1s[cu].cache.lookup(line) == Some(&mut L1State::Registered) {
-            self.stats.atomic_l1_reuse += 1;
-            self.stats.l1_hits += 1;
-            self.emit(EventKind::AtomicReuse, start, cu as u16, line.0, 0, 0);
-            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
-            // The L1 port serializes atomic performs at one per cycle.
-            let served = self.l1s[cu].port.acquire(start, 1);
-            return served + self.params.l1_hit_latency;
-        }
-        self.stats.l1_misses += 1;
-        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
-        let owned_at = match self.l1s[cu].mshr.request(start, line) {
-            MshrOutcome::Coalesced(done) => {
-                self.stats.mshr_coalesced += 1;
-                done
-            }
-            MshrOutcome::Full(free_at) => {
-                let retry = free_at.max(start);
-                return self.denovo_atomic(retry, cu, addr);
-            }
-            MshrOutcome::Allocated => {
-                let done = self.denovo_register(start, cu, line);
-                self.l1s[cu].mshr.set_completion(line, done);
-                done
-            }
-        };
-        // Perform locally once owned; the L1 port serializes piled-up
-        // coalesced atomics at one per cycle.
-        let served = self.l1s[cu].port.acquire(owned_at, 1);
-        served + self.params.l1_hit_latency
-    }
-
-    /// Writeback an evicted registered line (ownership returns to L2).
-    fn handle_l1_eviction(
+    /// Writeback an evicted owned line (ownership returns to L2).
+    pub(crate) fn handle_l1_eviction(
         &mut self,
         now: Cycle,
         cu: CuId,
@@ -717,6 +340,141 @@ impl<T: Trace> MemorySystem<T> {
             self.banks[b].cache.insert(ev.line, L2State::Data);
         }
     }
+}
+
+/// The full memory system for one protocol, generic over the tracing
+/// capability (`NoTrace` by default — the instrumented sites compile
+/// away entirely).
+///
+/// A thin facade: hardware state lives in [`MemCore`], per-protocol
+/// transitions behind a [`CoherencePolicy`] selected from the
+/// [`Protocol`] (or injected via [`MemorySystem::with_policy`]). The
+/// built-in protocols dispatch statically through [`PolicySlot`] so
+/// their transitions inline into the access API; only externally
+/// injected policies pay a vtable call per transaction.
+pub struct MemorySystem<T: Trace = NoTrace> {
+    protocol: Protocol,
+    policy: PolicySlot<T>,
+    core: MemCore<T>,
+}
+
+/// The policy slot: built-in protocols as enum variants (static,
+/// inlinable dispatch on the hot access path), arbitrary policies
+/// behind the boxed trait object. [`CoherencePolicy`] stays the one
+/// behavioural seam — the slot only decides how it is reached.
+enum PolicySlot<T: Trace> {
+    Gpu(GpuCoherence),
+    DeNovo(DeNovoCoherence),
+    MesiWb(MesiWbCoherence),
+    Custom(Box<dyn CoherencePolicy<T>>),
+}
+
+/// Invoke one [`CoherencePolicy`] method on whichever policy occupies
+/// the slot, monomorphized per built-in variant.
+macro_rules! dispatch {
+    ($slot:expr, $p:ident => $call:expr) => {
+        match $slot {
+            PolicySlot::Gpu($p) => $call,
+            PolicySlot::DeNovo($p) => $call,
+            PolicySlot::MesiWb($p) => $call,
+            PolicySlot::Custom($p) => $call,
+        }
+    };
+}
+
+impl MemorySystem {
+    /// Build an untraced memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cu_nodes` does not provide a node per CU.
+    pub fn new(protocol: Protocol, params: MemSysParams) -> MemorySystem {
+        MemorySystem::with_tracer(protocol, params, NoTrace)
+    }
+}
+
+impl<T: Trace> MemorySystem<T> {
+    /// Build a memory system emitting protocol events (hits, misses,
+    /// invalidations, ownership transfers, atomic placement, NoC and
+    /// DRAM activity) into `tracer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cu_nodes` does not provide a node per CU.
+    pub fn with_tracer(protocol: Protocol, params: MemSysParams, tracer: T) -> MemorySystem<T> {
+        let policy = match protocol {
+            Protocol::Gpu => PolicySlot::Gpu(GpuCoherence),
+            Protocol::DeNovo => PolicySlot::DeNovo(DeNovoCoherence),
+            Protocol::MesiWb => PolicySlot::MesiWb(MesiWbCoherence),
+        };
+        MemorySystem { protocol, policy, core: MemCore::build(params, tracer) }
+    }
+
+    /// Build a memory system around an externally supplied policy —
+    /// the seam for protocols defined outside this crate. `protocol`
+    /// is only a label (reporting, energy attribution); all behaviour
+    /// comes from `policy`.
+    pub fn with_policy(
+        protocol: Protocol,
+        policy: Box<dyn CoherencePolicy<T>>,
+        params: MemSysParams,
+        tracer: T,
+    ) -> MemorySystem<T> {
+        MemorySystem {
+            protocol,
+            policy: PolicySlot::Custom(policy),
+            core: MemCore::build(params, tracer),
+        }
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Configuration.
+    pub fn params(&self) -> &MemSysParams {
+        &self.core.params
+    }
+
+    // ------------------------------------------------------------------
+    // Public access API (called by the execution engine at issue time).
+    // ------------------------------------------------------------------
+
+    /// A load (data or atomic). Returns the cycle the value is
+    /// available to the requesting CU.
+    pub fn load(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
+        dispatch!(&self.policy, p => p.load(&mut self.core, now, cu, addr, kind))
+    }
+
+    /// A store (data or atomic). Returns the cycle the CU may proceed
+    /// (store accepted); the drain completes in the background, bounded
+    /// by [`MemorySystem::release`].
+    pub fn store(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
+        dispatch!(&self.policy, p => p.store(&mut self.core, now, cu, addr, kind))
+    }
+
+    /// An atomic RMW; returns the cycle the old value is available.
+    pub fn rmw(&mut self, now: Cycle, cu: CuId, addr: Addr) -> Cycle {
+        dispatch!(&self.policy, p => p.rmw(&mut self.core, now, cu, addr))
+    }
+
+    /// Acquire-side consistency action for a *paired* atomic load:
+    /// self-invalidate stale data in the CU's L1. GPU coherence drops
+    /// every line; DeNovo keeps registered (owned) lines; MESI needs
+    /// nothing (writer-initiated invalidation keeps caches coherent).
+    /// Returns the cycle the action is done.
+    pub fn acquire(&mut self, now: Cycle, cu: CuId) -> Cycle {
+        dispatch!(&self.policy, p => p.acquire(&mut self.core, now, cu))
+    }
+
+    /// Release-side consistency action for a *paired* atomic store:
+    /// flush the store buffer (GPU: finish write-throughs; DeNovo/MESI:
+    /// finish pending ownership registrations). Returns the cycle the
+    /// flush completes.
+    pub fn release(&mut self, now: Cycle, cu: CuId) -> Cycle {
+        dispatch!(&self.policy, p => p.release(&mut self.core, now, cu))
+    }
 
     // ------------------------------------------------------------------
     // Statistics.
@@ -724,23 +482,23 @@ impl<T: Trace> MemorySystem<T> {
 
     /// Protocol event statistics.
     pub fn stats(&self) -> &ProtoStats {
-        &self.stats
+        &self.core.stats
     }
 
     /// NoC statistics.
     pub fn noc_stats(&self) -> &hsim_noc::NocStats {
-        self.noc.stats()
+        self.core.noc.stats()
     }
 
     /// Energy-relevant counters: (L1 accesses, L1 tag ops, L2 accesses,
     /// DRAM accesses, NoC flit-hops).
     pub fn energy_events(&self) -> (u64, u64, u64, u64, u64) {
         (
-            self.l1_accesses,
-            self.l1_tag_ops,
-            self.l2_accesses,
-            self.dram.accesses(),
-            self.noc.stats().flit_hops,
+            self.core.l1_accesses,
+            self.core.l1_tag_ops,
+            self.core.l2_accesses,
+            self.core.dram.accesses(),
+            self.core.noc.stats().flit_hops,
         )
     }
 }
@@ -751,6 +509,20 @@ mod tests {
 
     fn sys(p: Protocol) -> MemorySystem {
         MemorySystem::new(p, MemSysParams::default())
+    }
+
+    #[test]
+    fn default_params_track_the_mesh() {
+        let p = MemSysParams::default();
+        assert_eq!(p.num_cus, (p.noc.width * p.noc.height) as usize);
+        assert_eq!(p.cu_nodes.len(), p.num_cus);
+        // A resized mesh resizes the CU side with it.
+        let wide =
+            MemSysParams::for_mesh(NocParams { width: 6, height: 4, ..NocParams::default() });
+        assert_eq!(wide.num_cus, 24);
+        assert_eq!(wide.cu_nodes.len(), 24);
+        assert_eq!(wide.cu_nodes[23], NodeId(23));
+        MemorySystem::new(Protocol::Gpu, wide); // must not panic
     }
 
     #[test]
@@ -846,7 +618,7 @@ mod tests {
 
     #[test]
     fn release_waits_for_store_drain() {
-        for p in [Protocol::Gpu, Protocol::DeNovo] {
+        for p in [Protocol::Gpu, Protocol::DeNovo, Protocol::MesiWb] {
             let mut m = sys(p);
             let accepted = m.store(0, 0, 100, AccessKind::DataStore);
             let flushed = m.release(accepted, 0);

@@ -1,0 +1,581 @@
+//! The pre-refactor enum-dispatch memory system, retained verbatim as
+//! a differential-test reference (the same pattern as the scheduler and
+//! NoC reference implementations from earlier refactors).
+//!
+//! [`EnumMemorySystem`] is the old `MemorySystem`: one monolith that
+//! branches on the two-variant paper [`Protocol`] at every
+//! load/store/atomic/acquire site, with its own copies of the bank /
+//! DRAM / round-trip helpers. `tests/policy_equivalence.rs` drives
+//! random workloads through both this and the trait-based system and
+//! asserts identical stats, cycles and trace streams — proving the
+//! policy extraction *moved* GPU/DeNovo behaviour without changing it.
+//!
+//! Deliberately not extended to MESI-WB (construction panics): the
+//! reference exists to pin down the two protocols that existed before
+//! the policy seam.
+
+use crate::memsys::{L1State, L2Bank, L2State, L1};
+use crate::{AccessKind, CuId, MemSysParams, ProtoStats};
+use drfrlx_core::Protocol;
+use hsim_mem::{Addr, Cache, Cycle, Dram, LineAddr, Mshr, MshrOutcome, Resource, StoreBuffer};
+use hsim_noc::{Mesh, NodeId};
+use hsim_trace::{EventKind, NoTrace, Trace, TraceEvent};
+
+/// The old enum-dispatch memory system (GPU / DeNovo only).
+pub struct EnumMemorySystem<T: Trace = NoTrace> {
+    protocol: Protocol,
+    params: MemSysParams,
+    l1s: Vec<L1<T>>,
+    banks: Vec<L2Bank>,
+    noc: Mesh<T>,
+    dram: Dram,
+    stats: ProtoStats,
+    l1_accesses: u64,
+    l1_tag_ops: u64,
+    l2_accesses: u64,
+    tracer: T,
+}
+
+impl EnumMemorySystem {
+    /// Build an untraced reference system.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Protocol::MesiWb`] (the reference predates it) or if
+    /// `cu_nodes` does not provide a node per CU.
+    pub fn new(protocol: Protocol, params: MemSysParams) -> EnumMemorySystem {
+        EnumMemorySystem::with_tracer(protocol, params, NoTrace)
+    }
+}
+
+impl<T: Trace> EnumMemorySystem<T> {
+    /// Build a reference system recording into `tracer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Protocol::MesiWb`] or if `cu_nodes` does not provide
+    /// a node per CU.
+    pub fn with_tracer(protocol: Protocol, params: MemSysParams, tracer: T) -> EnumMemorySystem<T> {
+        assert!(
+            matches!(protocol, Protocol::Gpu | Protocol::DeNovo),
+            "the enum reference implements only the paper's two protocols"
+        );
+        assert_eq!(params.cu_nodes.len(), params.num_cus, "need one node per CU");
+        let l1s = (0..params.num_cus)
+            .map(|cu| L1 {
+                cache: Cache::new(params.l1.clone()),
+                mshr: Mshr::with_tracer(params.l1_mshrs, cu as u16, tracer.clone()),
+                sb: StoreBuffer::with_tracer(params.store_buffer, cu as u16, tracer.clone()),
+                port: Resource::new(),
+            })
+            .collect();
+        let noc = Mesh::with_tracer(params.noc.clone(), tracer.clone());
+        let nodes = noc.nodes();
+        let banks = (0..params.l2_banks)
+            .map(|b| L2Bank {
+                cache: Cache::new(params.l2_bank.clone()),
+                port: Resource::new(),
+                node: NodeId((b % nodes as usize) as u16),
+            })
+            .collect();
+        let dram = Dram::new(params.dram.clone());
+        EnumMemorySystem {
+            protocol,
+            params,
+            l1s,
+            banks,
+            noc,
+            dram,
+            stats: ProtoStats::default(),
+            l1_accesses: 0,
+            l1_tag_ops: 0,
+            l2_accesses: 0,
+            tracer,
+        }
+    }
+
+    #[inline]
+    fn emit(&self, kind: EventKind, cycle: Cycle, lane: u16, addr: u64, arg: u64, dur: u64) {
+        if T::ENABLED {
+            self.tracer.record(TraceEvent::new(kind, cycle, lane, addr, arg, dur));
+        }
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Configuration.
+    pub fn params(&self) -> &MemSysParams {
+        &self.params
+    }
+
+    fn line(&self, addr: Addr) -> LineAddr {
+        LineAddr::of(addr, self.params.line_words)
+    }
+
+    fn bank_of(&self, line: LineAddr) -> usize {
+        (line.0 as usize) % self.banks.len()
+    }
+
+    fn l2_access(&mut self, arrive: Cycle, line: LineAddr, fill_from_dram: bool) -> Cycle {
+        let b = self.bank_of(line);
+        self.l2_accesses += 1;
+        let start = self.banks[b].port.acquire(arrive, self.params.l2_occupancy);
+        self.emit(EventKind::L2Access, start, b as u16, line.0, 0, self.params.l2_latency);
+        let after = start + self.params.l2_latency;
+        if !fill_from_dram {
+            return after;
+        }
+        let present = self.banks[b].cache.lookup(line).is_some();
+        if present {
+            after
+        } else {
+            self.stats.dram_refills += 1;
+            let done = self.dram.access(after, line.0);
+            self.emit(EventKind::DramRefill, after, b as u16, line.0, 0, done - after);
+            self.banks[b].cache.insert(line, L2State::Data);
+            done
+        }
+    }
+
+    fn bank_round_trip(
+        &mut self,
+        now: Cycle,
+        cu: CuId,
+        line: LineAddr,
+        resp_flits: u64,
+        at_bank: impl FnOnce(&mut Self, Cycle) -> Cycle,
+    ) -> Cycle {
+        let cu_node = self.params.cu_nodes[cu];
+        let bank_node = self.banks[self.bank_of(line)].node;
+        let arrive = self.noc.send(now, cu_node, bank_node, self.params.ctl_flits);
+        let bank_done = at_bank(self, arrive);
+        self.noc.send(bank_done, bank_node, cu_node, resp_flits)
+    }
+
+    // ------------------------------------------------------------------
+    // Public access API.
+    // ------------------------------------------------------------------
+
+    /// A load (data or atomic).
+    pub fn load(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
+        match self.protocol {
+            Protocol::Gpu => self.gpu_load(now, cu, addr, kind),
+            Protocol::DeNovo => self.denovo_load(now, cu, addr, kind),
+            Protocol::MesiWb => unreachable!("rejected at construction"),
+        }
+    }
+
+    /// A store (data or atomic).
+    pub fn store(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
+        match self.protocol {
+            Protocol::Gpu => self.gpu_store(now, cu, addr, kind),
+            Protocol::DeNovo => self.denovo_store(now, cu, addr, kind),
+            Protocol::MesiWb => unreachable!("rejected at construction"),
+        }
+    }
+
+    /// An atomic RMW.
+    pub fn rmw(&mut self, now: Cycle, cu: CuId, addr: Addr) -> Cycle {
+        match self.protocol {
+            Protocol::Gpu => self.gpu_atomic(now, cu, addr),
+            Protocol::DeNovo => self.denovo_atomic(now, cu, addr),
+            Protocol::MesiWb => unreachable!("rejected at construction"),
+        }
+    }
+
+    /// Acquire-side consistency action.
+    pub fn acquire(&mut self, now: Cycle, cu: CuId) -> Cycle {
+        let dropped = match self.protocol {
+            Protocol::Gpu => self.l1s[cu].cache.invalidate_where(|_, _| true),
+            Protocol::DeNovo => self.l1s[cu].cache.invalidate_where(|_, s| *s == L1State::Valid),
+            Protocol::MesiWb => unreachable!("rejected at construction"),
+        };
+        self.stats.invalidation_events += 1;
+        self.stats.lines_invalidated += dropped;
+        self.l1_tag_ops += dropped;
+        self.emit(EventKind::Invalidate, now, cu as u16, 0, dropped, 2);
+        now + 2
+    }
+
+    /// Release-side consistency action.
+    pub fn release(&mut self, now: Cycle, cu: CuId) -> Cycle {
+        self.stats.sb_flushes += 1;
+        self.l1s[cu].sb.flush(now)
+    }
+
+    // ------------------------------------------------------------------
+    // GPU coherence.
+    // ------------------------------------------------------------------
+
+    fn gpu_load(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
+        if kind.is_atomic() {
+            return self.gpu_atomic(now, cu, addr);
+        }
+        let line = self.line(addr);
+        self.l1_accesses += 1;
+        let start = now;
+        if let Some(done) = self.l1s[cu].mshr.pending(start, line) {
+            self.stats.mshr_coalesced += 1;
+            self.emit(
+                EventKind::MshrCoalesce,
+                start,
+                cu as u16,
+                line.0,
+                0,
+                done.max(start) - start,
+            );
+            return done.max(start);
+        }
+        if self.l1s[cu].cache.lookup(line).is_some() {
+            self.stats.l1_hits += 1;
+            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
+            return start + self.params.l1_hit_latency;
+        }
+        self.stats.l1_misses += 1;
+        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
+        match self.l1s[cu].mshr.request(start, line) {
+            MshrOutcome::Coalesced(done) => {
+                self.stats.mshr_coalesced += 1;
+                return done;
+            }
+            MshrOutcome::Full(free_at) => {
+                let retry = free_at.max(start);
+                return self.gpu_load(retry, cu, addr, kind);
+            }
+            MshrOutcome::Allocated => {}
+        }
+        let flits = self.params.data_flits;
+        let done = self
+            .bank_round_trip(start, cu, line, flits, |s, arrive| s.l2_access(arrive, line, true));
+        self.l1s[cu].cache.insert(line, L1State::Valid);
+        self.l1s[cu].mshr.set_completion(line, done);
+        done
+    }
+
+    fn gpu_store(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
+        if kind.is_atomic() {
+            return self.gpu_atomic(now, cu, addr);
+        }
+        let line = self.line(addr);
+        self.l1_accesses += 1;
+        let cu_node = self.params.cu_nodes[cu];
+        let bank_node = self.banks[self.bank_of(line)].node;
+        let arrive = self.noc.send(now, cu_node, bank_node, self.params.data_flits);
+        let drain_done = self.l2_access(arrive, line, false);
+        if self.l1s[cu].cache.peek(line).is_some() {
+            self.l1s[cu].cache.insert(line, L1State::Valid);
+        }
+        let accepted = self.l1s[cu].sb.push(now, line, drain_done);
+        accepted + 1
+    }
+
+    fn gpu_atomic(&mut self, now: Cycle, cu: CuId, addr: Addr) -> Cycle {
+        let line = self.line(addr);
+        self.stats.atomics_at_l2 += 1;
+        let done = self.bank_round_trip(now, cu, line, self.params.ctl_flits, |s, arrive| {
+            s.l2_access(arrive, line, true)
+        });
+        self.emit(EventKind::AtomicAtL2, now, cu as u16, addr, 0, done - now);
+        done
+    }
+
+    // ------------------------------------------------------------------
+    // DeNovo.
+    // ------------------------------------------------------------------
+
+    fn denovo_register(&mut self, now: Cycle, cu: CuId, line: LineAddr) -> Cycle {
+        let cu_node = self.params.cu_nodes[cu];
+        let b = self.bank_of(line);
+        let bank_node = self.banks[b].node;
+        let arrive = self.noc.send(now, cu_node, bank_node, self.params.ctl_flits);
+        let start = self.banks[b].port.acquire(arrive, self.params.l2_occupancy);
+        self.l2_accesses += 1;
+        self.emit(EventKind::L2Access, start, b as u16, line.0, 0, self.params.l2_latency);
+        let dir_done = start + self.params.l2_latency;
+        let prev = self.banks[b].cache.lookup(line).copied();
+        self.banks[b].cache.insert(line, L2State::Owned(cu));
+        let data_at_cu = match prev {
+            Some(L2State::Owned(owner)) if owner != cu => {
+                self.stats.remote_l1_transfers += 1;
+                self.emit(
+                    EventKind::OwnershipTransfer,
+                    dir_done,
+                    cu as u16,
+                    line.0,
+                    owner as u64,
+                    0,
+                );
+                let owner_node = self.params.cu_nodes[owner];
+                self.l1s[owner].cache.remove(line);
+                self.l1_tag_ops += 1;
+                let at_owner =
+                    self.noc.send(dir_done, bank_node, owner_node, self.params.ctl_flits);
+                let served = self.l1s[owner].port.acquire(at_owner, 1) + self.params.l1_hit_latency;
+                self.l1_accesses += 1;
+                self.noc.send(served, owner_node, cu_node, self.params.data_flits)
+            }
+            Some(_) => self.noc.send(dir_done, bank_node, cu_node, self.params.data_flits),
+            None => {
+                self.stats.dram_refills += 1;
+                let filled = self.dram.access(dir_done, line.0);
+                self.emit(EventKind::DramRefill, dir_done, b as u16, line.0, 0, filled - dir_done);
+                self.banks[b].cache.insert(line, L2State::Owned(cu));
+                self.noc.send(filled, bank_node, cu_node, self.params.data_flits)
+            }
+        };
+        let evicted = self.l1s[cu]
+            .cache
+            .insert_with_pin(line, L1State::Registered, |s| *s == L1State::Registered);
+        self.handle_l1_eviction(data_at_cu, cu, evicted);
+        data_at_cu
+    }
+
+    fn denovo_load(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
+        if kind.is_atomic() {
+            return self.denovo_atomic(now, cu, addr);
+        }
+        let line = self.line(addr);
+        self.l1_accesses += 1;
+        let start = now;
+        if let Some(done) = self.l1s[cu].mshr.pending(start, line) {
+            self.stats.mshr_coalesced += 1;
+            self.emit(
+                EventKind::MshrCoalesce,
+                start,
+                cu as u16,
+                line.0,
+                0,
+                done.max(start) - start,
+            );
+            return done.max(start);
+        }
+        if self.l1s[cu].cache.lookup(line).is_some() {
+            self.stats.l1_hits += 1;
+            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
+            return start + self.params.l1_hit_latency;
+        }
+        self.stats.l1_misses += 1;
+        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
+        match self.l1s[cu].mshr.request(start, line) {
+            MshrOutcome::Coalesced(done) => {
+                self.stats.mshr_coalesced += 1;
+                return done;
+            }
+            MshrOutcome::Full(free_at) => {
+                let retry = free_at.max(start);
+                return self.denovo_load(retry, cu, addr, kind);
+            }
+            MshrOutcome::Allocated => {}
+        }
+        let cu_node = self.params.cu_nodes[cu];
+        let b = self.bank_of(line);
+        let bank_node = self.banks[b].node;
+        let arrive = self.noc.send(start, cu_node, bank_node, self.params.ctl_flits);
+        let dir_start = self.banks[b].port.acquire(arrive, self.params.l2_occupancy);
+        self.l2_accesses += 1;
+        self.emit(EventKind::L2Access, dir_start, b as u16, line.0, 0, self.params.l2_latency);
+        let dir_done = dir_start + self.params.l2_latency;
+        let state = self.banks[b].cache.lookup(line).copied();
+        let done = match state {
+            Some(L2State::Owned(owner)) if owner != cu => {
+                self.stats.remote_l1_transfers += 1;
+                self.emit(
+                    EventKind::OwnershipTransfer,
+                    dir_done,
+                    cu as u16,
+                    line.0,
+                    owner as u64,
+                    0,
+                );
+                let owner_node = self.params.cu_nodes[owner];
+                let at_owner =
+                    self.noc.send(dir_done, bank_node, owner_node, self.params.ctl_flits);
+                let served = self.l1s[owner].port.acquire(at_owner, 1) + self.params.l1_hit_latency;
+                self.l1_accesses += 1;
+                self.noc.send(served, owner_node, cu_node, self.params.data_flits)
+            }
+            Some(_) => self.noc.send(dir_done, bank_node, cu_node, self.params.data_flits),
+            None => {
+                self.stats.dram_refills += 1;
+                let filled = self.dram.access(dir_done, line.0);
+                self.emit(EventKind::DramRefill, dir_done, b as u16, line.0, 0, filled - dir_done);
+                self.banks[b].cache.insert(line, L2State::Data);
+                self.noc.send(filled, bank_node, cu_node, self.params.data_flits)
+            }
+        };
+        let evicted =
+            self.l1s[cu].cache.insert_with_pin(line, L1State::Valid, |s| *s == L1State::Registered);
+        self.handle_l1_eviction(done, cu, evicted);
+        self.l1s[cu].mshr.set_completion(line, done);
+        done
+    }
+
+    fn denovo_store(&mut self, now: Cycle, cu: CuId, addr: Addr, kind: AccessKind) -> Cycle {
+        if kind.is_atomic() {
+            return self.denovo_atomic(now, cu, addr);
+        }
+        let line = self.line(addr);
+        self.l1_accesses += 1;
+        let start = now;
+        let pending = self.l1s[cu].mshr.pending(start, line);
+        if pending.is_none() && self.l1s[cu].cache.lookup(line) == Some(&mut L1State::Registered) {
+            self.stats.l1_hits += 1;
+            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
+            return start + self.params.l1_hit_latency;
+        }
+        self.stats.l1_misses += 1;
+        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
+        let drain_done = match self.l1s[cu].mshr.request(start, line) {
+            MshrOutcome::Coalesced(done) => {
+                self.stats.mshr_coalesced += 1;
+                done
+            }
+            MshrOutcome::Full(free_at) => {
+                let retry = free_at.max(start);
+                return self.denovo_store(retry, cu, addr, kind);
+            }
+            MshrOutcome::Allocated => {
+                let done = self.denovo_register(start, cu, line);
+                self.l1s[cu].mshr.set_completion(line, done);
+                done
+            }
+        };
+        let accepted = self.l1s[cu].sb.push(start, line, drain_done);
+        accepted + 1
+    }
+
+    fn denovo_atomic(&mut self, now: Cycle, cu: CuId, addr: Addr) -> Cycle {
+        let line = self.line(addr);
+        self.stats.atomics_at_l1 += 1;
+        self.emit(EventKind::AtomicAtL1, now, cu as u16, addr, 0, 0);
+        self.l1_accesses += 1;
+        let start = now;
+        if let Some(done) = self.l1s[cu].mshr.pending(start, line) {
+            if self.params.atomic_coalescing {
+                self.stats.mshr_coalesced += 1;
+                self.emit(
+                    EventKind::MshrCoalesce,
+                    start,
+                    cu as u16,
+                    line.0,
+                    0,
+                    done.max(start) - start,
+                );
+                let served = self.l1s[cu].port.acquire(done.max(start), 1);
+                return served + self.params.l1_hit_latency;
+            }
+            let refetch = self.denovo_register(done.max(start), cu, line);
+            let served = self.l1s[cu].port.acquire(refetch, 1);
+            return served + self.params.l1_hit_latency;
+        }
+        if self.l1s[cu].cache.lookup(line) == Some(&mut L1State::Registered) {
+            self.stats.atomic_l1_reuse += 1;
+            self.stats.l1_hits += 1;
+            self.emit(EventKind::AtomicReuse, start, cu as u16, line.0, 0, 0);
+            self.emit(EventKind::L1Hit, start, cu as u16, line.0, 0, self.params.l1_hit_latency);
+            let served = self.l1s[cu].port.acquire(start, 1);
+            return served + self.params.l1_hit_latency;
+        }
+        self.stats.l1_misses += 1;
+        self.emit(EventKind::L1Miss, start, cu as u16, line.0, 0, 0);
+        let owned_at = match self.l1s[cu].mshr.request(start, line) {
+            MshrOutcome::Coalesced(done) => {
+                self.stats.mshr_coalesced += 1;
+                done
+            }
+            MshrOutcome::Full(free_at) => {
+                let retry = free_at.max(start);
+                return self.denovo_atomic(retry, cu, addr);
+            }
+            MshrOutcome::Allocated => {
+                let done = self.denovo_register(start, cu, line);
+                self.l1s[cu].mshr.set_completion(line, done);
+                done
+            }
+        };
+        let served = self.l1s[cu].port.acquire(owned_at, 1);
+        served + self.params.l1_hit_latency
+    }
+
+    fn handle_l1_eviction(
+        &mut self,
+        now: Cycle,
+        cu: CuId,
+        evicted: Option<hsim_mem::EvictedLine<L1State>>,
+    ) {
+        let Some(ev) = evicted else { return };
+        if ev.state != L1State::Registered {
+            return;
+        }
+        self.stats.writebacks += 1;
+        self.emit(EventKind::Writeback, now, cu as u16, ev.line.0, 0, 0);
+        let cu_node = self.params.cu_nodes[cu];
+        let b = self.bank_of(ev.line);
+        let bank_node = self.banks[b].node;
+        let arrive = self.noc.send(now, cu_node, bank_node, self.params.data_flits);
+        let start = self.banks[b].port.acquire(arrive, self.params.l2_occupancy);
+        let _done = start + self.params.l2_latency;
+        self.l2_accesses += 1;
+        self.emit(EventKind::L2Access, start, b as u16, ev.line.0, 0, self.params.l2_latency);
+        if self.banks[b].cache.peek(ev.line) == Some(&L2State::Owned(cu)) {
+            self.banks[b].cache.insert(ev.line, L2State::Data);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics.
+    // ------------------------------------------------------------------
+
+    /// Protocol event statistics.
+    pub fn stats(&self) -> &ProtoStats {
+        &self.stats
+    }
+
+    /// NoC statistics.
+    pub fn noc_stats(&self) -> &hsim_noc::NocStats {
+        self.noc.stats()
+    }
+
+    /// Energy-relevant counters: (L1 accesses, L1 tag ops, L2 accesses,
+    /// DRAM accesses, NoC flit-hops).
+    pub fn energy_events(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.l1_accesses,
+            self.l1_tag_ops,
+            self.l2_accesses,
+            self.dram.accesses(),
+            self.noc.stats().flit_hops,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "paper's two protocols")]
+    fn reference_rejects_mesi() {
+        let _ = EnumMemorySystem::new(Protocol::MesiWb, MemSysParams::default());
+    }
+
+    #[test]
+    fn reference_still_behaves_like_the_old_system() {
+        // Spot-check one invariant per protocol; the heavy lifting is
+        // the randomized differential test at the workspace root.
+        let mut g = EnumMemorySystem::new(Protocol::Gpu, MemSysParams::default());
+        let t = g.rmw(0, 0, 200);
+        let t2 = g.rmw(t, 0, 200);
+        assert!(t2 - t >= g.params().l2_latency);
+        assert_eq!(g.stats().atomics_at_l2, 2);
+
+        let mut d = EnumMemorySystem::new(Protocol::DeNovo, MemSysParams::default());
+        let t = d.rmw(0, 3, 200);
+        let t2 = d.rmw(t, 3, 200);
+        assert!(t2 - t <= 1 + d.params().l1_hit_latency);
+        assert_eq!(d.stats().atomic_l1_reuse, 1);
+    }
+}

@@ -203,7 +203,9 @@ impl fmt::Display for MemoryModel {
     }
 }
 
-/// The two coherence protocols evaluated in the paper (§2.1, §2.2).
+/// The coherence protocols the simulator implements: the paper's two
+/// (§2.1, §2.2) plus a writeback MESI-style baseline (the CPU-class
+/// protocol §2 contrasts against).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Protocol {
     /// Conventional GPU coherence: write-through, full self-invalidation
@@ -213,11 +215,33 @@ pub enum Protocol {
     /// DeNovo: ownership for stores and atomics at the L1, writeback,
     /// selective self-invalidation, atomic reuse and MSHR coalescing.
     DeNovo,
+    /// Writeback MESI-style ownership coherence (CPU-class baseline):
+    /// a directory tracks sharers, stores invalidate them, reads of
+    /// dirty lines recall the owner, atomics execute at an owned L1,
+    /// and acquires are free (the hardware keeps caches coherent, so
+    /// nothing needs self-invalidation).
+    MesiWb,
 }
 
 impl Protocol {
-    /// Both protocols.
+    /// The two protocols evaluated in the paper. Everything keyed to the
+    /// paper's presentation (six-config sweeps, committed artifacts)
+    /// iterates this set.
     pub const ALL: [Protocol; 2] = [Protocol::Gpu, Protocol::DeNovo];
+
+    /// Every implemented protocol, paper pair first.
+    pub const WITH_EXTENSIONS: [Protocol; 3] = [Protocol::Gpu, Protocol::DeNovo, Protocol::MesiWb];
+
+    /// Parse a protocol name as accepted by the CLI `--protocol` flag
+    /// (case-insensitive: "gpu", "denovo", "mesi" / "mesi-wb").
+    pub fn from_name(s: &str) -> Option<Protocol> {
+        match s.to_ascii_lowercase().as_str() {
+            "gpu" => Some(Protocol::Gpu),
+            "denovo" | "de-novo" => Some(Protocol::DeNovo),
+            "mesi" | "mesi-wb" | "mesiwb" => Some(Protocol::MesiWb),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Protocol {
@@ -225,6 +249,7 @@ impl fmt::Display for Protocol {
         f.write_str(match self {
             Protocol::Gpu => "GPU",
             Protocol::DeNovo => "DeNovo",
+            Protocol::MesiWb => "MESI-WB",
         })
     }
 }
@@ -259,7 +284,22 @@ impl SystemConfig {
         out
     }
 
-    /// The paper's abbreviation for this configuration (e.g. "GD0").
+    /// Every implemented configuration: the paper's six followed by the
+    /// MESI-WB extension (MD0, MD1, MDR).
+    pub fn extended() -> [SystemConfig; 9] {
+        let mut out = [SystemConfig::new(Protocol::Gpu, MemoryModel::Drf0); 9];
+        let mut i = 0;
+        for protocol in Protocol::WITH_EXTENSIONS {
+            for model in MemoryModel::ALL {
+                out[i] = SystemConfig { protocol, model };
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// The abbreviation for this configuration: the paper's for its six
+    /// ("GD0"), the same scheme for the MESI-WB extension ("MD0").
     pub fn abbrev(self) -> &'static str {
         match (self.protocol, self.model) {
             (Protocol::Gpu, MemoryModel::Drf0) => "GD0",
@@ -268,12 +308,16 @@ impl SystemConfig {
             (Protocol::DeNovo, MemoryModel::Drf0) => "DD0",
             (Protocol::DeNovo, MemoryModel::Drf1) => "DD1",
             (Protocol::DeNovo, MemoryModel::Drfrlx) => "DDR",
+            (Protocol::MesiWb, MemoryModel::Drf0) => "MD0",
+            (Protocol::MesiWb, MemoryModel::Drf1) => "MD1",
+            (Protocol::MesiWb, MemoryModel::Drfrlx) => "MDR",
         }
     }
 
-    /// Parse a paper abbreviation ("GD0".."DDR", case-insensitive).
+    /// Parse an abbreviation ("GD0".."DDR", "MD0".."MDR";
+    /// case-insensitive).
     pub fn from_abbrev(s: &str) -> Option<SystemConfig> {
-        SystemConfig::all().into_iter().find(|c| c.abbrev().eq_ignore_ascii_case(s))
+        SystemConfig::extended().into_iter().find(|c| c.abbrev().eq_ignore_ascii_case(s))
     }
 }
 
@@ -331,10 +375,11 @@ mod tests {
 
     #[test]
     fn config_abbrevs_roundtrip() {
-        for cfg in SystemConfig::all() {
+        for cfg in SystemConfig::extended() {
             assert_eq!(SystemConfig::from_abbrev(cfg.abbrev()), Some(cfg));
         }
         assert_eq!(SystemConfig::from_abbrev("gdr").unwrap().abbrev(), "GDR");
+        assert_eq!(SystemConfig::from_abbrev("mdr").unwrap().abbrev(), "MDR");
         assert_eq!(SystemConfig::from_abbrev("XYZ"), None);
     }
 
@@ -346,6 +391,24 @@ mod tests {
                 assert_ne!(all[i], all[j]);
             }
         }
+    }
+
+    #[test]
+    fn extended_configs_prefix_matches_paper_set() {
+        let ext = SystemConfig::extended();
+        assert_eq!(&ext[..6], &SystemConfig::all()[..], "paper set must come first, unchanged");
+        for cfg in &ext[6..] {
+            assert_eq!(cfg.protocol, Protocol::MesiWb);
+        }
+    }
+
+    #[test]
+    fn protocol_names_parse() {
+        assert_eq!(Protocol::from_name("gpu"), Some(Protocol::Gpu));
+        assert_eq!(Protocol::from_name("DeNovo"), Some(Protocol::DeNovo));
+        assert_eq!(Protocol::from_name("mesi"), Some(Protocol::MesiWb));
+        assert_eq!(Protocol::from_name("MESI-WB"), Some(Protocol::MesiWb));
+        assert_eq!(Protocol::from_name("mose"), None);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! The [`ConsistencyPolicy`] trait: consistency-model enforcement as
+//! data, not control flow.
+//!
+//! The execution engine used to branch on [`Strength`] at every
+//! load/store/RMW site. Those branches only ever decided four things —
+//! fence outstanding relaxed atomics first, flush the store buffer
+//! before, self-invalidate after, and whether the access may overlap
+//! (fire-and-forget) — so a model is now a table: [`AccessActions`]
+//! per (operation, strength), plus the class→strength mapping itself.
+//! DRF0 / DRF1 / DRFrlx are all [`DrfPolicy`] values differing only in
+//! their [`MemoryModel`]; an alternative semantics (e.g. an
+//! SC-total-order model or a fence-heavier mapping) slots in by
+//! implementing the trait, without touching the engine.
+
+use drfrlx_core::classes::Strength;
+use drfrlx_core::{MemoryModel, OpClass};
+
+/// What the engine must do around one memory access (paper Table 4
+/// distilled): each flag corresponds to one
+/// [`crate::MemoryBackend`] interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessActions {
+    /// Wait for this context's outstanding overlapped atomics first
+    /// (the atomic-atomic program-order fence).
+    pub fence: bool,
+    /// Flush the store buffer before performing (release side).
+    pub release_before: bool,
+    /// Self-invalidate the L1 after performing (acquire side).
+    pub acquire_after: bool,
+    /// Perform as an atomic access in the memory system.
+    pub atomic: bool,
+    /// Count toward the report's atomic tally.
+    pub counts_atomic: bool,
+    /// Fire-and-forget: the context continues next cycle and the
+    /// completion joins its outstanding window (relaxed overlap).
+    pub overlap: bool,
+}
+
+/// A consistency model as seen by the execution engine: the
+/// class→strength mapping plus the per-access action tables.
+///
+/// Implementations must be deterministic pure functions of their
+/// arguments — the engine consults them once per issued operation.
+pub trait ConsistencyPolicy {
+    /// The model label (reporting; configuration round-trips).
+    fn model(&self) -> MemoryModel;
+
+    /// The strength this model enforces for a programmer annotation.
+    fn strength_of(&self, class: OpClass) -> Strength;
+
+    /// Actions around a load of the given strength.
+    fn load_actions(&self, strength: Strength) -> AccessActions;
+
+    /// Actions around a store of the given strength.
+    fn store_actions(&self, strength: Strength) -> AccessActions;
+
+    /// Actions around an RMW of the given strength. `use_result` is
+    /// whether the program observes the loaded value (an RMW whose
+    /// result is discarded may overlap under relaxed strength).
+    fn rmw_actions(&self, strength: Strength, use_result: bool) -> AccessActions;
+}
+
+/// The paper's DRF family. All three models share one action table —
+/// the differences live entirely in
+/// [`MemoryModel::strength_of`], which is the point: DRF0/DRF1/DRFrlx
+/// differ in *which strengths programs can reach*, not in what a
+/// strength means to the hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrfPolicy(pub MemoryModel);
+
+impl ConsistencyPolicy for DrfPolicy {
+    #[inline]
+    fn model(&self) -> MemoryModel {
+        self.0
+    }
+
+    #[inline]
+    fn strength_of(&self, class: OpClass) -> Strength {
+        self.0.strength_of(class)
+    }
+
+    #[inline]
+    fn load_actions(&self, strength: Strength) -> AccessActions {
+        use Strength::*;
+        match strength {
+            Data => AccessActions::default(),
+            // Fence, perform at full strength, self-invalidate after.
+            Paired | Acquire => AccessActions {
+                fence: true,
+                acquire_after: true,
+                atomic: true,
+                counts_atomic: true,
+                ..Default::default()
+            },
+            // A release-annotated load has no write side to order; it
+            // behaves like an unpaired atomic.
+            Unpaired | Release => AccessActions {
+                fence: true,
+                atomic: true,
+                counts_atomic: true,
+                ..Default::default()
+            },
+            // The value is needed, so the load blocks, but it does not
+            // fence other outstanding atomics.
+            Relaxed => AccessActions { atomic: true, counts_atomic: true, ..Default::default() },
+        }
+    }
+
+    #[inline]
+    fn store_actions(&self, strength: Strength) -> AccessActions {
+        use Strength::*;
+        match strength {
+            Data => AccessActions::default(),
+            // Release side: flush the store buffer first; no
+            // self-invalidation afterwards.
+            Paired | Release => AccessActions {
+                fence: true,
+                release_before: true,
+                atomic: true,
+                counts_atomic: true,
+                ..Default::default()
+            },
+            // An acquire-annotated store has no read side to order; it
+            // behaves like an unpaired atomic.
+            Unpaired | Acquire => AccessActions {
+                fence: true,
+                atomic: true,
+                counts_atomic: true,
+                ..Default::default()
+            },
+            Relaxed => AccessActions {
+                atomic: true,
+                counts_atomic: true,
+                overlap: true,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[inline]
+    fn rmw_actions(&self, strength: Strength, use_result: bool) -> AccessActions {
+        use Strength::*;
+        let base = AccessActions { atomic: true, counts_atomic: true, ..Default::default() };
+        match strength {
+            // Paired RMW is both release and acquire (Data-class RMWs
+            // are treated as paired: an RMW is inherently atomic).
+            Data | Paired => {
+                AccessActions { fence: true, release_before: true, acquire_after: true, ..base }
+            }
+            // Acquire-only RMW: invalidate after, no flush before
+            // (e.g. a lock acquire).
+            Acquire => AccessActions { fence: true, acquire_after: true, ..base },
+            // Release-only RMW: flush before, no invalidation after
+            // (the seqlock reader's "read-don't-modify-write", paper
+            // footnote 7).
+            Release => AccessActions { fence: true, release_before: true, ..base },
+            Unpaired => AccessActions { fence: true, ..base },
+            Relaxed => AccessActions { overlap: !use_result, ..base },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_accesses_do_nothing_extra() {
+        for model in MemoryModel::ALL {
+            let p = DrfPolicy(model);
+            assert_eq!(p.load_actions(Strength::Data), AccessActions::default());
+            assert_eq!(p.store_actions(Strength::Data), AccessActions::default());
+        }
+    }
+
+    #[test]
+    fn paired_is_acquire_release_split_by_direction() {
+        let p = DrfPolicy(MemoryModel::Drfrlx);
+        let l = p.load_actions(Strength::Paired);
+        assert!(l.fence && l.acquire_after && !l.release_before && !l.overlap);
+        let s = p.store_actions(Strength::Paired);
+        assert!(s.fence && s.release_before && !s.acquire_after && !s.overlap);
+        let r = p.rmw_actions(Strength::Paired, true);
+        assert!(r.fence && r.release_before && r.acquire_after);
+    }
+
+    #[test]
+    fn relaxed_overlap_depends_on_operation() {
+        let p = DrfPolicy(MemoryModel::Drfrlx);
+        // A relaxed load blocks (its value is needed) but never fences.
+        let l = p.load_actions(Strength::Relaxed);
+        assert!(!l.fence && !l.overlap && l.atomic);
+        // A relaxed store always overlaps.
+        assert!(p.store_actions(Strength::Relaxed).overlap);
+        // A relaxed RMW overlaps only when the result is discarded.
+        assert!(p.rmw_actions(Strength::Relaxed, false).overlap);
+        assert!(!p.rmw_actions(Strength::Relaxed, true).overlap);
+    }
+
+    #[test]
+    fn one_sided_strengths_order_one_direction() {
+        let p = DrfPolicy(MemoryModel::Drfrlx);
+        // Acquire loads invalidate; release loads degrade to unpaired.
+        assert!(p.load_actions(Strength::Acquire).acquire_after);
+        assert!(!p.load_actions(Strength::Release).acquire_after);
+        // Release stores flush; acquire stores degrade to unpaired.
+        assert!(p.store_actions(Strength::Release).release_before);
+        assert!(!p.store_actions(Strength::Acquire).release_before);
+    }
+
+    #[test]
+    fn models_share_the_action_table() {
+        // The DRF family differs only via strength_of: for any fixed
+        // strength, every model prescribes identical actions.
+        for s in [
+            Strength::Data,
+            Strength::Paired,
+            Strength::Unpaired,
+            Strength::Relaxed,
+            Strength::Acquire,
+            Strength::Release,
+        ] {
+            let base = DrfPolicy(MemoryModel::Drf0);
+            for model in MemoryModel::ALL {
+                let p = DrfPolicy(model);
+                assert_eq!(p.load_actions(s), base.load_actions(s));
+                assert_eq!(p.store_actions(s), base.store_actions(s));
+                assert_eq!(p.rmw_actions(s, true), base.rmw_actions(s, true));
+                assert_eq!(p.rmw_actions(s, false), base.rmw_actions(s, false));
+            }
+        }
+    }
+}

@@ -9,9 +9,9 @@
 //! are deterministic and identical to the retained reference scanner
 //! ([`run_kernel_reference`]), which differential tests hold it to.
 
+use crate::consistency::{AccessActions, ConsistencyPolicy, DrfPolicy};
 use crate::ir::{Kernel, Op, WorkItem};
 use crate::{Addr, Cycle, Value};
-use drfrlx_core::classes::Strength;
 use drfrlx_core::MemoryModel;
 use hsim_trace::{EventKind, NoTrace, Trace, TraceEvent};
 use std::cmp::Reverse;
@@ -192,7 +192,20 @@ pub fn run_kernel(
     params: &EngineParams,
     backend: &mut dyn MemoryBackend,
 ) -> EngineReport {
-    run_kernel_with(kernel, params, backend, HeapQueue::default(), NoTrace)
+    let policy = DrfPolicy(params.model);
+    run_kernel_with(kernel, params, backend, &policy, HeapQueue::default(), NoTrace)
+}
+
+/// [`run_kernel`] under an explicit [`ConsistencyPolicy`] instead of
+/// the DRF policy derived from `params.model`. `params.model` is
+/// ignored; the policy alone decides per-access strengths and actions.
+pub fn run_kernel_policy(
+    kernel: &dyn Kernel,
+    params: &EngineParams,
+    backend: &mut dyn MemoryBackend,
+    policy: &dyn ConsistencyPolicy,
+) -> EngineReport {
+    run_kernel_with(kernel, params, backend, policy, HeapQueue::default(), NoTrace)
 }
 
 /// [`run_kernel`] emitting per-operation pipeline events (issue, issue
@@ -205,7 +218,8 @@ pub fn run_kernel_traced(
     backend: &mut dyn MemoryBackend,
     tracer: impl Trace,
 ) -> EngineReport {
-    run_kernel_with(kernel, params, backend, HeapQueue::default(), tracer)
+    let policy = DrfPolicy(params.model);
+    run_kernel_with(kernel, params, backend, &policy, HeapQueue::default(), tracer)
 }
 
 /// [`run_kernel`] on the reference linear-scan scheduler.
@@ -218,7 +232,8 @@ pub fn run_kernel_reference(
     params: &EngineParams,
     backend: &mut dyn MemoryBackend,
 ) -> EngineReport {
-    run_kernel_with(kernel, params, backend, LinearScan, NoTrace)
+    let policy = DrfPolicy(params.model);
+    run_kernel_with(kernel, params, backend, &policy, LinearScan, NoTrace)
 }
 
 /// Stable per-operation code carried in the `arg` of an
@@ -237,10 +252,11 @@ fn op_code(op: &Op) -> u64 {
     }
 }
 
-fn run_kernel_with<T: Trace>(
+fn run_kernel_with<T: Trace, P: ConsistencyPolicy + ?Sized>(
     kernel: &dyn Kernel,
     params: &EngineParams,
     backend: &mut dyn MemoryBackend,
+    policy: &P,
     mut ready: impl ReadyQueue,
     tracer: T,
 ) -> EngineReport {
@@ -340,7 +356,6 @@ fn run_kernel_with<T: Trace>(
             tracer.record(TraceEvent::new(EventKind::Issue, issue, cu as u16, 0, op_code(&op), 0));
         }
 
-        let model = params.model;
         let ctx = &mut ctxs[i];
         match op {
             Op::Think(n) => {
@@ -361,138 +376,64 @@ fn run_kernel_with<T: Trace>(
                 ready.push(issue + 1, i);
             }
             Op::Load { addr, class } => {
-                let strength = model.strength_of(class);
+                let a = policy.load_actions(policy.strength_of(class));
                 let value = memory[addr as usize];
-                let done = match strength {
-                    Strength::Data => backend.load(issue, cu, addr, false),
-                    Strength::Paired | Strength::Acquire => {
-                        // Fence outstanding atomics, perform at full
-                        // strength, then self-invalidate (acquire side).
-                        report.atomics += 1;
-                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
-                        let loaded = backend.load(fenced, cu, addr, true);
-                        backend.acquire(loaded, cu)
-                    }
-                    Strength::Unpaired | Strength::Release => {
-                        // (A release-annotated load has no write side to
-                        // order; it behaves like an unpaired atomic.)
-                        report.atomics += 1;
-                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
-                        backend.load(fenced, cu, addr, true)
-                    }
-                    Strength::Relaxed => {
-                        // The value is needed, so the load blocks, but
-                        // it does not fence other outstanding atomics.
-                        report.atomics += 1;
-                        backend.load(issue, cu, addr, true)
-                    }
-                };
+                let start = begin_access(&tracer, backend, &mut report, ctx, a, issue, cu);
+                let performed = backend.load(start, cu, addr, a.atomic);
+                let done = finish_access(
+                    &tracer,
+                    backend,
+                    &mut report,
+                    ctx,
+                    a,
+                    issue,
+                    cu,
+                    addr,
+                    performed,
+                    params,
+                );
                 ctx.last = Some(value);
                 ctx.state = CtxState::Ready(done);
                 ready.push(done, i);
             }
             Op::Store { addr, value, class } => {
-                let strength = model.strength_of(class);
-                let done = match strength {
-                    Strength::Data => backend.store(issue, cu, addr, false),
-                    Strength::Paired | Strength::Release => {
-                        // Release side: flush the store buffer first;
-                        // no self-invalidation afterwards.
-                        report.atomics += 1;
-                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
-                        let flushed = backend.release(fenced, cu);
-                        backend.store(flushed, cu, addr, true)
-                    }
-                    Strength::Unpaired | Strength::Acquire => {
-                        // (An acquire-annotated store has no read side
-                        // to order; it behaves like an unpaired atomic.)
-                        report.atomics += 1;
-                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
-                        backend.store(fenced, cu, addr, true)
-                    }
-                    Strength::Relaxed => {
-                        report.atomics += 1;
-                        report.atomics_overlapped += 1;
-                        let done = backend.store(issue, cu, addr, true);
-                        if T::ENABLED {
-                            tracer.record(TraceEvent::new(
-                                EventKind::AtomicOverlap,
-                                issue,
-                                cu as u16,
-                                addr,
-                                0,
-                                done.saturating_sub(issue),
-                            ));
-                        }
-                        push_outstanding(
-                            &mut ctx.outstanding,
-                            done,
-                            params.max_outstanding_atomics,
-                        );
-                        issue + 1
-                    }
-                };
+                let a = policy.store_actions(policy.strength_of(class));
+                let start = begin_access(&tracer, backend, &mut report, ctx, a, issue, cu);
+                let performed = backend.store(start, cu, addr, a.atomic);
+                let done = finish_access(
+                    &tracer,
+                    backend,
+                    &mut report,
+                    ctx,
+                    a,
+                    issue,
+                    cu,
+                    addr,
+                    performed,
+                    params,
+                );
                 memory[addr as usize] = value;
                 ctx.state = CtxState::Ready(done);
                 ready.push(done, i);
             }
             Op::Rmw { addr, rmw, operand, class, use_result } => {
-                let strength = model.strength_of(class);
-                report.atomics += 1;
+                let a = policy.rmw_actions(policy.strength_of(class), use_result);
                 let old = memory[addr as usize];
                 memory[addr as usize] = rmw.apply(old, operand);
-                let done = match strength {
-                    Strength::Data | Strength::Paired => {
-                        // Paired RMW is both release and acquire.
-                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
-                        let flushed = backend.release(fenced, cu);
-                        let performed = backend.rmw(flushed, cu, addr);
-                        backend.acquire(performed, cu)
-                    }
-                    Strength::Acquire => {
-                        // Acquire-only RMW: invalidate after, no flush
-                        // before (e.g. a lock acquire).
-                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
-                        let performed = backend.rmw(fenced, cu, addr);
-                        backend.acquire(performed, cu)
-                    }
-                    Strength::Release => {
-                        // Release-only RMW: flush before, no
-                        // invalidation after (the seqlock reader's
-                        // "read-don't-modify-write", paper footnote 7).
-                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
-                        let flushed = backend.release(fenced, cu);
-                        backend.rmw(flushed, cu, addr)
-                    }
-                    Strength::Unpaired => {
-                        let fenced = drain_traced(&tracer, &mut ctx.outstanding, issue, cu);
-                        backend.rmw(fenced, cu, addr)
-                    }
-                    Strength::Relaxed => {
-                        let performed = backend.rmw(issue, cu, addr);
-                        if use_result {
-                            performed
-                        } else {
-                            report.atomics_overlapped += 1;
-                            if T::ENABLED {
-                                tracer.record(TraceEvent::new(
-                                    EventKind::AtomicOverlap,
-                                    issue,
-                                    cu as u16,
-                                    addr,
-                                    0,
-                                    performed.saturating_sub(issue),
-                                ));
-                            }
-                            push_outstanding(
-                                &mut ctx.outstanding,
-                                performed,
-                                params.max_outstanding_atomics,
-                            );
-                            issue + 1
-                        }
-                    }
-                };
+                let start = begin_access(&tracer, backend, &mut report, ctx, a, issue, cu);
+                let performed = backend.rmw(start, cu, addr);
+                let done = finish_access(
+                    &tracer,
+                    backend,
+                    &mut report,
+                    ctx,
+                    a,
+                    issue,
+                    cu,
+                    addr,
+                    performed,
+                    params,
+                );
                 if use_result {
                     ctx.last = Some(old);
                 }
@@ -625,6 +566,73 @@ fn run_kernel_with<T: Trace>(
     );
     report.memory = memory;
     report
+}
+
+/// Pre-access half of an [`AccessActions`] table: count the atomic,
+/// fence outstanding overlapped atomics, flush the store buffer.
+/// Returns the cycle at which the access itself may perform.
+#[allow(clippy::too_many_arguments)]
+fn begin_access<T: Trace>(
+    tracer: &T,
+    backend: &mut dyn MemoryBackend,
+    report: &mut EngineReport,
+    ctx: &mut Ctx,
+    actions: AccessActions,
+    issue: Cycle,
+    cu: usize,
+) -> Cycle {
+    debug_assert!(
+        !(actions.overlap && actions.acquire_after),
+        "an overlapped access cannot also self-invalidate"
+    );
+    if actions.counts_atomic {
+        report.atomics += 1;
+    }
+    let t =
+        if actions.fence { drain_traced(tracer, &mut ctx.outstanding, issue, cu) } else { issue };
+    if actions.release_before {
+        backend.release(t, cu)
+    } else {
+        t
+    }
+}
+
+/// Post-access half of an [`AccessActions`] table: self-invalidate
+/// after an acquire, or detach an overlapped access (record its
+/// completion in the outstanding window and let the context continue
+/// next cycle). Returns the context's next ready cycle.
+#[allow(clippy::too_many_arguments)]
+fn finish_access<T: Trace>(
+    tracer: &T,
+    backend: &mut dyn MemoryBackend,
+    report: &mut EngineReport,
+    ctx: &mut Ctx,
+    actions: AccessActions,
+    issue: Cycle,
+    cu: usize,
+    addr: Addr,
+    performed: Cycle,
+    params: &EngineParams,
+) -> Cycle {
+    if actions.overlap {
+        report.atomics_overlapped += 1;
+        if T::ENABLED {
+            tracer.record(TraceEvent::new(
+                EventKind::AtomicOverlap,
+                issue,
+                cu as u16,
+                addr,
+                0,
+                performed.saturating_sub(issue),
+            ));
+        }
+        push_outstanding(&mut ctx.outstanding, performed, params.max_outstanding_atomics);
+        issue + 1
+    } else if actions.acquire_after {
+        backend.acquire(performed, cu)
+    } else {
+        performed
+    }
 }
 
 /// Wait for all outstanding atomics: returns the fence completion time
@@ -962,6 +970,20 @@ mod tests {
         };
         let mut b = FixedLat::default();
         run_kernel(&K, &p, &mut b);
+    }
+
+    #[test]
+    fn explicit_drf_policy_matches_model_derived_run() {
+        for model in MemoryModel::ALL {
+            let k = CounterKernel { blocks: 4, tpb: 4, n: 8, class: OpClass::Commutative };
+            let mut b1 = FixedLat::default();
+            let implicit = run_kernel(&k, &params(model), &mut b1);
+            let mut b2 = FixedLat::default();
+            // params.model deliberately disagrees: the policy must win.
+            let p = EngineParams { model: MemoryModel::Drf0, ..params(model) };
+            let explicit = run_kernel_policy(&k, &p, &mut b2, &DrfPolicy(model));
+            assert_eq!(implicit, explicit);
+        }
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! workload binary runs under any model because the engine maps classes
 //! to strengths via [`drfrlx_core::MemoryModel::strength_of`].
 //!
+//! Model enforcement itself is a policy, not engine control flow: a
+//! [`ConsistencyPolicy`] turns each (operation, strength) into an
+//! [`AccessActions`] table (fence / flush / invalidate / overlap), and
+//! the engine executes whatever the table says. The DRF family is
+//! [`DrfPolicy`]; [`run_kernel_policy`] accepts any other
+//! implementation.
+//!
 //! Modelling notes (documented substitutions, see DESIGN.md): a
 //! "context" executes one work-item instruction stream (warp-level
 //! lockstep and intra-warp coalescing are folded into the MSHR/port
@@ -26,11 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod consistency;
 mod engine;
 mod ir;
 
+pub use consistency::{AccessActions, ConsistencyPolicy, DrfPolicy};
 pub use engine::{
-    run_kernel, run_kernel_reference, run_kernel_traced, EngineParams, EngineReport, MemoryBackend,
+    run_kernel, run_kernel_policy, run_kernel_reference, run_kernel_traced, EngineParams,
+    EngineReport, MemoryBackend,
 };
 pub use ir::{Kernel, Op, RmwKind, WorkItem};
 

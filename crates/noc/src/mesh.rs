@@ -42,7 +42,7 @@ pub struct LinkStats {
 }
 
 /// Aggregate network statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NocStats {
     /// Total messages sent.
     pub messages: u64,

@@ -27,7 +27,7 @@ mod sweep;
 pub use backend::CoherenceBackend;
 pub use config::SysParams;
 pub use run::{run_workload, run_workload_traced, total_ratio, RunReport};
-pub use sweep::{default_threads, run_matrix, six_config_jobs, SimJob};
+pub use sweep::{default_threads, extended_config_jobs, run_matrix, six_config_jobs, SimJob};
 
 pub use drfrlx_core::{MemoryModel, Protocol, SystemConfig};
 pub use hsim_trace::{

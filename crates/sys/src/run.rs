@@ -235,6 +235,27 @@ mod tests {
     }
 
     #[test]
+    fn mesi_configs_run_with_owned_atomics_and_free_acquires() {
+        let k = Hammer { n: 4, class: OpClass::Commutative };
+        let params = SysParams::integrated();
+        let jobs = crate::sweep::extended_config_jobs("hammer", Arc::new(k), &params, false);
+        let reports = run_matrix(&jobs, 1);
+        assert_eq!(reports.len(), 9);
+        let md0 = &reports[6];
+        assert_eq!(md0.config, SystemConfig::from_abbrev("MD0").unwrap());
+        assert_eq!(md0.memory[0], 15 * 4 * 4, "MESI functional result");
+        // Writeback protocol: atomics perform at the owning L1 and the
+        // hardware keeps caches coherent, so acquires invalidate
+        // nothing even under DRF0.
+        assert!(md0.proto.atomics_at_l1 > 0);
+        assert_eq!(md0.proto.atomics_at_l2, 0);
+        assert_eq!(md0.proto.invalidation_events, 0);
+        // A contended counter bounces ownership between CUs: the
+        // directory must have invalidated or recalled remote copies.
+        assert!(md0.proto.remote_l1_transfers > 0);
+    }
+
+    #[test]
     fn discrete_platform_is_slower() {
         let k = Hammer { n: 4, class: OpClass::Commutative };
         let i =

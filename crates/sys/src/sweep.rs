@@ -88,6 +88,28 @@ pub fn six_config_jobs(
         .collect()
 }
 
+/// The jobs for one workload under all nine configurations — the paper
+/// six plus MESI-WB × {DRF0, DRF1, DRFrlx} (MD0, MD1, MDR) — in
+/// [`SystemConfig::extended`] order.
+pub fn extended_config_jobs(
+    workload: &str,
+    kernel: Arc<dyn Kernel>,
+    params: &SysParams,
+    validate: bool,
+) -> Vec<SimJob> {
+    SystemConfig::extended()
+        .into_iter()
+        .map(|config| SimJob {
+            workload: workload.to_string(),
+            kernel: Arc::clone(&kernel),
+            config,
+            params: params.clone(),
+            validate,
+            trace: None,
+        })
+        .collect()
+}
+
 /// Worker count for sweeps: `DRFRLX_THREADS` if set to a positive
 /// integer, else the host's available parallelism.
 pub fn default_threads() -> usize {

@@ -118,10 +118,13 @@ pub enum EventKind {
     NocStall = 22,
     /// A line filled from DRAM (`addr` = line, `dur` = access time).
     DramRefill = 23,
+    /// A writer invalidated remote sharer copies via the directory
+    /// (MESI; `addr` = line, `arg` = sharers dropped).
+    SharerInvalidate = 24,
 }
 
 /// Number of distinct event kinds (totals-array length).
-pub const KIND_COUNT: usize = 24;
+pub const KIND_COUNT: usize = 25;
 
 impl EventKind {
     /// Every kind, in discriminant order.
@@ -150,6 +153,7 @@ impl EventKind {
         EventKind::NocHop,
         EventKind::NocStall,
         EventKind::DramRefill,
+        EventKind::SharerInvalidate,
     ];
 
     /// The component this kind of event belongs to.
@@ -162,9 +166,8 @@ impl EventKind {
             L1Hit | L1Miss => Component::L1,
             MshrCoalesce | MshrStall => Component::Mshr,
             SbStall | SbFlush => Component::StoreBuffer,
-            Invalidate | OwnershipTransfer | AtomicAtL1 | AtomicAtL2 | AtomicReuse | Writeback => {
-                Component::Coherence
-            }
+            Invalidate | OwnershipTransfer | AtomicAtL1 | AtomicAtL2 | AtomicReuse | Writeback
+            | SharerInvalidate => Component::Coherence,
             L2Access => Component::L2,
             NocHop | NocStall => Component::Noc,
             DramRefill => Component::Dram,
@@ -199,6 +202,7 @@ impl EventKind {
             NocHop => "noc_hop",
             NocStall => "noc_stall",
             DramRefill => "dram_refill",
+            SharerInvalidate => "sharer_invalidate",
         }
     }
 }

@@ -23,7 +23,7 @@ use drfrlx::model::syscentric::compare_with_sc;
 use drfrlx::sim::{run_workload, SysParams};
 use drfrlx::workloads::all_workloads;
 use drfrlx::workloads::registry::extensions;
-use drfrlx::{MemoryModel, SystemConfig};
+use drfrlx::{MemoryModel, Protocol, SystemConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         Some("infer") => cmd_infer(&args[1..]),
         Some("fmt") => cmd_fmt(&args[1..]),
         Some("list") => cmd_list(),
+        Some("configs") => cmd_configs(),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -73,9 +74,17 @@ USAGE:
       Parse and re-emit the program in canonical form.
   drfrlx list
       List the Table 3 workloads available to `simulate`.
-  drfrlx simulate <workload> [--config GD0..DDR] [--platform integrated|discrete]
+  drfrlx configs
+      Print the protocol × model configuration matrix (the paper's six
+      plus the MESI-WB extension) and the Table 2 platform parameters.
+  drfrlx simulate <workload> [--config GD0..MDR] [--protocol gpu|denovo|mesi-wb]
+                             [--platform integrated|discrete]
       Run one workload on the simulated system and print the report.
-  drfrlx trace <workload> [--config GD0..DDR] [--platform integrated|discrete]
+      --protocol overrides the configuration's coherence protocol,
+      keeping its consistency model (e.g. --config GDR --protocol
+      mesi-wb runs MDR).
+  drfrlx trace <workload> [--config GD0..MDR] [--protocol gpu|denovo|mesi-wb]
+                          [--platform integrated|discrete]
                           [--events N] [--out FILE] [--diff CFG2]
       Run one workload with cycle-level structured tracing and print a
       per-component profile. --out writes a Chrome trace-event JSON
@@ -213,6 +222,42 @@ fn cmd_fmt(args: &[String]) -> CmdResult {
     Ok(true)
 }
 
+/// The `--config` abbreviation, with `--protocol` optionally
+/// overriding the coherence protocol while keeping the model.
+fn parse_config(
+    args: &[String],
+    default: &str,
+) -> Result<SystemConfig, Box<dyn std::error::Error>> {
+    let mut config = SystemConfig::from_abbrev(flag_value(args, "--config").unwrap_or(default))
+        .ok_or("unknown config (use GD0..GDR, DD0..DDR or MD0..MDR)")?;
+    if let Some(name) = flag_value(args, "--protocol") {
+        config.protocol =
+            Protocol::from_name(name).ok_or("unknown protocol (use gpu, denovo or mesi-wb)")?;
+    }
+    Ok(config)
+}
+
+fn cmd_configs() -> CmdResult {
+    println!("protocol x model configuration matrix:");
+    println!("{:12} {:>7} {:>7} {:>7}", "protocol", "DRF0", "DRF1", "DRFrlx");
+    for protocol in Protocol::WITH_EXTENSIONS {
+        print!("{:12}", protocol.to_string());
+        for model in MemoryModel::ALL {
+            print!(" {:>7}", SystemConfig { protocol, model }.abbrev());
+        }
+        println!();
+    }
+    println!("\n(the paper evaluates the GPU and DeNovo rows; MESI-WB is this");
+    println!(" repo's writeback-baseline extension — see EXPERIMENTS.md)");
+    for params in [SysParams::integrated(), SysParams::discrete_gpu()] {
+        println!("\n{} platform (Table 2):", params.name);
+        for (k, v) in params.table2_rows() {
+            println!("  {k:18} {v}");
+        }
+    }
+    Ok(true)
+}
+
 fn cmd_list() -> CmdResult {
     println!("{:8} {:6} scaled input", "name", "kind");
     for s in all_workloads().into_iter().chain(extensions()) {
@@ -294,8 +339,7 @@ fn cmd_trace(args: &[String]) -> CmdResult {
     use drfrlx::sim::{chrome_trace, render_diff, render_profile, run_workload_traced};
 
     let name = args.first().ok_or("trace needs a workload name (see `drfrlx list`)")?;
-    let config = SystemConfig::from_abbrev(flag_value(args, "--config").unwrap_or("GD0"))
-        .ok_or("unknown config (use GD0, GD1, GDR, DD0, DD1 or DDR)")?;
+    let config = parse_config(args, "GD0")?;
     let params = match flag_value(args, "--platform").unwrap_or("integrated") {
         "integrated" => SysParams::integrated(),
         "discrete" => SysParams::discrete_gpu(),
@@ -343,7 +387,7 @@ fn cmd_trace(args: &[String]) -> CmdResult {
 
     if let Some(cfg2) = flag_value(args, "--diff") {
         let config2 = SystemConfig::from_abbrev(cfg2)
-            .ok_or("unknown --diff config (use GD0, GD1, GDR, DD0, DD1 or DDR)")?;
+            .ok_or("unknown --diff config (use GD0..GDR, DD0..DDR or MD0..MDR)")?;
         let r2 = run(config2)?;
         let buf2 = r2.trace.as_ref().expect("traced run carries a buffer");
         println!();
@@ -354,8 +398,7 @@ fn cmd_trace(args: &[String]) -> CmdResult {
 
 fn cmd_simulate(args: &[String]) -> CmdResult {
     let name = args.first().ok_or("simulate needs a workload name (see `drfrlx list`)")?;
-    let config = SystemConfig::from_abbrev(flag_value(args, "--config").unwrap_or("DDR"))
-        .ok_or("unknown config (use GD0, GD1, GDR, DD0, DD1 or DDR)")?;
+    let config = parse_config(args, "DDR")?;
     let params = match flag_value(args, "--platform").unwrap_or("integrated") {
         "integrated" => SysParams::integrated(),
         "discrete" => SysParams::discrete_gpu(),
@@ -379,6 +422,7 @@ fn cmd_simulate(args: &[String]) -> CmdResult {
     println!("  atomics @L1/@L2     {}/{}", r.proto.atomics_at_l1, r.proto.atomics_at_l2);
     println!("  MSHR coalesced      {}", r.proto.mshr_coalesced);
     println!("  remote L1 transfers {}", r.proto.remote_l1_transfers);
+    println!("  sharer invalidations {}", r.proto.sharer_invalidations);
     println!("  functional check    ok");
     Ok(true)
 }
