@@ -3,12 +3,23 @@
 //! relaxed machine. Plain `harness = false` timing (offline-friendly).
 
 use drfrlx_bench::timing::{bench, TimingConfig};
-use drfrlx_core::checker::try_check_program;
-use drfrlx_core::exec::{enumerate_sc, EnumLimits};
+use drfrlx_core::checker::{check_program_with, try_check_program, CheckOptions};
+use drfrlx_core::exec::{
+    enumerate_sc, visit_sc, EnumLimits, Execution, ExecutionVisitor, Reduction,
+};
 use drfrlx_core::races::analyze;
 use drfrlx_core::syscentric::explore_relaxed;
 use drfrlx_core::MemoryModel;
-use drfrlx_litmus::usecases;
+use drfrlx_litmus::{stress, usecases};
+
+struct Count(usize);
+
+impl ExecutionVisitor for Count {
+    fn visit(&mut self, _e: &Execution) -> bool {
+        self.0 += 1;
+        true
+    }
+}
 
 fn main() {
     let cfg = TimingConfig::default();
@@ -17,6 +28,27 @@ fn main() {
     let seqlock = usecases::seqlock();
     bench("enumerate_sc/seqlock", &cfg, || {
         enumerate_sc(&seqlock, &limits).expect("enumerable").len()
+    });
+
+    bench("visit_sc_exhaustive/seqlock", &cfg, || {
+        let mut c = Count(0);
+        visit_sc(&seqlock, &limits, false, Reduction::Exhaustive, &mut c).expect("enumerable");
+        c.0
+    });
+
+    let seqlock_stress = stress::seqlock_stress();
+    bench("visit_sc_sleepset/seqlock_stress", &cfg, || {
+        let mut c = Count(0);
+        visit_sc(&seqlock_stress, &limits, false, Reduction::SleepSet, &mut c)
+            .expect("enumerable under reduction");
+        c.0
+    });
+
+    bench("check_sharded_t4/seqlock_stress", &cfg, || {
+        let opts = CheckOptions { threads: 4, ..CheckOptions::default() };
+        check_program_with(&seqlock_stress, MemoryModel::Drfrlx, &opts)
+            .expect("enumerable under reduction")
+            .executions
     });
 
     let flags = usecases::flags();

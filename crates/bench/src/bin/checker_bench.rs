@@ -1,0 +1,100 @@
+//! Wall-clock benchmark for the streaming axiomatic checker, in the
+//! same `--perf` JSON dialect as `drfrlx bench`:
+//!
+//! * `checker_suite_t1` / `checker_suite_t4` — the full litmus corpus
+//!   (registry + stress) checked under all three models at 1 and 4
+//!   worker threads.
+//! * `checker_stress_reference` / `checker_stress_streaming` — the
+//!   stress programs both enumerators can finish (`seqlock_stress`,
+//!   `event_counter_stress`) under DRFrlx: the retained materializing
+//!   reference with a raised execution budget versus the streaming
+//!   pipeline with sleep-set reduction. The committed `BENCH_PR6.json`
+//!   documents the streaming checker's speedup here.
+//!
+//! Usage: `checker_bench [--perf FILE [--perf-baseline FILE]]`
+
+use drfrlx_bench::timing::PerfReport;
+use drfrlx_core::checker::{check_program_reference, check_program_with, CheckOptions};
+use drfrlx_core::exec::EnumLimits;
+use drfrlx_core::MemoryModel;
+use drfrlx_litmus::suite::{all_tests, stress_tests};
+use std::time::Instant;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut perf = PerfReport::new("checker_bench");
+
+    // Full corpus, all models, at 1 vs 4 workers. The verdicts are
+    // identical by construction; only the wall-clock moves.
+    for threads in [1usize, 4] {
+        let start = Instant::now();
+        let mut explored = 0usize;
+        for t in all_tests().iter().chain(stress_tests().iter()) {
+            let p = (t.build)();
+            for model in MemoryModel::ALL {
+                let opts = CheckOptions { threads, ..CheckOptions::default() };
+                let r = check_program_with(&p, model, &opts)
+                    .unwrap_or_else(|e| panic!("{}: {e}", t.name));
+                explored += r.executions;
+            }
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        perf.record(&format!("checker_suite_t{threads}"), seconds);
+        println!("checker_suite_t{threads}: {seconds:.3}s ({explored} executions analyzed)");
+    }
+
+    // Reference vs streaming on the stress programs the materializing
+    // enumerator can still finish (iriw_stress, at 4.2M interleavings,
+    // cannot be materialized in reasonable memory — that is the point
+    // of the streaming pipeline).
+    let stress: Vec<_> = stress_tests()
+        .into_iter()
+        .filter(|t| t.name == "seqlock_stress" || t.name == "event_counter_stress")
+        .collect();
+    let reference_limits = EnumLimits { max_executions: 1_000_000, ..EnumLimits::default() };
+
+    let start = Instant::now();
+    for t in &stress {
+        let p = (t.build)();
+        let r = check_program_reference(&p, MemoryModel::Drfrlx, &reference_limits)
+            .unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        assert!(r.is_race_free(), "{}: stress corpus is race-free", t.name);
+    }
+    let ref_seconds = start.elapsed().as_secs_f64();
+    perf.record("checker_stress_reference", ref_seconds);
+    println!("checker_stress_reference: {ref_seconds:.3}s");
+
+    let start = Instant::now();
+    for t in &stress {
+        let p = (t.build)();
+        let opts = CheckOptions { threads: 4, ..CheckOptions::default() };
+        let r = check_program_with(&p, MemoryModel::Drfrlx, &opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        assert!(r.is_race_free(), "{}: stress corpus is race-free", t.name);
+    }
+    let stream_seconds = start.elapsed().as_secs_f64();
+    perf.record("checker_stress_streaming", stream_seconds);
+    println!("checker_stress_streaming: {stream_seconds:.3}s");
+    if stream_seconds > 0.0 {
+        println!("stress speedup (streaming vs reference): {:.1}x", ref_seconds / stream_seconds);
+    }
+
+    if let Some(path) = flag_value(&args, "--perf") {
+        let json = match flag_value(&args, "--perf-baseline") {
+            Some(base) => {
+                let text =
+                    std::fs::read_to_string(base).unwrap_or_else(|e| panic!("read {base}: {e}"));
+                let before = PerfReport::parse(&text)
+                    .unwrap_or_else(|| panic!("{base}: not a --perf JSON file"));
+                perf.to_json_vs(&before)
+            }
+            None => perf.to_json(),
+        };
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

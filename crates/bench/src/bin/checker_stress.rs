@@ -1,0 +1,36 @@
+//! The 4-thread stress corpus under the streaming checker: per-model
+//! verdicts with explored/pruned execution counts. Deterministic at any
+//! worker count (the shard merge is ordered), so the output is a golden
+//! artifact — `results/checker_stress.txt` — and any checker regression
+//! that changes a verdict or the reduction itself fails tier-1 tests.
+
+use drfrlx_core::checker::{check_program_with, CheckOptions};
+use drfrlx_core::MemoryModel;
+use drfrlx_litmus::suite::stress_tests;
+
+fn main() {
+    let threads = std::env::var("DRFRLX_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(4);
+    println!("Stress corpus: streaming checker with sleep-set reduction");
+    println!("=========================================================");
+    println!("{:24} {:>7} {:10} {:>9} {:>9}", "litmus", "model", "verdict", "explored", "pruned");
+    for t in stress_tests() {
+        let p = (t.build)();
+        for model in MemoryModel::ALL {
+            let opts = CheckOptions { threads, ..CheckOptions::default() };
+            let r = check_program_with(&p, model, &opts).expect("enumerable under reduction");
+            let verdict = if r.is_race_free() { "race-free" } else { "RACY" };
+            println!(
+                "{:24} {:>7} {:10} {:>9} {:>9}",
+                t.name,
+                format!("{model}"),
+                verdict,
+                r.executions,
+                r.pruned
+            );
+        }
+    }
+}

@@ -149,6 +149,7 @@ fn registry_covers_the_paper_artifacts() {
             "ablation_acqrel",
             "ext_sssp",
             "ext_pr_residual",
+            "ext_mesi",
             "hotspots",
         ]
     );

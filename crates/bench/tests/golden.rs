@@ -65,6 +65,7 @@ fn static_binaries_match_committed_artifacts() {
         (env!("CARGO_BIN_EXE_table2_params"), "table2.txt"),
         (env!("CARGO_BIN_EXE_table3_benchmarks"), "table3.txt"),
         (env!("CARGO_BIN_EXE_listing7_herd"), "listing7.txt"),
+        (env!("CARGO_BIN_EXE_checker_stress"), "checker_stress.txt"),
     ] {
         let out = Command::new(exe).output().unwrap_or_else(|e| panic!("run {exe}: {e}"));
         assert!(out.status.success(), "{exe} failed: {}", String::from_utf8_lossy(&out.stderr));

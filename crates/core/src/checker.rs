@@ -1,11 +1,11 @@
-//! Whole-program DRF checking.
+//! Whole-program DRF checking — the streaming race-check pipeline.
 //!
 //! A DRF-family model is a contract: *if* the program is race-free in
 //! every SC execution (of its quantum-equivalent program, for DRFrlx),
 //! *then* the system guarantees SC (quantum-equivalent) results.
 //! [`check_program`] discharges the programmer's half of the contract
-//! by enumerating every SC execution and running the Listing 7 race
-//! detectors on each:
+//! by streaming every SC execution through the Listing 7 race
+//! detectors:
 //!
 //! * **DRF0** — every atomic is viewed as paired; illegal = data races
 //!   (§2.3.2 with only data/atomic distinguished).
@@ -14,12 +14,24 @@
 //! * **DRFrlx** — classes as annotated; illegal = data, commutative,
 //!   non-ordering, quantum and speculative races, detected on the
 //!   quantum-equivalent program when quantum atomics are present.
+//!
+//! The default path ([`check_program_with`]) runs the sharded streaming
+//! enumerator with sleep-set partial-order reduction: executions are
+//! analyzed as they complete, nothing is materialized, and the check
+//! exits early once every [`crate::races::attainable_kinds`] kind has a
+//! witness (the verdict can no longer change). The materializing
+//! pre-streaming behavior survives as [`check_program_reference`] for
+//! differential testing and benchmarking.
 
 use crate::classes::{MemoryModel, OpClass};
-use crate::exec::{enumerate_sc, enumerate_sc_quantum, EnumError, EnumLimits, Execution};
+use crate::exec::{
+    enumerate_sc, enumerate_sc_quantum, visit_sc_sharded, EnumError, EnumLimits, Execution,
+    ExecutionVisitor, Reduction,
+};
 use crate::program::Program;
 use crate::quantum::has_quantum;
-use crate::races::{Race, RaceDetector, RaceKind};
+use crate::races::{attainable_kinds, Race, RaceDetector, RaceKind};
+use std::collections::BTreeSet;
 
 /// The verdict of a whole-program check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +48,7 @@ pub enum Verdict {
 /// One illegal race found during checking, with its provenance.
 #[derive(Debug, Clone)]
 pub struct FoundRace {
-    /// Index of the execution (in enumeration order) exhibiting it.
+    /// Index of the execution (in explored order) exhibiting it.
     pub exec_index: usize,
     /// The racing pair and race kind.
     pub race: Race,
@@ -51,12 +63,17 @@ pub struct CheckReport {
     pub program: String,
     /// Model the program was checked against.
     pub model: MemoryModel,
-    /// Number of SC executions enumerated.
+    /// Number of SC executions explored (analyzed). With partial-order
+    /// reduction or early exit this is the work actually done, not the
+    /// full interleaving count.
     pub executions: usize,
+    /// Scheduling subtrees skipped by partial-order reduction.
+    pub pruned: usize,
     /// Whether the quantum transformation was applied.
     pub quantum_transformed: bool,
-    /// Distinct illegal races (one representative per (kind, a, b) per
-    /// first execution exhibiting it).
+    /// Distinct illegal races — one representative per
+    /// `(kind, instruction pair)`, keyed by static `(tid, iid)` so the
+    /// list is stable under partial-order reduction.
     pub races: Vec<FoundRace>,
     /// The overall verdict.
     pub verdict: Verdict,
@@ -86,6 +103,32 @@ impl CheckReport {
     }
 }
 
+/// How the streaming checker runs.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Enumeration limits (execution budget, quantum domain).
+    pub limits: EnumLimits,
+    /// Worker threads for the sharded walk. The result is identical at
+    /// any thread count; more threads only finish sooner.
+    pub threads: usize,
+    /// Search-space pruning. [`Reduction::SleepSet`] is sound for
+    /// verdicts, race kinds and result sets (see DESIGN.md).
+    pub reduction: Reduction,
+    /// Stop exploring once every attainable race kind has a witness.
+    pub early_exit: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            limits: EnumLimits::default(),
+            threads: 1,
+            reduction: Reduction::SleepSet,
+            early_exit: true,
+        }
+    }
+}
+
 /// How each model views a program's annotations (see module docs).
 fn model_view(p: &Program, model: MemoryModel) -> Program {
     match model {
@@ -102,7 +145,128 @@ fn model_view(p: &Program, model: MemoryModel) -> Program {
     }
 }
 
-/// Check `p` against `model` with explicit limits.
+/// Static identity of a racing pair: kind plus the two instructions,
+/// ordered. Stable across interleavings and shards, unlike event ids.
+type RaceKey = (RaceKind, (usize, usize), (usize, usize));
+
+/// The streaming race checker: one per shard. Analyzes each execution
+/// as it completes and keeps one witness per static race key.
+struct RaceCollector<'p> {
+    view: &'p Program,
+    detector: RaceDetector,
+    attainable: &'p [RaceKind],
+    early_exit: bool,
+    explored: usize,
+    keys: BTreeSet<RaceKey>,
+    races: Vec<(RaceKey, FoundRace)>,
+    found_kinds: BTreeSet<RaceKind>,
+}
+
+impl<'p> RaceCollector<'p> {
+    fn new(view: &'p Program, attainable: &'p [RaceKind], early_exit: bool) -> RaceCollector<'p> {
+        RaceCollector {
+            view,
+            detector: RaceDetector::for_program(view),
+            attainable,
+            early_exit,
+            explored: 0,
+            keys: BTreeSet::new(),
+            races: Vec::new(),
+            found_kinds: BTreeSet::new(),
+        }
+    }
+
+    /// Can this collector's verdict still change? Once every attainable
+    /// kind has a witness the answer is no.
+    fn saturated(&self) -> bool {
+        !self.attainable.is_empty() && self.attainable.iter().all(|k| self.found_kinds.contains(k))
+    }
+}
+
+impl ExecutionVisitor for RaceCollector<'_> {
+    fn visit(&mut self, e: &Execution) -> bool {
+        let analysis = self.detector.analyze(e);
+        for race in analysis.races() {
+            let (ea, eb) = (&e.events[race.a], &e.events[race.b]);
+            let mut pair = [(ea.tid, ea.iid), (eb.tid, eb.iid)];
+            pair.sort_unstable();
+            let key = (race.kind, pair[0], pair[1]);
+            if self.keys.insert(key) {
+                self.found_kinds.insert(race.kind);
+                self.races.push((
+                    key,
+                    FoundRace {
+                        exec_index: self.explored,
+                        description: format!(
+                            "{}: {} between {} and {}",
+                            self.view.name(),
+                            race.kind,
+                            crate::pretty::event_label(self.view, ea),
+                            crate::pretty::event_label(self.view, eb),
+                        ),
+                        race,
+                    },
+                ));
+            }
+        }
+        self.explored += 1;
+        !(self.early_exit && self.saturated())
+    }
+}
+
+/// Check `p` against `model` on the streaming pipeline, with explicit
+/// options: sharded enumeration, partial-order reduction, parallel
+/// workers and early exit. The report is deterministic — identical at
+/// any `threads`.
+///
+/// # Errors
+///
+/// Returns [`EnumError`] if enumeration exceeds the configured limits.
+pub fn check_program_with(
+    p: &Program,
+    model: MemoryModel,
+    opts: &CheckOptions,
+) -> Result<CheckReport, EnumError> {
+    let view = model_view(p, model);
+    let quantum = model == MemoryModel::Drfrlx && has_quantum(&view);
+    let attainable = attainable_kinds(&view);
+    let run = visit_sc_sharded(
+        &view,
+        &opts.limits,
+        quantum,
+        opts.reduction,
+        opts.threads,
+        &|| RaceCollector::new(&view, &attainable, opts.early_exit),
+        &|v: &RaceCollector| opts.early_exit && v.saturated(),
+    )?;
+    // Deterministic merge: shards in DFS-frontier order, races deduped
+    // by static key, execution indices offset by prior shards' work.
+    let mut keys: BTreeSet<RaceKey> = BTreeSet::new();
+    let mut races: Vec<FoundRace> = Vec::new();
+    let mut offset = 0;
+    for (v, stats) in run.shards {
+        for (key, mut f) in v.races {
+            if keys.insert(key) {
+                f.exec_index += offset;
+                races.push(f);
+            }
+        }
+        offset += stats.explored;
+    }
+    let verdict = if races.is_empty() { Verdict::RaceFree } else { Verdict::Racy };
+    Ok(CheckReport {
+        program: p.name().to_string(),
+        model,
+        executions: run.stats.explored,
+        pruned: run.stats.pruned,
+        quantum_transformed: quantum,
+        races,
+        verdict,
+    })
+}
+
+/// Check `p` against `model` with explicit limits on the default
+/// streaming pipeline (POR on, early exit on, single worker).
 ///
 /// # Errors
 ///
@@ -112,38 +276,42 @@ pub fn try_check_program(
     model: MemoryModel,
     limits: &EnumLimits,
 ) -> Result<CheckReport, EnumError> {
+    check_program_with(
+        p,
+        model,
+        &CheckOptions { limits: limits.clone(), ..CheckOptions::default() },
+    )
+}
+
+/// The retained materializing reference checker: enumerate **every** SC
+/// execution into a `Vec`, then analyze the vector. Differential tests
+/// and the checker benchmark compare the streaming pipeline against
+/// this; new code should use [`check_program_with`].
+///
+/// # Errors
+///
+/// Returns [`EnumError`] if enumeration exceeds the configured limits.
+pub fn check_program_reference(
+    p: &Program,
+    model: MemoryModel,
+    limits: &EnumLimits,
+) -> Result<CheckReport, EnumError> {
     let view = model_view(p, model);
     let quantum = model == MemoryModel::Drfrlx && has_quantum(&view);
     let execs: Vec<Execution> =
         if quantum { enumerate_sc_quantum(&view, limits)? } else { enumerate_sc(&view, limits)? };
-    let detector = RaceDetector::for_program(&view);
-    let mut races: Vec<FoundRace> = Vec::new();
-    for (i, e) in execs.iter().enumerate() {
-        let analysis = detector.analyze(e);
-        for race in analysis.races() {
-            let dup = races
-                .iter()
-                .any(|f| f.race.kind == race.kind && f.race.a == race.a && f.race.b == race.b);
-            if !dup {
-                races.push(FoundRace {
-                    exec_index: i,
-                    description: format!(
-                        "{}: {} between {} and {}",
-                        view.name(),
-                        race.kind,
-                        crate::pretty::event_label(&view, &e.events[race.a]),
-                        crate::pretty::event_label(&view, &e.events[race.b]),
-                    ),
-                    race,
-                });
-            }
-        }
+    let attainable = attainable_kinds(&view);
+    let mut collector = RaceCollector::new(&view, &attainable, false);
+    for e in &execs {
+        collector.visit(e);
     }
+    let races = collector.races.into_iter().map(|(_, f)| f).collect::<Vec<_>>();
     let verdict = if races.is_empty() { Verdict::RaceFree } else { Verdict::Racy };
     Ok(CheckReport {
         program: p.name().to_string(),
         model,
         executions: execs.len(),
+        pruned: 0,
         quantum_transformed: quantum,
         races,
         verdict,
@@ -234,5 +402,58 @@ mod tests {
         assert!(check_program(&p, MemoryModel::Drf1).is_race_free());
         let r = check_program(&p, MemoryModel::Drfrlx);
         assert!(r.has_race_kind(RaceKind::Commutative));
+    }
+
+    #[test]
+    fn streaming_agrees_with_reference_on_every_model() {
+        let mut p = Program::new("mixed");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Data, "x", 1);
+            t.store(OpClass::Unpaired, "f", 1);
+        }
+        {
+            let mut t = p.thread();
+            let f = t.load(OpClass::Unpaired, "f");
+            t.observe(f);
+            let d = t.load(OpClass::Data, "x");
+            t.observe(d);
+        }
+        let p = p.build();
+        let limits = EnumLimits::default();
+        for model in MemoryModel::ALL {
+            let reference = check_program_reference(&p, model, &limits).unwrap();
+            for threads in [1usize, 4] {
+                let opts = CheckOptions { threads, ..CheckOptions::default() };
+                let streamed = check_program_with(&p, model, &opts).unwrap();
+                assert_eq!(streamed.verdict, reference.verdict, "{model} t={threads}");
+                assert_eq!(streamed.race_kinds(), reference.race_kinds(), "{model} t={threads}");
+                assert_eq!(
+                    streamed.races.is_empty(),
+                    reference.races.is_empty(),
+                    "{model} t={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_stops_after_saturation() {
+        // Data-only program: the data race saturates the attainable
+        // kinds on the first racy execution.
+        let mut p = Program::new("dd");
+        p.thread().store(OpClass::Data, "x", 1);
+        p.thread().store(OpClass::Data, "x", 2);
+        let p = p.build();
+        let eager = check_program_with(&p, MemoryModel::Drfrlx, &CheckOptions::default()).unwrap();
+        assert!(!eager.is_race_free());
+        let full = check_program_with(
+            &p,
+            MemoryModel::Drfrlx,
+            &CheckOptions { early_exit: false, ..CheckOptions::default() },
+        )
+        .unwrap();
+        assert!(eager.executions <= full.executions);
+        assert_eq!(eager.race_kinds(), full.race_kinds());
     }
 }

@@ -1,12 +1,32 @@
-//! SC-execution enumeration.
+//! SC-execution enumeration — the streaming checker pipeline.
 //!
-//! [`enumerate_sc`] produces **every** sequentially consistent execution
-//! of a litmus program: every interleaving of the threads' memory
-//! operations, with each load returning the value of the last store to
-//! the same location in the interleaving (paper §2.3.1). The resulting
-//! [`Execution`]s carry the relations Herd models are phrased over
-//! (`po`, `rf`, `co`, `fr`, dependency relations), ready for the race
-//! detectors in [`crate::races`].
+//! The enumerator walks an explicit interleaving tree with a **single
+//! mutable [`SearchState`]** and an undo journal: each step pushes its
+//! effects (thread state, memory, events, relation edges) and pops them
+//! on backtrack. Completed executions are fed, one at a time, to an
+//! [`ExecutionVisitor`] — nothing is materialized on the default path.
+//! The resulting [`Execution`]s carry the relations Herd models are
+//! phrased over (`po`, `rf`, `co`, `fr`, dependency relations), ready
+//! for the race detectors in [`crate::races`].
+//!
+//! Three layers compose:
+//!
+//! 1. [`visit_sc`] — the streaming DFS itself, with incremental relation
+//!    maintenance (extend `po`/`co`/`rf`/`fr` on push, retract on pop).
+//! 2. [`Reduction::SleepSet`] — sound partial-order reduction: two
+//!    pending steps commute when they touch different locations or are
+//!    both reads, so only one order of each commuting pair is explored;
+//!    skipped subtrees are counted in [`EnumStats::pruned`].
+//! 3. [`visit_sc_sharded`] — the top levels of the tree are split into
+//!    independent shard jobs run on a thread pool (same discipline as
+//!    `hsim_sys::run_matrix`: atomic job index, results merged in shard
+//!    order, serial fallback). The shard set is independent of the
+//!    thread count, so explored/pruned counts and visitor results are
+//!    byte-identical at any `--threads`.
+//!
+//! [`enumerate_sc`] / [`enumerate_sc_quantum`] survive as collect()
+//! visitors over the exhaustive (unreduced) walk — the materializing
+//! reference the differential tests compare against.
 //!
 //! When a *quantum domain* is supplied (the quantum transformation of
 //! §3.4.3), quantum loads do not read memory: they are replaced by a
@@ -19,6 +39,8 @@ use crate::program::{Expr, Instr, Loc, Program, Reg, Value};
 use crate::relation::Relation;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Kind of dynamic memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -208,7 +230,7 @@ pub struct EnumLimits {
 
 impl Default for EnumLimits {
     fn default() -> Self {
-        EnumLimits { max_executions: 4_000_000, quantum_domain: vec![0, 1, JUNK] }
+        EnumLimits { max_executions: 250_000, quantum_domain: vec![0, 1, JUNK] }
     }
 }
 
@@ -229,7 +251,11 @@ impl fmt::Display for EnumError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EnumError::TooManyExecutions { limit } => {
-                write!(f, "more than {limit} SC executions; raise EnumLimits::max_executions")
+                write!(
+                    f,
+                    "more than {limit} SC executions; raise the limit with \
+                     `drfrlx check --max-execs N` (EnumLimits::max_executions)"
+                )
             }
         }
     }
@@ -237,14 +263,62 @@ impl fmt::Display for EnumError {
 
 impl std::error::Error for EnumError {}
 
+/// A streaming consumer of completed SC executions.
+///
+/// The enumerator calls [`ExecutionVisitor::visit`] once per completed
+/// execution, in DFS order, passing a borrowed `Execution` that is torn
+/// down when the call returns. Return `false` to stop the enumeration
+/// (or, under sharding, the current shard) early — e.g. a race checker
+/// whose verdict can no longer change.
+pub trait ExecutionVisitor {
+    /// Consume one execution; `false` stops the (shard's) enumeration.
+    fn visit(&mut self, e: &Execution) -> bool;
+}
+
+/// Search-space pruning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Visit every SC interleaving — the materializing-era reference
+    /// behavior, kept for differential testing.
+    Exhaustive,
+    /// Sleep-set partial-order reduction: of two adjacent steps that
+    /// touch different locations or are both reads, only one order is
+    /// explored. Sound for race verdicts, race kinds and final-memory
+    /// result sets (see DESIGN.md "Checker pipeline").
+    SleepSet,
+}
+
+/// Explored/pruned counts from one enumeration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Complete executions handed to the visitor.
+    pub explored: usize,
+    /// Subtrees skipped by partial-order reduction (count of pruned
+    /// scheduling choices, not of executions under them).
+    pub pruned: usize,
+}
+
+impl EnumStats {
+    /// Accumulate another enumeration's counts.
+    pub fn absorb(&mut self, other: EnumStats) {
+        self.explored += other.explored;
+        self.pruned += other.pruned;
+    }
+}
+
 /// Enumerate all SC executions of `p`.
+///
+/// Equivalent to [`visit_sc`] with [`Reduction::Exhaustive`] and a
+/// collecting visitor — the materializing reference path.
 ///
 /// # Errors
 ///
 /// Returns [`EnumError::TooManyExecutions`] if the interleaving count
 /// exceeds the limit.
 pub fn enumerate_sc(p: &Program, limits: &EnumLimits) -> Result<Vec<Execution>, EnumError> {
-    enumerate_inner(p, limits, false)
+    let mut c = Collect::default();
+    visit_sc(p, limits, false, Reduction::Exhaustive, &mut c)?;
+    Ok(c.0)
 }
 
 /// Enumerate all SC executions of the *quantum-equivalent program*
@@ -257,7 +331,221 @@ pub fn enumerate_sc(p: &Program, limits: &EnumLimits) -> Result<Vec<Execution>, 
 /// Returns [`EnumError::TooManyExecutions`] if the execution count
 /// exceeds the limit.
 pub fn enumerate_sc_quantum(p: &Program, limits: &EnumLimits) -> Result<Vec<Execution>, EnumError> {
-    enumerate_inner(p, limits, true)
+    let mut c = Collect::default();
+    visit_sc(p, limits, true, Reduction::Exhaustive, &mut c)?;
+    Ok(c.0)
+}
+
+/// The collecting visitor behind [`enumerate_sc`].
+#[derive(Default)]
+struct Collect(Vec<Execution>);
+
+impl ExecutionVisitor for Collect {
+    fn visit(&mut self, e: &Execution) -> bool {
+        self.0.push(e.clone());
+        true
+    }
+}
+
+/// Stream every SC execution of `p` (or of P<sub>q</sub> when
+/// `quantum`) to `visitor`, in DFS order.
+///
+/// # Errors
+///
+/// Returns [`EnumError::TooManyExecutions`] if the execution count
+/// exceeds the limit.
+pub fn visit_sc(
+    p: &Program,
+    limits: &EnumLimits,
+    quantum: bool,
+    reduction: Reduction,
+    visitor: &mut dyn ExecutionVisitor,
+) -> Result<EnumStats, EnumError> {
+    let counter = AtomicUsize::new(0);
+    let mut eng = Engine::new(p, limits, quantum, reduction, visitor, &counter, None);
+    eng.node(0, 0)?;
+    Ok(eng.stats)
+}
+
+/// Result of a sharded enumeration: per-shard visitors in deterministic
+/// shard order, plus aggregate counts.
+pub struct ShardedRun<V> {
+    /// One `(visitor, stats)` per shard actually merged, in shard
+    /// (DFS frontier) order. When early exit cut the run short, shards
+    /// past the cutoff are absent.
+    pub shards: Vec<(V, EnumStats)>,
+    /// Aggregate explored/pruned over the merged shards (frontier-level
+    /// pruning included).
+    pub stats: EnumStats,
+    /// Did the saturation predicate cut the run short?
+    pub early_exit: bool,
+}
+
+/// How many frontier jobs the shard collector aims for. Fixed (not a
+/// function of the thread count) so the shard set — and therefore the
+/// merged result and the explored/pruned split — is identical at any
+/// `--threads`.
+const SHARD_TARGET: usize = 64;
+/// Deepest frontier cut considered.
+const SHARD_MAX_DEPTH: usize = 6;
+
+/// Stream executions to per-shard visitors, in parallel.
+///
+/// The top levels of the interleaving tree are cut into
+/// [`SHARD_TARGET`]-ish independent jobs (state snapshot + sleep set),
+/// collected in DFS order. Workers claim jobs off an atomic index —
+/// the same pool discipline as `hsim_sys::run_matrix` — and results
+/// merge in shard order, so the outcome is independent of `threads`
+/// and of scheduling.
+///
+/// `make` creates one fresh visitor per shard; `saturated` inspects a
+/// finished shard's visitor and returns `true` when that shard alone
+/// proves the final answer can no longer change (e.g. every attainable
+/// race kind was found). The merged result is then shards
+/// `0..=cutoff`, where `cutoff` is the *smallest* saturating shard
+/// index — a deterministic rule: the running cutoff only decreases, so
+/// every shard at or below the final cutoff is always run and every
+/// shard above it is always discarded.
+///
+/// # Errors
+///
+/// Returns [`EnumError::TooManyExecutions`] when the executions
+/// explored across all shards (a shared counter) exceed the limit.
+pub fn visit_sc_sharded<V: ExecutionVisitor + Send>(
+    p: &Program,
+    limits: &EnumLimits,
+    quantum: bool,
+    reduction: Reduction,
+    threads: usize,
+    make: &(dyn Fn() -> V + Sync),
+    saturated: &(dyn Fn(&V) -> bool + Sync),
+) -> Result<ShardedRun<V>, EnumError> {
+    let (shards, frontier_pruned) = collect_frontier(p, limits, quantum, reduction);
+    let counter = AtomicUsize::new(0);
+    let nshards = shards.len();
+    let threads = threads.clamp(1, nshards.max(1));
+
+    let mut merged: Vec<(V, EnumStats)> = Vec::new();
+    let mut early_exit = false;
+    if threads == 1 {
+        for shard in shards {
+            let mut v = make();
+            let stats = run_shard(p, limits, quantum, reduction, shard, &mut v, &counter)?;
+            let sat = saturated(&v);
+            merged.push((v, stats));
+            if sat {
+                early_exit = true;
+                break;
+            }
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let cutoff = AtomicUsize::new(usize::MAX);
+        type Slot<V> = Mutex<Option<Result<(V, EnumStats), EnumError>>>;
+        let slots: Vec<Slot<V>> = (0..nshards).map(|_| Mutex::new(None)).collect();
+        let shards = &shards;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= nshards {
+                        break;
+                    }
+                    if j > cutoff.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let mut v = make();
+                    let r = run_shard(
+                        p,
+                        limits,
+                        quantum,
+                        reduction,
+                        shards[j].clone(),
+                        &mut v,
+                        &counter,
+                    );
+                    let r = r.map(|stats| {
+                        if saturated(&v) {
+                            cutoff.fetch_min(j, Ordering::Relaxed);
+                        }
+                        (v, stats)
+                    });
+                    *slots[j].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        let cut = cutoff.load(Ordering::Relaxed);
+        early_exit = cut != usize::MAX;
+        for (j, slot) in slots.into_iter().enumerate() {
+            if j > cut {
+                break;
+            }
+            let r = slot.into_inner().unwrap().expect("shards at or below the cutoff always run");
+            merged.push(r?);
+        }
+    }
+    let mut stats = EnumStats { explored: 0, pruned: frontier_pruned };
+    for (_, s) in &merged {
+        stats.absorb(*s);
+    }
+    Ok(ShardedRun { shards: merged, stats, early_exit })
+}
+
+/// One frontier job: a search-state snapshot plus the sleep set it was
+/// captured under.
+#[derive(Clone)]
+struct Shard {
+    st: SearchState,
+    sleep: u64,
+}
+
+/// Cut the top of the interleaving tree into shard jobs, deepening the
+/// cut until [`SHARD_TARGET`] jobs exist (or the tree runs out).
+/// Returns the jobs in DFS order plus the scheduling choices pruned at
+/// frontier levels.
+fn collect_frontier(
+    p: &Program,
+    limits: &EnumLimits,
+    quantum: bool,
+    reduction: Reduction,
+) -> (Vec<Shard>, usize) {
+    let mut depth = 1;
+    loop {
+        let counter = AtomicUsize::new(0);
+        let mut sink = Sink;
+        let mut eng = Engine::new(p, limits, quantum, reduction, &mut sink, &counter, Some(depth));
+        eng.node(0, 0).expect("frontier collection emits no executions");
+        let shards = std::mem::take(&mut eng.shards);
+        let pruned = eng.stats.pruned;
+        if shards.len() >= SHARD_TARGET || depth >= SHARD_MAX_DEPTH {
+            return (shards, pruned);
+        }
+        depth += 1;
+    }
+}
+
+/// Visitor for passes that never emit (frontier collection).
+struct Sink;
+
+impl ExecutionVisitor for Sink {
+    fn visit(&mut self, _e: &Execution) -> bool {
+        unreachable!("frontier collection does not complete executions")
+    }
+}
+
+fn run_shard(
+    p: &Program,
+    limits: &EnumLimits,
+    quantum: bool,
+    reduction: Reduction,
+    shard: Shard,
+    visitor: &mut dyn ExecutionVisitor,
+    counter: &AtomicUsize,
+) -> Result<EnumStats, EnumError> {
+    let mut eng = Engine::new(p, limits, quantum, reduction, visitor, counter, None);
+    eng.st = shard.st;
+    eng.node(shard.sleep, 0)?;
+    Ok(eng.stats)
 }
 
 #[derive(Clone)]
@@ -270,6 +558,9 @@ struct ThreadState {
     ctrl: BTreeSet<usize>,
 }
 
+/// The single mutable search state. Relations live over a carrier
+/// pre-sized to the program's memory-instruction count; a completed
+/// execution takes their prefix restriction.
 #[derive(Clone)]
 struct SearchState {
     threads: Vec<ThreadState>,
@@ -278,12 +569,46 @@ struct SearchState {
     order: Vec<usize>,
     /// Per location: write event ids in coherence (SC) order.
     writes: BTreeMap<Loc, Vec<usize>>,
-    /// Per read event: index into its location's write list of its
-    /// source (`None` = initial value).
-    read_src: Vec<Option<usize>>,
-    data_src: Vec<BTreeSet<usize>>,
-    ctrl_src: Vec<BTreeSet<usize>>,
+    /// Per location: read event ids in SC order (for `fr` maintenance:
+    /// a new write is `fr`-after every existing read of its location).
+    reads: BTreeMap<Loc, Vec<usize>>,
+    /// Per thread: its event ids in program order (for `po` pushes).
+    thread_events: Vec<Vec<usize>>,
     observed: BTreeSet<usize>,
+    po: Relation,
+    rf: Relation,
+    co: Relation,
+    fr: Relation,
+    data_dep: Relation,
+    ctrl_dep: Relation,
+}
+
+/// Which relation an undo-journal edge belongs to.
+#[derive(Clone, Copy)]
+enum RelId {
+    Po,
+    Rf,
+    Co,
+    Fr,
+    Data,
+    Ctrl,
+}
+
+/// Undo journal for one tree node: everything a step changed, so
+/// backtracking is a pop instead of a clone-per-branch.
+#[derive(Default)]
+struct Frame {
+    /// Thread states saved on first touch within this frame.
+    saved_threads: Vec<(usize, ThreadState)>,
+    /// `(loc, previous value)` saved on first overwrite within this
+    /// frame; restored in reverse.
+    saved_memory: Vec<(Loc, Value)>,
+    events_pushed: usize,
+    writes_pushed: Vec<Loc>,
+    reads_pushed: Vec<Loc>,
+    thread_events_pushed: Vec<usize>,
+    observed_added: Vec<usize>,
+    edges: Vec<(RelId, usize, usize)>,
 }
 
 fn expr_taint(e: &Expr, t: &ThreadState) -> BTreeSet<usize> {
@@ -298,404 +623,616 @@ fn expr_taint(e: &Expr, t: &ThreadState) -> BTreeSet<usize> {
     out
 }
 
-fn enumerate_inner(
-    p: &Program,
-    limits: &EnumLimits,
-    quantum: bool,
-) -> Result<Vec<Execution>, EnumError> {
-    let init = SearchState {
-        threads: p
-            .threads()
-            .iter()
-            .map(|_| ThreadState {
-                pc: 0,
-                regs: BTreeMap::new(),
-                taint: BTreeMap::new(),
-                ctrl: BTreeSet::new(),
-            })
-            .collect(),
-        memory: (0..p.num_locs() as u32).map(|l| (Loc(l), p.init_value(Loc(l)))).collect(),
-        events: Vec::new(),
-        order: Vec::new(),
-        writes: BTreeMap::new(),
-        read_src: Vec::new(),
-        data_src: Vec::new(),
-        ctrl_src: Vec::new(),
-        observed: BTreeSet::new(),
-    };
-    let mut out = Vec::new();
-    explore(p, limits, quantum, init, &mut out)?;
-    Ok(out)
+/// What [`Engine::drain`] stopped on.
+enum Drained {
+    /// No local-deterministic instruction is pending anywhere.
+    Done,
+    /// A quantum load (under the quantum transformation) — a local
+    /// *choice* point the caller must branch over.
+    QuantumLoad { tid: usize, dst: Reg },
 }
 
-fn explore(
-    p: &Program,
-    limits: &EnumLimits,
+struct Engine<'a> {
+    p: &'a Program,
+    limits: &'a EnumLimits,
     quantum: bool,
-    mut st: SearchState,
-    out: &mut Vec<Execution>,
-) -> Result<(), EnumError> {
-    // Phase 1: drain local-deterministic instructions of every thread;
-    // they commute with everything, so running them eagerly prunes
-    // redundant interleavings. Quantum loads are local *choice* points:
-    // branch over the domain and recurse.
-    loop {
-        let mut progressed = false;
-        for tid in 0..st.threads.len() {
-            loop {
-                let pc = st.threads[tid].pc;
-                let Some(instr) = p.threads()[tid].instrs.get(pc) else { break };
-                match instr {
-                    Instr::Assign { dst, expr } => {
-                        let v = expr.eval(&st.threads[tid].regs);
-                        let taint = expr_taint(expr, &st.threads[tid]);
-                        let t = &mut st.threads[tid];
-                        t.regs.insert(*dst, v);
-                        t.taint.insert(*dst, taint);
-                        t.pc += 1;
-                        progressed = true;
-                    }
-                    Instr::BranchOn { cond } => {
-                        let taint = expr_taint(cond, &st.threads[tid]);
-                        let t = &mut st.threads[tid];
-                        t.ctrl.extend(taint);
-                        t.pc += 1;
-                        progressed = true;
-                    }
-                    Instr::Observe { expr } => {
-                        let taint = expr_taint(expr, &st.threads[tid]);
-                        st.observed.extend(taint);
-                        st.threads[tid].pc += 1;
-                        progressed = true;
-                    }
-                    Instr::JumpIfZero { cond, skip } => {
-                        let v = cond.eval(&st.threads[tid].regs);
-                        let taint = expr_taint(cond, &st.threads[tid]);
-                        let t = &mut st.threads[tid];
-                        t.ctrl.extend(taint);
-                        t.pc += if v == 0 { skip + 1 } else { 1 };
-                        progressed = true;
-                    }
-                    Instr::Load { class: OpClass::Quantum, dst, .. } if quantum => {
-                        // Quantum transformation: ri = random(). No
-                        // memory event; the load is gone in Pq.
-                        for &v in &limits.quantum_domain {
-                            let mut next = st.clone();
-                            let t = &mut next.threads[tid];
-                            t.regs.insert(*dst, v);
-                            t.taint.insert(*dst, BTreeSet::new());
-                            t.pc += 1;
-                            explore(p, limits, quantum, next, out)?;
-                        }
-                        return Ok(());
-                    }
-                    _ => break,
+    por: bool,
+    st: SearchState,
+    visitor: &'a mut dyn ExecutionVisitor,
+    /// Executions emitted so far, shared across shards so the limit is
+    /// a global resource bound.
+    counter: &'a AtomicUsize,
+    stats: EnumStats,
+    /// Set when the visitor returns `false`; unwinds without error.
+    stop: bool,
+    /// `Some(d)`: frontier-collection mode — cut at depth `d`, pushing
+    /// shard jobs instead of exploring.
+    frontier_depth: Option<usize>,
+    shards: Vec<Shard>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        p: &'a Program,
+        limits: &'a EnumLimits,
+        quantum: bool,
+        reduction: Reduction,
+        visitor: &'a mut dyn ExecutionVisitor,
+        counter: &'a AtomicUsize,
+        frontier_depth: Option<usize>,
+    ) -> Engine<'a> {
+        // Carrier bound: every memory instruction runs at most once
+        // (pcs only move forward), and the quantum transformation never
+        // adds events.
+        let cap = p.threads().iter().flat_map(|t| &t.instrs).filter(|i| i.is_memory()).count();
+        let st = SearchState {
+            threads: p
+                .threads()
+                .iter()
+                .map(|_| ThreadState {
+                    pc: 0,
+                    regs: BTreeMap::new(),
+                    taint: BTreeMap::new(),
+                    ctrl: BTreeSet::new(),
+                })
+                .collect(),
+            memory: (0..p.num_locs() as u32).map(|l| (Loc(l), p.init_value(Loc(l)))).collect(),
+            events: Vec::new(),
+            order: Vec::new(),
+            writes: BTreeMap::new(),
+            reads: BTreeMap::new(),
+            thread_events: vec![Vec::new(); p.threads().len()],
+            observed: BTreeSet::new(),
+            po: Relation::empty(cap),
+            rf: Relation::empty(cap),
+            co: Relation::empty(cap),
+            fr: Relation::empty(cap),
+            data_dep: Relation::empty(cap),
+            ctrl_dep: Relation::empty(cap),
+        };
+        Engine {
+            p,
+            limits,
+            quantum,
+            por: reduction == Reduction::SleepSet,
+            st,
+            visitor,
+            counter,
+            stats: EnumStats::default(),
+            stop: false,
+            frontier_depth,
+            shards: Vec::new(),
+        }
+    }
+
+    fn save_thread(&mut self, frame: &mut Frame, tid: usize) {
+        if !frame.saved_threads.iter().any(|(t, _)| *t == tid) {
+            frame.saved_threads.push((tid, self.st.threads[tid].clone()));
+        }
+    }
+
+    fn save_memory(&mut self, frame: &mut Frame, loc: Loc) {
+        if !frame.saved_memory.iter().any(|(l, _)| *l == loc) {
+            frame.saved_memory.push((loc, *self.st.memory.get(&loc).unwrap_or(&0)));
+        }
+    }
+
+    fn add_edge(&mut self, frame: &mut Frame, rel: RelId, a: usize, b: usize) {
+        let r = match rel {
+            RelId::Po => &mut self.st.po,
+            RelId::Rf => &mut self.st.rf,
+            RelId::Co => &mut self.st.co,
+            RelId::Fr => &mut self.st.fr,
+            RelId::Data => &mut self.st.data_dep,
+            RelId::Ctrl => &mut self.st.ctrl_dep,
+        };
+        debug_assert!(!r.contains(a, b), "incremental edges are inserted exactly once");
+        r.insert(a, b);
+        frame.edges.push((rel, a, b));
+    }
+
+    fn undo(&mut self, frame: Frame) {
+        for (rel, a, b) in frame.edges.into_iter().rev() {
+            let r = match rel {
+                RelId::Po => &mut self.st.po,
+                RelId::Rf => &mut self.st.rf,
+                RelId::Co => &mut self.st.co,
+                RelId::Fr => &mut self.st.fr,
+                RelId::Data => &mut self.st.data_dep,
+                RelId::Ctrl => &mut self.st.ctrl_dep,
+            };
+            r.remove(a, b);
+        }
+        for e in frame.observed_added {
+            self.st.observed.remove(&e);
+        }
+        for tid in frame.thread_events_pushed.into_iter().rev() {
+            self.st.thread_events[tid].pop();
+        }
+        for loc in frame.writes_pushed.into_iter().rev() {
+            self.st.writes.get_mut(&loc).expect("pushed write list exists").pop();
+        }
+        for loc in frame.reads_pushed.into_iter().rev() {
+            self.st.reads.get_mut(&loc).expect("pushed read list exists").pop();
+        }
+        let new_len = self.st.events.len() - frame.events_pushed;
+        self.st.events.truncate(new_len);
+        self.st.order.truncate(new_len);
+        for (loc, v) in frame.saved_memory.into_iter().rev() {
+            self.st.memory.insert(loc, v);
+        }
+        for (tid, t) in frame.saved_threads {
+            self.st.threads[tid] = t;
+        }
+    }
+
+    /// Register a new event: relation pushes, side lists, order.
+    /// `data`/`ctrl` are the event's dependency sources.
+    fn push_event(
+        &mut self,
+        frame: &mut Frame,
+        ev: Event,
+        data: &BTreeSet<usize>,
+        ctrl: &BTreeSet<usize>,
+    ) {
+        let id = ev.id;
+        let tid = ev.tid;
+        let loc = ev.loc;
+        let access = ev.access;
+        // po: every earlier event of the thread precedes the new one
+        // (events are created in program order, so this stays the full
+        // transitive po).
+        let prior = self.st.thread_events[tid].clone();
+        for a in prior {
+            self.add_edge(frame, RelId::Po, a, id);
+        }
+        self.st.thread_events[tid].push(id);
+        frame.thread_events_pushed.push(tid);
+        if access.reads() {
+            // rf: read from the coherence-latest write, if any. Reads
+            // of the initial value have no rf edge; every later write
+            // of the location will add an fr edge instead.
+            if let Some(&w) = self.st.writes.get(&loc).and_then(|ws| ws.last()) {
+                self.add_edge(frame, RelId::Rf, w, id);
+            }
+            self.st.reads.entry(loc).or_default().push(id);
+            frame.reads_pushed.push(loc);
+        }
+        if access.writes() {
+            // co: after every existing write of the location; fr: every
+            // existing read of the location read from a co-earlier
+            // write (or the initial value), so it is fr-before the new
+            // write.
+            let ws = self.st.writes.get(&loc).cloned().unwrap_or_default();
+            for w in ws {
+                self.add_edge(frame, RelId::Co, w, id);
+            }
+            let rs = self.st.reads.get(&loc).cloned().unwrap_or_default();
+            for r in rs {
+                if r != id {
+                    self.add_edge(frame, RelId::Fr, r, id);
                 }
             }
+            self.st.writes.entry(loc).or_default().push(id);
+            frame.writes_pushed.push(loc);
         }
-        if !progressed {
-            break;
+        for &src in data {
+            self.add_edge(frame, RelId::Data, src, id);
+        }
+        for &src in ctrl {
+            self.add_edge(frame, RelId::Ctrl, src, id);
+        }
+        self.st.events.push(ev);
+        self.st.order.push(id);
+        frame.events_pushed += 1;
+    }
+
+    /// Phase 1: drain local-deterministic instructions of every thread;
+    /// they commute with everything, so running them eagerly prunes
+    /// redundant interleavings. Stops at a quantum load (a local choice
+    /// point the caller branches over).
+    fn drain(&mut self, frame: &mut Frame) -> Drained {
+        loop {
+            let mut progressed = false;
+            for tid in 0..self.st.threads.len() {
+                loop {
+                    let p = self.p;
+                    let pc = self.st.threads[tid].pc;
+                    let Some(instr) = p.threads()[tid].instrs.get(pc) else { break };
+                    match instr {
+                        Instr::Assign { dst, expr } => {
+                            let v = expr.eval(&self.st.threads[tid].regs);
+                            let taint = expr_taint(expr, &self.st.threads[tid]);
+                            self.save_thread(frame, tid);
+                            let t = &mut self.st.threads[tid];
+                            t.regs.insert(*dst, v);
+                            t.taint.insert(*dst, taint);
+                            t.pc += 1;
+                            progressed = true;
+                        }
+                        Instr::BranchOn { cond } => {
+                            let taint = expr_taint(cond, &self.st.threads[tid]);
+                            self.save_thread(frame, tid);
+                            let t = &mut self.st.threads[tid];
+                            t.ctrl.extend(taint);
+                            t.pc += 1;
+                            progressed = true;
+                        }
+                        Instr::Observe { expr } => {
+                            let taint = expr_taint(expr, &self.st.threads[tid]);
+                            self.save_thread(frame, tid);
+                            for e in taint {
+                                if self.st.observed.insert(e) {
+                                    frame.observed_added.push(e);
+                                }
+                            }
+                            self.st.threads[tid].pc += 1;
+                            progressed = true;
+                        }
+                        Instr::JumpIfZero { cond, skip } => {
+                            let v = cond.eval(&self.st.threads[tid].regs);
+                            let taint = expr_taint(cond, &self.st.threads[tid]);
+                            self.save_thread(frame, tid);
+                            let t = &mut self.st.threads[tid];
+                            t.ctrl.extend(taint);
+                            t.pc += if v == 0 { skip + 1 } else { 1 };
+                            progressed = true;
+                        }
+                        Instr::Load { class: OpClass::Quantum, dst, .. } if self.quantum => {
+                            return Drained::QuantumLoad { tid, dst: *dst };
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            if !progressed {
+                return Drained::Done;
+            }
         }
     }
 
-    // Terminal: all threads done.
-    if st.threads.iter().enumerate().all(|(tid, t)| t.pc >= p.threads()[tid].instrs.len()) {
-        if out.len() >= limits.max_executions {
-            return Err(EnumError::TooManyExecutions { limit: limits.max_executions });
+    /// The next memory operation of `tid`, as `(loc, writes)` — the
+    /// independence signature for sleep sets.
+    fn next_op(&self, tid: usize) -> (Loc, bool) {
+        let pc = self.st.threads[tid].pc;
+        match &self.p.threads()[tid].instrs[pc] {
+            Instr::Load { loc, .. } => (*loc, false),
+            Instr::Store { loc, .. } => (*loc, true),
+            Instr::Rmw { loc, .. } => (*loc, true),
+            _ => unreachable!("next_op called on a thread not at a memory instruction"),
         }
-        out.push(finish(st));
-        return Ok(());
     }
 
-    // Phase 2: branch over which thread performs its next memory event.
-    for tid in 0..st.threads.len() {
-        let pc = st.threads[tid].pc;
-        let Some(instr) = p.threads()[tid].instrs.get(pc) else { continue };
-        if !instr.is_memory() {
-            continue;
+    /// Do two pending steps commute? Yes iff they touch different
+    /// locations or are both reads — swapping such adjacent steps
+    /// changes nothing the models look at (see DESIGN.md).
+    fn independent(a: (Loc, bool), b: (Loc, bool)) -> bool {
+        a.0 != b.0 || (!a.1 && !b.1)
+    }
+
+    /// One tree node: drain locals, then branch on which thread moves.
+    /// `sleep` is the sleep set (bitmask of enabled threads whose moves
+    /// are covered by an already-explored sibling order); `depth`
+    /// counts choice points for frontier collection.
+    fn node(&mut self, sleep: u64, depth: usize) -> Result<(), EnumError> {
+        if self.stop {
+            return Ok(());
         }
-        if quantum && instr.class() == Some(OpClass::Quantum) {
+        let mut frame = Frame::default();
+        match self.drain(&mut frame) {
+            Drained::Done => {}
+            Drained::QuantumLoad { tid, dst } => {
+                // Quantum transformation: ri = random(). No memory
+                // event; the load is gone in Pq. A local choice, so the
+                // sleep set carries through unchanged.
+                let limits = self.limits;
+                for &v in &limits.quantum_domain {
+                    let mut f2 = Frame::default();
+                    self.save_thread(&mut f2, tid);
+                    let t = &mut self.st.threads[tid];
+                    t.regs.insert(dst, v);
+                    t.taint.insert(dst, BTreeSet::new());
+                    t.pc += 1;
+                    self.node(sleep, depth + 1)?;
+                    self.undo(f2);
+                    if self.stop {
+                        break;
+                    }
+                }
+                self.undo(frame);
+                return Ok(());
+            }
+        }
+
+        let p = self.p;
+        let terminal = self
+            .st
+            .threads
+            .iter()
+            .enumerate()
+            .all(|(tid, t)| t.pc >= p.threads()[tid].instrs.len());
+
+        // Frontier-collection mode: cut here instead of exploring.
+        if let Some(d) = self.frontier_depth {
+            if terminal || depth >= d {
+                self.shards.push(Shard { st: self.st.clone(), sleep });
+                self.undo(frame);
+                return Ok(());
+            }
+        }
+
+        if terminal {
+            self.emit()?;
+            self.undo(frame);
+            return Ok(());
+        }
+
+        // Phase 2: branch over which thread performs its next memory
+        // event. After the drain every live thread sits at one, so
+        // transitions are exactly the enabled threads.
+        let enabled: Vec<usize> = (0..self.st.threads.len())
+            .filter(|&tid| {
+                let pc = self.st.threads[tid].pc;
+                p.threads()[tid].instrs.get(pc).is_some_and(|i| i.is_memory())
+            })
+            .collect();
+        let mut slept = sleep;
+        for &tid in &enabled {
+            if self.por && (slept >> tid) & 1 == 1 {
+                // A sibling order already covers every trace through
+                // this move — prune the subtree.
+                self.stats.pruned += 1;
+                continue;
+            }
+            let child_sleep = if self.por {
+                let my = self.next_op(tid);
+                let mut cs = 0u64;
+                for &u in &enabled {
+                    if (slept >> u) & 1 == 1 && Self::independent(self.next_op(u), my) {
+                        cs |= 1 << u;
+                    }
+                }
+                cs
+            } else {
+                0
+            };
+            self.step(tid, child_sleep, depth)?;
+            if self.stop {
+                break;
+            }
+            if self.por {
+                slept |= 1 << tid;
+            }
+        }
+        self.undo(frame);
+        Ok(())
+    }
+
+    /// Take thread `tid`'s pending memory step and recurse. Quantum
+    /// stores/RMWs branch over the domain internally (every branch is
+    /// the same scheduling choice, so they share one sleep set).
+    fn step(&mut self, tid: usize, child_sleep: u64, depth: usize) -> Result<(), EnumError> {
+        let p = self.p;
+        let pc = self.st.threads[tid].pc;
+        let instr = &p.threads()[tid].instrs[pc];
+        if self.quantum && instr.class() == Some(OpClass::Quantum) {
             // Quantum transformation (§3.4.3): quantum stores write
             // random(); a quantum RMW's load returns random() and its
             // store writes random().
+            let limits = self.limits;
             match instr {
-                Instr::Rmw { .. } => {
-                    perform_quantum_rmw(p, limits, tid, &st, out)?;
-                    continue;
+                Instr::Store { class, loc, .. } => {
+                    for &v in &limits.quantum_domain {
+                        let mut f = Frame::default();
+                        self.quantum_store_event(&mut f, tid, *class, *loc, v, None);
+                        self.node(child_sleep, depth + 1)?;
+                        self.undo(f);
+                        if self.stop {
+                            break;
+                        }
+                    }
+                    return Ok(());
                 }
-                Instr::Store { .. } => {
-                    perform_quantum_store(p, limits, tid, &st, out)?;
-                    continue;
+                Instr::Rmw { class, loc, dst, .. } => {
+                    'outer: for &old in &limits.quantum_domain {
+                        for &new in &limits.quantum_domain {
+                            let mut f = Frame::default();
+                            self.quantum_store_event(
+                                &mut f,
+                                tid,
+                                *class,
+                                *loc,
+                                new,
+                                Some((*dst, old)),
+                            );
+                            self.node(child_sleep, depth + 1)?;
+                            self.undo(f);
+                            if self.stop {
+                                break 'outer;
+                            }
+                        }
+                    }
+                    return Ok(());
                 }
                 _ => {}
             }
         }
-        let mut next = st.clone();
-        perform(p, tid, &mut next);
-        explore(p, limits, quantum, next, out)?;
+        let mut f = Frame::default();
+        self.perform(&mut f, tid);
+        self.node(child_sleep, depth + 1)?;
+        self.undo(f);
+        Ok(())
     }
-    Ok(())
-}
 
-/// Perform thread `tid`'s next memory instruction on `st`.
-fn perform(p: &Program, tid: usize, st: &mut SearchState) {
-    let pc = st.threads[tid].pc;
-    let instr = &p.threads()[tid].instrs[pc];
-    let id = st.events.len();
-    let ctrl = st.threads[tid].ctrl.clone();
-    match instr {
-        Instr::Load { class, loc, dst } => {
-            let v = *st.memory.get(loc).unwrap_or(&0);
-            st.events.push(Event {
-                id,
-                tid,
-                iid: pc,
-                class: *class,
-                loc: *loc,
-                access: Access::Read,
-                rval: Some(v),
-                wval: None,
-                write_fn: None,
-            });
-            st.read_src.push(st.writes.get(loc).and_then(|w| {
-                if w.is_empty() {
-                    None
-                } else {
-                    Some(w.len() - 1)
-                }
-            }));
-            st.data_src.push(BTreeSet::new());
-            st.ctrl_src.push(ctrl);
-            let t = &mut st.threads[tid];
-            t.regs.insert(*dst, v);
-            t.taint.insert(*dst, BTreeSet::from([id]));
+    /// Perform thread `tid`'s next memory instruction, journaling into
+    /// `frame`.
+    fn perform(&mut self, frame: &mut Frame, tid: usize) {
+        let p = self.p;
+        let pc = self.st.threads[tid].pc;
+        let instr = &p.threads()[tid].instrs[pc];
+        let id = self.st.events.len();
+        let ctrl = self.st.threads[tid].ctrl.clone();
+        self.save_thread(frame, tid);
+        match instr {
+            Instr::Load { class, loc, dst } => {
+                let v = *self.st.memory.get(loc).unwrap_or(&0);
+                self.push_event(
+                    frame,
+                    Event {
+                        id,
+                        tid,
+                        iid: pc,
+                        class: *class,
+                        loc: *loc,
+                        access: Access::Read,
+                        rval: Some(v),
+                        wval: None,
+                        write_fn: None,
+                    },
+                    &BTreeSet::new(),
+                    &ctrl,
+                );
+                let t = &mut self.st.threads[tid];
+                t.regs.insert(*dst, v);
+                t.taint.insert(*dst, BTreeSet::from([id]));
+            }
+            Instr::Store { class, loc, val } => {
+                let v = val.eval(&self.st.threads[tid].regs);
+                let data = expr_taint(val, &self.st.threads[tid]);
+                self.save_memory(frame, *loc);
+                self.push_event(
+                    frame,
+                    Event {
+                        id,
+                        tid,
+                        iid: pc,
+                        class: *class,
+                        loc: *loc,
+                        access: Access::Write,
+                        rval: None,
+                        wval: Some(v),
+                        write_fn: Some(WriteFn::Set(v)),
+                    },
+                    &data,
+                    &ctrl,
+                );
+                self.st.memory.insert(*loc, v);
+            }
+            Instr::Rmw { class, loc, op, operand, operand2, dst } => {
+                let old = *self.st.memory.get(loc).unwrap_or(&0);
+                let k = operand.eval(&self.st.threads[tid].regs);
+                let k2 = operand2.eval(&self.st.threads[tid].regs);
+                let new = op.apply(old, k, k2);
+                let mut data = expr_taint(operand, &self.st.threads[tid]);
+                data.extend(expr_taint(operand2, &self.st.threads[tid]));
+                let wf = match op {
+                    crate::program::RmwOp::FetchAdd => WriteFn::Add(k),
+                    crate::program::RmwOp::FetchSub => WriteFn::Add(k.wrapping_neg()),
+                    crate::program::RmwOp::FetchAnd => WriteFn::And(k),
+                    crate::program::RmwOp::FetchOr => WriteFn::Or(k),
+                    crate::program::RmwOp::FetchXor => WriteFn::Xor(k),
+                    crate::program::RmwOp::FetchMin => WriteFn::Min(k),
+                    crate::program::RmwOp::FetchMax => WriteFn::Max(k),
+                    crate::program::RmwOp::Exchange => WriteFn::Set(k),
+                    crate::program::RmwOp::Cas => WriteFn::Cas,
+                };
+                self.save_memory(frame, *loc);
+                self.push_event(
+                    frame,
+                    Event {
+                        id,
+                        tid,
+                        iid: pc,
+                        class: *class,
+                        loc: *loc,
+                        access: Access::Rmw,
+                        rval: Some(old),
+                        wval: Some(new),
+                        write_fn: Some(wf),
+                    },
+                    &data,
+                    &ctrl,
+                );
+                self.st.memory.insert(*loc, new);
+                let t = &mut self.st.threads[tid];
+                t.regs.insert(*dst, old);
+                t.taint.insert(*dst, BTreeSet::from([id]));
+            }
+            _ => unreachable!("perform called on non-memory instruction"),
         }
-        Instr::Store { class, loc, val } => {
-            let v = val.eval(&st.threads[tid].regs);
-            let data = expr_taint(val, &st.threads[tid]);
-            st.events.push(Event {
+        self.st.threads[tid].pc += 1;
+    }
+
+    /// Emit a quantum store event writing `wval` (the transformed form
+    /// of a quantum store or RMW), journaling into `frame`.
+    fn quantum_store_event(
+        &mut self,
+        frame: &mut Frame,
+        tid: usize,
+        class: OpClass,
+        loc: Loc,
+        wval: Value,
+        dst: Option<(Reg, Value)>,
+    ) {
+        let pc = self.st.threads[tid].pc;
+        let id = self.st.events.len();
+        let ctrl = self.st.threads[tid].ctrl.clone();
+        self.save_thread(frame, tid);
+        self.save_memory(frame, loc);
+        self.push_event(
+            frame,
+            Event {
                 id,
                 tid,
                 iid: pc,
-                class: *class,
-                loc: *loc,
+                class,
+                loc,
                 access: Access::Write,
                 rval: None,
-                wval: Some(v),
-                write_fn: Some(WriteFn::Set(v)),
-            });
-            st.read_src.push(None);
-            st.data_src.push(data);
-            st.ctrl_src.push(ctrl);
-            st.memory.insert(*loc, v);
-            st.writes.entry(*loc).or_default().push(id);
+                wval: Some(wval),
+                write_fn: Some(WriteFn::Set(wval)),
+            },
+            &BTreeSet::new(),
+            &ctrl,
+        );
+        self.st.memory.insert(loc, wval);
+        if let Some((r, v)) = dst {
+            let t = &mut self.st.threads[tid];
+            t.regs.insert(r, v);
+            t.taint.insert(r, BTreeSet::new());
         }
-        Instr::Rmw { class, loc, op, operand, operand2, dst } => {
-            let old = *st.memory.get(loc).unwrap_or(&0);
-            let k = operand.eval(&st.threads[tid].regs);
-            let k2 = operand2.eval(&st.threads[tid].regs);
-            let new = op.apply(old, k, k2);
-            let mut data = expr_taint(operand, &st.threads[tid]);
-            data.extend(expr_taint(operand2, &st.threads[tid]));
-            let wf = match op {
-                crate::program::RmwOp::FetchAdd => WriteFn::Add(k),
-                crate::program::RmwOp::FetchSub => WriteFn::Add(k.wrapping_neg()),
-                crate::program::RmwOp::FetchAnd => WriteFn::And(k),
-                crate::program::RmwOp::FetchOr => WriteFn::Or(k),
-                crate::program::RmwOp::FetchXor => WriteFn::Xor(k),
-                crate::program::RmwOp::FetchMin => WriteFn::Min(k),
-                crate::program::RmwOp::FetchMax => WriteFn::Max(k),
-                crate::program::RmwOp::Exchange => WriteFn::Set(k),
-                crate::program::RmwOp::Cas => WriteFn::Cas,
-            };
-            st.events.push(Event {
-                id,
-                tid,
-                iid: pc,
-                class: *class,
-                loc: *loc,
-                access: Access::Rmw,
-                rval: Some(old),
-                wval: Some(new),
-                write_fn: Some(wf),
-            });
-            st.read_src.push(st.writes.get(loc).and_then(|w| {
-                if w.is_empty() {
-                    None
-                } else {
-                    Some(w.len() - 1)
-                }
-            }));
-            st.data_src.push(data);
-            st.ctrl_src.push(ctrl);
-            st.memory.insert(*loc, new);
-            st.writes.entry(*loc).or_default().push(id);
-            let t = &mut st.threads[tid];
-            t.regs.insert(*dst, old);
-            t.taint.insert(*dst, BTreeSet::from([id]));
-        }
-        _ => unreachable!("perform called on non-memory instruction"),
+        self.st.threads[tid].pc += 1;
     }
-    st.order.push(id);
-    st.threads[tid].pc += 1;
-}
 
-/// Emit a quantum store event writing `wval` and continue exploration.
-#[allow(clippy::too_many_arguments)]
-fn quantum_store_event(
-    p: &Program,
-    limits: &EnumLimits,
-    tid: usize,
-    st: &SearchState,
-    class: OpClass,
-    loc: Loc,
-    wval: Value,
-    dst: Option<(Reg, Value)>,
-    out: &mut Vec<Execution>,
-) -> Result<(), EnumError> {
-    let mut next = st.clone();
-    let pc = next.threads[tid].pc;
-    let id = next.events.len();
-    let ctrl = next.threads[tid].ctrl.clone();
-    next.events.push(Event {
-        id,
-        tid,
-        iid: pc,
-        class,
-        loc,
-        access: Access::Write,
-        rval: None,
-        wval: Some(wval),
-        write_fn: Some(WriteFn::Set(wval)),
-    });
-    next.read_src.push(None);
-    next.data_src.push(BTreeSet::new());
-    next.ctrl_src.push(ctrl);
-    next.memory.insert(loc, wval);
-    next.writes.entry(loc).or_default().push(id);
-    next.order.push(id);
-    if let Some((r, v)) = dst {
-        let t = &mut next.threads[tid];
-        t.regs.insert(r, v);
-        t.taint.insert(r, BTreeSet::new());
-    }
-    next.threads[tid].pc += 1;
-    explore(p, limits, true, next, out)
-}
-
-/// Quantum store under the quantum transformation: `Y = random()` —
-/// branch over the domain of written values.
-fn perform_quantum_store(
-    p: &Program,
-    limits: &EnumLimits,
-    tid: usize,
-    st: &SearchState,
-    out: &mut Vec<Execution>,
-) -> Result<(), EnumError> {
-    let pc = st.threads[tid].pc;
-    let Instr::Store { class, loc, .. } = &p.threads()[tid].instrs[pc] else { unreachable!() };
-    for &v in &limits.quantum_domain {
-        quantum_store_event(p, limits, tid, st, *class, *loc, v, None, out)?;
-    }
-    Ok(())
-}
-
-/// Quantum RMW under the quantum transformation: the load half returns
-/// `random()` (branch over the domain into `dst`), the store half
-/// writes `random()` (an independent branch over the domain).
-fn perform_quantum_rmw(
-    p: &Program,
-    limits: &EnumLimits,
-    tid: usize,
-    st: &SearchState,
-    out: &mut Vec<Execution>,
-) -> Result<(), EnumError> {
-    let pc = st.threads[tid].pc;
-    let Instr::Rmw { class, loc, dst, .. } = &p.threads()[tid].instrs[pc] else { unreachable!() };
-    for &old in &limits.quantum_domain {
-        for &new in &limits.quantum_domain {
-            quantum_store_event(p, limits, tid, st, *class, *loc, new, Some((*dst, old)), out)?;
+    /// A complete execution: snapshot the state into an [`Execution`]
+    /// and hand it to the visitor.
+    fn emit(&mut self) -> Result<(), EnumError> {
+        let seen = self.counter.fetch_add(1, Ordering::Relaxed);
+        if seen >= self.limits.max_executions {
+            return Err(EnumError::TooManyExecutions { limit: self.limits.max_executions });
         }
-    }
-    Ok(())
-}
-
-fn finish(st: SearchState) -> Execution {
-    let n = st.events.len();
-    let mut po = Relation::empty(n);
-    for a in 0..n {
-        for b in 0..n {
-            if st.events[a].tid == st.events[b].tid && a != b {
-                // Events are created in program order per thread, so id
-                // order within a thread is program order.
-                let (ea, eb) = (&st.events[a], &st.events[b]);
-                if ea.iid < eb.iid {
-                    po.insert(a, b);
-                }
-            }
+        self.stats.explored += 1;
+        let n = self.st.events.len();
+        let exec = Execution {
+            events: self.st.events.clone(),
+            order: self.st.order.clone(),
+            result: ExecResult {
+                memory: self.st.memory.clone(),
+                regs: self.st.threads.iter().map(|t| t.regs.clone()).collect(),
+            },
+            po: self.st.po.restrict(n),
+            rf: self.st.rf.restrict(n),
+            co: self.st.co.restrict(n),
+            fr: self.st.fr.restrict(n),
+            data_dep: self.st.data_dep.restrict(n),
+            addr_dep: Relation::empty(n),
+            ctrl_dep: self.st.ctrl_dep.restrict(n),
+            observed: (0..n).map(|e| self.st.observed.contains(&e)).collect(),
+        };
+        if !self.visitor.visit(&exec) {
+            self.stop = true;
         }
-    }
-    let mut rf = Relation::empty(n);
-    let mut fr = Relation::empty(n);
-    let mut co = Relation::empty(n);
-    for (loc, ws) in &st.writes {
-        for i in 0..ws.len() {
-            for j in (i + 1)..ws.len() {
-                co.insert(ws[i], ws[j]);
-            }
-        }
-        for e in 0..n {
-            if !st.events[e].access.reads() || st.events[e].loc != *loc {
-                continue;
-            }
-            match st.read_src[e] {
-                Some(src) => {
-                    rf.insert(ws[src], e);
-                    for w in &ws[src + 1..] {
-                        if *w != e {
-                            fr.insert(e, *w);
-                        }
-                    }
-                }
-                None => {
-                    for w in ws {
-                        if *w != e {
-                            fr.insert(e, *w);
-                        }
-                    }
-                }
-            }
-        }
-    }
-    let mut data_dep = Relation::empty(n);
-    let mut ctrl_dep = Relation::empty(n);
-    for e in 0..n {
-        for &src in &st.data_src[e] {
-            data_dep.insert(src, e);
-        }
-        for &src in &st.ctrl_src[e] {
-            ctrl_dep.insert(src, e);
-        }
-    }
-    let mut observed = vec![false; n];
-    for &e in &st.observed {
-        observed[e] = true;
-    }
-    Execution {
-        result: ExecResult {
-            memory: st.memory,
-            regs: st.threads.into_iter().map(|t| t.regs).collect(),
-        },
-        events: st.events,
-        order: st.order,
-        po,
-        rf,
-        co,
-        fr,
-        data_dep,
-        addr_dep: Relation::empty(n),
-        ctrl_dep,
-        observed,
+        Ok(())
     }
 }
 
@@ -1005,5 +1542,172 @@ mod tests {
         assert!(e.po.contains(0, 1) && e.po.contains(1, 2) && e.po.contains(0, 2));
         assert!(!e.po.contains(2, 0));
         assert!(e.po.is_acyclic());
+    }
+
+    // ---- streaming / POR / sharding ----
+
+    /// A visitor that keeps only what POR promises to preserve:
+    /// final-memory results, race verdicts and race kinds.
+    #[derive(Default)]
+    struct Summary {
+        explored: usize,
+        memories: BTreeSet<BTreeMap<Loc, Value>>,
+        race_kinds: BTreeSet<crate::races::RaceKind>,
+        any_race: bool,
+    }
+
+    impl ExecutionVisitor for Summary {
+        fn visit(&mut self, e: &Execution) -> bool {
+            self.explored += 1;
+            self.memories.insert(e.result.memory.clone());
+            let a = crate::races::analyze(e);
+            for r in a.races() {
+                self.race_kinds.insert(r.kind);
+            }
+            self.any_race |= !a.is_race_free();
+            true
+        }
+    }
+
+    #[test]
+    fn streaming_matches_materializing_reference() {
+        let p = sb(OpClass::Unpaired);
+        let mut s = Summary::default();
+        let stats = visit_sc(&p, &limits(), false, Reduction::Exhaustive, &mut s).unwrap();
+        let execs = enumerate_sc(&p, &limits()).unwrap();
+        assert_eq!(stats.explored, execs.len());
+        assert_eq!(stats.pruned, 0);
+        let memories: BTreeSet<_> = execs.iter().map(|e| e.result.memory.clone()).collect();
+        assert_eq!(s.memories, memories);
+    }
+
+    #[test]
+    fn sleep_sets_prune_but_preserve_results_and_verdicts() {
+        for class in [OpClass::Paired, OpClass::Unpaired, OpClass::NonOrdering] {
+            let p = sb(class);
+            let mut full = Summary::default();
+            let fs = visit_sc(&p, &limits(), false, Reduction::Exhaustive, &mut full).unwrap();
+            let mut red = Summary::default();
+            let rs = visit_sc(&p, &limits(), false, Reduction::SleepSet, &mut red).unwrap();
+            assert!(rs.explored < fs.explored, "sb must prune: {} vs {}", rs.explored, fs.explored);
+            assert!(rs.pruned > 0);
+            assert_eq!(red.memories, full.memories, "{class:?}: memory result set changed");
+            assert_eq!(red.race_kinds, full.race_kinds, "{class:?}: race kinds changed");
+            assert_eq!(red.any_race, full.any_race, "{class:?}: verdict changed");
+        }
+    }
+
+    #[test]
+    fn sleep_sets_compose_with_quantum_domains() {
+        // Quantum writer + plain reader on separate locations: domain
+        // branching and POR must not interfere.
+        let mut p = Program::new("qpor");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Quantum, "q", 1);
+            t.store(OpClass::Data, "a", 1);
+        }
+        {
+            let mut t = p.thread();
+            let r = t.load(OpClass::Quantum, "q");
+            t.observe(r);
+            t.store(OpClass::Data, "b", 2);
+        }
+        let p = p.build();
+        let mut full = Summary::default();
+        visit_sc(&p, &limits(), true, Reduction::Exhaustive, &mut full).unwrap();
+        let mut red = Summary::default();
+        visit_sc(&p, &limits(), true, Reduction::SleepSet, &mut red).unwrap();
+        assert_eq!(red.memories, full.memories);
+        assert_eq!(red.race_kinds, full.race_kinds);
+    }
+
+    #[test]
+    fn visitor_can_stop_enumeration_early() {
+        struct StopAfter(usize);
+        impl ExecutionVisitor for StopAfter {
+            fn visit(&mut self, _e: &Execution) -> bool {
+                self.0 -= 1;
+                self.0 > 0
+            }
+        }
+        let p = sb(OpClass::Paired);
+        let mut v = StopAfter(2);
+        let stats = visit_sc(&p, &limits(), false, Reduction::Exhaustive, &mut v).unwrap();
+        assert_eq!(stats.explored, 2, "enumeration stops when the visitor says so");
+    }
+
+    #[test]
+    fn sharded_run_is_identical_at_any_thread_count() {
+        let p = sb(OpClass::Unpaired);
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 4, 7] {
+            let run = visit_sc_sharded(
+                &p,
+                &limits(),
+                false,
+                Reduction::SleepSet,
+                threads,
+                &Summary::default,
+                &|_v: &Summary| false,
+            )
+            .unwrap();
+            let mut memories = BTreeSet::new();
+            let mut kinds = BTreeSet::new();
+            for (v, _) in &run.shards {
+                memories.extend(v.memories.iter().cloned());
+                kinds.extend(v.race_kinds.iter().copied());
+            }
+            runs.push((run.stats, memories, kinds, run.shards.len()));
+        }
+        for r in &runs[1..] {
+            assert_eq!(r, &runs[0], "sharded run must not depend on the thread count");
+        }
+        // And the sharded walk agrees with the unsharded one.
+        let mut flat = Summary::default();
+        let fs = visit_sc(&p, &limits(), false, Reduction::SleepSet, &mut flat).unwrap();
+        assert_eq!(runs[0].0, fs);
+        assert_eq!(runs[0].1, flat.memories);
+        assert_eq!(runs[0].2, flat.race_kinds);
+    }
+
+    #[test]
+    fn sharded_early_exit_keeps_a_deterministic_prefix() {
+        // Saturate as soon as a shard saw any execution: only shard 0
+        // (and nothing after it) may be merged, at any thread count.
+        let p = sb(OpClass::Paired);
+        for threads in [1usize, 4] {
+            let run = visit_sc_sharded(
+                &p,
+                &limits(),
+                false,
+                Reduction::Exhaustive,
+                threads,
+                &Summary::default,
+                &|v: &Summary| v.explored > 0,
+            )
+            .unwrap();
+            assert!(run.early_exit);
+            assert_eq!(run.shards.len(), 1, "threads={threads}");
+            assert!(run.shards[0].0.explored > 0);
+        }
+    }
+
+    #[test]
+    fn shared_limit_applies_across_shards() {
+        let p = sb(OpClass::Paired);
+        let r = visit_sc_sharded(
+            &p,
+            &EnumLimits { max_executions: 3, ..EnumLimits::default() },
+            false,
+            Reduction::Exhaustive,
+            2,
+            &Summary::default,
+            &|_v: &Summary| false,
+        );
+        match r {
+            Err(e) => assert_eq!(e, EnumError::TooManyExecutions { limit: 3 }),
+            Ok(_) => panic!("limit must apply across shards"),
+        }
     }
 }

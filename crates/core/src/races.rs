@@ -351,6 +351,44 @@ pub fn analyze(e: &Execution) -> RaceAnalysis {
     RaceDetector::for_execution(e).analyze(e)
 }
 
+/// A sound upper bound on the race kinds any execution of `p` can
+/// exhibit, from the classes the program uses.
+///
+/// Every Listing 7 race relation is gated on membership of its class:
+/// a data race needs a `Data` event on at least one side, a commutative
+/// race a `Commutative` event, and so on — so a kind whose class is
+/// absent from the program can never be reported. The streaming checker
+/// uses this to exit early: once every attainable kind has been
+/// witnessed, the verdict (racy, and with which kinds) can no longer
+/// change, so remaining executions need not be visited. The bound is a
+/// superset of what is actually reachable (class presence does not
+/// imply a race), which only costs pruning opportunity, never
+/// soundness.
+pub fn attainable_kinds(p: &Program) -> Vec<RaceKind> {
+    let classes = p.classes_used();
+    let has = |c: OpClass| classes.contains(&c);
+    let mut out = Vec::new();
+    if has(OpClass::Data) {
+        out.push(RaceKind::Data);
+    }
+    if has(OpClass::Commutative) {
+        out.push(RaceKind::Commutative);
+    }
+    if has(OpClass::NonOrdering) {
+        out.push(RaceKind::NonOrdering);
+    }
+    if has(OpClass::Quantum) {
+        out.push(RaceKind::Quantum);
+    }
+    if has(OpClass::Speculative) {
+        out.push(RaceKind::Speculative);
+    }
+    if has(OpClass::Acquire) || has(OpClass::Release) {
+        out.push(RaceKind::OneSided);
+    }
+    out
+}
+
 /// Which program/conflict-graph edges a path search may use.
 enum EdgeSet<'a> {
     /// All of po, co, rf, fr (the `pco` relation).

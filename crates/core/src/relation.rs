@@ -125,9 +125,35 @@ impl Relation {
         self.words[a * self.stride + b / WORD] |= 1u64 << (b % WORD);
     }
 
+    /// Remove a pair (no-op if absent). The retract half of the
+    /// streaming enumerator's push/pop relation maintenance.
+    pub fn remove(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "pair out of carrier");
+        self.words[a * self.stride + b / WORD] &= !(1u64 << (b % WORD));
+    }
+
     /// Test membership.
     pub fn contains(&self, a: usize, b: usize) -> bool {
         self.words[a * self.stride + b / WORD] & (1u64 << (b % WORD)) != 0
+    }
+
+    /// The restriction of the relation to the carrier prefix `0..m`.
+    ///
+    /// The streaming enumerator maintains relations over a carrier
+    /// sized for the whole program; a completed execution only uses the
+    /// events actually performed, so its relations are the prefix
+    /// restriction. Requires `m <= carrier()` and that no pair touches
+    /// an event `>= m` (which holds by construction for the enumerator:
+    /// events are appended and edges only reference existing events).
+    pub fn restrict(&self, m: usize) -> Relation {
+        assert!(m <= self.n, "restriction larger than carrier");
+        let mut out = Relation::empty(m);
+        for row in 0..m {
+            let src = &self.words[row * self.stride..row * self.stride + out.stride];
+            out.words[row * out.stride..(row + 1) * out.stride].copy_from_slice(src);
+        }
+        out.clear_tail();
+        out
     }
 
     /// Is the relation empty?
@@ -468,5 +494,44 @@ mod tests {
     fn out_of_carrier_insert_rejected() {
         let mut a = Relation::empty(3);
         a.insert(0, 3);
+    }
+
+    #[test]
+    fn remove_undoes_insert_exactly() {
+        for n in [3usize, 64, 65, 130] {
+            let mut a = r(n, &[(0, 1), (1, 2), (2, 0)]);
+            let before = a.clone();
+            a.insert(0, n - 1);
+            a.insert(n - 1, 1);
+            assert_ne!(a, before);
+            a.remove(0, n - 1);
+            a.remove(n - 1, 1);
+            assert_eq!(a, before);
+            // Removing an absent pair is a no-op.
+            a.remove(1, 0);
+            assert_eq!(a, before);
+        }
+    }
+
+    #[test]
+    fn restrict_keeps_the_carrier_prefix() {
+        for (n, m) in [(6usize, 3usize), (100, 64), (130, 65), (70, 70), (5, 0)] {
+            let mut a = Relation::empty(n);
+            for i in 0..m {
+                for j in 0..m {
+                    if (i * 7 + j * 13) % 3 == 0 {
+                        a.insert(i, j);
+                    }
+                }
+            }
+            let small = a.restrict(m);
+            assert_eq!(small.carrier(), m);
+            assert_eq!(small.len(), a.len());
+            for i in 0..m {
+                for j in 0..m {
+                    assert_eq!(small.contains(i, j), a.contains(i, j), "({i},{j}) n={n} m={m}");
+                }
+            }
+        }
     }
 }

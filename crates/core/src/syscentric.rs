@@ -26,7 +26,9 @@
 //! results, while illegally-racy programs can produce non-SC ones.
 
 use crate::classes::{MemoryModel, Strength};
-use crate::exec::{enumerate_sc, enumerate_sc_quantum, EnumError, EnumLimits, ExecResult};
+use crate::exec::{
+    visit_sc, EnumError, EnumLimits, ExecResult, Execution, ExecutionVisitor, Reduction,
+};
 use crate::program::{Expr, Instr, Loc, Program, Reg, Value};
 use crate::quantum::has_quantum;
 use std::collections::{BTreeMap, BTreeSet};
@@ -308,13 +310,21 @@ pub fn compare_with_sc(
     limits: &EnumLimits,
 ) -> Result<ScComparison, EnumError> {
     let relaxed = explore_relaxed(p, model, limits)?;
-    let sc_execs = if model == MemoryModel::Drfrlx && has_quantum(p) {
-        enumerate_sc_quantum(p, limits)?
-    } else {
-        enumerate_sc(p, limits)?
-    };
-    let sc_mem: BTreeSet<BTreeMap<Loc, Value>> =
-        sc_execs.iter().map(|e| e.result.memory.clone()).collect();
+    // The SC result set streams out of the reduced enumerator: no
+    // execution is materialized, and sleep-set reduction is sound here
+    // because the set of reachable final-memory states is an invariant
+    // of commuting adjacent independent steps.
+    struct MemoryResults(BTreeSet<BTreeMap<Loc, Value>>);
+    impl ExecutionVisitor for MemoryResults {
+        fn visit(&mut self, e: &Execution) -> bool {
+            self.0.insert(e.result.memory.clone());
+            true
+        }
+    }
+    let quantum = model == MemoryModel::Drfrlx && has_quantum(p);
+    let mut sc = MemoryResults(BTreeSet::new());
+    visit_sc(p, limits, quantum, Reduction::SleepSet, &mut sc)?;
+    let sc_mem = sc.0;
     let relaxed_mem = relaxed.memory_results();
     let non_sc = relaxed_mem.iter().filter(|m| !sc_mem.contains(*m)).cloned().collect();
     Ok(ScComparison {

@@ -13,6 +13,10 @@
 //!   annotations, each expected to be flagged with a specific race kind.
 //! * [`classic`] — classic weak-memory shapes (MP, SB, LB, CoRR, IRIW,
 //!   Figure 2) with varying labels.
+//! * [`stress`] — 4-thread stress variants (IRIW, event counter,
+//!   seqlock) sized past the default execution budget for exhaustive
+//!   enumeration; only the streaming checker's partial-order reduction
+//!   finishes them.
 //! * [`suite`] — a declarative registry of all tests with their expected
 //!   verdicts under DRF0 / DRF1 / DRFrlx, and a runner that checks both
 //!   the programmer-centric model (race detection) and the
@@ -33,7 +37,8 @@
 
 pub mod classic;
 pub mod mislabeled;
+pub mod stress;
 pub mod suite;
 pub mod usecases;
 
-pub use suite::{all_tests, run, Category, LitmusTest};
+pub use suite::{all_tests, run, stress_tests, Category, LitmusTest};

@@ -1,0 +1,158 @@
+//! Four-thread stress corpus for the streaming checker.
+//!
+//! These programs are deliberately sized past what the seed's
+//! materialize-then-check enumerator can finish under the default
+//! execution budget: exhaustive interleaving counts run into the
+//! millions, while sleep-set partial-order reduction collapses them by
+//! orders of magnitude because most adjacent steps touch different
+//! locations (or are both reads) and therefore commute. They are the
+//! workload behind `results/checker_stress.txt` and the
+//! `checker-bench` CI job.
+
+use drfrlx_core::program::{BinOp, Expr, Program, RmwOp};
+use drfrlx_core::OpClass;
+
+/// IRIW with two writers publishing several values each and two readers
+/// polling both locations — all paired, so race-free under every model.
+/// 14 memory operations across 4 threads: 4,204,200 exhaustive
+/// interleavings, far past the default execution budget.
+pub fn iriw_stress() -> Program {
+    let mut p = Program::new("iriw_stress");
+    {
+        let mut t = p.thread();
+        for v in 1..=4 {
+            t.store(OpClass::Paired, "x", v);
+        }
+    }
+    {
+        let mut t = p.thread();
+        for v in 1..=4 {
+            t.store(OpClass::Paired, "y", v);
+        }
+    }
+    for (first, second) in [("x", "y"), ("y", "x")] {
+        let mut t = p.thread();
+        let r1 = t.load(OpClass::Paired, first);
+        let r2 = t.load(OpClass::Paired, second);
+        let r3 = t.load(OpClass::Paired, first);
+        t.observe(r1);
+        t.observe(r2);
+        t.observe(r3);
+    }
+    p.build()
+}
+
+/// Event counter with three workers bumping two commutative histogram
+/// bins and a main thread joining on all three paired done flags before
+/// reading the bins. Race-free under every model; small enough that the
+/// materializing reference still finishes, which makes it the
+/// apples-to-apples timing case in `checker_bench`.
+pub fn event_counter_stress() -> Program {
+    let mut p = Program::new("event_counter_stress");
+    for (i, bin) in ["bin0", "bin1", "bin0"].into_iter().enumerate() {
+        let mut t = p.thread();
+        t.rmw(OpClass::Commutative, bin, RmwOp::FetchAdd, 1 + i as i64);
+        t.store(OpClass::Paired, &format!("done{i}"), 1);
+    }
+    {
+        let mut t = p.thread();
+        let d0 = t.load(OpClass::Paired, "done0");
+        let d1 = t.load(OpClass::Paired, "done1");
+        let d2 = t.load(OpClass::Paired, "done2");
+        let joined = Expr::bin(BinOp::And, Expr::bin(BinOp::And, d0.into(), d1.into()), d2.into());
+        t.if_nz(joined, |t| {
+            let b0 = t.load(OpClass::Data, "bin0");
+            let b1 = t.load(OpClass::Data, "bin1");
+            t.observe(b0);
+            t.observe(b1);
+        });
+    }
+    p.build()
+}
+
+/// Seqlock with one writer and three concurrent readers, each doing the
+/// full check-read-recheck dance over a speculative payload. Race-free
+/// under every model: misspeculated payload values are never observed.
+pub fn seqlock_stress() -> Program {
+    let mut p = Program::new("seqlock_stress");
+    {
+        let mut t = p.thread();
+        let old = t.cas(OpClass::Paired, "seq", 0, 1);
+        let locked = Expr::bin(BinOp::Eq, old.into(), 0.into());
+        t.if_nz(locked, |t| {
+            t.store(OpClass::Speculative, "data", 10);
+            t.store(OpClass::Paired, "seq", 2);
+        });
+    }
+    for _ in 0..3 {
+        let mut t = p.thread();
+        let seq0 = t.load(OpClass::Paired, "seq");
+        let r = t.load(OpClass::Speculative, "data");
+        let seq1 = t.rmw(OpClass::Paired, "seq", RmwOp::FetchAdd, 0);
+        let same = Expr::bin(BinOp::Eq, seq0.into(), seq1.into());
+        let even = Expr::bin(BinOp::Eq, Expr::bin(BinOp::And, seq0.into(), 1.into()), 0.into());
+        let ok = Expr::bin(BinOp::And, same, even);
+        t.if_nz(ok, |t| {
+            t.observe(r);
+        });
+    }
+    p.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::exec::{
+        visit_sc, EnumError, EnumLimits, EnumStats, Execution, ExecutionVisitor, Reduction,
+    };
+
+    struct Count;
+    impl ExecutionVisitor for Count {
+        fn visit(&mut self, _e: &Execution) -> bool {
+            true
+        }
+    }
+
+    fn por_stats(p: &Program) -> EnumStats {
+        visit_sc(p, &EnumLimits::default(), false, Reduction::SleepSet, &mut Count)
+            .expect("partial-order reduction fits the default budget")
+    }
+
+    /// The headline acceptance property: with sleep sets every stress
+    /// program finishes under the default execution budget, while the
+    /// exhaustive reference enumerator blows it on the IRIW and seqlock
+    /// variants.
+    #[test]
+    fn por_finishes_where_exhaustive_exceeds_the_budget() {
+        let limits = EnumLimits::default();
+        for p in [iriw_stress(), seqlock_stress()] {
+            let stats = por_stats(&p);
+            assert!(
+                stats.explored < limits.max_executions,
+                "{}: POR explored {} >= budget",
+                p.name(),
+                stats.explored
+            );
+            assert!(stats.pruned > 0, "{}: nothing pruned", p.name());
+            let exhaustive = visit_sc(&p, &limits, false, Reduction::Exhaustive, &mut Count);
+            assert_eq!(
+                exhaustive.unwrap_err(),
+                EnumError::TooManyExecutions { limit: limits.max_executions },
+                "{}: exhaustive enumeration was expected to exceed the budget",
+                p.name()
+            );
+        }
+    }
+
+    /// `event_counter_stress` is the timing control: both enumerators
+    /// finish, and they agree on the interleaving count modulo pruning.
+    #[test]
+    fn event_counter_stress_fits_both_enumerators() {
+        let p = event_counter_stress();
+        let por = por_stats(&p);
+        let full = visit_sc(&p, &EnumLimits::default(), false, Reduction::Exhaustive, &mut Count)
+            .expect("exhaustive enumeration fits the default budget");
+        assert!(por.explored < full.explored, "POR should shrink the tree");
+        assert_eq!(full.pruned, 0);
+    }
+}

@@ -1,7 +1,7 @@
 //! Declarative registry of the whole corpus with expected verdicts, and
 //! a runner that checks every expectation against both models.
 
-use crate::{classic, mislabeled, usecases};
+use crate::{classic, mislabeled, stress, usecases};
 use drfrlx_core::checker::try_check_program;
 use drfrlx_core::exec::EnumLimits;
 use drfrlx_core::program::Program;
@@ -423,6 +423,45 @@ pub fn all_tests() -> Vec<LitmusTest> {
     ]
 }
 
+/// The 4-thread stress corpus: programs whose exhaustive interleaving
+/// counts blow the default execution budget but which the streaming
+/// checker finishes comfortably with sleep-set partial-order reduction.
+/// Kept out of [`all_tests`] so the committed `results/listing7.txt`
+/// artifact (generated from that registry) is untouched; they get their
+/// own artifact, `results/checker_stress.txt`.
+pub fn stress_tests() -> Vec<LitmusTest> {
+    use Category::*;
+    vec![
+        LitmusTest {
+            name: "iriw_stress",
+            category: Classic,
+            description: "IRIW, 2 writers x 4 paired stores, 2 readers x 3 loads",
+            build: stress::iriw_stress,
+            race_free: [true, true, true],
+            drfrlx_kinds: &[],
+            sc_only: None, // 4.2M exhaustive interleavings: relaxed machine too costly
+        },
+        LitmusTest {
+            name: "event_counter_stress",
+            category: UseCase,
+            description: "3 workers on 2 commutative bins, main joins 3 paired flags",
+            build: stress::event_counter_stress,
+            race_free: [true, true, true],
+            drfrlx_kinds: &[],
+            sc_only: None, // join fan-in makes the relaxed exploration explode
+        },
+        LitmusTest {
+            name: "seqlock_stress",
+            category: UseCase,
+            description: "seqlock, 1 writer + 3 speculative readers",
+            build: stress::seqlock_stress,
+            race_free: [true, true, true],
+            drfrlx_kinds: &[],
+            sc_only: None, // 369,600 exhaustive interleavings before branching
+        },
+    ]
+}
+
 /// Run one test: check the programmer-centric verdict under all three
 /// models and, when expected, the system-centric comparison.
 ///
@@ -487,9 +526,17 @@ mod tests {
     use super::*;
 
     #[test]
+    fn stress_corpus_matches_expected_verdicts() {
+        for t in stress_tests() {
+            run(&t).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
     fn corpus_is_well_formed() {
-        let tests = all_tests();
+        let mut tests = all_tests();
         assert!(tests.len() >= 25);
+        tests.extend(stress_tests());
         // Unique names.
         for (i, a) in tests.iter().enumerate() {
             for b in &tests[i + 1..] {

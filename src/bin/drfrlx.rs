@@ -11,7 +11,7 @@
 //! $ drfrlx bench all
 //! ```
 
-use drfrlx::model::checker::try_check_program;
+use drfrlx::model::checker::{check_program_with, CheckOptions};
 use drfrlx::model::emit::emit;
 use drfrlx::model::exec::{enumerate_sc, EnumLimits};
 use drfrlx::model::infer::infer;
@@ -58,9 +58,15 @@ const USAGE: &str = "\
 drfrlx — DRFrlx memory-model checker and CPU-GPU simulator
 
 USAGE:
-  drfrlx check <file.litmus> [--model drf0|drf1|drfrlx]
-      Enumerate all SC executions and report illegal races
-      (exit status 1 if the program is racy).
+  drfrlx check <file.litmus> [--model drf0|drf1|drfrlx] [--threads N]
+                             [--max-execs N]
+      Stream SC executions through the race detectors (sleep-set
+      partial-order reduction, sharded across N worker threads) and
+      report illegal races (exit status 1 if the program is racy).
+      Prints the explored/pruned execution counts per model; the
+      verdicts are identical at any --threads. --max-execs raises or
+      lowers the execution budget (default 250000). Threads default to
+      all cores (or DRFRLX_THREADS).
   drfrlx explore <file.litmus>
       Print a representative execution, its program/conflict graph
       and every race found across executions.
@@ -134,10 +140,19 @@ fn cmd_check(args: &[String]) -> CmdResult {
         }],
     };
     let p = load_program(path)?;
-    let limits = EnumLimits::default();
+    let threads = match flag_value(args, "--threads") {
+        None => drfrlx::sim::default_threads(),
+        Some(v) => v.parse().ok().filter(|&n| n > 0).ok_or("--threads needs a positive integer")?,
+    };
+    let mut limits = EnumLimits::default();
+    if let Some(v) = flag_value(args, "--max-execs") {
+        limits.max_executions =
+            v.parse().ok().filter(|&n| n > 0).ok_or("--max-execs needs a positive integer")?;
+    }
+    let opts = CheckOptions { limits, threads, ..CheckOptions::default() };
     let mut clean = true;
     for model in models {
-        let report = try_check_program(&p, model, &limits)?;
+        let report = check_program_with(&p, model, &opts)?;
         if report.is_race_free() {
             println!("{model}: race-free ({} SC executions)", report.executions);
         } else {
@@ -147,6 +162,10 @@ fn cmd_check(args: &[String]) -> CmdResult {
                 println!("  - {}", f.description);
             }
         }
+        println!(
+            "  executions: {} explored, {} pruned by partial-order reduction",
+            report.executions, report.pruned
+        );
     }
     Ok(clean)
 }

@@ -26,6 +26,11 @@ fn corpus_files_parse_and_check() {
         ("sb_relaxed", [true, true, false], Some(RaceKind::NonOrdering)),
         ("mp_release_acquire", [true, true, true], None),
         ("sb_release_acquire", [true, true, true], None),
+        // 4-thread stress corpus: enumerable under the default budget
+        // only because of partial-order reduction.
+        ("iriw_stress", [true, true, true], None),
+        ("event_counter_stress", [true, true, true], None),
+        ("seqlock_stress", [true, true, true], None),
     ];
     for (file, race_free, kind) in expectations {
         let p = load(file);
@@ -88,5 +93,5 @@ fn every_corpus_file_is_covered() {
         .filter(|f| f.ends_with(".litmus"))
         .collect();
     files.sort();
-    assert_eq!(files.len(), 11, "update corpus_files_parse_and_check: {files:?}");
+    assert_eq!(files.len(), 14, "update corpus_files_parse_and_check: {files:?}");
 }
