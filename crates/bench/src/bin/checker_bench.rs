@@ -2,20 +2,24 @@
 //! same `--perf` JSON dialect as `drfrlx bench`:
 //!
 //! * `checker_suite_t1` / `checker_suite_t4` — the full litmus corpus
-//!   (registry + stress) checked under all three models at 1 and 4
-//!   worker threads.
+//!   (registry + stress, each test under its registry-declared
+//!   reduction) checked under all three models at 1 and 4 worker
+//!   threads. The adaptive-sharding probe makes these two rows track
+//!   each other: programs whose tree fits the probe budget run
+//!   serially at any thread count.
 //! * `checker_stress_reference` / `checker_stress_streaming` — the
 //!   stress programs both enumerators can finish (`seqlock_stress`,
 //!   `event_counter_stress`) under DRFrlx: the retained materializing
 //!   reference with a raised execution budget versus the streaming
-//!   pipeline with sleep-set reduction. The committed `BENCH_PR6.json`
-//!   documents the streaming checker's speedup here.
+//!   pipeline, now with duplicate-state memoization on top of sleep
+//!   sets. The committed `BENCH_PR7.json` documents the speedup over
+//!   PR 6's sleep-set-only streaming numbers.
 //!
 //! Usage: `checker_bench [--perf FILE [--perf-baseline FILE]]`
 
 use drfrlx_bench::timing::PerfReport;
 use drfrlx_core::checker::{check_program_reference, check_program_with, CheckOptions};
-use drfrlx_core::exec::EnumLimits;
+use drfrlx_core::exec::{EnumLimits, Reduction};
 use drfrlx_core::MemoryModel;
 use drfrlx_litmus::suite::{all_tests, stress_tests};
 use std::time::Instant;
@@ -36,7 +40,8 @@ fn main() {
         for t in all_tests().iter().chain(stress_tests().iter()) {
             let p = (t.build)();
             for model in MemoryModel::ALL {
-                let opts = CheckOptions { threads, ..CheckOptions::default() };
+                let opts =
+                    CheckOptions { threads, reduction: t.reduction, ..CheckOptions::default() };
                 let r = check_program_with(&p, model, &opts)
                     .unwrap_or_else(|e| panic!("{}: {e}", t.name));
                 explored += r.executions;
@@ -57,6 +62,26 @@ fn main() {
         .collect();
     let reference_limits = EnumLimits { max_executions: 1_000_000, ..EnumLimits::default() };
 
+    // Streaming first: the materializing reference retains hundreds of
+    // thousands of executions and leaves the allocator's free lists in
+    // a fragmented state that would otherwise tax the row measured
+    // after it.
+    let start = Instant::now();
+    for t in &stress {
+        let p = (t.build)();
+        let opts = CheckOptions {
+            threads: 4,
+            reduction: Reduction::SleepSetMemo,
+            ..CheckOptions::default()
+        };
+        let r = check_program_with(&p, MemoryModel::Drfrlx, &opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        assert!(r.is_race_free(), "{}: stress corpus is race-free", t.name);
+    }
+    let stream_seconds = start.elapsed().as_secs_f64();
+    perf.record("checker_stress_streaming", stream_seconds);
+    println!("checker_stress_streaming: {stream_seconds:.3}s");
+
     let start = Instant::now();
     for t in &stress {
         let p = (t.build)();
@@ -67,18 +92,6 @@ fn main() {
     let ref_seconds = start.elapsed().as_secs_f64();
     perf.record("checker_stress_reference", ref_seconds);
     println!("checker_stress_reference: {ref_seconds:.3}s");
-
-    let start = Instant::now();
-    for t in &stress {
-        let p = (t.build)();
-        let opts = CheckOptions { threads: 4, ..CheckOptions::default() };
-        let r = check_program_with(&p, MemoryModel::Drfrlx, &opts)
-            .unwrap_or_else(|e| panic!("{}: {e}", t.name));
-        assert!(r.is_race_free(), "{}: stress corpus is race-free", t.name);
-    }
-    let stream_seconds = start.elapsed().as_secs_f64();
-    perf.record("checker_stress_streaming", stream_seconds);
-    println!("checker_stress_streaming: {stream_seconds:.3}s");
     if stream_seconds > 0.0 {
         println!("stress speedup (streaming vs reference): {:.1}x", ref_seconds / stream_seconds);
     }

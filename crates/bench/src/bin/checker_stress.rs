@@ -3,6 +3,9 @@
 //! worker count (the shard merge is ordered), so the output is a golden
 //! artifact — `results/checker_stress.txt` — and any checker regression
 //! that changes a verdict or the reduction itself fails tier-1 tests.
+//! Each test runs under its registry-declared reduction: sleep sets
+//! for the PR-6 corpus, sleep sets + duplicate-state memoization for
+//! the compound programs that are intractable without it.
 
 use drfrlx_core::checker::{check_program_with, CheckOptions};
 use drfrlx_core::MemoryModel;
@@ -20,7 +23,7 @@ fn main() {
     for t in stress_tests() {
         let p = (t.build)();
         for model in MemoryModel::ALL {
-            let opts = CheckOptions { threads, ..CheckOptions::default() };
+            let opts = CheckOptions { threads, reduction: t.reduction, ..CheckOptions::default() };
             let r = check_program_with(&p, model, &opts).expect("enumerable under reduction");
             let verdict = if r.is_race_free() { "race-free" } else { "RACY" };
             println!(

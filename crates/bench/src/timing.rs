@@ -151,9 +151,12 @@ impl PerfReport {
     /// Render the before/after trajectory shape, joining `self` (the
     /// *after* run) against `before` by experiment id. Experiments
     /// missing from `before` get `null` before/speedup fields, and the
-    /// `aggregate_speedup` is computed over the joined ids only — a
-    /// newly added experiment widens `total_seconds_after` without
-    /// registering as a slowdown of the pre-existing work.
+    /// aggregates join by id too: `total_seconds_before` sums only the
+    /// baseline rows that match an after row (so it is consistent with
+    /// the rows actually printed), and when *nothing* joins — e.g. the
+    /// baseline file describes a different command — the
+    /// `total_seconds_before` and `aggregate_speedup` keys are omitted
+    /// entirely rather than written as misleading zeros.
     pub fn to_json_vs(&self, before: &PerfReport) -> String {
         let look = |id: &str| before.entries.iter().find(|e| e.id == id).map(|e| e.seconds);
         let mut out = String::new();
@@ -171,19 +174,24 @@ impl PerfReport {
                 e.id, e.seconds
             ));
         }
-        let (tb, ta) = (before.total_seconds(), self.total_seconds());
-        let (mut jb, mut ja) = (0.0, 0.0);
+        let ta = self.total_seconds();
+        let (mut jb, mut ja, mut joined) = (0.0, 0.0, 0usize);
         for e in &self.entries {
             if let Some(b) = look(&e.id) {
                 jb += b;
                 ja += e.seconds;
+                joined += 1;
             }
         }
-        out.push_str(&format!(
-            "  ],\n  \"total_seconds_before\": {tb:.6},\n  \"total_seconds_after\": {ta:.6},\n  \
-             \"aggregate_speedup\": {:.3}\n}}\n",
-            if ja > 0.0 { jb / ja } else { 0.0 }
-        ));
+        out.push_str("  ],\n");
+        if joined > 0 {
+            out.push_str(&format!("  \"total_seconds_before\": {jb:.6},\n"));
+        }
+        out.push_str(&format!("  \"total_seconds_after\": {ta:.6}"));
+        if joined > 0 && ja > 0.0 {
+            out.push_str(&format!(",\n  \"aggregate_speedup\": {:.3}", jb / ja));
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -248,6 +256,28 @@ mod tests {
         // 3.0 / 2.5).
         assert!(j.contains("\"aggregate_speedup\": 2.000"), "{j}");
         assert!(j.contains("\"total_seconds_after\": 2.500"), "{j}");
+        // ... and so does `total_seconds_before`: only fig1's baseline
+        // counts, not whatever else the baseline file carried.
+        assert!(j.contains("\"total_seconds_before\": 3.000000"), "{j}");
+    }
+
+    #[test]
+    fn vs_json_omits_aggregates_when_nothing_joins() {
+        // A baseline from a different command shares no ids: the rows
+        // are all-null and the joined aggregates would be vacuous, so
+        // they must be omitted — not written as 0.000 (which reads as
+        // an infinite slowdown).
+        let mut before = PerfReport::new("other_cmd");
+        before.record("fig9", 4.0);
+        let mut after = PerfReport::new("cmd");
+        after.record("new_exp", 1.0);
+        let j = after.to_json_vs(&before);
+        assert!(j.contains("\"seconds_before\": null"), "{j}");
+        assert!(!j.contains("total_seconds_before"), "{j}");
+        assert!(!j.contains("aggregate_speedup"), "{j}");
+        assert!(j.contains("\"total_seconds_after\": 1.000000"), "{j}");
+        // The degenerate shape still parses as a baseline for the next run.
+        assert_eq!(PerfReport::parse(&j).expect("parses"), after);
     }
 
     #[test]

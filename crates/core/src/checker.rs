@@ -52,6 +52,9 @@ pub struct FoundRace {
     pub exec_index: usize,
     /// The racing pair and race kind.
     pub race: Race,
+    /// Static identity of the race (see [`RaceKey`]) — the stable way
+    /// to compare races across reductions and thread counts.
+    pub key: RaceKey,
     /// Human-readable description of the two events.
     pub description: String,
 }
@@ -69,6 +72,11 @@ pub struct CheckReport {
     pub executions: usize,
     /// Scheduling subtrees skipped by partial-order reduction.
     pub pruned: usize,
+    /// Subtrees skipped by duplicate-state memoization
+    /// ([`Reduction::SleepSetMemo`]); zero otherwise.
+    pub memo_pruned: usize,
+    /// Peak number of entries in the memo visited-table across shards.
+    pub table_peak: usize,
     /// Whether the quantum transformation was applied.
     pub quantum_transformed: bool,
     /// Distinct illegal races — one representative per
@@ -145,9 +153,11 @@ fn model_view(p: &Program, model: MemoryModel) -> Program {
     }
 }
 
-/// Static identity of a racing pair: kind plus the two instructions,
-/// ordered. Stable across interleavings and shards, unlike event ids.
-type RaceKey = (RaceKind, (usize, usize), (usize, usize));
+/// Static identity of a racing pair: kind plus the two `(tid, iid)`
+/// instruction coordinates, order-normalized. Stable across
+/// interleavings, shards, reduction strategy and thread count — unlike
+/// event ids or execution indices.
+pub type RaceKey = (RaceKind, (usize, usize), (usize, usize));
 
 /// The streaming race checker: one per shard. Analyzes each execution
 /// as it completes and keeps one witness per static race key.
@@ -197,6 +207,7 @@ impl ExecutionVisitor for RaceCollector<'_> {
                     key,
                     FoundRace {
                         exec_index: self.explored,
+                        key,
                         description: format!(
                             "{}: {} between {} and {}",
                             self.view.name(),
@@ -230,12 +241,16 @@ pub fn check_program_with(
     let view = model_view(p, model);
     let quantum = model == MemoryModel::Drfrlx && has_quantum(&view);
     let attainable = attainable_kinds(&view);
+    // More workers than cores is pure oversubscription: the shards are
+    // CPU-bound and the report is worker-count-invariant, so extra
+    // threads can only add scheduling overhead.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let run = visit_sc_sharded(
         &view,
         &opts.limits,
         quantum,
         opts.reduction,
-        opts.threads,
+        opts.threads.min(cores.max(1)),
         &|| RaceCollector::new(&view, &attainable, opts.early_exit),
         &|v: &RaceCollector| opts.early_exit && v.saturated(),
     )?;
@@ -259,6 +274,8 @@ pub fn check_program_with(
         model,
         executions: run.stats.explored,
         pruned: run.stats.pruned,
+        memo_pruned: run.stats.memo_pruned,
+        table_peak: run.stats.table_peak,
         quantum_transformed: quantum,
         races,
         verdict,
@@ -312,6 +329,8 @@ pub fn check_program_reference(
         model,
         executions: execs.len(),
         pruned: 0,
+        memo_pruned: 0,
+        table_peak: 0,
         quantum_transformed: quantum,
         races,
         verdict,

@@ -286,6 +286,18 @@ pub enum Reduction {
     /// explored. Sound for race verdicts, race kinds and final-memory
     /// result sets (see DESIGN.md "Checker pipeline").
     SleepSet,
+    /// Sleep sets plus duplicate-state memoization: a canonical
+    /// fingerprint of the search state is kept in an open-addressing
+    /// visited table, and a subtree is skipped when an equivalent state
+    /// was already explored under a no-more-restrictive sleep set
+    /// (Godefroid's state-caching rule). The fingerprint is
+    /// *checker-grade*: it abstracts dead registers and (when the
+    /// program uses no acquire/release/non-ordering atomics) collapses
+    /// coherence orders the race detectors cannot distinguish, so
+    /// verdicts and race keys are preserved but per-execution
+    /// observables (e.g. which witness is reported first) may differ
+    /// from [`Reduction::SleepSet`]. See DESIGN.md "Checker pipeline".
+    SleepSetMemo,
 }
 
 /// Explored/pruned counts from one enumeration.
@@ -296,6 +308,11 @@ pub struct EnumStats {
     /// Subtrees skipped by partial-order reduction (count of pruned
     /// scheduling choices, not of executions under them).
     pub pruned: usize,
+    /// Subtrees skipped because an equivalent state had already been
+    /// explored ([`Reduction::SleepSetMemo`] only).
+    pub memo_pruned: usize,
+    /// Peak occupancy of the memoization table (max across shards).
+    pub table_peak: usize,
 }
 
 impl EnumStats {
@@ -303,6 +320,8 @@ impl EnumStats {
     pub fn absorb(&mut self, other: EnumStats) {
         self.explored += other.explored;
         self.pruned += other.pruned;
+        self.memo_pruned += other.memo_pruned;
+        self.table_peak = self.table_peak.max(other.table_peak);
     }
 }
 
@@ -381,22 +400,44 @@ pub struct ShardedRun<V> {
     pub early_exit: bool,
 }
 
-/// How many frontier jobs the shard collector aims for. Fixed (not a
-/// function of the thread count) so the shard set — and therefore the
-/// merged result and the explored/pruned split — is identical at any
-/// `--threads`.
-const SHARD_TARGET: usize = 64;
+/// Execution budget for the sharding probe: before cutting the tree
+/// into shard jobs, the whole tree is walked serially with the real
+/// visitor under this cap. Small interleaving trees finish inside the
+/// probe and skip sharding entirely — no frontier collection, no
+/// snapshot clones, no per-shard visitors; larger trees abandon the
+/// probe and shard with a fresh budget.
+const PROBE_BUDGET: usize = 512;
+
+/// Bounds for [`shard_target`].
+const SHARD_TARGET_MIN: usize = 64;
+const SHARD_TARGET_MAX: usize = 256;
+
+/// How many frontier jobs the shard collector aims for: scaled with the
+/// program's memory-instruction count (bigger trees benefit from finer
+/// load balancing), clamped so the litmus corpus keeps its established
+/// shard sets. A function of the program and nothing else — never of
+/// the thread count — so the shard set, and therefore the merged result
+/// and the explored/pruned split, is identical at any `--threads`.
+fn shard_target(p: &Program) -> usize {
+    (p.memory_op_count() * 4).clamp(SHARD_TARGET_MIN, SHARD_TARGET_MAX)
+}
+
 /// Deepest frontier cut considered.
 const SHARD_MAX_DEPTH: usize = 6;
 
 /// Stream executions to per-shard visitors, in parallel.
 ///
-/// The top levels of the interleaving tree are cut into
-/// [`SHARD_TARGET`]-ish independent jobs (state snapshot + sleep set),
-/// collected in DFS order. Workers claim jobs off an atomic index —
-/// the same pool discipline as `hsim_sys::run_matrix` — and results
-/// merge in shard order, so the outcome is independent of `threads`
-/// and of scheduling.
+/// A serial probe with the real visitor runs first under a
+/// [`PROBE_BUDGET`]-execution cap: small trees complete inside it and
+/// that run *is* the result (sharding a 6-interleaving litmus test
+/// costs more than enumerating it). Otherwise the top levels of the
+/// tree are cut into [`shard_target`]-ish independent jobs (state
+/// snapshot + sleep set), collected in DFS order. Workers claim jobs
+/// off an atomic index — the same pool discipline as
+/// `hsim_sys::run_matrix` — and results merge in shard order. Both the
+/// probe decision and the shard set depend only on the program and
+/// limits, so the outcome is independent of `threads` and of
+/// scheduling.
 ///
 /// `make` creates one fresh visitor per shard; `saturated` inspects a
 /// finished shard's visitor and returns `true` when that shard alone
@@ -420,6 +461,28 @@ pub fn visit_sc_sharded<V: ExecutionVisitor + Send>(
     make: &(dyn Fn() -> V + Sync),
     saturated: &(dyn Fn(&V) -> bool + Sync),
 ) -> Result<ShardedRun<V>, EnumError> {
+    // Adaptive fast path: probe the tree serially with a tight budget.
+    let probe_budget = PROBE_BUDGET.min(limits.max_executions);
+    let probe_limits =
+        EnumLimits { max_executions: probe_budget, quantum_domain: limits.quantum_domain.clone() };
+    let mut probe = make();
+    match visit_sc(p, &probe_limits, quantum, reduction, &mut probe) {
+        Ok(stats) => {
+            let early_exit = saturated(&probe);
+            return Ok(ShardedRun { shards: vec![(probe, stats)], stats, early_exit });
+        }
+        Err(e) => {
+            if probe_budget >= limits.max_executions {
+                // The probe already ran under the real budget — a
+                // genuine too-many-executions failure.
+                return Err(e);
+            }
+            // Tree bigger than the probe: shard it, with a fresh
+            // counter (probe work is discarded, not double-counted).
+            drop(probe);
+        }
+    }
+
     let (shards, frontier_pruned) = collect_frontier(p, limits, quantum, reduction);
     let counter = AtomicUsize::new(0);
     let nshards = shards.len();
@@ -484,7 +547,7 @@ pub fn visit_sc_sharded<V: ExecutionVisitor + Send>(
             merged.push(r?);
         }
     }
-    let mut stats = EnumStats { explored: 0, pruned: frontier_pruned };
+    let mut stats = EnumStats { pruned: frontier_pruned, ..EnumStats::default() };
     for (_, s) in &merged {
         stats.absorb(*s);
     }
@@ -500,28 +563,64 @@ struct Shard {
 }
 
 /// Cut the top of the interleaving tree into shard jobs, deepening the
-/// cut until [`SHARD_TARGET`] jobs exist (or the tree runs out).
+/// cut until [`shard_target`] jobs exist (or the tree runs out).
 /// Returns the jobs in DFS order plus the scheduling choices pruned at
 /// frontier levels.
+///
+/// The cut deepens *incrementally*: each round expands every
+/// non-terminal frontier node by one scheduling level from its own
+/// snapshot, instead of re-walking the whole tree from the root per
+/// depth. Terminal nodes pass through unchanged — exactly what a
+/// deeper cut would leave them as — so the resulting shard list and
+/// pruned accounting match the restart-per-depth collector.
 fn collect_frontier(
     p: &Program,
     limits: &EnumLimits,
     quantum: bool,
     reduction: Reduction,
 ) -> (Vec<Shard>, usize) {
-    let mut depth = 1;
-    loop {
-        let counter = AtomicUsize::new(0);
+    let target = shard_target(p);
+    let counter = AtomicUsize::new(0);
+    let mut pruned = 0;
+    // Depth-0 frontier: the root node (post-drain, post quantum-load
+    // closure), cut before any scheduling choice.
+    let mut shards = {
         let mut sink = Sink;
-        let mut eng = Engine::new(p, limits, quantum, reduction, &mut sink, &counter, Some(depth));
+        let mut eng = Engine::new(p, limits, quantum, reduction, &mut sink, &counter, Some(0));
         eng.node(0, 0).expect("frontier collection emits no executions");
-        let shards = std::mem::take(&mut eng.shards);
-        let pruned = eng.stats.pruned;
-        if shards.len() >= SHARD_TARGET || depth >= SHARD_MAX_DEPTH {
-            return (shards, pruned);
+        pruned += eng.stats.pruned;
+        std::mem::take(&mut eng.shards)
+    };
+    for _ in 0..SHARD_MAX_DEPTH {
+        if shards.len() >= target {
+            break;
         }
-        depth += 1;
+        let mut next = Vec::with_capacity(shards.len());
+        let mut grew = false;
+        for shard in shards {
+            if shard_is_terminal(p, &shard.st) {
+                next.push(shard);
+                continue;
+            }
+            grew = true;
+            let mut sink = Sink;
+            let mut eng = Engine::new(p, limits, quantum, reduction, &mut sink, &counter, Some(1));
+            eng.st = shard.st;
+            eng.node(shard.sleep, 0).expect("frontier collection emits no executions");
+            pruned += eng.stats.pruned;
+            next.append(&mut eng.shards);
+        }
+        shards = next;
+        if !grew {
+            break;
+        }
     }
+    (shards, pruned)
+}
+
+/// Has every thread of the shard's snapshot run to completion?
+fn shard_is_terminal(p: &Program, st: &SearchState) -> bool {
+    st.threads.iter().enumerate().all(|(tid, t)| t.pc >= p.threads()[tid].instrs.len())
 }
 
 /// Visitor for passes that never emit (frontier collection).
@@ -548,33 +647,116 @@ fn run_shard(
     Ok(eng.stats)
 }
 
+/// Small set of dynamic event ids with inline storage — taint and ctrl
+/// sets hold a handful of loads in practice, so the hot loop never
+/// allocates for them. Insertion order is preserved and [`IdSet::pop`]
+/// removes the most recent insertion (the undo journal relies on LIFO).
+#[derive(Clone, Debug, Default)]
+struct IdSet {
+    inline_len: u8,
+    inline: [u32; IDSET_INLINE],
+    spill: Vec<u32>,
+}
+
+const IDSET_INLINE: usize = 6;
+
+impl IdSet {
+    fn clear(&mut self) {
+        self.inline_len = 0;
+        self.spill.clear();
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        self.inline[..self.inline_len as usize].contains(&id) || self.spill.contains(&id)
+    }
+
+    /// Insert; returns `true` if the id was new.
+    fn insert(&mut self, id: u32) -> bool {
+        if self.contains(id) {
+            return false;
+        }
+        if (self.inline_len as usize) < IDSET_INLINE && self.spill.is_empty() {
+            self.inline[self.inline_len as usize] = id;
+            self.inline_len += 1;
+        } else {
+            self.spill.push(id);
+        }
+        true
+    }
+
+    /// Remove and return the most recently inserted id.
+    fn pop(&mut self) -> Option<u32> {
+        if let Some(v) = self.spill.pop() {
+            return Some(v);
+        }
+        if self.inline_len > 0 {
+            self.inline_len -= 1;
+            return Some(self.inline[self.inline_len as usize]);
+        }
+        None
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.inline[..self.inline_len as usize].iter().copied().chain(self.spill.iter().copied())
+    }
+
+    fn extend_from(&mut self, other: &IdSet) {
+        for id in other.iter() {
+            self.insert(id);
+        }
+    }
+}
+
 #[derive(Clone)]
 struct ThreadState {
     pc: usize,
-    regs: BTreeMap<Reg, Value>,
-    /// For each register, the set of load events whose values flow in.
-    taint: BTreeMap<Reg, BTreeSet<usize>>,
+    /// Dense register file; `None` = never written (expressions read 0).
+    regs: Vec<Option<Value>>,
+    /// Per register: the load events whose values flow in.
+    taint: Vec<IdSet>,
     /// Loads feeding branch conditions seen so far (ctrl sources).
-    ctrl: BTreeSet<usize>,
+    ctrl: IdSet,
 }
 
 /// The single mutable search state. Relations live over a carrier
 /// pre-sized to the program's memory-instruction count; a completed
-/// execution takes their prefix restriction.
+/// execution takes their prefix restriction. Everything is dense —
+/// memory and the per-location side lists index by `Loc.0`, observed
+/// flags by event id — so the hot loop is map-free.
 #[derive(Clone)]
 struct SearchState {
     threads: Vec<ThreadState>,
-    memory: BTreeMap<Loc, Value>,
+    /// Memory by `Loc.0`.
+    memory: Vec<Value>,
     events: Vec<Event>,
     order: Vec<usize>,
     /// Per location: write event ids in coherence (SC) order.
-    writes: BTreeMap<Loc, Vec<usize>>,
+    writes: Vec<Vec<usize>>,
     /// Per location: read event ids in SC order (for `fr` maintenance:
     /// a new write is `fr`-after every existing read of its location).
-    reads: BTreeMap<Loc, Vec<usize>>,
+    reads: Vec<Vec<usize>>,
     /// Per thread: its event ids in program order (for `po` pushes).
     thread_events: Vec<Vec<usize>>,
-    observed: BTreeSet<usize>,
+    /// Observed flags by event id (carrier-sized).
+    observed: Vec<bool>,
+    /// Memoization bookkeeping, maintained under
+    /// [`Reduction::SleepSetMemo`] only. Per location: a commutative
+    /// rolling hash over the *static labels* of past release-side
+    /// writes — the `so1`-relevant history an acquire-side read can
+    /// synchronize with.
+    rel_hash: Vec<u64>,
+    /// Per event id: snapshot of `rel_hash[loc]` taken when an
+    /// acquire-side read performed — pins the read's incoming `so1`
+    /// edges. Overwritten on id reuse; no undo entry needed.
+    so1h: Vec<u64>,
+    /// Per event id: source write of a read's `rf` edge (`u32::MAX` =
+    /// read from the initial value).
+    rf_src: Vec<u32>,
+    /// Per event id: commutative hash over the static labels of the
+    /// event's data-dependency sources — pins past `data` edges.
+    data_h: Vec<u64>,
+    /// Per event id: likewise for control-dependency sources.
+    ctrl_h: Vec<u64>,
     po: Relation,
     rf: Relation,
     co: Relation,
@@ -594,33 +776,232 @@ enum RelId {
     Ctrl,
 }
 
-/// Undo journal for one tree node: everything a step changed, so
-/// backtracking is a pop instead of a clone-per-branch.
-#[derive(Default)]
-struct Frame {
-    /// Thread states saved on first touch within this frame.
-    saved_threads: Vec<(usize, ThreadState)>,
-    /// `(loc, previous value)` saved on first overwrite within this
-    /// frame; restored in reverse.
-    saved_memory: Vec<(Loc, Value)>,
-    events_pushed: usize,
-    writes_pushed: Vec<Loc>,
-    reads_pushed: Vec<Loc>,
-    thread_events_pushed: Vec<usize>,
-    observed_added: Vec<usize>,
-    edges: Vec<(RelId, usize, usize)>,
+/// One entry of the undo journal. A tree node records the journal
+/// length on entry (a watermark) and backtracking pops entries down to
+/// it, inverting each — no per-node collections, no thread-state
+/// clones, no allocation on the hot path.
+enum Undo {
+    Pc {
+        tid: u32,
+        old: u32,
+    },
+    Reg {
+        tid: u32,
+        reg: u32,
+        old: Option<Value>,
+    },
+    Taint {
+        tid: u32,
+        reg: u32,
+        old: IdSet,
+    },
+    /// One id was appended to the thread's ctrl set (LIFO pop undoes).
+    CtrlAdd {
+        tid: u32,
+    },
+    Observed {
+        id: u32,
+    },
+    Mem {
+        loc: u32,
+        old: Value,
+    },
+    /// One event (and its order slot) was pushed.
+    Event,
+    WritePush {
+        loc: u32,
+    },
+    ReadPush {
+        loc: u32,
+    },
+    TePush {
+        tid: u32,
+    },
+    Edge(RelId, u32, u32),
+    RelHash {
+        loc: u32,
+        old: u64,
+    },
 }
 
-fn expr_taint(e: &Expr, t: &ThreadState) -> BTreeSet<usize> {
-    let mut regs = Vec::new();
-    e.regs_read(&mut regs);
-    let mut out = BTreeSet::new();
-    for r in regs {
-        if let Some(s) = t.taint.get(&r) {
-            out.extend(s.iter().copied());
+/// SplitMix64 finalizer — the same mixer as the in-tree PRNG.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Memo table sizing: starts small, doubles at 3/4 load, caps at
+/// [`MEMO_MAX_ENTRIES`] slots. Past the cap insertion stops while
+/// lookups continue — a deterministic "eviction-off" fallback that
+/// bounds memory without ever invalidating an earlier prune, so
+/// reports stay exact.
+const MEMO_INIT_ENTRIES: usize = 1 << 10;
+const MEMO_MAX_ENTRIES: usize = 1 << 21;
+
+#[derive(Clone, Copy)]
+struct MemoEntry {
+    /// State fingerprint; 0 marks an empty slot (real fingerprints are
+    /// remapped away from 0).
+    fp: u128,
+    /// Smallest sleep set the state has been explored under.
+    sleep: u64,
+}
+
+/// Outcome of consulting the memo table.
+enum MemoHit {
+    Prune,
+    Explore,
+}
+
+/// The duplicate-state table plus the per-program analysis that makes
+/// the fingerprint sound (see [`Engine::fingerprint`]).
+struct Memo {
+    /// Per thread, per pc: registers conservatively live at that pc
+    /// (read at or after it on some suffix path, with no kills).
+    /// Dead registers are excluded from the fingerprint: their values
+    /// can never influence future events, and the race detectors do
+    /// not read register files.
+    live: Vec<Vec<Vec<u16>>>,
+    /// Hash coherence order and rf sources exactly? Required when the
+    /// viewed program can trigger the path-based detectors
+    /// (non-ordering or one-sided classes), which walk `co`/`rf`/`fr`
+    /// structure beyond what the `so1` summaries pin.
+    exact: bool,
+    table: Vec<MemoEntry>,
+    mask: usize,
+    len: usize,
+}
+
+impl Memo {
+    fn new(p: &Program) -> Memo {
+        let classes = p.classes_used();
+        let exact = classes.contains(&OpClass::NonOrdering)
+            || classes.contains(&OpClass::Acquire)
+            || classes.contains(&OpClass::Release);
+        Memo {
+            live: p.threads().iter().map(|t| live_regs(&t.instrs)).collect(),
+            exact,
+            table: vec![MemoEntry { fp: 0, sleep: 0 }; MEMO_INIT_ENTRIES],
+            mask: MEMO_INIT_ENTRIES - 1,
+            len: 0,
         }
     }
+
+    /// Linear probe to the slot holding `fp`, or the first empty slot.
+    fn slot(&self, fp: u128) -> usize {
+        let mut i = (((fp as u64) ^ ((fp >> 64) as u64)) as usize) & self.mask;
+        loop {
+            let e = &self.table[i];
+            if e.fp == fp || e.fp == 0 {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Godefroid's state-caching rule, sleep-set aware: prune when the
+    /// state was already explored under a sleep set covered by the
+    /// current one (everything required now was covered then);
+    /// otherwise narrow the stored sleep set and explore.
+    fn visit(&mut self, fp: u128, sleep: u64) -> MemoHit {
+        let i = self.slot(fp);
+        if self.table[i].fp == fp {
+            if self.table[i].sleep & !sleep == 0 {
+                return MemoHit::Prune;
+            }
+            self.table[i].sleep &= sleep;
+            return MemoHit::Explore;
+        }
+        if (self.len + 1) * 4 > self.table.len() * 3 {
+            if self.table.len() < MEMO_MAX_ENTRIES {
+                self.grow();
+            } else {
+                // At the cap: explore unmemoized rather than evict.
+                return MemoHit::Explore;
+            }
+        }
+        let i = self.slot(fp);
+        self.table[i] = MemoEntry { fp, sleep };
+        self.len += 1;
+        MemoHit::Explore
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.table.len() * 2;
+        let old = std::mem::replace(&mut self.table, vec![MemoEntry { fp: 0, sleep: 0 }; doubled]);
+        self.mask = doubled - 1;
+        for e in old {
+            if e.fp != 0 {
+                let i = self.slot(e.fp);
+                self.table[i] = e;
+            }
+        }
+    }
+}
+
+/// Conservative backward liveness over one thread's instructions: a
+/// register is live at `pc` if some instruction at or after `pc` reads
+/// it. No kills (branch targets make a path-sensitive analysis
+/// unrewarding for litmus-sized threads) — over-approximating liveness
+/// only shrinks memo hits, never soundness.
+fn live_regs(instrs: &[Instr]) -> Vec<Vec<u16>> {
+    let n = instrs.len();
+    let mut out = vec![Vec::new(); n + 1];
+    let mut acc: BTreeSet<u16> = BTreeSet::new();
+    for pc in (0..n).rev() {
+        {
+            let mut see = |r: Reg| {
+                acc.insert(r.0);
+            };
+            match &instrs[pc] {
+                Instr::Store { val, .. } => val.for_each_reg(&mut see),
+                Instr::Rmw { operand, operand2, .. } => {
+                    operand.for_each_reg(&mut see);
+                    operand2.for_each_reg(&mut see);
+                }
+                Instr::Assign { expr, .. } => expr.for_each_reg(&mut see),
+                Instr::BranchOn { cond } | Instr::JumpIfZero { cond, .. } => {
+                    cond.for_each_reg(&mut see)
+                }
+                Instr::Observe { expr } => expr.for_each_reg(&mut see),
+                Instr::Load { .. } => {}
+            }
+        }
+        out[pc] = acc.iter().copied().collect();
+    }
     out
+}
+
+/// Highest register index + 1 used by a thread (sizes its dense
+/// register file).
+fn reg_count(instrs: &[Instr]) -> usize {
+    let mut n = 0usize;
+    for i in instrs {
+        let mut see = |r: Reg| {
+            n = n.max(r.0 as usize + 1);
+        };
+        match i {
+            Instr::Load { dst, .. } => see(*dst),
+            Instr::Store { val, .. } => val.for_each_reg(&mut see),
+            Instr::Rmw { operand, operand2, dst, .. } => {
+                operand.for_each_reg(&mut see);
+                operand2.for_each_reg(&mut see);
+                see(*dst);
+            }
+            Instr::Assign { dst, expr } => {
+                expr.for_each_reg(&mut see);
+                see(*dst);
+            }
+            Instr::BranchOn { cond } | Instr::JumpIfZero { cond, .. } => {
+                cond.for_each_reg(&mut see)
+            }
+            Instr::Observe { expr } => expr.for_each_reg(&mut see),
+        }
+    }
+    n
 }
 
 /// What [`Engine::drain`] stopped on.
@@ -637,7 +1018,14 @@ struct Engine<'a> {
     limits: &'a EnumLimits,
     quantum: bool,
     por: bool,
+    /// Maintain the memo bookkeeping columns (`rel_hash`/`so1h`/…)?
+    /// True for [`Reduction::SleepSetMemo`] even during frontier
+    /// collection, so shard snapshots carry correct history summaries.
+    track: bool,
     st: SearchState,
+    /// The undo journal; tree nodes record a watermark on entry and
+    /// [`Engine::undo`] pops back to it.
+    journal: Vec<Undo>,
     visitor: &'a mut dyn ExecutionVisitor,
     /// Executions emitted so far, shared across shards so the limit is
     /// a global resource bound.
@@ -649,6 +1037,15 @@ struct Engine<'a> {
     /// shard jobs instead of exploring.
     frontier_depth: Option<usize>,
     shards: Vec<Shard>,
+    /// Static label base per thread: `label(ev) = base[tid] + iid`.
+    base: Vec<u64>,
+    /// Duplicate-state table ([`Reduction::SleepSetMemo`], non-frontier
+    /// engines only).
+    memo: Option<Memo>,
+    /// Scratch: expression-taint accumulator, reused across steps.
+    tset: IdSet,
+    /// Scratch: completed-execution snapshot reused across emits.
+    out: Execution,
 }
 
 impl<'a> Engine<'a> {
@@ -665,24 +1062,33 @@ impl<'a> Engine<'a> {
         // (pcs only move forward), and the quantum transformation never
         // adds events.
         let cap = p.threads().iter().flat_map(|t| &t.instrs).filter(|i| i.is_memory()).count();
+        let nlocs = p.num_locs();
         let st = SearchState {
             threads: p
                 .threads()
                 .iter()
-                .map(|_| ThreadState {
-                    pc: 0,
-                    regs: BTreeMap::new(),
-                    taint: BTreeMap::new(),
-                    ctrl: BTreeSet::new(),
+                .map(|t| {
+                    let nregs = reg_count(&t.instrs);
+                    ThreadState {
+                        pc: 0,
+                        regs: vec![None; nregs],
+                        taint: vec![IdSet::default(); nregs],
+                        ctrl: IdSet::default(),
+                    }
                 })
                 .collect(),
-            memory: (0..p.num_locs() as u32).map(|l| (Loc(l), p.init_value(Loc(l)))).collect(),
-            events: Vec::new(),
-            order: Vec::new(),
-            writes: BTreeMap::new(),
-            reads: BTreeMap::new(),
+            memory: (0..nlocs as u32).map(|l| p.init_value(Loc(l))).collect(),
+            events: Vec::with_capacity(cap),
+            order: Vec::with_capacity(cap),
+            writes: vec![Vec::new(); nlocs],
+            reads: vec![Vec::new(); nlocs],
             thread_events: vec![Vec::new(); p.threads().len()],
-            observed: BTreeSet::new(),
+            observed: vec![false; cap],
+            rel_hash: vec![0; nlocs],
+            so1h: vec![0; cap],
+            rf_src: vec![u32::MAX; cap],
+            data_h: vec![0; cap],
+            ctrl_h: vec![0; cap],
             po: Relation::empty(cap),
             rf: Relation::empty(cap),
             co: Relation::empty(cap),
@@ -690,34 +1096,111 @@ impl<'a> Engine<'a> {
             data_dep: Relation::empty(cap),
             ctrl_dep: Relation::empty(cap),
         };
+        let mut base = Vec::with_capacity(p.threads().len());
+        let mut acc = 1u64;
+        for t in p.threads() {
+            base.push(acc);
+            acc += t.instrs.len() as u64;
+        }
+        let out = Execution {
+            events: Vec::with_capacity(cap),
+            order: Vec::with_capacity(cap),
+            result: ExecResult {
+                memory: (0..nlocs as u32).map(|l| (Loc(l), p.init_value(Loc(l)))).collect(),
+                regs: vec![BTreeMap::new(); p.threads().len()],
+            },
+            po: Relation::empty(0),
+            rf: Relation::empty(0),
+            co: Relation::empty(0),
+            fr: Relation::empty(0),
+            data_dep: Relation::empty(0),
+            addr_dep: Relation::empty(0),
+            ctrl_dep: Relation::empty(0),
+            observed: Vec::with_capacity(cap),
+        };
         Engine {
             p,
             limits,
             quantum,
-            por: reduction == Reduction::SleepSet,
+            por: reduction != Reduction::Exhaustive,
+            track: reduction == Reduction::SleepSetMemo,
             st,
+            journal: Vec::new(),
             visitor,
             counter,
             stats: EnumStats::default(),
             stop: false,
             frontier_depth,
             shards: Vec::new(),
+            base,
+            memo: (reduction == Reduction::SleepSetMemo && frontier_depth.is_none())
+                .then(|| Memo::new(p)),
+            tset: IdSet::default(),
+            out,
         }
     }
 
-    fn save_thread(&mut self, frame: &mut Frame, tid: usize) {
-        if !frame.saved_threads.iter().any(|(t, _)| *t == tid) {
-            frame.saved_threads.push((tid, self.st.threads[tid].clone()));
-        }
+    /// Static label of an already-pushed event: stable across
+    /// interleavings (instruction identity, not dynamic id).
+    fn label(&self, id: usize) -> u64 {
+        let ev = &self.st.events[id];
+        self.base[ev.tid] + ev.iid as u64
     }
 
-    fn save_memory(&mut self, frame: &mut Frame, loc: Loc) {
-        if !frame.saved_memory.iter().any(|(l, _)| *l == loc) {
-            frame.saved_memory.push((loc, *self.st.memory.get(&loc).unwrap_or(&0)));
-        }
+    fn set_pc(&mut self, tid: usize, pc: usize) {
+        let t = &mut self.st.threads[tid];
+        self.journal.push(Undo::Pc { tid: tid as u32, old: t.pc as u32 });
+        t.pc = pc;
     }
 
-    fn add_edge(&mut self, frame: &mut Frame, rel: RelId, a: usize, b: usize) {
+    fn set_reg(&mut self, tid: usize, r: Reg, v: Value) {
+        let slot = &mut self.st.threads[tid].regs[r.0 as usize];
+        self.journal.push(Undo::Reg { tid: tid as u32, reg: r.0 as u32, old: *slot });
+        *slot = Some(v);
+    }
+
+    /// Replace `tid`'s taint set for `r` with the scratch set, which is
+    /// left cleared.
+    fn set_taint_from_scratch(&mut self, tid: usize, r: Reg) {
+        let old = std::mem::replace(
+            &mut self.st.threads[tid].taint[r.0 as usize],
+            std::mem::take(&mut self.tset),
+        );
+        self.journal.push(Undo::Taint { tid: tid as u32, reg: r.0 as u32, old });
+    }
+
+    /// Merge the scratch taint set into `tid`'s ctrl set, which the
+    /// journal undoes by LIFO pops. Leaves the scratch cleared.
+    fn extend_ctrl_from_scratch(&mut self, tid: usize) {
+        let tset = std::mem::take(&mut self.tset);
+        for id in tset.iter() {
+            if self.st.threads[tid].ctrl.insert(id) {
+                self.journal.push(Undo::CtrlAdd { tid: tid as u32 });
+            }
+        }
+        self.tset = tset;
+        self.tset.clear();
+    }
+
+    /// Accumulate the taint of `e`'s registers into the scratch set
+    /// (callers clear it first; RMWs gather both operands).
+    fn gather_taint(&mut self, tid: usize, e: &Expr) {
+        let t = &self.st.threads[tid];
+        let tset = &mut self.tset;
+        e.for_each_reg(&mut |r| {
+            if let Some(s) = t.taint.get(r.0 as usize) {
+                tset.extend_from(s);
+            }
+        });
+    }
+
+    fn set_mem(&mut self, loc: Loc, v: Value) {
+        let slot = &mut self.st.memory[loc.0 as usize];
+        self.journal.push(Undo::Mem { loc: loc.0, old: *slot });
+        *slot = v;
+    }
+
+    fn add_edge(&mut self, rel: RelId, a: usize, b: usize) {
         let r = match rel {
             RelId::Po => &mut self.st.po,
             RelId::Rf => &mut self.st.rf,
@@ -728,110 +1211,147 @@ impl<'a> Engine<'a> {
         };
         debug_assert!(!r.contains(a, b), "incremental edges are inserted exactly once");
         r.insert(a, b);
-        frame.edges.push((rel, a, b));
+        self.journal.push(Undo::Edge(rel, a as u32, b as u32));
     }
 
-    fn undo(&mut self, frame: Frame) {
-        for (rel, a, b) in frame.edges.into_iter().rev() {
-            let r = match rel {
-                RelId::Po => &mut self.st.po,
-                RelId::Rf => &mut self.st.rf,
-                RelId::Co => &mut self.st.co,
-                RelId::Fr => &mut self.st.fr,
-                RelId::Data => &mut self.st.data_dep,
-                RelId::Ctrl => &mut self.st.ctrl_dep,
-            };
-            r.remove(a, b);
-        }
-        for e in frame.observed_added {
-            self.st.observed.remove(&e);
-        }
-        for tid in frame.thread_events_pushed.into_iter().rev() {
-            self.st.thread_events[tid].pop();
-        }
-        for loc in frame.writes_pushed.into_iter().rev() {
-            self.st.writes.get_mut(&loc).expect("pushed write list exists").pop();
-        }
-        for loc in frame.reads_pushed.into_iter().rev() {
-            self.st.reads.get_mut(&loc).expect("pushed read list exists").pop();
-        }
-        let new_len = self.st.events.len() - frame.events_pushed;
-        self.st.events.truncate(new_len);
-        self.st.order.truncate(new_len);
-        for (loc, v) in frame.saved_memory.into_iter().rev() {
-            self.st.memory.insert(loc, v);
-        }
-        for (tid, t) in frame.saved_threads {
-            self.st.threads[tid] = t;
+    /// Pop the journal back to `mark`, inverting every entry.
+    fn undo(&mut self, mark: usize) {
+        while self.journal.len() > mark {
+            match self.journal.pop().expect("journal above watermark") {
+                Undo::Pc { tid, old } => self.st.threads[tid as usize].pc = old as usize,
+                Undo::Reg { tid, reg, old } => {
+                    self.st.threads[tid as usize].regs[reg as usize] = old;
+                }
+                Undo::Taint { tid, reg, old } => {
+                    self.st.threads[tid as usize].taint[reg as usize] = old;
+                }
+                Undo::CtrlAdd { tid } => {
+                    self.st.threads[tid as usize].ctrl.pop();
+                }
+                Undo::Observed { id } => self.st.observed[id as usize] = false,
+                Undo::Mem { loc, old } => self.st.memory[loc as usize] = old,
+                Undo::Event => {
+                    let n = self.st.events.len() - 1;
+                    self.st.events.truncate(n);
+                    self.st.order.truncate(n);
+                }
+                Undo::WritePush { loc } => {
+                    self.st.writes[loc as usize].pop();
+                }
+                Undo::ReadPush { loc } => {
+                    self.st.reads[loc as usize].pop();
+                }
+                Undo::TePush { tid } => {
+                    self.st.thread_events[tid as usize].pop();
+                }
+                Undo::Edge(rel, a, b) => {
+                    let r = match rel {
+                        RelId::Po => &mut self.st.po,
+                        RelId::Rf => &mut self.st.rf,
+                        RelId::Co => &mut self.st.co,
+                        RelId::Fr => &mut self.st.fr,
+                        RelId::Data => &mut self.st.data_dep,
+                        RelId::Ctrl => &mut self.st.ctrl_dep,
+                    };
+                    r.remove(a as usize, b as usize);
+                }
+                Undo::RelHash { loc, old } => self.st.rel_hash[loc as usize] = old,
+            }
         }
     }
 
-    /// Register a new event: relation pushes, side lists, order.
-    /// `data`/`ctrl` are the event's dependency sources.
-    fn push_event(
-        &mut self,
-        frame: &mut Frame,
-        ev: Event,
-        data: &BTreeSet<usize>,
-        ctrl: &BTreeSet<usize>,
-    ) {
+    /// Register a new event: relation pushes, side lists, order, memo
+    /// bookkeeping. Data-dependency sources are taken from the scratch
+    /// taint set (left cleared); control sources from the thread's
+    /// ctrl set.
+    fn push_event(&mut self, ev: Event) {
         let id = ev.id;
         let tid = ev.tid;
         let loc = ev.loc;
         let access = ev.access;
+        let li = loc.0 as usize;
         // po: every earlier event of the thread precedes the new one
         // (events are created in program order, so this stays the full
         // transitive po).
-        let prior = self.st.thread_events[tid].clone();
-        for a in prior {
-            self.add_edge(frame, RelId::Po, a, id);
+        for i in 0..self.st.thread_events[tid].len() {
+            let a = self.st.thread_events[tid][i];
+            self.add_edge(RelId::Po, a, id);
         }
         self.st.thread_events[tid].push(id);
-        frame.thread_events_pushed.push(tid);
+        self.journal.push(Undo::TePush { tid: tid as u32 });
         if access.reads() {
             // rf: read from the coherence-latest write, if any. Reads
             // of the initial value have no rf edge; every later write
             // of the location will add an fr edge instead.
-            if let Some(&w) = self.st.writes.get(&loc).and_then(|ws| ws.last()) {
-                self.add_edge(frame, RelId::Rf, w, id);
+            let src = self.st.writes[li].last().copied();
+            if let Some(w) = src {
+                self.add_edge(RelId::Rf, w, id);
             }
-            self.st.reads.entry(loc).or_default().push(id);
-            frame.reads_pushed.push(loc);
+            self.st.reads[li].push(id);
+            self.journal.push(Undo::ReadPush { loc: loc.0 });
+            if self.track {
+                self.st.rf_src[id] = src.map_or(u32::MAX, |w| w as u32);
+                if ev.class.is_acquire_side() {
+                    self.st.so1h[id] = self.st.rel_hash[li];
+                }
+            }
         }
         if access.writes() {
             // co: after every existing write of the location; fr: every
             // existing read of the location read from a co-earlier
             // write (or the initial value), so it is fr-before the new
             // write.
-            let ws = self.st.writes.get(&loc).cloned().unwrap_or_default();
-            for w in ws {
-                self.add_edge(frame, RelId::Co, w, id);
+            for i in 0..self.st.writes[li].len() {
+                let w = self.st.writes[li][i];
+                self.add_edge(RelId::Co, w, id);
             }
-            let rs = self.st.reads.get(&loc).cloned().unwrap_or_default();
-            for r in rs {
+            for i in 0..self.st.reads[li].len() {
+                let r = self.st.reads[li][i];
                 if r != id {
-                    self.add_edge(frame, RelId::Fr, r, id);
+                    self.add_edge(RelId::Fr, r, id);
                 }
             }
-            self.st.writes.entry(loc).or_default().push(id);
-            frame.writes_pushed.push(loc);
+            self.st.writes[li].push(id);
+            self.journal.push(Undo::WritePush { loc: loc.0 });
+            if self.track && ev.class.is_release_side() {
+                let old = self.st.rel_hash[li];
+                self.journal.push(Undo::RelHash { loc: loc.0, old });
+                self.st.rel_hash[li] = old.wrapping_add(mix64(self.base[tid] + ev.iid as u64));
+            }
         }
-        for &src in data {
-            self.add_edge(frame, RelId::Data, src, id);
+        let data = std::mem::take(&mut self.tset);
+        let mut dh = 0u64;
+        for src in data.iter() {
+            self.add_edge(RelId::Data, src as usize, id);
+            if self.track {
+                dh = dh.wrapping_add(mix64(self.label(src as usize)));
+            }
         }
-        for &src in ctrl {
-            self.add_edge(frame, RelId::Ctrl, src, id);
+        self.tset = data;
+        self.tset.clear();
+        let ctrl = std::mem::take(&mut self.st.threads[tid].ctrl);
+        let mut ch = 0u64;
+        for src in ctrl.iter() {
+            self.add_edge(RelId::Ctrl, src as usize, id);
+            if self.track {
+                ch = ch.wrapping_add(mix64(self.label(src as usize)));
+            }
+        }
+        self.st.threads[tid].ctrl = ctrl;
+        if self.track {
+            self.st.data_h[id] = dh;
+            self.st.ctrl_h[id] = ch;
         }
         self.st.events.push(ev);
         self.st.order.push(id);
-        frame.events_pushed += 1;
+        self.journal.push(Undo::Event);
     }
 
     /// Phase 1: drain local-deterministic instructions of every thread;
     /// they commute with everything, so running them eagerly prunes
     /// redundant interleavings. Stops at a quantum load (a local choice
     /// point the caller branches over).
-    fn drain(&mut self, frame: &mut Frame) -> Drained {
+    fn drain(&mut self) -> Drained {
         loop {
             let mut progressed = false;
             for tid in 0..self.st.threads.len() {
@@ -841,41 +1361,43 @@ impl<'a> Engine<'a> {
                     let Some(instr) = p.threads()[tid].instrs.get(pc) else { break };
                     match instr {
                         Instr::Assign { dst, expr } => {
-                            let v = expr.eval(&self.st.threads[tid].regs);
-                            let taint = expr_taint(expr, &self.st.threads[tid]);
-                            self.save_thread(frame, tid);
-                            let t = &mut self.st.threads[tid];
-                            t.regs.insert(*dst, v);
-                            t.taint.insert(*dst, taint);
-                            t.pc += 1;
+                            let v = expr.eval_slice(&self.st.threads[tid].regs);
+                            self.tset.clear();
+                            self.gather_taint(tid, expr);
+                            self.set_reg(tid, *dst, v);
+                            self.set_taint_from_scratch(tid, *dst);
+                            self.set_pc(tid, pc + 1);
                             progressed = true;
                         }
                         Instr::BranchOn { cond } => {
-                            let taint = expr_taint(cond, &self.st.threads[tid]);
-                            self.save_thread(frame, tid);
-                            let t = &mut self.st.threads[tid];
-                            t.ctrl.extend(taint);
-                            t.pc += 1;
+                            self.tset.clear();
+                            self.gather_taint(tid, cond);
+                            self.extend_ctrl_from_scratch(tid);
+                            self.set_pc(tid, pc + 1);
                             progressed = true;
                         }
                         Instr::Observe { expr } => {
-                            let taint = expr_taint(expr, &self.st.threads[tid]);
-                            self.save_thread(frame, tid);
-                            for e in taint {
-                                if self.st.observed.insert(e) {
-                                    frame.observed_added.push(e);
+                            self.tset.clear();
+                            self.gather_taint(tid, expr);
+                            let tset = std::mem::take(&mut self.tset);
+                            for id in tset.iter() {
+                                let i = id as usize;
+                                if !self.st.observed[i] {
+                                    self.st.observed[i] = true;
+                                    self.journal.push(Undo::Observed { id });
                                 }
                             }
-                            self.st.threads[tid].pc += 1;
+                            self.tset = tset;
+                            self.tset.clear();
+                            self.set_pc(tid, pc + 1);
                             progressed = true;
                         }
                         Instr::JumpIfZero { cond, skip } => {
-                            let v = cond.eval(&self.st.threads[tid].regs);
-                            let taint = expr_taint(cond, &self.st.threads[tid]);
-                            self.save_thread(frame, tid);
-                            let t = &mut self.st.threads[tid];
-                            t.ctrl.extend(taint);
-                            t.pc += if v == 0 { skip + 1 } else { 1 };
+                            let v = cond.eval_slice(&self.st.threads[tid].regs);
+                            self.tset.clear();
+                            self.gather_taint(tid, cond);
+                            self.extend_ctrl_from_scratch(tid);
+                            self.set_pc(tid, pc + if v == 0 { *skip + 1 } else { 1 });
                             progressed = true;
                         }
                         Instr::Load { class: OpClass::Quantum, dst, .. } if self.quantum => {
@@ -918,8 +1440,8 @@ impl<'a> Engine<'a> {
         if self.stop {
             return Ok(());
         }
-        let mut frame = Frame::default();
-        match self.drain(&mut frame) {
+        let mark = self.journal.len();
+        match self.drain() {
             Drained::Done => {}
             Drained::QuantumLoad { tid, dst } => {
                 // Quantum transformation: ri = random(). No memory
@@ -927,19 +1449,19 @@ impl<'a> Engine<'a> {
                 // sleep set carries through unchanged.
                 let limits = self.limits;
                 for &v in &limits.quantum_domain {
-                    let mut f2 = Frame::default();
-                    self.save_thread(&mut f2, tid);
-                    let t = &mut self.st.threads[tid];
-                    t.regs.insert(dst, v);
-                    t.taint.insert(dst, BTreeSet::new());
-                    t.pc += 1;
+                    let m2 = self.journal.len();
+                    self.set_reg(tid, dst, v);
+                    self.tset.clear();
+                    self.set_taint_from_scratch(tid, dst);
+                    let pc = self.st.threads[tid].pc;
+                    self.set_pc(tid, pc + 1);
                     self.node(sleep, depth + 1)?;
-                    self.undo(f2);
+                    self.undo(m2);
                     if self.stop {
                         break;
                     }
                 }
-                self.undo(frame);
+                self.undo(mark);
                 return Ok(());
             }
         }
@@ -956,28 +1478,50 @@ impl<'a> Engine<'a> {
         if let Some(d) = self.frontier_depth {
             if terminal || depth >= d {
                 self.shards.push(Shard { st: self.st.clone(), sleep });
-                self.undo(frame);
+                self.undo(mark);
+                return Ok(());
+            }
+        }
+
+        // Duplicate-state memoization: prune when an equivalent state
+        // was already explored under a covering sleep set. Terminal
+        // states store an empty sleep set, so equivalent completions
+        // are never re-emitted (and never re-counted against the
+        // execution budget).
+        if let Some(mut memo) = self.memo.take() {
+            let fp = self.fingerprint(&memo);
+            let hit = memo.visit(fp, if terminal { 0 } else { sleep });
+            self.stats.table_peak = self.stats.table_peak.max(memo.len);
+            self.memo = Some(memo);
+            if matches!(hit, MemoHit::Prune) {
+                self.stats.memo_pruned += 1;
+                self.undo(mark);
                 return Ok(());
             }
         }
 
         if terminal {
             self.emit()?;
-            self.undo(frame);
+            self.undo(mark);
             return Ok(());
         }
 
         // Phase 2: branch over which thread performs its next memory
         // event. After the drain every live thread sits at one, so
-        // transitions are exactly the enabled threads.
-        let enabled: Vec<usize> = (0..self.st.threads.len())
-            .filter(|&tid| {
-                let pc = self.st.threads[tid].pc;
-                p.threads()[tid].instrs.get(pc).is_some_and(|i| i.is_memory())
-            })
-            .collect();
+        // transitions are exactly the enabled threads (a tid bitmask —
+        // the sleep-set machinery already caps threads at 64).
+        let mut enabled = 0u64;
+        for tid in 0..self.st.threads.len() {
+            let pc = self.st.threads[tid].pc;
+            if p.threads()[tid].instrs.get(pc).is_some_and(|i| i.is_memory()) {
+                enabled |= 1 << tid;
+            }
+        }
         let mut slept = sleep;
-        for &tid in &enabled {
+        let mut rest = enabled;
+        while rest != 0 {
+            let tid = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
             if self.por && (slept >> tid) & 1 == 1 {
                 // A sibling order already covers every trace through
                 // this move — prune the subtree.
@@ -987,8 +1531,11 @@ impl<'a> Engine<'a> {
             let child_sleep = if self.por {
                 let my = self.next_op(tid);
                 let mut cs = 0u64;
-                for &u in &enabled {
-                    if (slept >> u) & 1 == 1 && Self::independent(self.next_op(u), my) {
+                let mut others = enabled & slept;
+                while others != 0 {
+                    let u = others.trailing_zeros() as usize;
+                    others &= others - 1;
+                    if Self::independent(self.next_op(u), my) {
                         cs |= 1 << u;
                     }
                 }
@@ -1004,7 +1551,7 @@ impl<'a> Engine<'a> {
                 slept |= 1 << tid;
             }
         }
-        self.undo(frame);
+        self.undo(mark);
         Ok(())
     }
 
@@ -1023,10 +1570,10 @@ impl<'a> Engine<'a> {
             match instr {
                 Instr::Store { class, loc, .. } => {
                     for &v in &limits.quantum_domain {
-                        let mut f = Frame::default();
-                        self.quantum_store_event(&mut f, tid, *class, *loc, v, None);
+                        let m = self.journal.len();
+                        self.quantum_store_event(tid, *class, *loc, v, None);
                         self.node(child_sleep, depth + 1)?;
-                        self.undo(f);
+                        self.undo(m);
                         if self.stop {
                             break;
                         }
@@ -1036,17 +1583,10 @@ impl<'a> Engine<'a> {
                 Instr::Rmw { class, loc, dst, .. } => {
                     'outer: for &old in &limits.quantum_domain {
                         for &new in &limits.quantum_domain {
-                            let mut f = Frame::default();
-                            self.quantum_store_event(
-                                &mut f,
-                                tid,
-                                *class,
-                                *loc,
-                                new,
-                                Some((*dst, old)),
-                            );
+                            let m = self.journal.len();
+                            self.quantum_store_event(tid, *class, *loc, new, Some((*dst, old)));
                             self.node(child_sleep, depth + 1)?;
-                            self.undo(f);
+                            self.undo(m);
                             if self.stop {
                                 break 'outer;
                             }
@@ -1057,74 +1597,65 @@ impl<'a> Engine<'a> {
                 _ => {}
             }
         }
-        let mut f = Frame::default();
-        self.perform(&mut f, tid);
+        let m = self.journal.len();
+        self.perform(tid);
         self.node(child_sleep, depth + 1)?;
-        self.undo(f);
+        self.undo(m);
         Ok(())
     }
 
-    /// Perform thread `tid`'s next memory instruction, journaling into
-    /// `frame`.
-    fn perform(&mut self, frame: &mut Frame, tid: usize) {
+    /// Perform thread `tid`'s next memory instruction, journaling every
+    /// effect.
+    fn perform(&mut self, tid: usize) {
         let p = self.p;
         let pc = self.st.threads[tid].pc;
         let instr = &p.threads()[tid].instrs[pc];
         let id = self.st.events.len();
-        let ctrl = self.st.threads[tid].ctrl.clone();
-        self.save_thread(frame, tid);
         match instr {
             Instr::Load { class, loc, dst } => {
-                let v = *self.st.memory.get(loc).unwrap_or(&0);
-                self.push_event(
-                    frame,
-                    Event {
-                        id,
-                        tid,
-                        iid: pc,
-                        class: *class,
-                        loc: *loc,
-                        access: Access::Read,
-                        rval: Some(v),
-                        wval: None,
-                        write_fn: None,
-                    },
-                    &BTreeSet::new(),
-                    &ctrl,
-                );
-                let t = &mut self.st.threads[tid];
-                t.regs.insert(*dst, v);
-                t.taint.insert(*dst, BTreeSet::from([id]));
+                let v = self.st.memory[loc.0 as usize];
+                self.tset.clear();
+                self.push_event(Event {
+                    id,
+                    tid,
+                    iid: pc,
+                    class: *class,
+                    loc: *loc,
+                    access: Access::Read,
+                    rval: Some(v),
+                    wval: None,
+                    write_fn: None,
+                });
+                self.set_reg(tid, *dst, v);
+                self.tset.clear();
+                self.tset.insert(id as u32);
+                self.set_taint_from_scratch(tid, *dst);
             }
             Instr::Store { class, loc, val } => {
-                let v = val.eval(&self.st.threads[tid].regs);
-                let data = expr_taint(val, &self.st.threads[tid]);
-                self.save_memory(frame, *loc);
-                self.push_event(
-                    frame,
-                    Event {
-                        id,
-                        tid,
-                        iid: pc,
-                        class: *class,
-                        loc: *loc,
-                        access: Access::Write,
-                        rval: None,
-                        wval: Some(v),
-                        write_fn: Some(WriteFn::Set(v)),
-                    },
-                    &data,
-                    &ctrl,
-                );
-                self.st.memory.insert(*loc, v);
+                let v = val.eval_slice(&self.st.threads[tid].regs);
+                self.tset.clear();
+                self.gather_taint(tid, val);
+                self.push_event(Event {
+                    id,
+                    tid,
+                    iid: pc,
+                    class: *class,
+                    loc: *loc,
+                    access: Access::Write,
+                    rval: None,
+                    wval: Some(v),
+                    write_fn: Some(WriteFn::Set(v)),
+                });
+                self.set_mem(*loc, v);
             }
             Instr::Rmw { class, loc, op, operand, operand2, dst } => {
-                let old = *self.st.memory.get(loc).unwrap_or(&0);
-                let k = operand.eval(&self.st.threads[tid].regs);
-                let k2 = operand2.eval(&self.st.threads[tid].regs);
+                let old = self.st.memory[loc.0 as usize];
+                let k = operand.eval_slice(&self.st.threads[tid].regs);
+                let k2 = operand2.eval_slice(&self.st.threads[tid].regs);
                 let new = op.apply(old, k, k2);
-                let mut data = expr_taint(operand, &self.st.threads[tid]);
-                data.extend(expr_taint(operand2, &self.st.threads[tid]));
+                self.tset.clear();
+                self.gather_taint(tid, operand);
+                self.gather_taint(tid, operand2);
                 let wf = match op {
                     crate::program::RmwOp::FetchAdd => WriteFn::Add(k),
                     crate::program::RmwOp::FetchSub => WriteFn::Add(k.wrapping_neg()),
@@ -1136,38 +1667,33 @@ impl<'a> Engine<'a> {
                     crate::program::RmwOp::Exchange => WriteFn::Set(k),
                     crate::program::RmwOp::Cas => WriteFn::Cas,
                 };
-                self.save_memory(frame, *loc);
-                self.push_event(
-                    frame,
-                    Event {
-                        id,
-                        tid,
-                        iid: pc,
-                        class: *class,
-                        loc: *loc,
-                        access: Access::Rmw,
-                        rval: Some(old),
-                        wval: Some(new),
-                        write_fn: Some(wf),
-                    },
-                    &data,
-                    &ctrl,
-                );
-                self.st.memory.insert(*loc, new);
-                let t = &mut self.st.threads[tid];
-                t.regs.insert(*dst, old);
-                t.taint.insert(*dst, BTreeSet::from([id]));
+                self.push_event(Event {
+                    id,
+                    tid,
+                    iid: pc,
+                    class: *class,
+                    loc: *loc,
+                    access: Access::Rmw,
+                    rval: Some(old),
+                    wval: Some(new),
+                    write_fn: Some(wf),
+                });
+                self.set_mem(*loc, new);
+                self.set_reg(tid, *dst, old);
+                self.tset.clear();
+                self.tset.insert(id as u32);
+                self.set_taint_from_scratch(tid, *dst);
             }
             _ => unreachable!("perform called on non-memory instruction"),
         }
-        self.st.threads[tid].pc += 1;
+        let pc = self.st.threads[tid].pc;
+        self.set_pc(tid, pc + 1);
     }
 
     /// Emit a quantum store event writing `wval` (the transformed form
-    /// of a quantum store or RMW), journaling into `frame`.
+    /// of a quantum store or RMW), journaling every effect.
     fn quantum_store_event(
         &mut self,
-        frame: &mut Frame,
         tid: usize,
         class: OpClass,
         loc: Loc,
@@ -1176,36 +1702,31 @@ impl<'a> Engine<'a> {
     ) {
         let pc = self.st.threads[tid].pc;
         let id = self.st.events.len();
-        let ctrl = self.st.threads[tid].ctrl.clone();
-        self.save_thread(frame, tid);
-        self.save_memory(frame, loc);
-        self.push_event(
-            frame,
-            Event {
-                id,
-                tid,
-                iid: pc,
-                class,
-                loc,
-                access: Access::Write,
-                rval: None,
-                wval: Some(wval),
-                write_fn: Some(WriteFn::Set(wval)),
-            },
-            &BTreeSet::new(),
-            &ctrl,
-        );
-        self.st.memory.insert(loc, wval);
+        self.tset.clear();
+        self.push_event(Event {
+            id,
+            tid,
+            iid: pc,
+            class,
+            loc,
+            access: Access::Write,
+            rval: None,
+            wval: Some(wval),
+            write_fn: Some(WriteFn::Set(wval)),
+        });
+        self.set_mem(loc, wval);
         if let Some((r, v)) = dst {
-            let t = &mut self.st.threads[tid];
-            t.regs.insert(r, v);
-            t.taint.insert(r, BTreeSet::new());
+            self.set_reg(tid, r, v);
+            self.tset.clear();
+            self.set_taint_from_scratch(tid, r);
         }
-        self.st.threads[tid].pc += 1;
+        self.set_pc(tid, pc + 1);
     }
 
-    /// A complete execution: snapshot the state into an [`Execution`]
-    /// and hand it to the visitor.
+    /// A complete execution: snapshot the state into the reused scratch
+    /// [`Execution`] and hand it to the visitor. The scratch keeps its
+    /// buffers across emits, so the per-execution cost is copies, not
+    /// allocations.
     fn emit(&mut self) -> Result<(), EnumError> {
         let seen = self.counter.fetch_add(1, Ordering::Relaxed);
         if seen >= self.limits.max_executions {
@@ -1213,26 +1734,152 @@ impl<'a> Engine<'a> {
         }
         self.stats.explored += 1;
         let n = self.st.events.len();
-        let exec = Execution {
-            events: self.st.events.clone(),
-            order: self.st.order.clone(),
-            result: ExecResult {
-                memory: self.st.memory.clone(),
-                regs: self.st.threads.iter().map(|t| t.regs.clone()).collect(),
-            },
-            po: self.st.po.restrict(n),
-            rf: self.st.rf.restrict(n),
-            co: self.st.co.restrict(n),
-            fr: self.st.fr.restrict(n),
-            data_dep: self.st.data_dep.restrict(n),
-            addr_dep: Relation::empty(n),
-            ctrl_dep: self.st.ctrl_dep.restrict(n),
-            observed: (0..n).map(|e| self.st.observed.contains(&e)).collect(),
-        };
-        if !self.visitor.visit(&exec) {
+        let out = &mut self.out;
+        out.events.clone_from(&self.st.events);
+        out.order.clone_from(&self.st.order);
+        for (l, v) in out.result.memory.iter_mut() {
+            *v = self.st.memory[l.0 as usize];
+        }
+        for (tid, t) in self.st.threads.iter().enumerate() {
+            let m = &mut out.result.regs[tid];
+            m.clear();
+            for (i, r) in t.regs.iter().enumerate() {
+                if let Some(v) = r {
+                    m.insert(Reg(i as u16), *v);
+                }
+            }
+        }
+        self.st.po.restrict_into(n, &mut out.po);
+        self.st.rf.restrict_into(n, &mut out.rf);
+        self.st.co.restrict_into(n, &mut out.co);
+        self.st.fr.restrict_into(n, &mut out.fr);
+        self.st.data_dep.restrict_into(n, &mut out.data_dep);
+        out.addr_dep.reset(n);
+        self.st.ctrl_dep.restrict_into(n, &mut out.ctrl_dep);
+        out.observed.clear();
+        out.observed.extend_from_slice(&self.st.observed[..n]);
+        if !self.visitor.visit(&self.out) {
             self.stop = true;
         }
         Ok(())
+    }
+
+    /// Canonical fingerprint of the current search state, SplitMix64-
+    /// mixed into two independent 64-bit lanes. Two states with equal
+    /// fingerprints are indistinguishable to the race detectors —
+    /// everything Listing 7 reads is pinned:
+    ///
+    /// - per-thread control state: pc plus the *static-label sequence*
+    ///   of executed memory events (pins `po` and each thread's
+    ///   instruction path);
+    /// - live registers only (value + taint labels; dead registers
+    ///   cannot influence future events, and only register *files* —
+    ///   which the race detectors ignore — could expose them);
+    /// - per-thread ctrl sources, memory, observed flags;
+    /// - the event multiset: label, access, class, write function,
+    ///   incoming `so1`/`data`/`ctrl` summary hashes (`so1h` pins which
+    ///   release-side writes an acquire-side read synchronizes with;
+    ///   `data_h`/`ctrl_h` pin past dependency edges);
+    /// - per-location release-write history (`rel_hash`), and — in
+    ///   exact mode — the full per-location coherence order and rf
+    ///   sources (the path-based detectors read them).
+    fn fingerprint(&self, memo: &Memo) -> u128 {
+        let mut a: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut b: u64 = 0x243F_6A88_85A3_08D3;
+        let mut feed = |v: u64| {
+            a = mix64(a ^ v);
+            b = mix64(b.rotate_left(17) ^ v ^ 0xA076_1D64_78BD_642F);
+        };
+        for (tid, t) in self.st.threads.iter().enumerate() {
+            feed(t.pc as u64);
+            for &e in &self.st.thread_events[tid] {
+                feed(self.label(e));
+            }
+            let live_tbl = &memo.live[tid];
+            let live = &live_tbl[t.pc.min(live_tbl.len() - 1)];
+            for &r in live {
+                let ri = r as usize;
+                feed(r as u64);
+                feed(t.regs.get(ri).copied().flatten().unwrap_or(0) as u64);
+                let mut th = 0u64;
+                if let Some(ts) = t.taint.get(ri) {
+                    for id in ts.iter() {
+                        th = th.wrapping_add(mix64(self.label(id as usize)));
+                    }
+                }
+                feed(th);
+            }
+            let mut ch = 0u64;
+            for id in t.ctrl.iter() {
+                ch = ch.wrapping_add(mix64(self.label(id as usize)));
+            }
+            feed(ch);
+        }
+        for &v in &self.st.memory {
+            feed(v as u64);
+        }
+        let mut oh = 0u64;
+        for (id, &o) in self.st.observed.iter().enumerate().take(self.st.events.len()) {
+            if o {
+                oh = oh.wrapping_add(mix64(self.label(id)));
+            }
+        }
+        feed(oh);
+        let mut eh = 0u64;
+        for ev in &self.st.events {
+            let mut h = mix64(self.base[ev.tid] + ev.iid as u64);
+            h = mix64(
+                h ^ match ev.access {
+                    Access::Read => 1,
+                    Access::Write => 2,
+                    Access::Rmw => 3,
+                },
+            );
+            h = mix64(h ^ (ev.class as u64 + 1));
+            if let Some(wf) = ev.write_fn {
+                let (tag, val) = match wf {
+                    WriteFn::Set(v) => (1u64, v),
+                    WriteFn::Add(v) => (2, v),
+                    WriteFn::And(v) => (3, v),
+                    WriteFn::Or(v) => (4, v),
+                    WriteFn::Xor(v) => (5, v),
+                    WriteFn::Min(v) => (6, v),
+                    WriteFn::Max(v) => (7, v),
+                    WriteFn::Cas => (8, 0),
+                };
+                h = mix64(h ^ tag);
+                h = mix64(h ^ val as u64);
+            }
+            if ev.class.is_acquire_side() && ev.access.reads() {
+                h = mix64(h ^ self.st.so1h[ev.id]);
+            }
+            h = mix64(h ^ self.st.data_h[ev.id]);
+            h = mix64(h ^ self.st.ctrl_h[ev.id]);
+            if memo.exact && ev.access.reads() {
+                let src = self.st.rf_src[ev.id];
+                let sl = if src == u32::MAX { u64::MAX } else { mix64(self.label(src as usize)) };
+                h = mix64(h ^ sl);
+            }
+            eh = eh.wrapping_add(h);
+        }
+        feed(eh);
+        for &rh in &self.st.rel_hash {
+            feed(rh);
+        }
+        if memo.exact {
+            for ws in &self.st.writes {
+                for &w in ws {
+                    feed(self.label(w));
+                }
+                feed(0xDEAD_BEEF);
+            }
+        }
+        let fp = ((a as u128) << 64) | b as u128;
+        if fp == 0 {
+            1
+        } else {
+            fp
+        }
     }
 }
 

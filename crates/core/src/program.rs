@@ -96,6 +96,43 @@ impl Expr {
         }
     }
 
+    /// Visit every register read, without allocating (the streaming
+    /// enumerator's hot-loop alternative to [`Expr::regs_read`]).
+    pub fn for_each_reg(&self, f: &mut impl FnMut(Reg)) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Reg(r) => f(*r),
+            Expr::Bin(_, a, b) => {
+                a.for_each_reg(f);
+                b.for_each_reg(f);
+            }
+        }
+    }
+
+    /// Evaluate against a dense register file (`None` = never written,
+    /// which reads as 0 exactly like the map-based [`Expr::eval`]).
+    pub fn eval_slice(&self, regs: &[Option<Value>]) -> Value {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Reg(r) => regs.get(r.0 as usize).copied().flatten().unwrap_or(0),
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.eval_slice(regs), b.eval_slice(regs));
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Eq => (a == b) as Value,
+                    BinOp::Ne => (a != b) as Value,
+                    BinOp::Lt => (a < b) as Value,
+                    BinOp::Min => a.min(b),
+                    BinOp::Max => a.max(b),
+                }
+            }
+        }
+    }
+
     /// Shorthand for `Expr::Bin(op, a, b)`.
     pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
         Expr::Bin(op, Box::new(a), Box::new(b))

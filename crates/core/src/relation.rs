@@ -19,6 +19,70 @@ use std::fmt;
 /// Bits per packed word.
 const WORD: usize = 64;
 
+/// Words kept inline before spilling to the heap. 24 words is one row
+/// set for a 24-event execution at stride 1 (or 3 rows at 8 events) —
+/// enough for the whole litmus corpus including the 4-thread stress
+/// programs, so the streaming enumerator's six incrementally-maintained
+/// relations never touch the allocator on the hot path.
+const INLINE_WORDS: usize = 24;
+
+/// Packed word storage: inline for litmus-sized carriers, heap beyond.
+/// Equality is by content (two storages with the same words are equal
+/// regardless of where they live), so [`Relation`]'s derived `Eq` stays
+/// exact even when a scratch buffer keeps a heap allocation across
+/// [`Relation::reset`] calls.
+#[derive(Clone)]
+enum Words {
+    Inline { len: u8, buf: [u64; INLINE_WORDS] },
+    Heap(Vec<u64>),
+}
+
+impl Words {
+    fn zeroed(len: usize) -> Words {
+        if len <= INLINE_WORDS {
+            Words::Inline { len: len as u8, buf: [0; INLINE_WORDS] }
+        } else {
+            Words::Heap(vec![0; len])
+        }
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            Words::Inline { len, buf } => &buf[..*len as usize],
+            Words::Heap(v) => v,
+        }
+    }
+
+    fn as_mut(&mut self) -> &mut [u64] {
+        match self {
+            Words::Inline { len, buf } => &mut buf[..*len as usize],
+            Words::Heap(v) => v,
+        }
+    }
+
+    /// Zero and resize in place, reusing a heap buffer when one exists.
+    fn reset(&mut self, len: usize) {
+        match self {
+            Words::Heap(v) => {
+                v.clear();
+                v.resize(len, 0);
+            }
+            Words::Inline { .. } if len <= INLINE_WORDS => {
+                *self = Words::Inline { len: len as u8, buf: [0; INLINE_WORDS] };
+            }
+            Words::Inline { .. } => *self = Words::Heap(vec![0; len]),
+        }
+    }
+}
+
+impl PartialEq for Words {
+    fn eq(&self, other: &Words) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Words {}
+
 /// A binary relation over event ids `0..n`.
 ///
 /// ```
@@ -37,14 +101,21 @@ pub struct Relation {
     /// Row-major packed bits; tail bits of each row beyond `n` are
     /// always zero (an invariant every operation preserves, so derived
     /// equality is exact).
-    words: Vec<u64>,
+    words: Words,
 }
 
 impl Relation {
     /// The empty relation over `n` events.
     pub fn empty(n: usize) -> Relation {
         let stride = n.div_ceil(WORD);
-        Relation { n, stride, words: vec![0; n * stride] }
+        Relation { n, stride, words: Words::zeroed(n * stride) }
+    }
+
+    /// Reset in place to the empty relation over `n`, reusing storage.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.stride = n.div_ceil(WORD);
+        self.words.reset(n * self.stride);
     }
 
     /// Mask selecting the valid bits of a row's last word.
@@ -63,15 +134,17 @@ impl Relation {
             return;
         }
         let mask = self.tail_mask();
+        let stride = self.stride;
+        let words = self.words.as_mut();
         for row in 0..self.n {
-            self.words[row * self.stride + self.stride - 1] &= mask;
+            words[row * stride + stride - 1] &= mask;
         }
     }
 
     /// The full relation (every ordered pair, including reflexive ones).
     pub fn full(n: usize) -> Relation {
         let mut r = Relation::empty(n);
-        r.words.fill(!0);
+        r.words.as_mut().fill(!0);
         r.clear_tail();
         r
     }
@@ -106,9 +179,11 @@ impl Relation {
                 brow[j / WORD] |= 1u64 << (j % WORD);
             }
         }
+        let stride = r.stride;
+        let words = r.words.as_mut();
         for (i, &ai) in a.iter().enumerate() {
             if ai {
-                r.words[i * r.stride..(i + 1) * r.stride].copy_from_slice(&brow);
+                words[i * stride..(i + 1) * stride].copy_from_slice(&brow);
             }
         }
         r
@@ -122,19 +197,19 @@ impl Relation {
     /// Add a pair.
     pub fn insert(&mut self, a: usize, b: usize) {
         assert!(a < self.n && b < self.n, "pair out of carrier");
-        self.words[a * self.stride + b / WORD] |= 1u64 << (b % WORD);
+        self.words.as_mut()[a * self.stride + b / WORD] |= 1u64 << (b % WORD);
     }
 
     /// Remove a pair (no-op if absent). The retract half of the
     /// streaming enumerator's push/pop relation maintenance.
     pub fn remove(&mut self, a: usize, b: usize) {
         assert!(a < self.n && b < self.n, "pair out of carrier");
-        self.words[a * self.stride + b / WORD] &= !(1u64 << (b % WORD));
+        self.words.as_mut()[a * self.stride + b / WORD] &= !(1u64 << (b % WORD));
     }
 
     /// Test membership.
     pub fn contains(&self, a: usize, b: usize) -> bool {
-        self.words[a * self.stride + b / WORD] & (1u64 << (b % WORD)) != 0
+        self.words.as_slice()[a * self.stride + b / WORD] & (1u64 << (b % WORD)) != 0
     }
 
     /// The restriction of the relation to the carrier prefix `0..m`.
@@ -146,30 +221,41 @@ impl Relation {
     /// an event `>= m` (which holds by construction for the enumerator:
     /// events are appended and edges only reference existing events).
     pub fn restrict(&self, m: usize) -> Relation {
-        assert!(m <= self.n, "restriction larger than carrier");
         let mut out = Relation::empty(m);
+        self.restrict_into(m, &mut out);
+        out
+    }
+
+    /// [`Relation::restrict`] into a caller-provided scratch relation,
+    /// reusing its storage (the streaming enumerator's per-emit path).
+    pub fn restrict_into(&self, m: usize, out: &mut Relation) {
+        assert!(m <= self.n, "restriction larger than carrier");
+        out.reset(m);
+        let src_all = self.words.as_slice();
+        let dst_stride = out.stride;
+        let dst = out.words.as_mut();
         for row in 0..m {
-            let src = &self.words[row * self.stride..row * self.stride + out.stride];
-            out.words[row * out.stride..(row + 1) * out.stride].copy_from_slice(src);
+            let src = &src_all[row * self.stride..row * self.stride + dst_stride];
+            dst[row * dst_stride..(row + 1) * dst_stride].copy_from_slice(src);
         }
         out.clear_tail();
-        out
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words.as_slice().iter().all(|&w| w == 0)
     }
 
     /// Number of pairs.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words.as_slice().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Iterate over pairs in row-major order without allocating.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let words = self.words.as_slice();
         (0..self.n).flat_map(move |row| {
-            self.words[row * self.stride..(row + 1) * self.stride].iter().enumerate().flat_map(
+            words[row * self.stride..(row + 1) * self.stride].iter().enumerate().flat_map(
                 move |(wi, &w)| BitIter { word: w, base: wi * WORD }.map(move |col| (row, col)),
             )
         })
@@ -205,11 +291,12 @@ impl Relation {
     /// tail-bit invariant is preserved (union/intersect/minus all do).
     fn zip(&self, other: &Relation, f: impl Fn(u64, u64) -> u64) -> Relation {
         assert_eq!(self.n, other.n, "relations over different carriers");
-        Relation {
-            n: self.n,
-            stride: self.stride,
-            words: self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect(),
+        let mut out = Relation::empty(self.n);
+        let dst = out.words.as_mut();
+        for ((d, &a), &b) in dst.iter_mut().zip(self.words.as_slice()).zip(other.words.as_slice()) {
+            *d = f(a, b);
         }
+        out
     }
 
     /// Sequential composition (`;` in Herd): `(a, c)` iff there is `b`
@@ -219,13 +306,15 @@ impl Relation {
         assert_eq!(self.n, other.n, "relations over different carriers");
         let mut out = Relation::empty(self.n);
         let stride = self.stride;
+        let (mine, theirs, ws) =
+            (self.words.as_slice(), other.words.as_slice(), out.words.as_mut());
         for a in 0..self.n {
-            let row = &self.words[a * stride..(a + 1) * stride];
+            let row = &mine[a * stride..(a + 1) * stride];
             for (wi, &w) in row.iter().enumerate() {
                 for b in (BitIter { word: w, base: wi * WORD }) {
                     let (dst, src) = (a * stride, b * stride);
                     for k in 0..stride {
-                        out.words[dst + k] |= other.words[src + k];
+                        ws[dst + k] |= theirs[src + k];
                     }
                 }
             }
@@ -244,11 +333,10 @@ impl Relation {
 
     /// Complement (`~` in Herd).
     pub fn complement(&self) -> Relation {
-        let mut out = Relation {
-            n: self.n,
-            stride: self.stride,
-            words: self.words.iter().map(|&w| !w).collect(),
-        };
+        let mut out = Relation::empty(self.n);
+        for (d, &w) in out.words.as_mut().iter_mut().zip(self.words.as_slice()) {
+            *d = !w;
+        }
         out.clear_tail();
         out
     }
@@ -264,11 +352,11 @@ impl Relation {
                     continue;
                 }
                 let (krow, irow) = (k * stride, i * stride);
-                // Rows are disjoint slices of one Vec; split to OR one
-                // into the other without cloning.
+                // Rows are disjoint slices of one buffer; split to OR
+                // one into the other without cloning.
                 let (lo, hi, dst_is_lo) =
                     if irow < krow { (irow, krow, true) } else { (krow, irow, false) };
-                let (head, tail) = r.words.split_at_mut(hi);
+                let (head, tail) = r.words.as_mut().split_at_mut(hi);
                 let (a, b) = (&mut head[lo..lo + stride], &mut tail[..stride]);
                 let (dst, src) = if dst_is_lo { (a, b) } else { (b, a) };
                 for w in 0..stride {
@@ -299,8 +387,10 @@ impl Relation {
     /// Remove reflexive pairs.
     pub fn irreflexive(&self) -> Relation {
         let mut out = self.clone();
+        let stride = out.stride;
+        let words = out.words.as_mut();
         for i in 0..out.n {
-            out.words[i * out.stride + i / WORD] &= !(1u64 << (i % WORD));
+            words[i * stride + i / WORD] &= !(1u64 << (i % WORD));
         }
         out
     }
@@ -510,6 +600,30 @@ mod tests {
             // Removing an absent pair is a no-op.
             a.remove(1, 0);
             assert_eq!(a, before);
+        }
+    }
+
+    /// `reset`/`restrict_into` must agree with the allocating paths no
+    /// matter what storage the scratch previously held — including
+    /// across the inline/heap boundary in both directions.
+    #[test]
+    fn reset_and_restrict_into_reuse_storage_exactly() {
+        let mut scratch = Relation::empty(0);
+        // Sizes chosen to bounce between inline (small) and heap
+        // (129-event carriers need 3 words/row) storage.
+        for (n, m) in [(6usize, 3usize), (24, 24), (129, 65), (30, 7), (129, 129), (5, 0)] {
+            let mut a = Relation::empty(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if (i * 11 + j * 5) % 4 == 0 {
+                        a.insert(i, j);
+                    }
+                }
+            }
+            a.restrict_into(m, &mut scratch);
+            assert_eq!(scratch, a.restrict(m), "n={n} m={m}");
+            scratch.reset(m);
+            assert_eq!(scratch, Relation::empty(m), "reset n={n} m={m}");
         }
     }
 

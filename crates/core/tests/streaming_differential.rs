@@ -8,7 +8,8 @@
 //! On top of that, the streaming report itself must be bit-identical at
 //! any `--threads`, including execution counts and race descriptions.
 
-use drfrlx_core::checker::{check_program_reference, check_program_with, CheckOptions};
+use drfrlx_core::checker::{check_program_reference, check_program_with, CheckOptions, RaceKey};
+use drfrlx_core::exec::Reduction;
 use drfrlx_core::program::{Program, RmwOp};
 use drfrlx_core::races::RaceKind;
 use drfrlx_core::{MemoryModel, OpClass};
@@ -89,6 +90,10 @@ fn kinds(report: &drfrlx_core::checker::CheckReport) -> BTreeSet<RaceKind> {
     report.races.iter().map(|f| f.race.kind).collect()
 }
 
+fn keys(report: &drfrlx_core::checker::CheckReport) -> BTreeSet<RaceKey> {
+    report.races.iter().map(|f| f.key).collect()
+}
+
 #[test]
 fn streaming_checker_agrees_with_the_materializing_reference() {
     let mut rng = SplitMix64(0x5EED_CAFE_D00D_F00D);
@@ -133,6 +138,52 @@ fn streaming_checker_agrees_with_the_materializing_reference() {
                     debug,
                     first,
                     "{}: streaming report differs between 1 and {threads} threads under {model}",
+                    p.name()
+                );
+            }
+
+            // Duplicate-state memoization leg: sleep sets and sleep
+            // sets + memoization must both reproduce the reference's
+            // verdict AND its full static race-key set — early exit
+            // off, so every attainable witness is enumerated and the
+            // key sets are exactly comparable. The memoized report
+            // must itself be bit-identical at any worker count.
+            let reference_keys = keys(&reference);
+            let mut memoized = Vec::new();
+            for reduction in [Reduction::SleepSet, Reduction::SleepSetMemo] {
+                for threads in [1, 2, 4] {
+                    let opts = CheckOptions {
+                        threads,
+                        reduction,
+                        early_exit: false,
+                        ..CheckOptions::default()
+                    };
+                    let report = check_program_with(&p, model, &opts).unwrap_or_else(|e| {
+                        panic!("{}: {reduction:?} failed under {model} x{threads}: {e}", p.name())
+                    });
+                    assert_eq!(
+                        report.verdict,
+                        reference.verdict,
+                        "{}: {reduction:?} verdict diverged under {model} at {threads} threads",
+                        p.name()
+                    );
+                    assert_eq!(
+                        keys(&report),
+                        reference_keys,
+                        "{}: {reduction:?} race keys diverged under {model} at {threads} threads",
+                        p.name()
+                    );
+                    if reduction == Reduction::SleepSetMemo {
+                        memoized.push((threads, format!("{report:?}")));
+                    }
+                }
+            }
+            let (_, first) = &memoized[0];
+            for (threads, debug) in &memoized[1..] {
+                assert_eq!(
+                    debug,
+                    first,
+                    "{}: memoized report differs between 1 and {threads} threads under {model}",
                     p.name()
                 );
             }

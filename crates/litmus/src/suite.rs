@@ -2,8 +2,8 @@
 //! a runner that checks every expectation against both models.
 
 use crate::{classic, mislabeled, stress, usecases};
-use drfrlx_core::checker::try_check_program;
-use drfrlx_core::exec::EnumLimits;
+use drfrlx_core::checker::{check_program_with, CheckOptions};
+use drfrlx_core::exec::{EnumLimits, Reduction};
 use drfrlx_core::program::Program;
 use drfrlx_core::syscentric::compare_with_sc;
 use drfrlx_core::{MemoryModel, RaceKind};
@@ -34,6 +34,12 @@ pub struct LitmusTest {
     pub race_free: [bool; 3],
     /// Race kinds expected under DRFrlx (empty when race-free).
     pub drfrlx_kinds: &'static [RaceKind],
+    /// The weakest reduction under which the test fits the default
+    /// execution budget. Everything enumerable with sleep sets alone
+    /// stays on [`Reduction::SleepSet`]; compound stress programs
+    /// whose conflicting clusters defeat sleep sets declare
+    /// [`Reduction::SleepSetMemo`].
+    pub reduction: Reduction,
     /// Expected verdict of the system-centric comparison under DRFrlx
     /// (`None` = skip: too expensive or the outcome lives only in
     /// registers).
@@ -52,6 +58,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "Listing 1: unpaired occupancy poll, paired dequeue",
             build: usecases::work_queue,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -61,6 +68,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "footnote 4: multi-queue polls as quantum atomics",
             build: usecases::work_queue_multi_quantum,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: None, // quantum-equivalent result comparison needs a custom domain
         },
@@ -70,6 +78,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "Listing 2: commutative histogram increments",
             build: usecases::event_counter,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -79,6 +88,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "Listing 3: non-ordering stop/dirty flags around a barrier",
             build: usecases::flags,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -88,6 +98,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "Listing 4: quantum partial sums",
             build: usecases::split_counter,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -97,6 +108,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "Listing 5: quantum inc/dec, commutative marking",
             build: usecases::ref_counter,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             // The quantum-equivalent result set comparison needs a
             // domain covering every reachable count; skipped for cost.
@@ -108,6 +120,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "Listing 6: speculative data loads bracketed by seq checks",
             build: usecases::seqlock,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -118,6 +131,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "task data guarded only by the unpaired poll",
             build: mislabeled::work_queue_no_recheck,
             race_free: [true, false, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Data],
             sc_only: None,
         },
@@ -127,6 +141,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "counter left as plain data",
             build: mislabeled::event_counter_data,
             race_free: [false, false, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Data],
             sc_only: None,
         },
@@ -136,6 +151,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "commutative fetch-add return value observed",
             build: mislabeled::event_counter_observed,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Commutative],
             sc_only: None,
         },
@@ -145,6 +161,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "exchange vs fetch-add under commutative labels",
             build: mislabeled::event_counter_noncommuting,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Commutative],
             sc_only: None,
         },
@@ -154,6 +171,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "commutative stores of different values",
             build: mislabeled::flags_conflicting_dirty,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Commutative],
             sc_only: None,
         },
@@ -163,6 +181,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "non-ordering flag on the unique ordering path",
             build: mislabeled::flags_ordering_through_stop,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[NonOrdering],
             sc_only: Some(false),
         },
@@ -172,6 +191,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "paired reader against quantum updates",
             build: mislabeled::split_counter_mixed,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Quantum],
             sc_only: None,
         },
@@ -184,6 +204,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             // inc, dec), so the data marking stores race under every
             // model.
             race_free: [false, false, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Data],
             sc_only: None,
         },
@@ -193,6 +214,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "speculative value used without the sequence check",
             build: mislabeled::seqlock_unconditional_use,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Speculative],
             sc_only: None,
         },
@@ -202,6 +224,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "two speculative writers",
             build: mislabeled::seqlock_double_writer,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Speculative],
             sc_only: None,
         },
@@ -211,6 +234,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "stop flag left as plain data",
             build: mislabeled::flags_stop_data,
             race_free: [false, false, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Data],
             sc_only: None,
         },
@@ -220,6 +244,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "producer forgets the paired publish",
             build: mislabeled::work_queue_unpublished_slot,
             race_free: [true, false, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Data],
             sc_only: None,
         },
@@ -229,6 +254,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "writer unlocks with a non-ordering store",
             build: mislabeled::seqlock_relaxed_unlock,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             // Both contracts break: the payload race becomes observable
             // (speculative) and the unlock store carries ordering it
             // must not (non-ordering).
@@ -242,6 +268,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "message passing, paired flag",
             build: classic::mp_paired,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -251,6 +278,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "message passing through an unpaired flag",
             build: classic::mp_unpaired,
             race_free: [true, false, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Data],
             sc_only: None,
         },
@@ -260,6 +288,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "message passing through a non-ordering flag",
             build: classic::mp_non_ordering,
             race_free: [true, false, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[Data],
             sc_only: None,
         },
@@ -269,6 +298,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "message passing with one-sided release/acquire (§7 extension)",
             build: classic::mp_release_acquire,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -284,6 +314,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             // release/acquire semantics, and why the paper defers these
             // orderings to PLpc (§7).
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(false),
         },
@@ -293,6 +324,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "store buffering, paired",
             build: || classic::sb("sb_paired", drfrlx_core::OpClass::Paired),
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -302,6 +334,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "store buffering, non-ordering labels",
             build: || classic::sb("sb_non_ordering", drfrlx_core::OpClass::NonOrdering),
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[NonOrdering],
             sc_only: Some(false),
         },
@@ -311,6 +344,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "load buffering with data dependencies",
             build: classic::lb_non_ordering,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[NonOrdering],
             sc_only: Some(true),
         },
@@ -320,6 +354,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "read-read coherence, absolved by per-location SC",
             build: classic::corr_non_ordering,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -329,6 +364,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "IRIW with paired atomics",
             build: classic::iriw_paired,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -338,6 +374,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "IRIW with non-ordering atomics",
             build: classic::iriw_non_ordering,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[NonOrdering],
             sc_only: None,
         },
@@ -347,6 +384,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "Figure 2(a): unabsolved non-ordering path",
             build: classic::figure2a,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[NonOrdering],
             sc_only: Some(false),
         },
@@ -356,6 +394,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "Figure 2(b): paired path absolves the flags",
             build: classic::figure2b,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -365,6 +404,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "write-to-read causality through paired flags",
             build: classic::wrc_paired,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -374,6 +414,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "WRC causality carried by non-ordering atomics",
             build: classic::wrc_non_ordering,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[NonOrdering],
             sc_only: Some(false),
         },
@@ -383,6 +424,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "three-thread transitivity (ISA2) with paired flags",
             build: classic::isa2_paired,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -392,6 +434,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "2+2W: opposite-order non-ordering write pairs",
             build: classic::two_plus_two_w_non_ordering,
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[NonOrdering],
             sc_only: Some(false),
         },
@@ -408,6 +451,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             // exhibit the disagreement; sc_only documents that the
             // machine under-approximates here.
             race_free: [true, true, false],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[OneSided],
             sc_only: Some(true),
         },
@@ -417,6 +461,7 @@ pub fn all_tests() -> Vec<LitmusTest> {
             description: "racing unpaired RMWs (legal)",
             build: classic::unpaired_contention,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: Some(true),
         },
@@ -438,6 +483,7 @@ pub fn stress_tests() -> Vec<LitmusTest> {
             description: "IRIW, 2 writers x 4 paired stores, 2 readers x 3 loads",
             build: stress::iriw_stress,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: None, // 4.2M exhaustive interleavings: relaxed machine too costly
         },
@@ -447,6 +493,7 @@ pub fn stress_tests() -> Vec<LitmusTest> {
             description: "3 workers on 2 commutative bins, main joins 3 paired flags",
             build: stress::event_counter_stress,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: None, // join fan-in makes the relaxed exploration explode
         },
@@ -456,8 +503,21 @@ pub fn stress_tests() -> Vec<LitmusTest> {
             description: "seqlock, 1 writer + 3 speculative readers",
             build: stress::seqlock_stress,
             race_free: [true, true, true],
+            reduction: Reduction::SleepSet,
             drfrlx_kinds: &[],
             sc_only: None, // 369,600 exhaustive interleavings before branching
+        },
+        LitmusTest {
+            name: "seqlock_counter_stress",
+            category: UseCase,
+            description: "seqlock + 2 counter/tick workers; needs memoization",
+            build: stress::seqlock_counter_stress,
+            race_free: [true, true, true],
+            // 20.1M sleep-set interleavings: only duplicate-state
+            // memoization fits the default budget.
+            reduction: Reduction::SleepSetMemo,
+            drfrlx_kinds: &[],
+            sc_only: None,
         },
     ]
 }
@@ -471,8 +531,10 @@ pub fn stress_tests() -> Vec<LitmusTest> {
 pub fn run(t: &LitmusTest) -> Result<(), String> {
     let p = (t.build)();
     let limits = EnumLimits::default();
+    let opts =
+        CheckOptions { limits: limits.clone(), reduction: t.reduction, ..CheckOptions::default() };
     for (i, model) in MemoryModel::ALL.iter().enumerate() {
-        let report = try_check_program(&p, *model, &limits)
+        let report = check_program_with(&p, *model, &opts)
             .map_err(|e| format!("{}: enumeration failed under {model}: {e}", t.name))?;
         if report.is_race_free() != t.race_free[i] {
             return Err(format!(

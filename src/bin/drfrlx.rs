@@ -13,7 +13,7 @@
 
 use drfrlx::model::checker::{check_program_with, CheckOptions};
 use drfrlx::model::emit::emit;
-use drfrlx::model::exec::{enumerate_sc, EnumLimits};
+use drfrlx::model::exec::{enumerate_sc, EnumLimits, Reduction};
 use drfrlx::model::infer::infer;
 use drfrlx::model::parse::parse;
 use drfrlx::model::pretty::{format_conflict_graph, format_execution};
@@ -59,14 +59,21 @@ drfrlx — DRFrlx memory-model checker and CPU-GPU simulator
 
 USAGE:
   drfrlx check <file.litmus> [--model drf0|drf1|drfrlx] [--threads N]
-                             [--max-execs N]
+                             [--max-execs N] [--reduction none|sleep|memo]
+                             [--stats]
       Stream SC executions through the race detectors (sleep-set
       partial-order reduction, sharded across N worker threads) and
       report illegal races (exit status 1 if the program is racy).
       Prints the explored/pruned execution counts per model; the
       verdicts are identical at any --threads. --max-execs raises or
-      lowers the execution budget (default 250000). Threads default to
-      all cores (or DRFRLX_THREADS).
+      lowers the execution budget (default 250000). --reduction picks
+      the search-space pruning: `none` (exhaustive), `sleep` (sleep-set
+      partial-order reduction, the default) or `memo` (sleep sets plus
+      duplicate-state memoization — needed for programs whose
+      conflicting operations defeat sleep sets alone). --stats prints
+      the per-model reduction counters (explored / sleep-set-pruned /
+      memo-pruned / peak-table-size). Threads default to all cores (or
+      DRFRLX_THREADS).
   drfrlx explore <file.litmus>
       Print a representative execution, its program/conflict graph
       and every race found across executions.
@@ -149,7 +156,17 @@ fn cmd_check(args: &[String]) -> CmdResult {
         limits.max_executions =
             v.parse().ok().filter(|&n| n > 0).ok_or("--max-execs needs a positive integer")?;
     }
-    let opts = CheckOptions { limits, threads, ..CheckOptions::default() };
+    let reduction = match flag_value(args, "--reduction") {
+        None => Reduction::SleepSet,
+        Some(v) => match v.to_ascii_lowercase().as_str() {
+            "none" => Reduction::Exhaustive,
+            "sleep" => Reduction::SleepSet,
+            "memo" => Reduction::SleepSetMemo,
+            other => return Err(format!("unknown reduction `{other}`").into()),
+        },
+    };
+    let stats = args.iter().any(|a| a == "--stats");
+    let opts = CheckOptions { limits, threads, reduction, ..CheckOptions::default() };
     let mut clean = true;
     for model in models {
         let report = check_program_with(&p, model, &opts)?;
@@ -166,6 +183,12 @@ fn cmd_check(args: &[String]) -> CmdResult {
             "  executions: {} explored, {} pruned by partial-order reduction",
             report.executions, report.pruned
         );
+        if stats {
+            println!(
+                "  stats: explored {}, sleep-set-pruned {}, memo-pruned {}, peak-table-size {}",
+                report.executions, report.pruned, report.memo_pruned, report.table_peak
+            );
+        }
     }
     Ok(clean)
 }
