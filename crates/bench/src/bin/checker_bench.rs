@@ -96,6 +96,20 @@ fn main() {
         println!("stress speedup (streaming vs reference): {:.1}x", ref_seconds / stream_seconds);
     }
 
+    // Conformance corpus: Table-1 use cases compiled to simulator
+    // kernels and checked against the axiomatic oracle across the full
+    // configuration × schedule matrix. An after-only row — absent from
+    // earlier baselines, so `to_json_vs` reports it with a null
+    // speedup and keeps it out of aggregate_speedup.
+    let start = Instant::now();
+    let opts = drfrlx_conform::ConformOptions { threads: 4, ..Default::default() };
+    let reports =
+        drfrlx_conform::run_corpus(&opts).expect("corpus programs enumerate within limits");
+    assert!(reports.iter().all(|r| r.sound()), "conformance violation in the Table-1 corpus");
+    let seconds = start.elapsed().as_secs_f64();
+    perf.record("conform_corpus", seconds);
+    println!("conform_corpus: {seconds:.3}s ({} tests, all sound)", reports.len());
+
     if let Some(path) = flag_value(&args, "--perf") {
         let json = match flag_value(&args, "--perf-baseline") {
             Some(base) => {

@@ -1,0 +1,19 @@
+//! Conformance corpus report: the Table-1 use cases compiled to
+//! simulator kernels, run across the nine configurations × 128
+//! schedules, and checked against the axiomatic oracle
+//! (`results/conform.txt`).
+
+use drfrlx_conform::{render_corpus, run_corpus, ConformOptions};
+use hsim_sys::default_threads;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = ConformOptions { threads: default_threads(), ..ConformOptions::default() };
+    let reports = run_corpus(&opts).expect("corpus programs enumerate within default limits");
+    print!("{}", render_corpus(&reports, &opts));
+    if reports.iter().all(|r| r.sound()) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

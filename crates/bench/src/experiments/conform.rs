@@ -1,0 +1,101 @@
+//! `conform_matrix`: the Table-1 litmus corpus run through the
+//! conformance harness — every use-case compiled to a simulator
+//! kernel, executed across the nine protocol × model configurations
+//! under the default 128-schedule family, and checked against the
+//! axiomatic oracle's allowed outcome set.
+
+use crate::experiment::Experiment;
+use crate::json::JsonObj;
+use drfrlx_conform::{
+    compile, conform_jobs, render_corpus, report_from_runs, table1_corpus, ConformOptions,
+    ConformReport,
+};
+use drfrlx_core::MemoryModel;
+use hsim_sys::{RunReport, SimJob};
+
+/// The conformance-matrix experiment (`results/conform_matrix.*`).
+pub struct ConformMatrix;
+
+fn opts() -> ConformOptions {
+    // threads only parallelizes the oracle here; the matrix itself runs
+    // on the sweep engine. Results are thread-invariant either way.
+    ConformOptions { threads: 1, ..ConformOptions::default() }
+}
+
+/// Rebuild per-test conformance reports from the flat report list.
+fn reports_per_test(reports: &[RunReport]) -> Vec<ConformReport> {
+    let o = opts();
+    let per_test = o.configs.len() * o.schedules;
+    table1_corpus()
+        .iter()
+        .enumerate()
+        .map(|(i, (_, p))| {
+            let shape = compile(p);
+            report_from_runs(&shape, &o, &reports[i * per_test..(i + 1) * per_test])
+                .expect("corpus programs enumerate within default limits")
+        })
+        .collect()
+}
+
+/// Coverage as integer thousandths — floats stringify unstably.
+fn millis(num: usize, den: usize) -> u64 {
+    if den == 0 {
+        return 1000;
+    }
+    (num as u64 * 1000) / den as u64
+}
+
+impl Experiment for ConformMatrix {
+    fn id(&self) -> &'static str {
+        "conform_matrix"
+    }
+
+    fn title(&self) -> &'static str {
+        "Conformance: Table-1 litmus corpus vs the simulator (observed ⊆ allowed)"
+    }
+
+    fn jobs(&self) -> Vec<SimJob> {
+        let o = opts();
+        table1_corpus().iter().flat_map(|(_, p)| conform_jobs(&compile(p), &o)).collect()
+    }
+
+    fn render(&self, _jobs: &[SimJob], reports: &[RunReport]) -> String {
+        render_corpus(&reports_per_test(reports), &opts())
+    }
+
+    fn json_rows(&self, _jobs: &[SimJob], reports: &[RunReport]) -> Vec<String> {
+        let mut rows = Vec::new();
+        for r in reports_per_test(reports) {
+            for v in &r.verdicts {
+                rows.push(
+                    JsonObj::new()
+                        .str("experiment", self.id())
+                        .str("test", &r.name)
+                        .str("config", v.config.abbrev())
+                        .u64("allowed", r.allowed.len() as u64)
+                        .u64("observed", v.observed.len() as u64)
+                        .u64("violations", v.violations.len() as u64)
+                        .bool("sound", v.violations.is_empty())
+                        .finish(),
+                );
+            }
+            rows.push(
+                JsonObj::new()
+                    .str("experiment", self.id())
+                    .str("test", &r.name)
+                    .str("config", "all")
+                    .u64("allowed", r.allowed.len() as u64)
+                    .u64("observed", r.observed_union().len() as u64)
+                    .u64("witnessed", r.witnessed() as u64)
+                    .u64("coverage_millis", millis(r.witnessed(), r.allowed.len()))
+                    .u64(
+                        "drf0_coverage_millis",
+                        millis(r.witnessed_under(MemoryModel::Drf0), r.allowed.len()),
+                    )
+                    .bool("sound", r.sound())
+                    .finish(),
+            );
+        }
+        rows
+    }
+}

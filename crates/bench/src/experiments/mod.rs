@@ -16,11 +16,13 @@
 //! | `ext_pr_residual` | extension: quantum residual in PageRank |
 //! | `ext_mesi` | extension: MESI-WB writeback baseline, 3 models |
 //! | `hotspots` | diagnostic: protocol event profile GD0 vs DDR |
+//! | `conform_matrix` | conformance: Table-1 corpus vs the simulator |
 //!
 //! The static artifacts (Figure 2, Tables 1–3, Listing 7) have no
 //! simulation matrix and keep their dedicated binaries.
 
 mod ablations;
+mod conform;
 mod fig1;
 mod hotspots;
 mod mesi;
@@ -125,6 +127,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(residual::PrResidual),
         Box::new(mesi::MesiBaseline),
         Box::new(hotspots::Hotspots),
+        Box::new(conform::ConformMatrix),
     ]
 }
 

@@ -281,6 +281,32 @@ mod tests {
     }
 
     #[test]
+    fn after_only_experiment_never_degrades_aggregate_speedup() {
+        fn aggregate(json: &str) -> &str {
+            let key = "\"aggregate_speedup\": ";
+            let start = json.find(key).expect("aggregate present") + key.len();
+            json[start..].split(['\n', ','] as [char; 2]).next().unwrap().trim()
+        }
+        let mut before = PerfReport::new("checker_bench");
+        before.record("checker_suite_t1", 2.0);
+        before.record("checker_stress_streaming", 1.0);
+        let mut after = PerfReport::new("checker_bench");
+        after.record("checker_suite_t1", 1.0);
+        after.record("checker_stress_streaming", 0.5);
+        let baseline_aggregate = aggregate(&after.to_json_vs(&before)).to_string();
+        // A brand-new (after-only) experiment — however expensive —
+        // must leave the joined aggregate untouched: it has no
+        // baseline row to compare against.
+        after.record("conform_corpus", 100.0);
+        let with_new = after.to_json_vs(&before);
+        assert_eq!(aggregate(&with_new), baseline_aggregate, "{with_new}");
+        assert!(with_new.contains(
+            "\"id\": \"conform_corpus\", \"seconds_before\": null, \
+             \"seconds_after\": 100.000000, \"speedup\": null"
+        ));
+    }
+
+    #[test]
     fn parse_reads_trajectory_after_column() {
         let mut before = PerfReport::new("cmd");
         before.record("fig1", 3.0);

@@ -151,6 +151,7 @@ fn registry_covers_the_paper_artifacts() {
             "ext_pr_residual",
             "ext_mesi",
             "hotspots",
+            "conform_matrix",
         ]
     );
 }

@@ -55,6 +55,14 @@ fn cheap_experiments_match_committed_artifacts() {
     }
 }
 
+/// The conformance matrix (litmus corpus × 9 configs × 128 schedules)
+/// regenerates its committed artifacts byte-for-byte. Separate from
+/// the cheap batch so a conformance drift is named in the failure.
+#[test]
+fn conform_matrix_matches_committed_artifacts() {
+    assert_experiment_matches("conform_matrix");
+}
+
 /// Every static artifact (model-only binaries that print the committed
 /// file to stdout) is byte-identical to its committed counterpart.
 #[test]
@@ -66,6 +74,7 @@ fn static_binaries_match_committed_artifacts() {
         (env!("CARGO_BIN_EXE_table3_benchmarks"), "table3.txt"),
         (env!("CARGO_BIN_EXE_listing7_herd"), "listing7.txt"),
         (env!("CARGO_BIN_EXE_checker_stress"), "checker_stress.txt"),
+        (env!("CARGO_BIN_EXE_conform"), "conform.txt"),
     ] {
         let out = Command::new(exe).output().unwrap_or_else(|e| panic!("run {exe}: {e}"));
         assert!(out.status.success(), "{exe} failed: {}", String::from_utf8_lossy(&out.stderr));

@@ -1,0 +1,331 @@
+//! The conformance harness: run a compiled litmus kernel across the
+//! configuration × schedule matrix and compare the observed outcome
+//! set against the axiomatic oracle.
+//!
+//! ## Soundness vs coverage
+//!
+//! * **Soundness** (the verdict): `observed ⊆ allowed` per
+//!   configuration. A violation means the simulator produced a final
+//!   state no SC interleaving of the program can produce — a simulator
+//!   bug, since every DRF-family model admits at least the SC
+//!   outcomes and the engine's functional semantics are
+//!   issue-atomic.
+//! * **Coverage** (the diagnostic): `|observed ∩ allowed| / |allowed|`
+//!   — the fraction of allowed outcomes some schedule actually
+//!   witnessed. Low coverage never fails a test by itself; it flags
+//!   that the schedule family is too tame to exercise the program.
+//!
+//! Everything here is deterministic: jobs are laid out config-major ×
+//! schedule-minor, `run_matrix` returns reports in job order
+//! regardless of worker count, outcome sets are `BTreeSet`s, and the
+//! oracle's shard set depends only on the program.
+
+use crate::compile::{compile, CompiledLitmus};
+use crate::outcome::{allowed_outcomes, Outcome};
+use crate::schedule::schedule_params;
+use drfrlx_core::exec::{EnumError, EnumLimits, EnumStats};
+use drfrlx_core::program::Program;
+use drfrlx_core::{MemoryModel, SystemConfig};
+use drfrlx_litmus::{all_tests, Category};
+use hsim_sys::{run_matrix, RunReport, SimJob, SysParams};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Options for one conformance run.
+#[derive(Debug, Clone)]
+pub struct ConformOptions {
+    /// Configurations to simulate (default: all nine).
+    pub configs: Vec<SystemConfig>,
+    /// Schedules per configuration (index 0 is always the pristine
+    /// platform).
+    pub schedules: usize,
+    /// Root seed of the schedule family.
+    pub seed: u64,
+    /// Worker threads for both the simulation matrix and the oracle.
+    pub threads: usize,
+    /// Oracle enumeration limits.
+    pub limits: EnumLimits,
+}
+
+impl Default for ConformOptions {
+    fn default() -> Self {
+        ConformOptions {
+            configs: SystemConfig::extended().to_vec(),
+            schedules: 128,
+            seed: 1,
+            threads: 1,
+            limits: EnumLimits::default(),
+        }
+    }
+}
+
+/// Observed outcomes and soundness verdict for one configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigVerdict {
+    /// The protocol × model cell.
+    pub config: SystemConfig,
+    /// Every final state some schedule produced.
+    pub observed: BTreeSet<Outcome>,
+    /// `observed \ allowed` — non-empty means the simulator is
+    /// unsound for this program under this configuration.
+    pub violations: Vec<Outcome>,
+}
+
+/// The full conformance result for one program.
+#[derive(Debug, Clone)]
+pub struct ConformReport {
+    /// Program name.
+    pub name: String,
+    /// The oracle's allowed (SC) outcome set.
+    pub allowed: BTreeSet<Outcome>,
+    /// Oracle enumeration statistics.
+    pub oracle_stats: EnumStats,
+    /// One verdict per configuration, in option order.
+    pub verdicts: Vec<ConfigVerdict>,
+}
+
+impl ConformReport {
+    /// No configuration observed an outcome outside the allowed set.
+    pub fn sound(&self) -> bool {
+        self.verdicts.iter().all(|v| v.violations.is_empty())
+    }
+
+    /// Union of observed outcomes across every configuration.
+    pub fn observed_union(&self) -> BTreeSet<Outcome> {
+        let mut u = BTreeSet::new();
+        for v in &self.verdicts {
+            u.extend(v.observed.iter().cloned());
+        }
+        u
+    }
+
+    /// Allowed outcomes witnessed by at least one configuration,
+    /// over the allowed count (1.0 when the allowed set is empty).
+    pub fn coverage(&self) -> f64 {
+        Self::ratio(&self.observed_union(), &self.allowed)
+    }
+
+    /// Coverage restricted to configurations running `model`.
+    pub fn coverage_under(&self, model: MemoryModel) -> f64 {
+        let mut u = BTreeSet::new();
+        for v in self.verdicts.iter().filter(|v| v.config.model == model) {
+            u.extend(v.observed.iter().cloned());
+        }
+        Self::ratio(&u, &self.allowed)
+    }
+
+    /// Allowed outcomes witnessed (across all configurations), as a
+    /// count — the coverage numerator.
+    pub fn witnessed(&self) -> usize {
+        self.observed_union().intersection(&self.allowed).count()
+    }
+
+    /// The coverage numerator restricted to `model` configurations.
+    pub fn witnessed_under(&self, model: MemoryModel) -> usize {
+        let mut u = BTreeSet::new();
+        for v in self.verdicts.iter().filter(|v| v.config.model == model) {
+            u.extend(v.observed.iter().cloned());
+        }
+        u.intersection(&self.allowed).count()
+    }
+
+    fn ratio(observed: &BTreeSet<Outcome>, allowed: &BTreeSet<Outcome>) -> f64 {
+        if allowed.is_empty() {
+            return 1.0;
+        }
+        observed.intersection(allowed).count() as f64 / allowed.len() as f64
+    }
+}
+
+/// The simulation jobs of one conformance run: config-major ×
+/// schedule-minor, in `opts.configs` order. [`report_from_runs`]
+/// expects reports in exactly this order.
+pub fn conform_jobs(shape: &CompiledLitmus, opts: &ConformOptions) -> Vec<SimJob> {
+    let kernel: Arc<dyn hsim_gpu::Kernel> = Arc::new(shape.clone());
+    let base = SysParams::integrated();
+    let name = shape.program.name();
+    let mut jobs = Vec::with_capacity(opts.configs.len() * opts.schedules.max(1));
+    for &config in &opts.configs {
+        for s in 0..opts.schedules.max(1) {
+            let mut job = SimJob::new(
+                format!("{name}:{config}:s{s}"),
+                Arc::clone(&kernel),
+                config,
+                &schedule_params(&base, opts.seed, s),
+            );
+            job.validate = false;
+            jobs.push(job);
+        }
+    }
+    jobs
+}
+
+/// Fold simulation reports (in [`conform_jobs`] order) and the
+/// axiomatic oracle into a [`ConformReport`].
+///
+/// # Errors
+///
+/// Returns [`EnumError::TooManyExecutions`] when the oracle cannot
+/// enumerate the program within `opts.limits`.
+pub fn report_from_runs(
+    shape: &CompiledLitmus,
+    opts: &ConformOptions,
+    reports: &[RunReport],
+) -> Result<ConformReport, EnumError> {
+    let (allowed, oracle_stats) = allowed_outcomes(shape, &opts.limits, opts.threads)?;
+    let per = opts.schedules.max(1);
+    let verdicts = opts
+        .configs
+        .iter()
+        .enumerate()
+        .map(|(ci, &config)| {
+            let observed: BTreeSet<Outcome> = reports[ci * per..(ci + 1) * per]
+                .iter()
+                .map(|r| Outcome::from_sim_memory(shape, &r.memory))
+                .collect();
+            let violations = observed.difference(&allowed).cloned().collect();
+            ConfigVerdict { config, observed, violations }
+        })
+        .collect();
+    Ok(ConformReport { name: shape.program.name().to_string(), allowed, oracle_stats, verdicts })
+}
+
+/// Run the full conformance loop for one program.
+///
+/// # Errors
+///
+/// Returns [`EnumError::TooManyExecutions`] when the oracle cannot
+/// enumerate the program within `opts.limits` (the simulation side ran
+/// by then, but without an allowed set there is no verdict).
+///
+/// # Panics
+///
+/// Panics if the program has no threads.
+pub fn check_conformance(p: &Program, opts: &ConformOptions) -> Result<ConformReport, EnumError> {
+    let shape = compile(p);
+    let jobs = conform_jobs(&shape, opts);
+    let reports = run_matrix(&jobs, opts.threads);
+    report_from_runs(&shape, opts, &reports)
+}
+
+/// Is `p` *demonstrably* unsound under `opts` — i.e. did some
+/// configuration observe a disallowed outcome? Oracle overflow counts
+/// as "not demonstrated" (the shrinker predicate must only accept
+/// programs whose disagreement reproduces).
+pub fn is_unsound(p: &Program, opts: &ConformOptions) -> bool {
+    !p.threads().is_empty() && matches!(check_conformance(p, opts), Ok(report) if !report.sound())
+}
+
+/// The Table-1 use-case corpus as `(name, program)` pairs.
+pub fn table1_corpus() -> Vec<(String, Program)> {
+    all_tests()
+        .into_iter()
+        .filter(|t| t.category == Category::UseCase)
+        .map(|t| (t.name.to_string(), (t.build)()))
+        .collect()
+}
+
+/// Conformance over the whole Table-1 corpus, one report per test.
+///
+/// # Errors
+///
+/// Propagates the first oracle enumeration failure.
+pub fn run_corpus(opts: &ConformOptions) -> Result<Vec<ConformReport>, EnumError> {
+    table1_corpus().iter().map(|(_, p)| check_conformance(p, opts)).collect()
+}
+
+/// Render corpus reports as the stable text table committed to
+/// `results/conform.txt`.
+pub fn render_corpus(reports: &[ConformReport], opts: &ConformOptions) -> String {
+    let mut out = String::new();
+    out.push_str("Conformance: litmus corpus vs simulator (observed ⊆ allowed)\n");
+    let configs: Vec<&str> = opts.configs.iter().map(|c| c.abbrev()).collect();
+    out.push_str(&format!(
+        "configs: {}   schedules/config: {}   seed: {}\n\n",
+        configs.join(" "),
+        opts.schedules,
+        opts.seed
+    ));
+    out.push_str(&format!(
+        "{:<26} {:>7} {:>9} {:>9} {:>9}  verdict\n",
+        "test", "allowed", "observed", "coverage", "drf0-cov"
+    ));
+    let (mut tot_allowed, mut tot_wit, mut tot_wit0) = (0usize, 0usize, 0usize);
+    let mut all_sound = true;
+    for r in reports {
+        let verdict = if r.sound() { "SOUND" } else { "VIOLATION" };
+        all_sound &= r.sound();
+        tot_allowed += r.allowed.len();
+        tot_wit += r.witnessed();
+        tot_wit0 += r.witnessed_under(MemoryModel::Drf0);
+        out.push_str(&format!(
+            "{:<26} {:>7} {:>9} {:>9.3} {:>9.3}  {}\n",
+            r.name,
+            r.allowed.len(),
+            r.observed_union().len(),
+            r.coverage(),
+            r.coverage_under(MemoryModel::Drf0),
+            verdict
+        ));
+    }
+    let agg = |w: usize| if tot_allowed == 0 { 1.0 } else { w as f64 / tot_allowed as f64 };
+    out.push_str(&format!(
+        "{:<26} {:>7} {:>9} {:>9.3} {:>9.3}  {}\n",
+        "total",
+        tot_allowed,
+        tot_wit,
+        agg(tot_wit),
+        agg(tot_wit0),
+        if all_sound { "SOUND" } else { "VIOLATION" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::OpClass;
+
+    fn quick_opts() -> ConformOptions {
+        ConformOptions {
+            configs: SystemConfig::all().to_vec(),
+            schedules: 4,
+            seed: 1,
+            threads: 1,
+            limits: EnumLimits::default(),
+        }
+    }
+
+    #[test]
+    fn commutative_counter_conforms() {
+        let mut p = Program::new("inc2");
+        p.thread().rmw(OpClass::Commutative, "c", drfrlx_core::RmwOp::FetchAdd, 1);
+        p.thread().rmw(OpClass::Commutative, "c", drfrlx_core::RmwOp::FetchAdd, 1);
+        let p = p.build();
+        let r = check_conformance(&p, &quick_opts()).unwrap();
+        assert!(r.sound(), "two relaxed increments must stay in the SC set");
+        // Final memory is always 2; the old values distinguish orders.
+        assert!(r.coverage() > 0.0);
+    }
+
+    #[test]
+    fn corpus_has_the_seven_table1_tests() {
+        let names: Vec<String> = table1_corpus().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 7);
+        assert!(names.contains(&"work_queue".to_string()));
+        assert!(names.contains(&"seqlock".to_string()));
+    }
+
+    #[test]
+    fn render_is_stable_shape() {
+        let opts = quick_opts();
+        let mut p = Program::new("one");
+        p.thread().store(OpClass::Data, "x", 1);
+        let p = p.build();
+        let r = check_conformance(&p, &opts).unwrap();
+        let text = render_corpus(&[r], &opts);
+        assert!(text.contains("one"));
+        assert!(text.contains("SOUND"));
+        assert!(text.contains("total"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Deterministic schedule diversification.
+//!
+//! One simulator run realizes one interleaving; conformance needs
+//! many. Schedule 0 is always the pristine platform (the exact timing
+//! every committed artifact uses), and schedules `1..n` perturb the
+//! knobs that move the interleaving without touching functional
+//! semantics: per-context issue jitter ([`hsim_gpu::IssueJitter`]),
+//! NoC hop latency and link bandwidth, L2 latency/occupancy, DRAM
+//! latency, and the relaxed-atomic overlap window. Every derived
+//! parameter is a pure function of `(seed, index)` via SplitMix64, so
+//! the whole schedule family — and therefore the observed outcome set
+//! — is reproducible and thread-count independent.
+
+use drfrlx_workloads::util::SplitMix64;
+use hsim_gpu::IssueJitter;
+use hsim_sys::SysParams;
+
+/// The `index`-th perturbed platform of the family rooted at `seed`.
+///
+/// Index 0 returns `base` unchanged; higher indices derive a
+/// deterministic variant. Distinct seeds give distinct families.
+pub fn schedule_params(base: &SysParams, seed: u64, index: usize) -> SysParams {
+    let mut p = base.clone();
+    if index == 0 {
+        return p;
+    }
+    let mut rng = SplitMix64::new(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Issue jitter is the main interleaving lever. The ladder is
+    // exponential: early indices perturb by a few cycles (fine
+    // reorderings near the pristine timing), late indices by up to a
+    // couple thousand — longer than a full memory round-trip, so the
+    // launch-time jitter can stagger whole threads past each other and
+    // reach coarse interleavings timing alone never produces.
+    let scale = 4u64 << index.min(9);
+    let max_delay = 1 + rng.below(scale);
+    p.engine.jitter = Some(IssueJitter { seed: rng.next_u64(), max_delay });
+    // Memory-system contention knobs shift which accesses collide.
+    p.memsys.noc.hop_latency = [1, 2, 4, 10][rng.below(4) as usize];
+    p.memsys.noc.cycles_per_flit = 1 + rng.below(2);
+    p.memsys.l2_latency = [10, 20, 40, 60][rng.below(4) as usize];
+    p.memsys.l2_occupancy = 1 + rng.below(16);
+    p.memsys.dram.latency = [100, 160, 320][rng.below(3) as usize];
+    p.engine.max_outstanding_atomics = 1 + rng.below(8) as usize;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_zero_is_pristine() {
+        let base = SysParams::integrated();
+        let p = schedule_params(&base, 1, 0);
+        assert_eq!(p.engine.jitter, base.engine.jitter);
+        assert_eq!(p.memsys.noc.hop_latency, base.memsys.noc.hop_latency);
+    }
+
+    #[test]
+    fn same_seed_same_index_is_identical() {
+        let base = SysParams::integrated();
+        let a = schedule_params(&base, 7, 3);
+        let b = schedule_params(&base, 7, 3);
+        assert_eq!(a.engine.jitter, b.engine.jitter);
+        assert_eq!(a.memsys.noc.hop_latency, b.memsys.noc.hop_latency);
+        assert_eq!(a.memsys.l2_latency, b.memsys.l2_latency);
+    }
+
+    #[test]
+    fn indices_diversify_jitter() {
+        let base = SysParams::integrated();
+        let seeds: Vec<_> =
+            (1..6).map(|i| schedule_params(&base, 1, i).engine.jitter.unwrap().seed).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "jitter seeds should differ across indices");
+    }
+}

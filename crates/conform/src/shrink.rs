@@ -1,0 +1,214 @@
+//! Delta-debugging shrinker for disagreeing programs.
+//!
+//! Given a program on which some failing predicate holds (normally
+//! "the simulator observed an outcome outside the allowed set", see
+//! [`crate::harness::is_unsound`]), `shrink` greedily removes program
+//! structure while the predicate keeps holding:
+//!
+//! 1. **Drop a whole thread** (never below one — the compiler refuses
+//!    empty programs).
+//! 2. **Drop a single instruction.** Earlier `JumpIfZero` skips whose
+//!    region covers the dropped index are shortened by one so the
+//!    structured-`if` encoding stays well-formed.
+//! 3. **Demote an operation class to `Data`**, isolating which
+//!    relaxed-atomic class the disagreement actually needs.
+//!
+//! Passes run to a fixpoint; every candidate is re-checked against the
+//! predicate before being accepted, so the result is a locally minimal
+//! program that still reproduces the disagreement. The predicate is
+//! expected to be deterministic (the whole harness is), which keeps
+//! shrinking deterministic too.
+
+use drfrlx_core::program::{Instr, Program, Thread};
+
+/// Shrink `p` while `failing` keeps returning `true`.
+///
+/// Returns `p` unchanged if the predicate does not hold on it (nothing
+/// to shrink), otherwise a locally minimal failing program.
+pub fn shrink(p: &Program, failing: &dyn Fn(&Program) -> bool) -> Program {
+    if !failing(p) {
+        return p.clone();
+    }
+    let mut cur = p.clone();
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: drop whole threads.
+        while cur.threads().len() > 1 {
+            let mut dropped = false;
+            for t in 0..cur.threads().len() {
+                let mut threads = cur.threads().to_vec();
+                threads.remove(t);
+                let cand = cur.with_threads(threads);
+                if failing(&cand) {
+                    cur = cand;
+                    dropped = true;
+                    progressed = true;
+                    break;
+                }
+            }
+            if !dropped {
+                break;
+            }
+        }
+
+        // Pass 2: drop single instructions.
+        'instrs: loop {
+            for t in 0..cur.threads().len() {
+                for i in 0..cur.threads()[t].instrs.len() {
+                    let mut threads = cur.threads().to_vec();
+                    threads[t] = drop_instr(&threads[t], i);
+                    let cand = cur.with_threads(threads);
+                    if failing(&cand) {
+                        cur = cand;
+                        progressed = true;
+                        continue 'instrs;
+                    }
+                }
+            }
+            break;
+        }
+
+        // Pass 3: demote classes to Data.
+        'classes: loop {
+            for t in 0..cur.threads().len() {
+                for i in 0..cur.threads()[t].instrs.len() {
+                    let Some(cand) = demote_class(&cur, t, i) else { continue };
+                    if failing(&cand) {
+                        cur = cand;
+                        progressed = true;
+                        continue 'classes;
+                    }
+                }
+            }
+            break;
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// `t` without instruction `i`, with earlier `JumpIfZero` skips whose
+/// region `(j, j+skip]` covered `i` shortened by one.
+fn drop_instr(t: &Thread, i: usize) -> Thread {
+    let mut instrs = Vec::with_capacity(t.instrs.len().saturating_sub(1));
+    for (j, ins) in t.instrs.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let mut ins = ins.clone();
+        if let Instr::JumpIfZero { skip, .. } = &mut ins {
+            if j < i && i <= j + *skip {
+                *skip -= 1;
+            }
+        }
+        instrs.push(ins);
+    }
+    Thread { instrs }
+}
+
+/// A copy of `p` with instruction `(t, i)`'s class set to `Data`, or
+/// `None` when it has no class or is already `Data`.
+fn demote_class(p: &Program, t: usize, i: usize) -> Option<Program> {
+    use drfrlx_core::OpClass;
+    let mut threads = p.threads().to_vec();
+    let class = match &mut threads[t].instrs[i] {
+        Instr::Load { class, .. } | Instr::Store { class, .. } | Instr::Rmw { class, .. } => class,
+        _ => return None,
+    };
+    if *class == OpClass::Data {
+        return None;
+    }
+    *class = OpClass::Data;
+    Some(p.with_threads(threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::prelude::*;
+    use drfrlx_core::OpClass;
+
+    /// Predicate: some thread stores the value 42 somewhere.
+    fn stores_42(p: &Program) -> bool {
+        p.threads()
+            .iter()
+            .flat_map(|t| &t.instrs)
+            .any(|i| matches!(i, Instr::Store { val, .. } if *val == Expr::Const(42)))
+    }
+
+    use drfrlx_core::program::Instr;
+
+    #[test]
+    fn shrinks_to_the_single_relevant_instruction() {
+        let mut p = Program::new("padded");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Paired, "x", 1);
+            let r = t.load(OpClass::Paired, "y");
+            t.observe(r);
+            t.store(OpClass::Unpaired, "z", 42);
+        }
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Commutative, "y", 7);
+        }
+        let p = p.build();
+        let s = shrink(&p, &stores_42);
+        assert!(stores_42(&s));
+        assert_eq!(s.threads().len(), 1);
+        assert_eq!(s.threads()[0].instrs.len(), 1);
+        // Pass 3 demoted the surviving store's class to Data.
+        assert!(matches!(&s.threads()[0].instrs[0], Instr::Store { class: OpClass::Data, .. }));
+    }
+
+    #[test]
+    fn non_failing_program_is_returned_unchanged() {
+        let mut p = Program::new("clean");
+        p.thread().store(OpClass::Data, "x", 1);
+        let p = p.build();
+        let s = shrink(&p, &stores_42);
+        assert_eq!(s.threads(), p.threads());
+    }
+
+    #[test]
+    fn dropping_inside_an_if_body_fixes_the_skip() {
+        let src = "litmus t\ninit { f = 1 }\nthread a {\n  r = load.paired f;\n  if r { store.data x 1; store.data y 42; }\n}";
+        let p = drfrlx_core::parse::parse(src).unwrap();
+        // Force the shrinker to keep the `if` and the 42-store but let
+        // it drop the x-store inside the body.
+        let keeps = |q: &Program| {
+            stores_42(q)
+                && q.threads()
+                    .iter()
+                    .flat_map(|t| &t.instrs)
+                    .any(|i| matches!(i, Instr::JumpIfZero { .. }))
+        };
+        let s = shrink(&p, &keeps);
+        assert!(keeps(&s));
+        // Every surviving jump must still land inside its thread.
+        for t in s.threads() {
+            for (j, ins) in t.instrs.iter().enumerate() {
+                if let Instr::JumpIfZero { skip, .. } = ins {
+                    assert!(j + 1 + skip <= t.instrs.len(), "skip out of bounds");
+                }
+            }
+        }
+        // And the shrunk program still enumerates: the guarded store
+        // executes iff f != 0, which it is.
+        let execs = enumerate_sc(&s, &EnumLimits::default()).unwrap();
+        assert!(!execs.is_empty());
+    }
+
+    #[test]
+    fn never_drops_below_one_thread() {
+        let mut p = Program::new("two");
+        p.thread().store(OpClass::Data, "x", 42);
+        p.thread().store(OpClass::Data, "y", 42);
+        let p = p.build();
+        let s = shrink(&p, &|_| true);
+        assert_eq!(s.threads().len(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Satellite 3: the conformance harness is deterministic — observed
+//! sets and verdicts are identical across worker-thread counts and
+//! across reruns with a fixed seed — and the Table-1 corpus is sound
+//! with healthy coverage.
+
+use drfrlx_conform::{
+    check_conformance, generate, run_corpus, shrink, ConformOptions, ConformReport,
+};
+use drfrlx_core::{MemoryModel, SystemConfig};
+use std::collections::BTreeSet;
+
+fn opts(threads: usize) -> ConformOptions {
+    ConformOptions { threads, ..ConformOptions::default() }
+}
+
+/// Flatten a report to a canonical comparable form.
+type Fingerprint = (String, BTreeSet<String>, Vec<(String, Vec<String>)>);
+
+fn fingerprint(r: &ConformReport) -> Fingerprint {
+    (
+        r.name.clone(),
+        r.allowed.iter().map(|o| o.render()).collect(),
+        r.verdicts
+            .iter()
+            .map(|v| {
+                (v.config.to_string(), v.observed.iter().map(|o| o.render()).collect::<Vec<_>>())
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn corpus_is_sound_across_all_nine_configs() {
+    for r in run_corpus(&opts(4)).unwrap() {
+        for v in &r.verdicts {
+            assert!(
+                v.violations.is_empty(),
+                "{} under {}: disallowed outcomes {:?}",
+                r.name,
+                v.config,
+                v.violations.iter().map(|o| o.render()).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_drf0_coverage_is_at_least_ninety_percent() {
+    let reports = run_corpus(&opts(4)).unwrap();
+    let allowed: usize = reports.iter().map(|r| r.allowed.len()).sum();
+    let witnessed: usize = reports.iter().map(|r| r.witnessed_under(MemoryModel::Drf0)).sum();
+    let cov = witnessed as f64 / allowed as f64;
+    assert!(cov >= 0.9, "DRF0 coverage {cov:.3} ({witnessed}/{allowed}) below 0.9");
+}
+
+#[test]
+fn verdicts_are_identical_across_worker_thread_counts() {
+    let base: Vec<_> = run_corpus(&opts(1)).unwrap().iter().map(fingerprint).collect();
+    for threads in [4, 8] {
+        let got: Vec<_> = run_corpus(&opts(threads)).unwrap().iter().map(fingerprint).collect();
+        assert_eq!(base, got, "corpus verdicts changed at {threads} worker threads");
+    }
+}
+
+#[test]
+fn reruns_with_a_fixed_seed_are_identical() {
+    let p = generate(3);
+    let a = fingerprint(&check_conformance(&p, &opts(2)).unwrap());
+    let b = fingerprint(&check_conformance(&p, &opts(2)).unwrap());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn distinct_seeds_give_distinct_schedule_families() {
+    // Not a determinism requirement per se, but the seed must actually
+    // steer the schedules: at least the option plumbing reaches them.
+    let o1 = ConformOptions { seed: 1, ..opts(1) };
+    let o2 = ConformOptions { seed: 2, ..opts(1) };
+    let p = generate(3);
+    // Same program, same oracle; observed sets may or may not differ,
+    // but both runs must be sound and self-consistent.
+    let r1 = check_conformance(&p, &o1).unwrap();
+    let r2 = check_conformance(&p, &o2).unwrap();
+    assert_eq!(r1.allowed, r2.allowed);
+    assert!(r1.sound() && r2.sound());
+}
+
+#[test]
+fn fuzz_smoke_is_sound_on_the_full_matrix() {
+    // Small burst with fewer schedules: the CI job runs the big one.
+    let o = ConformOptions { schedules: 6, ..opts(4) };
+    for seed in 0..15 {
+        let p = generate(seed);
+        let r = check_conformance(&p, &o).unwrap();
+        assert!(r.sound(), "fuzz seed {seed}: simulator observed outcomes outside the SC set");
+    }
+}
+
+#[test]
+fn shrinker_minimizes_against_the_harness_predicate_shape() {
+    // No real soundness violation exists to shrink, so exercise the
+    // full pipeline with a synthetic predicate of the same shape as
+    // is_unsound: "the observed union still contains a nonzero x".
+    let p = generate(7);
+    let o = ConformOptions { configs: SystemConfig::all().to_vec(), schedules: 3, ..opts(1) };
+    let pred = |q: &drfrlx_core::program::Program| -> bool {
+        !q.threads().is_empty()
+            && check_conformance(q, &o)
+                .map(|r| r.observed_union().iter().any(|out| out.mem.iter().any(|&v| v != 0)))
+                .unwrap_or(false)
+    };
+    if !pred(&p) {
+        return; // seed produced an all-zero program; nothing to shrink
+    }
+    let s = shrink(&p, &pred);
+    assert!(pred(&s), "shrunk program must still satisfy the predicate");
+    let before: usize = p.threads().iter().map(|t| t.instrs.len()).sum();
+    let after: usize = s.threads().iter().map(|t| t.instrs.len()).sum();
+    assert!(after <= before);
+}

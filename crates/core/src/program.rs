@@ -418,6 +418,15 @@ impl Program {
         self.threads = threads;
     }
 
+    /// A copy of this program with its thread list replaced — name,
+    /// locations and initial values are kept. Used by the conformance
+    /// shrinker to delta-debug a disagreeing program.
+    pub fn with_threads(&self, threads: Vec<Thread>) -> Program {
+        let mut p = self.clone();
+        p.threads = threads;
+        p
+    }
+
     /// Rewrite every memory operation's class through `f` — used by the
     /// checkers to view a DRFrlx program through DRF0/DRF1 eyes.
     pub fn map_classes(&self, f: impl Fn(OpClass) -> OpClass) -> Program {

@@ -34,6 +34,46 @@ pub trait MemoryBackend {
     fn release(&mut self, now: Cycle, cu: usize) -> Cycle;
 }
 
+/// Opt-in issue-order perturbation for conformance testing.
+///
+/// When set, every ready transition of a context is delayed by a
+/// pseudo-random `0..=max_delay` cycles, a pure function of
+/// `(seed, context, step)` — so a perturbed run is still fully
+/// deterministic and reproducible, it just realizes a *different*
+/// interleaving than the unperturbed schedule. `None` (the default)
+/// leaves timing bit-for-bit identical to previous releases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueJitter {
+    /// Seed mixed into every delay.
+    pub seed: u64,
+    /// Largest extra delay, in cycles, applied per ready transition.
+    pub max_delay: u64,
+}
+
+impl IssueJitter {
+    /// The delay for context `ctx`'s `step`-th ready transition:
+    /// SplitMix64-style finalizer over `(seed, ctx, step)`, reduced to
+    /// `0..=max_delay`.
+    fn delay(self, ctx: usize, step: u64) -> Cycle {
+        if self.max_delay == 0 {
+            return 0;
+        }
+        let mut z = self
+            .seed
+            .wrapping_add((ctx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(step.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z % (self.max_delay + 1)
+    }
+}
+
+/// The delay (0 when jitter is off) for a context's next ready time.
+fn jitter_delay(jitter: Option<IssueJitter>, ctx: usize, step: u64) -> Cycle {
+    jitter.map_or(0, |j| j.delay(ctx, step))
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineParams {
@@ -49,6 +89,10 @@ pub struct EngineParams {
     pub global_barrier_latency: u64,
     /// Cap on overlapped (relaxed) atomics per context.
     pub max_outstanding_atomics: usize,
+    /// Deterministic schedule perturbation (`None` = exact legacy
+    /// timing; used by the conformance harness to diversify
+    /// interleavings).
+    pub jitter: Option<IssueJitter>,
 }
 
 impl Default for EngineParams {
@@ -60,6 +104,7 @@ impl Default for EngineParams {
             barrier_latency: 4,
             global_barrier_latency: 600,
             max_outstanding_atomics: 8,
+            jitter: None,
         }
     }
 }
@@ -99,6 +144,16 @@ struct Ctx {
     last: Option<Value>,
     /// Completion times of overlapped atomics not yet fenced.
     outstanding: Vec<Cycle>,
+    /// Ready transitions taken so far; the jitter step counter.
+    steps: u64,
+}
+
+impl Ctx {
+    /// Bump and return the jitter step counter.
+    fn next_step(&mut self) -> u64 {
+        self.steps += 1;
+        self.steps
+    }
 }
 
 /// Per-CU issue port: one operation per cycle.
@@ -300,6 +355,7 @@ fn run_kernel_with<T: Trace, P: ConsistencyPolicy + ?Sized>(
         }
         for t in 0..tpb {
             block_ctxs[block].push(ctxs.len());
+            let at = at + jitter_delay(params.jitter, ctxs.len(), 0);
             ready.push(at, ctxs.len());
             ctxs.push(Ctx {
                 item: kernel.item(block, t),
@@ -308,6 +364,7 @@ fn run_kernel_with<T: Trace, P: ConsistencyPolicy + ?Sized>(
                 state: CtxState::Ready(at),
                 last: None,
                 outstanding: Vec::new(),
+                steps: 0,
             });
         }
     };
@@ -360,20 +417,23 @@ fn run_kernel_with<T: Trace, P: ConsistencyPolicy + ?Sized>(
         match op {
             Op::Think(n) => {
                 report.core_ops += n as u64;
-                ctx.state = CtxState::Ready(issue + 1 + n as u64);
-                ready.push(issue + 1 + n as u64, i);
+                let next = issue + 1 + n as u64 + jitter_delay(params.jitter, i, ctx.next_step());
+                ctx.state = CtxState::Ready(next);
+                ready.push(next, i);
             }
             Op::ScratchLoad { addr } => {
                 report.scratch_accesses += 1;
                 ctx.last = Some(scratch[block][addr as usize]);
-                ctx.state = CtxState::Ready(issue + 1);
-                ready.push(issue + 1, i);
+                let next = issue + 1 + jitter_delay(params.jitter, i, ctx.next_step());
+                ctx.state = CtxState::Ready(next);
+                ready.push(next, i);
             }
             Op::ScratchStore { addr, value } => {
                 report.scratch_accesses += 1;
                 scratch[block][addr as usize] = value;
-                ctx.state = CtxState::Ready(issue + 1);
-                ready.push(issue + 1, i);
+                let next = issue + 1 + jitter_delay(params.jitter, i, ctx.next_step());
+                ctx.state = CtxState::Ready(next);
+                ready.push(next, i);
             }
             Op::Load { addr, class } => {
                 let a = policy.load_actions(policy.strength_of(class));
@@ -393,6 +453,7 @@ fn run_kernel_with<T: Trace, P: ConsistencyPolicy + ?Sized>(
                     params,
                 );
                 ctx.last = Some(value);
+                let done = done + jitter_delay(params.jitter, i, ctx.next_step());
                 ctx.state = CtxState::Ready(done);
                 ready.push(done, i);
             }
@@ -413,6 +474,7 @@ fn run_kernel_with<T: Trace, P: ConsistencyPolicy + ?Sized>(
                     params,
                 );
                 memory[addr as usize] = value;
+                let done = done + jitter_delay(params.jitter, i, ctx.next_step());
                 ctx.state = CtxState::Ready(done);
                 ready.push(done, i);
             }
@@ -437,6 +499,7 @@ fn run_kernel_with<T: Trace, P: ConsistencyPolicy + ?Sized>(
                 if use_result {
                     ctx.last = Some(old);
                 }
+                let done = done + jitter_delay(params.jitter, i, ctx.next_step());
                 ctx.state = CtxState::Ready(done);
                 ready.push(done, i);
             }
@@ -1035,5 +1098,57 @@ mod tests {
         // 50 → well past 120.
         assert!(r.cycles >= 50 + 20 + 50, "got {}", r.cycles);
         assert_eq!(b.releases, 1);
+    }
+
+    #[test]
+    fn jitter_none_and_zero_delay_match_legacy_timing() {
+        let k = CounterKernel { blocks: 4, tpb: 4, n: 8, class: OpClass::Commutative };
+        let mut b0 = FixedLat::default();
+        let base = run_kernel(&k, &params(MemoryModel::Drf0), &mut b0);
+        let mut b1 = FixedLat::default();
+        let p = EngineParams {
+            jitter: Some(IssueJitter { seed: 42, max_delay: 0 }),
+            ..params(MemoryModel::Drf0)
+        };
+        let zero = run_kernel(&k, &p, &mut b1);
+        assert_eq!(base, zero, "max_delay=0 must not perturb the schedule");
+    }
+
+    #[test]
+    fn jitter_perturbs_timing_but_not_function() {
+        let k = CounterKernel { blocks: 4, tpb: 4, n: 8, class: OpClass::Commutative };
+        let mut b0 = FixedLat::default();
+        let base = run_kernel(&k, &params(MemoryModel::Drf0), &mut b0);
+        let mut b1 = FixedLat::default();
+        let p = EngineParams {
+            jitter: Some(IssueJitter { seed: 1, max_delay: 13 }),
+            ..params(MemoryModel::Drf0)
+        };
+        let jit = run_kernel(&k, &p, &mut b1);
+        k.validate(&jit.memory).unwrap();
+        assert_ne!(base.cycles, jit.cycles, "jitter should move the schedule");
+        // Same seed, same run: fully reproducible.
+        let mut b2 = FixedLat::default();
+        let again = run_kernel(&k, &p, &mut b2);
+        assert_eq!(jit, again);
+    }
+
+    #[test]
+    fn jittered_heap_matches_reference_scheduler() {
+        for seed in [1u64, 7, 1234] {
+            let k = CounterKernel { blocks: 6, tpb: 3, n: 5, class: OpClass::Unpaired };
+            let p = EngineParams {
+                num_cus: 3,
+                max_contexts_per_cu: 6,
+                model: MemoryModel::Drfrlx,
+                jitter: Some(IssueJitter { seed, max_delay: 9 }),
+                ..Default::default()
+            };
+            let mut bh = FixedLat::default();
+            let heap = run_kernel(&k, &p, &mut bh);
+            let mut bl = FixedLat::default();
+            let linear = run_kernel_reference(&k, &p, &mut bl);
+            assert_eq!(heap, linear, "schedulers diverged under jitter seed {seed}");
+        }
     }
 }

@@ -9,7 +9,12 @@
 //! $ drfrlx simulate PR-2 --config DDR
 //! $ drfrlx bench fig3 --threads 8
 //! $ drfrlx bench all
+//! $ drfrlx conform corpus
+//! $ drfrlx conform --fuzz 500 --seed 1
 //! ```
+//!
+//! The help text, README table and unknown-subcommand error are all
+//! rendered from the one table in [`drfrlx::cli`].
 
 use drfrlx::model::checker::{check_program_with, CheckOptions};
 use drfrlx::model::emit::emit;
@@ -39,8 +44,18 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
-        _ => {
-            eprintln!("{USAGE}");
+        Some("conform") => cmd_conform(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{}", drfrlx::cli::usage());
+            return ExitCode::SUCCESS;
+        }
+        None => {
+            eprintln!("{}", drfrlx::cli::usage());
+            return ExitCode::from(2);
+        }
+        Some(other) => {
+            eprintln!("{}", drfrlx::cli::unknown(other));
+            eprintln!("\n{}", drfrlx::cli::usage());
             return ExitCode::from(2);
         }
     };
@@ -53,68 +68,6 @@ fn main() -> ExitCode {
         }
     }
 }
-
-const USAGE: &str = "\
-drfrlx — DRFrlx memory-model checker and CPU-GPU simulator
-
-USAGE:
-  drfrlx check <file.litmus> [--model drf0|drf1|drfrlx] [--threads N]
-                             [--max-execs N] [--reduction none|sleep|memo]
-                             [--stats]
-      Stream SC executions through the race detectors (sleep-set
-      partial-order reduction, sharded across N worker threads) and
-      report illegal races (exit status 1 if the program is racy).
-      Prints the explored/pruned execution counts per model; the
-      verdicts are identical at any --threads. --max-execs raises or
-      lowers the execution budget (default 250000). --reduction picks
-      the search-space pruning: `none` (exhaustive), `sleep` (sleep-set
-      partial-order reduction, the default) or `memo` (sleep sets plus
-      duplicate-state memoization — needed for programs whose
-      conflicting operations defeat sleep sets alone). --stats prints
-      the per-model reduction counters (explored / sleep-set-pruned /
-      memo-pruned / peak-table-size). Threads default to all cores (or
-      DRFRLX_THREADS).
-  drfrlx explore <file.litmus>
-      Print a representative execution, its program/conflict graph
-      and every race found across executions.
-  drfrlx machine <file.litmus>
-      Run the system-centric relaxed machine and compare its
-      reachable memory results against SC.
-  drfrlx infer <file.litmus>
-      Weaken every atomic annotation as far as DRFrlx race-freedom
-      allows, and print the re-annotated program.
-  drfrlx fmt <file.litmus>
-      Parse and re-emit the program in canonical form.
-  drfrlx list
-      List the Table 3 workloads available to `simulate`.
-  drfrlx configs
-      Print the protocol × model configuration matrix (the paper's six
-      plus the MESI-WB extension) and the Table 2 platform parameters.
-  drfrlx simulate <workload> [--config GD0..MDR] [--protocol gpu|denovo|mesi-wb]
-                             [--platform integrated|discrete]
-      Run one workload on the simulated system and print the report.
-      --protocol overrides the configuration's coherence protocol,
-      keeping its consistency model (e.g. --config GDR --protocol
-      mesi-wb runs MDR).
-  drfrlx trace <workload> [--config GD0..MDR] [--protocol gpu|denovo|mesi-wb]
-                          [--platform integrated|discrete]
-                          [--events N] [--out FILE] [--diff CFG2]
-      Run one workload with cycle-level structured tracing and print a
-      per-component profile. --out writes a Chrome trace-event JSON
-      (load it at https://ui.perfetto.dev). --events caps the event
-      ring (default 65536; totals stay exact past the cap). --diff
-      runs a second configuration and prints a per-event comparison
-      (e.g. GD0 vs DD0 invalidation traffic, Table 4).
-  drfrlx bench <experiment-id>|all [--threads N] [--out DIR]
-                                   [--perf FILE [--perf-baseline FILE]]
-      Regenerate a registered paper artifact (fig1, fig3, fig4,
-      table4, section6, sweeps, ablations, ...) on the parallel sweep
-      engine; writes results/<id>.txt and results/<id>.json.
-      `bench list` prints the registry. Threads default to all cores
-      (or DRFRLX_THREADS); output dir defaults to results/ (or
-      DRFRLX_RESULTS). --perf records per-experiment wall-clock as
-      JSON; with --perf-baseline it joins a previous --perf run into
-      a before/after trajectory (the committed BENCH_*.json).";
 
 type CmdResult = Result<bool, Box<dyn std::error::Error>>;
 
@@ -375,6 +328,123 @@ fn cmd_bench(args: &[String]) -> CmdResult {
         );
     }
     Ok(true)
+}
+
+fn cmd_conform(args: &[String]) -> CmdResult {
+    use drfrlx::conform::{
+        check_conformance, generate, is_unsound, render_corpus, run_corpus, shrink, ConformOptions,
+    };
+    use drfrlx::litmus::all_tests;
+
+    let threads = match flag_value(args, "--threads") {
+        None => drfrlx::sim::default_threads(),
+        Some(v) => v.parse().ok().filter(|&n| n > 0).ok_or("--threads needs a positive integer")?,
+    };
+    let mut opts = ConformOptions { threads, ..ConformOptions::default() };
+    if let Some(v) = flag_value(args, "--seed") {
+        opts.seed = v.parse().map_err(|_| "--seed needs an unsigned integer")?;
+    }
+    if let Some(v) = flag_value(args, "--schedules") {
+        opts.schedules =
+            v.parse().ok().filter(|&n| n > 0).ok_or("--schedules needs a positive integer")?;
+    }
+    if args.iter().any(|a| a == "--config") {
+        opts.configs = vec![parse_config(args, "GD0")?];
+    } else {
+        if let Some(name) = flag_value(args, "--protocol") {
+            let p =
+                Protocol::from_name(name).ok_or("unknown protocol (use gpu, denovo or mesi-wb)")?;
+            opts.configs.retain(|c| c.protocol == p);
+        }
+        if let Some(m) = flag_value(args, "--model") {
+            let model = match m.to_ascii_lowercase().as_str() {
+                "drf0" => MemoryModel::Drf0,
+                "drf1" => MemoryModel::Drf1,
+                "drfrlx" => MemoryModel::Drfrlx,
+                other => return Err(format!("unknown model `{other}`").into()),
+            };
+            opts.configs.retain(|c| c.model == model);
+        }
+    }
+
+    let print_report = |r: &drfrlx::conform::ConformReport| {
+        println!(
+            "conform {}: {} allowed outcomes (SC oracle, {} executions explored)",
+            r.name,
+            r.allowed.len(),
+            r.oracle_stats.explored
+        );
+        for v in &r.verdicts {
+            println!(
+                "  {}: observed {:>3}, violations {}",
+                v.config,
+                v.observed.len(),
+                v.violations.len()
+            );
+            for o in &v.violations {
+                println!("    !! disallowed outcome {}", o.render());
+            }
+        }
+        println!(
+            "  verdict: {}, coverage {:.3}",
+            if r.sound() { "SOUND" } else { "VIOLATION" },
+            r.coverage()
+        );
+    };
+
+    if let Some(n) = flag_value(args, "--fuzz") {
+        let n: u64 = n.parse().ok().filter(|&n| n > 0).ok_or("--fuzz needs a positive count")?;
+        let mut violations = 0u64;
+        for i in 0..n {
+            let seed = opts.seed.wrapping_add(i);
+            let p = generate(seed);
+            let r = check_conformance(&p, &opts)?;
+            if !r.sound() {
+                violations += 1;
+                println!("fuzz seed {seed}: VIOLATION");
+                print_report(&r);
+                let small = shrink(&p, &|q| is_unsound(q, &opts));
+                println!("shrunk reproducer:\n{}", drfrlx::model::emit::emit(&small));
+            }
+        }
+        println!(
+            "fuzz: {n} programs from seed {}, {} sound, {violations} violations",
+            opts.seed,
+            n - violations
+        );
+        return Ok(violations == 0);
+    }
+
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_flag_operand(args, a))
+        .ok_or("conform needs a test name, `corpus`, a .litmus file, or --fuzz N")?;
+    if target == "corpus" {
+        let reports = run_corpus(&opts)?;
+        print!("{}", render_corpus(&reports, &opts));
+        return Ok(reports.iter().all(|r| r.sound()));
+    }
+    let p = if target.ends_with(".litmus") {
+        load_program(target)?
+    } else {
+        all_tests()
+            .into_iter()
+            .find(|t| t.name.eq_ignore_ascii_case(target))
+            .map(|t| (t.build)())
+            .ok_or_else(|| format!("unknown litmus test `{target}` (or pass a .litmus path)"))?
+    };
+    let r = check_conformance(&p, &opts)?;
+    print_report(&r);
+    Ok(r.sound())
+}
+
+/// Is `arg` the operand of a `--flag value` pair (so not a positional)?
+fn is_flag_operand(args: &[String], arg: &str) -> bool {
+    args.iter()
+        .position(|a| a == arg)
+        .and_then(|i| i.checked_sub(1))
+        .and_then(|i| args.get(i))
+        .is_some_and(|prev| prev.starts_with("--"))
 }
 
 fn cmd_trace(args: &[String]) -> CmdResult {

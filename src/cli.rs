@@ -1,0 +1,212 @@
+//! The single source of truth for the `drfrlx` command-line surface.
+//!
+//! Every subcommand is one [`Subcommand`] row in [`SUBCOMMANDS`]; the
+//! `--help` text ([`usage`]), the README's subcommand table
+//! ([`readme_table`]) and the unknown-subcommand error ([`unknown`])
+//! are all rendered from it, so a new subcommand (or a new flag in a
+//! usage line) appears everywhere at once or nowhere — enforced by
+//! `tests/cli_help.rs`.
+
+/// One subcommand of the `drfrlx` binary.
+pub struct Subcommand {
+    /// The subcommand word itself (`check`, `conform`, ...).
+    pub name: &'static str,
+    /// Usage line(s), without the leading `drfrlx` (multi-line for
+    /// subcommands whose flags wrap).
+    pub usage: &'static str,
+    /// One-line summary (the README table cell).
+    pub summary: &'static str,
+    /// Full help paragraph shown under the usage lines.
+    pub help: &'static str,
+}
+
+/// Every `drfrlx` subcommand, in help order.
+pub const SUBCOMMANDS: &[Subcommand] = &[
+    Subcommand {
+        name: "check",
+        usage: "check <file.litmus> [--model drf0|drf1|drfrlx] [--threads N]\n\
+                \x20                  [--max-execs N] [--reduction none|sleep|memo]\n\
+                \x20                  [--stats]",
+        summary: "race-check a litmus program under the DRF models",
+        help: "Stream SC executions through the race detectors (sleep-set\n\
+               partial-order reduction, sharded across N worker threads) and\n\
+               report illegal races (exit status 1 if the program is racy).\n\
+               Prints the explored/pruned execution counts per model; the\n\
+               verdicts are identical at any --threads. --max-execs raises or\n\
+               lowers the execution budget (default 250000). --reduction picks\n\
+               the search-space pruning: `none` (exhaustive), `sleep` (sleep-set\n\
+               partial-order reduction, the default) or `memo` (sleep sets plus\n\
+               duplicate-state memoization — needed for programs whose\n\
+               conflicting operations defeat sleep sets alone). --stats prints\n\
+               the per-model reduction counters (explored / sleep-set-pruned /\n\
+               memo-pruned / peak-table-size). Threads default to all cores (or\n\
+               DRFRLX_THREADS).",
+    },
+    Subcommand {
+        name: "explore",
+        usage: "explore <file.litmus>",
+        summary: "print a representative execution and its races",
+        help: "Print a representative execution, its program/conflict graph\n\
+               and every race found across executions.",
+    },
+    Subcommand {
+        name: "machine",
+        usage: "machine <file.litmus>",
+        summary: "compare the relaxed machine's results against SC",
+        help: "Run the system-centric relaxed machine and compare its\n\
+               reachable memory results against SC.",
+    },
+    Subcommand {
+        name: "infer",
+        usage: "infer <file.litmus>",
+        summary: "weaken atomic annotations as far as DRFrlx allows",
+        help: "Weaken every atomic annotation as far as DRFrlx race-freedom\n\
+               allows, and print the re-annotated program.",
+    },
+    Subcommand {
+        name: "fmt",
+        usage: "fmt <file.litmus>",
+        summary: "re-emit a litmus program in canonical form",
+        help: "Parse and re-emit the program in canonical form.",
+    },
+    Subcommand {
+        name: "list",
+        usage: "list",
+        summary: "list the Table 3 workloads",
+        help: "List the Table 3 workloads available to `simulate`.",
+    },
+    Subcommand {
+        name: "configs",
+        usage: "configs",
+        summary: "print the protocol × model configuration matrix",
+        help: "Print the protocol × model configuration matrix (the paper's six\n\
+               plus the MESI-WB extension) and the Table 2 platform parameters.",
+    },
+    Subcommand {
+        name: "simulate",
+        usage: "simulate <workload> [--config GD0..MDR] [--protocol gpu|denovo|mesi-wb]\n\
+                \x20                  [--platform integrated|discrete]",
+        summary: "run one workload on the simulated system",
+        help: "Run one workload on the simulated system and print the report.\n\
+               --protocol overrides the configuration's coherence protocol,\n\
+               keeping its consistency model (e.g. --config GDR --protocol\n\
+               mesi-wb runs MDR).",
+    },
+    Subcommand {
+        name: "trace",
+        usage: "trace <workload> [--config GD0..MDR] [--protocol gpu|denovo|mesi-wb]\n\
+                \x20              [--platform integrated|discrete]\n\
+                \x20              [--events N] [--out FILE] [--diff CFG2]",
+        summary: "cycle-level structured tracing and profiling",
+        help: "Run one workload with cycle-level structured tracing and print a\n\
+               per-component profile. --out writes a Chrome trace-event JSON\n\
+               (load it at https://ui.perfetto.dev). --events caps the event\n\
+               ring (default 65536; totals stay exact past the cap). --diff\n\
+               runs a second configuration and prints a per-event comparison\n\
+               (e.g. GD0 vs DD0 invalidation traffic, Table 4).",
+    },
+    Subcommand {
+        name: "bench",
+        usage: "bench <experiment-id>|all [--threads N] [--out DIR]\n\
+                \x20                        [--perf FILE [--perf-baseline FILE]]",
+        summary: "regenerate a registered paper artifact",
+        help: "Regenerate a registered paper artifact (fig1, fig3, fig4,\n\
+               table4, section6, sweeps, ablations, conform_matrix, ...) on\n\
+               the parallel sweep engine; writes results/<id>.txt and\n\
+               results/<id>.json. `bench list` prints the registry. Threads\n\
+               default to all cores (or DRFRLX_THREADS); output dir defaults\n\
+               to results/ (or DRFRLX_RESULTS). --perf records per-experiment\n\
+               wall-clock as JSON; with --perf-baseline it joins a previous\n\
+               --perf run into a before/after trajectory (the committed\n\
+               BENCH_*.json).",
+    },
+    Subcommand {
+        name: "conform",
+        usage: "conform <test>|corpus|<file.litmus> [--schedules K] [--seed S]\n\
+                \x20       [--threads N] [--config GD0..MDR] [--model drf0|drf1|drfrlx]\n\
+                \x20       [--protocol gpu|denovo|mesi-wb]\n\
+                conform --fuzz N [--seed S] [--threads N] [--schedules K]",
+        summary: "check the simulator against the axiomatic oracle",
+        help: "Compile a litmus test into a simulator kernel, run it across the\n\
+               protocol × model matrix under K deterministically perturbed\n\
+               schedules (default 128, rooted at --seed) and check every\n\
+               observed outcome against the axiomatic SC oracle: exit status 1\n\
+               on a soundness violation (observed ⊄ allowed), with the\n\
+               witnessed fraction of the allowed set reported as coverage.\n\
+               `corpus` runs the whole Table-1 use-case suite; a bare name\n\
+               runs that registry test; a path runs a .litmus file. --config\n\
+               restricts to one configuration (--protocol overrides its\n\
+               coherence protocol); --model keeps only that column of the\n\
+               matrix. --fuzz generates N seeded random programs, conformance-\n\
+               checks each, and delta-debugs any disagreement down to a\n\
+               minimal reproducer. Verdicts are identical at any --threads.",
+    },
+];
+
+/// The assembled `--help`/usage text.
+pub fn usage() -> String {
+    let mut out =
+        String::from("drfrlx — DRFrlx memory-model checker and CPU-GPU simulator\n\nUSAGE:\n");
+    for s in SUBCOMMANDS {
+        // A usage line starting with a space continues the previous
+        // form; one starting with the subcommand word begins a new one.
+        for line in s.usage.lines() {
+            if line.starts_with(' ') {
+                out.push_str("  ");
+            } else {
+                out.push_str("  drfrlx ");
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        for line in s.help.lines() {
+            out.push_str("      ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The README's subcommand table (markdown), one row per subcommand.
+pub fn readme_table() -> String {
+    let mut out = String::from("| subcommand | what it does |\n|---|---|\n");
+    for s in SUBCOMMANDS {
+        out.push_str(&format!("| `drfrlx {}` | {} |\n", s.name, s.summary));
+    }
+    out
+}
+
+/// Comma-separated subcommand names, in help order.
+pub fn names() -> String {
+    SUBCOMMANDS.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+}
+
+/// The unknown-subcommand error line.
+pub fn unknown(cmd: &str) -> String {
+    format!("unknown subcommand `{cmd}`; valid subcommands: {}", names())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_covers_every_subcommand_and_key_flags() {
+        let u = usage();
+        for s in SUBCOMMANDS {
+            assert!(u.contains(&format!("drfrlx {}", s.name)), "usage lacks {}", s.name);
+        }
+        assert!(u.contains("--reduction none|sleep|memo"));
+        assert!(u.contains("conform --fuzz N"));
+    }
+
+    #[test]
+    fn unknown_error_lists_every_subcommand() {
+        let e = unknown("bogus");
+        assert!(e.contains("`bogus`"));
+        for s in SUBCOMMANDS {
+            assert!(e.contains(s.name), "unknown() lacks {}", s.name);
+        }
+    }
+}

@@ -53,4 +53,13 @@ pub mod bench {
     pub use drfrlx_bench::*;
 }
 
+/// The litmus→simulator conformance harness (`drfrlx-conform`):
+/// compile litmus tests to kernels, compare simulated outcomes against
+/// the axiomatic oracle, fuzz and shrink — behind `drfrlx conform`.
+pub mod conform {
+    pub use drfrlx_conform::*;
+}
+
+pub mod cli;
+
 pub use drfrlx_core::{check_program, CheckReport, MemoryModel, OpClass, Protocol, SystemConfig};

@@ -1,0 +1,57 @@
+//! Satellite: the CLI surface is defined once, in `drfrlx::cli`.
+//! These tests pin the three renderings — `--help`, the README table
+//! and the unknown-subcommand error — to that single table, so a new
+//! subcommand or flag shows up everywhere or the build fails.
+
+use drfrlx::cli::{names, readme_table, unknown, usage, SUBCOMMANDS};
+
+fn readme() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/README.md");
+    std::fs::read_to_string(path).expect("README.md readable")
+}
+
+#[test]
+fn readme_contains_the_generated_subcommand_table() {
+    let readme = readme();
+    assert!(
+        readme.contains(&readme_table()),
+        "README.md's subcommand table drifted from drfrlx::cli::readme_table();\n\
+         paste this into the `## The drfrlx CLI` section:\n\n{}",
+        readme_table()
+    );
+}
+
+#[test]
+fn help_covers_every_subcommand() {
+    let u = usage();
+    for s in SUBCOMMANDS {
+        assert!(u.contains(&format!("drfrlx {}", s.name)), "--help lacks `{}`", s.name);
+    }
+}
+
+#[test]
+fn conform_and_reduction_render_consistently() {
+    // The two surfaces this PR series added must appear in all three
+    // renderings, not just some.
+    let u = usage();
+    assert!(u.contains("drfrlx conform"));
+    assert!(u.contains("--reduction none|sleep|memo"));
+    assert!(u.contains("conform --fuzz N"));
+    assert!(readme_table().contains("`drfrlx conform`"));
+    assert!(readme().contains("--reduction"));
+    assert!(unknown("x").contains("conform"));
+}
+
+#[test]
+fn unknown_subcommand_error_names_the_full_surface() {
+    let e = unknown("frobnicate");
+    assert!(e.contains("`frobnicate`"));
+    assert_eq!(
+        names(),
+        SUBCOMMANDS.iter().map(|s| s.name).collect::<Vec<_>>().join(", "),
+        "names() must mirror the table order"
+    );
+    for s in SUBCOMMANDS {
+        assert!(e.contains(s.name));
+    }
+}

@@ -185,6 +185,7 @@ fn heap_scheduler_matches_linear_scan_reference() {
             barrier_latency: 1 + r.below(8),
             global_barrier_latency: 100 + r.below(500),
             max_outstanding_atomics: 1 + r.below(8) as usize,
+            jitter: None,
         };
         let salt = r.next_u64();
         let heap = run_kernel(&kernel, &params, &mut VariedLat { salt });
