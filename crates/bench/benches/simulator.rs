@@ -10,10 +10,10 @@ use hsim_sys::{run_matrix, run_workload, six_config_jobs, SysParams};
 use std::sync::Arc;
 
 fn small_hg() -> HistGlobal {
-    HistGlobal {
-        params: HistParams { bins: 64, per_thread: 16, blocks: 8, tpb: 8, seed: 3 },
-        ..Default::default()
-    }
+    HistGlobal::new(
+        HistParams { bins: 64, per_thread: 16, blocks: 8, tpb: 8, seed: 3 },
+        drfrlx_core::OpClass::Commutative,
+    )
 }
 
 fn main() {
@@ -28,15 +28,7 @@ fn main() {
         });
     }
 
-    let seq = Seqlocks {
-        acqrel: false,
-        blocks: 4,
-        tpb: 8,
-        payload: 4,
-        writes: 4,
-        reads: 4,
-        max_retries: 32,
-    };
+    let seq = Seqlocks::new(false, 4, 8, 4, 4, 4, 32);
     let config = SystemConfig::from_abbrev("DDR").unwrap();
     bench("simulate/seqlock_small/DDR", &cfg, || run_workload(&seq, config, &params).cycles);
 

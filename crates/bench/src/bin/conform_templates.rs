@@ -1,0 +1,5 @@
+//! Template-corpus conformance wrapper: `drfrlx bench conform_templates`.
+
+fn main() {
+    drfrlx_bench::cli_main("conform_templates");
+}

@@ -3,7 +3,7 @@
 
 use crate::experiment::Experiment;
 use drfrlx_core::{OpClass, SystemConfig};
-use drfrlx_workloads::micro::{HistGlobal, Seqlocks, SplitCounter};
+use drfrlx_workloads::micro::{HistGlobal, HistParams, Seqlocks, SplitCounter};
 use hsim_sys::{total_ratio, RunReport, SimJob, SysParams};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -95,10 +95,25 @@ impl Experiment for AcqRel {
 
     fn jobs(&self) -> Vec<SimJob> {
         let params = SysParams::integrated();
-        let paired: Arc<dyn hsim_gpu::Kernel> =
-            Arc::new(Seqlocks { acqrel: false, ..Seqlocks::default() });
-        let acqrel: Arc<dyn hsim_gpu::Kernel> =
-            Arc::new(Seqlocks { acqrel: true, ..Seqlocks::default() });
+        let d = Seqlocks::default();
+        let paired: Arc<dyn hsim_gpu::Kernel> = Arc::new(Seqlocks::new(
+            false,
+            d.blocks,
+            d.tpb,
+            d.payload,
+            d.writes,
+            d.reads,
+            d.max_retries,
+        ));
+        let acqrel: Arc<dyn hsim_gpu::Kernel> = Arc::new(Seqlocks::new(
+            true,
+            d.blocks,
+            d.tpb,
+            d.payload,
+            d.writes,
+            d.reads,
+            d.max_retries,
+        ));
         let mut jobs: Vec<SimJob> = ACQREL_CONFIGS
             .iter()
             .flat_map(|abbrev| {
@@ -113,7 +128,7 @@ impl Experiment for AcqRel {
         // only release ordering is needed.
         let gdr = SystemConfig::from_abbrev("GDR").unwrap();
         for (label, class) in [("HG-paired", OpClass::Paired), ("HG-release", OpClass::Release)] {
-            let k = HistGlobal { update_class: class, ..Default::default() };
+            let k = HistGlobal::new(HistParams::default(), class);
             jobs.push(SimJob::new(label, Arc::new(k), gdr, &params));
         }
         jobs

@@ -1,20 +1,31 @@
-//! `conform_matrix`: the Table-1 litmus corpus run through the
-//! conformance harness — every use-case compiled to a simulator
-//! kernel, executed across the nine protocol × model configurations
-//! under the default 128-schedule family, and checked against the
-//! axiomatic oracle's allowed outcome set.
+//! `conform_matrix` and `conform_templates`: the two conformance
+//! corpora run through the harness — every program compiled to a
+//! simulator kernel, executed across the nine protocol × model
+//! configurations under the default 128-schedule family, and checked
+//! against the axiomatic oracle's allowed outcome set.
+//!
+//! `conform_matrix` covers the Table-1 litmus corpus;
+//! `conform_templates` covers the richer template instances
+//! ([`drfrlx_conform::templates`]) that exercise the micro workloads'
+//! knobs — bounded polls, think delays, retry loops, and the scratch +
+//! barrier histogram — end-to-end through the same pipeline.
 
 use crate::experiment::Experiment;
 use crate::json::JsonObj;
 use drfrlx_conform::{
-    compile, conform_jobs, render_corpus, report_from_runs, table1_corpus, ConformOptions,
-    ConformReport,
+    compile, conform_jobs, render_corpus, report_from_runs, table1_corpus, template_corpus,
+    ConformOptions, ConformReport,
 };
+use drfrlx_core::program::Program;
 use drfrlx_core::MemoryModel;
 use hsim_sys::{RunReport, SimJob};
 
 /// The conformance-matrix experiment (`results/conform_matrix.*`).
 pub struct ConformMatrix;
+
+/// The template-corpus conformance experiment
+/// (`results/conform_templates.*`).
+pub struct ConformTemplates;
 
 fn opts() -> ConformOptions {
     // threads only parallelizes the oracle here; the matrix itself runs
@@ -22,11 +33,17 @@ fn opts() -> ConformOptions {
     ConformOptions { threads: 1, ..ConformOptions::default() }
 }
 
+/// The flat job list of one corpus, in per-test [`conform_jobs`] order.
+fn corpus_jobs(corpus: &[(String, Program)]) -> Vec<SimJob> {
+    let o = opts();
+    corpus.iter().flat_map(|(_, p)| conform_jobs(&compile(p), &o)).collect()
+}
+
 /// Rebuild per-test conformance reports from the flat report list.
-fn reports_per_test(reports: &[RunReport]) -> Vec<ConformReport> {
+fn reports_per_test(corpus: &[(String, Program)], reports: &[RunReport]) -> Vec<ConformReport> {
     let o = opts();
     let per_test = o.configs.len() * o.schedules;
-    table1_corpus()
+    corpus
         .iter()
         .enumerate()
         .map(|(i, (_, p))| {
@@ -45,6 +62,43 @@ fn millis(num: usize, den: usize) -> u64 {
     (num as u64 * 1000) / den as u64
 }
 
+/// The per-test and per-config JSON rows of one corpus run.
+fn corpus_json_rows(id: &str, reports: &[ConformReport]) -> Vec<String> {
+    let mut rows = Vec::new();
+    for r in reports {
+        for v in &r.verdicts {
+            rows.push(
+                JsonObj::new()
+                    .str("experiment", id)
+                    .str("test", &r.name)
+                    .str("config", v.config.abbrev())
+                    .u64("allowed", r.allowed.len() as u64)
+                    .u64("observed", v.observed.len() as u64)
+                    .u64("violations", v.violations.len() as u64)
+                    .bool("sound", v.violations.is_empty())
+                    .finish(),
+            );
+        }
+        rows.push(
+            JsonObj::new()
+                .str("experiment", id)
+                .str("test", &r.name)
+                .str("config", "all")
+                .u64("allowed", r.allowed.len() as u64)
+                .u64("observed", r.observed_union().len() as u64)
+                .u64("witnessed", r.witnessed() as u64)
+                .u64("coverage_millis", millis(r.witnessed(), r.allowed.len()))
+                .u64(
+                    "drf0_coverage_millis",
+                    millis(r.witnessed_under(MemoryModel::Drf0), r.allowed.len()),
+                )
+                .bool("sound", r.sound())
+                .finish(),
+        );
+    }
+    rows
+}
+
 impl Experiment for ConformMatrix {
     fn id(&self) -> &'static str {
         "conform_matrix"
@@ -55,47 +109,36 @@ impl Experiment for ConformMatrix {
     }
 
     fn jobs(&self) -> Vec<SimJob> {
-        let o = opts();
-        table1_corpus().iter().flat_map(|(_, p)| conform_jobs(&compile(p), &o)).collect()
+        corpus_jobs(&table1_corpus())
     }
 
     fn render(&self, _jobs: &[SimJob], reports: &[RunReport]) -> String {
-        render_corpus(&reports_per_test(reports), &opts())
+        render_corpus(&reports_per_test(&table1_corpus(), reports), &opts())
     }
 
     fn json_rows(&self, _jobs: &[SimJob], reports: &[RunReport]) -> Vec<String> {
-        let mut rows = Vec::new();
-        for r in reports_per_test(reports) {
-            for v in &r.verdicts {
-                rows.push(
-                    JsonObj::new()
-                        .str("experiment", self.id())
-                        .str("test", &r.name)
-                        .str("config", v.config.abbrev())
-                        .u64("allowed", r.allowed.len() as u64)
-                        .u64("observed", v.observed.len() as u64)
-                        .u64("violations", v.violations.len() as u64)
-                        .bool("sound", v.violations.is_empty())
-                        .finish(),
-                );
-            }
-            rows.push(
-                JsonObj::new()
-                    .str("experiment", self.id())
-                    .str("test", &r.name)
-                    .str("config", "all")
-                    .u64("allowed", r.allowed.len() as u64)
-                    .u64("observed", r.observed_union().len() as u64)
-                    .u64("witnessed", r.witnessed() as u64)
-                    .u64("coverage_millis", millis(r.witnessed(), r.allowed.len()))
-                    .u64(
-                        "drf0_coverage_millis",
-                        millis(r.witnessed_under(MemoryModel::Drf0), r.allowed.len()),
-                    )
-                    .bool("sound", r.sound())
-                    .finish(),
-            );
-        }
-        rows
+        corpus_json_rows(self.id(), &reports_per_test(&table1_corpus(), reports))
+    }
+}
+
+impl Experiment for ConformTemplates {
+    fn id(&self) -> &'static str {
+        "conform_templates"
+    }
+
+    fn title(&self) -> &'static str {
+        "Conformance: template corpus vs the simulator (observed ⊆ allowed)"
+    }
+
+    fn jobs(&self) -> Vec<SimJob> {
+        corpus_jobs(&template_corpus())
+    }
+
+    fn render(&self, _jobs: &[SimJob], reports: &[RunReport]) -> String {
+        render_corpus(&reports_per_test(&template_corpus(), reports), &opts())
+    }
+
+    fn json_rows(&self, _jobs: &[SimJob], reports: &[RunReport]) -> Vec<String> {
+        corpus_json_rows(self.id(), &reports_per_test(&template_corpus(), reports))
     }
 }

@@ -17,6 +17,7 @@
 //! | `ext_mesi` | extension: MESI-WB writeback baseline, 3 models |
 //! | `hotspots` | diagnostic: protocol event profile GD0 vs DDR |
 //! | `conform_matrix` | conformance: Table-1 corpus vs the simulator |
+//! | `conform_templates` | conformance: template corpus (polls, think, scratch + barrier) |
 //!
 //! The static artifacts (Figure 2, Tables 1–3, Listing 7) have no
 //! simulation matrix and keep their dedicated binaries.
@@ -128,6 +129,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(mesi::MesiBaseline),
         Box::new(hotspots::Hotspots),
         Box::new(conform::ConformMatrix),
+        Box::new(conform::ConformTemplates),
     ]
 }
 

@@ -29,10 +29,10 @@ impl Experiment for Contention {
         let params = SysParams::integrated();
         BINS.iter()
             .flat_map(|&bins| {
-                let k = HistGlobal {
-                    params: HistParams { bins, ..HistParams::default() },
-                    ..Default::default()
-                };
+                let k = HistGlobal::new(
+                    HistParams { bins, ..HistParams::default() },
+                    drfrlx_core::OpClass::Commutative,
+                );
                 six_config_jobs(&format!("HG-b{bins}"), Arc::new(k), &params, true)
             })
             .collect()
@@ -86,8 +86,11 @@ impl Experiment for Contexts {
             .flat_map(|&contexts| {
                 let mut params = SysParams::integrated();
                 params.engine.max_contexts_per_cu = contexts;
-                let mut k = HistGlobal::default();
-                k.params.tpb = contexts; // one block per CU, fully resident
+                // One block per CU, fully resident.
+                let k = HistGlobal::new(
+                    HistParams { tpb: contexts, ..HistParams::default() },
+                    drfrlx_core::OpClass::Commutative,
+                );
                 let kernel: Arc<dyn hsim_gpu::Kernel> = Arc::new(k);
                 let workload = format!("HG-c{contexts}");
                 [gd1, gdr].into_iter().map(move |config| SimJob {

@@ -152,6 +152,7 @@ fn registry_covers_the_paper_artifacts() {
             "ext_mesi",
             "hotspots",
             "conform_matrix",
+            "conform_templates",
         ]
     );
 }

@@ -63,6 +63,14 @@ fn conform_matrix_matches_committed_artifacts() {
     assert_experiment_matches("conform_matrix");
 }
 
+/// The template-corpus conformance run (richer instances of the same
+/// shared emitters: polls, think delays, retries, scratch + barrier)
+/// regenerates its committed artifacts byte-for-byte and stays SOUND.
+#[test]
+fn conform_templates_match_committed_artifacts() {
+    assert_experiment_matches("conform_templates");
+}
+
 /// Every static artifact (model-only binaries that print the committed
 /// file to stdout) is byte-identical to its committed counterpart.
 #[test]

@@ -1,0 +1,680 @@
+//! # drfrlx-bridge — the single-source program pipeline
+//!
+//! One IR, every consumer: a [`drfrlx_core::program::Program`] written
+//! once can be checked axiomatically, enumerated by the streaming SC
+//! checker, parsed/emitted as litmus text, *and* — through this crate —
+//! executed on the `hsim-gpu` cycle simulator. The lowering that used
+//! to live privately inside the conformance harness
+//! (`drfrlx-conform::compile`) is promoted here and generalized from
+//! "one single-thread block per litmus thread" to a parametric grid:
+//! a `Program` whose threads are laid out block-major over a
+//! `blocks × threads_per_block` grid, with an explicit location→address
+//! map so kernels can pad locations to cache lines, and support for
+//! the full instruction set including the block-level constructs
+//! ([`Instr::Think`], [`Instr::Barrier`], [`Instr::ScratchLoad`],
+//! [`Instr::ScratchStore`]).
+//!
+//! Two lowering modes:
+//!
+//! * [`ProgramKernel::litmus`] — the conformance-harness shape: one
+//!   single-thread block per program thread, word `l` holds `Loc(l)`,
+//!   every thread dumps its register file into a private observation
+//!   window after its body, and every RMW consumes its result
+//!   (`use_result: true`) so outcomes are deterministic functions of
+//!   the interleaving alone.
+//! * [`ProgramKernel::grid`] — the workload shape: threads block-major
+//!   over the grid, a caller-supplied name→address layout, no
+//!   observation dumps, and `use_result` computed by register liveness
+//!   (an RMW whose destination is never read issues fire-and-forget,
+//!   exactly like hand-written work items pass `use_result: false`).
+//!
+//! ## Value domains
+//!
+//! Litmus values are `i64`, the simulator's are `u64`; all lowering is
+//! bit-pattern faithful (`as` casts). Every RMW — including
+//! `FetchMin`/`FetchMax`, which both sides order as *signed* two's
+//! complement — computes the same bit pattern in both domains, so a
+//! compiled program and its axiomatic oracle can never diverge on
+//! arithmetic alone.
+//!
+//! The [`templates`] module holds the shared program templates that
+//! both the litmus corpus (scaled down) and the micro workloads
+//! (scaled up) instantiate, so the two never hand-duplicate logic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod templates;
+
+use drfrlx_core::program::{Expr, Instr, Loc, Program, Reg, RmwOp, Thread};
+use drfrlx_core::OpClass;
+use hsim_gpu::{Kernel, Op, RmwKind, WorkItem};
+use std::sync::Arc;
+
+/// One lowered program thread: its instructions plus everything the
+/// interpreter needs that is cheaper to precompute than to rediscover
+/// per work item.
+#[derive(Debug)]
+pub struct ThreadCode {
+    /// The thread's instruction sequence (shared, not cloned per item).
+    pub instrs: Vec<Instr>,
+    /// Dense register-file size (`0..reg_count`).
+    pub reg_count: usize,
+    /// Per-instruction: does a later instruction read this RMW's
+    /// destination? (Only meaningful at `Instr::Rmw` indices.)
+    pub use_result: Vec<bool>,
+    /// Register-dump window base, when this thread observes its
+    /// registers into memory after the body (litmus mode).
+    pub obs_base: Option<u64>,
+}
+
+/// A [`Program`] lowered onto the simulator grid.
+///
+/// Implements [`Kernel`]; thread `block * threads_per_block + thread`
+/// of the grid runs program thread of the same index, interpreted by
+/// [`ProgramItem`].
+#[derive(Debug, Clone)]
+pub struct ProgramKernel {
+    name: String,
+    blocks: usize,
+    threads_per_block: usize,
+    memory_words: usize,
+    scratch_words: usize,
+    /// Sparse non-zero initial memory (address, value).
+    init: Vec<(u64, u64)>,
+    /// Location index → word address.
+    addr_of: Arc<Vec<u64>>,
+    /// Block-major: `cells[block * tpb + thread]`.
+    cells: Vec<Arc<ThreadCode>>,
+}
+
+impl ProgramKernel {
+    /// Lower `p` in the conformance-harness shape: one single-thread
+    /// block per program thread, identity location addressing, a
+    /// per-thread register-dump window after `num_locs`, RMW results
+    /// always consumed.
+    ///
+    /// A program that uses the block-local facilities —
+    /// [`Instr::Barrier`] or the scratch instructions — is placed in
+    /// **one block** instead, because the axiomatic enumerator
+    /// rendezvouses *all* program threads at a barrier and shares one
+    /// scratch space between them; a single block is the grid shape
+    /// with the same semantics (the engine's barrier and scratchpad
+    /// are per block). Scratch is sized from the largest constant
+    /// scratch address in the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no threads (nothing to simulate), or
+    /// if it addresses scratch through a non-constant expression (the
+    /// litmus lowering cannot size the scratchpad for those; use
+    /// [`ProgramKernel::grid`] with an explicit `scratch_words`).
+    pub fn litmus(p: &Program) -> ProgramKernel {
+        assert!(!p.threads().is_empty(), "cannot lower a program with no threads");
+        let scratch_words = litmus_scratch_words(p);
+        let one_block = scratch_words.is_some()
+            || p.threads().iter().any(|t| t.instrs.iter().any(|i| matches!(i, Instr::Barrier)));
+        let addr_of: Arc<Vec<u64>> = Arc::new((0..p.num_locs() as u64).collect());
+        let mut next = p.num_locs() as u64;
+        let mut cells = Vec::with_capacity(p.threads().len());
+        for t in p.threads() {
+            let reg_count = thread_reg_count(t);
+            cells.push(Arc::new(ThreadCode {
+                instrs: t.instrs.clone(),
+                reg_count,
+                use_result: vec![true; t.instrs.len()],
+                obs_base: Some(next),
+            }));
+            next += reg_count as u64;
+        }
+        let init = (0..p.num_locs() as u32)
+            .map(Loc)
+            .filter(|&l| p.init_value(l) != 0)
+            .map(|l| (l.0 as u64, p.init_value(l) as u64))
+            .collect();
+        let (blocks, threads_per_block) =
+            if one_block { (1, p.threads().len()) } else { (p.threads().len(), 1) };
+        ProgramKernel {
+            name: format!("conform_{}", p.name()),
+            blocks,
+            threads_per_block,
+            memory_words: (next as usize).max(1),
+            scratch_words: scratch_words.unwrap_or(0),
+            init,
+            addr_of,
+            cells,
+        }
+    }
+
+    /// Lower `p` in the workload shape: program thread `i` becomes grid
+    /// thread `(i / tpb, i % tpb)`, locations are placed by `addr_of`
+    /// (e.g. padded to cache lines), there are no observation dumps,
+    /// and each RMW's `use_result` comes from register liveness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread count is not `blocks * tpb` for some
+    /// `blocks`, or if a location's address falls outside
+    /// `memory_words`.
+    pub fn grid(
+        p: &Program,
+        tpb: usize,
+        memory_words: usize,
+        scratch_words: usize,
+        addr_of: impl Fn(&str) -> u64,
+    ) -> ProgramKernel {
+        let layout: Vec<usize> = (0..p.threads().len()).collect();
+        ProgramKernel::grid_with_layout(p, &layout, tpb, memory_words, scratch_words, addr_of)
+    }
+
+    /// Like [`ProgramKernel::grid`], but with an explicit replication
+    /// layout: grid thread `i` runs program thread `layout[i]`. Grids
+    /// that stamp out hundreds of identical bodies (every flags worker,
+    /// every seqlock reader) build the program with one thread per
+    /// *distinct* body and replicate it here, so the unrolled
+    /// instruction stream is materialized exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout` is empty or not a multiple of `tpb`, if an
+    /// entry indexes past the program's threads, or if a location's
+    /// address falls outside `memory_words`.
+    pub fn grid_with_layout(
+        p: &Program,
+        layout: &[usize],
+        tpb: usize,
+        memory_words: usize,
+        scratch_words: usize,
+        addr_of: impl Fn(&str) -> u64,
+    ) -> ProgramKernel {
+        let n = layout.len();
+        assert!(n > 0, "cannot lower a program onto an empty grid");
+        assert!(tpb > 0 && n.is_multiple_of(tpb), "grid size {n} is not a multiple of tpb {tpb}");
+        let addrs: Vec<u64> = (0..p.num_locs() as u32)
+            .map(|l| {
+                let a = addr_of(p.loc_name(Loc(l)));
+                assert!(
+                    (a as usize) < memory_words,
+                    "location {} at address {a} outside memory ({memory_words} words)",
+                    p.loc_name(Loc(l))
+                );
+                a
+            })
+            .collect();
+        // Lower each program thread once, sharing one ThreadCode per
+        // distinct body even when the program itself repeats bodies.
+        let mut distinct: Vec<Arc<ThreadCode>> = Vec::new();
+        let codes: Vec<Arc<ThreadCode>> = p
+            .threads()
+            .iter()
+            .map(|t| {
+                if let Some(c) = distinct.iter().find(|c| c.instrs == t.instrs) {
+                    return Arc::clone(c);
+                }
+                let c = Arc::new(ThreadCode {
+                    reg_count: thread_reg_count(t),
+                    use_result: rmw_results_used(t),
+                    obs_base: None,
+                    instrs: t.instrs.clone(),
+                });
+                distinct.push(Arc::clone(&c));
+                c
+            })
+            .collect();
+        let cells = layout
+            .iter()
+            .map(|&i| {
+                assert!(i < codes.len(), "layout entry {i} has no program thread");
+                Arc::clone(&codes[i])
+            })
+            .collect();
+        let init = (0..p.num_locs() as u32)
+            .map(Loc)
+            .filter(|&l| p.init_value(l) != 0)
+            .map(|l| (addrs[l.0 as usize], p.init_value(l) as u64))
+            .collect();
+        ProgramKernel {
+            name: p.name().to_string(),
+            blocks: n / tpb,
+            threads_per_block: tpb,
+            memory_words,
+            scratch_words,
+            init,
+            addr_of: Arc::new(addrs),
+            cells,
+        }
+    }
+
+    /// Per-thread dense register-file sizes.
+    pub fn reg_counts(&self) -> Vec<usize> {
+        self.cells.iter().map(|c| c.reg_count).collect()
+    }
+
+    /// Per-thread observation-window bases (litmus mode only).
+    pub fn obs_bases(&self) -> Vec<usize> {
+        self.cells.iter().filter_map(|c| c.obs_base.map(|b| b as usize)).collect()
+    }
+
+    /// Total memory words.
+    pub fn memory_words(&self) -> usize {
+        self.memory_words
+    }
+
+    /// Override the kernel's reported name.
+    pub fn named(mut self, name: impl Into<String>) -> ProgramKernel {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Kernel for ProgramKernel {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn threads_per_block(&self) -> usize {
+        self.threads_per_block
+    }
+
+    fn memory_words(&self) -> usize {
+        self.memory_words
+    }
+
+    fn scratch_words(&self) -> usize {
+        self.scratch_words
+    }
+
+    fn init_memory(&self, mem: &mut [u64]) {
+        for &(a, v) in &self.init {
+            mem[a as usize] = v;
+        }
+    }
+
+    fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
+        let code = Arc::clone(&self.cells[block * self.threads_per_block + thread]);
+        Box::new(ProgramItem::new(code, Arc::clone(&self.addr_of)))
+    }
+}
+
+/// A work item interpreting one program thread.
+///
+/// Local computation (assignments, branch markers, structured `if`s) is
+/// interpreted inline; memory, scratch, think and barrier instructions
+/// are yielded as simulator [`Op`]s. Values delivered back through
+/// `last` land in the register recorded in `pending` — the same
+/// protocol for global loads, scratch loads and result-consuming RMWs.
+pub struct ProgramItem {
+    code: Arc<ThreadCode>,
+    addr_of: Arc<Vec<u64>>,
+    /// Dense register file; `None` = never written (reads as 0, like
+    /// the axiomatic enumerator's [`drfrlx_core::program::Expr::eval_slice`]).
+    regs: Vec<Option<i64>>,
+    pc: usize,
+    /// Register awaiting the value delivered as `last`.
+    pending: Option<Reg>,
+    /// Registers dumped so far in the observation phase.
+    dumped: usize,
+}
+
+impl ProgramItem {
+    /// A fresh item at the top of `code`.
+    pub fn new(code: Arc<ThreadCode>, addr_of: Arc<Vec<u64>>) -> ProgramItem {
+        let regs = vec![None; code.reg_count];
+        ProgramItem { code, addr_of, regs, pc: 0, pending: None, dumped: 0 }
+    }
+}
+
+impl WorkItem for ProgramItem {
+    fn next(&mut self, last: Option<u64>) -> Op {
+        if let Some(dst) = self.pending.take() {
+            let v = last.expect("memory op with a destination returns a value");
+            self.regs[dst.0 as usize] = Some(v as i64);
+        }
+        while self.pc < self.code.instrs.len() {
+            let pc = self.pc;
+            self.pc += 1;
+            match &self.code.instrs[pc] {
+                Instr::Assign { dst, expr } => {
+                    self.regs[dst.0 as usize] = Some(expr.eval_slice(&self.regs));
+                }
+                Instr::BranchOn { .. } | Instr::Observe { .. } => {
+                    // Dependency/observability markers: no dynamic
+                    // effect, the simulator executes the real path.
+                }
+                Instr::JumpIfZero { cond, skip } => {
+                    if cond.eval_slice(&self.regs) == 0 {
+                        self.pc += skip;
+                    }
+                }
+                Instr::Think { cycles } => {
+                    return Op::Think(*cycles);
+                }
+                Instr::Barrier => {
+                    return Op::Barrier;
+                }
+                Instr::ScratchLoad { addr, dst } => {
+                    self.pending = Some(*dst);
+                    return Op::ScratchLoad { addr: addr.eval_slice(&self.regs) as u64 };
+                }
+                Instr::ScratchStore { addr, val } => {
+                    return Op::ScratchStore {
+                        addr: addr.eval_slice(&self.regs) as u64,
+                        value: val.eval_slice(&self.regs) as u64,
+                    };
+                }
+                Instr::Load { class, loc, dst } => {
+                    self.pending = Some(*dst);
+                    return Op::Load { addr: self.addr_of[loc.0 as usize], class: *class };
+                }
+                Instr::Store { class, loc, val } => {
+                    return Op::Store {
+                        addr: self.addr_of[loc.0 as usize],
+                        value: val.eval_slice(&self.regs) as u64,
+                        class: *class,
+                    };
+                }
+                Instr::Rmw { class, loc, op, operand, operand2, dst } => {
+                    let k = operand.eval_slice(&self.regs);
+                    let k2 = operand2.eval_slice(&self.regs);
+                    let use_result = self.code.use_result[pc];
+                    if use_result {
+                        self.pending = Some(*dst);
+                    }
+                    return Op::Rmw {
+                        addr: self.addr_of[loc.0 as usize],
+                        rmw: lower_rmw(*op, k2),
+                        operand: k as u64,
+                        class: *class,
+                        use_result,
+                    };
+                }
+            }
+        }
+        // Body done. In litmus mode, dump the register file into the
+        // observation window, then retire. Plain data stores to
+        // thread-private words — racing with nothing, invisible to
+        // other threads.
+        if let Some(base) = self.code.obs_base {
+            if self.dumped < self.regs.len() {
+                let r = self.dumped;
+                self.dumped += 1;
+                return Op::Store {
+                    addr: base + r as u64,
+                    value: self.regs[r].unwrap_or(0) as u64,
+                    class: OpClass::Data,
+                };
+            }
+        }
+        Op::Done
+    }
+}
+
+/// Registers an instruction *reads* (register operands of expressions;
+/// destinations are writes, not reads).
+fn for_each_read(i: &Instr, f: &mut impl FnMut(Reg)) {
+    match i {
+        Instr::Load { .. } | Instr::Think { .. } | Instr::Barrier => {}
+        Instr::Store { val, .. } => val.for_each_reg(f),
+        Instr::Rmw { operand, operand2, .. } => {
+            operand.for_each_reg(f);
+            operand2.for_each_reg(f);
+        }
+        Instr::Assign { expr, .. } => expr.for_each_reg(f),
+        Instr::BranchOn { cond } | Instr::JumpIfZero { cond, .. } => cond.for_each_reg(f),
+        Instr::Observe { expr } => expr.for_each_reg(f),
+        Instr::ScratchLoad { addr, .. } => addr.for_each_reg(f),
+        Instr::ScratchStore { addr, val } => {
+            addr.for_each_reg(f);
+            val.for_each_reg(f);
+        }
+    }
+}
+
+/// The register an instruction writes, if any.
+fn write_of(i: &Instr) -> Option<Reg> {
+    match i {
+        Instr::Load { dst, .. }
+        | Instr::Rmw { dst, .. }
+        | Instr::Assign { dst, .. }
+        | Instr::ScratchLoad { dst, .. } => Some(*dst),
+        Instr::Store { .. }
+        | Instr::BranchOn { .. }
+        | Instr::Observe { .. }
+        | Instr::JumpIfZero { .. }
+        | Instr::Think { .. }
+        | Instr::Barrier
+        | Instr::ScratchStore { .. } => None,
+    }
+}
+
+/// Scratchpad size for the litmus lowering: one past the largest
+/// constant scratch address, or `None` when the program never touches
+/// scratch.
+///
+/// # Panics
+///
+/// Panics on a non-constant scratch address — the litmus lowering has
+/// no geometry to bound it with.
+fn litmus_scratch_words(p: &Program) -> Option<usize> {
+    let bound = |e: &Expr| match e {
+        Expr::Const(c) if *c >= 0 => *c as usize + 1,
+        _ => panic!(
+            "litmus lowering of {} requires constant scratch addresses, found {e:?}",
+            p.name()
+        ),
+    };
+    let mut words = None;
+    for t in p.threads() {
+        for i in &t.instrs {
+            if let Instr::ScratchLoad { addr, .. } | Instr::ScratchStore { addr, .. } = i {
+                words = Some(bound(addr).max(words.unwrap_or(0)));
+            }
+        }
+    }
+    words
+}
+
+/// Highest register index a thread writes or reads, plus one.
+pub fn thread_reg_count(t: &Thread) -> usize {
+    let mut max: Option<u16> = None;
+    let mut see = |r: Reg| max = Some(max.map_or(r.0, |m: u16| m.max(r.0)));
+    for i in &t.instrs {
+        for_each_read(i, &mut see);
+        if let Some(r) = write_of(i) {
+            see(r);
+        }
+    }
+    max.map_or(0, |m| m as usize + 1)
+}
+
+/// Per-instruction liveness of RMW results: `true` at index `i` iff a
+/// later instruction reads the RMW's destination register. With the
+/// builder's fresh-register discipline this is exact; reusing a
+/// destination register only ever errs towards `true` (consume the
+/// result), never towards dropping a value someone needs.
+fn rmw_results_used(t: &Thread) -> Vec<bool> {
+    t.instrs
+        .iter()
+        .enumerate()
+        .map(|(i, instr)| match instr {
+            Instr::Rmw { dst, .. } => t.instrs[i + 1..].iter().any(|later| {
+                let mut read = false;
+                for_each_read(later, &mut |r| read |= r == *dst);
+                read
+            }),
+            _ => true,
+        })
+        .collect()
+}
+
+/// Map a litmus RMW to the simulator's (same modify function in both
+/// value domains; min/max order signed on both sides).
+pub fn lower_rmw(op: RmwOp, expected: i64) -> RmwKind {
+    match op {
+        RmwOp::FetchAdd => RmwKind::Add,
+        RmwOp::FetchSub => RmwKind::Sub,
+        RmwOp::FetchAnd => RmwKind::And,
+        RmwOp::FetchOr => RmwKind::Or,
+        RmwOp::FetchXor => RmwKind::Xor,
+        RmwOp::FetchMin => RmwKind::Min,
+        RmwOp::FetchMax => RmwKind::Max,
+        RmwOp::Exchange => RmwKind::Exchange,
+        RmwOp::Cas => RmwKind::Cas { expected: expected as u64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drfrlx_core::program::RmwOp;
+    use hsim_gpu::{run_kernel, EngineParams, MemoryBackend};
+
+    /// Zero-latency functional backend for lowering-only tests.
+    struct Instant;
+    impl MemoryBackend for Instant {
+        fn load(&mut self, now: u64, _cu: usize, _a: u64, _at: bool) -> u64 {
+            now + 1
+        }
+        fn store(&mut self, now: u64, _cu: usize, _a: u64, _at: bool) -> u64 {
+            now + 1
+        }
+        fn rmw(&mut self, now: u64, _cu: usize, _a: u64) -> u64 {
+            now + 1
+        }
+        fn acquire(&mut self, now: u64, _cu: usize) -> u64 {
+            now
+        }
+        fn release(&mut self, now: u64, _cu: usize) -> u64 {
+            now
+        }
+    }
+
+    #[test]
+    fn grid_lowering_places_locations_and_infers_use_result() {
+        // Two threads in one block bump a padded counter; the second
+        // thread also reads its own RMW result into a data store.
+        let mut p = Program::new("grid");
+        {
+            let mut t = p.thread();
+            t.rmw(OpClass::Commutative, "ctr", RmwOp::FetchAdd, 1);
+        }
+        {
+            let mut t = p.thread();
+            let old = t.rmw(OpClass::Commutative, "ctr", RmwOp::FetchAdd, 1);
+            t.store(OpClass::Data, "out", old);
+        }
+        let p = p.build();
+        let k = ProgramKernel::grid(&p, 2, 32, 0, |n| match n {
+            "ctr" => 16,
+            "out" => 17,
+            _ => unreachable!(),
+        });
+        assert_eq!(k.blocks(), 1);
+        assert_eq!(k.threads_per_block(), 2);
+        // Thread 0's RMW result is dead, thread 1's is live.
+        assert!(!k.cells[0].use_result[0]);
+        assert!(k.cells[1].use_result[0]);
+        let r = run_kernel(&k, &EngineParams::default(), &mut Instant);
+        assert_eq!(r.memory[16], 2, "both increments landed at the padded address");
+        assert!(r.memory[17] == 0 || r.memory[17] == 1, "old value stored");
+    }
+
+    #[test]
+    fn block_constructs_lower_to_simulator_ops() {
+        // Each of two threads publishes into scratch, meets at the
+        // barrier, then thread 0 sums the scratch words into memory.
+        let mut p = Program::new("scratch");
+        {
+            let mut t = p.thread();
+            t.scratch_store(0, 7);
+            t.think(3);
+            t.barrier();
+            let a = t.scratch_load(0);
+            let b = t.scratch_load(1);
+            t.store(
+                OpClass::Data,
+                "sum",
+                drfrlx_core::program::Expr::bin(
+                    drfrlx_core::program::BinOp::Add,
+                    a.into(),
+                    b.into(),
+                ),
+            );
+        }
+        {
+            let mut t = p.thread();
+            t.scratch_store(1, 5);
+            t.barrier();
+        }
+        let p = p.build();
+        let k = ProgramKernel::grid(&p, 2, 4, 2, |n| match n {
+            "sum" => 0,
+            _ => unreachable!(),
+        });
+        let r = run_kernel(&k, &EngineParams::default(), &mut Instant);
+        assert_eq!(r.memory[0], 12, "barrier ordered the scratch publication");
+        assert_eq!(r.scratch_accesses, 4);
+        assert_eq!(r.barriers, 1);
+    }
+
+    #[test]
+    fn litmus_lowering_of_block_constructs_uses_one_block() {
+        // Same shape as `block_constructs_lower_to_simulator_ops`, but
+        // through the litmus lowering: the barrier forces a single
+        // block (the enumerator rendezvouses all program threads), and
+        // scratch is sized from the largest constant address.
+        let mut p = Program::new("scratch");
+        {
+            let mut t = p.thread();
+            t.scratch_store(0, 7);
+            t.think(3);
+            t.barrier();
+            let a = t.scratch_load(0);
+            let b = t.scratch_load(1);
+            t.store(
+                OpClass::Data,
+                "sum",
+                drfrlx_core::program::Expr::bin(
+                    drfrlx_core::program::BinOp::Add,
+                    a.into(),
+                    b.into(),
+                ),
+            );
+        }
+        {
+            let mut t = p.thread();
+            t.scratch_store(1, 5);
+            t.barrier();
+        }
+        let p = p.build();
+        let k = ProgramKernel::litmus(&p);
+        assert_eq!(k.blocks(), 1);
+        assert_eq!(k.threads_per_block(), 2);
+        assert_eq!(k.scratch_words(), 2);
+        let r = run_kernel(&k, &EngineParams::default(), &mut Instant);
+        assert_eq!(r.memory[0], 12, "barrier ordered the scratch publication");
+        assert_eq!(r.barriers, 1);
+    }
+
+    #[test]
+    fn litmus_lowering_dumps_registers() {
+        let mut p = Program::new("t");
+        {
+            let mut t = p.thread();
+            t.store(OpClass::Data, "x", 5);
+            let r = t.rmw(OpClass::Commutative, "x", RmwOp::FetchAdd, 2);
+            t.observe(r);
+        }
+        let p = p.build();
+        let k = ProgramKernel::litmus(&p);
+        assert_eq!(k.reg_counts(), vec![1]);
+        assert_eq!(k.obs_bases(), vec![1]);
+        let r = run_kernel(&k, &EngineParams::default(), &mut Instant);
+        assert_eq!(r.memory[0], 7, "x = 5 then fadd 2");
+        assert_eq!(r.memory[1], 5, "RMW returned the old value");
+    }
+}

@@ -1,14 +1,18 @@
-//! The litmus→kernel compiler.
+//! The litmus→kernel compiler — a thin wrapper over
+//! [`drfrlx_bridge::ProgramKernel`]'s litmus lowering.
 //!
 //! Lowers a [`drfrlx_core::program::Program`] into the `hsim-gpu`
 //! work-item IR so the cycle simulator can execute it: one
 //! single-thread block per litmus thread (blocks land on distinct CUs
 //! round-robin, so litmus threads really do run on different cores),
-//! every memory instruction carried over with its [`OpClass`]
-//! annotation — the engine maps classes through the active
-//! [`hsim_gpu::ConsistencyPolicy`] exactly as for hand-written
-//! workloads — and local computation (assignments, branch markers,
-//! structured `if`s) interpreted inside the work item.
+//! every memory instruction carried over with its
+//! [`drfrlx_core::OpClass`] annotation — the engine maps classes
+//! through the active [`hsim_gpu::ConsistencyPolicy`] exactly as for
+//! hand-written workloads — and local computation (assignments, branch
+//! markers, structured `if`s) interpreted inside the work item. The
+//! actual lowering and interpretation live in `drfrlx-bridge`, shared
+//! with the micro workloads' grid kernels; this module only pins the
+//! litmus-specific layout contract used by outcome normalization.
 //!
 //! ## Memory layout and observation
 //!
@@ -22,17 +26,17 @@
 //! [`crate::outcome::Outcome`] normalizes for comparison against the
 //! axiomatic oracle.
 //!
-//! ## Value-domain caveat
+//! ## Value domains
 //!
 //! Litmus values are `i64`, the simulator's are `u64`; all lowering is
-//! bit-pattern faithful (`as` casts) and every RMW except
-//! `FetchMin`/`FetchMax` computes the same bit pattern in both domains.
-//! Min/max order *unsigned* in the simulator, so programs mixing
-//! negative values with `fmin`/`fmax` may legitimately diverge — the
-//! corpus has none and the fuzzer never generates them.
+//! bit-pattern faithful (`as` casts) and every RMW — including
+//! `FetchMin`/`FetchMax`, which both sides order as *signed* values —
+//! computes the same bit pattern in both domains, so checker and
+//! simulator agree on every program the fuzzer can generate.
 
-use drfrlx_core::program::{Instr, Program, Reg, RmwOp};
-use hsim_gpu::{Kernel, Op, RmwKind, WorkItem};
+use drfrlx_bridge::ProgramKernel;
+use drfrlx_core::program::Program;
+use hsim_gpu::{Kernel, WorkItem};
 
 /// Shape information shared by the kernel and outcome normalization.
 #[derive(Debug, Clone)]
@@ -45,6 +49,8 @@ pub struct CompiledLitmus {
     pub obs_base: Vec<usize>,
     /// Total memory words: locations + all register dumps.
     pub memory_words: usize,
+    /// The shared lowering that actually runs on the simulator.
+    kernel: ProgramKernel,
 }
 
 /// Compile `p` into a simulator kernel plus its layout.
@@ -54,174 +60,50 @@ pub struct CompiledLitmus {
 /// Panics if the program has no threads (nothing to simulate).
 pub fn compile(p: &Program) -> CompiledLitmus {
     assert!(!p.threads().is_empty(), "cannot compile a litmus program with no threads");
-    let reg_counts: Vec<usize> = p.threads().iter().map(thread_reg_count).collect();
-    let mut obs_base = Vec::with_capacity(reg_counts.len());
-    let mut next = p.num_locs();
-    for rc in &reg_counts {
-        obs_base.push(next);
-        next += rc;
+    let kernel = ProgramKernel::litmus(p);
+    CompiledLitmus {
+        program: p.clone(),
+        reg_counts: kernel.reg_counts(),
+        obs_base: kernel.obs_bases(),
+        memory_words: kernel.memory_words(),
+        kernel,
     }
-    CompiledLitmus { program: p.clone(), reg_counts, obs_base, memory_words: next.max(1) }
-}
-
-/// Highest register index a thread writes or reads, plus one.
-fn thread_reg_count(t: &drfrlx_core::program::Thread) -> usize {
-    let mut max: Option<u16> = None;
-    let mut see = |r: Reg| max = Some(max.map_or(r.0, |m: u16| m.max(r.0)));
-    for i in &t.instrs {
-        match i {
-            Instr::Load { dst, .. } => see(*dst),
-            Instr::Store { val, .. } => val.for_each_reg(&mut see),
-            Instr::Rmw { operand, operand2, dst, .. } => {
-                operand.for_each_reg(&mut see);
-                operand2.for_each_reg(&mut see);
-                see(*dst);
-            }
-            Instr::Assign { dst, expr } => {
-                expr.for_each_reg(&mut see);
-                see(*dst);
-            }
-            Instr::BranchOn { cond } | Instr::JumpIfZero { cond, .. } => {
-                cond.for_each_reg(&mut see);
-            }
-            Instr::Observe { expr } => expr.for_each_reg(&mut see),
-        }
-    }
-    max.map_or(0, |m| m as usize + 1)
 }
 
 impl Kernel for CompiledLitmus {
     fn name(&self) -> String {
-        format!("conform_{}", self.program.name())
+        self.kernel.name()
     }
 
     fn blocks(&self) -> usize {
-        self.program.threads().len()
+        self.kernel.blocks()
     }
 
     fn threads_per_block(&self) -> usize {
-        1
+        self.kernel.threads_per_block()
     }
 
     fn memory_words(&self) -> usize {
-        self.memory_words
+        self.kernel.memory_words()
+    }
+
+    fn scratch_words(&self) -> usize {
+        self.kernel.scratch_words()
     }
 
     fn init_memory(&self, mem: &mut [u64]) {
-        for (l, word) in mem.iter_mut().enumerate().take(self.program.num_locs()) {
-            let loc = drfrlx_core::program::Loc(l as u32);
-            *word = self.program.init_value(loc) as u64;
-        }
+        self.kernel.init_memory(mem);
     }
 
-    fn item(&self, block: usize, _thread: usize) -> Box<dyn WorkItem> {
-        Box::new(LitmusItem {
-            instrs: self.program.threads()[block].instrs.clone(),
-            regs: vec![None; self.reg_counts[block]],
-            pc: 0,
-            pending: None,
-            obs_base: self.obs_base[block] as u64,
-            dumped: 0,
-        })
-    }
-}
-
-/// A work item interpreting one litmus thread.
-struct LitmusItem {
-    instrs: Vec<Instr>,
-    /// Dense register file; `None` = never written (reads as 0, like
-    /// the axiomatic enumerator's [`drfrlx_core::program::Expr::eval_slice`]).
-    regs: Vec<Option<i64>>,
-    pc: usize,
-    /// Register awaiting the value delivered as `last`.
-    pending: Option<Reg>,
-    obs_base: u64,
-    /// Registers dumped so far in the observation phase.
-    dumped: usize,
-}
-
-impl WorkItem for LitmusItem {
-    fn next(&mut self, last: Option<u64>) -> Op {
-        if let Some(dst) = self.pending.take() {
-            let v = last.expect("memory op with a destination returns a value");
-            self.regs[dst.0 as usize] = Some(v as i64);
-        }
-        while self.pc < self.instrs.len() {
-            let pc = self.pc;
-            self.pc += 1;
-            match &self.instrs[pc] {
-                Instr::Assign { dst, expr } => {
-                    self.regs[dst.0 as usize] = Some(expr.eval_slice(&self.regs));
-                }
-                Instr::BranchOn { .. } | Instr::Observe { .. } => {
-                    // Dependency/observability markers: no dynamic
-                    // effect, the simulator executes the real path.
-                }
-                Instr::JumpIfZero { cond, skip } => {
-                    if cond.eval_slice(&self.regs) == 0 {
-                        self.pc += skip;
-                    }
-                }
-                Instr::Load { class, loc, dst } => {
-                    self.pending = Some(*dst);
-                    return Op::Load { addr: loc.0 as u64, class: *class };
-                }
-                Instr::Store { class, loc, val } => {
-                    return Op::Store {
-                        addr: loc.0 as u64,
-                        value: val.eval_slice(&self.regs) as u64,
-                        class: *class,
-                    };
-                }
-                Instr::Rmw { class, loc, op, operand, operand2, dst } => {
-                    let k = operand.eval_slice(&self.regs);
-                    let k2 = operand2.eval_slice(&self.regs);
-                    self.pending = Some(*dst);
-                    return Op::Rmw {
-                        addr: loc.0 as u64,
-                        rmw: lower_rmw(*op, k2),
-                        operand: k as u64,
-                        class: *class,
-                        use_result: true,
-                    };
-                }
-            }
-        }
-        // Body done: dump the register file into the observation
-        // window, then retire. Plain data stores to thread-private
-        // words — racing with nothing, invisible to other threads.
-        if self.dumped < self.regs.len() {
-            let r = self.dumped;
-            self.dumped += 1;
-            return Op::Store {
-                addr: self.obs_base + r as u64,
-                value: self.regs[r].unwrap_or(0) as u64,
-                class: drfrlx_core::OpClass::Data,
-            };
-        }
-        Op::Done
-    }
-}
-
-/// Map a litmus RMW to the simulator's (same modify function, modulo
-/// the documented unsigned min/max caveat).
-fn lower_rmw(op: RmwOp, expected: i64) -> RmwKind {
-    match op {
-        RmwOp::FetchAdd => RmwKind::Add,
-        RmwOp::FetchSub => RmwKind::Sub,
-        RmwOp::FetchAnd => RmwKind::And,
-        RmwOp::FetchOr => RmwKind::Or,
-        RmwOp::FetchXor => RmwKind::Xor,
-        RmwOp::FetchMin => RmwKind::Min,
-        RmwOp::FetchMax => RmwKind::Max,
-        RmwOp::Exchange => RmwKind::Exchange,
-        RmwOp::Cas => RmwKind::Cas { expected: expected as u64 },
+    fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
+        self.kernel.item(block, thread)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use drfrlx_core::program::RmwOp;
     use drfrlx_core::OpClass;
     use hsim_gpu::{run_kernel, EngineParams, MemoryBackend};
 
@@ -310,5 +192,25 @@ mod tests {
         let mem = run(&p);
         assert_eq!(mem[0] as i64, -2);
         assert_eq!(mem[1] as i64, -3, "old value bit-pattern faithful");
+    }
+
+    #[test]
+    fn signed_min_max_agree_with_the_checker() {
+        // -5 < 3 signed but not unsigned: fmin must keep -5, fmax must
+        // take 3 over -5 — the checker's RmwOp::apply semantics.
+        let mut p = Program::new("t");
+        p.set_init("a", -5);
+        p.set_init("b", -5);
+        {
+            let mut t = p.thread();
+            let r1 = t.rmw(OpClass::Commutative, "a", RmwOp::FetchMin, 3);
+            let r2 = t.rmw(OpClass::Commutative, "b", RmwOp::FetchMax, 3);
+            t.observe(r1);
+            t.observe(r2);
+        }
+        let p = p.build();
+        let mem = run(&p);
+        assert_eq!(mem[0] as i64, -5, "min(-5, 3) is -5 signed");
+        assert_eq!(mem[1] as i64, 3, "max(-5, 3) is 3 signed");
     }
 }

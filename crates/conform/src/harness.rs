@@ -234,6 +234,16 @@ pub fn run_corpus(opts: &ConformOptions) -> Result<Vec<ConformReport>, EnumError
     table1_corpus().iter().map(|(_, p)| check_conformance(p, opts)).collect()
 }
 
+/// Conformance over the [template corpus](crate::templates), one
+/// report per program.
+///
+/// # Errors
+///
+/// Propagates the first oracle enumeration failure.
+pub fn run_template_corpus(opts: &ConformOptions) -> Result<Vec<ConformReport>, EnumError> {
+    crate::templates::template_corpus().iter().map(|(_, p)| check_conformance(p, opts)).collect()
+}
+
 /// Render corpus reports as the stable text table committed to
 /// `results/conform.txt`.
 pub fn render_corpus(reports: &[ConformReport], opts: &ConformOptions) -> String {

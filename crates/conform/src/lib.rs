@@ -11,6 +11,12 @@
 //! [fuzzer](fuzz) feeds random programs through the same loop and a
 //! delta-debugging [shrinker](shrink) minimizes any disagreement it
 //! finds.
+//!
+//! Two corpora ride on the harness: the Table-1 litmus programs
+//! ([`harness::table1_corpus`]) and the richer [template
+//! corpus](templates) instantiating the same shared emitters with the
+//! micro workloads' knobs (polls, retries, think delays, scratch +
+//! barrier).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,13 +27,15 @@ pub mod harness;
 pub mod outcome;
 pub mod schedule;
 pub mod shrink;
+pub mod templates;
 
 pub use compile::{compile, CompiledLitmus};
 pub use fuzz::generate;
 pub use harness::{
     check_conformance, conform_jobs, is_unsound, render_corpus, report_from_runs, run_corpus,
-    table1_corpus, ConfigVerdict, ConformOptions, ConformReport,
+    run_template_corpus, table1_corpus, ConfigVerdict, ConformOptions, ConformReport,
 };
 pub use outcome::{allowed_outcomes, Outcome};
 pub use schedule::schedule_params;
 pub use shrink::shrink;
+pub use templates::template_corpus;

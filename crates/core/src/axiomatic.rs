@@ -42,6 +42,10 @@ pub enum AxiomaticError {
         /// The configured limit.
         limit: usize,
     },
+    /// The program uses block constructs (barrier / scratchpad) that
+    /// the candidate-execution enumeration does not model; use the
+    /// streaming SC enumerator instead.
+    BlockConstructs,
 }
 
 impl fmt::Display for AxiomaticError {
@@ -52,6 +56,9 @@ impl fmt::Display for AxiomaticError {
             }
             AxiomaticError::TooManyCandidates { limit } => {
                 write!(f, "more than {limit} candidate executions")
+            }
+            AxiomaticError::BlockConstructs => {
+                f.write_str("axiomatic enumeration does not model barrier/scratch constructs")
             }
         }
     }
@@ -84,6 +91,11 @@ fn plan(p: &Program, model: MemoryModel) -> Result<Plan, AxiomaticError> {
         for (iid, i) in t.instrs.iter().enumerate() {
             match i {
                 Instr::JumpIfZero { .. } => return Err(AxiomaticError::ControlFlow),
+                // Think is an axiomatic no-op (falls to the `_` arm);
+                // barrier/scratch need the streaming enumerator.
+                Instr::Barrier | Instr::ScratchLoad { .. } | Instr::ScratchStore { .. } => {
+                    return Err(AxiomaticError::BlockConstructs)
+                }
                 Instr::Load { class, loc, .. } => events.push(SEvent {
                     tid,
                     iid,
@@ -144,8 +156,11 @@ fn preserved_po(p: &Program, plan: &Plan) -> Relation {
                     let src = expr_sources(expr, &taint);
                     taint.insert(*dst, src);
                 }
-                Instr::BranchOn { .. } | Instr::Observe { .. } => {}
-                Instr::JumpIfZero { .. } => unreachable!("rejected in plan()"),
+                Instr::BranchOn { .. } | Instr::Observe { .. } | Instr::Think { .. } => {}
+                Instr::JumpIfZero { .. }
+                | Instr::Barrier
+                | Instr::ScratchLoad { .. }
+                | Instr::ScratchStore { .. } => unreachable!("rejected in plan()"),
                 Instr::Load { dst, .. } => {
                     let e = idx[cursor];
                     debug_assert_eq!(plan.events[e].iid, iid);
@@ -437,8 +452,11 @@ fn check_candidate(
                         let v = expr.eval(&regs);
                         regs.insert(*dst, v);
                     }
-                    Instr::BranchOn { .. } | Instr::Observe { .. } => {}
-                    Instr::JumpIfZero { .. } => unreachable!(),
+                    Instr::BranchOn { .. } | Instr::Observe { .. } | Instr::Think { .. } => {}
+                    Instr::JumpIfZero { .. }
+                    | Instr::Barrier
+                    | Instr::ScratchLoad { .. }
+                    | Instr::ScratchStore { .. } => unreachable!(),
                     Instr::Load { loc, dst, .. } => {
                         let e = cursor.pop().expect("event planned");
                         let v = match rf_of(e) {

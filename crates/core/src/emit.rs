@@ -177,6 +177,28 @@ fn emit_instrs(p: &Program, instrs: &[Instr], depth: usize, out: &mut String) {
                 out.push_str("}\n");
                 i += skip;
             }
+            Instr::Think { cycles } => {
+                indent(depth, out);
+                let _ = writeln!(out, "think {cycles};");
+            }
+            Instr::Barrier => {
+                indent(depth, out);
+                out.push_str("barrier;\n");
+            }
+            Instr::ScratchLoad { addr, dst } => {
+                indent(depth, out);
+                let mut a = String::new();
+                emit_expr(addr, &mut a);
+                let _ = writeln!(out, "{} = sload {a};", reg_name(*dst));
+            }
+            Instr::ScratchStore { addr, val } => {
+                indent(depth, out);
+                let mut a = String::new();
+                emit_expr(addr, &mut a);
+                let mut v = String::new();
+                emit_expr(val, &mut v);
+                let _ = writeln!(out, "sstore {a} {v};");
+            }
         }
         i += 1;
     }

@@ -174,6 +174,13 @@ pub struct Execution {
     pub ctrl_dep: Relation,
     /// Events whose loaded value is observed via [`Instr::Observe`].
     pub observed: Vec<bool>,
+    /// Barrier release watermarks: one entry per released block
+    /// [`Instr::Barrier`] rendezvous, holding the event count at the
+    /// moment of release. Every event with `id < cut` is
+    /// synchronized-before every event with `id >= cut` — the pipeline
+    /// requires every thread to execute the same number of barriers, so
+    /// each release is a full rendezvous of all threads.
+    pub barrier_cuts: Vec<usize>,
 }
 
 impl Execution {
@@ -763,6 +770,18 @@ struct SearchState {
     fr: Relation,
     data_dep: Relation,
     ctrl_dep: Relation,
+    /// Block-shared scratch memory: address → (value, taint — the load
+    /// events whose values flowed into the stored value). Scratch
+    /// accesses are local-deterministic under the pipeline's scratch
+    /// discipline (cross-thread same-slot accesses must be
+    /// barrier-separated), so they drain like register ops and never
+    /// become events.
+    scratch: BTreeMap<Value, (Value, IdSet)>,
+    /// Barriers completed per thread.
+    bdone: Vec<u32>,
+    /// Event-count watermarks of released barriers (see
+    /// [`Execution::barrier_cuts`]).
+    barrier_cuts: Vec<usize>,
 }
 
 /// Which relation an undo-journal edge belongs to.
@@ -821,6 +840,18 @@ enum Undo {
     RelHash {
         loc: u32,
         old: u64,
+    },
+    /// A scratch slot was written (restore the previous entry).
+    Scratch {
+        addr: Value,
+        old: Option<(Value, IdSet)>,
+    },
+    /// One barrier rendezvous released: pop the recorded cut (released
+    /// pcs and counters are journaled separately).
+    BarrierCut,
+    /// One thread's completed-barrier counter was incremented.
+    Bdone {
+        tid: u32,
     },
 }
 
@@ -967,7 +998,12 @@ fn live_regs(instrs: &[Instr]) -> Vec<Vec<u16>> {
                     cond.for_each_reg(&mut see)
                 }
                 Instr::Observe { expr } => expr.for_each_reg(&mut see),
-                Instr::Load { .. } => {}
+                Instr::ScratchLoad { addr, .. } => addr.for_each_reg(&mut see),
+                Instr::ScratchStore { addr, val } => {
+                    addr.for_each_reg(&mut see);
+                    val.for_each_reg(&mut see);
+                }
+                Instr::Load { .. } | Instr::Think { .. } | Instr::Barrier => {}
             }
         }
         out[pc] = acc.iter().copied().collect();
@@ -999,6 +1035,15 @@ fn reg_count(instrs: &[Instr]) -> usize {
                 cond.for_each_reg(&mut see)
             }
             Instr::Observe { expr } => expr.for_each_reg(&mut see),
+            Instr::ScratchLoad { addr, dst } => {
+                addr.for_each_reg(&mut see);
+                see(*dst);
+            }
+            Instr::ScratchStore { addr, val } => {
+                addr.for_each_reg(&mut see);
+                val.for_each_reg(&mut see);
+            }
+            Instr::Think { .. } | Instr::Barrier => {}
         }
     }
     n
@@ -1095,6 +1140,9 @@ impl<'a> Engine<'a> {
             fr: Relation::empty(cap),
             data_dep: Relation::empty(cap),
             ctrl_dep: Relation::empty(cap),
+            scratch: BTreeMap::new(),
+            bdone: vec![0; p.threads().len()],
+            barrier_cuts: Vec::new(),
         };
         let mut base = Vec::with_capacity(p.threads().len());
         let mut acc = 1u64;
@@ -1117,6 +1165,7 @@ impl<'a> Engine<'a> {
             addr_dep: Relation::empty(0),
             ctrl_dep: Relation::empty(0),
             observed: Vec::with_capacity(cap),
+            barrier_cuts: Vec::new(),
         };
         Engine {
             p,
@@ -1256,6 +1305,16 @@ impl<'a> Engine<'a> {
                     r.remove(a as usize, b as usize);
                 }
                 Undo::RelHash { loc, old } => self.st.rel_hash[loc as usize] = old,
+                Undo::Scratch { addr, old } => {
+                    match old {
+                        Some(e) => self.st.scratch.insert(addr, e),
+                        None => self.st.scratch.remove(&addr),
+                    };
+                }
+                Undo::BarrierCut => {
+                    self.st.barrier_cuts.pop();
+                }
+                Undo::Bdone { tid } => self.st.bdone[tid as usize] -= 1,
             }
         }
     }
@@ -1400,6 +1459,40 @@ impl<'a> Engine<'a> {
                             self.set_pc(tid, pc + if v == 0 { *skip + 1 } else { 1 });
                             progressed = true;
                         }
+                        Instr::Think { .. } => {
+                            // Axiomatic no-op: a pure timing hint with
+                            // no event and no register effect.
+                            self.set_pc(tid, pc + 1);
+                            progressed = true;
+                        }
+                        Instr::ScratchLoad { addr, dst } => {
+                            let a = addr.eval_slice(&self.st.threads[tid].regs);
+                            self.tset.clear();
+                            self.gather_taint(tid, addr);
+                            let v = match self.st.scratch.get(&a) {
+                                Some((v, t)) => {
+                                    self.tset.extend_from(t);
+                                    *v
+                                }
+                                None => 0,
+                            };
+                            self.set_reg(tid, *dst, v);
+                            self.set_taint_from_scratch(tid, *dst);
+                            self.set_pc(tid, pc + 1);
+                            progressed = true;
+                        }
+                        Instr::ScratchStore { addr, val } => {
+                            let a = addr.eval_slice(&self.st.threads[tid].regs);
+                            let v = val.eval_slice(&self.st.threads[tid].regs);
+                            self.tset.clear();
+                            self.gather_taint(tid, addr);
+                            self.gather_taint(tid, val);
+                            let taint = std::mem::take(&mut self.tset);
+                            let old = self.st.scratch.insert(a, (v, taint));
+                            self.journal.push(Undo::Scratch { addr: a, old });
+                            self.set_pc(tid, pc + 1);
+                            progressed = true;
+                        }
                         Instr::Load { class: OpClass::Quantum, dst, .. } if self.quantum => {
                             return Drained::QuantumLoad { tid, dst: *dst };
                         }
@@ -1408,9 +1501,58 @@ impl<'a> Engine<'a> {
                 }
             }
             if !progressed {
+                // Barrier rendezvous is deterministic (no scheduling
+                // choice), so it belongs to the drain closure: release
+                // and keep draining the freed threads.
+                if self.try_release_barrier() {
+                    continue;
+                }
                 return Drained::Done;
             }
         }
+    }
+
+    /// Release one block-barrier rendezvous if it is complete: every
+    /// thread must have finished more barriers than the lagging group
+    /// or be parked at its next [`Instr::Barrier`] with the lagging
+    /// count. A thread that terminated without matching the count
+    /// blocks the rendezvous forever — a deadlock, so the search path
+    /// is dropped with no result, mirroring real-hardware behavior.
+    /// Records an event-count cut (the synchronization watermark) and
+    /// advances every released pc, all journaled.
+    fn try_release_barrier(&mut self) -> bool {
+        let p = self.p;
+        let parked = |t: &ThreadState, tid: usize| {
+            p.threads()[tid].instrs.get(t.pc).is_some_and(|i| matches!(i, Instr::Barrier))
+        };
+        // Lagging group: the minimum completed-barrier count over
+        // parked threads.
+        let mut k = u32::MAX;
+        for (tid, t) in self.st.threads.iter().enumerate() {
+            if parked(t, tid) {
+                k = k.min(self.st.bdone[tid]);
+            }
+        }
+        if k == u32::MAX {
+            return false;
+        }
+        for (tid, t) in self.st.threads.iter().enumerate() {
+            let done = self.st.bdone[tid];
+            if !(done > k || (done == k && parked(t, tid))) {
+                return false;
+            }
+        }
+        self.st.barrier_cuts.push(self.st.events.len());
+        self.journal.push(Undo::BarrierCut);
+        for tid in 0..self.st.threads.len() {
+            if self.st.bdone[tid] == k {
+                let pc = self.st.threads[tid].pc;
+                self.set_pc(tid, pc + 1);
+                self.st.bdone[tid] += 1;
+                self.journal.push(Undo::Bdone { tid: tid as u32 });
+            }
+        }
+        true
     }
 
     /// The next memory operation of `tid`, as `(loc, writes)` — the
@@ -1758,6 +1900,7 @@ impl<'a> Engine<'a> {
         self.st.ctrl_dep.restrict_into(n, &mut out.ctrl_dep);
         out.observed.clear();
         out.observed.extend_from_slice(&self.st.observed[..n]);
+        out.barrier_cuts.clone_from(&self.st.barrier_cuts);
         if !self.visitor.visit(&self.out) {
             self.stop = true;
         }
@@ -1817,6 +1960,21 @@ impl<'a> Engine<'a> {
         }
         for &v in &self.st.memory {
             feed(v as u64);
+        }
+        for (a, (v, t)) in &self.st.scratch {
+            feed(*a as u64);
+            feed(*v as u64);
+            let mut th = 0u64;
+            for id in t.iter() {
+                th = th.wrapping_add(mix64(self.label(id as usize)));
+            }
+            feed(th);
+        }
+        for &b in &self.st.bdone {
+            feed(b as u64);
+        }
+        for &c in &self.st.barrier_cuts {
+            feed(c as u64);
         }
         let mut oh = 0u64;
         for (id, &o) in self.st.observed.iter().enumerate().take(self.st.events.len()) {

@@ -28,7 +28,9 @@
 //! <loc>`, `<reg> = fadd|fsub|fand|for|fxor|fmin|fmax|xchg.<class>
 //! <loc> <expr>`, `<reg> = cas.<class> <loc> <expected> <new>`,
 //! `<reg> = <expr>` (local), `branch <expr>`, `observe <expr>`,
-//! `if <expr> { ... }` and `ifz <expr> { ... }`. Classes: `data`,
+//! `if <expr> { ... }`, `ifz <expr> { ... }`, `think <n>` (timing
+//! hint), `barrier` (block barrier), `<reg> = sload <addr>` and
+//! `sstore <addr> <val>` (block-shared scratch). Classes: `data`,
 //! `paired`, `unpaired`, `commutative`, `nonordering`, `quantum`,
 //! `speculative`, `acquire`, `release` (unambiguous prefixes
 //! accepted). Comments start with
@@ -360,6 +362,24 @@ fn parse_block(
                 lx.expect_sym(";")?;
                 t.branch_on(cond);
             }
+            "think" => {
+                let cycles = match lx.next() {
+                    Some(Tok::Int(v)) if (0..=u32::MAX as i64).contains(&v) => v as u32,
+                    _ => return Err(lx.err_prev("expected cycle count after `think`")),
+                };
+                lx.expect_sym(";")?;
+                t.think(cycles);
+            }
+            "barrier" => {
+                lx.expect_sym(";")?;
+                t.barrier();
+            }
+            "sstore" => {
+                let addr = parse_expr(lx, regs)?;
+                let val = parse_expr(lx, regs)?;
+                lx.expect_sym(";")?;
+                t.scratch_store(addr, val);
+            }
             "observe" => {
                 let e = parse_expr(lx, regs)?;
                 lx.expect_sym(";")?;
@@ -379,6 +399,14 @@ fn parse_block(
             reg_name => {
                 // `<reg> = ...`
                 lx.expect_sym("=")?;
+                if matches!(lx.peek(), Some(Tok::Ident(op)) if op == "sload") {
+                    lx.next();
+                    let addr = parse_expr(lx, regs)?;
+                    lx.expect_sym(";")?;
+                    let reg = t.scratch_load(addr);
+                    regs.map.insert(reg_name.to_string(), reg);
+                    continue;
+                }
                 let is_memop = matches!(
                     lx.peek(),
                     Some(Tok::Ident(op))

@@ -273,6 +273,39 @@ pub enum Instr {
         /// Number of following instructions skipped when `cond == 0`.
         skip: usize,
     },
+    /// Simulator timing hint: `cycles` of local busy work. Axiomatic
+    /// no-op — produces no memory event, so it is invisible to the
+    /// race axioms; operationally it delays the thread's next issue.
+    Think {
+        /// Busy cycles consumed when simulated.
+        cycles: u32,
+    },
+    /// Block-level barrier. Every thread of the program arrives, then
+    /// all proceed together. For the race axioms this is a
+    /// synchronization edge: every event before the barrier
+    /// happens-before every event after it, across all threads. Each
+    /// thread must execute the same number of barriers (unequal counts
+    /// deadlock and are rejected during enumeration).
+    Barrier,
+    /// `dst = scratch[addr]` — read the block-shared scratchpad.
+    /// Scratch is invisible to the race axioms; programs must keep
+    /// scratch accesses from different threads to the same slot
+    /// separated by a [`Instr::Barrier`] (the enumerator enforces this
+    /// discipline and rejects scratch races).
+    ScratchLoad {
+        /// Scratch slot address expression (evaluated locally).
+        addr: Expr,
+        /// Register receiving the slot value (0 if never written).
+        dst: Reg,
+    },
+    /// `scratch[addr] = val` — write the block-shared scratchpad. See
+    /// [`Instr::ScratchLoad`] for the race-freedom discipline.
+    ScratchStore {
+        /// Scratch slot address expression (evaluated locally).
+        addr: Expr,
+        /// Stored value.
+        val: Expr,
+    },
 }
 
 impl Instr {
@@ -315,6 +348,9 @@ pub struct Program {
     name: String,
     threads: Vec<Thread>,
     locs: Vec<String>,
+    /// Name → index of `locs`, so interning stays O(log n) even for
+    /// grid-scale programs with tens of thousands of locations.
+    loc_index: BTreeMap<String, u32>,
     init: BTreeMap<Loc, Value>,
 }
 
@@ -323,7 +359,13 @@ impl Program {
     /// and [`Program::build`] (a no-op finisher kept for readability) to
     /// obtain the final program.
     pub fn new(name: impl Into<String>) -> Program {
-        Program { name: name.into(), threads: Vec::new(), locs: Vec::new(), init: BTreeMap::new() }
+        Program {
+            name: name.into(),
+            threads: Vec::new(),
+            locs: Vec::new(),
+            loc_index: BTreeMap::new(),
+            init: BTreeMap::new(),
+        }
     }
 
     /// The program's name.
@@ -360,17 +402,26 @@ impl Program {
 
     /// Intern a location name.
     pub fn intern(&mut self, name: &str) -> Loc {
-        if let Some(i) = self.locs.iter().position(|n| n == name) {
-            Loc(i as u32)
+        if let Some(&i) = self.loc_index.get(name) {
+            Loc(i)
         } else {
+            let i = self.locs.len() as u32;
             self.locs.push(name.to_string());
-            Loc((self.locs.len() - 1) as u32)
+            self.loc_index.insert(name.to_string(), i);
+            Loc(i)
         }
     }
 
     /// Look up an already-interned location.
     pub fn find_loc(&self, name: &str) -> Option<Loc> {
-        self.locs.iter().position(|n| n == name).map(|i| Loc(i as u32))
+        self.loc_index.get(name).map(|&i| Loc(i))
+    }
+
+    /// Append a prebuilt thread body (program templates emit `Thread`
+    /// values directly when they need forward jump patching that the
+    /// structured builder cannot express).
+    pub fn push_thread(&mut self, t: Thread) {
+        self.threads.push(t);
     }
 
     /// Add a thread and return its builder.
@@ -566,6 +617,31 @@ impl<'p> ThreadBuilder<'p> {
     pub fn if_z(&mut self, cond: impl Into<Expr>, body: impl FnOnce(&mut ThreadBuilder<'_>)) {
         let c = Expr::bin(BinOp::Eq, cond.into(), Expr::Const(0));
         self.if_nz(c, body);
+    }
+
+    /// Timing hint: `cycles` of local busy work (see [`Instr::Think`]).
+    pub fn think(&mut self, cycles: u32) -> &mut Self {
+        self.push(Instr::Think { cycles });
+        self
+    }
+
+    /// Block-level barrier (see [`Instr::Barrier`]).
+    pub fn barrier(&mut self) -> &mut Self {
+        self.push(Instr::Barrier);
+        self
+    }
+
+    /// `r = scratch[addr]`; returns `r` (see [`Instr::ScratchLoad`]).
+    pub fn scratch_load(&mut self, addr: impl Into<Expr>) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Instr::ScratchLoad { addr: addr.into(), dst });
+        dst
+    }
+
+    /// `scratch[addr] = val` (see [`Instr::ScratchStore`]).
+    pub fn scratch_store(&mut self, addr: impl Into<Expr>, val: impl Into<Expr>) -> &mut Self {
+        self.push(Instr::ScratchStore { addr: addr.into(), val: val.into() });
+        self
     }
 }
 

@@ -245,7 +245,18 @@ impl RaceDetector {
                 }
             }
         }
-        let hb1 = e.po.union(&so1).transitive_closure();
+        // Block barriers synchronize everything before the rendezvous
+        // with everything after it: each cut is an event-count
+        // watermark recorded at release (see `Execution::barrier_cuts`).
+        let mut bar = Relation::empty(n);
+        for &cut in &e.barrier_cuts {
+            for a in 0..cut.min(n) {
+                for b in cut..n {
+                    bar.insert(a, b);
+                }
+            }
+        }
+        let hb1 = e.po.union(&so1).union(&bar).transitive_closure();
 
         // conflict & ext & unordered ⇒ race.
         let conflict = Relation::full(n).filter(|a, b| {

@@ -87,6 +87,31 @@ struct MachineThread {
 struct Machine {
     threads: Vec<MachineThread>,
     memory: BTreeMap<Loc, Value>,
+    /// Block-shared scratchpad. Programs keep cross-thread slot reuse
+    /// separated by barriers (the scratch discipline), so the values
+    /// read are schedule-independent.
+    scratch: BTreeMap<Value, Value>,
+}
+
+/// Number of performed [`Instr::Barrier`]s in thread `tid`.
+fn barriers_done(prog: &Program, m: &Machine, tid: usize) -> usize {
+    prog.threads()[tid]
+        .instrs
+        .iter()
+        .zip(&m.threads[tid].done)
+        .filter(|(i, &d)| d && matches!(i, Instr::Barrier))
+        .count()
+}
+
+/// Is thread `tid` parked at a barrier (its earliest undone
+/// instruction is a barrier)?
+fn parked_at_barrier(prog: &Program, m: &Machine, tid: usize) -> bool {
+    let thread = &prog.threads()[tid].instrs;
+    let st = &m.threads[tid];
+    match st.done.iter().position(|&d| !d) {
+        Some(idx) => matches!(thread[idx], Instr::Barrier),
+        None => false,
+    }
 }
 
 fn expr_ready(e: &Expr, regs: &BTreeMap<Reg, Value>) -> bool {
@@ -121,10 +146,29 @@ fn ready(model: MemoryModel, prog: &Program, m: &Machine, tid: usize, idx: usize
         Instr::Assign { expr, .. }
         | Instr::BranchOn { cond: expr }
         | Instr::Observe { expr }
-        | Instr::JumpIfZero { cond: expr, .. } => expr_ready(expr, &st.regs),
+        | Instr::JumpIfZero { cond: expr, .. }
+        | Instr::ScratchLoad { addr: expr, .. } => expr_ready(expr, &st.regs),
+        Instr::Think { .. } | Instr::Barrier => true,
+        Instr::ScratchStore { addr, val } => {
+            expr_ready(addr, &st.regs) && expr_ready(val, &st.regs)
+        }
     };
     if !ok {
         return false;
+    }
+    // A barrier is a full fence plus a rendezvous: everything po-earlier
+    // must have performed, and every other thread must have reached the
+    // same rendezvous (parked at its matching barrier) or moved past it.
+    if matches!(instr, Instr::Barrier) {
+        if !st.done[..idx].iter().all(|&d| d) {
+            return false;
+        }
+        let k = barriers_done(prog, m, tid);
+        return (0..m.threads.len()).all(|u| {
+            u == tid
+                || barriers_done(prog, m, u) > k
+                || (barriers_done(prog, m, u) == k && parked_at_barrier(prog, m, u))
+        });
     }
     // Local bookkeeping instructions execute in order relative to other
     // local instructions (registers may be reused).
@@ -139,8 +183,9 @@ fn ready(model: MemoryModel, prog: &Program, m: &Machine, tid: usize, idx: usize
         if st.done[j] {
             continue;
         }
-        // No control speculation: a pending branch blocks later memory ops.
-        if matches!(earlier, Instr::BranchOn { .. } | Instr::JumpIfZero { .. }) {
+        // No control speculation: a pending branch blocks later memory
+        // ops. A pending barrier is a full fence and does too.
+        if matches!(earlier, Instr::BranchOn { .. } | Instr::JumpIfZero { .. } | Instr::Barrier) {
             return false;
         }
         if !earlier.is_memory() {
@@ -197,7 +242,7 @@ fn perform(prog: &Program, m: &mut Machine, tid: usize, idx: usize) {
             let v = expr.eval(&st.regs);
             st.regs.insert(*dst, v);
         }
-        Instr::BranchOn { .. } | Instr::Observe { .. } => {}
+        Instr::BranchOn { .. } | Instr::Observe { .. } | Instr::Think { .. } | Instr::Barrier => {}
         Instr::JumpIfZero { cond, skip } => {
             if cond.eval(&st.regs) == 0 {
                 // Mark the skipped body done: its instructions never
@@ -206,6 +251,16 @@ fn perform(prog: &Program, m: &mut Machine, tid: usize, idx: usize) {
                     *d = true;
                 }
             }
+        }
+        Instr::ScratchLoad { addr, dst } => {
+            let a = addr.eval(&st.regs);
+            let v = *m.scratch.get(&a).unwrap_or(&0);
+            st.regs.insert(*dst, v);
+        }
+        Instr::ScratchStore { addr, val } => {
+            let a = addr.eval(&st.regs);
+            let v = val.eval(&st.regs);
+            m.scratch.insert(a, v);
         }
     }
     m.threads[tid].done[idx] = true;
@@ -229,6 +284,7 @@ pub fn explore_relaxed(
             .map(|t| MachineThread { done: vec![false; t.instrs.len()], regs: BTreeMap::new() })
             .collect(),
         memory: (0..p.num_locs() as u32).map(|l| (Loc(l), p.init_value(Loc(l)))).collect(),
+        scratch: BTreeMap::new(),
     };
     let mut results = BTreeSet::new();
     let mut schedules = 0usize;
@@ -253,6 +309,11 @@ fn fingerprint(m: &Machine) -> Vec<u8> {
     }
     for (l, v) in &m.memory {
         out.extend_from_slice(&l.0.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.push(0xFE);
+    for (a, v) in &m.scratch {
+        out.extend_from_slice(&a.to_le_bytes());
         out.extend_from_slice(&v.to_le_bytes());
     }
     out
@@ -284,7 +345,12 @@ fn dfs(
         // All instructions done (straight-line programs cannot deadlock:
         // the earliest undone instruction of any thread is always ready
         // once its inputs resolve, and inputs resolve in program order).
-        debug_assert!(m.threads.iter().all(|t| t.done.iter().all(|&d| d)));
+        // The exception is mismatched barrier counts: threads park at a
+        // rendezvous nobody else reaches. Such stuck states produce no
+        // result.
+        if m.threads.iter().any(|t| t.done.iter().any(|&d| !d)) {
+            return Ok(());
+        }
         *schedules += 1;
         if *schedules > limits.max_executions {
             return Err(EnumError::TooManyExecutions { limit: limits.max_executions });

@@ -1,0 +1,166 @@
+//! Checker semantics of the block-structured instructions —
+//! `Instr::Think`, `Instr::Barrier`, `Instr::ScratchLoad`,
+//! `Instr::ScratchStore` — the variants the program pipeline lowers
+//! for the micro workloads.
+//!
+//! Contract under test (see `drfrlx_core::program`):
+//! * **Think** is a pure timing hint: invisible to enumeration and to
+//!   the race axioms.
+//! * **Barrier** is a synchronization edge: it rendezvouses *all*
+//!   program threads, orders everything before it on every thread
+//!   against everything after it on every thread, and an unbalanced
+//!   barrier deadlocks — the search path is dropped with no result.
+//! * **Scratch** is block-local storage, invisible to the race
+//!   axioms; values flow through it (and taint flows with them, so an
+//!   observation after a scratch load still marks the producing
+//!   events observed).
+
+use drfrlx_core::exec::EnumLimits;
+use drfrlx_core::prelude::*;
+use drfrlx_core::program::{BinOp, Reg};
+use drfrlx_core::{check_program, MemoryModel, OpClass};
+
+/// Two racy relaxed increments, optionally padded with think cycles.
+fn counter(think: bool) -> Program {
+    let mut p = Program::new("counter");
+    for _ in 0..2 {
+        let mut t = p.thread();
+        if think {
+            t.think(5);
+        }
+        t.rmw(OpClass::Commutative, "c", RmwOp::FetchAdd, 1);
+        if think {
+            t.think(3);
+        }
+    }
+    p.build()
+}
+
+#[test]
+fn think_changes_neither_executions_nor_verdict() {
+    let plain = check_program(&counter(false), MemoryModel::Drfrlx);
+    let padded = check_program(&counter(true), MemoryModel::Drfrlx);
+    assert_eq!(plain.executions, padded.executions, "think must not add interleavings");
+    assert_eq!(plain.is_race_free(), padded.is_race_free());
+    assert_eq!(plain.races.len(), padded.races.len());
+}
+
+/// Message passing through a barrier instead of an atomic: plain data
+/// accesses on both sides, ordered only by the rendezvous.
+fn mp_through_barrier(with_barrier: bool) -> Program {
+    let mut p = Program::new("mp_barrier");
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Data, "x", 7);
+        if with_barrier {
+            t.barrier();
+        }
+    }
+    {
+        let mut t = p.thread();
+        if with_barrier {
+            t.barrier();
+        }
+        let r = t.load(OpClass::Data, "x");
+        t.observe(r);
+    }
+    p.build()
+}
+
+#[test]
+fn barrier_is_a_synchronization_edge_for_plain_data() {
+    let r = check_program(&mp_through_barrier(true), MemoryModel::Drfrlx);
+    assert!(
+        r.is_race_free(),
+        "the rendezvous orders the store before the load; found {:?}",
+        r.races.iter().map(|f| &f.description).collect::<Vec<_>>()
+    );
+    // And the data actually flows: the single execution reads 7.
+    let execs = enumerate_sc(&mp_through_barrier(true), &EnumLimits::default()).unwrap();
+    assert_eq!(execs.len(), 1, "both orders collapse to store-then-load");
+    assert_eq!(execs[0].result.regs[1][&Reg(0)], 7);
+}
+
+#[test]
+fn without_the_barrier_the_same_accesses_race() {
+    let r = check_program(&mp_through_barrier(false), MemoryModel::Drfrlx);
+    assert!(!r.is_race_free(), "unordered plain accesses must race");
+}
+
+#[test]
+fn unbalanced_barrier_deadlocks_and_drops_the_path() {
+    let mut p = Program::new("unbalanced");
+    {
+        let mut t = p.thread();
+        t.barrier();
+        t.store(OpClass::Data, "x", 1);
+    }
+    {
+        let mut t = p.thread();
+        t.store(OpClass::Data, "y", 1);
+        // No barrier: the rendezvous can never complete.
+    }
+    let p = p.build();
+    let execs = enumerate_sc(&p, &EnumLimits::default()).unwrap();
+    assert!(execs.is_empty(), "a deadlocked rendezvous yields no completed execution");
+}
+
+/// The bridge's histogram shape in miniature: both threads publish
+/// into scratch, rendezvous, and thread 0 sums the rows into memory.
+fn scratch_reduce() -> Program {
+    let mut p = Program::new("scratch_reduce");
+    {
+        let mut t = p.thread();
+        t.scratch_store(0, 7);
+        t.barrier();
+        let a = t.scratch_load(0);
+        let b = t.scratch_load(1);
+        t.store(OpClass::Data, "sum", Expr::bin(BinOp::Add, a.into(), b.into()));
+    }
+    {
+        let mut t = p.thread();
+        t.scratch_store(1, 5);
+        t.barrier();
+    }
+    p.build()
+}
+
+#[test]
+fn scratch_values_flow_across_the_barrier() {
+    let p = scratch_reduce();
+    let r = check_program(&p, MemoryModel::Drfrlx);
+    assert!(r.is_race_free(), "scratch accesses are invisible to the race axioms");
+    let execs = enumerate_sc(&p, &EnumLimits::default()).unwrap();
+    assert_eq!(execs.len(), 1);
+    let sum = p.find_loc("sum").unwrap();
+    assert_eq!(execs[0].result.memory[&sum], 12, "7 + 5 through the scratchpad");
+}
+
+#[test]
+fn unwritten_scratch_reads_as_zero() {
+    let mut p = Program::new("scratch_zero");
+    {
+        let mut t = p.thread();
+        let r = t.scratch_load(3);
+        t.store(OpClass::Data, "out", r);
+    }
+    let p = p.build();
+    let execs = enumerate_sc(&p, &EnumLimits::default()).unwrap();
+    assert_eq!(execs[0].result.memory[&p.find_loc("out").unwrap()], 0);
+}
+
+#[test]
+fn block_constructs_emit_and_parse_to_a_fixpoint() {
+    let p = scratch_reduce();
+    let text = drfrlx_core::emit::emit(&p);
+    for needle in ["barrier;", "sstore 0 7;", "= sload 0;", "= sload 1;"] {
+        assert!(text.contains(needle), "emitted text lacks `{needle}`:\n{text}");
+    }
+    let reparsed = drfrlx_core::parse::parse(&text).expect("emitted text parses");
+    assert_eq!(drfrlx_core::emit::emit(&reparsed), text, "emit→parse→emit fixpoint");
+    // And a thinking program round-trips too.
+    let q = counter(true);
+    let qt = drfrlx_core::emit::emit(&q);
+    assert!(qt.contains("think 5;"));
+    assert_eq!(drfrlx_core::emit::emit(&drfrlx_core::parse::parse(&qt).unwrap()), qt);
+}

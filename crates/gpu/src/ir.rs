@@ -10,9 +10,10 @@ pub enum RmwKind {
     Add,
     /// `new = old - k`.
     Sub,
-    /// `new = min(old, k)`.
+    /// `new = min(old, k)`, ordering signed — memory words are bit
+    /// patterns, and the litmus pipeline's value domain is `i64`.
     Min,
-    /// `new = max(old, k)`.
+    /// `new = max(old, k)`, ordering signed (see [`RmwKind::Min`]).
     Max,
     /// `new = old & k`.
     And,
@@ -35,8 +36,8 @@ impl RmwKind {
         match self {
             RmwKind::Add => old.wrapping_add(k),
             RmwKind::Sub => old.wrapping_sub(k),
-            RmwKind::Min => old.min(k),
-            RmwKind::Max => old.max(k),
+            RmwKind::Min => (old as i64).min(k as i64) as Value,
+            RmwKind::Max => (old as i64).max(k as i64) as Value,
             RmwKind::And => old & k,
             RmwKind::Or => old | k,
             RmwKind::Xor => old ^ k,

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod classic;
+pub mod fixtures;
 pub mod mislabeled;
 pub mod stress;
 pub mod suite;

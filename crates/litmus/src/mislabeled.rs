@@ -1,9 +1,27 @@
 //! Deliberately mislabeled variants of the Table 1 use cases. Each must
 //! be flagged by the DRFrlx programmer-centric model with a specific
 //! race kind — this is the paper's negative validation (§3.8).
+//!
+//! Like [`crate::usecases`], every variant that shares a shape with a
+//! use case instantiates the same [`drfrlx_bridge::templates`] emitter
+//! with the *wrong* knob — a class left as data, a dropped re-check, a
+//! missing lock — so the mislabeling is expressed as a one-knob diff
+//! against the correct program rather than a separate hand-written
+//! copy. `flags_ordering_through_stop` alone stays hand-built: its
+//! branch-on-poll shape exposes the relaxed machine's reordering and
+//! corresponds to no template.
 
-use drfrlx_core::program::{BinOp, Expr, Program, RmwOp};
+use drfrlx_bridge::templates::{
+    event_counter, flags as flags_t, ref_counter, seqlock, split_counter, work_queue,
+};
+use drfrlx_core::program::{Program, RmwOp};
 use drfrlx_core::OpClass;
+
+/// One template event-counter worker as its own thread.
+fn ec_worker(p: &mut Program, w: &event_counter::Worker) {
+    let mut t = p.thread();
+    event_counter::worker(&mut t, w);
+}
 
 /// Work Queue where the service thread touches the task data after only
 /// the *unpaired* poll (skipping the paired re-check, the scenario of
@@ -13,16 +31,16 @@ pub fn work_queue_no_recheck() -> Program {
     let mut p = Program::new("work_queue_no_recheck");
     {
         let mut t = p.thread();
-        t.store(OpClass::Data, "task", 42);
-        t.store(OpClass::Paired, "occupancy", 1);
+        work_queue::producer(
+            &mut t,
+            "task",
+            42,
+            &work_queue::Publish::Store(OpClass::Paired, "occupancy".into()),
+        );
     }
     {
         let mut t = p.thread();
-        let occ = t.load(OpClass::Unpaired, "occupancy");
-        t.if_nz(occ, |t| {
-            let task = t.load(OpClass::Data, "task");
-            t.observe(task);
-        });
+        work_queue::consumer(&mut t, &[(OpClass::Unpaired, "occupancy".into())], None, "task");
     }
     p.build()
 }
@@ -31,8 +49,18 @@ pub fn work_queue_no_recheck() -> Program {
 /// data race.
 pub fn event_counter_data() -> Program {
     let mut p = Program::new("event_counter_data");
-    p.thread().rmw(OpClass::Data, "bin", RmwOp::FetchAdd, 1);
-    p.thread().rmw(OpClass::Data, "bin", RmwOp::FetchAdd, 2);
+    for amount in [1, 2] {
+        ec_worker(
+            &mut p,
+            &event_counter::Worker {
+                bin_class: OpClass::Data,
+                op: RmwOp::FetchAdd,
+                amount,
+                observe: false,
+                done: None,
+            },
+        );
+    }
     p.build()
 }
 
@@ -40,12 +68,18 @@ pub fn event_counter_data() -> Program {
 /// — the commutative contract forbids using the loaded value.
 pub fn event_counter_observed() -> Program {
     let mut p = Program::new("event_counter_observed");
-    {
-        let mut t = p.thread();
-        let old = t.rmw(OpClass::Commutative, "bin", RmwOp::FetchAdd, 1);
-        t.observe(old);
+    for (amount, observe) in [(1, true), (2, false)] {
+        ec_worker(
+            &mut p,
+            &event_counter::Worker {
+                bin_class: OpClass::Commutative,
+                op: RmwOp::FetchAdd,
+                amount,
+                observe,
+                done: None,
+            },
+        );
     }
-    p.thread().rmw(OpClass::Commutative, "bin", RmwOp::FetchAdd, 2);
     p.build()
 }
 
@@ -53,8 +87,18 @@ pub fn event_counter_observed() -> Program {
 /// labels: the operations do not commute.
 pub fn event_counter_noncommuting() -> Program {
     let mut p = Program::new("event_counter_noncommuting");
-    p.thread().rmw(OpClass::Commutative, "bin", RmwOp::Exchange, 7);
-    p.thread().rmw(OpClass::Commutative, "bin", RmwOp::FetchAdd, 2);
+    for (op, amount) in [(RmwOp::Exchange, 7), (RmwOp::FetchAdd, 2)] {
+        ec_worker(
+            &mut p,
+            &event_counter::Worker {
+                bin_class: OpClass::Commutative,
+                op,
+                amount,
+                observe: false,
+                done: None,
+            },
+        );
+    }
     p.build()
 }
 
@@ -62,14 +106,17 @@ pub fn event_counter_noncommuting() -> Program {
 /// same-location commutative stores of different values do not commute.
 pub fn flags_conflicting_dirty() -> Program {
     let mut p = Program::new("flags_conflicting_dirty");
-    p.thread().store(OpClass::Commutative, "dirty", 1);
-    p.thread().store(OpClass::Commutative, "dirty", 2);
+    for value in [1, 2] {
+        let t = flags_t::dirty_only(&mut p, OpClass::Commutative, value);
+        p.push_thread(t);
+    }
     p.build()
 }
 
 /// Flags where `stop` is misused as the *only* ordering between data
 /// accesses: the non-ordering atomic now sits on the unique ordering
 /// path, which is exactly what non-ordering atomics must not do.
+/// (Hand-built: the branch-on-poll shape has no template counterpart.)
 pub fn flags_ordering_through_stop() -> Program {
     let mut p = Program::new("flags_ordering_through_stop");
     {
@@ -93,12 +140,22 @@ pub fn flags_ordering_through_stop() -> Program {
 /// Split Counter where the reader uses paired loads against quantum
 /// updates: quantum atomics may only race with quantum atomics.
 pub fn split_counter_mixed() -> Program {
+    let shape = split_counter::Shape {
+        counters: vec!["c0".into()],
+        increments: 1,
+        sweeps: 1,
+        think_between_sweeps: 0,
+        update_class: OpClass::Quantum,
+        read_class: OpClass::Paired,
+    };
     let mut p = Program::new("split_counter_mixed");
-    p.thread().rmw(OpClass::Quantum, "c0", RmwOp::FetchAdd, 1);
     {
         let mut t = p.thread();
-        let r0 = t.load(OpClass::Paired, "c0");
-        t.observe(r0);
+        split_counter::updater(&mut t, &shape, "c0");
+    }
+    {
+        let mut t = p.thread();
+        split_counter::reader(&mut t, &shape, None);
     }
     p.build()
 }
@@ -107,16 +164,18 @@ pub fn split_counter_mixed() -> Program {
 /// in the quantum-equivalent program both decrements can return 1, so
 /// the marking stores race.
 pub fn ref_counter_data_mark() -> Program {
+    let shape =
+        ref_counter::Shape { count_class: OpClass::Quantum, mark_class: OpClass::Data, think: 0 };
     let mut p = Program::new("ref_counter_data_mark");
     for tid in 0..2 {
         let mut t = p.thread();
-        t.rmw(OpClass::Quantum, "refcount", RmwOp::FetchAdd, 1);
-        let old = t.rmw(OpClass::Quantum, "refcount", RmwOp::FetchSub, 1);
-        let last = Expr::bin(BinOp::Eq, old.into(), 1.into());
-        t.if_nz(last, move |t| {
-            // Different values ⇒ plain stores that really conflict.
-            t.store(OpClass::Data, "marked", tid + 1);
-        });
+        // Different values ⇒ plain stores that really conflict.
+        let obj = [ref_counter::Obj {
+            count: "refcount".into(),
+            mark: "marked".into(),
+            mark_value: tid + 1,
+        }];
+        ref_counter::visit(&mut t, &shape, &obj);
     }
     p.build()
 }
@@ -124,22 +183,37 @@ pub fn ref_counter_data_mark() -> Program {
 /// Seqlock where the reader observes the speculative values
 /// unconditionally (ignoring the sequence check): a speculative race.
 pub fn seqlock_unconditional_use() -> Program {
+    let payloads: Vec<String> = vec!["data1".into()];
     let mut p = Program::new("seqlock_unconditional_use");
     {
         let mut t = p.thread();
-        let old = t.cas(OpClass::Paired, "seq", 0, 1);
-        let locked = Expr::bin(BinOp::Eq, old.into(), 0.into());
-        t.if_nz(locked, |t| {
-            t.store(OpClass::Speculative, "data1", 10);
-            t.store(OpClass::Paired, "seq", 2);
-        });
+        seqlock::writer(
+            &mut t,
+            &seqlock::Writer {
+                lock: true,
+                lock_class: OpClass::Paired,
+                unlock_class: OpClass::Paired,
+                payload_class: OpClass::Speculative,
+                payloads: payloads.clone(),
+                writes: 1,
+            },
+            |_, _| 10,
+        );
     }
-    {
-        let mut t = p.thread();
-        let _seq0 = t.load(OpClass::Paired, "seq");
-        let r1 = t.load(OpClass::Speculative, "data1");
-        t.observe(r1); // used without checking the sequence number
-    }
+    let reader = seqlock::reader(
+        &mut p,
+        &seqlock::Reader {
+            seq0_class: OpClass::Paired,
+            seq1_class: OpClass::Paired,
+            payload_class: OpClass::Speculative,
+            payloads,
+            reads: 1,
+            max_retries: 1,
+            // Used without checking the sequence number.
+            tail: seqlock::Tail::ObserveUnchecked,
+        },
+    );
+    p.push_thread(reader);
     p.build()
 }
 
@@ -147,8 +221,21 @@ pub fn seqlock_unconditional_use() -> Program {
 /// lock): write-write speculative race.
 pub fn seqlock_double_writer() -> Program {
     let mut p = Program::new("seqlock_double_writer");
-    p.thread().store(OpClass::Speculative, "data1", 10);
-    p.thread().store(OpClass::Speculative, "data1", 30);
+    for value in [10, 30] {
+        let mut t = p.thread();
+        seqlock::writer(
+            &mut t,
+            &seqlock::Writer {
+                lock: false,
+                lock_class: OpClass::Paired,
+                unlock_class: OpClass::Paired,
+                payload_class: OpClass::Speculative,
+                payloads: vec!["data1".into()],
+                writes: 1,
+            },
+            move |_, _| value,
+        );
+    }
     p.build()
 }
 
@@ -156,18 +243,32 @@ pub fn seqlock_double_writer() -> Program {
 /// with the main thread's store — a data race under every model.
 pub fn flags_stop_data() -> Program {
     let mut p = Program::new("flags_stop_data");
-    {
-        let mut t = p.thread();
-        let s = t.load(OpClass::Data, "stop");
-        t.observe(s);
-        t.store(OpClass::Paired, "exited", 1);
-    }
-    {
-        let mut t = p.thread();
-        t.store(OpClass::Data, "stop", 1);
-        let j = t.load(OpClass::Paired, "exited");
-        t.observe(j);
-    }
+    let worker = flags_t::worker(
+        &mut p,
+        &flags_t::Worker {
+            stop_class: OpClass::Data,
+            dirty_class: OpClass::Commutative,
+            polls: 1,
+            think: 0,
+            dirty_every: 0,
+            last_poll_works: false,
+            observe_poll: true,
+            exit: flags_t::Exit::Store(OpClass::Paired),
+        },
+    );
+    p.push_thread(worker);
+    let main = flags_t::main(
+        &mut p,
+        &flags_t::Main {
+            delay: None,
+            stop_class: OpClass::Data,
+            exited_class: OpClass::Paired,
+            join_polls: 1,
+            join_target: 1,
+            tail: flags_t::Tail::ObserveJoin,
+        },
+    );
+    p.push_thread(main);
     p.build()
 }
 
@@ -179,17 +280,17 @@ pub fn work_queue_unpublished_slot() -> Program {
     let mut p = Program::new("work_queue_unpublished_slot");
     {
         let mut t = p.thread();
-        t.store(OpClass::Data, "slot", 42);
         // Should be Paired (release); mislabeled as unpaired.
-        t.rmw(OpClass::Unpaired, "tail", RmwOp::FetchAdd, 1);
+        work_queue::producer(
+            &mut t,
+            "slot",
+            42,
+            &work_queue::Publish::Fadd(OpClass::Unpaired, "tail".into()),
+        );
     }
     {
         let mut t = p.thread();
-        let tail = t.load(OpClass::Unpaired, "tail");
-        t.if_nz(tail, |t| {
-            let v = t.load(OpClass::Data, "slot");
-            t.observe(v);
-        });
+        work_queue::consumer(&mut t, &[(OpClass::Unpaired, "tail".into())], None, "slot");
     }
     p.build()
 }
@@ -198,29 +299,37 @@ pub fn work_queue_unpublished_slot() -> Program {
 /// reader's sequence check can pass without any happens-before to the
 /// payload stores, so the observed speculative loads race.
 pub fn seqlock_relaxed_unlock() -> Program {
+    let payloads: Vec<String> = vec!["data1".into()];
     let mut p = Program::new("seqlock_relaxed_unlock");
     {
         let mut t = p.thread();
-        let old = t.cas(OpClass::Paired, "seq", 0, 1);
-        let locked = Expr::bin(BinOp::Eq, old.into(), 0.into());
-        t.if_nz(locked, |t| {
-            t.store(OpClass::Speculative, "data1", 10);
-            // Should be Paired (release); mislabeled as non-ordering.
-            t.store(OpClass::NonOrdering, "seq", 2);
-        });
+        seqlock::writer(
+            &mut t,
+            &seqlock::Writer {
+                lock: true,
+                lock_class: OpClass::Paired,
+                // Should be Paired (release); mislabeled as non-ordering.
+                unlock_class: OpClass::NonOrdering,
+                payload_class: OpClass::Speculative,
+                payloads: payloads.clone(),
+                writes: 1,
+            },
+            |_, _| 10,
+        );
     }
-    {
-        let mut t = p.thread();
-        let seq0 = t.load(OpClass::Paired, "seq");
-        let r1 = t.load(OpClass::Speculative, "data1");
-        let seq1 = t.rmw(OpClass::Paired, "seq", RmwOp::FetchAdd, 0);
-        let same = Expr::bin(BinOp::Eq, seq0.into(), seq1.into());
-        let even = Expr::bin(BinOp::Eq, Expr::bin(BinOp::And, seq0.into(), 1.into()), 0.into());
-        let ok = Expr::bin(BinOp::And, same, even);
-        t.if_nz(ok, |t| {
-            t.observe(r1);
-        });
-    }
+    let reader = seqlock::reader(
+        &mut p,
+        &seqlock::Reader {
+            seq0_class: OpClass::Paired,
+            seq1_class: OpClass::Paired,
+            payload_class: OpClass::Speculative,
+            payloads,
+            reads: 1,
+            max_retries: 1,
+            tail: seqlock::Tail::ObserveChecked,
+        },
+    );
+    p.push_thread(reader);
     p.build()
 }
 

@@ -1,7 +1,19 @@
 //! The Table 1 use cases as litmus programs, each annotated the way the
 //! paper argues is correct. Every one must be race-free under DRFrlx.
+//!
+//! Each program is a *scaled-down instantiation* of the shared shape
+//! templates in [`drfrlx_bridge::templates`] — the same emitters that,
+//! at full grid scale, produce the micro workloads the simulator runs
+//! (`crates/workloads/src/micro/`). The golden fixtures under
+//! `tests/golden_emit/` pin these instances to the historical
+//! hand-written builders instruction for instruction, so the checker,
+//! the simulator, and the conformance harness all study one source of
+//! truth.
 
-use drfrlx_core::program::{BinOp, Expr, Program, RmwOp};
+use drfrlx_bridge::templates::{
+    event_counter, flags as flags_t, ref_counter, seqlock, split_counter, work_queue,
+};
+use drfrlx_core::program::Program;
 use drfrlx_core::OpClass;
 
 /// Work Queue (Listing 1): a client enqueues a task and raises the
@@ -12,22 +24,22 @@ use drfrlx_core::OpClass;
 pub fn work_queue() -> Program {
     let mut p = Program::new("work_queue");
     {
-        // Client: publish the task, then raise occupancy.
         let mut t = p.thread();
-        t.store(OpClass::Data, "task", 42);
-        t.store(OpClass::Paired, "occupancy", 1);
+        work_queue::producer(
+            &mut t,
+            "task",
+            42,
+            &work_queue::Publish::Store(OpClass::Paired, "occupancy".into()),
+        );
     }
     {
-        // Service: cheap unpaired poll; paired re-check orders the data.
         let mut t = p.thread();
-        let occ = t.load(OpClass::Unpaired, "occupancy");
-        t.if_nz(occ, |t| {
-            let occ2 = t.load(OpClass::Paired, "occupancy");
-            t.if_nz(occ2, |t| {
-                let task = t.load(OpClass::Data, "task");
-                t.observe(task);
-            });
-        });
+        work_queue::consumer(
+            &mut t,
+            &[(OpClass::Unpaired, "occupancy".into())],
+            Some((OpClass::Paired, "occupancy".into())),
+            "task",
+        );
     }
     p.build()
 }
@@ -37,26 +49,26 @@ pub fn work_queue() -> Program {
 /// thread reads the totals only after paired join flags.
 pub fn event_counter() -> Program {
     let mut p = Program::new("event_counter");
-    {
+    for (amount, done) in [(1, "done0"), (2, "done1")] {
         let mut t = p.thread();
-        t.rmw(OpClass::Commutative, "bin", RmwOp::FetchAdd, 1);
-        t.store(OpClass::Paired, "done0", 1);
+        event_counter::worker(
+            &mut t,
+            &event_counter::Worker {
+                bin_class: OpClass::Commutative,
+                op: drfrlx_core::RmwOp::FetchAdd,
+                amount,
+                observe: false,
+                done: Some((OpClass::Paired, done.into())),
+            },
+        );
     }
     {
         let mut t = p.thread();
-        t.rmw(OpClass::Commutative, "bin", RmwOp::FetchAdd, 2);
-        t.store(OpClass::Paired, "done1", 1);
-    }
-    {
-        // Main: join on both workers, then read the counter.
-        let mut t = p.thread();
-        let d0 = t.load(OpClass::Paired, "done0");
-        let d1 = t.load(OpClass::Paired, "done1");
-        let both = Expr::bin(BinOp::And, d0.into(), d1.into());
-        t.if_nz(both, |t| {
-            let total = t.load(OpClass::Data, "bin");
-            t.observe(total);
-        });
+        event_counter::main(
+            &mut t,
+            &[(OpClass::Paired, "done0".into()), (OpClass::Paired, "done1".into())],
+            OpClass::Data,
+        );
     }
     p.build()
 }
@@ -69,25 +81,32 @@ pub fn event_counter() -> Program {
 /// flags — orders everything that must be ordered.
 pub fn flags() -> Program {
     let mut p = Program::new("flags");
-    {
-        // Worker: one unrolled poll iteration, then signal exit.
-        let mut t = p.thread();
-        let stop = t.load(OpClass::NonOrdering, "stop");
-        t.if_z(stop, |t| {
-            t.store(OpClass::Commutative, "dirty", 1);
-        });
-        t.store(OpClass::Paired, "exited", 1);
-    }
-    {
-        // Main: request stop, join, then inspect dirty.
-        let mut t = p.thread();
-        t.store(OpClass::NonOrdering, "stop", 1);
-        let joined = t.load(OpClass::Paired, "exited");
-        t.if_nz(joined, |t| {
-            let d = t.load(OpClass::NonOrdering, "dirty");
-            t.observe(d);
-        });
-    }
+    let worker = flags_t::worker(
+        &mut p,
+        &flags_t::Worker {
+            stop_class: OpClass::NonOrdering,
+            dirty_class: OpClass::Commutative,
+            polls: 1,
+            think: 0,
+            dirty_every: 1,
+            last_poll_works: true,
+            observe_poll: false,
+            exit: flags_t::Exit::Store(OpClass::Paired),
+        },
+    );
+    p.push_thread(worker);
+    let main = flags_t::main(
+        &mut p,
+        &flags_t::Main {
+            delay: None,
+            stop_class: OpClass::NonOrdering,
+            exited_class: OpClass::Paired,
+            join_polls: 1,
+            join_target: 1,
+            tail: flags_t::Tail::GuardedObserveDirty(OpClass::NonOrdering),
+        },
+    );
+    p.push_thread(main);
     p.build()
 }
 
@@ -95,15 +114,22 @@ pub fn flags() -> Program {
 /// reader sums them, all with **quantum** atomics — the reader accepts
 /// any approximate partial sum.
 pub fn split_counter() -> Program {
+    let shape = split_counter::Shape {
+        counters: vec!["c0".into(), "c1".into()],
+        increments: 1,
+        sweeps: 1,
+        think_between_sweeps: 0,
+        update_class: OpClass::Quantum,
+        read_class: OpClass::Quantum,
+    };
     let mut p = Program::new("split_counter");
-    p.thread().rmw(OpClass::Quantum, "c0", RmwOp::FetchAdd, 1);
-    p.thread().rmw(OpClass::Quantum, "c1", RmwOp::FetchAdd, 1);
+    for c in ["c0", "c1"] {
+        let mut t = p.thread();
+        split_counter::updater(&mut t, &shape, c);
+    }
     {
         let mut t = p.thread();
-        let r0 = t.load(OpClass::Quantum, "c0");
-        let r1 = t.load(OpClass::Quantum, "c1");
-        let sum = Expr::bin(BinOp::Add, r0.into(), r1.into());
-        t.observe(sum);
+        split_counter::reader(&mut t, &shape, None);
     }
     p.build()
 }
@@ -114,16 +140,17 @@ pub fn split_counter() -> Program {
 /// store (same value — the actual deletion happens after a barrier, not
 /// shown, as the paper requires).
 pub fn ref_counter() -> Program {
+    let shape = ref_counter::Shape {
+        count_class: OpClass::Quantum,
+        mark_class: OpClass::Commutative,
+        think: 0,
+    };
     let mut p = Program::new("ref_counter");
     for _ in 0..2 {
         let mut t = p.thread();
-        t.rmw(OpClass::Quantum, "refcount", RmwOp::FetchAdd, 1);
-        let old = t.rmw(OpClass::Quantum, "refcount", RmwOp::FetchSub, 1);
-        // old == 1 means this decrement dropped the count to zero.
-        let last = Expr::bin(BinOp::Eq, old.into(), 1.into());
-        t.if_nz(last, |t| {
-            t.store(OpClass::Commutative, "marked", 1);
-        });
+        let obj =
+            [ref_counter::Obj { count: "refcount".into(), mark: "marked".into(), mark_value: 1 }];
+        ref_counter::visit(&mut t, &shape, &obj);
     }
     p.build()
 }
@@ -136,25 +163,22 @@ pub fn ref_counter() -> Program {
 pub fn work_queue_multi_quantum() -> Program {
     let mut p = Program::new("work_queue_multi_quantum");
     {
-        // Client: publish one task on queue 1.
         let mut t = p.thread();
-        t.store(OpClass::Data, "task1", 42);
-        t.store(OpClass::Paired, "occ1", 1);
+        work_queue::producer(
+            &mut t,
+            "task1",
+            42,
+            &work_queue::Publish::Store(OpClass::Paired, "occ1".into()),
+        );
     }
     {
-        // Service thread: approximate polls of both queues, paired
-        // re-check before touching data.
         let mut t = p.thread();
-        let o0 = t.load(OpClass::Quantum, "occ0");
-        let o1 = t.load(OpClass::Quantum, "occ1");
-        let any = Expr::bin(BinOp::Or, o0.into(), o1.into());
-        t.if_nz(any, |t| {
-            let real = t.load(OpClass::Paired, "occ1");
-            t.if_nz(real, |t| {
-                let v = t.load(OpClass::Data, "task1");
-                t.observe(v);
-            });
-        });
+        work_queue::consumer(
+            &mut t,
+            &[(OpClass::Quantum, "occ0".into()), (OpClass::Quantum, "occ1".into())],
+            Some((OpClass::Paired, "occ1".into())),
+            "task1",
+        );
     }
     p.build()
 }
@@ -166,35 +190,36 @@ pub fn work_queue_multi_quantum() -> Program {
 /// (`fetch_add 0`), and uses the values only when the sequence numbers
 /// match and are even.
 pub fn seqlock() -> Program {
+    let payloads: Vec<String> = vec!["data1".into(), "data2".into()];
     let mut p = Program::new("seqlock");
     {
-        // Writer.
         let mut t = p.thread();
-        let old = t.cas(OpClass::Paired, "seq", 0, 1);
-        let locked = Expr::bin(BinOp::Eq, old.into(), 0.into());
-        t.if_nz(locked, |t| {
-            t.store(OpClass::Speculative, "data1", 10);
-            t.store(OpClass::Speculative, "data2", 20);
-            t.store(OpClass::Paired, "seq", 2);
-        });
+        seqlock::writer(
+            &mut t,
+            &seqlock::Writer {
+                lock: true,
+                lock_class: OpClass::Paired,
+                unlock_class: OpClass::Paired,
+                payload_class: OpClass::Speculative,
+                payloads: payloads.clone(),
+                writes: 1,
+            },
+            |_, i| (10 * (i + 1)) as i64,
+        );
     }
-    {
-        // Reader.
-        let mut t = p.thread();
-        let seq0 = t.load(OpClass::Paired, "seq");
-        let r1 = t.load(OpClass::Speculative, "data1");
-        let r2 = t.load(OpClass::Speculative, "data2");
-        // "read-don't-modify-write": fetch_add(0) gives the read release
-        // ordering (paper footnote 7 / Boehm 2012).
-        let seq1 = t.rmw(OpClass::Paired, "seq", RmwOp::FetchAdd, 0);
-        let same = Expr::bin(BinOp::Eq, seq0.into(), seq1.into());
-        let even = Expr::bin(BinOp::Eq, Expr::bin(BinOp::And, seq0.into(), 1.into()), 0.into());
-        let ok = Expr::bin(BinOp::And, same, even);
-        t.if_nz(ok, |t| {
-            t.observe(r1);
-            t.observe(r2);
-        });
-    }
+    let reader = seqlock::reader(
+        &mut p,
+        &seqlock::Reader {
+            seq0_class: OpClass::Paired,
+            seq1_class: OpClass::Paired,
+            payload_class: OpClass::Speculative,
+            payloads,
+            reads: 1,
+            max_retries: 1,
+            tail: seqlock::Tail::ObserveChecked,
+        },
+    );
+    p.push_thread(reader);
     p.build()
 }
 

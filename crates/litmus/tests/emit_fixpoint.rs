@@ -1,0 +1,15 @@
+//! Corpus-wide emit→parse fixpoint and golden emitted-text check.
+//!
+//! The fixtures under `tests/golden_emit/` were captured from the
+//! hand-written litmus builders before the template rewiring; this test
+//! is the proof that the `drfrlx_bridge::templates` instantiations are
+//! instruction-identical to them (see `crate::fixtures`).
+
+use drfrlx_litmus::fixtures::{assert_fixture, fixture_tests};
+
+#[test]
+fn every_corpus_program_emits_its_golden_fixture_and_round_trips() {
+    for t in fixture_tests() {
+        assert_fixture(&t);
+    }
+}

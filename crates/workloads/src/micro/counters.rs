@@ -1,8 +1,20 @@
 //! Split Counter and Reference Counter microbenchmarks (the quantum
 //! use cases, §3.4, Listings 4 and 5).
+//!
+//! Both kernels are grid instantiations of the shared program templates
+//! in [`drfrlx_bridge::templates`]: the same `split_counter` and
+//! `ref_counter` emitters also produce the scaled-down litmus programs
+//! the axiomatic checkers enumerate, so the quantum-counter logic lives
+//! in exactly one place. Here the templates are stamped out at full
+//! scale and lowered with [`ProgramKernel::grid`], which places each
+//! counter on its own cache line and infers `use_result` per RMW from
+//! register liveness.
 
+use drfrlx_bridge::templates::{ref_counter, split_counter};
+use drfrlx_bridge::ProgramKernel;
+use drfrlx_core::program::Program;
 use drfrlx_core::OpClass;
-use hsim_gpu::{Kernel, Op, RmwKind, Value, WorkItem};
+use hsim_gpu::{Kernel, Value, WorkItem};
 
 // ---------------------------------------------------------------------
 // SplitCounter (SC): per-block counters, concurrent approximate readers.
@@ -23,97 +35,71 @@ pub struct SplitCounter {
     pub increments: usize,
     /// Read sweeps per reader.
     pub sweeps: usize,
+    kernel: ProgramKernel,
+}
+
+impl SplitCounter {
+    /// Build the kernel: the `split_counter` template instantiated at
+    /// grid scale (blocks × tpb threads, counter `c{b}` and reader
+    /// output `out{b}` each padded to a cache line).
+    pub fn new(blocks: usize, tpb: usize, increments: usize, sweeps: usize) -> SplitCounter {
+        let shape = split_counter::Shape {
+            counters: (0..blocks).map(|b| format!("c{b}")).collect(),
+            increments,
+            sweeps,
+            think_between_sweeps: 8,
+            update_class: OpClass::Quantum,
+            read_class: OpClass::Quantum,
+        };
+        let mut p = Program::new("SC");
+        for block in 0..blocks {
+            for thread in 0..tpb {
+                let mut t = p.thread();
+                if thread == 0 {
+                    split_counter::reader(&mut t, &shape, Some(&format!("out{block}")));
+                } else {
+                    split_counter::updater(&mut t, &shape, &format!("c{block}"));
+                }
+            }
+        }
+        let p = p.build();
+        // line-padded counters | line-padded reader outputs
+        let memory = 16 * (blocks + blocks);
+        let kernel = ProgramKernel::grid(&p, tpb, memory, 0, |n| {
+            if let Some(b) = n.strip_prefix("out") {
+                16 * (blocks + b.parse::<usize>().unwrap()) as u64
+            } else {
+                16 * n.strip_prefix('c').unwrap().parse::<u64>().unwrap()
+            }
+        });
+        SplitCounter { blocks, tpb, increments, sweeps, kernel }
+    }
 }
 
 impl Default for SplitCounter {
     fn default() -> Self {
-        SplitCounter { blocks: 14, tpb: 12, increments: 256, sweeps: 2 }
-    }
-}
-
-struct ScUpdater {
-    counter: u64,
-    left: usize,
-}
-
-impl WorkItem for ScUpdater {
-    fn next(&mut self, _last: Option<Value>) -> Op {
-        if self.left == 0 {
-            return Op::Done;
-        }
-        self.left -= 1;
-        Op::Rmw {
-            addr: self.counter,
-            rmw: RmwKind::Add,
-            operand: 1,
-            class: OpClass::Quantum,
-            use_result: false,
-        }
-    }
-}
-
-struct ScReader {
-    counters: u64,
-    i: u64,
-    sweeps_left: usize,
-    sum: Value,
-    out: u64,
-    stored: bool,
-}
-
-impl WorkItem for ScReader {
-    fn next(&mut self, last: Option<Value>) -> Op {
-        if let Some(v) = last {
-            self.sum = self.sum.wrapping_add(v);
-        }
-        if self.i < self.counters {
-            let addr = 16 * self.i;
-            self.i += 1;
-            return Op::Load { addr, class: OpClass::Quantum };
-        }
-        if self.sweeps_left > 1 {
-            // Start a fresh partial sum for the next sweep.
-            self.sweeps_left -= 1;
-            self.i = 0;
-            self.sum = 0;
-            return Op::Think(8);
-        }
-        if !self.stored {
-            self.stored = true;
-            // Publish the (approximate) sum — plain data, per-thread slot.
-            return Op::Store { addr: self.out, value: self.sum, class: OpClass::Data };
-        }
-        Op::Done
+        SplitCounter::new(14, 12, 256, 2)
     }
 }
 
 impl Kernel for SplitCounter {
     fn name(&self) -> String {
-        "SC".into()
+        self.kernel.name()
     }
     fn blocks(&self) -> usize {
-        self.blocks
+        self.kernel.blocks()
     }
     fn threads_per_block(&self) -> usize {
-        self.tpb
+        self.kernel.threads_per_block()
     }
     fn memory_words(&self) -> usize {
-        // line-padded counters | line-padded reader outputs
-        16 * (self.blocks + self.blocks)
+        self.kernel.memory_words()
+    }
+    fn init_memory(&self, mem: &mut [Value]) {
+        self.kernel.init_memory(mem);
     }
     fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
-        if thread == 0 {
-            Box::new(ScReader {
-                counters: self.blocks as u64,
-                i: 0,
-                sweeps_left: self.sweeps,
-                sum: 0,
-                out: (16 * (self.blocks + block)) as u64,
-                stored: false,
-            })
-        } else {
-            Box::new(ScUpdater { counter: (16 * block) as u64, left: self.increments })
-        }
+        self.kernel.item(block, thread)
     }
     fn validate(&self, mem: &[Value]) -> Result<(), String> {
         // Exact final counters (quantum relaxes ordering, not atomicity).
@@ -153,161 +139,81 @@ pub struct RefCounter {
     pub objects: usize,
     /// Objects visited per thread.
     pub visits: usize,
+    kernel: ProgramKernel,
+}
+
+impl RefCounter {
+    /// Build the kernel: `visits` unrolled `ref_counter::visit`s per
+    /// thread, each touching a pair of neighbouring objects (Listing
+    /// 5's refcount1/refcount2) before advancing one object.
+    pub fn new(blocks: usize, tpb: usize, objects: usize, visits: usize) -> RefCounter {
+        let shape = ref_counter::Shape {
+            count_class: OpClass::Quantum,
+            mark_class: OpClass::Commutative,
+            think: 4,
+        };
+        let obj_pair = |o: usize| {
+            let b = (o + 1) % objects;
+            [
+                ref_counter::Obj { count: format!("c{o}"), mark: format!("m{o}"), mark_value: 1 },
+                ref_counter::Obj { count: format!("c{b}"), mark: format!("m{b}"), mark_value: 1 },
+            ]
+        };
+        let mut p = Program::new("RC");
+        for block in 0..blocks {
+            for thread in 0..tpb {
+                // Each block mostly works a contiguous slice of the
+                // object pool (objects belong to a worker's arena);
+                // slices of neighbouring blocks overlap so cross-CU
+                // sharing still occurs.
+                let per_block = (objects / blocks).max(1);
+                let id = block * tpb + thread;
+                let mut obj = (block * per_block + id % (per_block + 1)) % objects;
+                let mut t = p.thread();
+                for _ in 0..visits {
+                    ref_counter::visit(&mut t, &shape, &obj_pair(obj));
+                    obj = (obj + 1) % objects;
+                }
+            }
+        }
+        let p = p.build();
+        // Each object is line-padded: refcount in the first word, the
+        // deletion mark in the second.
+        let kernel = ProgramKernel::grid(&p, tpb, 16 * objects, 0, |n| {
+            let o: u64 = n[1..].parse().unwrap();
+            match n.as_bytes()[0] {
+                b'c' => 16 * o,
+                _ => 16 * o + 1,
+            }
+        });
+        RefCounter { blocks, tpb, objects, visits, kernel }
+    }
 }
 
 impl Default for RefCounter {
     fn default() -> Self {
-        RefCounter { blocks: 15, tpb: 16, objects: 60, visits: 16 }
-    }
-}
-
-enum RcPhase {
-    /// Increment both refcounts (Listing 5: refcount1 then refcount2,
-    /// back-to-back — the overlap opportunity for relaxed atomics).
-    IncA,
-    IncB,
-    Work,
-    DecA,
-    MaybeMarkA,
-    DecB,
-    MaybeMarkB,
-    Advance,
-}
-
-struct RcItem {
-    objects: u64,
-    visits_left: usize,
-    obj: u64,
-    obj_b: u64,
-    stride: u64,
-    phase: RcPhase,
-}
-
-impl RcItem {
-    // Each object is line-padded: refcount in the first word, the
-    // deletion mark in the second.
-    fn count_addr(&self, obj: u64) -> u64 {
-        16 * obj
-    }
-    fn mark_addr(&self, obj: u64) -> u64 {
-        16 * obj + 1
-    }
-}
-
-impl WorkItem for RcItem {
-    fn next(&mut self, last: Option<Value>) -> Op {
-        loop {
-            match self.phase {
-                RcPhase::IncA => {
-                    if self.visits_left == 0 {
-                        return Op::Done;
-                    }
-                    self.phase = RcPhase::IncB;
-                    return Op::Rmw {
-                        addr: self.count_addr(self.obj),
-                        rmw: RmwKind::Add,
-                        operand: 1,
-                        class: OpClass::Quantum,
-                        use_result: false,
-                    };
-                }
-                RcPhase::IncB => {
-                    self.phase = RcPhase::Work;
-                    return Op::Rmw {
-                        addr: self.count_addr(self.obj_b),
-                        rmw: RmwKind::Add,
-                        operand: 1,
-                        class: OpClass::Quantum,
-                        use_result: false,
-                    };
-                }
-                RcPhase::Work => {
-                    self.phase = RcPhase::DecA;
-                    return Op::Think(4);
-                }
-                RcPhase::DecA => {
-                    self.phase = RcPhase::MaybeMarkA;
-                    return Op::Rmw {
-                        addr: self.count_addr(self.obj),
-                        rmw: RmwKind::Sub,
-                        operand: 1,
-                        class: OpClass::Quantum,
-                        use_result: true,
-                    };
-                }
-                RcPhase::MaybeMarkA => {
-                    let old = last.unwrap_or(0);
-                    self.phase = RcPhase::DecB;
-                    if old == 1 {
-                        // Dropped to zero: mark for deletion (same
-                        // value from every thread — commutative).
-                        return Op::Store {
-                            addr: self.mark_addr(self.obj),
-                            value: 1,
-                            class: OpClass::Commutative,
-                        };
-                    }
-                }
-                RcPhase::DecB => {
-                    self.phase = RcPhase::MaybeMarkB;
-                    return Op::Rmw {
-                        addr: self.count_addr(self.obj_b),
-                        rmw: RmwKind::Sub,
-                        operand: 1,
-                        class: OpClass::Quantum,
-                        use_result: true,
-                    };
-                }
-                RcPhase::MaybeMarkB => {
-                    let old = last.unwrap_or(0);
-                    self.phase = RcPhase::Advance;
-                    if old == 1 {
-                        return Op::Store {
-                            addr: self.mark_addr(self.obj_b),
-                            value: 1,
-                            class: OpClass::Commutative,
-                        };
-                    }
-                }
-                RcPhase::Advance => {
-                    self.visits_left -= 1;
-                    self.obj = (self.obj + self.stride) % self.objects;
-                    self.obj_b = (self.obj + 1) % self.objects;
-                    self.phase = RcPhase::IncA;
-                }
-            }
-        }
+        RefCounter::new(15, 16, 60, 16)
     }
 }
 
 impl Kernel for RefCounter {
     fn name(&self) -> String {
-        "RC".into()
+        self.kernel.name()
     }
     fn blocks(&self) -> usize {
-        self.blocks
+        self.kernel.blocks()
     }
     fn threads_per_block(&self) -> usize {
-        self.tpb
+        self.kernel.threads_per_block()
     }
     fn memory_words(&self) -> usize {
-        16 * self.objects
+        self.kernel.memory_words()
+    }
+    fn init_memory(&self, mem: &mut [Value]) {
+        self.kernel.init_memory(mem);
     }
     fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
-        // Each block mostly works a contiguous slice of the object pool
-        // (objects belong to a worker's arena); slices of neighbouring
-        // blocks overlap so cross-CU sharing still occurs.
-        let per_block = (self.objects / self.blocks).max(1) as u64;
-        let id = (block * self.tpb + thread) as u64;
-        let obj = (block as u64 * per_block + id % (per_block + 1)) % self.objects as u64;
-        Box::new(RcItem {
-            objects: self.objects as u64,
-            visits_left: self.visits,
-            obj,
-            obj_b: (obj + 1) % self.objects as u64,
-            stride: 1,
-            phase: RcPhase::IncA,
-        })
+        self.kernel.item(block, thread)
     }
     fn validate(&self, mem: &[Value]) -> Result<(), String> {
         // All references dropped: every count is zero again.
@@ -335,7 +241,7 @@ mod tests {
 
     #[test]
     fn split_counter_valid_on_every_config() {
-        let k = SplitCounter { blocks: 4, tpb: 4, increments: 8, sweeps: 2 };
+        let k = SplitCounter::new(4, 4, 8, 2);
         let params = SysParams::integrated();
         for cfg in SystemConfig::all() {
             let r = run_workload(&k, cfg, &params);
@@ -345,7 +251,7 @@ mod tests {
 
     #[test]
     fn ref_counter_valid_on_every_config() {
-        let k = RefCounter { blocks: 4, tpb: 4, objects: 8, visits: 6 };
+        let k = RefCounter::new(4, 4, 8, 6);
         let params = SysParams::integrated();
         for cfg in SystemConfig::all() {
             let r = run_workload(&k, cfg, &params);

@@ -4,9 +4,21 @@
 //! with commutative stores; the main thread (block 0, thread 0) raises
 //! `stop`, joins the workers through a paired exit counter, then reads
 //! `dirty` with a non-ordering load.
+//!
+//! Both thread shapes come from the shared `flags` template in
+//! [`drfrlx_bridge::templates`] — the same emitter, at single-poll
+//! scale, produces the litmus use-case the axiomatic checkers
+//! enumerate. The worker's poll loop and main's join loop are unrolled
+//! forward with every exit test jumping to the loop's end, so a stopped
+//! worker issues no further memory operations; the program carries one
+//! worker body and one main body, replicated over the grid by
+//! [`ProgramKernel::grid_with_layout`].
 
+use drfrlx_bridge::templates::flags;
+use drfrlx_bridge::ProgramKernel;
+use drfrlx_core::program::Program;
 use drfrlx_core::OpClass;
-use hsim_gpu::{Kernel, Op, RmwKind, Value, WorkItem};
+use hsim_gpu::{Kernel, Value, WorkItem};
 
 const STOP: u64 = 0;
 const DIRTY: u64 = 1;
@@ -24,152 +36,79 @@ pub struct Flags {
     /// Upper bound on worker poll iterations (deterministic exit even
     /// if `stop` propagates late).
     pub max_polls: usize,
+    kernel: ProgramKernel,
+}
+
+impl Flags {
+    /// Build the kernel from the `flags` template: one main thread,
+    /// `blocks * tpb - 1` workers sharing a single unrolled body.
+    pub fn new(blocks: usize, tpb: usize, main_delay: usize, max_polls: usize) -> Flags {
+        let mut p = Program::new("Flags");
+        let main = flags::main(
+            &mut p,
+            &flags::Main {
+                delay: Some(main_delay as u32),
+                stop_class: OpClass::NonOrdering,
+                exited_class: OpClass::Paired,
+                // Comfortably above the worst-case worker runtime (each
+                // worker iteration spans at least one main join poll);
+                // the differential suite pins the resulting op stream
+                // against the retired state-machine implementation.
+                join_polls: 4 * max_polls + 64,
+                join_target: (blocks * tpb - 1) as drfrlx_core::program::Value,
+                tail: flags::Tail::PublishDirty(OpClass::NonOrdering),
+            },
+        );
+        let worker = flags::worker(
+            &mut p,
+            &flags::Worker {
+                stop_class: OpClass::NonOrdering,
+                dirty_class: OpClass::Commutative,
+                polls: max_polls,
+                think: 2,
+                dirty_every: 4,
+                last_poll_works: false,
+                observe_poll: false,
+                exit: flags::Exit::Fadd(OpClass::Paired),
+            },
+        );
+        p.push_thread(main);
+        p.push_thread(worker);
+        let p = p.build();
+        let layout: Vec<usize> = (0..blocks * tpb).map(|i| usize::from(i != 0)).collect();
+        let kernel = ProgramKernel::grid_with_layout(&p, &layout, tpb, 3, 0, |n| match n {
+            "stop" => STOP,
+            "dirty" => DIRTY,
+            _ => EXITED,
+        });
+        Flags { blocks, tpb, main_delay, max_polls, kernel }
+    }
 }
 
 impl Default for Flags {
     fn default() -> Self {
-        Flags { blocks: 15, tpb: 16, main_delay: 64, max_polls: 600 }
-    }
-}
-
-enum WorkerPhase {
-    Poll,
-    AfterPoll,
-    Work,
-    MaybeDirty,
-    Exit,
-    Done,
-}
-
-struct Worker {
-    polls: usize,
-    max_polls: usize,
-    phase: WorkerPhase,
-}
-
-impl WorkItem for Worker {
-    fn next(&mut self, last: Option<Value>) -> Op {
-        loop {
-            match self.phase {
-                WorkerPhase::Poll => {
-                    self.phase = WorkerPhase::AfterPoll;
-                    return Op::Load { addr: STOP, class: OpClass::NonOrdering };
-                }
-                WorkerPhase::AfterPoll => {
-                    let stop = last.unwrap_or(0);
-                    self.polls += 1;
-                    if stop != 0 || self.polls >= self.max_polls {
-                        self.phase = WorkerPhase::Exit;
-                        continue;
-                    }
-                    self.phase = WorkerPhase::Work;
-                }
-                WorkerPhase::Work => {
-                    self.phase = WorkerPhase::MaybeDirty;
-                    return Op::Think(2);
-                }
-                WorkerPhase::MaybeDirty => {
-                    self.phase = WorkerPhase::Poll;
-                    // Every fourth iteration touches something that
-                    // needs cleanup.
-                    if self.polls.is_multiple_of(4) {
-                        return Op::Store { addr: DIRTY, value: 1, class: OpClass::Commutative };
-                    }
-                }
-                WorkerPhase::Exit => {
-                    self.phase = WorkerPhase::Done;
-                    return Op::Rmw {
-                        addr: EXITED,
-                        rmw: RmwKind::Add,
-                        operand: 1,
-                        class: OpClass::Paired,
-                        use_result: false,
-                    };
-                }
-                WorkerPhase::Done => return Op::Done,
-            }
-        }
-    }
-}
-
-enum MainPhase {
-    Delay,
-    RaiseStop,
-    Join,
-    AfterJoin,
-    ReadDirty,
-    Publish,
-    Done,
-}
-
-struct MainThread {
-    workers: Value,
-    delay: usize,
-    phase: MainPhase,
-}
-
-impl WorkItem for MainThread {
-    fn next(&mut self, last: Option<Value>) -> Op {
-        loop {
-            match self.phase {
-                MainPhase::Delay => {
-                    self.phase = MainPhase::RaiseStop;
-                    return Op::Think(self.delay as u32);
-                }
-                MainPhase::RaiseStop => {
-                    self.phase = MainPhase::Join;
-                    return Op::Store { addr: STOP, value: 1, class: OpClass::NonOrdering };
-                }
-                MainPhase::Join => {
-                    self.phase = MainPhase::AfterJoin;
-                    return Op::Load { addr: EXITED, class: OpClass::Paired };
-                }
-                MainPhase::AfterJoin => {
-                    if last.unwrap_or(0) < self.workers {
-                        self.phase = MainPhase::Join;
-                        continue;
-                    }
-                    self.phase = MainPhase::ReadDirty;
-                }
-                MainPhase::ReadDirty => {
-                    self.phase = MainPhase::Publish;
-                    return Op::Load { addr: DIRTY, class: OpClass::NonOrdering };
-                }
-                MainPhase::Publish => {
-                    let dirty = last.unwrap_or(0);
-                    self.phase = MainPhase::Done;
-                    // "cleanup_dirty_stuff": record that we saw it.
-                    return Op::Store { addr: DIRTY, value: dirty + 10, class: OpClass::Data };
-                }
-                MainPhase::Done => return Op::Done,
-            }
-        }
+        Flags::new(15, 16, 64, 600)
     }
 }
 
 impl Kernel for Flags {
     fn name(&self) -> String {
-        "Flags".into()
+        self.kernel.name()
     }
     fn blocks(&self) -> usize {
-        self.blocks
+        self.kernel.blocks()
     }
     fn threads_per_block(&self) -> usize {
-        self.tpb
+        self.kernel.threads_per_block()
     }
     fn memory_words(&self) -> usize {
-        3
+        self.kernel.memory_words()
+    }
+    fn init_memory(&self, mem: &mut [Value]) {
+        self.kernel.init_memory(mem);
     }
     fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
-        if block == 0 && thread == 0 {
-            Box::new(MainThread {
-                workers: (self.blocks * self.tpb - 1) as Value,
-                delay: self.main_delay,
-                phase: MainPhase::Delay,
-            })
-        } else {
-            Box::new(Worker { polls: 0, max_polls: self.max_polls, phase: WorkerPhase::Poll })
-        }
+        self.kernel.item(block, thread)
     }
     fn validate(&self, mem: &[Value]) -> Result<(), String> {
         if mem[STOP as usize] != 1 {
@@ -192,7 +131,7 @@ mod tests {
 
     #[test]
     fn flags_valid_on_every_config() {
-        let k = Flags { blocks: 4, tpb: 4, main_delay: 8, max_polls: 200 };
+        let k = Flags::new(4, 4, 8, 200);
         let params = SysParams::integrated();
         for cfg in SystemConfig::all() {
             let r = run_workload(&k, cfg, &params);
@@ -204,7 +143,7 @@ mod tests {
     fn workers_terminate_via_stop_not_poll_cap() {
         // With a long cap and a short delay, workers should exit from
         // seeing the stop flag well before the cap.
-        let k = Flags { blocks: 2, tpb: 4, main_delay: 4, max_polls: 100_000 };
+        let k = Flags::new(2, 4, 4, 100_000);
         let params = SysParams::integrated();
         let r = run_workload(&k, SystemConfig::from_abbrev("GD0").unwrap(), &params);
         k.validate(&r.memory).unwrap();

@@ -11,10 +11,20 @@
 //!   (the update portion is excluded, §4.4). Under DeNovo, atomic
 //!   loads take ownership, so bins ping-pong between L1s — the case
 //!   where DD0 loses to GD0 in Figure 3.
+//!
+//! All three are instantiations of the `hist` templates in
+//! [`drfrlx_bridge::templates`] (the scratch/barrier/merge shape, the
+//! global-RMW shape, the non-ordering read walk), lowered through
+//! [`ProgramKernel::grid`]. The per-value bin assignment stays here —
+//! the templates take it as a closure — so the kernels share their
+//! `expected()` oracle with the emitted programs by construction.
 
 use crate::util::SplitMix64;
+use drfrlx_bridge::templates::hist;
+use drfrlx_bridge::ProgramKernel;
+use drfrlx_core::program::Program;
 use drfrlx_core::OpClass;
-use hsim_gpu::{Kernel, Op, RmwKind, Value, WorkItem};
+use hsim_gpu::{Kernel, Value, WorkItem};
 
 /// Memory map: `[0, bins)` = global histogram; `[bins, ...)` = input
 /// values.
@@ -51,6 +61,19 @@ impl Default for HistParams {
 }
 
 impl HistParams {
+    /// Bin addressing for the templates: global bin `b{n}` at word `n`,
+    /// input value `i{k}` at word `bins + k`.
+    fn addr_of(&self) -> impl Fn(&str) -> u64 {
+        let bins = self.bins;
+        move |n: &str| {
+            if let Some(b) = n.strip_prefix('b') {
+                b.parse().unwrap()
+            } else {
+                input_base(bins) + n[1..].parse::<u64>().unwrap()
+            }
+        }
+    }
+
     fn expected(&self) -> Vec<Value> {
         let mut bins = vec![0; self.bins];
         for b in 0..self.blocks {
@@ -79,125 +102,70 @@ impl HistParams {
 // ---------------------------------------------------------------------
 
 /// The locally-binned histogram.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Hist {
     /// Shape parameters.
     pub params: HistParams,
+    kernel: ProgramKernel,
 }
 
-enum HistPhase {
-    /// Reading input value `i` (load issued, waiting result).
-    Read(usize),
-    /// Scratch-increment for the value just loaded: (index, bin).
-    BinLoad(usize, Value),
-    BinStore(usize, Value),
-    /// Block barrier before the cooperative merge.
-    PreMerge,
-    /// Cooperative merge (Podlozhnyuk): this thread owns bins
-    /// `thread, thread + tpb, ...`; sum the per-thread sub-histograms
-    /// for bin `b`: (bin, contributing thread, accumulator).
-    MergeSum(usize, usize, Value),
-    Done,
-}
-
-struct HistItem {
-    p: HistParams,
-    block: usize,
-    thread: usize,
-    phase: HistPhase,
-}
-
-impl HistItem {
-    /// Each thread bins into a private scratch region (as the paper's
-    /// per-thread local binning does) so scratch updates never race.
-    fn scratch_bin(&self, bin: Value) -> u64 {
-        (self.thread * self.p.bins) as u64 + bin
+impl Hist {
+    /// Build the kernel: each thread bins into a private scratch region
+    /// (as the paper's per-thread local binning does) so scratch updates
+    /// never race; after the block barrier, thread `t` merges bins
+    /// `t, t + tpb, ...` with one commutative add per non-empty bin.
+    pub fn new(params: HistParams) -> Hist {
+        let shape = hist::Shape {
+            bins: params.bins,
+            per_thread: params.per_thread,
+            tpb: params.tpb,
+            merge_class: OpClass::Commutative,
+        };
+        let seed = params.seed;
+        let bins = params.bins;
+        let bin_of = move |b: usize, t: usize, i: usize| input_of(seed, b, t, i, bins) as usize;
+        let mut p = Program::new("H");
+        for block in 0..params.blocks {
+            for thread in 0..params.tpb {
+                let t = hist::local_thread(&mut p, &shape, block, thread, &bin_of);
+                p.push_thread(t);
+            }
+        }
+        let p = p.build();
+        let memory = params.bins + params.blocks * params.tpb * params.per_thread;
+        let scratch = params.tpb * params.bins;
+        let kernel = ProgramKernel::grid(&p, params.tpb, memory, scratch, params.addr_of());
+        Hist { params, kernel }
     }
 }
 
-impl WorkItem for HistItem {
-    fn next(&mut self, last: Option<Value>) -> Op {
-        loop {
-            match self.phase {
-                HistPhase::Read(i) => {
-                    if i >= self.p.per_thread {
-                        self.phase = HistPhase::PreMerge;
-                        continue;
-                    }
-                    // The input load: address derived from the value
-                    // stream (input array is bins..bins+stream).
-                    self.phase = HistPhase::BinLoad(
-                        i,
-                        input_of(self.p.seed, self.block, self.thread, i, self.p.bins),
-                    );
-                    let addr = input_base(self.p.bins)
-                        + ((self.block * self.p.tpb + self.thread) * self.p.per_thread + i) as u64;
-                    return Op::Load { addr, class: OpClass::Data };
-                }
-                HistPhase::BinLoad(i, bin) => {
-                    // last = raw input (ignored; bin precomputed
-                    // deterministically). Read the scratch counter.
-                    let _ = last;
-                    self.phase = HistPhase::BinStore(i, bin);
-                    return Op::ScratchLoad { addr: self.scratch_bin(bin) };
-                }
-                HistPhase::BinStore(i, bin) => {
-                    let count = last.unwrap_or(0);
-                    self.phase = HistPhase::Read(i + 1);
-                    return Op::ScratchStore { addr: self.scratch_bin(bin), value: count + 1 };
-                }
-                HistPhase::PreMerge => {
-                    self.phase = HistPhase::MergeSum(self.thread, 0, 0);
-                    return Op::Barrier;
-                }
-                HistPhase::MergeSum(b, t, acc) => {
-                    if b >= self.p.bins {
-                        self.phase = HistPhase::Done;
-                        continue;
-                    }
-                    let acc = acc + last.filter(|_| t > 0).unwrap_or(0);
-                    if t < self.p.tpb {
-                        // Read thread t's sub-count for bin b.
-                        self.phase = HistPhase::MergeSum(b, t + 1, acc);
-                        return Op::ScratchLoad { addr: (t * self.p.bins + b) as u64 };
-                    }
-                    // One commutative add per (block, bin).
-                    self.phase = HistPhase::MergeSum(b + self.p.tpb, 0, 0);
-                    if acc == 0 {
-                        continue;
-                    }
-                    return Op::Rmw {
-                        addr: b as u64,
-                        rmw: RmwKind::Add,
-                        operand: acc,
-                        class: OpClass::Commutative,
-                        use_result: false,
-                    };
-                }
-                HistPhase::Done => return Op::Done,
-            }
-        }
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new(HistParams::default())
     }
 }
 
 impl Kernel for Hist {
     fn name(&self) -> String {
-        "H".into()
+        self.kernel.name()
     }
     fn blocks(&self) -> usize {
-        self.params.blocks
+        self.kernel.blocks()
     }
     fn threads_per_block(&self) -> usize {
-        self.params.tpb
+        self.kernel.threads_per_block()
     }
     fn scratch_words(&self) -> usize {
-        self.params.tpb * self.params.bins
+        self.kernel.scratch_words()
     }
     fn memory_words(&self) -> usize {
-        self.params.bins + self.params.blocks * self.params.tpb * self.params.per_thread
+        self.kernel.memory_words()
+    }
+    fn init_memory(&self, mem: &mut [Value]) {
+        self.kernel.init_memory(mem);
     }
     fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
-        Box::new(HistItem { p: self.params.clone(), block, thread, phase: HistPhase::Read(0) })
+        self.kernel.item(block, thread)
     }
     fn validate(&self, mem: &[Value]) -> Result<(), String> {
         self.params.validate_bins(mem)
@@ -218,63 +186,60 @@ pub struct HistGlobal {
     /// an increment has nothing to acquire, so the release-only RMW
     /// keeps the input lines in the L1).
     pub update_class: OpClass,
+    kernel: ProgramKernel,
+}
+
+impl HistGlobal {
+    /// Build the kernel: one `update_class` fetch-add straight to the
+    /// global bin per value.
+    pub fn new(params: HistParams, update_class: OpClass) -> HistGlobal {
+        let shape = hist::Shape {
+            bins: params.bins,
+            per_thread: params.per_thread,
+            tpb: params.tpb,
+            merge_class: update_class,
+        };
+        let seed = params.seed;
+        let bins = params.bins;
+        let bin_of = move |b: usize, t: usize, i: usize| input_of(seed, b, t, i, bins) as usize;
+        let mut p = Program::new("HG");
+        for block in 0..params.blocks {
+            for thread in 0..params.tpb {
+                let t = hist::global_thread(&mut p, &shape, block, thread, update_class, &bin_of);
+                p.push_thread(t);
+            }
+        }
+        let p = p.build();
+        let memory = params.bins + params.blocks * params.tpb * params.per_thread;
+        let kernel = ProgramKernel::grid(&p, params.tpb, memory, 0, params.addr_of());
+        HistGlobal { params, update_class, kernel }
+    }
 }
 
 impl Default for HistGlobal {
     fn default() -> Self {
-        HistGlobal { params: HistParams::default(), update_class: OpClass::Commutative }
-    }
-}
-
-struct HgItem {
-    p: HistParams,
-    class: OpClass,
-    block: usize,
-    thread: usize,
-    i: usize,
-    loaded: bool,
-}
-
-impl WorkItem for HgItem {
-    fn next(&mut self, _last: Option<Value>) -> Op {
-        if self.i >= self.p.per_thread {
-            return Op::Done;
-        }
-        if !self.loaded {
-            self.loaded = true;
-            let addr = input_base(self.p.bins)
-                + ((self.block * self.p.tpb + self.thread) * self.p.per_thread + self.i) as u64;
-            return Op::Load { addr, class: OpClass::Data };
-        }
-        let bin = input_of(self.p.seed, self.block, self.thread, self.i, self.p.bins);
-        self.i += 1;
-        self.loaded = false;
-        Op::Rmw { addr: bin, rmw: RmwKind::Add, operand: 1, class: self.class, use_result: false }
+        HistGlobal::new(HistParams::default(), OpClass::Commutative)
     }
 }
 
 impl Kernel for HistGlobal {
     fn name(&self) -> String {
-        "HG".into()
+        self.kernel.name()
     }
     fn blocks(&self) -> usize {
-        self.params.blocks
+        self.kernel.blocks()
     }
     fn threads_per_block(&self) -> usize {
-        self.params.tpb
+        self.kernel.threads_per_block()
     }
     fn memory_words(&self) -> usize {
-        self.params.bins + self.params.blocks * self.params.tpb * self.params.per_thread
+        self.kernel.memory_words()
+    }
+    fn init_memory(&self, mem: &mut [Value]) {
+        self.kernel.init_memory(mem);
     }
     fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
-        Box::new(HgItem {
-            p: self.params.clone(),
-            class: self.update_class,
-            block,
-            thread,
-            i: 0,
-            loaded: false,
-        })
+        self.kernel.item(block, thread)
     }
     fn validate(&self, mem: &[Value]) -> Result<(), String> {
         self.params.validate_bins(mem)
@@ -298,63 +263,52 @@ pub struct HistGlobalNonOrder {
     /// Shape parameters: `bins` is the table size, `per_thread` the
     /// reads issued per thread.
     pub params: HistParams,
+    kernel: ProgramKernel,
+}
+
+impl HistGlobalNonOrder {
+    /// Build the kernel: a pre-populated histogram walked with
+    /// non-ordering atomic loads (the update phase is excluded).
+    pub fn new(params: HistParams) -> HistGlobalNonOrder {
+        let threads = params.blocks * params.tpb;
+        let mut p = Program::new("HG-NO");
+        for gid in 0..threads {
+            let t = hist::nonorder_thread(&mut p, params.bins, params.per_thread, gid, threads);
+            p.push_thread(t);
+        }
+        for j in 0..params.bins {
+            p.set_init(&format!("b{j}"), (j % 7 + 1) as i64);
+        }
+        let p = p.build();
+        let kernel = ProgramKernel::grid(&p, params.tpb, params.bins, 0, params.addr_of());
+        HistGlobalNonOrder { params, kernel }
+    }
 }
 
 impl Default for HistGlobalNonOrder {
     fn default() -> Self {
-        HistGlobalNonOrder {
-            params: HistParams { bins: 4096, per_thread: 64, ..HistParams::default() },
-        }
-    }
-}
-
-struct HgNoItem {
-    p: HistParams,
-    gid: u64,
-    threads: u64,
-    i: usize,
-}
-
-impl WorkItem for HgNoItem {
-    fn next(&mut self, _last: Option<Value>) -> Op {
-        if self.i >= self.p.per_thread {
-            return Op::Done;
-        }
-        // Odd multiplier ⇒ bijection on a power-of-two table: spreads
-        // logically-adjacent reads across lines and CUs.
-        let k = self.gid + self.i as u64 * self.threads;
-        let bin = (k.wrapping_mul(0x9E37_79B1)) % self.p.bins as u64;
-        self.i += 1;
-        Op::Load { addr: bin, class: OpClass::NonOrdering }
+        HistGlobalNonOrder::new(HistParams { bins: 4096, per_thread: 64, ..HistParams::default() })
     }
 }
 
 impl Kernel for HistGlobalNonOrder {
     fn name(&self) -> String {
-        "HG-NO".into()
+        self.kernel.name()
     }
     fn blocks(&self) -> usize {
-        self.params.blocks
+        self.kernel.blocks()
     }
     fn threads_per_block(&self) -> usize {
-        self.params.tpb
+        self.kernel.threads_per_block()
     }
     fn memory_words(&self) -> usize {
-        self.params.bins
+        self.kernel.memory_words()
     }
     fn init_memory(&self, mem: &mut [Value]) {
-        // Pre-populated histogram (the update phase is excluded).
-        for (i, m) in mem.iter_mut().enumerate().take(self.params.bins) {
-            *m = (i % 7 + 1) as Value;
-        }
+        self.kernel.init_memory(mem);
     }
     fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
-        Box::new(HgNoItem {
-            p: self.params.clone(),
-            gid: (block * self.params.tpb + thread) as u64,
-            threads: (self.params.blocks * self.params.tpb) as u64,
-            i: 0,
-        })
+        self.kernel.item(block, thread)
     }
     fn validate(&self, mem: &[Value]) -> Result<(), String> {
         // Read-only: bins must be untouched.
@@ -379,7 +333,7 @@ mod tests {
 
     #[test]
     fn hist_is_functionally_correct_on_every_config() {
-        let k = Hist { params: small() };
+        let k = Hist::new(small());
         let params = SysParams::integrated();
         for cfg in SystemConfig::all() {
             let r = run_workload(&k, cfg, &params);
@@ -389,7 +343,7 @@ mod tests {
 
     #[test]
     fn hg_is_functionally_correct_on_every_config() {
-        let k = HistGlobal { params: small(), ..Default::default() };
+        let k = HistGlobal::new(small(), OpClass::Commutative);
         let params = SysParams::integrated();
         for cfg in SystemConfig::all() {
             let r = run_workload(&k, cfg, &params);
@@ -399,7 +353,7 @@ mod tests {
 
     #[test]
     fn hg_no_reads_do_not_modify() {
-        let k = HistGlobalNonOrder { params: small() };
+        let k = HistGlobalNonOrder::new(small());
         let params = SysParams::integrated();
         for cfg in SystemConfig::all() {
             let r = run_workload(&k, cfg, &params);
@@ -414,8 +368,8 @@ mod tests {
         let p = HistParams { bins: 16, per_thread: 64, blocks: 4, tpb: 4, seed: 1 };
         let params = SysParams::integrated();
         let cfg = SystemConfig::from_abbrev("GD0").unwrap();
-        let h = run_workload(&Hist { params: p.clone() }, cfg, &params);
-        let hg = run_workload(&HistGlobal { params: p, ..Default::default() }, cfg, &params);
+        let h = run_workload(&Hist::new(p.clone()), cfg, &params);
+        let hg = run_workload(&HistGlobal::new(p, OpClass::Commutative), cfg, &params);
         assert!(hg.atomics > 2 * h.atomics, "HG {} vs H {} atomics", hg.atomics, h.atomics);
     }
 
@@ -423,9 +377,9 @@ mod tests {
     fn hist_uses_the_scratchpad() {
         let params = SysParams::integrated();
         let cfg = SystemConfig::from_abbrev("GD0").unwrap();
-        let h = run_workload(&Hist { params: small() }, cfg, &params);
+        let h = run_workload(&Hist::new(small()), cfg, &params);
         assert!(h.counters.scratch_accesses > 0);
-        let hg = run_workload(&HistGlobal { params: small(), ..Default::default() }, cfg, &params);
+        let hg = run_workload(&HistGlobal::new(small(), OpClass::Commutative), cfg, &params);
         assert_eq!(hg.counters.scratch_accesses, 0);
     }
 }

@@ -4,9 +4,22 @@
 //! lock; many readers speculatively load the payload with speculative
 //! atomics, bracketed by a paired load of `seq` and the paired
 //! "read-don't-modify-write" (`fetch_add 0`), retrying on mismatch.
+//!
+//! Writer and reader are the shared `seqlock` template of
+//! [`drfrlx_bridge::templates`]; the same emitter, at single-section
+//! scale with an observe tail, produces the litmus use-case whose
+//! torn-snapshot freedom the axiomatic checkers verify exhaustively
+//! (that conformance corpus is where the old in-thread tearing
+//! assertion now lives). Here the reader's retry loop is unrolled to
+//! its exact worst case (`reads * max_retries` attempts) with the
+//! section/retry bookkeeping carried in registers, and every attempt
+//! guard jumps to the thread's end once the quota of sections is done.
 
+use drfrlx_bridge::templates::seqlock;
+use drfrlx_bridge::ProgramKernel;
+use drfrlx_core::program::Program;
 use drfrlx_core::OpClass;
-use hsim_gpu::{Kernel, Op, RmwKind, Value, WorkItem};
+use hsim_gpu::{Kernel, Value, WorkItem};
 
 const SEQ: u64 = 0;
 const DATA_BASE: u64 = 1;
@@ -30,228 +43,93 @@ pub struct Seqlocks {
     pub reads: usize,
     /// Retry cap per read attempt (keeps worst-case runs bounded).
     pub max_retries: usize,
+    kernel: ProgramKernel,
+}
+
+impl Seqlocks {
+    /// Build the kernel from the `seqlock` template: one writer thread
+    /// and a single reader body shared by every other grid thread.
+    pub fn new(
+        acqrel: bool,
+        blocks: usize,
+        tpb: usize,
+        payload: usize,
+        writes: usize,
+        reads: usize,
+        max_retries: usize,
+    ) -> Seqlocks {
+        let (acq, rel) = if acqrel {
+            (OpClass::Acquire, OpClass::Release)
+        } else {
+            (OpClass::Paired, OpClass::Paired)
+        };
+        let payloads: Vec<String> = (0..payload).map(|i| format!("d{i}")).collect();
+        let mut p = Program::new("SEQ");
+        {
+            let mut t = p.thread();
+            seqlock::writer(
+                &mut t,
+                &seqlock::Writer {
+                    lock: true,
+                    lock_class: acq,
+                    unlock_class: rel,
+                    payload_class: OpClass::Speculative,
+                    payloads: payloads.clone(),
+                    writes,
+                },
+                // Section w publishes the snapshot `seq + i` for the
+                // release value seq = 2w + 2.
+                |w, i| (2 * w + 2 + i) as drfrlx_core::program::Value,
+            );
+        }
+        let reader = seqlock::reader(
+            &mut p,
+            &seqlock::Reader {
+                seq0_class: acq,
+                seq1_class: rel,
+                payload_class: OpClass::Speculative,
+                payloads,
+                reads,
+                max_retries,
+                tail: seqlock::Tail::None,
+            },
+        );
+        p.push_thread(reader);
+        let p = p.build();
+        let layout: Vec<usize> = (0..blocks * tpb).map(|i| usize::from(i != 0)).collect();
+        let kernel =
+            ProgramKernel::grid_with_layout(&p, &layout, tpb, 1 + payload, 0, |n| match n {
+                "seq" => SEQ,
+                d => DATA_BASE + d[1..].parse::<u64>().unwrap(),
+            });
+        Seqlocks { acqrel, blocks, tpb, payload, writes, reads, max_retries, kernel }
+    }
 }
 
 impl Default for Seqlocks {
     fn default() -> Self {
-        Seqlocks {
-            acqrel: false,
-            blocks: 15,
-            tpb: 16,
-            payload: 4,
-            writes: 8,
-            reads: 8,
-            max_retries: 64,
-        }
-    }
-}
-
-enum WriterPhase {
-    TryLock,
-    CheckLock,
-    StorePayload(usize),
-    Unlock,
-    Done,
-}
-
-struct Writer {
-    payload: usize,
-    writes_left: usize,
-    seq_even: Value,
-    lock_class: OpClass,
-    unlock_class: OpClass,
-    phase: WriterPhase,
-}
-
-impl WorkItem for Writer {
-    fn next(&mut self, last: Option<Value>) -> Op {
-        loop {
-            match self.phase {
-                WriterPhase::TryLock => {
-                    if self.writes_left == 0 {
-                        self.phase = WriterPhase::Done;
-                        continue;
-                    }
-                    self.phase = WriterPhase::CheckLock;
-                    return Op::Rmw {
-                        addr: SEQ,
-                        rmw: RmwKind::Cas { expected: self.seq_even },
-                        operand: self.seq_even + 1,
-                        class: self.lock_class,
-                        use_result: true,
-                    };
-                }
-                WriterPhase::CheckLock => {
-                    let old = last.unwrap_or(0);
-                    if old != self.seq_even {
-                        // Lost the race (single writer here, so this
-                        // only happens if seq drifted): resync.
-                        self.seq_even = old & !1;
-                        self.phase = WriterPhase::TryLock;
-                        continue;
-                    }
-                    self.phase = WriterPhase::StorePayload(0);
-                }
-                WriterPhase::StorePayload(i) => {
-                    if i >= self.payload {
-                        self.phase = WriterPhase::Unlock;
-                        continue;
-                    }
-                    self.phase = WriterPhase::StorePayload(i + 1);
-                    let value = self.seq_even + 2 + i as Value;
-                    return Op::Store {
-                        addr: DATA_BASE + i as u64,
-                        value,
-                        class: OpClass::Speculative,
-                    };
-                }
-                WriterPhase::Unlock => {
-                    self.writes_left -= 1;
-                    self.seq_even += 2;
-                    self.phase = WriterPhase::TryLock;
-                    return Op::Store { addr: SEQ, value: self.seq_even, class: self.unlock_class };
-                }
-                WriterPhase::Done => return Op::Done,
-            }
-        }
-    }
-}
-
-enum ReaderPhase {
-    Seq0,
-    Payload(usize),
-    Seq1,
-    Check,
-    Done,
-}
-
-struct Reader {
-    seq0_class: OpClass,
-    seq1_class: OpClass,
-    payload: usize,
-    reads_left: usize,
-    retries: usize,
-    max_retries: usize,
-    seq0: Value,
-    consistent: bool,
-    vals: Vec<Value>,
-    phase: ReaderPhase,
-}
-
-impl WorkItem for Reader {
-    fn next(&mut self, last: Option<Value>) -> Op {
-        loop {
-            match self.phase {
-                ReaderPhase::Seq0 => {
-                    if self.reads_left == 0 {
-                        self.phase = ReaderPhase::Done;
-                        continue;
-                    }
-                    self.phase = ReaderPhase::Payload(0);
-                    return Op::Load { addr: SEQ, class: self.seq0_class };
-                }
-                ReaderPhase::Payload(i) => {
-                    if i == 0 {
-                        self.seq0 = last.unwrap_or(0);
-                        self.vals.clear();
-                    } else {
-                        self.vals.push(last.unwrap_or(0));
-                    }
-                    if i >= self.payload {
-                        self.phase = ReaderPhase::Seq1;
-                        continue;
-                    }
-                    self.phase = ReaderPhase::Payload(i + 1);
-                    return Op::Load { addr: DATA_BASE + i as u64, class: OpClass::Speculative };
-                }
-                ReaderPhase::Seq1 => {
-                    self.phase = ReaderPhase::Check;
-                    // Read-don't-modify-write: fetch_add(0) on seq —
-                    // release ordering in the acqrel variant (Boehm
-                    // 2012 / paper footnote 7).
-                    return Op::Rmw {
-                        addr: SEQ,
-                        rmw: RmwKind::Add,
-                        operand: 0,
-                        class: self.seq1_class,
-                        use_result: true,
-                    };
-                }
-                ReaderPhase::Check => {
-                    let seq1 = last.unwrap_or(0);
-                    let ok = seq1 == self.seq0 && self.seq0.is_multiple_of(2);
-                    if ok {
-                        // Speculation succeeded: the payload must be the
-                        // coherent snapshot for seq0.
-                        self.consistent &= self.vals.iter().enumerate().all(|(i, &v)| {
-                            (self.seq0 == 0 && v == 0) || v == self.seq0 + i as Value
-                        });
-                        self.reads_left -= 1;
-                        self.retries = 0;
-                    } else {
-                        self.retries += 1;
-                        if self.retries >= self.max_retries {
-                            // Give up this section (bounded runtime).
-                            self.reads_left -= 1;
-                            self.retries = 0;
-                        }
-                    }
-                    self.phase = ReaderPhase::Seq0;
-                }
-                ReaderPhase::Done => {
-                    // A torn read would have been recorded; surface it
-                    // through the panic below (validate cannot see
-                    // per-thread state, so fail fast here).
-                    assert!(self.consistent, "seqlock reader observed a torn payload");
-                    return Op::Done;
-                }
-            }
-        }
+        Seqlocks::new(false, 15, 16, 4, 8, 8, 64)
     }
 }
 
 impl Kernel for Seqlocks {
     fn name(&self) -> String {
-        "SEQ".into()
+        self.kernel.name()
     }
     fn blocks(&self) -> usize {
-        self.blocks
+        self.kernel.blocks()
     }
     fn threads_per_block(&self) -> usize {
-        self.tpb
+        self.kernel.threads_per_block()
     }
     fn memory_words(&self) -> usize {
-        1 + self.payload
+        self.kernel.memory_words()
+    }
+    fn init_memory(&self, mem: &mut [Value]) {
+        self.kernel.init_memory(mem);
     }
     fn item(&self, block: usize, thread: usize) -> Box<dyn WorkItem> {
-        let (acq, rel) = if self.acqrel {
-            (OpClass::Acquire, OpClass::Release)
-        } else {
-            (OpClass::Paired, OpClass::Paired)
-        };
-        if block == 0 && thread == 0 {
-            Box::new(Writer {
-                payload: self.payload,
-                writes_left: self.writes,
-                seq_even: 0,
-                lock_class: acq,
-                unlock_class: rel,
-                phase: WriterPhase::TryLock,
-            })
-        } else {
-            Box::new(Reader {
-                seq0_class: acq,
-                seq1_class: rel,
-                payload: self.payload,
-                reads_left: self.reads,
-                retries: 0,
-                max_retries: self.max_retries,
-                seq0: 0,
-                consistent: true,
-                vals: Vec::new(),
-                phase: ReaderPhase::Seq0,
-            })
-        }
+        self.kernel.item(block, thread)
     }
     fn validate(&self, mem: &[Value]) -> Result<(), String> {
         // Writer completed all updates: seq is even and equals 2*writes.
@@ -279,15 +157,7 @@ mod tests {
 
     #[test]
     fn seqlock_valid_and_untorn_on_every_config() {
-        let k = Seqlocks {
-            acqrel: false,
-            blocks: 4,
-            tpb: 4,
-            payload: 3,
-            writes: 4,
-            reads: 4,
-            max_retries: 64,
-        };
+        let k = Seqlocks::new(false, 4, 4, 3, 4, 4, 64);
         let params = SysParams::integrated();
         for cfg in SystemConfig::all() {
             let r = run_workload(&k, cfg, &params);

@@ -77,9 +77,7 @@ pub fn microbenchmarks() -> Vec<WorkloadSpec> {
     use OpClass::*;
     vec![
         spec("H", true, "256 KB, 256 bins", "61K values, 256 bins", &[Commutative], || {
-            Box::new(Hist {
-                params: crate::micro::HistParams { per_thread: 256, ..Default::default() },
-            })
+            Box::new(Hist::new(crate::micro::HistParams { per_thread: 256, ..Default::default() }))
         }),
         spec("HG", true, "256 KB, 256 bins", "15K values, 256 bins", &[Commutative], || {
             Box::new(HistGlobal::default())

@@ -332,7 +332,8 @@ fn cmd_bench(args: &[String]) -> CmdResult {
 
 fn cmd_conform(args: &[String]) -> CmdResult {
     use drfrlx::conform::{
-        check_conformance, generate, is_unsound, render_corpus, run_corpus, shrink, ConformOptions,
+        check_conformance, generate, is_unsound, render_corpus, run_corpus, run_template_corpus,
+        shrink, ConformOptions,
     };
     use drfrlx::litmus::all_tests;
 
@@ -421,6 +422,11 @@ fn cmd_conform(args: &[String]) -> CmdResult {
         .ok_or("conform needs a test name, `corpus`, a .litmus file, or --fuzz N")?;
     if target == "corpus" {
         let reports = run_corpus(&opts)?;
+        print!("{}", render_corpus(&reports, &opts));
+        return Ok(reports.iter().all(|r| r.sound()));
+    }
+    if target == "templates" {
+        let reports = run_template_corpus(&opts)?;
         print!("{}", render_corpus(&reports, &opts));
         return Ok(reports.iter().all(|r| r.sound()));
     }

@@ -122,7 +122,7 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     },
     Subcommand {
         name: "conform",
-        usage: "conform <test>|corpus|<file.litmus> [--schedules K] [--seed S]\n\
+        usage: "conform <test>|corpus|templates|<file.litmus> [--schedules K] [--seed S]\n\
                 \x20       [--threads N] [--config GD0..MDR] [--model drf0|drf1|drfrlx]\n\
                 \x20       [--protocol gpu|denovo|mesi-wb]\n\
                 conform --fuzz N [--seed S] [--threads N] [--schedules K]",
@@ -133,7 +133,9 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
                observed outcome against the axiomatic SC oracle: exit status 1\n\
                on a soundness violation (observed ⊄ allowed), with the\n\
                witnessed fraction of the allowed set reported as coverage.\n\
-               `corpus` runs the whole Table-1 use-case suite; a bare name\n\
+               `corpus` runs the whole Table-1 use-case suite; `templates`\n\
+               runs the richer template corpus (bounded polls, think delays,\n\
+               retry loops, scratch + barrier histogram); a bare name\n\
                runs that registry test; a path runs a .litmus file. --config\n\
                restricts to one configuration (--protocol overrides its\n\
                coherence protocol); --model keeps only that column of the\n\

@@ -27,25 +27,17 @@ fn check_all(k: impl Kernel + 'static) -> Vec<drfrlx::sim::RunReport> {
 #[test]
 fn histograms_run_everywhere() {
     let p = HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 4, seed: 5 };
-    check_all(Hist { params: p.clone() });
-    check_all(HistGlobal { params: p.clone(), ..Default::default() });
-    check_all(HistGlobalNonOrder { params: HistParams { bins: 256, ..p } });
+    check_all(Hist::new(p.clone()));
+    check_all(HistGlobal::new(p.clone(), drfrlx::OpClass::Commutative));
+    check_all(HistGlobalNonOrder::new(HistParams { bins: 256, ..p }));
 }
 
 #[test]
 fn counters_and_seqlocks_run_everywhere() {
-    check_all(SplitCounter { blocks: 4, tpb: 6, increments: 16, sweeps: 2 });
-    check_all(RefCounter { blocks: 4, tpb: 4, objects: 8, visits: 6 });
-    check_all(Seqlocks {
-        acqrel: false,
-        blocks: 4,
-        tpb: 4,
-        payload: 3,
-        writes: 4,
-        reads: 4,
-        max_retries: 32,
-    });
-    check_all(Flags { blocks: 4, tpb: 4, main_delay: 16, max_polls: 300 });
+    check_all(SplitCounter::new(4, 6, 16, 2));
+    check_all(RefCounter::new(4, 4, 8, 6));
+    check_all(Seqlocks::new(false, 4, 4, 3, 4, 4, 32));
+    check_all(Flags::new(4, 4, 16, 300));
 }
 
 #[test]
@@ -59,10 +51,10 @@ fn benchmarks_run_everywhere() {
 fn weaker_models_never_lose_badly_and_functionality_is_model_independent() {
     // The paper's contract: relaxing the model changes *timing*, never
     // results; and on atomic-heavy code the weaker model wins.
-    let k = HistGlobal {
-        params: HistParams { bins: 64, per_thread: 32, blocks: 8, tpb: 8, seed: 9 },
-        ..Default::default()
-    };
+    let k = HistGlobal::new(
+        HistParams { bins: 64, per_thread: 32, blocks: 8, tpb: 8, seed: 9 },
+        drfrlx::OpClass::Commutative,
+    );
     let r = check_all(k);
     let (gd0, gd1, gdr, dd0, dd1, ddr) = (&r[0], &r[1], &r[2], &r[3], &r[4], &r[5]);
     assert!(gd1.cycles <= gd0.cycles);
@@ -90,10 +82,10 @@ fn drf1_restores_data_reuse_on_pagerank() {
 
 #[test]
 fn drfrlx_overlaps_atomics_only_under_drfrlx() {
-    let k = HistGlobal {
-        params: HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 6, seed: 2 },
-        ..Default::default()
-    };
+    let k = HistGlobal::new(
+        HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 6, seed: 2 },
+        drfrlx::OpClass::Commutative,
+    );
     let params = SysParams::integrated();
     for cfg in SystemConfig::all() {
         let r = run_workload(&k, cfg, &params);
@@ -107,7 +99,7 @@ fn drfrlx_overlaps_atomics_only_under_drfrlx() {
 
 #[test]
 fn denovo_places_atomics_at_l1_gpu_at_l2() {
-    let k = SplitCounter { blocks: 4, tpb: 6, increments: 8, sweeps: 1 };
+    let k = SplitCounter::new(4, 6, 8, 1);
     let params = SysParams::integrated();
     let g = run_workload(&k, SystemConfig::from_abbrev("GD0").unwrap(), &params);
     let d = run_workload(&k, SystemConfig::from_abbrev("DD0").unwrap(), &params);
@@ -118,10 +110,10 @@ fn denovo_places_atomics_at_l1_gpu_at_l2() {
 
 #[test]
 fn discrete_platform_amplifies_sc_atomic_cost() {
-    let k = HistGlobal {
-        params: HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 6, seed: 4 },
-        ..Default::default()
-    };
+    let k = HistGlobal::new(
+        HistParams { bins: 32, per_thread: 16, blocks: 6, tpb: 6, seed: 4 },
+        drfrlx::OpClass::Commutative,
+    );
     let gd0 = SystemConfig::from_abbrev("GD0").unwrap();
     let gdr = SystemConfig::from_abbrev("GDR").unwrap();
     let speedup = |p: &SysParams| {

@@ -21,21 +21,13 @@ fn use_cases_are_race_free_and_their_workloads_correct() {
     }
     let params = SysParams::integrated();
     let kernels: Vec<Arc<dyn Kernel>> = vec![
-        Arc::new(HistGlobal {
-            params: HistParams { bins: 32, per_thread: 8, blocks: 4, tpb: 4, seed: 8 },
-            ..Default::default()
-        }),
-        Arc::new(SplitCounter { blocks: 4, tpb: 4, increments: 8, sweeps: 1 }),
-        Arc::new(RefCounter { blocks: 4, tpb: 4, objects: 8, visits: 4 }),
-        Arc::new(Seqlocks {
-            acqrel: false,
-            blocks: 4,
-            tpb: 4,
-            payload: 2,
-            writes: 3,
-            reads: 3,
-            max_retries: 32,
-        }),
+        Arc::new(HistGlobal::new(
+            HistParams { bins: 32, per_thread: 8, blocks: 4, tpb: 4, seed: 8 },
+            drfrlx::OpClass::Commutative,
+        )),
+        Arc::new(SplitCounter::new(4, 4, 8, 1)),
+        Arc::new(RefCounter::new(4, 4, 8, 4)),
+        Arc::new(Seqlocks::new(false, 4, 4, 2, 3, 3, 32)),
     ];
     for k in &kernels {
         let jobs = six_config_jobs(&k.name(), Arc::clone(k), &params, false);
