@@ -25,9 +25,10 @@ use crate::outcome::{allowed_outcomes, Outcome};
 use crate::schedule::schedule_params;
 use drfrlx_core::exec::{EnumError, EnumLimits, EnumStats};
 use drfrlx_core::program::Program;
+use drfrlx_core::resilience::{Budget, FaultPlan, RunStatus};
 use drfrlx_core::{MemoryModel, SystemConfig};
 use drfrlx_litmus::{all_tests, Category};
-use hsim_sys::{run_matrix, RunReport, SimJob, SysParams};
+use hsim_sys::{run_matrix, run_matrix_resilient, MatrixResilience, RunReport, SimJob, SysParams};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -172,15 +173,44 @@ pub fn report_from_runs(
     opts: &ConformOptions,
     reports: &[RunReport],
 ) -> Result<ConformReport, EnumError> {
-    let (allowed, oracle_stats) = allowed_outcomes(shape, &opts.limits, opts.threads)?;
+    fold_report(shape, opts, &opts.limits, &|i| reports.get(i))
+}
+
+/// [`report_from_runs`] over a partial sweep: `None` slots (jobs lost
+/// to a panic or never run under a tripped budget) simply contribute
+/// no observed outcome. Since the verdict is `observed ⊆ allowed`, a
+/// partial observed set can only under-report coverage — it never
+/// invents a violation.
+///
+/// # Errors
+///
+/// Returns the oracle's [`EnumError`] when it cannot enumerate the
+/// program within `opts.limits`.
+pub fn report_from_partial_runs(
+    shape: &CompiledLitmus,
+    opts: &ConformOptions,
+    reports: &[Option<RunReport>],
+) -> Result<ConformReport, EnumError> {
+    fold_report(shape, opts, &opts.limits, &|i| reports.get(i).and_then(Option::as_ref))
+}
+
+/// Shared fold: oracle + per-config observed sets, with the report for
+/// job `i` looked up through `report_at` (absent reports are skipped).
+fn fold_report<'a>(
+    shape: &CompiledLitmus,
+    opts: &ConformOptions,
+    limits: &EnumLimits,
+    report_at: &dyn Fn(usize) -> Option<&'a RunReport>,
+) -> Result<ConformReport, EnumError> {
+    let (allowed, oracle_stats) = allowed_outcomes(shape, limits, opts.threads)?;
     let per = opts.schedules.max(1);
     let verdicts = opts
         .configs
         .iter()
         .enumerate()
         .map(|(ci, &config)| {
-            let observed: BTreeSet<Outcome> = reports[ci * per..(ci + 1) * per]
-                .iter()
+            let observed: BTreeSet<Outcome> = (ci * per..(ci + 1) * per)
+                .filter_map(report_at)
                 .map(|r| Outcome::from_sim_memory(shape, &r.memory))
                 .collect();
             let violations = observed.difference(&allowed).cloned().collect();
@@ -206,6 +236,76 @@ pub fn check_conformance(p: &Program, opts: &ConformOptions) -> Result<ConformRe
     let jobs = conform_jobs(&shape, opts);
     let reports = run_matrix(&jobs, opts.threads);
     report_from_runs(&shape, opts, &reports)
+}
+
+/// Resilience controls for a conformance run. The default — no
+/// budget, no fault plan — behaves like [`check_conformance`] except
+/// that a panicking simulation job degrades the run instead of
+/// aborting it.
+#[derive(Clone, Default)]
+pub struct ConformResilience {
+    /// Shared resource budget. Applied to the simulation matrix at
+    /// job-claim granularity and (unless `opts.limits.budget` already
+    /// carries one) to the axiomatic oracle's enumerator.
+    pub budget: Option<Arc<Budget>>,
+    /// Deterministic fault injection (chaos testing only). Simulation
+    /// jobs are faulted under `EngineId::Sweep`, fuzz-campaign
+    /// iterations under `EngineId::Conform`.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+/// The outcome of a resilient conformance run.
+#[derive(Clone)]
+pub struct ConformOutcome {
+    /// The report, when the oracle produced an allowed set. `None`
+    /// only when the oracle itself was exhausted — without an allowed
+    /// set there is no verdict.
+    pub report: Option<ConformReport>,
+    /// How the run ended. `Degraded`'s `lost` names simulation job
+    /// indices (in [`conform_jobs`] order) whose observations are
+    /// missing; an oracle failure maps to `Inconclusive` with an
+    /// empty frontier.
+    pub status: RunStatus,
+}
+
+/// [`check_conformance`], resilient: the simulation matrix runs
+/// through [`run_matrix_resilient`] (per-job `catch_unwind` + one
+/// retry, budget polled between job claims, deterministic fault
+/// injection), and an oracle enumeration failure becomes a structured
+/// `Inconclusive` status instead of an `Err`. Never panics.
+///
+/// A `Degraded` report is still meaningful: lost jobs only shrink the
+/// observed sets, so soundness verdicts on the surviving observations
+/// remain valid (prefix-soundness — see [`report_from_partial_runs`]).
+///
+/// # Panics
+///
+/// Panics if the program has no threads (same contract as
+/// [`check_conformance`]).
+pub fn check_conformance_resilient(
+    p: &Program,
+    opts: &ConformOptions,
+    res: &ConformResilience,
+) -> ConformOutcome {
+    let shape = compile(p);
+    let jobs = conform_jobs(&shape, opts);
+    let matrix = run_matrix_resilient(
+        &jobs,
+        opts.threads,
+        &MatrixResilience { budget: res.budget.clone(), fault_plan: res.fault_plan },
+    );
+    let mut limits = opts.limits.clone();
+    if limits.budget.is_none() {
+        limits.budget = res.budget.clone();
+    }
+    let report_at = |i: usize| matrix.reports.get(i).and_then(Option::as_ref);
+    match fold_report(&shape, opts, &limits, &report_at) {
+        Ok(report) => ConformOutcome { report: Some(report), status: matrix.status },
+        Err(e) => ConformOutcome {
+            report: None,
+            status: RunStatus::Inconclusive { reason: e.exhaust_reason(), frontier: Vec::new() },
+        },
+    }
 }
 
 /// Is `p` *demonstrably* unsound under `opts` — i.e. did some
@@ -244,6 +344,43 @@ pub fn run_template_corpus(opts: &ConformOptions) -> Result<Vec<ConformReport>, 
     crate::templates::template_corpus().iter().map(|(_, p)| check_conformance(p, opts)).collect()
 }
 
+/// One line of the corpus table: a test row or the total row. Both
+/// render through the same format string, so the table stays aligned
+/// by construction.
+struct CorpusRow {
+    name: String,
+    allowed: usize,
+    observed: usize,
+    coverage: f64,
+    drf0_cov: f64,
+    sound: bool,
+}
+
+impl CorpusRow {
+    fn from_report(r: &ConformReport) -> Self {
+        CorpusRow {
+            name: r.name.clone(),
+            allowed: r.allowed.len(),
+            observed: r.observed_union().len(),
+            coverage: r.coverage(),
+            drf0_cov: r.coverage_under(MemoryModel::Drf0),
+            sound: r.sound(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "{:<26} {:>7} {:>9} {:>9.3} {:>9.3}  {}\n",
+            self.name,
+            self.allowed,
+            self.observed,
+            self.coverage,
+            self.drf0_cov,
+            if self.sound { "SOUND" } else { "VIOLATION" }
+        )
+    }
+}
+
 /// Render corpus reports as the stable text table committed to
 /// `results/conform.txt`.
 pub fn render_corpus(reports: &[ConformReport], opts: &ConformOptions) -> String {
@@ -263,31 +400,22 @@ pub fn render_corpus(reports: &[ConformReport], opts: &ConformOptions) -> String
     let (mut tot_allowed, mut tot_wit, mut tot_wit0) = (0usize, 0usize, 0usize);
     let mut all_sound = true;
     for r in reports {
-        let verdict = if r.sound() { "SOUND" } else { "VIOLATION" };
         all_sound &= r.sound();
         tot_allowed += r.allowed.len();
         tot_wit += r.witnessed();
         tot_wit0 += r.witnessed_under(MemoryModel::Drf0);
-        out.push_str(&format!(
-            "{:<26} {:>7} {:>9} {:>9.3} {:>9.3}  {}\n",
-            r.name,
-            r.allowed.len(),
-            r.observed_union().len(),
-            r.coverage(),
-            r.coverage_under(MemoryModel::Drf0),
-            verdict
-        ));
+        out.push_str(&CorpusRow::from_report(r).render());
     }
     let agg = |w: usize| if tot_allowed == 0 { 1.0 } else { w as f64 / tot_allowed as f64 };
-    out.push_str(&format!(
-        "{:<26} {:>7} {:>9} {:>9.3} {:>9.3}  {}\n",
-        "total",
-        tot_allowed,
-        tot_wit,
-        agg(tot_wit),
-        agg(tot_wit0),
-        if all_sound { "SOUND" } else { "VIOLATION" }
-    ));
+    let total = CorpusRow {
+        name: "total".to_string(),
+        allowed: tot_allowed,
+        observed: tot_wit,
+        coverage: agg(tot_wit),
+        drf0_cov: agg(tot_wit0),
+        sound: all_sound,
+    };
+    out.push_str(&total.render());
     out
 }
 
@@ -324,6 +452,61 @@ mod tests {
         assert_eq!(names.len(), 7);
         assert!(names.contains(&"work_queue".to_string()));
         assert!(names.contains(&"seqlock".to_string()));
+    }
+
+    #[test]
+    fn resilient_run_matches_the_plain_harness() {
+        let opts = quick_opts();
+        let mut p = Program::new("pair");
+        p.thread().store(OpClass::Paired, "x", 1);
+        p.thread().load(OpClass::Paired, "x");
+        let p = p.build();
+        let plain = check_conformance(&p, &opts).unwrap();
+        let out = check_conformance_resilient(&p, &opts, &ConformResilience::default());
+        assert_eq!(out.status, RunStatus::Complete);
+        let r = out.report.expect("complete run carries a report");
+        assert_eq!(r.allowed, plain.allowed);
+        assert_eq!(r.sound(), plain.sound());
+        for (a, b) in r.verdicts.iter().zip(&plain.verdicts) {
+            assert_eq!(a.observed, b.observed, "{}", a.config);
+        }
+    }
+
+    #[test]
+    fn a_lost_simulation_job_degrades_but_stays_sound() {
+        use drfrlx_core::resilience::{EngineId, Fault};
+        let opts = quick_opts();
+        let mut p = Program::new("one");
+        p.thread().store(OpClass::Data, "x", 1);
+        let p = p.build();
+        let res = ConformResilience {
+            budget: None,
+            // Job 0 panics on both attempts and is lost.
+            fault_plan: Some(FaultPlan::pinned(EngineId::Sweep, 0, 2, Fault::Panic)),
+        };
+        let out = check_conformance_resilient(&p, &opts, &res);
+        assert_eq!(out.status, RunStatus::Degraded { lost: vec![0] });
+        let r = out.report.expect("a degraded run still has an oracle and a verdict");
+        assert!(r.sound(), "missing observations cannot invent a violation");
+    }
+
+    #[test]
+    fn an_exhausted_oracle_is_inconclusive_not_an_error() {
+        use drfrlx_core::resilience::ExhaustReason;
+        let opts = ConformOptions {
+            limits: EnumLimits { max_executions: 0, ..EnumLimits::default() },
+            ..quick_opts()
+        };
+        let mut p = Program::new("two");
+        p.thread().store(OpClass::Data, "x", 1);
+        p.thread().store(OpClass::Data, "x", 2);
+        let p = p.build();
+        let out = check_conformance_resilient(&p, &opts, &ConformResilience::default());
+        assert!(out.report.is_none());
+        match out.status {
+            RunStatus::Inconclusive { reason: ExhaustReason::Executions { .. }, .. } => {}
+            s => panic!("expected Inconclusive(Executions), got {s:?}"),
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod compile;
 pub mod fuzz;
 pub mod harness;
@@ -29,11 +30,13 @@ pub mod schedule;
 pub mod shrink;
 pub mod templates;
 
+pub use campaign::{render_summary, resume_campaign, CampaignState, BUDGET_LADDER};
 pub use compile::{compile, CompiledLitmus};
 pub use fuzz::generate;
 pub use harness::{
-    check_conformance, conform_jobs, is_unsound, render_corpus, report_from_runs, run_corpus,
-    run_template_corpus, table1_corpus, ConfigVerdict, ConformOptions, ConformReport,
+    check_conformance, check_conformance_resilient, conform_jobs, is_unsound, render_corpus,
+    report_from_partial_runs, report_from_runs, run_corpus, run_template_corpus, table1_corpus,
+    ConfigVerdict, ConformOptions, ConformOutcome, ConformReport, ConformResilience,
 };
 pub use outcome::{allowed_outcomes, Outcome};
 pub use schedule::schedule_params;

@@ -25,12 +25,13 @@
 
 use crate::classes::{MemoryModel, OpClass};
 use crate::exec::{
-    enumerate_sc, enumerate_sc_quantum, visit_sc_sharded, EnumError, EnumLimits, Execution,
-    ExecutionVisitor, Reduction,
+    enumerate_sc, enumerate_sc_quantum, visit_sc_resilient, visit_sc_sharded, EnumError,
+    EnumLimits, EnumStats, Execution, ExecutionVisitor, Reduction, ResilienceOptions,
 };
 use crate::program::Program;
 use crate::quantum::has_quantum;
 use crate::races::{attainable_kinds, Race, RaceDetector, RaceKind};
+use crate::resilience::{FaultPlan, RunStatus};
 use std::collections::BTreeSet;
 
 /// The verdict of a whole-program check.
@@ -280,6 +281,158 @@ pub fn check_program_with(
         races,
         verdict,
     })
+}
+
+/// One completed shard of a resilient check — the unit of
+/// checkpoint/resume. The shard plan is a deterministic function of
+/// the program and options, so an index recorded by one process names
+/// the same subtree in the next.
+#[derive(Debug, Clone)]
+pub struct ShardRecord {
+    /// Index in the deterministic shard plan.
+    pub index: usize,
+    /// The shard's explored/pruned counts.
+    pub stats: EnumStats,
+    /// Did this shard alone witness every attainable race kind?
+    pub saturated: bool,
+    /// Races found in this shard, shard-local `exec_index`.
+    pub races: Vec<FoundRace>,
+}
+
+/// Resilience options for [`check_program_resilient`]. The budget
+/// (deadline / cancel / memory cap) travels inside
+/// [`CheckOptions::limits`] so the DFS hot loop can poll it.
+#[derive(Debug, Clone, Default)]
+pub struct CheckResilience {
+    /// Deterministic fault injection (chaos testing only).
+    pub fault_plan: Option<FaultPlan>,
+    /// Completed-shard records from a previous run's checkpoint; they
+    /// are not re-run and merge into the final report as-is.
+    pub completed: Vec<ShardRecord>,
+}
+
+/// Result of a resilient check: the (possibly partial) report plus how
+/// the run ended and the per-shard state a checkpoint serializes.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The merged report. Under [`RunStatus::Inconclusive`] or
+    /// [`RunStatus::Degraded`] it covers the completed shards — a
+    /// sound prefix: every listed race is real (races are only ever
+    /// found by exploring real executions), but absence of races is
+    /// not yet a verdict.
+    pub report: CheckReport,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Every completed shard — previous runs' (from the checkpoint)
+    /// plus this run's — in index order. This is the checkpoint
+    /// payload.
+    pub shards: Vec<ShardRecord>,
+    /// Size of the deterministic shard plan.
+    pub total_shards: usize,
+}
+
+impl CheckOutcome {
+    /// Did every shard finish (report is exactly the non-resilient
+    /// one)?
+    pub fn is_complete(&self) -> bool {
+        self.status.is_complete()
+    }
+}
+
+/// [`check_program_with`], resilient: panic-isolated shards with one
+/// retry (backing off [`Reduction::SleepSetMemo`] to
+/// [`Reduction::SleepSet`]), cooperative budgets with a deadline
+/// watchdog, deterministic fault injection, and resume over a
+/// checkpoint's completed shards. Infallible — exhaustion comes back
+/// as [`RunStatus::Inconclusive`], lost shards as
+/// [`RunStatus::Degraded`], never an error or abort.
+///
+/// Determinism: with the same program, options, fault plan and
+/// completed set, the merged report and status are identical at
+/// `threads: 1`; at higher thread counts the *completed* prefix under
+/// a real budget trip depends on timing, but every reported race is
+/// still drawn from the same deterministic per-shard sets
+/// (prefix-soundness).
+pub fn check_program_resilient(
+    p: &Program,
+    model: MemoryModel,
+    opts: &CheckOptions,
+    res: &CheckResilience,
+) -> CheckOutcome {
+    let view = model_view(p, model);
+    let quantum = model == MemoryModel::Drfrlx && has_quantum(&view);
+    let attainable = attainable_kinds(&view);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let completed_cutoff = if opts.early_exit {
+        res.completed.iter().filter(|r| r.saturated).map(|r| r.index).min()
+    } else {
+        None
+    };
+    let ropts = ResilienceOptions {
+        fault_plan: res.fault_plan,
+        completed: res.completed.iter().map(|r| r.index).collect(),
+        completed_explored: res.completed.iter().map(|r| r.stats.explored).sum(),
+        completed_cutoff,
+    };
+    let run = visit_sc_resilient(
+        &view,
+        &opts.limits,
+        quantum,
+        opts.reduction,
+        opts.threads.min(cores.max(1)),
+        &|| RaceCollector::new(&view, &attainable, opts.early_exit),
+        &|v: &RaceCollector| opts.early_exit && v.saturated(),
+        &ropts,
+    );
+    let frontier_pruned = run.frontier_pruned;
+    let mut shards: Vec<ShardRecord> = res.completed.clone();
+    for (index, v, stats) in run.shards {
+        let saturated = v.saturated();
+        shards.push(ShardRecord {
+            index,
+            stats,
+            saturated,
+            races: v.races.into_iter().map(|(_, f)| f).collect(),
+        });
+    }
+    shards.sort_by_key(|r| r.index);
+    // The same deterministic merge as the non-resilient path: shards
+    // in index order, races deduped by static key, execution indices
+    // offset by prior shards' work — so a resumed run reproduces the
+    // uninterrupted report exactly.
+    let mut keys: BTreeSet<RaceKey> = BTreeSet::new();
+    let mut races: Vec<FoundRace> = Vec::new();
+    let mut offset = 0;
+    let mut agg = EnumStats::default();
+    for r in &shards {
+        for f in &r.races {
+            if keys.insert(f.key) {
+                let mut f = f.clone();
+                f.exec_index += offset;
+                races.push(f);
+            }
+        }
+        offset += r.stats.explored;
+        agg.absorb(r.stats);
+    }
+    agg.pruned += frontier_pruned;
+    let verdict = if races.is_empty() { Verdict::RaceFree } else { Verdict::Racy };
+    CheckOutcome {
+        report: CheckReport {
+            program: p.name().to_string(),
+            model,
+            executions: agg.explored,
+            pruned: agg.pruned,
+            memo_pruned: agg.memo_pruned,
+            table_peak: agg.table_peak,
+            quantum_transformed: quantum,
+            races,
+            verdict,
+        },
+        status: run.status,
+        shards,
+        total_shards: run.total_shards,
+    }
 }
 
 /// Check `p` against `model` with explicit limits on the default

@@ -37,10 +37,13 @@
 use crate::classes::OpClass;
 use crate::program::{Expr, Instr, Loc, Program, Reg, Value};
 use crate::relation::Relation;
+use crate::resilience::{Budget, EngineId, ExhaustReason, Fault, FaultPlan, RunStatus};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Kind of dynamic memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -233,11 +236,16 @@ pub struct EnumLimits {
     /// quantum-equivalent program. Ignored by [`enumerate_sc`]; used by
     /// [`enumerate_sc_quantum`].
     pub quantum_domain: Vec<Value>,
+    /// Optional shared resource budget (wall-clock deadline, cancel
+    /// flag, approximate memory high-water), polled amortized in the
+    /// DFS hot loop — every [`BUDGET_POLL_INTERVAL`] tree nodes, so the
+    /// default `None` costs one branch per node.
+    pub budget: Option<Arc<Budget>>,
 }
 
 impl Default for EnumLimits {
     fn default() -> Self {
-        EnumLimits { max_executions: 250_000, quantum_domain: vec![0, 1, JUNK] }
+        EnumLimits { max_executions: 250_000, quantum_domain: vec![0, 1, JUNK], budget: None }
     }
 }
 
@@ -252,6 +260,40 @@ pub enum EnumError {
         /// The configured limit.
         limit: usize,
     },
+    /// The wall-clock deadline of [`EnumLimits::budget`] expired.
+    DeadlineExpired,
+    /// The budget's cancel flag was set (by a watchdog or the caller).
+    Cancelled,
+    /// The enumeration's approximate memory high-water (undo journal
+    /// plus memo table) passed the budget's cap.
+    MemoryExhausted {
+        /// The configured cap in bytes.
+        limit: usize,
+    },
+}
+
+impl EnumError {
+    /// The structured exhaustion reason, for
+    /// [`RunStatus::Inconclusive`] reports.
+    pub fn exhaust_reason(&self) -> ExhaustReason {
+        match *self {
+            EnumError::TooManyExecutions { limit } => ExhaustReason::Executions { limit },
+            EnumError::DeadlineExpired => ExhaustReason::Deadline,
+            EnumError::Cancelled => ExhaustReason::Cancelled,
+            EnumError::MemoryExhausted { limit } => ExhaustReason::Memory { limit },
+        }
+    }
+}
+
+impl From<ExhaustReason> for EnumError {
+    fn from(r: ExhaustReason) -> EnumError {
+        match r {
+            ExhaustReason::Executions { limit } => EnumError::TooManyExecutions { limit },
+            ExhaustReason::Deadline => EnumError::DeadlineExpired,
+            ExhaustReason::Cancelled => EnumError::Cancelled,
+            ExhaustReason::Memory { limit } => EnumError::MemoryExhausted { limit },
+        }
+    }
 }
 
 impl fmt::Display for EnumError {
@@ -263,6 +305,13 @@ impl fmt::Display for EnumError {
                     "more than {limit} SC executions; raise the limit with \
                      `drfrlx check --max-execs N` (EnumLimits::max_executions)"
                 )
+            }
+            EnumError::DeadlineExpired => {
+                write!(f, "wall-clock deadline expired before enumeration finished")
+            }
+            EnumError::Cancelled => write!(f, "enumeration cancelled"),
+            EnumError::MemoryExhausted { limit } => {
+                write!(f, "enumeration memory high-water passed {limit} bytes")
             }
         }
     }
@@ -470,8 +519,11 @@ pub fn visit_sc_sharded<V: ExecutionVisitor + Send>(
 ) -> Result<ShardedRun<V>, EnumError> {
     // Adaptive fast path: probe the tree serially with a tight budget.
     let probe_budget = PROBE_BUDGET.min(limits.max_executions);
-    let probe_limits =
-        EnumLimits { max_executions: probe_budget, quantum_domain: limits.quantum_domain.clone() };
+    let probe_limits = EnumLimits {
+        max_executions: probe_budget,
+        quantum_domain: limits.quantum_domain.clone(),
+        budget: limits.budget.clone(),
+    };
     let mut probe = make();
     match visit_sc(p, &probe_limits, quantum, reduction, &mut probe) {
         Ok(stats) => {
@@ -652,6 +704,317 @@ fn run_shard(
     eng.st = shard.st;
     eng.node(shard.sleep, 0)?;
     Ok(eng.stats)
+}
+
+/// Resilience options for [`visit_sc_resilient`]. The default injects
+/// nothing, skips nothing and pre-charges nothing — a fresh run.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceOptions {
+    /// Deterministic fault injection (chaos testing); `None` injects
+    /// nothing.
+    pub fault_plan: Option<FaultPlan>,
+    /// Shard indices a previous (checkpointed) run already completed:
+    /// they are skipped here and merged back by the caller. Non-empty
+    /// also disables the serial probe — a checkpoint only exists for a
+    /// run that sharded.
+    pub completed: Vec<usize>,
+    /// Executions the completed shards already charged against the
+    /// shared execution budget.
+    pub completed_explored: usize,
+    /// Smallest completed shard index whose visitor saturated, if any
+    /// (restores the early-exit cutoff on resume).
+    pub completed_cutoff: Option<usize>,
+}
+
+impl ResilienceOptions {
+    /// Is this a resumed run (some shards already completed)?
+    fn resumed(&self) -> bool {
+        !self.completed.is_empty() || self.completed_cutoff.is_some()
+    }
+}
+
+/// Result of a resilient sharded enumeration ([`visit_sc_resilient`]).
+pub struct ResilientRun<V> {
+    /// `(shard index, visitor, stats)` for every shard completed *by
+    /// this run*, in shard-index order. Shards listed in
+    /// [`ResilienceOptions::completed`] are not re-run and not listed.
+    pub shards: Vec<(usize, V, EnumStats)>,
+    /// Aggregate over this run's completed shards, frontier-level
+    /// pruning included.
+    pub stats: EnumStats,
+    /// The frontier-level share of `stats.pruned` (scheduling choices
+    /// pruned while cutting the shard plan, not inside any shard) —
+    /// what a resuming caller adds exactly once when re-aggregating
+    /// checkpointed per-shard stats.
+    pub frontier_pruned: usize,
+    /// How the run ended. [`RunStatus::Inconclusive`]'s frontier is
+    /// the shard indices still to run — the `--resume` work list.
+    pub status: RunStatus,
+    /// Did the saturation predicate cut the run short?
+    pub early_exit: bool,
+    /// Size of the deterministic shard plan (1 when the serial probe
+    /// finished the whole tree).
+    pub total_shards: usize,
+}
+
+/// How one shard of a resilient run ended.
+enum ShardOut<V> {
+    /// Both the work and the saturation check finished.
+    Done(V, EnumStats),
+    /// Failed (panic or injected fault) on the first try *and* the
+    /// retry.
+    Lost,
+}
+
+/// How long an injected stall waits for the watchdog before giving up
+/// on its own — bounds chaos runs that have no deadline configured.
+/// Several watchdog poll periods, so a configured deadline is what
+/// normally ends the stall.
+const STALL_FALLBACK: Duration = Duration::from_millis(25);
+
+/// An injected [`Fault::Stall`]: hold the shard slot until the
+/// watchdog cancels the budget (or the fallback window elapses), then
+/// return so the attempt is classified as failed — the same
+/// classification either way, keeping reports deterministic.
+fn stall_until_cancelled(budget: Option<&Budget>) {
+    let cap = Instant::now() + STALL_FALLBACK;
+    while !budget.is_some_and(Budget::cancelled) && Instant::now() < cap {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// [`visit_sc_sharded`], resilient: panic isolation with one retry,
+/// cooperative budgets with a deadline watchdog, deterministic fault
+/// injection, and resume over a previous run's completed-shard set.
+/// Infallible — exhaustion and lost shards come back as
+/// [`RunStatus::Inconclusive`] / [`RunStatus::Degraded`] instead of
+/// errors or aborts.
+///
+/// Each shard runs under `catch_unwind`; a failed shard is retried
+/// once, backing off [`Reduction::SleepSetMemo`] to the coarser
+/// [`Reduction::SleepSet`], and is reported lost if the retry fails
+/// too. A budget trip (shared execution counter, deadline, cancel,
+/// memory) stops the run: completed shards are kept — a sound prefix,
+/// since every race was found by exploring real executions — and the
+/// rest become the resume frontier. The shard plan is the same
+/// deterministic, thread-count-independent cut as
+/// [`visit_sc_sharded`], which is what makes `completed` indices from
+/// a checkpoint meaningful across processes.
+#[allow(clippy::too_many_arguments)] // mirrors visit_sc_sharded's signature + resilience
+pub fn visit_sc_resilient<V: ExecutionVisitor + Send>(
+    p: &Program,
+    limits: &EnumLimits,
+    quantum: bool,
+    reduction: Reduction,
+    threads: usize,
+    make: &(dyn Fn() -> V + Sync),
+    saturated: &(dyn Fn(&V) -> bool + Sync),
+    res: &ResilienceOptions,
+) -> ResilientRun<V> {
+    if !res.resumed() {
+        // The same adaptive probe as the non-resilient path. On any
+        // failure — tree bigger than the probe budget, a budget trip,
+        // even a panic — fall through to the sharded path, which
+        // isolates and classifies all three per shard.
+        let probe_budget = PROBE_BUDGET.min(limits.max_executions);
+        let probe_limits = EnumLimits {
+            max_executions: probe_budget,
+            quantum_domain: limits.quantum_domain.clone(),
+            budget: limits.budget.clone(),
+        };
+        let mut probe = make();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            visit_sc(p, &probe_limits, quantum, reduction, &mut probe)
+        }));
+        if let Ok(Ok(stats)) = outcome {
+            let early_exit = saturated(&probe);
+            return ResilientRun {
+                shards: vec![(0, probe, stats)],
+                stats,
+                frontier_pruned: 0,
+                status: RunStatus::Complete,
+                early_exit,
+                total_shards: 1,
+            };
+        }
+    }
+
+    let (plan, frontier_pruned) = collect_frontier(p, limits, quantum, reduction);
+    let nshards = plan.len();
+    let threads = threads.clamp(1, nshards.max(1));
+    let counter = AtomicUsize::new(res.completed_explored);
+    let cutoff = AtomicUsize::new(res.completed_cutoff.unwrap_or(usize::MAX));
+    let exhausted: Mutex<Option<ExhaustReason>> = Mutex::new(None);
+    let backoff = match reduction {
+        Reduction::SleepSetMemo => Reduction::SleepSet,
+        r => r,
+    };
+    let plan = &plan;
+
+    // One shard, first try plus at most one retry. `None` means a
+    // global budget trip (reason recorded in `exhausted`) — the shard
+    // goes back on the frontier.
+    let run_one = |j: usize| -> Option<ShardOut<V>> {
+        for attempt in 0..2 {
+            if exhausted.lock().unwrap().is_some() {
+                return None;
+            }
+            // Per-shard budget poll: shards small enough to finish
+            // between two amortized in-loop polls still observe a
+            // deadline or cancellation at the next shard boundary.
+            if let Some(b) = &limits.budget {
+                if let Err(r) = b.check(0) {
+                    let mut g = exhausted.lock().unwrap();
+                    if g.is_none() {
+                        *g = Some(r);
+                    }
+                    return None;
+                }
+            }
+            let red = if attempt == 0 { reduction } else { backoff };
+            let fault =
+                res.fault_plan.as_ref().and_then(|pl| pl.fault_for(EngineId::Checker, j, attempt));
+            match fault {
+                Some(Fault::Stall) => {
+                    stall_until_cancelled(limits.budget.as_deref());
+                    continue;
+                }
+                Some(Fault::Exhaust) => continue,
+                _ => {}
+            }
+            let mut v = make();
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                if matches!(fault, Some(Fault::Panic)) {
+                    panic!("injected fault: checker shard {j} attempt {attempt}");
+                }
+                run_shard(p, limits, quantum, red, plan[j].clone(), &mut v, &counter)
+            }));
+            match r {
+                Ok(Ok(stats)) => {
+                    if saturated(&v) {
+                        cutoff.fetch_min(j, Ordering::Relaxed);
+                    }
+                    return Some(ShardOut::Done(v, stats));
+                }
+                Ok(Err(e)) => {
+                    let mut g = exhausted.lock().unwrap();
+                    if g.is_none() {
+                        *g = Some(e.exhaust_reason());
+                    }
+                    return None;
+                }
+                Err(_) => {} // panicked — retry, or fall out as Lost
+            }
+        }
+        Some(ShardOut::Lost)
+    };
+
+    type Slot<V> = Mutex<Option<ShardOut<V>>>;
+    let slots: Vec<Slot<V>> = (0..nshards).map(|_| Mutex::new(None)).collect();
+    let done = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    let claimable = |j: usize| {
+        !res.completed.contains(&j)
+            && j <= cutoff.load(Ordering::Relaxed)
+            && exhausted.lock().unwrap().is_none()
+    };
+    std::thread::scope(|s| {
+        // Deadline watchdog: stalled shards may never reach a poll
+        // site, so a sleeping sidecar flips the cancel flag the moment
+        // the deadline passes — every poll site and every injected
+        // stall then unwinds cooperatively.
+        if let Some(b) = limits.budget.clone() {
+            if let Some(deadline) = b.deadline() {
+                let done = &done;
+                s.spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            b.cancel();
+                            break;
+                        }
+                        std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
+                    }
+                });
+            }
+        }
+        if threads == 1 {
+            for (j, slot) in slots.iter().enumerate() {
+                if res.completed.contains(&j) {
+                    continue;
+                }
+                if j > cutoff.load(Ordering::Relaxed) || exhausted.lock().unwrap().is_some() {
+                    break;
+                }
+                if let Some(out) = run_one(j) {
+                    *slot.lock().unwrap() = Some(out);
+                }
+            }
+        } else {
+            let (next, claimable, slots, run_one) = (&next, &claimable, &slots, &run_one);
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(move || loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        if j >= nshards {
+                            break;
+                        }
+                        if !claimable(j) {
+                            continue;
+                        }
+                        if let Some(out) = run_one(j) {
+                            *slots[j].lock().unwrap() = Some(out);
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                let _ = w.join();
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    let cut = cutoff.load(Ordering::Relaxed);
+    let early_exit = cut != usize::MAX;
+    let mut merged = Vec::new();
+    let mut lost = Vec::new();
+    let mut frontier = Vec::new();
+    for (j, slot) in slots.into_iter().enumerate() {
+        if j > cut {
+            break;
+        }
+        if res.completed.contains(&j) {
+            continue;
+        }
+        match slot.into_inner().unwrap() {
+            Some(ShardOut::Done(v, stats)) => merged.push((j, v, stats)),
+            Some(ShardOut::Lost) => lost.push(j),
+            None => frontier.push(j),
+        }
+    }
+    let mut stats = EnumStats { pruned: frontier_pruned, ..EnumStats::default() };
+    for (_, _, s) in &merged {
+        stats.absorb(*s);
+    }
+    let exhausted = exhausted.into_inner().unwrap();
+    let status = if !frontier.is_empty() {
+        frontier.extend_from_slice(&lost);
+        frontier.sort_unstable();
+        RunStatus::Inconclusive { reason: exhausted.unwrap_or(ExhaustReason::Cancelled), frontier }
+    } else if !lost.is_empty() {
+        RunStatus::Degraded { lost }
+    } else {
+        RunStatus::Complete
+    };
+    ResilientRun {
+        shards: merged,
+        stats,
+        frontier_pruned,
+        status,
+        early_exit,
+        total_shards: nshards,
+    }
 }
 
 /// Small set of dynamic event ids with inline storage — taint and ctrl
@@ -1091,7 +1454,16 @@ struct Engine<'a> {
     tset: IdSet,
     /// Scratch: completed-execution snapshot reused across emits.
     out: Execution,
+    /// Budget-poll countdown: the budget (when present) is consulted
+    /// once every [`BUDGET_POLL_INTERVAL`] tree nodes.
+    poll: u32,
 }
+
+/// Tree nodes between two budget polls. At litmus-scale node rates
+/// (millions per second) this checks the deadline every fraction of a
+/// millisecond while keeping the hot-loop cost to a decrement and a
+/// branch.
+const BUDGET_POLL_INTERVAL: u32 = 4096;
 
 impl<'a> Engine<'a> {
     fn new(
@@ -1186,7 +1558,28 @@ impl<'a> Engine<'a> {
                 .then(|| Memo::new(p)),
             tset: IdSet::default(),
             out,
+            poll: BUDGET_POLL_INTERVAL,
         }
+    }
+
+    /// Amortized cooperative budget poll — called once per tree node,
+    /// consults [`EnumLimits::budget`] every [`BUDGET_POLL_INTERVAL`]
+    /// calls. Frontier-collection engines never poll: the cut walks
+    /// only the top levels of the tree, and a poll failure there would
+    /// leave nothing to report a frontier *of*.
+    fn poll_budget(&mut self) -> Result<(), EnumError> {
+        let Some(budget) = &self.limits.budget else { return Ok(()) };
+        self.poll -= 1;
+        if self.poll > 0 {
+            return Ok(());
+        }
+        self.poll = BUDGET_POLL_INTERVAL;
+        if self.frontier_depth.is_some() {
+            return Ok(());
+        }
+        let approx = self.journal.capacity() * std::mem::size_of::<Undo>()
+            + self.memo.as_ref().map_or(0, |m| m.table.len() * std::mem::size_of::<MemoEntry>());
+        budget.check(approx).map_err(EnumError::from)
     }
 
     /// Static label of an already-pushed event: stable across
@@ -1582,6 +1975,7 @@ impl<'a> Engine<'a> {
         if self.stop {
             return Ok(());
         }
+        self.poll_budget()?;
         let mark = self.journal.len();
         match self.drain() {
             Drained::Done => {}

@@ -65,6 +65,7 @@ pub mod program;
 pub mod quantum;
 pub mod races;
 pub mod relation;
+pub mod resilience;
 pub mod syscentric;
 
 /// Convenient glob-import surface for the most common items.
@@ -77,8 +78,12 @@ pub mod prelude {
     pub use crate::syscentric::{explore_relaxed, RelaxedOutcomes};
 }
 
-pub use checker::{check_program, CheckReport, Verdict};
+pub use checker::{
+    check_program, check_program_resilient, CheckOutcome, CheckReport, CheckResilience,
+    ShardRecord, Verdict,
+};
 pub use classes::{MemoryModel, OpClass, Protocol, SystemConfig};
 pub use exec::{enumerate_sc, EnumLimits, Execution};
 pub use program::{Program, RmwOp};
 pub use races::{Race, RaceAnalysis, RaceDetector, RaceKind};
+pub use resilience::{Budget, EngineId, ExhaustReason, Fault, FaultPlan, RunStatus};

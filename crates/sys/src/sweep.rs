@@ -15,10 +15,13 @@
 
 use crate::config::SysParams;
 use crate::run::{run_workload, run_workload_traced, RunReport};
+use drfrlx_core::resilience::{Budget, EngineId, ExhaustReason, Fault, FaultPlan, RunStatus};
 use drfrlx_core::SystemConfig;
 use hsim_gpu::Kernel;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One simulation to run: a kernel under one configuration on one
 /// platform.
@@ -164,6 +167,180 @@ fn run_job(job: &SimJob) -> RunReport {
     report
 }
 
+/// Resilience policy for [`run_matrix_resilient`]. The default —
+/// no budget, no fault plan — behaves like [`run_matrix`] except that
+/// a panicking job degrades the sweep instead of aborting it.
+#[derive(Clone, Default)]
+pub struct MatrixResilience {
+    /// Shared resource budget (deadline / cancel flag), polled once
+    /// per job claim; a deadline also arms a watchdog thread.
+    pub budget: Option<Arc<Budget>>,
+    /// Deterministic fault injection (chaos testing only).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+/// Result of a resilient sweep.
+pub struct MatrixOutcome {
+    /// One slot per job, **in job order**; `None` where the job was
+    /// lost (panicked twice) or never ran (budget trip).
+    pub reports: Vec<Option<RunReport>>,
+    /// How the sweep ended: `Degraded` names lost jobs, and
+    /// `Inconclusive`'s frontier names jobs still to run.
+    pub status: RunStatus,
+}
+
+impl MatrixOutcome {
+    /// The completed reports with their job indices, in job order.
+    pub fn completed(&self) -> impl Iterator<Item = (usize, &RunReport)> {
+        self.reports.iter().enumerate().filter_map(|(i, r)| r.as_ref().map(|r| (i, r)))
+    }
+}
+
+/// How long an injected stall waits for the watchdog before failing
+/// on its own.
+const STALL_FALLBACK: Duration = Duration::from_millis(25);
+
+/// [`run_matrix`], resilient: every job runs under `catch_unwind` and
+/// is retried once before being reported lost, the budget is polled
+/// between job claims (with a watchdog thread flipping the cancel
+/// flag at the deadline), and a seeded [`FaultPlan`] can inject
+/// panics, stalls and exhaustion per `(job, attempt)` — the same
+/// discipline as the checker's shard pool. Never panics, never
+/// aborts: the outcome is `Complete`, `Degraded { lost }` or
+/// `Inconclusive { reason, frontier }`, and completed reports stay in
+/// job order either way.
+pub fn run_matrix_resilient(
+    jobs: &[SimJob],
+    threads: usize,
+    res: &MatrixResilience,
+) -> MatrixOutcome {
+    let threads = threads.clamp(1, jobs.len().max(1));
+    let exhausted: Mutex<Option<ExhaustReason>> = Mutex::new(None);
+    let lost: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    let slots: Vec<Mutex<Option<RunReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    // One job, first try plus at most one retry.
+    let run_one = |i: usize| {
+        for attempt in 0..2 {
+            let fault =
+                res.fault_plan.as_ref().and_then(|pl| pl.fault_for(EngineId::Sweep, i, attempt));
+            match fault {
+                Some(Fault::Stall) => {
+                    let cap = Instant::now() + STALL_FALLBACK;
+                    while !res.budget.as_deref().is_some_and(Budget::cancelled)
+                        && Instant::now() < cap
+                    {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    continue;
+                }
+                Some(Fault::Exhaust) => continue,
+                _ => {}
+            }
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                if matches!(fault, Some(Fault::Panic)) {
+                    panic!("injected fault: sweep job {i} attempt {attempt}");
+                }
+                run_job(&jobs[i])
+            }));
+            if let Ok(report) = r {
+                *slots[i].lock().expect("slot lock") = Some(report);
+                return;
+            }
+        }
+        lost.lock().expect("lost lock").push(i);
+    };
+    // Budget poll at job-claim granularity: simulations have no
+    // in-loop poll sites, so this is where a deadline or cancellation
+    // takes effect.
+    let claimable = || {
+        if exhausted.lock().expect("exhausted lock").is_some() {
+            return false;
+        }
+        if let Some(b) = &res.budget {
+            if let Err(r) = b.check(0) {
+                let mut g = exhausted.lock().expect("exhausted lock");
+                if g.is_none() {
+                    *g = Some(r);
+                }
+                return false;
+            }
+        }
+        true
+    };
+
+    let done = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        if let Some(b) = res.budget.clone() {
+            if let Some(deadline) = b.deadline() {
+                let done = &done;
+                scope.spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            b.cancel();
+                            break;
+                        }
+                        std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
+                    }
+                });
+            }
+        }
+        if threads == 1 {
+            for i in 0..jobs.len() {
+                if !claimable() {
+                    break;
+                }
+                run_one(i);
+            }
+        } else {
+            let (next, run_one, claimable) = (&next, &run_one, &claimable);
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() || !claimable() {
+                            break;
+                        }
+                        run_one(i);
+                    })
+                })
+                .collect();
+            for w in workers {
+                let _ = w.join();
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    let mut lost = lost.into_inner().expect("lost lock");
+    lost.sort_unstable();
+    let reports: Vec<Option<RunReport>> =
+        slots.into_iter().map(|s| s.into_inner().expect("slot lock")).collect();
+    let exhausted = exhausted.into_inner().expect("exhausted lock");
+    let frontier: Vec<usize> = reports
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| r.is_none() && !lost.contains(i))
+        .map(|(i, _)| i)
+        .collect();
+    let status = if !frontier.is_empty() {
+        let mut f = frontier;
+        f.extend_from_slice(&lost);
+        f.sort_unstable();
+        RunStatus::Inconclusive {
+            reason: exhausted.unwrap_or(ExhaustReason::Cancelled),
+            frontier: f,
+        }
+    } else if !lost.is_empty() {
+        RunStatus::Degraded { lost }
+    } else {
+        RunStatus::Complete
+    };
+    MatrixOutcome { reports, status }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +473,116 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn resilient_complete_sweep_matches_run_matrix() {
+        let jobs = hammer_matrix();
+        let plain = run_matrix(&jobs, 1);
+        for threads in [1usize, 4] {
+            let out = run_matrix_resilient(&jobs, threads, &MatrixResilience::default());
+            assert_eq!(out.status, RunStatus::Complete, "t={threads}");
+            for (i, r) in out.reports.iter().enumerate() {
+                let r = r.as_ref().expect("complete sweep fills every slot");
+                assert_eq!(r.cycles, plain[i].cycles, "job {i}");
+                assert_eq!(r.counters, plain[i].counters, "job {i}");
+                assert_eq!(r.memory, plain[i].memory, "job {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn injected_job_panic_is_retried_then_degrades() {
+        let jobs = hammer_matrix();
+        // One panic: absorbed by the retry.
+        let res = MatrixResilience {
+            fault_plan: Some(FaultPlan::pinned(EngineId::Sweep, 5, 1, Fault::Panic)),
+            ..MatrixResilience::default()
+        };
+        let out = run_matrix_resilient(&jobs, 1, &res);
+        assert_eq!(out.status, RunStatus::Complete);
+        // Two panics: the job is lost, the rest of the sweep survives.
+        let res = MatrixResilience {
+            fault_plan: Some(FaultPlan::pinned(EngineId::Sweep, 5, 2, Fault::Panic)),
+            ..MatrixResilience::default()
+        };
+        for threads in [1usize, 4] {
+            let out = run_matrix_resilient(&jobs, threads, &res);
+            assert_eq!(out.status, RunStatus::Degraded { lost: vec![5] }, "t={threads}");
+            assert!(out.reports[5].is_none());
+            assert_eq!(out.completed().count(), jobs.len() - 1);
+        }
+    }
+
+    #[test]
+    fn a_panicking_validation_degrades_instead_of_aborting() {
+        struct Broken;
+        impl Kernel for Broken {
+            fn name(&self) -> String {
+                "broken".into()
+            }
+            fn blocks(&self) -> usize {
+                1
+            }
+            fn threads_per_block(&self) -> usize {
+                1
+            }
+            fn memory_words(&self) -> usize {
+                4
+            }
+            fn item(&self, _b: usize, _t: usize) -> Box<dyn WorkItem> {
+                struct Item;
+                impl WorkItem for Item {
+                    fn next(&mut self, _last: Option<u64>) -> Op {
+                        Op::Done
+                    }
+                }
+                Box::new(Item)
+            }
+            fn validate(&self, _mem: &[u64]) -> Result<(), String> {
+                Err("always wrong".into())
+            }
+        }
+        let params = SysParams::integrated();
+        let jobs = six_config_jobs("broken", Arc::new(Broken), &params, true);
+        let out = run_matrix_resilient(&jobs, 2, &MatrixResilience::default());
+        assert_eq!(out.status, RunStatus::Degraded { lost: (0..6).collect() });
+        assert_eq!(out.completed().count(), 0);
+    }
+
+    #[test]
+    fn an_expired_deadline_leaves_a_frontier() {
+        let jobs = hammer_matrix();
+        let res = MatrixResilience {
+            budget: Some(Arc::new(Budget::with_timeout(Duration::from_secs(0)))),
+            ..MatrixResilience::default()
+        };
+        let out = run_matrix_resilient(&jobs, 2, &res);
+        match out.status {
+            RunStatus::Inconclusive { reason, frontier } => {
+                assert!(
+                    matches!(reason, ExhaustReason::Deadline | ExhaustReason::Cancelled),
+                    "got {reason:?}"
+                );
+                assert_eq!(frontier.len() + out.reports.iter().flatten().count(), jobs.len());
+            }
+            s => panic!("expected Inconclusive, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn seeded_sweep_chaos_is_deterministic_and_never_aborts() {
+        let jobs = hammer_matrix();
+        for seed in 1..=4u64 {
+            let res = MatrixResilience {
+                fault_plan: Some(FaultPlan::seeded(seed)),
+                ..MatrixResilience::default()
+            };
+            let a = run_matrix_resilient(&jobs, 1, &res);
+            let b = run_matrix_resilient(&jobs, 1, &res);
+            assert_eq!(a.status, b.status, "seed {seed}");
+            let done = |o: &MatrixOutcome| o.completed().map(|(i, _)| i).collect::<Vec<_>>();
+            assert_eq!(done(&a), done(&b), "seed {seed}");
+        }
     }
 }

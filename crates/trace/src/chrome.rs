@@ -63,6 +63,21 @@ pub fn chrome_trace(buf: &TraceBuffer, label: &str) -> String {
             comp.name()
         );
     }
+    // A saturated keep-newest ring gets an explicit metadata record,
+    // so dropped history is visible inside the trace itself (not just
+    // in `otherData`, which some viewers never surface).
+    if buf.dropped() > 0 {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"dropped_events\",\
+             \"args\":{{\"count\":{},\"policy\":\"keep-newest\"}}}}",
+            buf.dropped()
+        );
+    }
     for ev in buf.events() {
         if !first {
             out.push(',');
@@ -107,6 +122,30 @@ mod tests {
         // One metadata event per component, plus the two records.
         assert_eq!(json.matches("\"ph\":\"M\"").count(), Component::ALL.len());
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn a_saturated_ring_carries_a_dropped_events_record() {
+        let mut b = TraceBuffer::with_capacity(2);
+        for i in 0..5 {
+            b.push(TraceEvent::new(EventKind::L1Miss, i, 0, 64, 0, 1));
+        }
+        assert_eq!(b.dropped(), 3);
+        let json = chrome_trace(&b, "wrapped");
+        assert!(json.contains("\"name\":\"dropped_events\""));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("\"policy\":\"keep-newest\""));
+        // The extra record is metadata, not a timeline event.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), Component::ALL.len() + 1);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn an_unsaturated_ring_has_no_dropped_events_record() {
+        let mut b = TraceBuffer::with_capacity(8);
+        b.push(TraceEvent::new(EventKind::L1Miss, 1, 0, 64, 0, 1));
+        let json = chrome_trace(&b, "clean");
+        assert!(!json.contains("dropped_events"));
     }
 
     #[test]

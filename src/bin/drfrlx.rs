@@ -16,7 +16,9 @@
 //! The help text, README table and unknown-subcommand error are all
 //! rendered from the one table in [`drfrlx::cli`].
 
-use drfrlx::model::checker::{check_program_with, CheckOptions};
+use drfrlx::model::checker::{
+    check_program_resilient, check_program_with, CheckOptions, CheckResilience,
+};
 use drfrlx::model::emit::emit;
 use drfrlx::model::exec::{enumerate_sc, EnumLimits, Reduction};
 use drfrlx::model::infer::infer;
@@ -24,15 +26,30 @@ use drfrlx::model::parse::parse;
 use drfrlx::model::pretty::{format_conflict_graph, format_execution};
 use drfrlx::model::program::Program;
 use drfrlx::model::races::analyze;
+use drfrlx::model::resilience::{Budget, FaultPlan};
 use drfrlx::model::syscentric::compare_with_sc;
 use drfrlx::sim::{run_workload, SysParams};
 use drfrlx::workloads::all_workloads;
 use drfrlx::workloads::registry::extensions;
 use drfrlx::{MemoryModel, Protocol, SystemConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// CI-friendly exit codes for `check` and `conform`: clean, a real
+/// finding (race / soundness violation), a run that ended without a
+/// verdict (budget exhausted, degraded), and an internal error. The
+/// other subcommands keep the traditional 0 / 1 / 2.
+const EXIT_CLEAN: u8 = 0;
+const EXIT_FINDING: u8 = 2;
+const EXIT_INCONCLUSIVE: u8 = 3;
+const EXIT_INTERNAL: u8 = 101;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `check`/`conform` report internal errors as 101 so CI can tell
+    // a crash from a finding; elsewhere errors keep the historic 2.
+    let verdict_cmd = matches!(args.first().map(String::as_str), Some("check" | "conform"));
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("explore") => cmd_explore(&args[1..]),
@@ -60,16 +77,73 @@ fn main() -> ExitCode {
         }
     };
     match result {
-        Ok(clean) if clean => ExitCode::SUCCESS,
-        Ok(_) => ExitCode::FAILURE,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            ExitCode::from(if verdict_cmd { EXIT_INTERNAL } else { 2 })
         }
     }
 }
 
-type CmdResult = Result<bool, Box<dyn std::error::Error>>;
+/// Exit code (`Ok`) or an error the dispatcher prints and maps.
+type CmdResult = Result<u8, Box<dyn std::error::Error>>;
+
+/// The traditional boolean exit mapping of the non-verdict
+/// subcommands: 0 when clean, 1 otherwise.
+fn ok01(clean: bool) -> CmdResult {
+    Ok(if clean { 0 } else { 1 })
+}
+
+/// The `--timeout-secs`, `--checkpoint`, `--resume` and `--chaos-seed`
+/// flags shared by `check` and `conform`. Any of them engages the
+/// resilient execution path; all default off.
+struct ResilienceFlags<'a> {
+    timeout: Option<f64>,
+    chaos_seed: Option<u64>,
+    checkpoint: Option<&'a str>,
+    resume: Option<&'a str>,
+}
+
+impl<'a> ResilienceFlags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, Box<dyn std::error::Error>> {
+        let timeout = match flag_value(args, "--timeout-secs") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s > 0.0)
+                    .ok_or("--timeout-secs needs a positive number")?,
+            ),
+        };
+        let chaos_seed = match flag_value(args, "--chaos-seed") {
+            None => None,
+            Some(v) => {
+                Some(v.parse::<u64>().map_err(|_| "--chaos-seed needs an unsigned integer")?)
+            }
+        };
+        Ok(ResilienceFlags {
+            timeout,
+            chaos_seed,
+            checkpoint: flag_value(args, "--checkpoint"),
+            resume: flag_value(args, "--resume"),
+        })
+    }
+
+    fn engaged(&self) -> bool {
+        self.timeout.is_some()
+            || self.chaos_seed.is_some()
+            || self.checkpoint.is_some()
+            || self.resume.is_some()
+    }
+
+    fn budget(&self) -> Option<Arc<Budget>> {
+        self.timeout.map(|s| Arc::new(Budget::with_timeout(Duration::from_secs_f64(s))))
+    }
+
+    fn fault_plan(&self) -> Option<FaultPlan> {
+        self.chaos_seed.map(FaultPlan::seeded)
+    }
+}
 
 fn load_program(path: &str) -> Result<Program, Box<dyn std::error::Error>> {
     let src = std::fs::read_to_string(path)?;
@@ -119,14 +193,17 @@ fn cmd_check(args: &[String]) -> CmdResult {
         },
     };
     let stats = args.iter().any(|a| a == "--stats");
-    let opts = CheckOptions { limits, threads, reduction, ..CheckOptions::default() };
-    let mut clean = true;
-    for model in models {
-        let report = check_program_with(&p, model, &opts)?;
+    let res_flags = ResilienceFlags::parse(args)?;
+    if (res_flags.checkpoint.is_some() || res_flags.resume.is_some()) && models.len() != 1 {
+        return Err("--checkpoint/--resume need a single --model".into());
+    }
+
+    let print_report = |report: &drfrlx::CheckReport, clean: &mut bool| {
+        let model = report.model;
         if report.is_race_free() {
             println!("{model}: race-free ({} SC executions)", report.executions);
         } else {
-            clean = false;
+            *clean = false;
             println!("{model}: RACY ({} SC executions)", report.executions);
             for f in &report.races {
                 println!("  - {}", f.description);
@@ -142,8 +219,72 @@ fn cmd_check(args: &[String]) -> CmdResult {
                 report.executions, report.pruned, report.memo_pruned, report.table_peak
             );
         }
+    };
+
+    let mut clean = true;
+    let mut inconclusive = false;
+    if !res_flags.engaged() {
+        let opts = CheckOptions { limits, threads, reduction, ..CheckOptions::default() };
+        for model in models {
+            match check_program_with(&p, model, &opts) {
+                Ok(report) => print_report(&report, &mut clean),
+                Err(e) => {
+                    inconclusive = true;
+                    println!("{model}: INCONCLUSIVE ({e})");
+                }
+            }
+        }
+    } else {
+        let budget = res_flags.budget();
+        for model in models {
+            let mut limits = limits.clone();
+            limits.budget = budget.clone();
+            let opts = CheckOptions { limits, threads, reduction, ..CheckOptions::default() };
+            let completed = match res_flags.resume {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)?;
+                    drfrlx::checkpoint::parse_check_checkpoint(&text, &p, model, &opts)?
+                }
+                None => Vec::new(),
+            };
+            let res = CheckResilience { fault_plan: res_flags.fault_plan(), completed };
+            let out = check_program_resilient(&p, model, &opts, &res);
+            if out.status.is_complete() || !out.report.is_race_free() {
+                print_report(&out.report, &mut clean);
+            } else {
+                println!(
+                    "{model}: INCONCLUSIVE (no races in {} SC executions explored)",
+                    out.report.executions
+                );
+            }
+            if !out.status.is_complete() {
+                inconclusive = true;
+                println!(
+                    "  status: {} — {} of {} shards completed",
+                    out.status,
+                    out.shards.len(),
+                    out.total_shards
+                );
+            }
+            if let Some(path) = res_flags.checkpoint {
+                create_parent_dirs(std::path::Path::new(path))?;
+                let rendered = drfrlx::checkpoint::render_check_checkpoint(&p, model, &opts, &out);
+                std::fs::write(path, rendered)?;
+                eprintln!(
+                    "[checkpoint: wrote {path} ({} of {} shards)]",
+                    out.shards.len(),
+                    out.total_shards
+                );
+            }
+        }
     }
-    Ok(clean)
+    Ok(if !clean {
+        EXIT_FINDING
+    } else if inconclusive {
+        EXIT_INCONCLUSIVE
+    } else {
+        EXIT_CLEAN
+    })
 }
 
 fn cmd_explore(args: &[String]) -> CmdResult {
@@ -164,7 +305,7 @@ fn cmd_explore(args: &[String]) -> CmdResult {
     if !any {
         println!("no illegal races in the shown execution");
     }
-    Ok(racy.is_none())
+    ok01(racy.is_none())
 }
 
 fn cmd_machine(args: &[String]) -> CmdResult {
@@ -187,7 +328,7 @@ fn cmd_machine(args: &[String]) -> CmdResult {
             println!("  {{ {} }}", pretty.join(", "));
         }
     }
-    Ok(cmp.is_sc_only())
+    ok01(cmp.is_sc_only())
 }
 
 fn cmd_infer(args: &[String]) -> CmdResult {
@@ -198,7 +339,7 @@ fn cmd_infer(args: &[String]) -> CmdResult {
         let racy = !drfrlx::check_program(&p, MemoryModel::Drfrlx).is_race_free();
         if racy {
             println!("// program is racy; nothing can be inferred");
-            return Ok(false);
+            return ok01(false);
         }
         println!("// every annotation is already as weak as it can be");
     } else {
@@ -207,14 +348,14 @@ fn cmd_infer(args: &[String]) -> CmdResult {
         }
     }
     print!("{}", emit(&inf.program));
-    Ok(true)
+    ok01(true)
 }
 
 fn cmd_fmt(args: &[String]) -> CmdResult {
     let path = args.first().ok_or("fmt needs a .litmus file")?;
     let p = load_program(path)?;
     print!("{}", emit(&p));
-    Ok(true)
+    ok01(true)
 }
 
 /// The `--config` abbreviation, with `--protocol` optionally
@@ -250,7 +391,7 @@ fn cmd_configs() -> CmdResult {
             println!("  {k:18} {v}");
         }
     }
-    Ok(true)
+    ok01(true)
 }
 
 fn cmd_list() -> CmdResult {
@@ -258,7 +399,7 @@ fn cmd_list() -> CmdResult {
     for s in all_workloads().into_iter().chain(extensions()) {
         println!("{:8} {:6} {}", s.name, if s.micro { "micro" } else { "bench" }, s.scaled_input);
     }
-    Ok(true)
+    ok01(true)
 }
 
 fn cmd_bench(args: &[String]) -> CmdResult {
@@ -271,7 +412,7 @@ fn cmd_bench(args: &[String]) -> CmdResult {
         for e in registry() {
             println!("{:22} {}", e.id(), e.title());
         }
-        return Ok(true);
+        return ok01(true);
     }
     let threads = match flag_value(args, "--threads") {
         None => drfrlx::sim::default_threads(),
@@ -327,13 +468,14 @@ fn cmd_bench(args: &[String]) -> CmdResult {
             perf.total_seconds()
         );
     }
-    Ok(true)
+    ok01(true)
 }
 
 fn cmd_conform(args: &[String]) -> CmdResult {
     use drfrlx::conform::{
-        check_conformance, generate, is_unsound, render_corpus, run_corpus, run_template_corpus,
-        shrink, ConformOptions,
+        check_conformance, check_conformance_resilient, generate, is_unsound, render_corpus,
+        render_summary, resume_campaign, run_corpus, run_template_corpus, shrink, CampaignState,
+        ConformOptions, ConformResilience,
     };
     use drfrlx::litmus::all_tests;
 
@@ -393,42 +535,82 @@ fn cmd_conform(args: &[String]) -> CmdResult {
         );
     };
 
+    let res_flags = ResilienceFlags::parse(args)?;
+    let budget = res_flags.budget();
+    // The oracle polls the budget through its enumeration limits; the
+    // simulation matrix polls it at job-claim granularity.
+    opts.limits.budget = budget.clone();
+    let res = ConformResilience { budget, fault_plan: res_flags.fault_plan() };
+
     if let Some(n) = flag_value(args, "--fuzz") {
         let n: u64 = n.parse().ok().filter(|&n| n > 0).ok_or("--fuzz needs a positive count")?;
-        let mut violations = 0u64;
-        for i in 0..n {
-            let seed = opts.seed.wrapping_add(i);
-            let p = generate(seed);
-            let r = check_conformance(&p, &opts)?;
-            if !r.sound() {
-                violations += 1;
-                println!("fuzz seed {seed}: VIOLATION");
-                print_report(&r);
-                let small = shrink(&p, &|q| is_unsound(q, &opts));
-                println!("shrunk reproducer:\n{}", drfrlx::model::emit::emit(&small));
+        let mut state = match res_flags.resume {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)?;
+                let state = drfrlx::checkpoint::parse_fuzz_checkpoint(&text, &opts)?;
+                if state.total != n {
+                    return Err(format!(
+                        "checkpoint is for --fuzz {}, not --fuzz {n}",
+                        state.total
+                    )
+                    .into());
+                }
+                if state.seed != opts.seed {
+                    return Err(format!(
+                        "checkpoint campaign is rooted at seed {}, not --seed {}",
+                        state.seed, opts.seed
+                    )
+                    .into());
+                }
+                state
             }
+            None => CampaignState::new(opts.seed, n),
+        };
+        let status = resume_campaign(&mut state, &opts, &res, &mut |seed, r| {
+            println!("fuzz seed {seed}: VIOLATION");
+            print_report(r);
+            let small = shrink(&generate(seed), &|q| is_unsound(q, &opts));
+            println!("shrunk reproducer:\n{}", drfrlx::model::emit::emit(&small));
+        });
+        print!("{}", render_summary(&state));
+        if !status.is_complete() {
+            println!("status: {status}");
         }
-        println!(
-            "fuzz: {n} programs from seed {}, {} sound, {violations} violations",
-            opts.seed,
-            n - violations
-        );
-        return Ok(violations == 0);
+        if let Some(path) = res_flags.checkpoint {
+            create_parent_dirs(std::path::Path::new(path))?;
+            std::fs::write(path, drfrlx::checkpoint::render_fuzz_checkpoint(&opts, &state))?;
+            eprintln!(
+                "[checkpoint: wrote {path} ({} of {} programs)]",
+                state.next_index, state.total
+            );
+        }
+        return Ok(if !state.violations.is_empty() {
+            EXIT_FINDING
+        } else if !status.is_complete() || !state.skipped.is_empty() {
+            EXIT_INCONCLUSIVE
+        } else {
+            EXIT_CLEAN
+        });
+    }
+    if res_flags.checkpoint.is_some() || res_flags.resume.is_some() {
+        return Err("conform --checkpoint/--resume only apply to --fuzz campaigns".into());
     }
 
     let target = args
         .iter()
         .find(|a| !a.starts_with("--") && !is_flag_operand(args, a))
         .ok_or("conform needs a test name, `corpus`, a .litmus file, or --fuzz N")?;
-    if target == "corpus" {
-        let reports = run_corpus(&opts)?;
+    if target == "corpus" || target == "templates" {
+        let run = if target == "corpus" { run_corpus } else { run_template_corpus };
+        let reports = match run(&opts) {
+            Ok(reports) => reports,
+            Err(e) => {
+                eprintln!("inconclusive: {e}");
+                return Ok(EXIT_INCONCLUSIVE);
+            }
+        };
         print!("{}", render_corpus(&reports, &opts));
-        return Ok(reports.iter().all(|r| r.sound()));
-    }
-    if target == "templates" {
-        let reports = run_template_corpus(&opts)?;
-        print!("{}", render_corpus(&reports, &opts));
-        return Ok(reports.iter().all(|r| r.sound()));
+        return Ok(if reports.iter().all(|r| r.sound()) { EXIT_CLEAN } else { EXIT_FINDING });
     }
     let p = if target.ends_with(".litmus") {
         load_program(target)?
@@ -439,9 +621,37 @@ fn cmd_conform(args: &[String]) -> CmdResult {
             .map(|t| (t.build)())
             .ok_or_else(|| format!("unknown litmus test `{target}` (or pass a .litmus path)"))?
     };
-    let r = check_conformance(&p, &opts)?;
+    if res_flags.engaged() {
+        let out = check_conformance_resilient(&p, &opts, &res);
+        return Ok(match out.report {
+            Some(r) => {
+                print_report(&r);
+                if !out.status.is_complete() {
+                    println!("status: {}", out.status);
+                }
+                if !r.sound() {
+                    EXIT_FINDING
+                } else if !out.status.is_complete() {
+                    EXIT_INCONCLUSIVE
+                } else {
+                    EXIT_CLEAN
+                }
+            }
+            None => {
+                println!("status: {}", out.status);
+                EXIT_INCONCLUSIVE
+            }
+        });
+    }
+    let r = match check_conformance(&p, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("inconclusive: {e}");
+            return Ok(EXIT_INCONCLUSIVE);
+        }
+    };
     print_report(&r);
-    Ok(r.sound())
+    Ok(if r.sound() { EXIT_CLEAN } else { EXIT_FINDING })
 }
 
 /// Is `arg` the operand of a `--flag value` pair (so not a positional)?
@@ -490,6 +700,14 @@ fn cmd_trace(args: &[String]) -> CmdResult {
     let buf = r.trace.as_ref().expect("traced run carries a buffer");
     let label = format!("{} {} ({}, {} cycles)", spec.name, config, r.platform, r.cycles);
     print!("{}", render_profile(buf, &label));
+    if buf.dropped() > 0 {
+        eprintln!(
+            "warning: trace ring saturated; {} of {} events dropped (keep-newest \
+             — raise --events to keep more history)",
+            buf.dropped(),
+            buf.recorded()
+        );
+    }
 
     if let Some(out) = flag_value(args, "--out") {
         let path = std::path::Path::new(out);
@@ -511,7 +729,7 @@ fn cmd_trace(args: &[String]) -> CmdResult {
         println!();
         print!("{}", render_diff(&config.to_string(), buf, &config2.to_string(), buf2));
     }
-    Ok(true)
+    ok01(true)
 }
 
 fn cmd_simulate(args: &[String]) -> CmdResult {
@@ -542,5 +760,5 @@ fn cmd_simulate(args: &[String]) -> CmdResult {
     println!("  remote L1 transfers {}", r.proto.remote_l1_transfers);
     println!("  sharer invalidations {}", r.proto.sharer_invalidations);
     println!("  functional check    ok");
-    Ok(true)
+    ok01(true)
 }

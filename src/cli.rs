@@ -26,21 +26,29 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         name: "check",
         usage: "check <file.litmus> [--model drf0|drf1|drfrlx] [--threads N]\n\
                 \x20                  [--max-execs N] [--reduction none|sleep|memo]\n\
-                \x20                  [--stats]",
+                \x20                  [--stats] [--timeout-secs S] [--checkpoint FILE]\n\
+                \x20                  [--resume FILE] [--chaos-seed S]",
         summary: "race-check a litmus program under the DRF models",
         help: "Stream SC executions through the race detectors (sleep-set\n\
                partial-order reduction, sharded across N worker threads) and\n\
-               report illegal races (exit status 1 if the program is racy).\n\
-               Prints the explored/pruned execution counts per model; the\n\
-               verdicts are identical at any --threads. --max-execs raises or\n\
-               lowers the execution budget (default 250000). --reduction picks\n\
-               the search-space pruning: `none` (exhaustive), `sleep` (sleep-set\n\
-               partial-order reduction, the default) or `memo` (sleep sets plus\n\
-               duplicate-state memoization — needed for programs whose\n\
-               conflicting operations defeat sleep sets alone). --stats prints\n\
-               the per-model reduction counters (explored / sleep-set-pruned /\n\
-               memo-pruned / peak-table-size). Threads default to all cores (or\n\
-               DRFRLX_THREADS).",
+               report illegal races. Exit status: 0 race-free, 2 racy, 3\n\
+               inconclusive (a budget ran out before a verdict), 101 internal\n\
+               error. Prints the explored/pruned execution counts per model;\n\
+               the verdicts are identical at any --threads. --max-execs raises\n\
+               or lowers the execution budget (default 250000). --reduction\n\
+               picks the search-space pruning: `none` (exhaustive), `sleep`\n\
+               (sleep-set partial-order reduction, the default) or `memo`\n\
+               (sleep sets plus duplicate-state memoization — needed for\n\
+               programs whose conflicting operations defeat sleep sets alone).\n\
+               --stats prints the per-model reduction counters (explored /\n\
+               sleep-set-pruned / memo-pruned / peak-table-size). The\n\
+               resilience flags engage the fault-isolated sharded runner:\n\
+               --timeout-secs arms a wall-clock watchdog, --checkpoint FILE\n\
+               saves the completed shards, --resume FILE continues from such\n\
+               a checkpoint (with --model pinned; the resumed report is\n\
+               byte-identical to an uninterrupted run), and --chaos-seed\n\
+               deterministically injects shard faults (testing only). Threads\n\
+               default to all cores (or DRFRLX_THREADS).",
     },
     Subcommand {
         name: "explore",
@@ -124,24 +132,33 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         name: "conform",
         usage: "conform <test>|corpus|templates|<file.litmus> [--schedules K] [--seed S]\n\
                 \x20       [--threads N] [--config GD0..MDR] [--model drf0|drf1|drfrlx]\n\
-                \x20       [--protocol gpu|denovo|mesi-wb]\n\
-                conform --fuzz N [--seed S] [--threads N] [--schedules K]",
+                \x20       [--protocol gpu|denovo|mesi-wb] [--timeout-secs S] [--chaos-seed S]\n\
+                conform --fuzz N [--seed S] [--threads N] [--schedules K]\n\
+                \x20       [--timeout-secs S] [--checkpoint FILE] [--resume FILE]\n\
+                \x20       [--chaos-seed S]",
         summary: "check the simulator against the axiomatic oracle",
         help: "Compile a litmus test into a simulator kernel, run it across the\n\
                protocol × model matrix under K deterministically perturbed\n\
                schedules (default 128, rooted at --seed) and check every\n\
-               observed outcome against the axiomatic SC oracle: exit status 1\n\
-               on a soundness violation (observed ⊄ allowed), with the\n\
-               witnessed fraction of the allowed set reported as coverage.\n\
-               `corpus` runs the whole Table-1 use-case suite; `templates`\n\
-               runs the richer template corpus (bounded polls, think delays,\n\
-               retry loops, scratch + barrier histogram); a bare name\n\
-               runs that registry test; a path runs a .litmus file. --config\n\
-               restricts to one configuration (--protocol overrides its\n\
-               coherence protocol); --model keeps only that column of the\n\
-               matrix. --fuzz generates N seeded random programs, conformance-\n\
-               checks each, and delta-debugs any disagreement down to a\n\
-               minimal reproducer. Verdicts are identical at any --threads.",
+               observed outcome against the axiomatic SC oracle. Exit status:\n\
+               0 sound, 2 on a soundness violation (observed ⊄ allowed), 3\n\
+               inconclusive (oracle budget exhausted, run degraded or programs\n\
+               skipped), 101 internal error; the witnessed fraction of the\n\
+               allowed set is reported as coverage. `corpus` runs the whole\n\
+               Table-1 use-case suite; `templates` runs the richer template\n\
+               corpus (bounded polls, think delays, retry loops, scratch +\n\
+               barrier histogram); a bare name runs that registry test; a path\n\
+               runs a .litmus file. --config restricts to one configuration\n\
+               (--protocol overrides its coherence protocol); --model keeps\n\
+               only that column of the matrix. --fuzz generates N seeded\n\
+               random programs, conformance-checks each (retrying oracle\n\
+               overflows up a 1x/4x/16x budget ladder before recording the\n\
+               seed as skipped in the summary), and delta-debugs any\n\
+               disagreement down to a minimal reproducer. --timeout-secs arms\n\
+               a wall-clock watchdog; --checkpoint/--resume save and continue\n\
+               a fuzz campaign deterministically; --chaos-seed injects\n\
+               deterministic faults (testing only). Verdicts are identical at\n\
+               any --threads.",
     },
 ];
 

@@ -100,7 +100,8 @@ fn chrome_export_is_valid_json() {
     let phase = |e: &Json| e.get("ph").and_then(Json::as_str).unwrap_or("").to_string();
     let metadata = events.iter().filter(|e| phase(e) == "M").count();
     let complete = events.iter().filter(|e| phase(e) == "X").count();
-    assert_eq!(metadata, Component::ALL.len(), "one process_name record per component");
+    let expected = Component::ALL.len() + usize::from(buf.dropped() > 0);
+    assert_eq!(metadata, expected, "process_name per component, plus dropped_events if saturated");
     assert_eq!(complete, buf.len(), "one X event per retained record");
     for e in events.iter().filter(|e| phase(e) == "X") {
         assert!(e.get("name").and_then(Json::as_str).is_some());
